@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries.
+ */
+#ifndef SO_BENCH_BENCH_UTIL_H
+#define SO_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace so::bench {
+
+/** Print the standard banner naming the experiment being reproduced. */
+inline void
+banner(const std::string &id, const std::string &description,
+       const std::string &paper_expectation)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", id.c_str(), description.c_str());
+    std::printf("paper: %s\n", paper_expectation.c_str());
+    std::printf("==============================================================\n\n");
+}
+
+/** Format a throughput cell: TFLOPS or "OOM". */
+inline std::string
+tflopsCell(bool feasible, double tflops)
+{
+    if (!feasible)
+        return "OOM";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", tflops);
+    return buf;
+}
+
+} // namespace so::bench
+
+#endif // SO_BENCH_BENCH_UTIL_H

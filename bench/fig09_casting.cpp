@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces Fig. 9: time cost of the two mixed-precision casting
+ * pipelines — Cast_gpu<->Move_fp32 vs Cast_cpu<->Move_fp16 — across
+ * tensor sizes, plus a real-kernel measurement of the fp16<->fp32 cast
+ * throughput on this host (the CPU-side cast is a genuine computation,
+ * not a model).
+ */
+#include <chrono>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/sac.h"
+#include "hw/presets.h"
+#include "optim/half.h"
+
+namespace {
+
+/** Measure this host's fp16->fp32 bulk cast rate (elements/second). */
+double
+measureHostCastRate()
+{
+    using namespace so;
+    const std::size_t n = 8u << 20; // 8 Mi elements.
+    std::vector<optim::Half> src(n, optim::floatToHalf(1.5f));
+    std::vector<float> dst(n);
+    // Warm-up.
+    optim::castToFloat(src.data(), dst.data(), n);
+    const auto start = std::chrono::steady_clock::now();
+    int reps = 0;
+    double elapsed = 0.0;
+    do {
+        optim::castToFloat(src.data(), dst.data(), n);
+        ++reps;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    } while (elapsed < 0.2);
+    return static_cast<double>(n) * reps / elapsed;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace so;
+    bench::banner("Fig. 9", "Casting-pipeline cost on GH200 (per swap-out)",
+                  "Cast_cpu<->Move_fp16 ~2x slower than "
+                  "Cast_gpu<->Move_fp32 for 256 MB - 2048 MB tensors");
+
+    const hw::SuperchipSpec chip = hw::gh200(480.0 * kGB);
+    Table table("Fig. 9: pipeline time by fp32 tensor size");
+    table.setHeader({"tensor", "Cast_gpu+Move_fp32", "Cast_cpu+Move_fp16",
+                     "ratio", "winner"});
+    for (double mb = 16.0; mb <= 2048.0; mb *= 2.0) {
+        const double elements = mb * kMiB / 4.0;
+        const double gpu_path = core::castPipelineTime(
+            chip, core::CastStrategy::CastGpuMoveFp32, elements);
+        const double cpu_path = core::castPipelineTime(
+            chip, core::CastStrategy::CastCpuMoveFp16, elements);
+        table.addRow({Table::num(mb, 0) + " MB", formatTime(gpu_path),
+                      formatTime(cpu_path),
+                      Table::num(cpu_path / gpu_path, 2),
+                      castStrategyName(
+                          core::chooseCastStrategy(chip, elements))});
+    }
+    table.print();
+
+    const double rate = measureHostCastRate();
+    std::printf("host fp16->fp32 cast kernel on this machine: "
+                "%.1f Melem/s (%.2f GB/s of fp32 output)\n",
+                rate / 1e6, rate * 4.0 / kGB);
+    std::printf("=> SAC picks Cast_gpu<->Move_fp32 on GH200 (Sec. 4.5)\n");
+    return 0;
+}

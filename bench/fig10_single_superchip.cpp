@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Fig. 10: training throughput (effective TFLOPS, recompute
+ * excluded) of PyTorch DDP, FSDP-Offload, ZeRO-Infinity, ZeRO-Offload,
+ * and SuperOffload on a single GH200 at batch size 8.
+ */
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/superoffload.h"
+#include "runtime/registry.h"
+
+int
+main()
+{
+    using namespace so;
+    bench::banner(
+        "Fig. 10", "Single-Superchip throughput, batch 8",
+        "SuperOffload ~239 TFLOPS max; 2x (up to 2.5x) over "
+        "ZeRO-Offload; up to 67% over DDP; ZeRO-Infinity < 50; "
+        "FSDP-Offload < 15");
+
+    auto ddp = runtime::makeBaseline("ddp");
+    auto fsdp = runtime::makeBaseline("fsdp-offload");
+    auto zi = runtime::makeBaseline("zero-infinity");
+    auto zo = runtime::makeBaseline("zero-offload");
+    core::SuperOffloadSystem so_sys;
+
+    Table table("Fig. 10: TFLOPS per GPU (OOM = infeasible)");
+    table.setHeader({"model", "PyTorch DDP", "FSDP-Offload",
+                     "ZeRO-Infinity", "ZeRO-Offload", "SuperOffload",
+                     "SO/ZO"});
+
+    for (const char *m : {"1B", "2B", "3B", "4B", "5B", "6B", "8B",
+                          "10B", "13B", "15B", "20B", "25B"}) {
+        runtime::TrainSetup setup;
+        setup.cluster = hw::gh200Single();
+        setup.model = model::modelPreset(m);
+        setup.global_batch = 8;
+        setup.seq = 1024;
+
+        auto eval = [&](runtime::TrainingSystem &sys) {
+            return sys.run(setup);
+        };
+        const auto r_ddp = eval(*ddp);
+        const auto r_fsdp = eval(*fsdp);
+        const auto r_zi = eval(*zi);
+        const auto r_zo = eval(*zo);
+        const auto r_so = eval(so_sys);
+        std::string ratio = "-";
+        if (r_zo.feasible && r_so.feasible) {
+            ratio = Table::num(r_so.tflopsPerGpu() / r_zo.tflopsPerGpu(),
+                               2);
+        }
+        table.addRow(
+            {m, bench::tflopsCell(r_ddp.feasible, r_ddp.tflopsPerGpu()),
+             bench::tflopsCell(r_fsdp.feasible, r_fsdp.tflopsPerGpu()),
+             bench::tflopsCell(r_zi.feasible, r_zi.tflopsPerGpu()),
+             bench::tflopsCell(r_zo.feasible, r_zo.tflopsPerGpu()),
+             bench::tflopsCell(r_so.feasible, r_so.tflopsPerGpu()),
+             ratio});
+    }
+    table.print();
+    return 0;
+}

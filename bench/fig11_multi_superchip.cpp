@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Fig. 11: per-GPU training throughput of Megatron,
+ * ZeRO-2/3, ZeRO-Offload, and SuperOffload on 4 GH200 (one node,
+ * batch 16) and 16 GH200 (four nodes, batch 128).
+ */
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/superoffload.h"
+#include "runtime/registry.h"
+
+int
+main()
+{
+    using namespace so;
+    bench::banner("Fig. 11", "Multi-Superchip throughput per GPU",
+                  "SuperOffload up to +83% vs Megatron, +46% vs ZeRO-2, "
+                  "+37% vs ZeRO-3, ~2.5x vs ZeRO-Offload; scales to 50B "
+                  "(4 GPUs) / 200B (16 GPUs)");
+
+    auto meg = runtime::makeBaseline("megatron");
+    auto z2 = runtime::makeBaseline("zero2");
+    auto z3 = runtime::makeBaseline("zero3");
+    auto zo = runtime::makeBaseline("zero-offload");
+    core::SuperOffloadSystem so_sys;
+
+    struct ClusterCase
+    {
+        std::uint32_t chips;
+        std::uint32_t batch;
+    };
+    for (const ClusterCase &cc : {ClusterCase{4, 16}, ClusterCase{16, 128}}) {
+        Table table("Fig. 11: " + std::to_string(cc.chips) +
+                    "x GH200, batch " + std::to_string(cc.batch) +
+                    " (TFLOPS per GPU)");
+        table.setHeader({"model", "Megatron", "ZeRO-2", "ZeRO-3",
+                         "ZeRO-Offload", "SuperOffload"});
+        for (const char *m : {"5B", "10B", "15B", "20B", "30B", "50B",
+                              "80B", "150B", "200B"}) {
+            runtime::TrainSetup setup;
+            setup.cluster = hw::gh200ClusterOf(cc.chips);
+            setup.model = model::modelPreset(m);
+            setup.global_batch = cc.batch;
+            setup.seq = 1024;
+            auto cell = [&](runtime::TrainingSystem &sys) {
+                const auto res = sys.run(setup);
+                return bench::tflopsCell(res.feasible,
+                                         res.tflopsPerGpu());
+            };
+            table.addRow({m, cell(*meg), cell(*z2), cell(*z3), cell(*zo),
+                          cell(so_sys)});
+        }
+        table.print();
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Fig. 12: supported sequence lengths and MFU for vanilla
+ * Ulysses vs SuperOffload-Ulysses, 13B and 30B models on 4 and 8
+ * Superchips.
+ */
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/superoffload_ulysses.h"
+#include "runtime/registry.h"
+#include "runtime/scale.h"
+
+int
+main()
+{
+    using namespace so;
+    bench::banner("Fig. 12", "Sequence scaling: Ulysses vs "
+                             "SuperOffload-Ulysses",
+                  "SuperOffload-Ulysses trains sequences up to 8x "
+                  "longer; 13B reaches 1M tokens on 8 GH200 at 55% MFU");
+
+    auto ulysses = runtime::makeBaseline("ulysses");
+    core::SuperOffloadUlyssesSystem sou;
+
+    for (const char *m : {"13B", "30B"}) {
+        for (std::uint32_t chips : {4u, 8u}) {
+            const double peak =
+                hw::gh200ClusterOf(chips).node.superchip.gpu.peak_flops;
+            Table table(std::string("Fig. 12: ") + m + " on " +
+                        std::to_string(chips) + "x GH200 (MFU %)");
+            table.setHeader({"seq", "Ulysses", "SuperOffload-Ulysses"});
+            for (std::uint32_t k : {32u, 64u, 128u, 256u, 512u, 768u,
+                                    1024u}) {
+                runtime::TrainSetup setup;
+                setup.cluster = hw::gh200ClusterOf(chips);
+                setup.model = model::modelPreset(m);
+                setup.global_batch = 1;
+                setup.seq = k * 1024;
+                auto cell = [&](runtime::TrainingSystem &sys) {
+                    const auto res = sys.run(setup);
+                    if (!res.feasible)
+                        return std::string("OOM");
+                    return Table::num(100.0 * res.mfuAgainst(peak), 1);
+                };
+                table.addRow({std::to_string(k) + "k", cell(*ulysses),
+                              cell(sou)});
+            }
+            // The OOM cliffs, bisected to 32k granularity.
+            runtime::TrainSetup probe;
+            probe.cluster = hw::gh200ClusterOf(chips);
+            probe.model = model::modelPreset(m);
+            probe.global_batch = 1;
+            const std::uint32_t ul_max =
+                runtime::maxSequenceLength(*ulysses, probe);
+            const std::uint32_t sou_max =
+                runtime::maxSequenceLength(sou, probe);
+            table.addRow({"max seq",
+                          ul_max ? std::to_string(ul_max / 1024) + "k"
+                                 : "none",
+                          sou_max ? std::to_string(sou_max / 1024) + "k"
+                                  : "none"});
+            table.print();
+        }
+    }
+    return 0;
+}

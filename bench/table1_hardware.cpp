@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Table 1: comparison of GPU node architectures (DGX-2,
+ * DGX-A100, GH200 Superchip) from the hardware presets.
+ */
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "hw/presets.h"
+
+int
+main()
+{
+    using namespace so;
+    bench::banner("Table 1", "Comparison of GPU node architectures",
+                  "GH200: 500 GB/s CPU BW, 900 GB/s C<->GPU, 72 cores, "
+                  "3 TFLOPS CPU, 990 TFLOPS GPU, ratio 330");
+
+    const hw::SuperchipSpec dgx2 = hw::dgx2().node.superchip;
+    const hw::SuperchipSpec dgxa = hw::dgxA100().node.superchip;
+    const hw::SuperchipSpec gh = hw::gh200(480.0 * kGB);
+
+    Table table("Table 1: node architectures");
+    table.setHeader({"Hardware Setting", "DGX-2", "DGX-A100", "GH"});
+    auto row = [&](const std::string &label, auto get, int digits) {
+        table.addRow({label, Table::num(get(dgx2), digits),
+                      Table::num(get(dgxa), digits),
+                      Table::num(get(gh), digits)});
+    };
+    row("CPU BW (GB/s)",
+        [](const hw::SuperchipSpec &c) { return c.cpu.mem_bw / kGB; }, 0);
+    // The paper quotes total (bidirectional) C<->GPU bandwidth.
+    row("C<->GPU BW (GB/s)",
+        [](const hw::SuperchipSpec &c) {
+            return 2.0 * c.c2c.curve().peak() / kGB;
+        },
+        0);
+    row("CPU Cores",
+        [](const hw::SuperchipSpec &c) {
+            return static_cast<double>(c.cpu.cores);
+        },
+        0);
+    row("CPU FLOPS (TFLOPS)",
+        [](const hw::SuperchipSpec &c) {
+            return c.cpu.peak_flops / kTFLOPS;
+        },
+        2);
+    row("GPU FLOPS (TFLOPS)",
+        [](const hw::SuperchipSpec &c) {
+            return c.gpu.peak_flops / kTFLOPS;
+        },
+        1);
+    row("GPU/CPU FLOPS",
+        [](const hw::SuperchipSpec &c) { return c.flopsRatio(); }, 2);
+    table.print();
+    return 0;
+}

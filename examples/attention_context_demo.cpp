@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Why the nn substrate includes a real attention model: on an order-2
+ * corpus — where the next token depends on the previous TWO tokens —
+ * a model that conditions only on the current token (the MLP) is
+ * information-theoretically stuck above the chain entropy, while the
+ * causal-attention model learns to address the previous token and
+ * closes the gap. Both train under the same SuperOffload numeric
+ * machinery (Model interface, STV-compatible).
+ */
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "data/synthetic_corpus.h"
+#include "nn/attention_lm.h"
+#include "nn/mlp_lm.h"
+#include "optim/adam.h"
+
+int
+main()
+{
+    using namespace so;
+
+    data::CorpusConfig cc;
+    cc.vocab = 16;
+    cc.branching = 2;
+    cc.order = 2; // Trigram structure: context matters.
+    cc.seed = 17;
+
+    nn::AttentionLmConfig att_cfg;
+    att_cfg.vocab = 16;
+    att_cfg.embed = 12;
+    att_cfg.hidden = 24;
+    nn::AttentionLm attention(att_cfg, 19);
+
+    nn::MlpLmConfig mlp_cfg;
+    mlp_cfg.vocab = 16;
+    mlp_cfg.embed = 12;
+    mlp_cfg.hidden = 24;
+    nn::MlpLm mlp(mlp_cfg, 19);
+
+    optim::AdamConfig att_adam_cfg;
+    att_adam_cfg.lr = 5e-3f;
+    optim::Adam att_adam(att_adam_cfg, optim::AdamKernel::Fused);
+    optim::Adam mlp_adam(optim::AdamConfig{}, optim::AdamKernel::Fused);
+    const std::size_t att_slot =
+        att_adam.addParameter(attention.paramCount());
+    const std::size_t mlp_slot = mlp_adam.addParameter(mlp.paramCount());
+
+    data::SyntheticCorpus att_data(cc), mlp_data(cc);
+    const std::size_t window = 24;
+    std::vector<std::uint32_t> in(window), tgt(window);
+
+    std::printf("order-2 corpus: chain entropy %.3f nats, uniform "
+                "ln(16) = %.3f\n\n",
+                data::SyntheticCorpus(cc).conditionalEntropy(),
+                std::log(16.0));
+    std::printf("%8s  %12s  %12s\n", "step", "attention", "mlp");
+
+    double att_ema = 0.0, mlp_ema = 0.0;
+    for (int step = 1; step <= 5000; ++step) {
+        att_data.nextBatch(in.data(), tgt.data(), window);
+        const float att_loss =
+            attention.trainBatch(in.data(), tgt.data(), window);
+        att_adam.step(att_slot, attention.params(), attention.grads());
+
+        mlp_data.nextBatch(in.data(), tgt.data(), window);
+        const float mlp_loss =
+            mlp.trainBatch(in.data(), tgt.data(), window);
+        mlp_adam.step(mlp_slot, mlp.params(), mlp.grads());
+
+        att_ema = step == 1 ? att_loss : 0.99 * att_ema + 0.01 * att_loss;
+        mlp_ema = step == 1 ? mlp_loss : 0.99 * mlp_ema + 0.01 * mlp_loss;
+        if (step % 500 == 0)
+            std::printf("%8d  %12.4f  %12.4f\n", step, att_ema, mlp_ema);
+    }
+    std::printf("\nattention reads the previous token through its "
+                "learned positional addressing;\nthe MLP cannot, and "
+                "plateaus at the order-1 marginal entropy.\n");
+    return att_ema < mlp_ema - 0.3 ? 0 : 1;
+}

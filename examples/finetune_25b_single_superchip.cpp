@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The scenario motivating the paper's title result: fine-tuning a 25B
+ * model on a *single* GH200 Superchip — 7x beyond what GPU-only
+ * training fits — and how each alternative fares on the same machine.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/engine.h"
+#include "runtime/registry.h"
+
+int
+main()
+{
+    using namespace so;
+
+    runtime::TrainSetup setup;
+    setup.cluster = hw::gh200Single();
+    setup.model = model::modelPreset("25B");
+    setup.global_batch = 8;
+    setup.seq = 1024;
+
+    std::printf("Fine-tuning %s on one GH200 (96 GB HBM, 480 GB DDR)\n\n",
+                setup.model.summary().c_str());
+
+    Table table("Who can train 25B on a single Superchip?");
+    table.setHeader({"system", "feasible", "TFLOPS", "limiting factor"});
+    for (const char *name : {"ddp", "zero2", "zero-offload",
+                             "zero-infinity", "fsdp-offload"}) {
+        auto sys = runtime::makeBaseline(name);
+        const auto res = sys->run(setup);
+        table.addRow({sys->name(), res.feasible ? "yes" : "no",
+                      res.feasible ? Table::num(res.tflopsPerGpu(), 1)
+                                   : "-",
+                      res.feasible ? "" : res.infeasible_reason});
+    }
+    core::SuperOffloadEngine engine;
+    const core::PlanReport report = engine.plan(setup);
+    table.addRow({"SuperOffload", report.feasible ? "yes" : "no",
+                  report.feasible
+                      ? Table::num(report.iteration.tflopsPerGpu(), 1)
+                      : "-",
+                  ""});
+    table.print();
+
+    if (report.feasible)
+        std::printf("%s\n", report.summary(setup).c_str());
+    return 0;
+}

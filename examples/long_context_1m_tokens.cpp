@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Long-context extension (§5.3): training a 13B model at a sequence
+ * length of one million tokens on 8 GH200 Superchips with
+ * SuperOffload-Ulysses, where vanilla Ulysses OOMs far earlier.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/superoffload_ulysses.h"
+#include "runtime/registry.h"
+
+int
+main()
+{
+    using namespace so;
+
+    core::SuperOffloadUlyssesSystem sou;
+    auto ulysses = runtime::makeBaseline("ulysses");
+    const hw::ClusterSpec cluster = hw::gh200ClusterOf(8);
+    const double peak = cluster.node.superchip.gpu.peak_flops;
+
+    std::printf("Scaling context length for 13B on 8x GH200 NVL2\n\n");
+
+    Table table("sequence-length sweep (batch 1)");
+    table.setHeader({"seq", "Ulysses", "SuperOffload-Ulysses",
+                     "SO-Ulysses MFU", "iter time"});
+    for (std::uint32_t k : {64u, 128u, 256u, 512u, 1024u}) {
+        runtime::TrainSetup setup;
+        setup.cluster = cluster;
+        setup.model = model::modelPreset("13B");
+        setup.global_batch = 1;
+        setup.seq = k * 1024;
+        const auto base = ulysses->run(setup);
+        const auto ours = sou.run(setup);
+        table.addRow(
+            {std::to_string(k) + "k", base.feasible ? "ok" : "OOM",
+             ours.feasible ? "ok" : "OOM",
+             ours.feasible
+                 ? Table::num(100.0 * ours.mfuAgainst(peak), 1) + "%"
+                 : "-",
+             ours.feasible ? formatTime(ours.iter_time) : "-"});
+    }
+    table.print();
+
+    // The million-token configuration in detail.
+    runtime::TrainSetup setup;
+    setup.cluster = cluster;
+    setup.model = model::modelPreset("13B");
+    setup.global_batch = 1;
+    setup.seq = 1024 * 1024;
+    const auto res = sou.run(setup);
+    if (res.feasible) {
+        std::printf("1M tokens: %.1f TFLOPS/GPU, %.1f%% MFU, GPU %s / "
+                    "CPU %s resident\n",
+                    res.tflopsPerGpu(), 100.0 * res.mfuAgainst(peak),
+                    formatBytes(res.memory.gpu_bytes).c_str(),
+                    formatBytes(res.memory.cpu_bytes).c_str());
+    }
+    return res.feasible ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Forward-looking study (§2.1 names GB200 and MI300A as the next wave
+ * of tightly coupled packages): how SuperOffload's decisions shift as
+ * the GPU/CPU FLOPS ratio grows from GH200's 330 to GB200's ~1500, and
+ * what a fully unified-memory package (MI300A) changes.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/engine.h"
+
+int
+main()
+{
+    using namespace so;
+
+    struct Chip
+    {
+        const char *label;
+        hw::ClusterSpec cluster;
+        const char *note;
+    };
+    const Chip chips[] = {
+        {"GH200", hw::gh200Single(), ""},
+        {"GB200 (per GPU)", hw::gb200Cluster(1, 1),
+         "GPU/CPU ratio ~1500: more buckets must stay on the GPU"},
+        {"MI300A", hw::mi300a(1, 1),
+         "unified pool: offload adds overlap, not capacity"},
+    };
+
+    Table table("SuperOffload across Superchip generations (10B, batch 8)");
+    table.setHeader({"chip", "GPU/CPU FLOPS", "feasible", "TFLOPS",
+                     "retained buckets", "placement"});
+    for (const Chip &chip : chips) {
+        runtime::TrainSetup setup;
+        setup.cluster = chip.cluster;
+        setup.model = model::modelPreset("10B");
+        setup.global_batch = 8;
+        setup.seq = 1024;
+        core::SuperOffloadEngine engine;
+        const core::PlanReport report = engine.plan(setup);
+        table.addRow(
+            {chip.label,
+             Table::num(chip.cluster.node.superchip.flopsRatio(), 0),
+             report.feasible ? "yes" : "no",
+             report.feasible
+                 ? Table::num(report.iteration.tflopsPerGpu(), 1)
+                 : "-",
+             report.feasible ? std::to_string(report.retained_buckets)
+                             : "-",
+             report.feasible ? placementName(report.placement) : "-"});
+    }
+    table.print();
+
+    for (const Chip &chip : chips) {
+        if (chip.note[0])
+            std::printf("note (%s): %s\n", chip.label, chip.note);
+    }
+    return 0;
+}

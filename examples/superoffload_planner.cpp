@@ -1,0 +1,178 @@
+/**
+ * @file
+ * `superoffload_planner` — command-line front end to the engine: plan
+ * a training job, optionally compare against every baseline, and dump
+ * the simulated schedule as a chrome://tracing JSON.
+ *
+ * Usage:
+ *   superoffload_planner [--model 13B] [--chips 1|4|8|16|2N]
+ *                        [--batch 8] [--seq 1024]
+ *                        [--binding colocated|remote]
+ *                        [--placement auto|stationary|flow]
+ *                        [--no-stv] [--no-sac] [--no-grace-adam]
+ *                        [--no-repartition] [--compare] [--list-models]
+ */
+#include <cstdio>
+#include <string>
+
+#include "common/argparse.h"
+#include "common/config_file.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/engine.h"
+#include "core/report_json.h"
+#include "runtime/registry.h"
+
+namespace {
+
+int
+listModels()
+{
+    using namespace so;
+    Table table("Appendix-A model presets");
+    table.setHeader({"name", "layers", "hidden", "params"});
+    for (const model::ModelConfig &cfg : model::modelPresets()) {
+        table.addRow({cfg.name, std::to_string(cfg.layers),
+                      std::to_string(cfg.hidden),
+                      formatParams(cfg.params())});
+    }
+    table.print();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace so;
+    const ArgParser args(argc, argv);
+
+    if (args.has("help")) {
+        std::printf(
+            "superoffload_planner: plan SuperOffload training for a "
+            "model on a GH200 cluster\n"
+            "  --model <preset>      Appendix-A preset (default 13B); "
+            "--list-models to enumerate\n"
+            "  --chips <n>           total Superchips (default 1)\n"
+            "  --batch <n>           global batch (default 8)\n"
+            "  --seq <n>             sequence length (default 1024)\n"
+            "  --binding <b>         colocated|remote NUMA binding\n"
+            "  --placement <p>       auto|stationary|flow\n"
+            "  --no-stv --no-sac --no-grace-adam --no-repartition\n"
+            "  --compare             also evaluate every baseline\n"
+            "  --json                emit the plan as JSON\n"
+            "  --trace <file>        dump the simulated schedule as "
+            "chrome://tracing JSON\n"
+            "  --config <file>       declarative job file (flags "
+            "override)\n");
+        return 0;
+    }
+    if (args.has("list-models"))
+        return listModels();
+
+    // Optional declarative job file; explicit flags override it.
+    ConfigFile file;
+    if (args.has("config")) {
+        bool ok = false;
+        file = ConfigFile::load(args.get("config"), ok);
+        if (!ok) {
+            std::fprintf(stderr, "cannot read config file '%s'\n",
+                         args.get("config").c_str());
+            return 1;
+        }
+        for (const std::string &line : file.malformedLines())
+            std::fprintf(stderr, "config: ignoring line '%s'\n",
+                         line.c_str());
+    }
+    auto str_opt = [&](const std::string &key,
+                       const std::string &fallback) {
+        return args.has(key) ? args.get(key)
+                             : file.get(key, fallback);
+    };
+    auto int_opt = [&](const std::string &key, long long fallback) {
+        return args.has(key) ? args.getInt(key, fallback)
+                             : file.getInt(key, fallback);
+    };
+
+    const std::string model_name = str_opt("model", "13B");
+    if (!model::hasModelPreset(model_name)) {
+        std::fprintf(stderr, "unknown model preset '%s' "
+                             "(--list-models to enumerate)\n",
+                     model_name.c_str());
+        return 1;
+    }
+
+    runtime::TrainSetup setup;
+    setup.cluster = hw::gh200ClusterOf(
+        static_cast<std::uint32_t>(int_opt("chips", 1)));
+    setup.model = model::modelPreset(model_name);
+    setup.global_batch =
+        static_cast<std::uint32_t>(int_opt("batch", 8));
+    setup.seq = static_cast<std::uint32_t>(int_opt("seq", 1024));
+    if (str_opt("binding", "colocated") == "remote")
+        setup.binding = hw::NumaBinding::Remote;
+    setup.capture_trace = args.has("trace");
+
+    core::SuperOffloadOptions opts;
+    opts.stv = !args.has("no-stv") && file.getBool("stv", true);
+    opts.sac = !args.has("no-sac") && file.getBool("sac", true);
+    opts.grace_adam =
+        !args.has("no-grace-adam") && file.getBool("grace-adam", true);
+    opts.repartition =
+        !args.has("no-repartition") && file.getBool("repartition", true);
+    const std::string placement = str_opt("placement", "auto");
+    if (placement == "stationary")
+        opts.placement = core::WeightPlacement::Stationary;
+    else if (placement == "flow")
+        opts.placement = core::WeightPlacement::Flow;
+
+    core::SuperOffloadEngine engine(opts);
+    const core::PlanReport report = engine.plan(setup);
+    if (args.has("trace") && report.feasible) {
+        const std::string path =
+            args.get("trace", "superoffload_trace.json");
+        if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+            std::fwrite(report.iteration.trace_json.data(), 1,
+                        report.iteration.trace_json.size(), f);
+            std::fclose(f);
+            std::fprintf(stderr,
+                         "schedule trace written to %s "
+                         "(open in chrome://tracing or Perfetto)\n",
+                         path.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                         path.c_str());
+        }
+    }
+    if (args.has("json")) {
+        std::printf("%s\n", core::toJson(report, setup).c_str());
+        return report.feasible ? 0 : 1;
+    }
+    std::printf("%s\n", report.summary(setup).c_str());
+
+    if (args.has("compare")) {
+        Table table("baseline comparison");
+        table.setHeader({"system", "TFLOPS", "GPU util %", "status"});
+        for (const std::string &name : runtime::baselineNames()) {
+            auto sys = runtime::makeBaseline(name);
+            const auto res = sys->run(setup);
+            table.addRow(
+                {sys->name(),
+                 res.feasible ? Table::num(res.tflopsPerGpu(), 1) : "-",
+                 res.feasible
+                     ? Table::num(100.0 * res.gpu_utilization, 1)
+                     : "-",
+                 res.feasible ? "ok" : res.infeasible_reason});
+        }
+        if (report.feasible) {
+            table.addRow(
+                {"SuperOffload",
+                 Table::num(report.iteration.tflopsPerGpu(), 1),
+                 Table::num(100.0 * report.iteration.gpu_utilization, 1),
+                 "ok"});
+        }
+        table.print();
+    }
+    return report.feasible ? 0 : 1;
+}

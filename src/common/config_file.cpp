@@ -1,0 +1,126 @@
+#include "common/config_file.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace so {
+
+namespace {
+
+std::string
+trim(const std::string &text)
+{
+    const auto begin = text.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = text.find_last_not_of(" \t\r");
+    return text.substr(begin, end - begin + 1);
+}
+
+std::string
+lower(std::string text)
+{
+    std::transform(text.begin(), text.end(), text.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return text;
+}
+
+} // namespace
+
+ConfigFile
+ConfigFile::parse(const std::string &text)
+{
+    ConfigFile cfg;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        // Strip comments.
+        const auto hash = line.find_first_of("#;");
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        const std::string trimmed = trim(line);
+        if (trimmed.empty())
+            continue;
+        const auto eq = trimmed.find('=');
+        if (eq == std::string::npos) {
+            cfg.malformed_.push_back(trimmed);
+            continue;
+        }
+        const std::string key = trim(trimmed.substr(0, eq));
+        const std::string value = trim(trimmed.substr(eq + 1));
+        if (key.empty()) {
+            cfg.malformed_.push_back(trimmed);
+            continue;
+        }
+        cfg.values_[key] = value;
+    }
+    return cfg;
+}
+
+ConfigFile
+ConfigFile::load(const std::string &path, bool &ok)
+{
+    std::ifstream in(path);
+    if (!in) {
+        ok = false;
+        return ConfigFile{};
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    ok = true;
+    return parse(buf.str());
+}
+
+bool
+ConfigFile::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+ConfigFile::get(const std::string &key, const std::string &fallback) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+long long
+ConfigFile::getInt(const std::string &key, long long fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty())
+        return fallback;
+    char *end = nullptr;
+    const long long value = std::strtoll(it->second.c_str(), &end, 10);
+    return (end && *end == '\0') ? value : fallback;
+}
+
+double
+ConfigFile::getDouble(const std::string &key, double fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty())
+        return fallback;
+    char *end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    return (end && *end == '\0') ? value : fallback;
+}
+
+bool
+ConfigFile::getBool(const std::string &key, bool fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    const std::string v = lower(it->second);
+    if (v == "true" || v == "yes" || v == "on" || v == "1")
+        return true;
+    if (v == "false" || v == "no" || v == "off" || v == "0")
+        return false;
+    return fallback;
+}
+
+} // namespace so

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tiny INI-style configuration file reader.
+ *
+ * Format: one `key = value` per line, `#` or `;` comments, blank lines
+ * ignored, later keys override earlier ones. Used by the planner CLI
+ * so training jobs can be described declaratively.
+ */
+#ifndef SO_COMMON_CONFIG_FILE_H
+#define SO_COMMON_CONFIG_FILE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace so {
+
+/** Parsed key/value configuration with typed lookups. */
+class ConfigFile
+{
+  public:
+    /** Parse from text; malformed lines are collected, not fatal. */
+    static ConfigFile parse(const std::string &text);
+
+    /** Load from a file. @param ok set false when the file is
+     * unreadable (the returned config is then empty). */
+    static ConfigFile load(const std::string &path, bool &ok);
+
+    bool has(const std::string &key) const;
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+    long long getInt(const std::string &key, long long fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+
+    /** "true/yes/on/1" => true; "false/no/off/0" => false. */
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** Lines that failed to parse (for diagnostics). */
+    const std::vector<std::string> &malformedLines() const
+    {
+        return malformed_;
+    }
+
+    std::size_t size() const { return values_.size(); }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> malformed_;
+};
+
+} // namespace so
+
+#endif // SO_COMMON_CONFIG_FILE_H

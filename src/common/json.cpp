@@ -1,0 +1,181 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace so {
+
+void
+JsonWriter::comma()
+{
+    if (pending_key_) {
+        pending_key_ = false;
+        return; // The key already placed the separator.
+    }
+    if (!has_elem_.empty()) {
+        if (has_elem_.back())
+            out_ += ',';
+        has_elem_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    comma();
+    out_ += '{';
+    stack_.push_back(true);
+    has_elem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    SO_ASSERT(!stack_.empty() && stack_.back(), "endObject mismatch");
+    SO_ASSERT(!pending_key_, "dangling key before endObject");
+    out_ += '}';
+    stack_.pop_back();
+    has_elem_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    comma();
+    out_ += '[';
+    stack_.push_back(false);
+    has_elem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    SO_ASSERT(!stack_.empty() && !stack_.back(), "endArray mismatch");
+    out_ += ']';
+    stack_.pop_back();
+    has_elem_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    SO_ASSERT(!stack_.empty() && stack_.back(),
+              "key() outside an object");
+    SO_ASSERT(!pending_key_, "two keys in a row");
+    if (has_elem_.back())
+        out_ += ',';
+    has_elem_.back() = true;
+    out_ += '"';
+    out_ += escape(name);
+    out_ += "\":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    comma();
+    out_ += '"';
+    out_ += escape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    comma();
+    if (!std::isfinite(number)) {
+        out_ += "null";
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", number);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    comma();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    comma();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint32_t number)
+{
+    return value(static_cast<std::uint64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    comma();
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    comma();
+    out_ += "null";
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    SO_ASSERT(stack_.empty(), "unterminated JSON structure");
+    return out_;
+}
+
+std::string
+JsonWriter::escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace so

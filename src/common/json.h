@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * Enough JSON for this library's needs — result/report export and the
+ * chrome-trace format — without an external dependency: objects,
+ * arrays, strings (escaped), numbers (finite doubles; non-finite
+ * values are emitted as null per RFC 8259), booleans.
+ */
+#ifndef SO_COMMON_JSON_H
+#define SO_COMMON_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace so {
+
+/** Builds one JSON document via push/pop calls; returns it as text. */
+class JsonWriter
+{
+  public:
+    /// @name Structure
+    /// @{
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+    /** Key for the next value inside an object. */
+    JsonWriter &key(const std::string &name);
+    /// @}
+
+    /// @name Values
+    /// @{
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(std::uint32_t number);
+    JsonWriter &value(bool flag);
+    JsonWriter &null();
+    /// @}
+
+    /** Convenience: key + value in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, T &&v)
+    {
+        key(name);
+        return value(std::forward<T>(v));
+    }
+
+    /** The finished document. @panics if structures remain open. */
+    std::string str() const;
+
+    /** Escape @p text for embedding in a JSON string literal. */
+    static std::string escape(const std::string &text);
+
+  private:
+    void comma();
+
+    std::string out_;
+    /** Stack: true = in object (expects keys), false = in array. */
+    std::vector<bool> stack_;
+    /** Whether the current container already has an element. */
+    std::vector<bool> has_elem_;
+    bool pending_key_ = false;
+};
+
+} // namespace so
+
+#endif // SO_COMMON_JSON_H

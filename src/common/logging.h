@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: `panic` is for internal invariant
+ * violations (bugs in this library), `fatal` is for user errors that make
+ * continuing impossible, `warn`/`inform` are non-fatal status channels.
+ */
+#ifndef SO_COMMON_LOGGING_H
+#define SO_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace so {
+
+/** Severity of a log message. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+namespace log_detail {
+
+/** Emit one formatted line to the log sink. */
+void emit(LogLevel level, const std::string &msg);
+
+/** Abort the process after reporting an internal bug. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit the process after reporting an unrecoverable user error. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Stringify a pack of arguments with operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace log_detail
+
+/** Minimum level that reaches the sink; defaults to Info. */
+void setLogLevel(LogLevel level);
+
+/** Current minimum level. */
+LogLevel logLevel();
+
+/** Informative message a user should see but not worry about. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    log_detail::emit(LogLevel::Info,
+                     log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Something may be modelled imperfectly; output may still be usable. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    log_detail::emit(LogLevel::Warn,
+                     log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Verbose diagnostics, off by default. */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    log_detail::emit(LogLevel::Debug,
+                     log_detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace so
+
+/** Internal invariant violated: report and abort (library bug). */
+#define SO_PANIC(...)                                                        \
+    ::so::log_detail::panicImpl(__FILE__, __LINE__,                          \
+                                ::so::log_detail::concat(__VA_ARGS__))
+
+/** Unrecoverable user/configuration error: report and exit(1). */
+#define SO_FATAL(...)                                                        \
+    ::so::log_detail::fatalImpl(__FILE__, __LINE__,                          \
+                                ::so::log_detail::concat(__VA_ARGS__))
+
+/** Cheap always-on assertion that panics with context on failure. */
+#define SO_ASSERT(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            SO_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__);         \
+        }                                                                    \
+    } while (0)
+
+#endif // SO_COMMON_LOGGING_H

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Deterministic random number generation for experiments.
+ *
+ * All stochastic components of the library draw from this generator so
+ * that every experiment is reproducible from a single seed. The core is
+ * xoshiro256** seeded through SplitMix64, which is small, fast, and has
+ * well-understood statistical quality.
+ */
+#ifndef SO_COMMON_RNG_H
+#define SO_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace so {
+
+/** Deterministic PRNG (xoshiro256**) with convenience distributions. */
+class Rng
+{
+  public:
+    /** Seed through SplitMix64 so nearby seeds give unrelated streams. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // SplitMix64 step.
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        SO_ASSERT(n > 0, "below() needs a positive bound");
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = (0 - n) % n;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % n;
+        }
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    gaussian()
+    {
+        if (have_cached_) {
+            have_cached_ = false;
+            return cached_;
+        }
+        double u1 = uniform();
+        while (u1 <= 1e-300)
+            u1 = uniform();
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        cached_ = r * std::sin(theta);
+        have_cached_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        return mean + stddev * gaussian();
+    }
+
+    /** True with probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+    bool have_cached_ = false;
+    double cached_ = 0.0;
+};
+
+/**
+ * Zipf-distributed sampler over [0, n). Uses precomputed CDF, so
+ * construction is O(n) and sampling is O(log n). Suitable for vocabulary
+ * sized n (tens of thousands).
+ */
+class ZipfSampler
+{
+  public:
+    /** @param n support size; @param exponent Zipf skew (typically ~1). */
+    ZipfSampler(std::size_t n, double exponent);
+
+    /** Draw one sample in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    /** Probability mass of rank i. */
+    double pmf(std::size_t i) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+inline
+ZipfSampler::ZipfSampler(std::size_t n, double exponent)
+{
+    SO_ASSERT(n > 0, "ZipfSampler needs non-empty support");
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+        cdf_[i] = total;
+    }
+    for (auto &c : cdf_)
+        c /= total;
+}
+
+inline std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (cdf_[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+inline double
+ZipfSampler::pmf(std::size_t i) const
+{
+    SO_ASSERT(i < cdf_.size(), "pmf index out of range");
+    return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+} // namespace so
+
+#endif // SO_COMMON_RNG_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small statistics helpers used by benchmarks and reports.
+ */
+#ifndef SO_COMMON_STATS_H
+#define SO_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace so {
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm),
+ * numerically stable for long runs.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void push(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Percentile of a sample set with linear interpolation between closest
+ * ranks. @param q in [0, 100]. The input is copied and sorted.
+ */
+double percentile(std::vector<double> samples, double q);
+
+/** Geometric mean; all samples must be positive. */
+double geomean(const std::vector<double> &samples);
+
+} // namespace so
+
+#endif // SO_COMMON_STATS_H

@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace so {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0) {
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_task_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+        ++in_flight_;
+    }
+    cv_task_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    const std::size_t workers = threadCount();
+    // Below this size, dispatch overhead dominates: run inline.
+    constexpr std::size_t kInlineThreshold = 4096;
+    if (workers <= 1 || n <= kInlineThreshold) {
+        fn(0, n);
+        return;
+    }
+    const std::size_t chunks = std::min(workers, n);
+    const std::size_t base = n / chunks;
+    const std::size_t extra = n % chunks;
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t len = base + (c < extra ? 1 : 0);
+        const std::size_t end = begin + len;
+        submit([=] { fn(begin, end); });
+        begin = end;
+    }
+    wait();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                // stop_ must be set: drain finished.
+                return;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                cv_done_.notify_all();
+        }
+    }
+}
+
+} // namespace so

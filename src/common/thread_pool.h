@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool with a parallel-for helper.
+ *
+ * GraceAdam (§4.6 of the paper) pairs instruction-level parallelism with
+ * OpenMP-style multithreading across Grace's 72 cores; this pool is the
+ * portable stand-in for that outer level of parallelism.
+ */
+#ifndef SO_COMMON_THREAD_POOL_H
+#define SO_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace so {
+
+/** Fixed-size worker pool; tasks are std::function<void()>. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 means hardware_concurrency(). */
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /** Enqueue a task for asynchronous execution. */
+    void submit(std::function<void()> task);
+
+    /** Block until all submitted tasks have finished. */
+    void wait();
+
+    /**
+     * Run fn(begin, end) over [0, n) split into contiguous chunks, one
+     * per worker, and block until done. Chunks are balanced to within one
+     * element. Runs inline when the pool has a single worker or n is
+     * small.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t, std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_task_;
+    std::condition_variable cv_done_;
+    std::size_t in_flight_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace so
+
+#endif // SO_COMMON_THREAD_POOL_H

@@ -1,0 +1,73 @@
+#include "common/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace so {
+
+namespace {
+
+std::string
+scaled(double value, double unit, const char *suffix)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value / unit, suffix);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(double bytes)
+{
+    const double mag = std::fabs(bytes);
+    if (mag >= kTiB) return scaled(bytes, kTiB, "TiB");
+    if (mag >= kGiB) return scaled(bytes, kGiB, "GiB");
+    if (mag >= kMiB) return scaled(bytes, kMiB, "MiB");
+    if (mag >= kKiB) return scaled(bytes, kKiB, "KiB");
+    return scaled(bytes, 1.0, "B");
+}
+
+std::string
+formatBandwidth(double bytes_per_sec)
+{
+    const double mag = std::fabs(bytes_per_sec);
+    if (mag >= kTB) return scaled(bytes_per_sec, kTB, "TB/s");
+    if (mag >= kGB) return scaled(bytes_per_sec, kGB, "GB/s");
+    if (mag >= kMB) return scaled(bytes_per_sec, kMB, "MB/s");
+    return scaled(bytes_per_sec, kKB, "KB/s");
+}
+
+std::string
+formatTime(double seconds)
+{
+    const double mag = std::fabs(seconds);
+    if (mag >= 1.0) return scaled(seconds, 1.0, "s");
+    if (mag >= kMs) return scaled(seconds, kMs, "ms");
+    if (mag >= kUs) return scaled(seconds, kUs, "us");
+    return scaled(seconds, 1e-9, "ns");
+}
+
+std::string
+formatFlops(double flops_per_sec)
+{
+    const double mag = std::fabs(flops_per_sec);
+    if (mag >= kPFLOPS) return scaled(flops_per_sec, kPFLOPS, "PFLOPS");
+    if (mag >= kTFLOPS) return scaled(flops_per_sec, kTFLOPS, "TFLOPS");
+    return scaled(flops_per_sec, kGFLOPS, "GFLOPS");
+}
+
+std::string
+formatParams(double params)
+{
+    char buf[64];
+    if (std::fabs(params) >= kBillion) {
+        std::snprintf(buf, sizeof(buf), "%.1fB", params / kBillion);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.0fM", params / kMillion);
+    }
+    return buf;
+}
+
+} // namespace so

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Byte / FLOP / time / bandwidth unit constants and human formatting.
+ *
+ * Conventions used throughout the library:
+ *  - sizes are in bytes (double where fractional results can appear,
+ *    std::uint64_t where exact counts matter);
+ *  - time is in seconds (double);
+ *  - compute rates are in FLOP/s, bandwidths in bytes/s.
+ *
+ * Hardware-marketing quantities (e.g. "900 GB/s") use decimal units
+ * (1 GB = 1e9 bytes), matching the paper's figures; buffer sizes use
+ * binary units (1 MiB = 2^20 bytes).
+ */
+#ifndef SO_COMMON_UNITS_H
+#define SO_COMMON_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace so {
+
+// Decimal (rate-style) units.
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+
+// Binary (capacity/buffer-style) units.
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+inline constexpr double kTiB = 1024.0 * kGiB;
+
+// Compute units.
+inline constexpr double kGFLOPS = 1e9;
+inline constexpr double kTFLOPS = 1e12;
+inline constexpr double kPFLOPS = 1e15;
+
+// Time units.
+inline constexpr double kUs = 1e-6;
+inline constexpr double kMs = 1e-3;
+
+// Parameter-count units.
+inline constexpr double kBillion = 1e9;
+inline constexpr double kMillion = 1e6;
+
+/** Render a byte count as e.g. "64.0 MiB" / "1.5 GiB". */
+std::string formatBytes(double bytes);
+
+/** Render a rate as e.g. "450.0 GB/s". */
+std::string formatBandwidth(double bytes_per_sec);
+
+/** Render seconds as e.g. "12.3 ms" / "1.84 s". */
+std::string formatTime(double seconds);
+
+/** Render a FLOP/s rate as e.g. "238.9 TFLOPS". */
+std::string formatFlops(double flops_per_sec);
+
+/** Render a parameter count as e.g. "13.0B" / "350M". */
+std::string formatParams(double params);
+
+} // namespace so
+
+#endif // SO_COMMON_UNITS_H

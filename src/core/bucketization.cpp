@@ -1,0 +1,106 @@
+#include "core/bucketization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+
+namespace so::core {
+
+double
+BucketPlan::paramsInBuckets(std::uint32_t k) const
+{
+    SO_ASSERT(k <= count, "bucket index out of range");
+    if (k == 0)
+        return 0.0;
+    if (k == count)
+        return totalParams();
+    return params_per_bucket * k;
+}
+
+double
+BucketPlan::totalParams() const
+{
+    if (count == 0)
+        return 0.0;
+    return params_per_bucket * (count - 1) + last_bucket_params;
+}
+
+BucketPlan
+planBuckets(double shard_params, std::uint32_t max_buckets,
+            double bucket_bytes)
+{
+    SO_ASSERT(shard_params >= 0.0, "negative parameter count");
+    SO_ASSERT(max_buckets >= 1, "need at least one bucket");
+    SO_ASSERT(bucket_bytes > 0.0, "bucket size must be positive");
+    BucketPlan plan;
+    if (shard_params == 0.0)
+        return plan;
+    // fp16 payload: 2 bytes per parameter.
+    const double params_per_bucket = bucket_bytes / 2.0;
+    auto count = static_cast<std::uint32_t>(
+        std::ceil(shard_params / params_per_bucket));
+    count = std::clamp<std::uint32_t>(count, 1, max_buckets);
+    plan.count = count;
+    plan.params_per_bucket = std::ceil(shard_params / count);
+    plan.last_bucket_params =
+        shard_params - plan.params_per_bucket * (count - 1);
+    SO_ASSERT(plan.last_bucket_params > 0.0,
+              "bucket plan arithmetic produced an empty tail bucket");
+    plan.bucket_bytes = 2.0 * plan.params_per_bucket;
+    return plan;
+}
+
+std::uint32_t
+analyticRetainedBuckets(const hw::SuperchipSpec &chip,
+                        const BucketPlan &plan,
+                        double bwd_time_per_bucket, hw::AdamImpl impl,
+                        bool fp32_moves)
+{
+    if (plan.count == 0)
+        return 0;
+    const double bucket_params = plan.params_per_bucket;
+    // Left side of eq. (4): the last CPU bucket's three-stage pipeline.
+    const double grad_bytes =
+        bucket_params * (fp32_moves ? 4.0 : 2.0);
+    const double param_bytes = grad_bytes;
+    const double lhs = chip.c2c.transferTime(grad_bytes) +
+                       chip.cpu.adamStepTime(bucket_params, impl) +
+                       chip.c2c.transferTime(param_bytes);
+    // Right side of eq. (5): backward + GPU optimizer time of the n
+    // retained buckets; find the smallest satisfying n.
+    for (std::uint32_t n = 0; n <= plan.count; ++n) {
+        const double rhs =
+            static_cast<double>(n) * bwd_time_per_bucket +
+            chip.gpuAdamStepTime(static_cast<double>(n) * bucket_params);
+        if (lhs <= rhs)
+            return n;
+    }
+    return plan.count;
+}
+
+std::vector<std::uint32_t>
+retainedCandidates(std::uint32_t analytic, std::uint32_t n_max)
+{
+    std::set<std::uint32_t> grid;
+    grid.insert(0);
+    grid.insert(std::min(analytic, n_max));
+    grid.insert(n_max);
+    // Neighborhood of the analytic bound plus coarse global points.
+    for (std::uint32_t delta : {1u, 2u, 4u}) {
+        if (analytic + delta <= n_max)
+            grid.insert(analytic + delta);
+        if (analytic >= delta)
+            grid.insert(analytic - delta);
+    }
+    for (std::uint32_t frac = 1; frac <= 7; ++frac)
+        grid.insert(n_max * frac / 8);
+    std::vector<std::uint32_t> out(grid.begin(), grid.end());
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](std::uint32_t n) { return n > n_max; }),
+              out.end());
+    return out;
+}
+
+} // namespace so::core

@@ -1,0 +1,80 @@
+#include "core/engine.h"
+
+#include <sstream>
+
+#include "common/table.h"
+#include "common/units.h"
+
+namespace so::core {
+
+SuperOffloadEngine::SuperOffloadEngine(SuperOffloadOptions opts)
+    : opts_(opts), system_(opts)
+{
+}
+
+PlanReport
+SuperOffloadEngine::plan(const runtime::TrainSetup &setup) const
+{
+    PlanReport report;
+    report.binding = setup.binding;
+    report.adam_impl = opts_.grace_adam ? hw::AdamImpl::GraceAdam
+                                        : hw::AdamImpl::CpuAdam;
+
+    report.iteration = system_.run(setup);
+    report.feasible = report.iteration.feasible;
+    report.infeasible_reason = report.iteration.infeasible_reason;
+    if (!report.feasible)
+        return report;
+
+    report.placement = system_.chosenPlacement();
+    report.retained_buckets = system_.chosenRetainedBuckets();
+    const double shard = setup.model.params() /
+                         setup.cluster.totalSuperchips();
+    report.buckets =
+        planBuckets(shard, SuperOffloadSystem::kMaxTransferBuckets,
+                    opts_.bucket_bytes);
+    report.cast_strategy =
+        opts_.sac ? chooseCastStrategy(setup.cluster.node.superchip,
+                                       report.buckets.params_per_bucket)
+                  : CastStrategy::CastCpuMoveFp16;
+    return report;
+}
+
+std::string
+PlanReport::summary(const runtime::TrainSetup &setup) const
+{
+    std::ostringstream os;
+    os << "SuperOffload plan for " << setup.model.summary() << " on "
+       << setup.cluster.totalSuperchips() << "x "
+       << setup.cluster.node.superchip.name << "\n";
+    if (!feasible) {
+        os << "  INFEASIBLE: " << infeasible_reason << "\n";
+        return os.str();
+    }
+    os << "  placement:        " << placementName(placement) << "\n"
+       << "  buckets:          " << buckets.count << " x "
+       << formatBytes(buckets.bucket_bytes) << " (retained on GPU: "
+       << retained_buckets << ")\n"
+       << "  casting:          " << castStrategyName(cast_strategy) << "\n"
+       << "  optimizer:        "
+       << (adam_impl == hw::AdamImpl::GraceAdam ? "GraceAdam" : "CPU-Adam")
+       << "\n"
+       << "  NUMA binding:     "
+       << (binding == hw::NumaBinding::Colocated ? "colocated" : "remote")
+       << "\n"
+       << "  micro-batch:      " << iteration.micro_batch << " x "
+       << iteration.accum_steps << " accumulation step(s)"
+       << (iteration.activation_checkpointing ? " + ckpt" : "") << "\n"
+       << "  iteration time:   " << formatTime(iteration.iter_time) << "\n"
+       << "  throughput:       " << Table::num(iteration.tflopsPerGpu())
+       << " TFLOPS/GPU\n"
+       << "  GPU utilization:  "
+       << Table::num(100.0 * iteration.gpu_utilization) << "%\n"
+       << "  GPU memory:       " << formatBytes(iteration.memory.gpu_bytes)
+       << " / " << formatBytes(iteration.memory.gpu_capacity) << "\n"
+       << "  CPU memory:       " << formatBytes(iteration.memory.cpu_bytes)
+       << " / " << formatBytes(iteration.memory.cpu_capacity) << "\n";
+    return os.str();
+}
+
+} // namespace so::core

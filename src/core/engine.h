@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SuperOffloadEngine: the user-facing facade (the library analogue of
+ * the paper's Fig. 1 `SuperOffload.init(model, optimizer)` API).
+ *
+ * Given a cluster, a model, and training parameters, the engine makes
+ * every policy decision SuperOffload's planner owns — weight placement
+ * (§4.2), bucket plan and repartitioning (§4.3), casting strategy
+ * (§4.5), optimizer implementation (§4.6), NUMA binding (§4.7) — and
+ * produces a simulated performance report.
+ */
+#ifndef SO_CORE_ENGINE_H
+#define SO_CORE_ENGINE_H
+
+#include <string>
+
+#include "core/bucketization.h"
+#include "core/superoffload.h"
+
+namespace so::core {
+
+/** The planner's decisions plus the simulated outcome. */
+struct PlanReport
+{
+    bool feasible = false;
+    std::string infeasible_reason;
+
+    WeightPlacement placement = WeightPlacement::Stationary;
+    BucketPlan buckets;
+    std::uint32_t retained_buckets = 0;
+    CastStrategy cast_strategy = CastStrategy::CastGpuMoveFp32;
+    hw::AdamImpl adam_impl = hw::AdamImpl::GraceAdam;
+    hw::NumaBinding binding = hw::NumaBinding::Colocated;
+
+    runtime::IterationResult iteration;
+
+    /** Multi-line human-readable plan + performance summary. */
+    std::string summary(const runtime::TrainSetup &setup) const;
+};
+
+/** Facade over the SuperOffload planner and simulator. */
+class SuperOffloadEngine
+{
+  public:
+    explicit SuperOffloadEngine(SuperOffloadOptions opts = {});
+
+    /** Plan and simulate @p setup. */
+    PlanReport plan(const runtime::TrainSetup &setup) const;
+
+    /** The underlying training system (for benchmarking harnesses). */
+    const SuperOffloadSystem &system() const { return system_; }
+
+  private:
+    SuperOffloadOptions opts_;
+    SuperOffloadSystem system_;
+};
+
+} // namespace so::core
+
+#endif // SO_CORE_ENGINE_H

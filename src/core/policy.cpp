@@ -1,0 +1,46 @@
+#include "core/policy.h"
+
+#include "common/logging.h"
+
+namespace so::core {
+
+const char *
+placementName(WeightPlacement placement)
+{
+    switch (placement) {
+      case WeightPlacement::Stationary: return "weight-stationary";
+      case WeightPlacement::Flow:       return "weight-flow";
+      case WeightPlacement::Auto:       return "auto";
+    }
+    SO_PANIC("unknown placement");
+}
+
+double
+offloadEfficiency(const hw::SuperchipSpec &chip, double params,
+                  double batch, double seq, double bw)
+{
+    SO_ASSERT(params > 0.0 && batch > 0.0 && seq > 0.0 && bw > 0.0,
+              "invalid efficiency inputs");
+    // Eq. (1): forward compute approximated as 2 * bsz * seq * params.
+    // Fig. 6's crossover (batch >= 4 at seq 1024 over 450 GB/s) pins
+    // the peak_tp this analysis was computed against to the matrix
+    // peak, which large-batch forward kernels approach.
+    const double comp_time =
+        2.0 * batch * seq * params / chip.gpu.peak_flops;
+    // Eq. (2): the fp16 weights cross the link at least once: 2*params
+    // bytes.
+    const double comm_time = 2.0 * params / bw;
+    // Eq. (3).
+    return comp_time / (comp_time + comm_time);
+}
+
+bool
+flowIsEfficient(const hw::SuperchipSpec &chip, double params, double batch,
+                double seq)
+{
+    const double bw = chip.c2c.curve().peak();
+    return offloadEfficiency(chip, params, batch, seq, bw) >=
+           kFlowEfficiencyThreshold;
+}
+
+} // namespace so::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Adaptive weight-stationary / weight-flow offloading policy (§4.2).
+ *
+ * The decision of whether fp16 weights stay resident on the Hopper GPU
+ * (weight-stationary, ZeRO-Offload style) or stream from Grace DRAM
+ * (weight-flow, ZeRO-Infinity style) is driven by the efficiency model
+ * of eqs. (1)-(3): streaming is viable only when compute time dominates
+ * the weight movement time, which depends on batch size, sequence
+ * length, and the achievable C2C bandwidth.
+ */
+#ifndef SO_CORE_POLICY_H
+#define SO_CORE_POLICY_H
+
+#include "hw/topology.h"
+#include "model/config.h"
+
+namespace so::core {
+
+/** Where the fp16 weights live during the iteration. */
+enum class WeightPlacement
+{
+    /** fp16 weights resident on GPU (ZeRO-Offload style). */
+    Stationary,
+    /** fp16 weights streamed from CPU DRAM per bucket (§4.2). */
+    Flow,
+    /** Let the engine evaluate both and keep the faster feasible one. */
+    Auto,
+};
+
+/** Human-readable name of a placement. */
+const char *placementName(WeightPlacement placement);
+
+/**
+ * Offloading efficiency per eqs. (1)-(3): compute time of one forward
+ * pass over the weight-movement time.
+ *
+ * @param chip        the Superchip (for the peak throughput of eq. 1).
+ * @param params      model parameters.
+ * @param batch       sequences per micro-batch.
+ * @param seq         tokens per sequence.
+ * @param bw          uni-directional CPU->GPU bandwidth in bytes/s.
+ * @return comp / (comp + comm) in (0, 1).
+ */
+double offloadEfficiency(const hw::SuperchipSpec &chip, double params,
+                         double batch, double seq, double bw);
+
+/**
+ * Efficiency threshold above which weight-flow fully hides weight
+ * movement behind compute (§4.2: ">50%, ideally >60% considering
+ * latency and other overhead").
+ */
+inline constexpr double kFlowEfficiencyThreshold = 0.60;
+
+/**
+ * §4.2's viability rule in isolation: would weight-flow be efficient
+ * for this workload? (The engine still simulates both candidates; this
+ * predicate is the analytical guide and is exercised by Fig. 6.)
+ */
+bool flowIsEfficient(const hw::SuperchipSpec &chip, double params,
+                     double batch, double seq);
+
+} // namespace so::core
+
+#endif // SO_CORE_POLICY_H

@@ -1,0 +1,59 @@
+#include "core/sac.h"
+
+#include "common/logging.h"
+
+namespace so::core {
+
+const char *
+castStrategyName(CastStrategy strategy)
+{
+    switch (strategy) {
+      case CastStrategy::CastGpuMoveFp32: return "Cast_gpu<->Move_fp32";
+      case CastStrategy::CastCpuMoveFp16: return "Cast_cpu<->Move_fp16";
+    }
+    SO_PANIC("unknown cast strategy");
+}
+
+double
+castPipelineTime(const hw::SuperchipSpec &chip, CastStrategy strategy,
+                 double elements)
+{
+    SO_ASSERT(elements >= 0.0, "negative element count");
+    if (elements == 0.0)
+        return 0.0;
+    // Cast kernels stream read+write traffic: 6 bytes per element
+    // (2-byte fp16 + 4-byte fp32) on whichever memory system runs them.
+    const double cast_bytes = 6.0 * elements;
+    switch (strategy) {
+      case CastStrategy::CastGpuMoveFp32: {
+        // GPU casts fp16 -> fp32 in HBM, then DMA of the fp32 tensor
+        // through pinned buffers.
+        const double cast = cast_bytes / (chip.gpu.mem_bw * 0.8);
+        const double move = chip.c2c.transferTime(4.0 * elements);
+        return cast + move;
+      }
+      case CastStrategy::CastCpuMoveFp16: {
+        // fp16 crosses the link but lands in an *unpinned* temporary
+        // (§4.5: "the data transfer is implicitly through unpinned
+        // memory"), then the CPU casts at DDR bandwidth.
+        const double move =
+            chip.c2c.transferTimeUnpinned(2.0 * elements);
+        const double cast = chip.cpu.memTime(cast_bytes);
+        return move + cast;
+      }
+    }
+    SO_PANIC("unknown cast strategy");
+}
+
+CastStrategy
+chooseCastStrategy(const hw::SuperchipSpec &chip, double elements)
+{
+    const double gpu_path =
+        castPipelineTime(chip, CastStrategy::CastGpuMoveFp32, elements);
+    const double cpu_path =
+        castPipelineTime(chip, CastStrategy::CastCpuMoveFp16, elements);
+    return gpu_path <= cpu_path ? CastStrategy::CastGpuMoveFp32
+                                : CastStrategy::CastCpuMoveFp16;
+}
+
+} // namespace so::core

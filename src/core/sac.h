@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Superchip-aware casting (SAC, §4.5).
+ *
+ * Mixed-precision offloading must cast between fp16 (compute) and fp32
+ * (optimizer) somewhere, and the tensor crosses the C2C link in one of
+ * the two precisions. The classic minimum-edge-cut design casts on the
+ * CPU and moves fp16 (half the bytes); on a Superchip the cast is far
+ * cheaper on the GPU (HBM is 8x faster than DDR) and the fp16 path
+ * forces staging through unpinned host memory, so Cast_gpu<->Move_fp32
+ * wins despite doubling the link volume (Fig. 9).
+ */
+#ifndef SO_CORE_SAC_H
+#define SO_CORE_SAC_H
+
+#include "hw/topology.h"
+
+namespace so::core {
+
+/** The two casting/movement pipelines compared in Fig. 9. */
+enum class CastStrategy
+{
+    /** Cast on GPU, move fp32 over the link (SAC's choice on GH200). */
+    CastGpuMoveFp32,
+    /** Cast on CPU, move fp16 (classic minimum-edge-cut design). */
+    CastCpuMoveFp16,
+};
+
+/** Human-readable name. */
+const char *castStrategyName(CastStrategy strategy);
+
+/**
+ * End-to-end time to deliver @p elements gradient values produced in
+ * fp16 on the GPU into fp32 CPU buffers, under @p strategy. (The
+ * parameter return path is symmetric; multiply by 2 for a round trip.)
+ */
+double castPipelineTime(const hw::SuperchipSpec &chip,
+                        CastStrategy strategy, double elements);
+
+/** The cheaper strategy for this chip and tensor size. */
+CastStrategy chooseCastStrategy(const hw::SuperchipSpec &chip,
+                                double elements);
+
+} // namespace so::core
+
+#endif // SO_CORE_SAC_H

@@ -1,0 +1,457 @@
+#include "core/superoffload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "runtime/builder.h"
+
+namespace so::core {
+
+using runtime::IterBuilder;
+using runtime::IterationResult;
+using runtime::TrainSetup;
+
+namespace {
+
+constexpr std::uint32_t kMaxBuckets =
+    SuperOffloadSystem::kMaxTransferBuckets;
+
+/** Iterations simulated back-to-back; the middle window is measured. */
+constexpr std::uint32_t kSimIterations = 3;
+
+/** Bucket working buffers resident on the GPU (in + out in flight). */
+constexpr double kStagingBuckets = 4.0;
+
+/**
+ * Host-side cost per CPU-bound bucket beyond the Adam arithmetic:
+ * dispatch of the swap/step pipeline stage and first-touch cache
+ * warm-up of the bucket's optimizer states. This is what makes the
+ * Grace CPU the per-iteration straggler that bucket repartitioning
+ * (§4.3) exists to absorb; calibrated against the paper's Table 2.
+ */
+constexpr double kCpuBucketOverhead = 5.0e-3;
+
+} // namespace
+
+SuperOffloadSystem::SuperOffloadSystem(SuperOffloadOptions opts)
+    : opts_(opts)
+{
+}
+
+WeightPlacement
+SuperOffloadSystem::activePlacement() const
+{
+    return eval_placement_ == WeightPlacement::Auto
+               ? WeightPlacement::Stationary
+               : eval_placement_;
+}
+
+IterationResult
+SuperOffloadSystem::run(const TrainSetup &setup) const
+{
+    std::vector<WeightPlacement> candidates;
+    if (opts_.placement == WeightPlacement::Auto) {
+        candidates = {WeightPlacement::Stationary, WeightPlacement::Flow};
+    } else {
+        candidates = {opts_.placement};
+    }
+
+    IterationResult best;
+    WeightPlacement best_placement = candidates.front();
+    for (WeightPlacement placement : candidates) {
+        eval_placement_ = placement;
+        IterationResult res = TrainingSystem::run(setup);
+        if (res.feasible &&
+            (!best.feasible || res.tflopsPerGpu() > best.tflopsPerGpu())) {
+            best = std::move(res);
+            best_placement = placement;
+        } else if (!best.feasible && !res.feasible &&
+                   best.infeasible_reason.empty()) {
+            best = std::move(res);
+        }
+    }
+    chosen_placement_ = best_placement;
+    eval_placement_ = WeightPlacement::Auto;
+    if (best.feasible) {
+        best.notes = std::string(placementName(best_placement)) + ", " +
+                     best.notes;
+    }
+    return best;
+}
+
+double
+SuperOffloadSystem::gpuBaseBytes(const TrainSetup &setup,
+                                 std::uint32_t micro_batch,
+                                 bool checkpointing) const
+{
+    const double n_ranks = setup.cluster.totalSuperchips();
+    const double params = setup.model.params();
+    const double shard = params / n_ranks;
+
+    double state_bytes;
+    if (activePlacement() == WeightPlacement::Stationary) {
+        // This rank's fp16 parameter shard stays resident; plus the
+        // gathered working set when partitioned across ranks.
+        state_bytes = 2.0 * shard;
+        if (n_ranks > 1)
+            state_bytes += 2.0 * 2.0 * setup.model.paramsPerLayer();
+    } else {
+        // Weight-flow: only streamed bucket buffers live on the GPU.
+        state_bytes = 0.0;
+    }
+    // In/out transfer staging (fp32-wide under SAC).
+    state_bytes += kStagingBuckets * 2.0 * kSuperOffloadBucketBytes;
+
+    model::ActivationOptions act_opts;
+    act_opts.checkpointing = checkpointing;
+    const double act = model::activationBytes(setup.model, micro_batch,
+                                              setup.seq, act_opts);
+    return model::gpuResidentBytes(state_bytes + act);
+}
+
+double
+SuperOffloadSystem::gpuBytes(const TrainSetup &setup,
+                             std::uint32_t micro_batch,
+                             bool checkpointing) const
+{
+    // Feasibility is judged with zero retained buckets (the minimum-
+    // memory configuration); the grid search only retains buckets that
+    // fit in the slack.
+    return gpuBaseBytes(setup, micro_batch, checkpointing);
+}
+
+double
+SuperOffloadSystem::cpuBytes(const TrainSetup &setup) const
+{
+    const double n_ranks = setup.cluster.totalSuperchips();
+    const double shard = setup.model.params() / n_ranks;
+    // Optimizer states (12 B/param) + fp32 gradient shard (4 B/param);
+    // weight-flow additionally keeps the streamed fp16 copy host-side.
+    double bytes = 16.0 * shard;
+    if (activePlacement() == WeightPlacement::Flow)
+        bytes += 2.0 * shard;
+    return bytes;
+}
+
+IterationResult
+SuperOffloadSystem::simulate(const TrainSetup &setup,
+                             std::uint32_t micro_batch, bool checkpointing,
+                             std::uint32_t accum_steps) const
+{
+    const double n_ranks = setup.cluster.totalSuperchips();
+    const double shard = setup.model.params() / n_ranks;
+    const BucketPlan plan =
+        planBuckets(shard, kMaxBuckets, opts_.bucket_bytes);
+    const hw::SuperchipSpec &chip = setup.cluster.node.superchip;
+
+    // Retained-bucket grid (§4.3). The analytic bound seeds the grid;
+    // memory slack caps it.
+    std::uint32_t n_max = 0;
+    if (opts_.repartition && plan.count > 0) {
+        const double base =
+            gpuBaseBytes(setup, micro_batch, checkpointing);
+        const double slack = gpuCapacity(setup) - base;
+        const double per_bucket = 16.0 * plan.params_per_bucket;
+        if (slack > 0.0 && per_bucket > 0.0) {
+            n_max = std::min<std::uint32_t>(
+                plan.count,
+                static_cast<std::uint32_t>(slack / per_bucket));
+        }
+    }
+
+    const model::IterationFlops micro_flops = model::iterationFlops(
+        setup.model, micro_batch, setup.seq, checkpointing);
+    IterBuilder probe(setup);
+    const double bwd_time =
+        probe.gemmTime(micro_flops.bwd_gemm + micro_flops.recompute_gemm,
+                       probe.microTokens(micro_batch)) +
+        probe.attnTime(micro_flops.bwd_attn + micro_flops.recompute_attn);
+    const std::uint32_t analytic = analyticRetainedBuckets(
+        chip, plan, plan.count ? bwd_time / plan.count : 0.0,
+        opts_.grace_adam ? hw::AdamImpl::GraceAdam : hw::AdamImpl::CpuAdam,
+        opts_.sac);
+
+    IterationResult best;
+    std::uint32_t best_n = 0;
+    for (std::uint32_t n : retainedCandidates(analytic, n_max)) {
+        IterationResult res = simulateWithRetained(
+            setup, micro_batch, checkpointing, accum_steps, plan, n);
+        if (!best.feasible ||
+            res.flops.modelFlops() / res.iter_time >
+                best.flops.modelFlops() / best.iter_time) {
+            best = std::move(res);
+            best_n = n;
+        }
+        best.feasible = true; // Marker that `best` holds a candidate.
+    }
+    best.feasible = false;    // Base class sets the real flag.
+    chosen_n_ = best_n;
+    best.notes = "retained=" + std::to_string(best_n) + "/" +
+                 std::to_string(plan.count) + " buckets";
+    return best;
+}
+
+IterationResult
+SuperOffloadSystem::simulateWithRetained(
+    const TrainSetup &setup, std::uint32_t micro_batch, bool checkpointing,
+    std::uint32_t accum_steps, const BucketPlan &plan,
+    std::uint32_t retained) const
+{
+    IterBuilder builder(setup);
+    const model::ModelConfig &cfg = setup.model;
+    const double n_ranks = setup.cluster.totalSuperchips();
+    const bool multi = n_ranks > 1;
+    const bool flow = activePlacement() == WeightPlacement::Flow;
+    const std::uint32_t nbuckets = std::max<std::uint32_t>(plan.count, 1);
+    const double bp = plan.params_per_bucket; // params per bucket/rank
+
+    const model::IterationFlops micro_flops = model::iterationFlops(
+        cfg, micro_batch, setup.seq, checkpointing);
+    const double tokens = builder.microTokens(micro_batch);
+    const double fwd_chunk =
+        (builder.gemmTime(micro_flops.fwd_gemm, tokens) +
+         builder.attnTime(micro_flops.fwd_attn)) / nbuckets;
+    const double bwd_chunk =
+        (builder.gemmTime(micro_flops.bwd_gemm + micro_flops.recompute_gemm,
+                          tokens) +
+         builder.attnTime(micro_flops.bwd_attn +
+                          micro_flops.recompute_attn)) / nbuckets;
+
+    const hw::AdamImpl impl = opts_.grace_adam ? hw::AdamImpl::GraceAdam
+                                               : hw::AdamImpl::CpuAdam;
+
+    // Per-bucket transfer sizes (per rank). Under SAC the link carries
+    // fp32 (4 B/param) through pinned DMA; otherwise fp16 (2 B/param)
+    // through unpinned staging (§4.5).
+    const double move_bytes = opts_.sac ? 4.0 * bp : 2.0 * bp;
+    const bool pinned = opts_.sac;
+
+    // When the bucket count exceeds the in-flight cap, the transfer
+    // engine coalesces buckets (the production behaviour): transfers
+    // and dispatch then run at the coalesced granularity. With
+    // coalescing disabled (the bucket-size ablation), the requested
+    // granularity is honored literally — transfers pay the Fig. 7
+    // curve at that size and every logical bucket pays its dispatch
+    // overhead.
+    double dispatch_scale = 1.0;
+    double wire_granule = plan.bucket_bytes * (opts_.sac ? 2.0 : 1.0);
+    if (!opts_.coalesce_buckets && plan.count > 0) {
+        const double logical_buckets =
+            std::ceil(2.0 * plan.totalParams() / opts_.bucket_bytes);
+        dispatch_scale = std::max(
+            1.0, logical_buckets / static_cast<double>(nbuckets));
+        wire_granule = opts_.bucket_bytes * (opts_.sac ? 2.0 : 1.0);
+    }
+    const double move_time =
+        builder.chunkedTransferTime(move_bytes, wire_granule, pinned);
+    const double flow_fetch_time = builder.chunkedTransferTime(
+        2.0 * bp, wire_granule / (opts_.sac ? 2.0 : 1.0),
+        /*pinned=*/true);
+    const double cpu_bucket_time =
+        builder.cpuAdamTime(bp, impl) +
+        kCpuBucketOverhead * dispatch_scale;
+
+    // "param_ready[c]" for the iteration being built: the task after
+    // which bucket c's updated fp16 params are usable on the GPU.
+    std::vector<sim::TaskId> ready_prev(nbuckets, sim::kInvalidTask);
+    std::vector<double> iter_start_times; // filled after scheduling
+    std::vector<sim::TaskId> iter_first_task(kSimIterations,
+                                             sim::kInvalidTask);
+
+    sim::TaskId prev = sim::kInvalidTask;
+    for (std::uint32_t it = 0; it < kSimIterations; ++it) {
+        std::vector<sim::TaskId> ready(nbuckets, sim::kInvalidTask);
+        std::vector<sim::TaskId> arrivals;
+        std::vector<sim::TaskId> returns;
+        sim::TaskId first_fwd = sim::kInvalidTask;
+
+        for (std::uint32_t step = 0; step < accum_steps; ++step) {
+            // ---- Forward: chunk j consumes bucket (B-1-j).
+            for (std::uint32_t j = 0; j < nbuckets; ++j) {
+                const std::uint32_t bidx = nbuckets - 1 - j;
+                std::vector<sim::TaskId> deps;
+                if (prev != sim::kInvalidTask)
+                    deps.push_back(prev);
+                if (step == 0 && ready_prev[bidx] != sim::kInvalidTask)
+                    deps.push_back(ready_prev[bidx]);
+                if (flow && bidx < nbuckets - retained) {
+                    // Stream this bucket's fp16 params from the host;
+                    // prefetchable (no GPU dependency).
+                    std::vector<sim::TaskId> fetch_deps;
+                    if (step == 0 && ready_prev[bidx] != sim::kInvalidTask)
+                        fetch_deps.push_back(ready_prev[bidx]);
+                    const sim::TaskId fetch = builder.onH2d(
+                        "h2d w" + std::to_string(bidx), flow_fetch_time,
+                        std::move(fetch_deps));
+                    deps.push_back(fetch);
+                }
+                if (multi) {
+                    // ZeRO-3 partitioned weights: all-gather overlaps
+                    // compute (prefetch on the NIC).
+                    deps.push_back(builder.onNic(
+                        "ag", builder.coll().allGather(2.0 * bp * n_ranks),
+                        {}));
+                }
+                prev = builder.onGpu("fwd", fwd_chunk, std::move(deps));
+                if (first_fwd == sim::kInvalidTask)
+                    first_fwd = prev;
+            }
+
+            // ---- Backward: bucket c is produced by chunk c.
+            const bool last = step + 1 == accum_steps;
+            for (std::uint32_t c = 0; c < nbuckets; ++c) {
+                std::vector<sim::TaskId> deps{prev};
+                if (flow && c < nbuckets - retained) {
+                    const sim::TaskId fetch = builder.onH2d(
+                        "h2d w'" + std::to_string(c), flow_fetch_time,
+                        {});
+                    deps.push_back(fetch);
+                }
+                if (multi) {
+                    deps.push_back(builder.onNic(
+                        "ag'", builder.coll().allGather(2.0 * bp * n_ranks),
+                        {}));
+                }
+                prev = builder.onGpu("bwd", bwd_chunk, std::move(deps));
+                if (!last)
+                    continue;
+
+                sim::TaskId grads = prev;
+                if (multi) {
+                    grads = builder.onNic(
+                        "rs g" + std::to_string(c),
+                        builder.coll().reduceScatter(2.0 * bp * n_ranks),
+                        {grads});
+                }
+
+                if (c >= nbuckets - retained) {
+                    // Repartitioned bucket: GPU-side cast + Adam. Low
+                    // priority so remaining backward chunks go first.
+                    const sim::TaskId cast = builder.onGpu(
+                        "cast g(gpu)", builder.gpuCastTime(bp), {grads},
+                        1);
+                    ready[c] = builder.onGpu(
+                        "adam(gpu) b" + std::to_string(c),
+                        builder.gpuAdamTime(bp), {cast}, 1);
+                    continue;
+                }
+
+                // CPU-bound bucket.
+                sim::TaskId arrived;
+                if (opts_.sac) {
+                    // The swap-out cast is enqueued on-stream right
+                    // behind the bucket's last gradient kernel, so it
+                    // preempts later backward chunks (priority -1);
+                    // otherwise gradients would only reach the CPU
+                    // after the whole backward pass.
+                    const sim::TaskId cast = builder.onGpu(
+                        "cast g(gpu)", builder.gpuCastTime(bp), {grads},
+                        -1);
+                    arrived = builder.onD2h(
+                        "d2h g" + std::to_string(c), move_time, {cast});
+                } else {
+                    const sim::TaskId moved = builder.onD2h(
+                        "d2h g" + std::to_string(c), move_time, {grads});
+                    arrived = builder.onCpu(
+                        "cast g(cpu)", builder.cpuCastTime(bp), {moved});
+                }
+                arrivals.push_back(arrived);
+                ready[c] = arrived; // Placeholder; replaced below.
+            }
+        }
+
+        // ---- Optimizer phase for CPU-bound buckets.
+        sim::TaskId norm = sim::kInvalidTask;
+        if (!opts_.stv) {
+            // STE: global gradient norm + NaN/Inf check gates every
+            // optimizer step (Fig. 3's grey block).
+            norm = builder.onCpu(
+                "grad-norm+check",
+                setup.cluster.node.superchip.cpu.memTime(4.0 *
+                                                         plan.totalParams()),
+                arrivals);
+        }
+        std::vector<sim::TaskId> validations;
+        for (std::uint32_t c = 0; c + retained < nbuckets; ++c) {
+            std::vector<sim::TaskId> deps{ready[c]};
+            if (norm != sim::kInvalidTask)
+                deps.push_back(norm);
+            const sim::TaskId opt = builder.onCpu(
+                "adam b" + std::to_string(c), cpu_bucket_time,
+                std::move(deps));
+            if (opts_.stv) {
+                // Deferred validation on background cores (§4.4).
+                validations.push_back(builder.onCpuBg(
+                    "validate b" + std::to_string(c),
+                    setup.cluster.node.superchip.cpu.memTime(4.0 * bp),
+                    {ready[c]}));
+            }
+            sim::TaskId back;
+            if (flow) {
+                // Weight-flow: the master stays host-side; refresh the
+                // CPU fp16 copy and let the next iteration's stream
+                // pick it up.
+                back = builder.onCpu("cast p(cpu)",
+                                     builder.cpuCastTime(bp), {opt});
+            } else if (opts_.sac) {
+                const sim::TaskId moved = builder.onH2d(
+                    "h2d p" + std::to_string(c), move_time, {opt});
+                back = builder.onGpu("cast p(gpu)",
+                                     builder.gpuCastTime(bp), {moved}, 1);
+            } else {
+                const sim::TaskId cast = builder.onCpu(
+                    "cast p(cpu)", builder.cpuCastTime(bp), {opt});
+                back = builder.onH2d(
+                    "h2d p" + std::to_string(c), move_time, {cast});
+            }
+            ready[c] = back;
+        }
+        if (opts_.stv && !validations.empty()) {
+            // Global check + amortized rollback cost, off the critical
+            // path unless the CPU is saturated.
+            const sim::TaskId check = builder.onCpuBg(
+                "global-check", 1e-5, validations);
+            builder.onCpuBg("rollback(amortized)",
+                            opts_.expected_rollback_overhead, {check});
+        }
+        if (!opts_.stv) {
+            // STE constraint 2 (§3): next forward waits for *all*
+            // returned parameters.
+            std::vector<sim::TaskId> barrier_deps;
+            for (sim::TaskId id : ready) {
+                if (id != sim::kInvalidTask)
+                    barrier_deps.push_back(id);
+            }
+            const sim::TaskId barrier =
+                builder.onGpu("param-barrier", 0.0, barrier_deps);
+            for (auto &id : ready)
+                id = barrier;
+            prev = barrier;
+        }
+
+        ready_prev = ready;
+        iter_first_task[it] = first_fwd;
+    }
+
+    // Steady-state window: start of iteration 1's forward to start of
+    // iteration 2's forward.
+    const sim::Schedule sched = builder.schedule();
+    const double win_begin = sched.start[iter_first_task[1]];
+    const double win_end = sched.start[iter_first_task[2]];
+
+    model::IterationFlops total = model::iterationFlops(
+        cfg, static_cast<double>(micro_batch) * accum_steps, setup.seq,
+        checkpointing);
+    if (win_end > win_begin)
+        return builder.finishWindow(total, win_begin, win_end, sched);
+    // Degenerate fallback (should not occur): measure the whole run.
+    IterationResult res = builder.finishWindow(total, 0.0, sched.makespan,
+                                               sched);
+    res.iter_time = sched.makespan / kSimIterations;
+    return res;
+}
+
+} // namespace so::core

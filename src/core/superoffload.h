@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The SuperOffload training system (§4): a Superchip-centric offloading
+ * schedule that uses the Hopper GPU, Grace CPU, and NVLink-C2C
+ * simultaneously.
+ *
+ * Per iteration (weight-stationary mode, the common case):
+ *  - the backward pass produces gradients in 64 MB buckets (§4.3);
+ *  - each CPU-bound bucket is cast to fp32 *on the GPU* and DMA'd over
+ *    the link in fp32 (SAC, §4.5), avoiding the unpinned-staging
+ *    penalty of the classic fp16 path;
+ *  - GraceAdam (§4.6) starts on each bucket as soon as it lands —
+ *    speculatively, without waiting for the global gradient norm
+ *    (STV, §4.4); validation runs on background cores concurrently
+ *    with the next forward pass;
+ *  - the optimizer states of the last n buckets produced by backward
+ *    (= the first layers needed by the next forward) are repartitioned
+ *    onto the GPU (§4.3, eqs. 4-5), with n grid-searched by simulation;
+ *  - updated parameters return as fp32 and are cast to fp16 on the GPU.
+ *
+ * Weight-flow mode additionally streams fp16 weights from Grace DRAM
+ * per bucket, trading link traffic for GPU memory — chosen adaptively
+ * (§4.2) when it is feasible and faster (huge models, long sequences).
+ *
+ * Multi-Superchip: ZeRO-3 partitioning before offloading (§4.7) —
+ * per-layer parameter all-gathers overlap compute, gradients
+ * reduce-scatter per bucket, and each Grace CPU updates only its shard.
+ */
+#ifndef SO_CORE_SUPEROFFLOAD_H
+#define SO_CORE_SUPEROFFLOAD_H
+
+#include "core/bucketization.h"
+#include "core/policy.h"
+#include "core/sac.h"
+#include "runtime/system.h"
+
+namespace so::core {
+
+/** Feature toggles for the Table-2 ablation study. */
+struct SuperOffloadOptions
+{
+    /** §4.6 GraceAdam (off = DeepSpeed CPU-Adam timing). */
+    bool grace_adam = true;
+    /** §4.5 Superchip-aware casting (off = Cast_cpu<->Move_fp16). */
+    bool sac = true;
+    /** §4.4 speculation-then-validation (off = STE synchronization). */
+    bool stv = true;
+    /** §4.3 bucket repartitioning (off = every bucket on the CPU). */
+    bool repartition = true;
+    /** §4.2 placement policy (Auto evaluates both). */
+    WeightPlacement placement = WeightPlacement::Auto;
+    /**
+     * Target transfer bucket size in bytes of fp16 payload. 64 MB is
+     * §4.3's choice (the C2C saturation point); exposed for the
+     * bucket-size ablation.
+     */
+    double bucket_bytes = kSuperOffloadBucketBytes;
+    /**
+     * Whether the transfer engine may coalesce buckets when their
+     * count would exceed the in-flight cap (kMaxTransferBuckets) — the
+     * production behaviour, which bounds per-bucket dispatch overhead
+     * for very large shards. The bucket-size ablation disables this to
+     * expose the raw cost of the requested granularity.
+     */
+    bool coalesce_buckets = true;
+    /**
+     * Expected rollback overhead per iteration in seconds, amortized:
+     * §5.7 measures 0.12% of iterations triggering a ~2 s rollback.
+     */
+    double expected_rollback_overhead = 0.0024;
+};
+
+/** SuperOffload (optionally with ZeRO-3 across multiple Superchips). */
+class SuperOffloadSystem : public runtime::TrainingSystem
+{
+  public:
+    /**
+     * Cap on the number of transfer buckets per rank. When the cap
+     * binds (very large shards) buckets grow beyond 64 MB, which is
+     * harmless: the C2C link is already saturated at 64 MB (Fig. 7).
+     */
+    static constexpr std::uint32_t kMaxTransferBuckets = 128;
+
+    explicit SuperOffloadSystem(SuperOffloadOptions opts = {});
+
+    std::string name() const override { return "SuperOffload"; }
+
+    const SuperOffloadOptions &options() const { return opts_; }
+
+    /** Evaluates both weight placements when the policy is Auto. */
+    runtime::IterationResult run(const runtime::TrainSetup &setup)
+        const override;
+
+    /** Placement chosen by the last run(). */
+    WeightPlacement chosenPlacement() const { return chosen_placement_; }
+
+    /** GPU-retained bucket count chosen by the last run's grid search. */
+    std::uint32_t chosenRetainedBuckets() const { return chosen_n_; }
+
+  protected:
+    double gpuBytes(const runtime::TrainSetup &setup,
+                    std::uint32_t micro_batch,
+                    bool checkpointing) const override;
+    double cpuBytes(const runtime::TrainSetup &setup) const override;
+    runtime::IterationResult simulate(const runtime::TrainSetup &setup,
+                                      std::uint32_t micro_batch,
+                                      bool checkpointing,
+                                      std::uint32_t accum_steps)
+        const override;
+
+  private:
+    /** Placement the protected hooks evaluate (never Auto). */
+    WeightPlacement activePlacement() const;
+
+    /** GPU bytes excluding retained-bucket optimizer states. */
+    double gpuBaseBytes(const runtime::TrainSetup &setup,
+                        std::uint32_t micro_batch,
+                        bool checkpointing) const;
+
+    /** Simulate one candidate retained-bucket count. */
+    runtime::IterationResult simulateWithRetained(
+        const runtime::TrainSetup &setup, std::uint32_t micro_batch,
+        bool checkpointing, std::uint32_t accum_steps,
+        const BucketPlan &plan, std::uint32_t retained) const;
+
+    SuperOffloadOptions opts_;
+    mutable WeightPlacement chosen_placement_ = WeightPlacement::Auto;
+    mutable std::uint32_t chosen_n_ = 0;
+    /** Placement under evaluation during run(). */
+    mutable WeightPlacement eval_placement_ = WeightPlacement::Auto;
+};
+
+} // namespace so::core
+
+#endif // SO_CORE_SUPEROFFLOAD_H

@@ -1,0 +1,177 @@
+#include "core/superoffload_ulysses.h"
+
+#include <string>
+#include <vector>
+
+#include "runtime/builder.h"
+
+namespace so::core {
+
+using runtime::IterBuilder;
+using runtime::IterationResult;
+using runtime::TrainSetup;
+
+IterationResult
+SuperOffloadUlyssesSystem::run(const TrainSetup &setup) const
+{
+    return searchBest(setup, setup.global_batch);
+}
+
+double
+SuperOffloadUlyssesSystem::gpuBytes(const TrainSetup &setup,
+                                    std::uint32_t micro_batch,
+                                    bool checkpointing) const
+{
+    // Weight-flow working set (~2 layers in flight, fp16 + fp32-wide
+    // staging under SAC) plus sequence-sharded activations.
+    const double working = 2.0 * 6.0 * setup.model.paramsPerLayer();
+    model::ActivationOptions act_opts;
+    act_opts.checkpointing = checkpointing;
+    act_opts.sequence_parallel = setup.cluster.totalSuperchips();
+    const double act = model::activationBytes(setup.model, micro_batch,
+                                              setup.seq, act_opts);
+    return model::gpuResidentBytes(working + act);
+}
+
+double
+SuperOffloadUlyssesSystem::cpuBytes(const TrainSetup &setup) const
+{
+    const double n = setup.cluster.totalSuperchips();
+    // Full model states + streamed fp16 copy, ZeRO-3 partitioned.
+    return 18.0 * setup.model.params() / n;
+}
+
+IterationResult
+SuperOffloadUlyssesSystem::simulate(const TrainSetup &setup,
+                                    std::uint32_t micro_batch,
+                                    bool checkpointing,
+                                    std::uint32_t accum_steps) const
+{
+    IterBuilder builder(setup);
+    const model::ModelConfig &cfg = setup.model;
+    const double layers = cfg.layers;
+    const double params = cfg.params();
+    const double n = setup.cluster.totalSuperchips();
+    const double layer_params = params / layers;
+    const double layer_shard = layer_params / n;
+
+    const model::IterationFlops micro_flops = model::iterationFlops(
+        cfg, micro_batch, setup.seq, checkpointing);
+    const double tokens = builder.microTokens(micro_batch) / n;
+    const double fwd_layer =
+        (builder.gemmTime(micro_flops.fwd_gemm / n, tokens) +
+         builder.attnTime(micro_flops.fwd_attn / n)) / layers;
+    const double bwd_layer =
+        (builder.gemmTime(
+             (micro_flops.bwd_gemm + micro_flops.recompute_gemm) / n,
+             tokens) +
+         builder.attnTime(
+             (micro_flops.bwd_attn + micro_flops.recompute_attn) / n)) /
+        layers;
+
+    const double a2a_bytes = 2.0 * static_cast<double>(micro_batch) *
+                             setup.seq * cfg.hidden / n;
+    const double a2a = n > 1 ? builder.coll().allToAll(a2a_bytes) : 0.0;
+
+    // Weight stream: fetch the local shard from Grace (64 MB-bucketed,
+    // so the link runs saturated), then all-gather across ranks.
+    const double fetch_time = builder.h2dTime(2.0 * layer_shard);
+    const double gather_time =
+        n > 1 ? builder.coll().allGather(2.0 * layer_params) : 0.0;
+
+    constexpr std::uint32_t kIters = 3;
+    std::vector<sim::TaskId> first_fwd(kIters, sim::kInvalidTask);
+    std::vector<sim::TaskId> opt_prev(cfg.layers, sim::kInvalidTask);
+
+    sim::TaskId prev = sim::kInvalidTask;
+    for (std::uint32_t it = 0; it < kIters; ++it) {
+        std::vector<sim::TaskId> opt_done(cfg.layers, sim::kInvalidTask);
+        for (std::uint32_t step = 0; step < accum_steps; ++step) {
+            for (std::uint32_t l = 0; l < cfg.layers; ++l) {
+                // Prefetchable stream of this layer's weights; waits
+                // for last iteration's update of the same layer.
+                std::vector<sim::TaskId> fetch_deps;
+                if (step == 0 && opt_prev[l] != sim::kInvalidTask)
+                    fetch_deps.push_back(opt_prev[l]);
+                sim::TaskId ready = builder.onH2d(
+                    "h2d w L" + std::to_string(l), fetch_time,
+                    std::move(fetch_deps));
+                if (n > 1)
+                    ready = builder.onNic("ag", gather_time, {ready});
+                std::vector<sim::TaskId> deps{ready};
+                if (prev != sim::kInvalidTask)
+                    deps.push_back(prev);
+                prev = builder.onGpu("fwd L" + std::to_string(l),
+                                     fwd_layer, std::move(deps));
+                if (first_fwd[it] == sim::kInvalidTask)
+                    first_fwd[it] = prev;
+                if (n > 1)
+                    prev = builder.onNic("a2a", 2.0 * a2a, {prev});
+            }
+            const bool last = step + 1 == accum_steps;
+            for (std::uint32_t l = cfg.layers; l-- > 0;) {
+                sim::TaskId ready = builder.onH2d(
+                    "h2d w' L" + std::to_string(l), fetch_time, {});
+                if (n > 1)
+                    ready = builder.onNic("ag'", gather_time, {ready});
+                prev = builder.onGpu("bwd L" + std::to_string(l),
+                                     bwd_layer, {prev, ready});
+                if (n > 1)
+                    prev = builder.onNic("a2a'", 2.0 * a2a, {prev});
+                if (!last)
+                    continue;
+                // SAC swap-out (fp32) + speculative GraceAdam + host
+                // fp16 refresh; no global synchronization (STV).
+                sim::TaskId grads = prev;
+                if (n > 1) {
+                    grads = builder.onNic(
+                        "rs g",
+                        builder.coll().reduceScatter(2.0 * layer_params),
+                        {grads});
+                }
+                const sim::TaskId cast = builder.onGpu(
+                    "cast g(gpu)", builder.gpuCastTime(layer_shard),
+                    {grads}, 1);
+                const sim::TaskId out = builder.onD2h(
+                    "d2h g L" + std::to_string(l),
+                    builder.d2hTime(4.0 * layer_shard), {cast});
+                const sim::TaskId opt = builder.onCpu(
+                    "adam L" + std::to_string(l),
+                    builder.cpuAdamTime(layer_shard,
+                                        hw::AdamImpl::GraceAdam),
+                    {out});
+                builder.onCpuBg(
+                    "validate",
+                    setup.cluster.node.superchip.cpu.memTime(
+                        4.0 * layer_shard),
+                    {out});
+                opt_done[l] = builder.onCpu(
+                    "cast p(cpu)", builder.cpuCastTime(layer_shard),
+                    {opt});
+            }
+        }
+        opt_prev = opt_done;
+    }
+
+    const sim::Schedule sched = builder.schedule();
+    const double win_begin = sched.start[first_fwd[1]];
+    const double win_end = sched.start[first_fwd[2]];
+
+    model::IterationFlops total = model::iterationFlops(
+        cfg, static_cast<double>(micro_batch) * accum_steps, setup.seq,
+        checkpointing);
+    total.fwd_gemm /= n;
+    total.fwd_attn /= n;
+    total.bwd_gemm /= n;
+    total.bwd_attn /= n;
+    total.recompute_gemm /= n;
+    total.recompute_attn /= n;
+    if (win_end > win_begin)
+        return builder.finishWindow(total, win_begin, win_end, sched);
+    IterationResult res =
+        builder.finishWindow(total, 0.0, sched.makespan, sched);
+    res.iter_time = sched.makespan / kIters;
+    return res;
+}
+
+} // namespace so::core

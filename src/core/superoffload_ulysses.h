@@ -1,0 +1,43 @@
+/**
+ * @file
+ * SuperOffload-Ulysses (§4.7): Ulysses sequence parallelism combined
+ * with SuperOffload's adaptive weight-flow offloading. Optimizer states
+ * and the majority of model weights live in Grace DRAM; parameters
+ * stream per layer ahead of compute, gradients stream out behind it,
+ * and GraceAdam updates overlap with the (attention-dominated) compute
+ * under the STV schedule. The GPU therefore holds little more than the
+ * sequence-sharded activations — which is what unlocks million-token
+ * training (Fig. 12).
+ */
+#ifndef SO_CORE_SUPEROFFLOAD_ULYSSES_H
+#define SO_CORE_SUPEROFFLOAD_ULYSSES_H
+
+#include "runtime/system.h"
+
+namespace so::core {
+
+/** SuperOffload + Ulysses sequence parallelism. */
+class SuperOffloadUlyssesSystem : public runtime::TrainingSystem
+{
+  public:
+    std::string name() const override { return "SuperOffload-Ulysses"; }
+
+    /** SP: every rank works on every sequence. */
+    runtime::IterationResult run(const runtime::TrainSetup &setup)
+        const override;
+
+  protected:
+    double gpuBytes(const runtime::TrainSetup &setup,
+                    std::uint32_t micro_batch,
+                    bool checkpointing) const override;
+    double cpuBytes(const runtime::TrainSetup &setup) const override;
+    runtime::IterationResult simulate(const runtime::TrainSetup &setup,
+                                      std::uint32_t micro_batch,
+                                      bool checkpointing,
+                                      std::uint32_t accum_steps)
+        const override;
+};
+
+} // namespace so::core
+
+#endif // SO_CORE_SUPEROFFLOAD_ULYSSES_H

@@ -1,0 +1,87 @@
+#include "data/synthetic_corpus.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace so::data {
+
+SyntheticCorpus::SyntheticCorpus(const CorpusConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed), zipf_(cfg.branching, cfg.zipf_exponent)
+{
+    SO_ASSERT(cfg.vocab >= 2, "vocabulary too small");
+    SO_ASSERT(cfg.branching >= 1 && cfg.branching <= cfg.vocab,
+              "branching must be in [1, vocab]");
+    SO_ASSERT(cfg.order == 1 || cfg.order == 2,
+              "only order-1 and order-2 chains are supported");
+    // Build the planted successor table with a dedicated generator so
+    // the table depends only on the seed, not on how much data was
+    // consumed.
+    Rng table_rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+    const std::size_t states =
+        cfg.order == 1 ? cfg.vocab
+                       : static_cast<std::size_t>(cfg.vocab) * cfg.vocab;
+    successors_.resize(states);
+    for (std::size_t t = 0; t < states; ++t) {
+        successors_[t].reserve(cfg.branching);
+        for (std::uint32_t b = 0; b < cfg.branching; ++b) {
+            successors_[t].push_back(static_cast<std::uint32_t>(
+                table_rng.below(cfg.vocab)));
+        }
+    }
+    prev_ = static_cast<std::uint32_t>(rng_.below(cfg.vocab));
+    current_ = static_cast<std::uint32_t>(rng_.below(cfg.vocab));
+}
+
+std::size_t
+SyntheticCorpus::stateIndex() const
+{
+    return cfg_.order == 1
+               ? current_
+               : static_cast<std::size_t>(prev_) * cfg_.vocab + current_;
+}
+
+std::uint32_t
+SyntheticCorpus::step()
+{
+    const std::size_t rank = zipf_.sample(rng_);
+    const std::uint32_t next = successors_[stateIndex()][rank];
+    prev_ = current_;
+    current_ = next;
+    return current_;
+}
+
+void
+SyntheticCorpus::nextBatch(std::uint32_t *inputs, std::uint32_t *targets,
+                           std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        inputs[i] = current_;
+        targets[i] = step();
+    }
+}
+
+double
+SyntheticCorpus::conditionalEntropy() const
+{
+    // All rows share the Zipf rank distribution, so the chain's
+    // conditional entropy equals the Zipf entropy (ignoring the rare
+    // duplicate-successor collisions, which only lower it).
+    double entropy = 0.0;
+    for (std::size_t r = 0; r < cfg_.branching; ++r) {
+        const double p = zipf_.pmf(r);
+        entropy -= p * std::log(p);
+    }
+    return entropy;
+}
+
+const std::vector<std::uint32_t> &
+SyntheticCorpus::successors(std::uint32_t token) const
+{
+    SO_ASSERT(cfg_.order == 1,
+              "successors(token) addresses order-1 chains only");
+    SO_ASSERT(token < cfg_.vocab, "token out of vocabulary");
+    return successors_[token];
+}
+
+} // namespace so::data

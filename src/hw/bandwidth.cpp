@@ -1,0 +1,92 @@
+#include "hw/bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace so::hw {
+
+BandwidthCurve::BandwidthCurve(std::vector<Point> points)
+    : points_(std::move(points))
+{
+    SO_ASSERT(!points_.empty(), "bandwidth curve needs >= 1 point");
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        SO_ASSERT(points_[i].bytes > 0.0 && points_[i].bw > 0.0,
+                  "curve points must be positive");
+        if (i > 0) {
+            SO_ASSERT(points_[i].bytes > points_[i - 1].bytes,
+                      "curve sizes must be strictly increasing");
+        }
+    }
+}
+
+BandwidthCurve
+BandwidthCurve::flat(double bw)
+{
+    SO_ASSERT(bw > 0.0, "flat bandwidth must be positive");
+    return BandwidthCurve({Point{1.0, bw}});
+}
+
+double
+BandwidthCurve::bandwidth(double bytes) const
+{
+    SO_ASSERT(!points_.empty(), "empty bandwidth curve");
+    SO_ASSERT(bytes >= 0.0, "negative transfer size");
+    if (bytes <= points_.front().bytes)
+        return points_.front().bw;
+    if (bytes >= points_.back().bytes)
+        return points_.back().bw;
+    // Linear interpolation in log2(size) between bracketing points.
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (bytes <= points_[i].bytes) {
+            const double x0 = std::log2(points_[i - 1].bytes);
+            const double x1 = std::log2(points_[i].bytes);
+            const double x = std::log2(bytes);
+            const double t = (x - x0) / (x1 - x0);
+            return points_[i - 1].bw +
+                   t * (points_[i].bw - points_[i - 1].bw);
+        }
+    }
+    return points_.back().bw;
+}
+
+double
+BandwidthCurve::peak() const
+{
+    double best = 0.0;
+    for (const Point &p : points_)
+        best = std::max(best, p.bw);
+    return best;
+}
+
+double
+BandwidthCurve::saturationSize() const
+{
+    const double target = 0.95 * peak();
+    for (const Point &p : points_) {
+        if (p.bw >= target)
+            return p.bytes;
+    }
+    return points_.back().bytes;
+}
+
+double
+Link::transferTime(double bytes) const
+{
+    SO_ASSERT(bytes >= 0.0, "negative transfer size");
+    if (bytes == 0.0)
+        return 0.0;
+    return latency_ + bytes / curve_.bandwidth(bytes);
+}
+
+double
+Link::transferTimeUnpinned(double bytes) const
+{
+    SO_ASSERT(bytes >= 0.0, "negative transfer size");
+    if (bytes == 0.0)
+        return 0.0;
+    return latency_ + bytes / (curve_.bandwidth(bytes) * kUnpinnedFactor);
+}
+
+} // namespace so::hw

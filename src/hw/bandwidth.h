@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Size-dependent interconnect bandwidth modelling.
+ *
+ * §4.3 of the paper measures (Fig. 7) that NVLink-C2C bandwidth depends
+ * strongly on transfer size: roughly 50 GB/s for small tensors, rising
+ * until saturation at ~64 MB. That curve is the basis for the 64 MB
+ * bucket size choice and for ZeRO-Infinity's small-bucket penalty, so we
+ * model links with a piecewise log-linear bandwidth curve rather than a
+ * single number.
+ */
+#ifndef SO_HW_BANDWIDTH_H
+#define SO_HW_BANDWIDTH_H
+
+#include <string>
+#include <vector>
+
+namespace so::hw {
+
+/**
+ * Achievable bandwidth as a function of message size.
+ *
+ * The curve interpolates linearly in log2(message size) between calibration
+ * points and clamps outside their range. All bandwidths are bytes/second,
+ * sizes are bytes.
+ */
+class BandwidthCurve
+{
+  public:
+    /** One calibration point: at @p bytes, the link achieves @p bw. */
+    struct Point
+    {
+        double bytes;
+        double bw;
+    };
+
+    BandwidthCurve() = default;
+
+    /** @param points calibration points with strictly increasing sizes. */
+    explicit BandwidthCurve(std::vector<Point> points);
+
+    /** Flat curve: the same bandwidth at every size. */
+    static BandwidthCurve flat(double bw);
+
+    /** Achievable bandwidth (bytes/s) for a transfer of @p bytes. */
+    double bandwidth(double bytes) const;
+
+    /** Peak bandwidth over all sizes. */
+    double peak() const;
+
+    /** Smallest size achieving >= 95% of peak (saturation point). */
+    double saturationSize() const;
+
+    bool empty() const { return points_.empty(); }
+
+  private:
+    std::vector<Point> points_;
+};
+
+/**
+ * A point-to-point link: latency plus a size-dependent bandwidth curve.
+ * Full-duplex links are modelled as two independent Link directions.
+ */
+class Link
+{
+  public:
+    Link() = default;
+
+    Link(std::string name, BandwidthCurve curve, double latency)
+        : name_(std::move(name)), curve_(std::move(curve)),
+          latency_(latency)
+    {}
+
+    const std::string &name() const { return name_; }
+    const BandwidthCurve &curve() const { return curve_; }
+    double latency() const { return latency_; }
+
+    /** Time to move @p bytes: latency + bytes / bw(bytes). */
+    double transferTime(double bytes) const;
+
+    /**
+     * Time to move @p bytes through an unpinned host buffer. §4.5 notes
+     * that transfer-then-cast forces staging through unpinned memory,
+     * which defeats DMA; we model that as a bandwidth derating factor.
+     */
+    double transferTimeUnpinned(double bytes) const;
+
+    /** Derating applied to unpinned transfers (0 < f <= 1). */
+    static constexpr double kUnpinnedFactor = 0.35;
+
+  private:
+    std::string name_;
+    BandwidthCurve curve_;
+    double latency_ = 0.0;
+};
+
+} // namespace so::hw
+
+#endif // SO_HW_BANDWIDTH_H

@@ -1,0 +1,70 @@
+#include "hw/collective.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace so::hw {
+
+CollectiveCost
+CollectiveCost::fromCluster(const ClusterSpec &cluster)
+{
+    CollectiveCost cost;
+    cost.ranks = cluster.totalSuperchips();
+    cost.bw_per_gpu = cluster.collectiveBandwidthPerGpu();
+    cost.latency = cluster.collectiveLatency();
+    return cost;
+}
+
+double
+CollectiveCost::allReduce(double bytes) const
+{
+    SO_ASSERT(bytes >= 0.0, "negative payload");
+    if (ranks <= 1 || bytes == 0.0)
+        return 0.0;
+    const double n = static_cast<double>(ranks);
+    const double volume = 2.0 * (n - 1.0) / n * bytes;
+    return 2.0 * (n - 1.0) * latency + volume / bw_per_gpu;
+}
+
+double
+CollectiveCost::reduceScatter(double bytes) const
+{
+    SO_ASSERT(bytes >= 0.0, "negative payload");
+    if (ranks <= 1 || bytes == 0.0)
+        return 0.0;
+    const double n = static_cast<double>(ranks);
+    const double volume = (n - 1.0) / n * bytes;
+    return (n - 1.0) * latency + volume / bw_per_gpu;
+}
+
+double
+CollectiveCost::allGather(double bytes) const
+{
+    // Symmetric to reduce-scatter in the ring model.
+    return reduceScatter(bytes);
+}
+
+double
+CollectiveCost::broadcast(double bytes) const
+{
+    SO_ASSERT(bytes >= 0.0, "negative payload");
+    if (ranks <= 1 || bytes == 0.0)
+        return 0.0;
+    // Pipelined tree broadcast: bandwidth term ~ bytes / bw.
+    const double hops = std::ceil(std::log2(static_cast<double>(ranks)));
+    return hops * latency + bytes / bw_per_gpu;
+}
+
+double
+CollectiveCost::allToAll(double bytes) const
+{
+    SO_ASSERT(bytes >= 0.0, "negative payload");
+    if (ranks <= 1 || bytes == 0.0)
+        return 0.0;
+    const double n = static_cast<double>(ranks);
+    const double volume = (n - 1.0) / n * bytes;
+    return (n - 1.0) * latency + volume / bw_per_gpu;
+}
+
+} // namespace so::hw

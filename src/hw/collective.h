@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cost models for the collective operations used by the training
+ * systems: ring all-reduce / reduce-scatter / all-gather (ZeRO-DP,
+ * Megatron) and all-to-all (Ulysses sequence parallelism).
+ *
+ * The standard alpha-beta (latency-bandwidth) models are used: a ring
+ * all-reduce over N ranks moves 2(N-1)/N of the payload per rank, a
+ * reduce-scatter or all-gather moves (N-1)/N, and a balanced all-to-all
+ * moves (N-1)/N of the payload per rank in one phase.
+ */
+#ifndef SO_HW_COLLECTIVE_H
+#define SO_HW_COLLECTIVE_H
+
+#include <cstdint>
+
+#include "hw/topology.h"
+
+namespace so::hw {
+
+/** Parameters of one collective invocation. */
+struct CollectiveCost
+{
+    /** Per-GPU bandwidth available to the collective (bytes/s). */
+    double bw_per_gpu = 0.0;
+    /** Per-hop latency (seconds). */
+    double latency = 0.0;
+    /** Number of participating ranks. */
+    std::uint32_t ranks = 1;
+
+    /** Build from a cluster's topology. */
+    static CollectiveCost fromCluster(const ClusterSpec &cluster);
+
+    /** Ring all-reduce time of @p bytes per rank. */
+    double allReduce(double bytes) const;
+
+    /** Ring reduce-scatter time of @p bytes per rank. */
+    double reduceScatter(double bytes) const;
+
+    /** Ring all-gather time of @p bytes gathered per rank. */
+    double allGather(double bytes) const;
+
+    /** Broadcast of @p bytes from one rank to all. */
+    double broadcast(double bytes) const;
+
+    /** Balanced all-to-all where each rank holds @p bytes total. */
+    double allToAll(double bytes) const;
+};
+
+} // namespace so::hw
+
+#endif // SO_HW_COLLECTIVE_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Hardware presets for the platforms in the paper's Table 1 plus the
+ * evaluation clusters of §5.1.
+ */
+#ifndef SO_HW_PRESETS_H
+#define SO_HW_PRESETS_H
+
+#include "hw/topology.h"
+
+namespace so::hw {
+
+/**
+ * NVLink-C2C bandwidth curve calibrated to the paper's Fig. 7: small
+ * transfers achieve ~50 GB/s or less, the curve saturates near 64 MB at
+ * @p peak (450 GB/s per direction on GH200).
+ */
+BandwidthCurve c2cCurve(double peak);
+
+/** PCIe-style curve: same shape, saturating near 4 MB. */
+BandwidthCurve pcieCurve(double peak);
+
+/**
+ * GH200 Grace Hopper Superchip (Table 1 "GH"): H100 with 96 GB HBM at
+ * 4 TB/s, 72-core Grace with @p ddr_bytes LPDDR5 at 500 GB/s, NVLink-C2C
+ * at 450 GB/s per direction (900 GB/s total).
+ * @param ddr_bytes Grace memory: 480 GB standalone, 240 GB in NVL2.
+ */
+SuperchipSpec gh200(double ddr_bytes);
+
+/** Single standalone GH200 (96 GB HBM + 480 GB DDR), as in §5.1. */
+ClusterSpec gh200Single();
+
+/**
+ * GH200 cluster from §5.1: nodes of @p superchips_per_node chips
+ * (NVL2 = 2) joined by 200 Gb/s Slingshot-11, @p node_count nodes,
+ * 240 GB DDR per chip if more than one per node, else 480 GB.
+ */
+ClusterSpec gh200Cluster(std::uint32_t superchips_per_node,
+                         std::uint32_t node_count);
+
+/**
+ * Convenience: a cluster with @p total_superchips GH200s arranged as in
+ * the paper (1 -> standalone; 4 -> one 4-way node; 16 -> four 4-way
+ * nodes; otherwise NVL2 nodes).
+ */
+ClusterSpec gh200ClusterOf(std::uint32_t total_superchips);
+
+/** DGX-2 node (Table 1): Intel Xeon + V100, PCIe 3.0 x16 (32 GB/s). */
+ClusterSpec dgx2(std::uint32_t node_count = 1);
+
+/** DGX-A100 node (Table 1): AMD Rome + A100, PCIe 4.0 x16 (64 GB/s). */
+ClusterSpec dgxA100(std::uint32_t node_count = 1);
+
+/**
+ * GB200 (§2.1: "the next-generation Superchip"): one Blackwell GPU's
+ * share of a Grace-Blackwell package — 2250 TFLOPS dense fp16, 192 GB
+ * HBM3e at 8 TB/s, half a Grace (36 cores, 240 GB LPDDR at 250 GB/s),
+ * NVLink-C2C share of 450 GB/s total. The GPU/CPU FLOPS ratio jumps to
+ * ~1500 (vs GH200's 330), making §4.3's repartitioning pressure even
+ * stronger.
+ */
+ClusterSpec gb200Cluster(std::uint32_t superchips_per_node = 2,
+                         std::uint32_t node_count = 1);
+
+/**
+ * AMD Instinct MI300A (§2.1): 6 CDNA3 GPU + 3 Zen4 CPU chiplets
+ * sharing one 128 GB HBM3 pool. The "interconnect" is the on-package
+ * fabric at memory speed, and CPU "offload" adds overlap but NOT
+ * capacity — the returned spec models the shared pool as both the GPU
+ * and CPU capacity, so capacity-focused analyses must not sum them
+ * (see the next_gen_superchips example).
+ */
+ClusterSpec mi300a(std::uint32_t superchips_per_node = 4,
+                   std::uint32_t node_count = 1);
+
+} // namespace so::hw
+
+#endif // SO_HW_PRESETS_H

@@ -1,0 +1,126 @@
+#include "hw/topology.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace so::hw {
+
+double
+GpuSpec::computeTime(double flops) const
+{
+    SO_ASSERT(flops >= 0.0, "negative flops");
+    SO_ASSERT(peak_flops > 0.0 && achievable_frac > 0.0,
+              "GPU spec not initialized");
+    return flops / effectiveFlops();
+}
+
+double
+GpuSpec::attnComputeTime(double flops) const
+{
+    SO_ASSERT(flops >= 0.0, "negative flops");
+    SO_ASSERT(peak_flops > 0.0 && attn_achievable_frac > 0.0,
+              "GPU spec not initialized");
+    return flops / (peak_flops * attn_achievable_frac);
+}
+
+double
+GpuSpec::memTime(double bytes) const
+{
+    SO_ASSERT(bytes >= 0.0, "negative bytes");
+    SO_ASSERT(mem_bw > 0.0, "GPU memory bandwidth not set");
+    return bytes / mem_bw;
+}
+
+double
+CpuSpec::adamEfficiency(AdamImpl impl)
+{
+    // Fractions of DDR bandwidth sustained, calibrated so that on Grace
+    // (500 GB/s DDR) the per-billion-parameter latencies reproduce the
+    // paper's Table 3.
+    switch (impl) {
+      case AdamImpl::Naive:       return 0.21;
+      case AdamImpl::CpuAdam:     return 0.61;
+      case AdamImpl::GraceAdam:   return 0.73;
+      case AdamImpl::PyTorchLoop: return 0.02;
+    }
+    SO_PANIC("unknown AdamImpl");
+}
+
+double
+CpuSpec::adamStepTime(double params, AdamImpl impl) const
+{
+    SO_ASSERT(params >= 0.0, "negative parameter count");
+    SO_ASSERT(mem_bw > 0.0, "CPU memory bandwidth not set");
+    const double bytes = params * kAdamBytesPerParam;
+    return bytes / (mem_bw * adamEfficiency(impl));
+}
+
+double
+CpuSpec::memTime(double bytes) const
+{
+    SO_ASSERT(bytes >= 0.0, "negative bytes");
+    SO_ASSERT(mem_bw > 0.0, "CPU memory bandwidth not set");
+    return bytes / mem_bw;
+}
+
+double
+CpuSpec::computeTime(double flops) const
+{
+    SO_ASSERT(flops >= 0.0, "negative flops");
+    SO_ASSERT(peak_flops > 0.0, "CPU peak flops not set");
+    // General-purpose CPU code rarely sustains more than ~50% of peak
+    // vector throughput.
+    return flops / (peak_flops * 0.5);
+}
+
+double
+SuperchipSpec::gpuAdamStepTime(double params) const
+{
+    // The GPU-side optimizer step is HBM-bandwidth-bound; assume the
+    // fused kernel streams at ~80% of HBM bandwidth.
+    const double bytes = params * CpuSpec::kAdamBytesPerParam;
+    return bytes / (gpu.mem_bw * 0.8);
+}
+
+double
+SuperchipSpec::flopsRatio() const
+{
+    SO_ASSERT(cpu.peak_flops > 0.0, "CPU peak flops not set");
+    return gpu.peak_flops / cpu.peak_flops;
+}
+
+std::uint32_t
+ClusterSpec::totalSuperchips() const
+{
+    return node.superchips_per_node * node_count;
+}
+
+double
+ClusterSpec::collectiveBandwidthPerGpu() const
+{
+    const double intra = node.intra_node.curve().peak();
+    if (singleNode())
+        return intra;
+    // Multi-node: each Superchip has its own NIC; the collective
+    // proceeds at the slower of the NVLink and the NIC rate.
+    return std::min(intra, node.inter_node.curve().peak());
+}
+
+double
+ClusterSpec::collectiveLatency() const
+{
+    return singleNode() ? node.intra_node.latency()
+                        : node.inter_node.latency();
+}
+
+const Link &
+effectiveHostLink(const NodeSpec &node, NumaBinding binding)
+{
+    // A mis-bound rank's host traffic crosses the inter-Superchip fabric
+    // instead of the local C2C (§4.7, "NUMA binding").
+    return binding == NumaBinding::Colocated ? node.superchip.c2c
+                                             : node.inter_node;
+}
+
+} // namespace so::hw

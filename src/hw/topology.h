@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Hardware descriptions: compute devices, Superchips, nodes, clusters.
+ *
+ * The quantities here are the ones the paper's analysis is driven by
+ * (Table 1): peak FLOPS of each side, memory capacities, memory
+ * bandwidths, and the CPU<->GPU interconnect. Achievable (not
+ * theoretical) rates are used for time estimates, as §4.2 prescribes.
+ */
+#ifndef SO_HW_TOPOLOGY_H
+#define SO_HW_TOPOLOGY_H
+
+#include <cstdint>
+#include <string>
+
+#include "hw/bandwidth.h"
+
+namespace so::hw {
+
+/** A GPU: matrix-engine FLOPS plus HBM capacity/bandwidth. */
+struct GpuSpec
+{
+    std::string name;
+    /** Peak mixed-precision matrix FLOPS (as marketed, Table 1). */
+    double peak_flops = 0.0;
+    /**
+     * Fraction of peak sustained by dense transformer fwd/bwd kernels.
+     * Time estimates use peak_flops * achievable_frac (§4.2: "we use the
+     * achievable peak instead of the theoretical hardware peak").
+     */
+    double achievable_frac = 0.25;
+    /**
+     * Fraction of peak sustained by fused attention kernels. Large-seq
+     * attention (flash-style) sustains a much higher fraction of peak
+     * than small-batch GEMMs, which is how the paper reports both
+     * ~240 TFLOPS (24% of peak) at seq 1k and 55% MFU at seq 1M.
+     */
+    double attn_achievable_frac = 0.62;
+    /** HBM capacity in bytes. */
+    double mem_bytes = 0.0;
+    /** HBM bandwidth in bytes/s. */
+    double mem_bw = 0.0;
+
+    /** Sustained dense-compute rate in FLOPS. */
+    double effectiveFlops() const { return peak_flops * achievable_frac; }
+
+    /** Time to execute @p flops of dense compute. */
+    double computeTime(double flops) const;
+
+    /** Time to execute @p flops of fused-attention compute. */
+    double attnComputeTime(double flops) const;
+
+    /** Time for a memory-bandwidth-bound pass over @p bytes. */
+    double memTime(double bytes) const;
+};
+
+/** Identifies one of the Adam implementations measured in Table 3. */
+enum class AdamImpl
+{
+    /** PyTorch-native scalar CPU Adam ("PT-CPU"). */
+    Naive,
+    /** DeepSpeed's x86-optimized CPU-Adam. */
+    CpuAdam,
+    /** This paper's SVE/tiled/threaded GraceAdam (§4.6). */
+    GraceAdam,
+    /**
+     * torch.optim.Adam as PyTorch FSDP's CPU offload drives it: a
+     * per-tensor Python loop over unfused ATen ops on cold pageable
+     * memory, effectively single-threaded. Calibrated to §5.2's
+     * observation that it caps FSDP-Offload below 15 TFLOPS.
+     */
+    PyTorchLoop,
+};
+
+/** A CPU socket: cores, vector FLOPS, DDR capacity/bandwidth. */
+struct CpuSpec
+{
+    std::string name;
+    std::uint32_t cores = 0;
+    /** Peak vector FLOPS across all cores (Table 1). */
+    double peak_flops = 0.0;
+    /** DDR capacity in bytes. */
+    double mem_bytes = 0.0;
+    /** DDR bandwidth in bytes/s. */
+    double mem_bw = 0.0;
+
+    /**
+     * Bytes of DRAM traffic per parameter for one Adam step: read grad
+     * (4B) + read/write fp32 param, momentum, variance (8B each) + write
+     * the fp16 shadow copy (2B).
+     */
+    static constexpr double kAdamBytesPerParam = 30.0;
+
+    /**
+     * Fraction of DDR bandwidth an Adam implementation sustains.
+     * Calibrated against the paper's Table 3 latencies on Grace
+     * (PT-CPU 0.289 s/B-param, CPU-Adam 0.098, GraceAdam 0.082).
+     */
+    static double adamEfficiency(AdamImpl impl);
+
+    /** Optimizer step time for @p params parameters with @p impl. */
+    double adamStepTime(double params, AdamImpl impl) const;
+
+    /** Time for a bandwidth-bound pass over @p bytes (e.g. casting). */
+    double memTime(double bytes) const;
+
+    /** Time to compute @p flops of general-purpose CPU compute. */
+    double computeTime(double flops) const;
+};
+
+/** A tightly coupled GPU+CPU package (GH200-style). */
+struct SuperchipSpec
+{
+    std::string name;
+    GpuSpec gpu;
+    CpuSpec cpu;
+    /** One direction of the CPU<->GPU interconnect (C2C or PCIe). */
+    Link c2c;
+    /** Node-local NVMe capacity attributable to this Superchip
+     * (ZeRO-Infinity's third tier); 0 when absent. */
+    double nvme_bytes = 0.0;
+    /** NVMe link (one direction); meaningful when nvme_bytes > 0. */
+    Link nvme;
+
+    /** GPU-side Adam step time (HBM-bandwidth-bound). */
+    double gpuAdamStepTime(double params) const;
+
+    /** Ratio of GPU to CPU peak FLOPS (Table 1's GPU/CPU FLOPS row). */
+    double flopsRatio() const;
+};
+
+/** A server node containing @p superchips_per_node Superchips. */
+struct NodeSpec
+{
+    std::string name;
+    SuperchipSpec superchip;
+    std::uint32_t superchips_per_node = 1;
+    /** GPU<->GPU link inside the node (NVLink), one direction. */
+    Link intra_node;
+    /**
+     * Node<->node NIC (Slingshot), one direction, one NIC *per
+     * Superchip* (the HPE Cray EX GH200 blades used in §5.1 provision
+     * one 200 Gb/s endpoint per module).
+     */
+    Link inter_node;
+};
+
+/** A cluster of identical nodes. */
+struct ClusterSpec
+{
+    NodeSpec node;
+    std::uint32_t node_count = 1;
+
+    std::uint32_t totalSuperchips() const;
+
+    /** True when all GPUs share one node (NVLink-only collectives). */
+    bool singleNode() const { return node_count == 1; }
+
+    /**
+     * Per-GPU bandwidth available for cross-GPU collectives: NVLink
+     * within a node, otherwise bottlenecked by the per-node NIC shared
+     * among that node's GPUs.
+     */
+    double collectiveBandwidthPerGpu() const;
+
+    /** Latency of one collective hop. */
+    double collectiveLatency() const;
+};
+
+/**
+ * NUMA binding quality for the training launcher (§4.7). Colocated
+ * binds each rank's CPU cores on the same Superchip as its GPU; Remote
+ * models the failure case where CPU<->GPU traffic crosses the
+ * inter-Superchip fabric.
+ */
+enum class NumaBinding { Colocated, Remote };
+
+/**
+ * The effective CPU<->GPU link under @p binding: the local C2C when
+ * colocated, the (far slower) inter-node fabric when mis-bound.
+ */
+const Link &effectiveHostLink(const NodeSpec &node, NumaBinding binding);
+
+} // namespace so::hw
+
+#endif // SO_HW_TOPOLOGY_H

@@ -1,0 +1,103 @@
+#include "model/config.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace so::model {
+
+double
+ModelConfig::matmulParams() const
+{
+    // Per layer: QKV (3h^2) + attention output (h^2) + MLP up/down
+    // (4h^2 + 4h^2) = 12 h^2.
+    return 12.0 * layers * static_cast<double>(hidden) * hidden;
+}
+
+double
+ModelConfig::embeddingParams() const
+{
+    return static_cast<double>(vocab) * hidden;
+}
+
+double
+ModelConfig::params() const
+{
+    return matmulParams() + embeddingParams();
+}
+
+double
+ModelConfig::paramsPerLayer() const
+{
+    return 12.0 * static_cast<double>(hidden) * hidden;
+}
+
+std::string
+ModelConfig::summary() const
+{
+    return name + " (" + std::to_string(layers) + "L x " +
+           std::to_string(hidden) + "h, " + formatParams(params()) + ")";
+}
+
+ModelConfig
+makeConfig(std::string name, std::uint32_t layers, std::uint32_t hidden)
+{
+    SO_ASSERT(layers > 0 && hidden > 0, "invalid model dimensions");
+    SO_ASSERT(hidden % 128 == 0, "hidden must be a multiple of 128");
+    ModelConfig cfg;
+    cfg.name = std::move(name);
+    cfg.layers = layers;
+    cfg.hidden = hidden;
+    cfg.heads = hidden / 128;
+    return cfg;
+}
+
+namespace {
+
+/** Appendix A, Table 4 (+ 30B for Fig. 12 and 175B for Fig. 14). */
+const std::pair<const char *, std::pair<std::uint32_t, std::uint32_t>>
+    kPresets[] = {
+        {"1B", {20, 2048}},   {"2B", {40, 2048}},   {"3B", {60, 2048}},
+        {"4B", {64, 2304}},   {"5B", {44, 3072}},   {"6B", {53, 3072}},
+        {"8B", {72, 3072}},   {"10B", {50, 4096}},  {"11B", {55, 4096}},
+        {"12B", {60, 4096}},  {"13B", {65, 4096}},  {"15B", {78, 4096}},
+        {"20B", {25, 8192}},  {"25B", {30, 8192}},  {"30B", {37, 8192}},
+        {"50B", {60, 8192}},  {"60B", {75, 8192}},  {"70B", {87, 8192}},
+        {"80B", {100, 8192}}, {"150B", {45, 16384}},
+        {"175B", {54, 16384}}, {"200B", {60, 16384}},
+};
+
+} // namespace
+
+ModelConfig
+modelPreset(const std::string &name)
+{
+    for (const auto &[preset_name, dims] : kPresets) {
+        if (name == preset_name)
+            return makeConfig(preset_name, dims.first, dims.second);
+    }
+    SO_FATAL("unknown model preset '", name, "'");
+}
+
+std::vector<ModelConfig>
+modelPresets()
+{
+    std::vector<ModelConfig> all;
+    for (const auto &[preset_name, dims] : kPresets)
+        all.push_back(makeConfig(preset_name, dims.first, dims.second));
+    return all;
+}
+
+bool
+hasModelPreset(const std::string &name)
+{
+    for (const auto &[preset_name, dims] : kPresets) {
+        (void)dims;
+        if (name == preset_name)
+            return true;
+    }
+    return false;
+}
+
+} // namespace so::model

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GPT/LLaMA-style transformer model configurations.
+ *
+ * §5.1 of the paper varies hidden dimension and transformer block count
+ * to obtain models of different sizes; Appendix A (Table 4) lists the
+ * exact configurations, which are reproduced as presets here.
+ */
+#ifndef SO_MODEL_CONFIG_H
+#define SO_MODEL_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace so::model {
+
+/** A decoder-only transformer configuration. */
+struct ModelConfig
+{
+    std::string name;
+    std::uint32_t layers = 0;
+    std::uint32_t hidden = 0;
+    std::uint32_t heads = 0;
+    std::uint32_t vocab = 51200;
+
+    /** Parameters inside matmuls: 12 * layers * hidden^2. */
+    double matmulParams() const;
+
+    /** Embedding (+ tied LM head) parameters: vocab * hidden. */
+    double embeddingParams() const;
+
+    /** Total parameter count. */
+    double params() const;
+
+    /** Parameters per transformer layer (12 * hidden^2). */
+    double paramsPerLayer() const;
+
+    /** Human-readable summary like "5B (44L x 3072h)". */
+    std::string summary() const;
+};
+
+/** Build a config with heads = hidden / 128 and the default vocab. */
+ModelConfig makeConfig(std::string name, std::uint32_t layers,
+                       std::uint32_t hidden);
+
+/**
+ * Look up a preset from the paper's Appendix A by name ("1B" ... "200B";
+ * "30B" and "175B" are used by Figs. 12 and 14 and included too).
+ * @fatal if the name is unknown.
+ */
+ModelConfig modelPreset(const std::string &name);
+
+/** All Appendix-A presets in ascending size order. */
+std::vector<ModelConfig> modelPresets();
+
+/** True when a preset with that name exists. */
+bool hasModelPreset(const std::string &name);
+
+} // namespace so::model
+
+#endif // SO_MODEL_CONFIG_H

@@ -1,0 +1,73 @@
+#include "model/memory.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace so::model {
+
+double
+StateSizes::optimizerBytes() const
+{
+    return fp32_params + fp32_momentum + fp32_variance;
+}
+
+double
+StateSizes::totalBytes() const
+{
+    return fp16_params + fp16_grads + optimizerBytes();
+}
+
+StateSizes
+StateSizes::forParams(double params)
+{
+    SO_ASSERT(params >= 0.0, "negative parameter count");
+    StateSizes sizes;
+    sizes.fp16_params = 2.0 * params;
+    sizes.fp16_grads = 2.0 * params;
+    sizes.fp32_params = 4.0 * params;
+    sizes.fp32_momentum = 4.0 * params;
+    sizes.fp32_variance = 4.0 * params;
+    return sizes;
+}
+
+double
+activationBytes(const ModelConfig &cfg, double micro_batch, double seq,
+                const ActivationOptions &opts)
+{
+    SO_ASSERT(micro_batch > 0.0 && seq > 0.0,
+              "batch and seq must be positive");
+    SO_ASSERT(opts.sequence_parallel >= 1, "invalid SP degree");
+    const double sp = static_cast<double>(opts.sequence_parallel);
+    const double token_channels =
+        micro_batch * seq * static_cast<double>(cfg.hidden) / sp;
+
+    double bytes;
+    if (opts.checkpointing) {
+        // Boundary activations for every layer plus one live layer being
+        // recomputed.
+        bytes = kCkptBytesPerTokenChannel * token_channels * cfg.layers +
+                kCkptLiveLayerBytes * token_channels;
+    } else {
+        bytes = kActBytesPerTokenChannel * token_channels * cfg.layers;
+    }
+
+    // Input embeddings + final layer norm output.
+    bytes += 4.0 * token_channels;
+
+    // Chunked LM-head loss: logits are computed for at most a fixed
+    // token tile at a time, so their contribution is bounded.
+    const double logit_tokens = std::min(micro_batch * seq / sp, 4096.0);
+    bytes += logit_tokens * static_cast<double>(cfg.vocab) * 6.0;
+
+    return bytes;
+}
+
+double
+gpuResidentBytes(double raw_bytes)
+{
+    SO_ASSERT(raw_bytes >= 0.0, "negative resident bytes");
+    return raw_bytes * kFragmentationFactor + kGpuFixedOverhead;
+}
+
+} // namespace so::model

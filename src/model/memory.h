@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Memory accounting for mixed-precision training.
+ *
+ * §2.2 of the paper: a model with P parameters consumes 16P bytes of
+ * model states under mixed-precision Adam (2P fp16 params, 2P fp16
+ * grads, 4P fp32 master params, 4P momentum, 4P variance). Activation
+ * memory grows with batch and sequence length and is the quantity that
+ * flips the adaptive policy of §4.2 from weight-stationary to
+ * weight-flow.
+ */
+#ifndef SO_MODEL_MEMORY_H
+#define SO_MODEL_MEMORY_H
+
+#include "model/config.h"
+
+namespace so::model {
+
+/** Byte sizes of the mixed-precision model states for P parameters. */
+struct StateSizes
+{
+    double fp16_params = 0.0;
+    double fp16_grads = 0.0;
+    double fp32_params = 0.0;
+    double fp32_momentum = 0.0;
+    double fp32_variance = 0.0;
+
+    /** Optimizer states only (fp32 master + m + v) = 12P. */
+    double optimizerBytes() const;
+
+    /** Everything = 16P. */
+    double totalBytes() const;
+
+    /** Build the standard 2/2/4/4/4 bytes-per-param split. */
+    static StateSizes forParams(double params);
+};
+
+/**
+ * Activation memory options. `checkpointing` stores only layer-boundary
+ * activations and recomputes the rest; `sequence_parallel` divides
+ * per-GPU activations by the SP degree (Ulysses, §4.7).
+ */
+struct ActivationOptions
+{
+    bool checkpointing = false;
+    std::uint32_t sequence_parallel = 1;
+};
+
+/**
+ * Per-GPU activation bytes for one micro-batch.
+ *
+ * Without checkpointing each layer keeps ~28 bytes per token-channel of
+ * fp16 working state (flash-attention era: the quadratic softmax map is
+ * not materialized, but QKV/MLP intermediates are). With checkpointing
+ * only 2 bytes/token-channel of boundary activations per layer survive,
+ * plus one live layer.
+ */
+double activationBytes(const ModelConfig &cfg, double micro_batch,
+                       double seq, const ActivationOptions &opts);
+
+/** Bytes/token-channel retained per layer without checkpointing. */
+inline constexpr double kActBytesPerTokenChannel = 28.0;
+
+/** Bytes/token-channel of boundary activations with checkpointing. */
+inline constexpr double kCkptBytesPerTokenChannel = 2.0;
+
+/**
+ * Bytes/token-channel of the one live layer being recomputed under
+ * checkpointing (smaller than the retained-activation footprint: the
+ * recompute processes the layer streaming, freeing intermediates).
+ */
+inline constexpr double kCkptLiveLayerBytes = 16.0;
+
+/**
+ * Fixed GPU-side overhead: CUDA context, cuBLAS/cuDNN workspaces,
+ * communication buffers (bytes).
+ */
+inline constexpr double kGpuFixedOverhead = 1.5e9;
+
+/** Fractional allocator fragmentation overhead on resident bytes. */
+inline constexpr double kFragmentationFactor = 1.05;
+
+/**
+ * Usable fraction of advertised CPU DRAM (OS, page tables, runtime
+ * buffers consume the rest).
+ */
+inline constexpr double kCpuUsableFraction = 0.90;
+
+/** Apply fragmentation + fixed overhead to raw resident GPU bytes. */
+double gpuResidentBytes(double raw_bytes);
+
+} // namespace so::model
+
+#endif // SO_MODEL_MEMORY_H

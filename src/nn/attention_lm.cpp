@@ -1,0 +1,381 @@
+#include "nn/attention_lm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace so::nn {
+
+namespace {
+
+/** dst[0..cols) += M^T * src where M is rows x cols (row-major). */
+void
+addMatTVec(const float *m, const float *src, float *dst,
+           std::size_t rows, std::size_t cols)
+{
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float s = src[r];
+        if (s == 0.0f)
+            continue;
+        const float *row = m + r * cols;
+        for (std::size_t c = 0; c < cols; ++c)
+            dst[c] += s * row[c];
+    }
+}
+
+/** dst[0..rows) = M * src where M is rows x cols (row-major). */
+void
+matVec(const float *m, const float *src, float *dst, std::size_t rows,
+       std::size_t cols)
+{
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *row = m + r * cols;
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < cols; ++c)
+            acc += row[c] * src[c];
+        dst[r] = acc;
+    }
+}
+
+/** G += outer(u, v) where G is rows x cols. */
+void
+addOuter(float *g, const float *u, const float *v, std::size_t rows,
+         std::size_t cols)
+{
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float ur = u[r];
+        if (ur == 0.0f)
+            continue;
+        float *row = g + r * cols;
+        for (std::size_t c = 0; c < cols; ++c)
+            row[c] += ur * v[c];
+    }
+}
+
+} // namespace
+
+AttentionLm::AttentionLm(const AttentionLmConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg)
+{
+    SO_ASSERT(cfg.vocab > 1 && cfg.embed > 0 && cfg.hidden > 0,
+              "invalid AttentionLm dimensions");
+    const std::size_t v = cfg.vocab;
+    const std::size_t d = cfg.embed;
+    const std::size_t h = cfg.hidden;
+
+    layout_.embedding = 0;
+    layout_.pos = layout_.embedding + v * d;
+    layout_.wq = layout_.pos +
+                 static_cast<std::size_t>(cfg.max_window) * d;
+    layout_.wk = layout_.wq + d * d;
+    layout_.wv = layout_.wk + d * d;
+    layout_.wo = layout_.wv + d * d;
+    layout_.w1 = layout_.wo + d * d;
+    layout_.b1 = layout_.w1 + h * d;
+    layout_.w2 = layout_.b1 + h;
+    layout_.b2 = layout_.w2 + v * h;
+    layout_.total = layout_.b2 + v;
+
+    params_.assign(layout_.total, 0.0f);
+    grads_.assign(layout_.total, 0.0f);
+
+    // Unit-gain (Xavier-style) init; the residual-feeding output
+    // projection gets an extra 0.5 so the residual stream stays close
+    // to the embedding scale — keeps initial logits near N(0, 1) and
+    // the initial loss near ln(vocab).
+    Rng rng(seed);
+    auto init = [&](std::size_t offset, std::size_t count,
+                    std::size_t fan_in, double gain) {
+        const double scale =
+            gain / std::sqrt(static_cast<double>(fan_in));
+        for (std::size_t i = 0; i < count; ++i)
+            params_[offset + i] =
+                static_cast<float>(rng.gaussian() * scale);
+    };
+    init(layout_.embedding, v * d, d, 1.0);
+    init(layout_.pos, static_cast<std::size_t>(cfg.max_window) * d, d,
+         0.5);
+    init(layout_.wq, d * d, d, 1.0);
+    init(layout_.wk, d * d, d, 1.0);
+    init(layout_.wv, d * d, d, 1.0);
+    init(layout_.wo, d * d, d, 0.5);
+    init(layout_.w1, h * d, d, 1.0);
+    init(layout_.w2, v * h, h, 1.0);
+}
+
+float
+AttentionLm::forward(const std::uint32_t *inputs,
+                     const std::uint32_t *targets, std::size_t n,
+                     bool keep_probs) const
+{
+    const std::size_t v = cfg_.vocab;
+    const std::size_t d = cfg_.embed;
+    const std::size_t h = cfg_.hidden;
+    const float inv_sqrt_d =
+        1.0f / std::sqrt(static_cast<float>(d));
+
+    e_.resize(n * d);
+    q_.resize(n * d);
+    k_.resize(n * d);
+    v_.resize(n * d);
+    attn_.assign(n * n, 0.0f);
+    ctx_.resize(n * d);
+    r_.resize(n * d);
+    pre_.resize(n * h);
+    h_.resize(n * h);
+    probs_.resize(keep_probs ? n * v : v);
+
+    const float *E = params_.data() + layout_.embedding;
+    const float *P = params_.data() + layout_.pos;
+    const float *Wq = params_.data() + layout_.wq;
+    const float *Wk = params_.data() + layout_.wk;
+    const float *Wv = params_.data() + layout_.wv;
+    const float *Wo = params_.data() + layout_.wo;
+    const float *W1 = params_.data() + layout_.w1;
+    const float *b1 = params_.data() + layout_.b1;
+    const float *W2 = params_.data() + layout_.w2;
+    const float *b2 = params_.data() + layout_.b2;
+
+    SO_ASSERT(n <= cfg_.max_window, "window of ", n,
+              " exceeds max_window ", cfg_.max_window);
+
+    // Token + positional embeddings, then projections.
+    for (std::size_t i = 0; i < n; ++i) {
+        SO_ASSERT(inputs[i] < v, "token out of vocabulary");
+        const float *row = E + static_cast<std::size_t>(inputs[i]) * d;
+        const float *pos = P + i * d;
+        float *ei = e_.data() + i * d;
+        for (std::size_t c = 0; c < d; ++c)
+            ei[c] = row[c] + pos[c];
+        matVec(Wq, e_.data() + i * d, q_.data() + i * d, d, d);
+        matVec(Wk, e_.data() + i * d, k_.data() + i * d, d, d);
+        matVec(Wv, e_.data() + i * d, v_.data() + i * d, d, d);
+    }
+
+    // Causal attention.
+    for (std::size_t i = 0; i < n; ++i) {
+        float *a = attn_.data() + i * n;
+        float max_s = -1e30f;
+        for (std::size_t j = 0; j <= i; ++j) {
+            float s = 0.0f;
+            const float *qi = q_.data() + i * d;
+            const float *kj = k_.data() + j * d;
+            for (std::size_t c = 0; c < d; ++c)
+                s += qi[c] * kj[c];
+            a[j] = s * inv_sqrt_d;
+            max_s = std::max(max_s, a[j]);
+        }
+        double denom = 0.0;
+        for (std::size_t j = 0; j <= i; ++j) {
+            a[j] = std::exp(a[j] - max_s);
+            denom += a[j];
+        }
+        const float inv_denom = static_cast<float>(1.0 / denom);
+        float *ci = ctx_.data() + i * d;
+        std::fill(ci, ci + d, 0.0f);
+        for (std::size_t j = 0; j <= i; ++j) {
+            a[j] *= inv_denom;
+            const float *vj = v_.data() + j * d;
+            for (std::size_t c = 0; c < d; ++c)
+                ci[c] += a[j] * vj[c];
+        }
+    }
+
+    // Residual + MLP head + softmax CE.
+    double loss_sum = 0.0;
+    std::vector<float> wo_ctx(d);
+    for (std::size_t i = 0; i < n; ++i) {
+        matVec(Wo, ctx_.data() + i * d, wo_ctx.data(), d, d);
+        float *ri = r_.data() + i * d;
+        const float *ei = e_.data() + i * d;
+        for (std::size_t c = 0; c < d; ++c)
+            ri[c] = ei[c] + wo_ctx[c];
+
+        float *pre = pre_.data() + i * h;
+        float *hi = h_.data() + i * h;
+        matVec(W1, ri, pre, h, d);
+        for (std::size_t c = 0; c < h; ++c) {
+            pre[c] += b1[c];
+            hi[c] = pre[c] > 0.0f ? pre[c] : 0.0f;
+        }
+
+        float *probs = keep_probs ? probs_.data() + i * v : probs_.data();
+        float max_logit = -1e30f;
+        for (std::size_t o = 0; o < v; ++o) {
+            const float *row = W2 + o * h;
+            float acc = b2[o];
+            for (std::size_t c = 0; c < h; ++c)
+                acc += row[c] * hi[c];
+            probs[o] = acc;
+            max_logit = std::max(max_logit, acc);
+        }
+        double denom = 0.0;
+        for (std::size_t o = 0; o < v; ++o) {
+            probs[o] = std::exp(probs[o] - max_logit);
+            denom += probs[o];
+        }
+        const float inv_denom = static_cast<float>(1.0 / denom);
+        for (std::size_t o = 0; o < v; ++o)
+            probs[o] *= inv_denom;
+        SO_ASSERT(targets[i] < v, "target token out of vocabulary");
+        loss_sum += -std::log(
+            std::max(probs[targets[i]], 1e-30f));
+    }
+    return static_cast<float>(loss_sum / static_cast<double>(n));
+}
+
+float
+AttentionLm::evalBatch(const std::uint32_t *inputs,
+                       const std::uint32_t *targets,
+                       std::size_t count) const
+{
+    SO_ASSERT(count > 0, "empty window");
+    return forward(inputs, targets, count, /*keep_probs=*/false);
+}
+
+float
+AttentionLm::trainBatch(const std::uint32_t *inputs,
+                        const std::uint32_t *targets, std::size_t count,
+                        float loss_scale)
+{
+    SO_ASSERT(count > 0, "empty window");
+    const std::size_t n = count;
+    const std::size_t v = cfg_.vocab;
+    const std::size_t d = cfg_.embed;
+    const std::size_t h = cfg_.hidden;
+    const float inv_sqrt_d =
+        1.0f / std::sqrt(static_cast<float>(d));
+
+    const float loss = forward(inputs, targets, n, /*keep_probs=*/true);
+    std::fill(grads_.begin(), grads_.end(), 0.0f);
+
+    const float *Wq = params_.data() + layout_.wq;
+    const float *Wk = params_.data() + layout_.wk;
+    const float *Wv = params_.data() + layout_.wv;
+    const float *Wo = params_.data() + layout_.wo;
+    const float *W1 = params_.data() + layout_.w1;
+    const float *W2 = params_.data() + layout_.w2;
+    float *gE = grads_.data() + layout_.embedding;
+    float *gP = grads_.data() + layout_.pos;
+    float *gWq = grads_.data() + layout_.wq;
+    float *gWk = grads_.data() + layout_.wk;
+    float *gWv = grads_.data() + layout_.wv;
+    float *gWo = grads_.data() + layout_.wo;
+    float *gW1 = grads_.data() + layout_.w1;
+    float *gb1 = grads_.data() + layout_.b1;
+    float *gW2 = grads_.data() + layout_.w2;
+    float *gb2 = grads_.data() + layout_.b2;
+
+    const float grad_coef = loss_scale / static_cast<float>(n);
+
+    // Backward buffers spanning the window (attention couples
+    // positions, so per-token grads accumulate across i).
+    std::vector<float> de(n * d, 0.0f);
+    std::vector<float> dq(n * d, 0.0f);
+    std::vector<float> dk(n * d, 0.0f);
+    std::vector<float> dv(n * d, 0.0f);
+    std::vector<float> dctx(n * d, 0.0f);
+    std::vector<float> dlogit(v);
+    std::vector<float> dh(h);
+    std::vector<float> dpre(h);
+    std::vector<float> dr(d);
+    std::vector<float> da(n);
+
+    // Head: logits -> h -> r; accumulate dctx and the direct de part.
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *probs = probs_.data() + i * v;
+        const std::uint32_t y = targets[i];
+        for (std::size_t o = 0; o < v; ++o)
+            dlogit[o] = (probs[o] - (o == y ? 1.0f : 0.0f)) * grad_coef;
+
+        const float *hi = h_.data() + i * h;
+        std::fill(dh.begin(), dh.end(), 0.0f);
+        for (std::size_t o = 0; o < v; ++o) {
+            if (dlogit[o] == 0.0f)
+                continue;
+            addOuter(gW2 + o * h, &dlogit[o], hi, 1, h);
+            gb2[o] += dlogit[o];
+            const float *row = W2 + o * h;
+            for (std::size_t c = 0; c < h; ++c)
+                dh[c] += dlogit[o] * row[c];
+        }
+
+        const float *pre = pre_.data() + i * h;
+        for (std::size_t c = 0; c < h; ++c)
+            dpre[c] = pre[c] > 0.0f ? dh[c] : 0.0f;
+
+        const float *ri = r_.data() + i * d;
+        addOuter(gW1, dpre.data(), ri, h, d);
+        for (std::size_t c = 0; c < h; ++c)
+            gb1[c] += dpre[c];
+        std::fill(dr.begin(), dr.end(), 0.0f);
+        addMatTVec(W1, dpre.data(), dr.data(), h, d);
+
+        // Residual split: de_i += dr; Wo path: gWo += dr (x) ctx_i,
+        // dctx_i = Wo^T dr.
+        float *dei = de.data() + i * d;
+        for (std::size_t c = 0; c < d; ++c)
+            dei[c] += dr[c];
+        addOuter(gWo, dr.data(), ctx_.data() + i * d, d, d);
+        addMatTVec(Wo, dr.data(), dctx.data() + i * d, d, d);
+    }
+
+    // Attention backward.
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *a = attn_.data() + i * n;
+        const float *dci = dctx.data() + i * d;
+        // dv_j += a_ij dctx_i ; da_ij = dctx_i . v_j
+        double weighted = 0.0; // sum_k a_ik da_ik
+        for (std::size_t j = 0; j <= i; ++j) {
+            const float *vj = v_.data() + j * d;
+            float *dvj = dv.data() + j * d;
+            float dot = 0.0f;
+            for (std::size_t c = 0; c < d; ++c) {
+                dvj[c] += a[j] * dci[c];
+                dot += dci[c] * vj[c];
+            }
+            da[j] = dot;
+            weighted += static_cast<double>(a[j]) * dot;
+        }
+        // Softmax backward -> scores -> q, k.
+        float *dqi = dq.data() + i * d;
+        for (std::size_t j = 0; j <= i; ++j) {
+            const float ds =
+                a[j] * (da[j] - static_cast<float>(weighted)) *
+                inv_sqrt_d;
+            if (ds == 0.0f)
+                continue;
+            const float *kj = k_.data() + j * d;
+            const float *qi = q_.data() + i * d;
+            float *dkj = dk.data() + j * d;
+            for (std::size_t c = 0; c < d; ++c) {
+                dqi[c] += ds * kj[c];
+                dkj[c] += ds * qi[c];
+            }
+        }
+    }
+
+    // Projections back to embeddings, and the embedding table.
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *ei = e_.data() + i * d;
+        float *dei = de.data() + i * d;
+        addOuter(gWq, dq.data() + i * d, ei, d, d);
+        addOuter(gWk, dk.data() + i * d, ei, d, d);
+        addOuter(gWv, dv.data() + i * d, ei, d, d);
+        addMatTVec(Wq, dq.data() + i * d, dei, d, d);
+        addMatTVec(Wk, dk.data() + i * d, dei, d, d);
+        addMatTVec(Wv, dv.data() + i * d, dei, d, d);
+        float *ge = gE + static_cast<std::size_t>(inputs[i]) * d;
+        float *gp = gP + i * d;
+        for (std::size_t c = 0; c < d; ++c) {
+            ge[c] += dei[c];
+            gp[c] += dei[c];
+        }
+    }
+
+    return loss;
+}
+
+} // namespace so::nn

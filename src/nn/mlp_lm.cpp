@@ -1,0 +1,194 @@
+#include "nn/mlp_lm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "optim/half.h"
+
+namespace so::nn {
+
+MlpLm::MlpLm(const MlpLmConfig &cfg, std::uint64_t seed) : cfg_(cfg)
+{
+    SO_ASSERT(cfg.vocab > 1 && cfg.embed > 0 && cfg.hidden > 0,
+              "invalid MlpLm dimensions");
+    const std::size_t v = cfg.vocab;
+    const std::size_t d = cfg.embed;
+    const std::size_t h = cfg.hidden;
+
+    layout_.embedding = 0;
+    layout_.w1 = layout_.embedding + v * d;
+    layout_.b1 = layout_.w1 + h * d;
+    layout_.w2 = layout_.b1 + h;
+    layout_.b2 = layout_.w2 + v * h;
+    layout_.total = layout_.b2 + v;
+
+    params_.assign(layout_.total, 0.0f);
+    grads_.assign(layout_.total, 0.0f);
+
+    // Kaiming-style init scaled by fan-in; biases start at zero.
+    Rng rng(seed);
+    auto init = [&](std::size_t offset, std::size_t count,
+                    std::size_t fan_in) {
+        const double scale = std::sqrt(2.0 / static_cast<double>(fan_in));
+        for (std::size_t i = 0; i < count; ++i)
+            params_[offset + i] = static_cast<float>(rng.gaussian() * scale);
+    };
+    init(layout_.embedding, v * d, d);
+    init(layout_.w1, h * d, d);
+    init(layout_.w2, v * h, h);
+}
+
+void
+MlpLm::forwardHidden(std::uint32_t token, float *hidden_out,
+                     float *pre_act) const
+{
+    SO_ASSERT(token < cfg_.vocab, "token ", token, " out of vocabulary");
+    const std::size_t d = cfg_.embed;
+    const std::size_t h = cfg_.hidden;
+    const float *embed = params_.data() + layout_.embedding +
+                         static_cast<std::size_t>(token) * d;
+    const float *w1 = params_.data() + layout_.w1;
+    const float *b1 = params_.data() + layout_.b1;
+    for (std::size_t j = 0; j < h; ++j) {
+        const float *row = w1 + j * d;
+        float acc = b1[j];
+        for (std::size_t k = 0; k < d; ++k)
+            acc += row[k] * embed[k];
+        pre_act[j] = acc;
+        hidden_out[j] = acc > 0.0f ? acc : 0.0f;
+    }
+}
+
+float
+MlpLm::trainBatch(const std::uint32_t *inputs, const std::uint32_t *targets,
+                  std::size_t count, float loss_scale)
+{
+    SO_ASSERT(count > 0, "empty batch");
+    const std::size_t v = cfg_.vocab;
+    const std::size_t d = cfg_.embed;
+    const std::size_t h = cfg_.hidden;
+
+    std::fill(grads_.begin(), grads_.end(), 0.0f);
+
+    // Scratch: hidden, pre-activation, logits/probs, hidden grad.
+    scratch_.resize(2 * h + v + h);
+    float *hidden = scratch_.data();
+    float *pre_act = hidden + h;
+    float *probs = pre_act + h;
+    float *dhidden = probs + v;
+
+    const float *w1 = params_.data() + layout_.w1;
+    const float *w2 = params_.data() + layout_.w2;
+    const float *b2 = params_.data() + layout_.b2;
+    float *g_embed = grads_.data() + layout_.embedding;
+    float *g_w1 = grads_.data() + layout_.w1;
+    float *g_b1 = grads_.data() + layout_.b1;
+    float *g_w2 = grads_.data() + layout_.w2;
+    float *g_b2 = grads_.data() + layout_.b2;
+
+    double loss_sum = 0.0;
+    // The gradient of the mean loss, pre-multiplied by the loss scale.
+    const float grad_coef = loss_scale / static_cast<float>(count);
+
+    for (std::size_t s = 0; s < count; ++s) {
+        const std::uint32_t x = inputs[s];
+        const std::uint32_t y = targets[s];
+        SO_ASSERT(y < v, "target token out of vocabulary");
+        forwardHidden(x, hidden, pre_act);
+
+        // Logits and numerically stable softmax.
+        float max_logit = -1e30f;
+        for (std::size_t o = 0; o < v; ++o) {
+            const float *row = w2 + o * h;
+            float acc = b2[o];
+            for (std::size_t k = 0; k < h; ++k)
+                acc += row[k] * hidden[k];
+            probs[o] = acc;
+            max_logit = std::max(max_logit, acc);
+        }
+        double denom = 0.0;
+        for (std::size_t o = 0; o < v; ++o) {
+            probs[o] = std::exp(probs[o] - max_logit);
+            denom += probs[o];
+        }
+        const float inv_denom = static_cast<float>(1.0 / denom);
+        for (std::size_t o = 0; o < v; ++o)
+            probs[o] *= inv_denom;
+        loss_sum += -std::log(std::max(probs[y], 1e-30f));
+
+        // Backward: dlogits = probs - onehot(y), scaled.
+        std::fill(dhidden, dhidden + h, 0.0f);
+        for (std::size_t o = 0; o < v; ++o) {
+            const float dlogit =
+                (probs[o] - (o == y ? 1.0f : 0.0f)) * grad_coef;
+            if (dlogit == 0.0f)
+                continue;
+            const float *row = w2 + o * h;
+            float *grow = g_w2 + o * h;
+            for (std::size_t k = 0; k < h; ++k) {
+                grow[k] += dlogit * hidden[k];
+                dhidden[k] += dlogit * row[k];
+            }
+            g_b2[o] += dlogit;
+        }
+
+        // Through ReLU into W1, b1, and the embedding row.
+        const float *embed = params_.data() + layout_.embedding +
+                             static_cast<std::size_t>(x) * d;
+        float *g_embed_row = g_embed + static_cast<std::size_t>(x) * d;
+        for (std::size_t j = 0; j < h; ++j) {
+            if (pre_act[j] <= 0.0f)
+                continue;
+            const float dh = dhidden[j];
+            if (dh == 0.0f)
+                continue;
+            const float *row = w1 + j * d;
+            float *grow = g_w1 + j * d;
+            for (std::size_t k = 0; k < d; ++k) {
+                grow[k] += dh * embed[k];
+                g_embed_row[k] += dh * row[k];
+            }
+            g_b1[j] += dh;
+        }
+    }
+
+    return static_cast<float>(loss_sum / static_cast<double>(count));
+}
+
+float
+MlpLm::evalBatch(const std::uint32_t *inputs, const std::uint32_t *targets,
+                 std::size_t count) const
+{
+    SO_ASSERT(count > 0, "empty batch");
+    const std::size_t v = cfg_.vocab;
+    const std::size_t h = cfg_.hidden;
+    scratch_.resize(2 * h + v);
+    float *hidden = scratch_.data();
+    float *pre_act = hidden + h;
+    float *logits = pre_act + h;
+    const float *w2 = params_.data() + layout_.w2;
+    const float *b2 = params_.data() + layout_.b2;
+
+    double loss_sum = 0.0;
+    for (std::size_t s = 0; s < count; ++s) {
+        forwardHidden(inputs[s], hidden, pre_act);
+        float max_logit = -1e30f;
+        for (std::size_t o = 0; o < v; ++o) {
+            const float *row = w2 + o * h;
+            float acc = b2[o];
+            for (std::size_t k = 0; k < h; ++k)
+                acc += row[k] * hidden[k];
+            logits[o] = acc;
+            max_logit = std::max(max_logit, acc);
+        }
+        double denom = 0.0;
+        for (std::size_t o = 0; o < v; ++o)
+            denom += std::exp(logits[o] - max_logit);
+        loss_sum += -(logits[targets[s]] - max_logit - std::log(denom));
+    }
+    return static_cast<float>(loss_sum / static_cast<double>(count));
+}
+
+} // namespace so::nn

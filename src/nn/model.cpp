@@ -1,0 +1,16 @@
+#include "nn/model.h"
+
+#include "optim/half.h"
+
+namespace so::nn {
+
+void
+Model::roundGradsThroughFp16()
+{
+    float *g = grads();
+    const std::size_t n = paramCount();
+    for (std::size_t i = 0; i < n; ++i)
+        g[i] = optim::halfToFloat(optim::floatToHalf(g[i]));
+}
+
+} // namespace so::nn

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Interface of the real (numeric) models the training loops drive.
+ *
+ * All parameters and gradients are exposed as single flat vectors so
+ * the offloading machinery can slice them into transfer buckets
+ * exactly as it would slice a transformer's parameters.
+ */
+#ifndef SO_NN_MODEL_H
+#define SO_NN_MODEL_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace so::nn {
+
+/** A trainable model with flat parameter/gradient storage. */
+class Model
+{
+  public:
+    virtual ~Model() = default;
+
+    /** Total number of parameters. */
+    virtual std::size_t paramCount() const = 0;
+
+    virtual float *params() = 0;
+    virtual const float *params() const = 0;
+    virtual float *grads() = 0;
+    virtual const float *grads() const = 0;
+
+    /**
+     * Forward + backward over @p count (input, target) token pairs
+     * drawn from a contiguous stream; fills the gradient vector
+     * (overwriting it) and returns the mean loss. @p loss_scale
+     * multiplies the loss before backprop; gradients are returned
+     * scaled.
+     */
+    virtual float trainBatch(const std::uint32_t *inputs,
+                             const std::uint32_t *targets,
+                             std::size_t count,
+                             float loss_scale = 1.0f) = 0;
+
+    /** Mean loss only, no gradient computation. */
+    virtual float evalBatch(const std::uint32_t *inputs,
+                            const std::uint32_t *targets,
+                            std::size_t count) const = 0;
+
+    /**
+     * Emulate fp16 gradient storage: round every gradient through
+     * binary16 (values beyond the fp16 range become +/-Inf — the
+     * overflow mixed-precision training must detect, §4.4).
+     */
+    void roundGradsThroughFp16();
+};
+
+} // namespace so::nn
+
+#endif // SO_NN_MODEL_H

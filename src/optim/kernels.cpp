@@ -1,0 +1,73 @@
+#include "optim/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace so::optim {
+
+double
+l2NormSquared(const float *data, std::size_t n)
+{
+    // Four independent accumulators so the loop pipelines; the final
+    // reduction order is fixed, keeping results deterministic.
+    double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        acc0 += static_cast<double>(data[i]) * data[i];
+        acc1 += static_cast<double>(data[i + 1]) * data[i + 1];
+        acc2 += static_cast<double>(data[i + 2]) * data[i + 2];
+        acc3 += static_cast<double>(data[i + 3]) * data[i + 3];
+    }
+    for (; i < n; ++i)
+        acc0 += static_cast<double>(data[i]) * data[i];
+    return ((acc0 + acc1) + (acc2 + acc3));
+}
+
+bool
+hasNanOrInf(const float *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(data[i]))
+            return true;
+    }
+    return false;
+}
+
+bool
+hasUnsafeValues(const float *data, std::size_t n, float limit)
+{
+    SO_ASSERT(limit > 0.0f, "limit must be positive");
+    for (std::size_t i = 0; i < n; ++i) {
+        // !(|x| <= limit) is true for NaN as well.
+        if (!(std::fabs(data[i]) <= limit))
+            return true;
+    }
+    return false;
+}
+
+void
+scaleInPlace(float *data, std::size_t n, float scale)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] *= scale;
+}
+
+void
+axpy(float *dst, const float *src, std::size_t n, float alpha)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] += alpha * src[i];
+}
+
+double
+clipScale(double global_norm, double max_norm)
+{
+    SO_ASSERT(max_norm > 0.0, "max_norm must be positive");
+    if (global_norm <= max_norm)
+        return 1.0;
+    return max_norm / (global_norm + 1e-6);
+}
+
+} // namespace so::optim

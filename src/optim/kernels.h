@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Bandwidth-bound vector kernels shared by the optimizers and the STV
+ * validation path: L2 norms (for global gradient clipping, §4.4),
+ * NaN/Inf scans (mixed-precision robustness checks), and scaling.
+ */
+#ifndef SO_OPTIM_KERNELS_H
+#define SO_OPTIM_KERNELS_H
+
+#include <cstddef>
+
+namespace so::optim {
+
+/** Sum of squares of data[0..n), accumulated in double. */
+double l2NormSquared(const float *data, std::size_t n);
+
+/** True if any element of data[0..n) is NaN or +/-Inf. */
+bool hasNanOrInf(const float *data, std::size_t n);
+
+/**
+ * True if any element is NaN, +/-Inf, or exceeds @p limit in magnitude.
+ * Used as the *local* speculation guard of the STV optimizer (§4.4):
+ * a bucket whose gradients could overflow the Adam arithmetic (g^2
+ * above float range) must not be stepped speculatively, because the
+ * in-place algebraic rollback cannot invert a non-finite update. The
+ * check is bucket-local, so it introduces no global synchronization.
+ */
+bool hasUnsafeValues(const float *data, std::size_t n, float limit);
+
+/** data[i] *= scale for i in [0, n). */
+void scaleInPlace(float *data, std::size_t n, float scale);
+
+/** dst[i] += alpha * src[i] for i in [0, n). */
+void axpy(float *dst, const float *src, std::size_t n, float alpha);
+
+/**
+ * Gradient clipping scale for a global norm: returns
+ * min(1, max_norm / (norm + eps)); a result < 1 means clipping fires.
+ */
+double clipScale(double global_norm, double max_norm);
+
+} // namespace so::optim
+
+#endif // SO_OPTIM_KERNELS_H

@@ -1,0 +1,57 @@
+#include "optim/lr_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace so::optim {
+
+LrSchedule
+LrSchedule::constant(float lr)
+{
+    return LrSchedule(lr, 0, 1, LrDecay::Constant, lr);
+}
+
+LrSchedule::LrSchedule(float base_lr, std::int64_t warmup_steps,
+                       std::int64_t total_steps, LrDecay decay,
+                       float min_lr)
+    : base_lr_(base_lr), min_lr_(min_lr), warmup_steps_(warmup_steps),
+      total_steps_(total_steps), decay_(decay)
+{
+    SO_ASSERT(base_lr > 0.0f, "base learning rate must be positive");
+    SO_ASSERT(warmup_steps >= 0, "negative warm-up");
+    SO_ASSERT(total_steps >= std::max<std::int64_t>(warmup_steps, 1),
+              "total_steps must cover the warm-up");
+    SO_ASSERT(min_lr >= 0.0f && min_lr <= base_lr,
+              "min_lr must be in [0, base_lr]");
+}
+
+float
+LrSchedule::at(std::int64_t step) const
+{
+    SO_ASSERT(step >= 1, "steps are 1-based, got ", step);
+    if (step <= warmup_steps_) {
+        return base_lr_ * static_cast<float>(step) /
+               static_cast<float>(warmup_steps_);
+    }
+    if (decay_ == LrDecay::Constant || total_steps_ <= warmup_steps_)
+        return base_lr_;
+    const double progress = std::min(
+        1.0, static_cast<double>(step - warmup_steps_) /
+                 static_cast<double>(total_steps_ - warmup_steps_));
+    switch (decay_) {
+      case LrDecay::Cosine:
+        return static_cast<float>(
+            min_lr_ + 0.5 * (base_lr_ - min_lr_) *
+                          (1.0 + std::cos(M_PI * progress)));
+      case LrDecay::Linear:
+        return static_cast<float>(base_lr_ -
+                                  (base_lr_ - min_lr_) * progress);
+      case LrDecay::Constant:
+        break;
+    }
+    return base_lr_;
+}
+
+} // namespace so::optim

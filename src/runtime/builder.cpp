@@ -1,0 +1,203 @@
+#include "runtime/builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/trace.h"
+
+namespace so::runtime {
+
+IterBuilder::IterBuilder(const TrainSetup &setup)
+    : setup_(setup),
+      chip_(setup.cluster.node.superchip),
+      host_link_(hw::effectiveHostLink(setup.cluster.node, setup.binding)),
+      coll_(hw::CollectiveCost::fromCluster(setup.cluster))
+{
+    gpu_ = graph_.addResource("GPU", 1);
+    cpu_ = graph_.addResource("CPU", 1);
+    cpu_bg_ = graph_.addResource("CPU-bg", 1);
+    h2d_ = graph_.addResource("H2D", 1);
+    d2h_ = graph_.addResource("D2H", 1);
+    nic_ = graph_.addResource("NIC", 1);
+    nvme_ = graph_.addResource("NVMe", 1);
+}
+
+double
+IterBuilder::gemmTime(double flops, double micro_tokens) const
+{
+    SO_ASSERT(micro_tokens > 0.0, "micro_tokens must be positive");
+    const double eff = micro_tokens / (micro_tokens + kGemmEffTokens);
+    return chip_.gpu.computeTime(flops) / eff;
+}
+
+double
+IterBuilder::attnTime(double flops) const
+{
+    return chip_.gpu.attnComputeTime(flops);
+}
+
+double
+IterBuilder::h2dTime(double bytes, bool pinned) const
+{
+    return pinned ? host_link_.transferTime(bytes)
+                  : host_link_.transferTimeUnpinned(bytes);
+}
+
+double
+IterBuilder::d2hTime(double bytes, bool pinned) const
+{
+    // The host link is symmetric per direction in all our presets.
+    return h2dTime(bytes, pinned);
+}
+
+double
+IterBuilder::chunkedTransferTime(double bytes, double granule,
+                                 bool pinned,
+                                 double per_chunk_overhead) const
+{
+    SO_ASSERT(granule > 0.0, "granule must be positive");
+    if (bytes <= 0.0)
+        return 0.0;
+    const double full_chunks = std::floor(bytes / granule);
+    const double rest = bytes - full_chunks * granule;
+    double time =
+        full_chunks * (h2dTime(granule, pinned) + per_chunk_overhead);
+    if (rest > 0.0)
+        time += h2dTime(rest, pinned) + per_chunk_overhead;
+    return time;
+}
+
+double
+IterBuilder::cpuAdamTime(double params, hw::AdamImpl impl) const
+{
+    return chip_.cpu.adamStepTime(params, impl);
+}
+
+double
+IterBuilder::gpuAdamTime(double params) const
+{
+    return chip_.gpuAdamStepTime(params);
+}
+
+double
+IterBuilder::nvmeTime(double bytes) const
+{
+    SO_ASSERT(chip_.nvme_bytes > 0.0,
+              "this Superchip preset has no NVMe tier");
+    return chip_.nvme.transferTime(bytes);
+}
+
+double
+IterBuilder::cpuCastTime(double elements) const
+{
+    // Read fp16 (2 B) + write fp32 (4 B) per element, DDR-bound.
+    return chip_.cpu.memTime(elements * 6.0);
+}
+
+double
+IterBuilder::gpuCastTime(double elements) const
+{
+    // Same traffic but HBM-bound; the cast kernel streams at ~80%.
+    return elements * 6.0 / (chip_.gpu.mem_bw * 0.8);
+}
+
+double
+IterBuilder::microTokens(std::uint32_t micro) const
+{
+    return static_cast<double>(micro) * setup_.seq;
+}
+
+sim::TaskId
+IterBuilder::onGpu(std::string label, double seconds,
+                   std::vector<sim::TaskId> deps, std::int32_t priority)
+{
+    return graph_.addTask(gpu_, seconds, std::move(label), std::move(deps),
+                          priority);
+}
+
+sim::TaskId
+IterBuilder::onCpu(std::string label, double seconds,
+                   std::vector<sim::TaskId> deps, std::int32_t priority)
+{
+    return graph_.addTask(cpu_, seconds, std::move(label), std::move(deps),
+                          priority);
+}
+
+sim::TaskId
+IterBuilder::onCpuBg(std::string label, double seconds,
+                     std::vector<sim::TaskId> deps, std::int32_t priority)
+{
+    return graph_.addTask(cpu_bg_, seconds, std::move(label),
+                          std::move(deps), priority);
+}
+
+sim::TaskId
+IterBuilder::onH2d(std::string label, double seconds,
+                   std::vector<sim::TaskId> deps, std::int32_t priority)
+{
+    return graph_.addTask(h2d_, seconds, std::move(label), std::move(deps),
+                          priority);
+}
+
+sim::TaskId
+IterBuilder::onD2h(std::string label, double seconds,
+                   std::vector<sim::TaskId> deps, std::int32_t priority)
+{
+    return graph_.addTask(d2h_, seconds, std::move(label), std::move(deps),
+                          priority);
+}
+
+sim::TaskId
+IterBuilder::onNic(std::string label, double seconds,
+                   std::vector<sim::TaskId> deps, std::int32_t priority)
+{
+    return graph_.addTask(nic_, seconds, std::move(label), std::move(deps),
+                          priority);
+}
+
+sim::TaskId
+IterBuilder::onNvme(std::string label, double seconds,
+                    std::vector<sim::TaskId> deps, std::int32_t priority)
+{
+    return graph_.addTask(nvme_, seconds, std::move(label),
+                          std::move(deps), priority);
+}
+
+sim::Schedule
+IterBuilder::schedule() const
+{
+    return sim::Scheduler().run(graph_);
+}
+
+IterationResult
+IterBuilder::finish(const model::IterationFlops &flops) const
+{
+    const sim::Schedule sched = schedule();
+    return finishWindow(flops, 0.0, sched.makespan, sched);
+}
+
+IterationResult
+IterBuilder::finishWindow(const model::IterationFlops &flops,
+                          double win_begin, double win_end,
+                          const sim::Schedule &schedule) const
+{
+    SO_ASSERT(win_end > win_begin, "empty measurement window");
+    IterationResult res;
+    res.iter_time = win_end - win_begin;
+    res.flops = flops;
+    res.gpu_utilization =
+        schedule.timelines[gpu_].utilization(win_begin, win_end);
+    res.cpu_utilization =
+        schedule.timelines[cpu_].utilization(win_begin, win_end);
+    const double link_busy =
+        schedule.timelines[h2d_].busyTime(win_begin, win_end) +
+        schedule.timelines[d2h_].busyTime(win_begin, win_end);
+    res.link_utilization = link_busy / (2.0 * (win_end - win_begin));
+    res.gantt = sim::toAsciiGantt(graph_, schedule);
+    if (setup_.capture_trace)
+        res.trace_json = sim::toChromeTrace(graph_, schedule);
+    return res;
+}
+
+} // namespace so::runtime

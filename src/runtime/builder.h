@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Helper for constructing per-iteration task graphs.
+ *
+ * IterBuilder standardizes the resources every training system schedules
+ * onto — the Hopper GPU stream, the Grace CPU (plus a background slot
+ * for STV validation), the two C2C directions, and the collective
+ * fabric — and converts work descriptions (FLOPs, bytes, parameter
+ * counts) into task durations using the hardware model. Strategies then
+ * express only their schedule structure.
+ */
+#ifndef SO_RUNTIME_BUILDER_H
+#define SO_RUNTIME_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "hw/collective.h"
+#include "runtime/system.h"
+#include "sim/graph.h"
+#include "sim/scheduler.h"
+
+namespace so::runtime {
+
+/** Standard resources + duration models for one simulated rank. */
+class IterBuilder
+{
+  public:
+    explicit IterBuilder(const TrainSetup &setup);
+
+    /// @name Resources
+    /// @{
+    sim::ResourceId gpu() const { return gpu_; }
+    sim::ResourceId cpu() const { return cpu_; }
+    /** Background CPU slot (validation process, §4.4). */
+    sim::ResourceId cpuBg() const { return cpu_bg_; }
+    sim::ResourceId h2d() const { return h2d_; }
+    sim::ResourceId d2h() const { return d2h_; }
+    /** Cross-GPU collective fabric (NVLink / Slingshot). */
+    sim::ResourceId nic() const { return nic_; }
+    /** Node-local NVMe channel (ZeRO-Infinity's third tier). */
+    sim::ResourceId nvme() const { return nvme_; }
+    /// @}
+
+    /// @name Duration models
+    /// @{
+    /**
+     * GEMM time for @p flops at a micro-batch of @p micro_tokens
+     * tokens. Small per-kernel token counts reduce sustained GEMM
+     * efficiency (tile quantization / launch overheads), which is why
+     * small micro-batches hurt throughput even before accumulation
+     * overhead.
+     */
+    double gemmTime(double flops, double micro_tokens) const;
+
+    /** Fused-attention time for @p flops. */
+    double attnTime(double flops) const;
+
+    /** One host->device message of @p bytes over the effective link. */
+    double h2dTime(double bytes, bool pinned = true) const;
+
+    /** One device->host message of @p bytes. */
+    double d2hTime(double bytes, bool pinned = true) const;
+
+    /**
+     * Time to move @p bytes in granule-sized messages (each paying the
+     * granule's achievable bandwidth + latency). Models systems that
+     * transfer through small staging buffers (ZeRO-Infinity, §5.2).
+     * @param per_chunk_overhead host-side cost per granule (buffer
+     * management, CUDA event synchronization) added on top of the link
+     * time.
+     */
+    double chunkedTransferTime(double bytes, double granule,
+                               bool pinned = true,
+                               double per_chunk_overhead = 0.0) const;
+
+    /** CPU optimizer step time for @p params with @p impl (§4.6). */
+    double cpuAdamTime(double params, hw::AdamImpl impl) const;
+
+    /** GPU (HBM-bound) optimizer step time for @p params. */
+    double gpuAdamTime(double params) const;
+
+    /** One NVMe transfer of @p bytes (requires an NVMe-equipped chip). */
+    double nvmeTime(double bytes) const;
+
+    /** CPU-side fp16<->fp32 cast of @p elements (DDR-bound, §4.5). */
+    double cpuCastTime(double elements) const;
+
+    /** GPU-side fp16<->fp32 cast of @p elements (HBM-bound, §4.5). */
+    double gpuCastTime(double elements) const;
+
+    /** Collective cost model for this cluster. */
+    const hw::CollectiveCost &coll() const { return coll_; }
+
+    /** Tokens per micro-batch for @p micro sequences. */
+    double microTokens(std::uint32_t micro) const;
+    /// @}
+
+    /// @name Task helpers (thin wrappers over TaskGraph::addTask)
+    /// @{
+    sim::TaskId onGpu(std::string label, double seconds,
+                      std::vector<sim::TaskId> deps = {},
+                      std::int32_t priority = 0);
+    sim::TaskId onCpu(std::string label, double seconds,
+                      std::vector<sim::TaskId> deps = {},
+                      std::int32_t priority = 0);
+    sim::TaskId onCpuBg(std::string label, double seconds,
+                        std::vector<sim::TaskId> deps = {},
+                        std::int32_t priority = 0);
+    sim::TaskId onH2d(std::string label, double seconds,
+                      std::vector<sim::TaskId> deps = {},
+                      std::int32_t priority = 0);
+    sim::TaskId onD2h(std::string label, double seconds,
+                      std::vector<sim::TaskId> deps = {},
+                      std::int32_t priority = 0);
+    sim::TaskId onNic(std::string label, double seconds,
+                      std::vector<sim::TaskId> deps = {},
+                      std::int32_t priority = 0);
+    sim::TaskId onNvme(std::string label, double seconds,
+                       std::vector<sim::TaskId> deps = {},
+                       std::int32_t priority = 0);
+    /// @}
+
+    sim::TaskGraph &graph() { return graph_; }
+
+    /**
+     * Run the scheduler and package the result: iteration time =
+     * makespan, utilizations measured over [0, makespan), ASCII Gantt
+     * attached for diagnostics. @p flops fills the FLOP accounting.
+     */
+    IterationResult finish(const model::IterationFlops &flops) const;
+
+    /**
+     * Like finish() but measures the steady-state window [@p win_begin,
+     * @p win_end) instead of the whole makespan — used by systems that
+     * overlap consecutive iterations (STV, §4.4).
+     */
+    IterationResult finishWindow(const model::IterationFlops &flops,
+                                 double win_begin, double win_end,
+                                 const sim::Schedule &schedule) const;
+
+    /** Schedule the current graph (for systems needing raw access). */
+    sim::Schedule schedule() const;
+
+  private:
+    const TrainSetup &setup_;
+    const hw::SuperchipSpec &chip_;
+    const hw::Link &host_link_;
+    hw::CollectiveCost coll_;
+    sim::TaskGraph graph_;
+    sim::ResourceId gpu_;
+    sim::ResourceId cpu_;
+    sim::ResourceId cpu_bg_;
+    sim::ResourceId h2d_;
+    sim::ResourceId d2h_;
+    sim::ResourceId nic_;
+    sim::ResourceId nvme_;
+};
+
+/**
+ * Token count below which GEMM efficiency degrades appreciably;
+ * efficiency scale = tokens / (tokens + kGemmEffTokens).
+ */
+inline constexpr double kGemmEffTokens = 1024.0;
+
+/** Transfer bucket size chosen by SuperOffload (§4.3): 64 MB. */
+inline constexpr double kBucketBytes = 64.0 * 1024.0 * 1024.0;
+
+} // namespace so::runtime
+
+#endif // SO_RUNTIME_BUILDER_H

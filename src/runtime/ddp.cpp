@@ -1,0 +1,93 @@
+#include "runtime/ddp.h"
+
+#include <vector>
+
+#include "runtime/builder.h"
+
+namespace so::runtime {
+
+double
+DdpSystem::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                    bool checkpointing) const
+{
+    const double params = setup.model.params();
+    const auto states = model::StateSizes::forParams(params);
+    model::ActivationOptions act_opts;
+    act_opts.checkpointing = checkpointing;
+    const double act = model::activationBytes(setup.model, micro_batch,
+                                              setup.seq, act_opts);
+    return model::gpuResidentBytes(states.totalBytes() + act);
+}
+
+double
+DdpSystem::cpuBytes(const TrainSetup &) const
+{
+    return 0.0;
+}
+
+IterationResult
+DdpSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
+                    bool checkpointing, std::uint32_t accum_steps) const
+{
+    IterBuilder builder(setup);
+    const model::ModelConfig &cfg = setup.model;
+    const double layers = cfg.layers;
+    const double params = cfg.params();
+
+    // Per-micro-step FLOPs (one micro-batch through the model).
+    const model::IterationFlops micro_flops = model::iterationFlops(
+        cfg, micro_batch, setup.seq, checkpointing);
+    const double tokens = builder.microTokens(micro_batch);
+
+    const double fwd_layer =
+        (builder.gemmTime(micro_flops.fwd_gemm, tokens) +
+         builder.attnTime(micro_flops.fwd_attn)) /
+        layers;
+    // Backward includes the recompute when checkpointing.
+    const double bwd_layer =
+        (builder.gemmTime(micro_flops.bwd_gemm + micro_flops.recompute_gemm,
+                          tokens) +
+         builder.attnTime(micro_flops.bwd_attn +
+                          micro_flops.recompute_attn)) /
+        layers;
+
+    sim::TaskId prev = sim::kInvalidTask;
+    std::vector<sim::TaskId> final_syncs;
+    for (std::uint32_t step = 0; step < accum_steps; ++step) {
+        // Forward.
+        for (std::uint32_t l = 0; l < cfg.layers; ++l) {
+            std::vector<sim::TaskId> deps;
+            if (prev != sim::kInvalidTask)
+                deps.push_back(prev);
+            prev = builder.onGpu("fwd L" + std::to_string(l), fwd_layer,
+                                 std::move(deps));
+        }
+        // Backward, reverse layer order; on the last accumulation step
+        // each layer's gradient bucket is all-reduced as it appears
+        // (DDP's bucketed overlap).
+        const bool last = step + 1 == accum_steps;
+        for (std::uint32_t l = cfg.layers; l-- > 0;) {
+            prev = builder.onGpu("bwd L" + std::to_string(l), bwd_layer,
+                                 {prev});
+            if (last && builder.coll().ranks > 1) {
+                const double grad_bytes = 2.0 * params / layers;
+                final_syncs.push_back(builder.onNic(
+                    "allreduce L" + std::to_string(l),
+                    builder.coll().allReduce(grad_bytes), {prev}));
+            }
+        }
+    }
+
+    // GPU optimizer step after all gradients are synchronized.
+    std::vector<sim::TaskId> step_deps = final_syncs;
+    step_deps.push_back(prev);
+    builder.onGpu("adam (gpu)", builder.gpuAdamTime(params),
+                  std::move(step_deps));
+
+    model::IterationFlops total = model::iterationFlops(
+        cfg, static_cast<double>(micro_batch) * accum_steps, setup.seq,
+        checkpointing);
+    return builder.finish(total);
+}
+
+} // namespace so::runtime

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * PyTorch-DDP baseline (Appendix B): plain data parallelism. Every rank
+ * holds the full 16P bytes of mixed-precision model states on the GPU;
+ * gradients are all-reduced in buckets overlapped with the backward
+ * pass; the optimizer step runs on the GPU.
+ */
+#ifndef SO_RUNTIME_DDP_H
+#define SO_RUNTIME_DDP_H
+
+#include "runtime/system.h"
+
+namespace so::runtime {
+
+/** PyTorch DistributedDataParallel. */
+class DdpSystem : public TrainingSystem
+{
+  public:
+    std::string name() const override { return "PyTorch DDP"; }
+
+  protected:
+    bool allowCheckpointing() const override { return false; }
+
+    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                    bool checkpointing) const override;
+    double cpuBytes(const TrainSetup &setup) const override;
+    IterationResult simulate(const TrainSetup &setup,
+                             std::uint32_t micro_batch, bool checkpointing,
+                             std::uint32_t accum_steps) const override;
+};
+
+} // namespace so::runtime
+
+#endif // SO_RUNTIME_DDP_H

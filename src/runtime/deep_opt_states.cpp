@@ -1,0 +1,117 @@
+#include "runtime/deep_opt_states.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "runtime/builder.h"
+
+namespace so::runtime {
+
+double
+DeepOptStatesSystem::gpuBytes(const TrainSetup &setup,
+                              std::uint32_t micro_batch,
+                              bool checkpointing) const
+{
+    const double n = setup.cluster.totalSuperchips();
+    const double params = setup.model.params();
+    // fp16 params + fp16 grads resident (ZeRO-2 style) plus streaming
+    // buffers for a few optimizer-state buckets in flight.
+    const double states = 4.0 * params + params / n + 2.0e9;
+    model::ActivationOptions act_opts;
+    act_opts.checkpointing = checkpointing;
+    const double act = model::activationBytes(setup.model, micro_batch,
+                                              setup.seq, act_opts);
+    return model::gpuResidentBytes(states + act);
+}
+
+double
+DeepOptStatesSystem::cpuBytes(const TrainSetup &setup) const
+{
+    // Optimizer states only (12 bytes/param), sharded across ranks.
+    return 12.0 * setup.model.params() / setup.cluster.totalSuperchips();
+}
+
+IterationResult
+DeepOptStatesSystem::simulate(const TrainSetup &setup,
+                              std::uint32_t micro_batch,
+                              bool checkpointing,
+                              std::uint32_t accum_steps) const
+{
+    IterBuilder builder(setup);
+    const model::ModelConfig &cfg = setup.model;
+    const double params = cfg.params();
+    const double n = setup.cluster.totalSuperchips();
+
+    const auto buckets = static_cast<std::uint32_t>(std::clamp(
+        std::ceil(2.0 * params / kBucketBytes), 1.0, 128.0));
+    const double bucket_params = params / buckets;
+    const double shard = bucket_params / n;
+
+    const model::IterationFlops micro_flops = model::iterationFlops(
+        cfg, micro_batch, setup.seq, checkpointing);
+    const double tokens = builder.microTokens(micro_batch);
+    const double fwd_chunk =
+        (builder.gemmTime(micro_flops.fwd_gemm, tokens) +
+         builder.attnTime(micro_flops.fwd_attn)) / buckets;
+    const double bwd_chunk =
+        (builder.gemmTime(micro_flops.bwd_gemm + micro_flops.recompute_gemm,
+                          tokens) +
+         builder.attnTime(micro_flops.bwd_attn +
+                          micro_flops.recompute_attn)) / buckets;
+
+    // Optimizer-state stream: fetch (12 B/param) before the update,
+    // write back (12 B/param) after it; the fetches prefetch against
+    // the backward pass.
+    const double fetch_time = builder.h2dTime(12.0 * shard);
+    const double writeback_time = builder.d2hTime(12.0 * shard);
+
+    sim::TaskId prev = sim::kInvalidTask;
+    std::vector<sim::TaskId> updates;
+    for (std::uint32_t step = 0; step < accum_steps; ++step) {
+        for (std::uint32_t c = 0; c < buckets; ++c) {
+            std::vector<sim::TaskId> deps;
+            if (prev != sim::kInvalidTask)
+                deps.push_back(prev);
+            prev = builder.onGpu("fwd", fwd_chunk, std::move(deps));
+        }
+        const bool last = step + 1 == accum_steps;
+        for (std::uint32_t c = 0; c < buckets; ++c) {
+            prev = builder.onGpu("bwd", bwd_chunk, {prev});
+            if (!last)
+                continue;
+            sim::TaskId grads = prev;
+            if (n > 1) {
+                grads = builder.onNic(
+                    "rs g" + std::to_string(c),
+                    builder.coll().reduceScatter(2.0 * bucket_params),
+                    {grads});
+            }
+            // States arrive via prefetch; the GPU applies Adam to this
+            // bucket as soon as its gradients are reduced (priority 1:
+            // remaining backward chunks run first).
+            const sim::TaskId fetched = builder.onH2d(
+                "h2d opt" + std::to_string(c), fetch_time, {});
+            const sim::TaskId opt = builder.onGpu(
+                "adam(gpu) b" + std::to_string(c),
+                builder.gpuAdamTime(shard), {grads, fetched}, 1);
+            updates.push_back(builder.onD2h(
+                "d2h opt" + std::to_string(c), writeback_time, {opt}));
+        }
+    }
+    if (n > 1) {
+        std::vector<sim::TaskId> deps = updates;
+        deps.push_back(prev);
+        builder.onNic("allgather params",
+                      builder.coll().allGather(2.0 * params),
+                      std::move(deps));
+    }
+
+    model::IterationFlops total = model::iterationFlops(
+        cfg, static_cast<double>(micro_batch) * accum_steps, setup.seq,
+        checkpointing);
+    return builder.finish(total);
+}
+
+} // namespace so::runtime

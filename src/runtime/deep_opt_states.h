@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Deep-Optimizer-States baseline (§2.2 [32]): extends ZeRO-Offload by
+ * streaming optimizer-state buckets from CPU DRAM to the GPU and
+ * running the (HBM-fast) Adam update there, interleaving state
+ * traffic with the backward pass — the opposite trade from
+ * SuperOffload's CPU-side GraceAdam. It trades 24 bytes/param of C2C
+ * traffic per iteration for a ~30x faster update kernel, which is a
+ * good deal precisely when the interconnect is fast, making it the
+ * most interesting contrast point for the Superchip regime.
+ */
+#ifndef SO_RUNTIME_DEEP_OPT_STATES_H
+#define SO_RUNTIME_DEEP_OPT_STATES_H
+
+#include "runtime/system.h"
+
+namespace so::runtime {
+
+/** Deep-Optimizer-States: optimizer states on CPU, updates on GPU. */
+class DeepOptStatesSystem : public TrainingSystem
+{
+  public:
+    std::string name() const override { return "Deep-Optimizer-States"; }
+
+  protected:
+    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                    bool checkpointing) const override;
+    double cpuBytes(const TrainSetup &setup) const override;
+    IterationResult simulate(const TrainSetup &setup,
+                             std::uint32_t micro_batch, bool checkpointing,
+                             std::uint32_t accum_steps) const override;
+};
+
+} // namespace so::runtime
+
+#endif // SO_RUNTIME_DEEP_OPT_STATES_H

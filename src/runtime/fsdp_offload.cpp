@@ -1,0 +1,124 @@
+#include "runtime/fsdp_offload.h"
+
+#include <string>
+#include <vector>
+
+#include "runtime/builder.h"
+
+namespace so::runtime {
+
+double
+FsdpOffloadSystem::gpuBytes(const TrainSetup &setup,
+                            std::uint32_t micro_batch,
+                            bool checkpointing) const
+{
+    // Working set of the currently-gathered layer (plus one in flight).
+    const double working = 2.0 * 2.0 * setup.model.paramsPerLayer();
+    model::ActivationOptions act_opts;
+    act_opts.checkpointing = checkpointing;
+    const double act = model::activationBytes(setup.model, micro_batch,
+                                              setup.seq, act_opts);
+    return model::gpuResidentBytes(working + act);
+}
+
+double
+FsdpOffloadSystem::cpuBytes(const TrainSetup &setup) const
+{
+    const double n = setup.cluster.totalSuperchips();
+    // fp32 params + optimizer + fp32 grads, sharded.
+    return 16.0 * setup.model.params() / n;
+}
+
+IterationResult
+FsdpOffloadSystem::simulate(const TrainSetup &setup,
+                            std::uint32_t micro_batch, bool checkpointing,
+                            std::uint32_t accum_steps) const
+{
+    IterBuilder builder(setup);
+    const model::ModelConfig &cfg = setup.model;
+    const double layers = cfg.layers;
+    const double params = cfg.params();
+    const double n = setup.cluster.totalSuperchips();
+    const double layer_params = params / layers;
+
+    const model::IterationFlops micro_flops = model::iterationFlops(
+        cfg, micro_batch, setup.seq, checkpointing);
+    const double tokens = builder.microTokens(micro_batch);
+    const double fwd_layer =
+        (builder.gemmTime(micro_flops.fwd_gemm, tokens) +
+         builder.attnTime(micro_flops.fwd_attn)) / layers;
+    const double bwd_layer =
+        (builder.gemmTime(micro_flops.bwd_gemm + micro_flops.recompute_gemm,
+                          tokens) +
+         builder.attnTime(micro_flops.bwd_attn +
+                          micro_flops.recompute_attn)) / layers;
+
+    // FSDP CPU offload copies each shard in synchronously before the
+    // layer runs: the H2D depends on the *previous GPU task*, so it
+    // never overlaps compute (no prefetch), and the copies go through
+    // pageable host memory (no pinned staging pool).
+    const double fetch_time =
+        builder.h2dTime(2.0 * layer_params / n, /*pinned=*/false);
+    const double gather_time =
+        n > 1 ? builder.coll().allGather(2.0 * layer_params) : 0.0;
+
+    sim::TaskId prev = sim::kInvalidTask;
+    std::vector<sim::TaskId> grad_arrivals(cfg.layers, sim::kInvalidTask);
+
+    for (std::uint32_t step = 0; step < accum_steps; ++step) {
+        for (std::uint32_t l = 0; l < cfg.layers; ++l) {
+            std::vector<sim::TaskId> fetch_deps;
+            if (prev != sim::kInvalidTask)
+                fetch_deps.push_back(prev);
+            sim::TaskId ready = builder.onH2d(
+                "h2d L" + std::to_string(l), fetch_time,
+                std::move(fetch_deps));
+            if (n > 1)
+                ready = builder.onNic("ag", gather_time, {ready});
+            prev = builder.onGpu("fwd L" + std::to_string(l), fwd_layer,
+                                 {ready});
+        }
+        const bool last = step + 1 == accum_steps;
+        for (std::uint32_t l = cfg.layers; l-- > 0;) {
+            sim::TaskId ready = builder.onH2d(
+                "h2d' L" + std::to_string(l), fetch_time, {prev});
+            if (n > 1)
+                ready = builder.onNic("ag'", gather_time, {ready});
+            prev = builder.onGpu("bwd L" + std::to_string(l), bwd_layer,
+                                 {ready});
+            if (!last)
+                continue;
+            sim::TaskId grads = prev;
+            if (n > 1) {
+                grads = builder.onNic(
+                    "rs", builder.coll().reduceScatter(2.0 * layer_params),
+                    {grads});
+            }
+            grad_arrivals[l] = builder.onD2h(
+                "d2h g L" + std::to_string(l),
+                builder.d2hTime(2.0 * layer_params / n, /*pinned=*/false),
+                {grads});
+        }
+    }
+
+    // Global norm, then PyTorch's unfused CPU Adam over the shard —
+    // serialized, exposed, and slow (AdamImpl::Naive).
+    std::vector<sim::TaskId> all_grads;
+    for (sim::TaskId id : grad_arrivals)
+        all_grads.push_back(id);
+    const sim::TaskId norm = builder.onCpu(
+        "grad-norm+check",
+        setup.cluster.node.superchip.cpu.memTime(4.0 * params / n),
+        all_grads);
+    builder.onCpu(
+        "adam (torch.optim, per-tensor loop)",
+        builder.cpuAdamTime(params / n, hw::AdamImpl::PyTorchLoop),
+        {norm});
+
+    model::IterationFlops total = model::iterationFlops(
+        cfg, static_cast<double>(micro_batch) * accum_steps, setup.seq,
+        checkpointing);
+    return builder.finish(total);
+}
+
+} // namespace so::runtime

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * FSDP-CPU-Offload baseline (Appendix B): PyTorch FSDP with model
+ * states offloaded to CPU. The schedule is largely synchronous —
+ * parameters are copied in before each layer without prefetch and
+ * gradients copied out after — and the optimizer is PyTorch's native
+ * (unfused, multi-pass) CPU Adam, which §5.2 identifies as the
+ * bottleneck capping FSDP-Offload below 15 TFLOPS.
+ */
+#ifndef SO_RUNTIME_FSDP_OFFLOAD_H
+#define SO_RUNTIME_FSDP_OFFLOAD_H
+
+#include "runtime/system.h"
+
+namespace so::runtime {
+
+/** PyTorch FSDP with CPU offloading. */
+class FsdpOffloadSystem : public TrainingSystem
+{
+  public:
+    std::string name() const override { return "FSDP-Offload"; }
+
+  protected:
+    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                    bool checkpointing) const override;
+    double cpuBytes(const TrainSetup &setup) const override;
+    IterationResult simulate(const TrainSetup &setup,
+                             std::uint32_t micro_batch, bool checkpointing,
+                             std::uint32_t accum_steps) const override;
+};
+
+} // namespace so::runtime
+
+#endif // SO_RUNTIME_FSDP_OFFLOAD_H

@@ -1,0 +1,180 @@
+#include "runtime/megatron.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "runtime/builder.h"
+
+namespace so::runtime {
+
+double
+MegatronSystem::activationShare(std::uint32_t mp)
+{
+    // Attention/MLP interiors are sharded 1/mp; layer inputs, residual
+    // stream, and layer norms remain replicated.
+    return 0.3 + 0.7 / static_cast<double>(mp);
+}
+
+double
+MegatronSystem::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                         bool checkpointing) const
+{
+    const double mp = effectiveMp();
+    const auto states = model::StateSizes::forParams(setup.model.params());
+    model::ActivationOptions act_opts;
+    act_opts.checkpointing = checkpointing;
+    const double act = model::activationBytes(setup.model, micro_batch,
+                                              setup.seq, act_opts) *
+                       activationShare(effectiveMp());
+    return model::gpuResidentBytes(states.totalBytes() / mp + act);
+}
+
+double
+MegatronSystem::cpuBytes(const TrainSetup &) const
+{
+    return 0.0;
+}
+
+IterationResult
+MegatronSystem::run(const TrainSetup &setup) const
+{
+    if (mp_ != 0) {
+        chosen_mp_ = mp_;
+        return TrainingSystem::run(setup);
+    }
+
+    // Auto mode: §5.2 "we use a MP degree that gives the best
+    // performance". Megatron-LM caps the tensor-parallel degree at 8
+    // (attention-head divisibility and the NVLink domain); cross-node
+    // TP up to that cap is allowed — it is how Megatron reaches its
+    // largest models in Fig. 13 — but is rarely the fastest choice,
+    // which the search discovers on its own.
+    const std::uint32_t gpus = setup.cluster.totalSuperchips();
+    const std::uint32_t max_mp = std::min<std::uint32_t>(gpus, 8);
+    IterationResult best;
+    std::uint32_t best_mp = 0;
+    for (std::uint32_t mp = 1; mp <= max_mp; mp *= 2) {
+        chosen_mp_ = mp;
+        IterationResult res = TrainingSystem::run(setup);
+        if (res.feasible &&
+            (!best.feasible || res.tflopsPerGpu() > best.tflopsPerGpu())) {
+            best = std::move(res);
+            best_mp = mp;
+        }
+    }
+    if (!best.feasible) {
+        // Report the failure at the largest degree (the most memory-
+        // friendly one).
+        chosen_mp_ = max_mp;
+        return TrainingSystem::run(setup);
+    }
+    chosen_mp_ = best_mp;
+    return best;
+}
+
+IterationResult
+MegatronSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
+                         bool checkpointing,
+                         std::uint32_t accum_steps) const
+{
+    IterBuilder builder(setup);
+    const model::ModelConfig &cfg = setup.model;
+    const double mp = effectiveMp();
+    const double layers = cfg.layers;
+    const std::uint32_t gpus = setup.cluster.totalSuperchips();
+    const std::uint32_t dp = std::max<std::uint32_t>(
+        1, gpus / effectiveMp());
+
+    const model::IterationFlops micro_flops = model::iterationFlops(
+        cfg, micro_batch, setup.seq, checkpointing);
+    const double tokens = builder.microTokens(micro_batch);
+
+    // Per-layer compute, divided across the MP group. Tensor slicing
+    // narrows every GEMM to 1/mp of its width, which costs sustained
+    // efficiency (tile quantization, more kernel launches per FLOP).
+    const double tp_penalty =
+        1.0 + (effectiveMp() > 1
+                   ? 0.15 * std::log2(static_cast<double>(mp))
+                   : 0.0);
+    const double fwd_layer =
+        (builder.gemmTime(micro_flops.fwd_gemm / mp, tokens) * tp_penalty +
+         builder.attnTime(micro_flops.fwd_attn / mp)) /
+        layers;
+    const double bwd_layer =
+        (builder.gemmTime((micro_flops.bwd_gemm +
+                           micro_flops.recompute_gemm) / mp, tokens) *
+             tp_penalty +
+         builder.attnTime((micro_flops.bwd_attn +
+                           micro_flops.recompute_attn) / mp)) /
+        layers;
+
+    // TP all-reduces run over NVLink while the group fits in a node,
+    // otherwise over the inter-node fabric.
+    hw::CollectiveCost tp_coll;
+    tp_coll.ranks = effectiveMp();
+    if (effectiveMp() <= setup.cluster.node.superchips_per_node) {
+        tp_coll.bw_per_gpu = setup.cluster.node.intra_node.curve().peak();
+        tp_coll.latency = setup.cluster.node.intra_node.latency();
+    } else {
+        tp_coll.bw_per_gpu = std::min(
+            setup.cluster.node.intra_node.curve().peak(),
+            setup.cluster.node.inter_node.curve().peak());
+        tp_coll.latency = setup.cluster.node.inter_node.latency();
+    }
+    // Two all-reduces of the activation tensor per layer per pass.
+    const double act_bytes =
+        2.0 * tokens * static_cast<double>(cfg.hidden);
+    const double tp_sync = 2.0 * tp_coll.allReduce(act_bytes);
+
+    // DP gradient all-reduce (cross-node when multi-node).
+    hw::CollectiveCost dp_coll = builder.coll();
+    dp_coll.ranks = dp;
+
+    sim::TaskId prev = sim::kInvalidTask;
+    std::vector<sim::TaskId> final_syncs;
+    for (std::uint32_t step = 0; step < accum_steps; ++step) {
+        for (std::uint32_t l = 0; l < cfg.layers; ++l) {
+            std::vector<sim::TaskId> deps;
+            if (prev != sim::kInvalidTask)
+                deps.push_back(prev);
+            prev = builder.onGpu("fwd L" + std::to_string(l), fwd_layer,
+                                 std::move(deps));
+            if (effectiveMp() > 1) {
+                // TP sync is on the critical path of the layer.
+                prev = builder.onNic("tp-ar", tp_sync, {prev});
+            }
+        }
+        const bool last = step + 1 == accum_steps;
+        for (std::uint32_t l = cfg.layers; l-- > 0;) {
+            prev = builder.onGpu("bwd L" + std::to_string(l), bwd_layer,
+                                 {prev});
+            if (effectiveMp() > 1)
+                prev = builder.onNic("tp-ar", tp_sync, {prev});
+            if (last && dp > 1) {
+                const double grad_bytes = 2.0 * cfg.params() / mp / layers;
+                final_syncs.push_back(builder.onNic(
+                    "dp-allreduce", dp_coll.allReduce(grad_bytes), {prev}));
+            }
+        }
+    }
+
+    std::vector<sim::TaskId> step_deps = final_syncs;
+    step_deps.push_back(prev);
+    builder.onGpu("adam (gpu)", builder.gpuAdamTime(cfg.params() / mp),
+                  std::move(step_deps));
+
+    model::IterationFlops total = model::iterationFlops(
+        cfg, static_cast<double>(micro_batch) * accum_steps, setup.seq,
+        checkpointing);
+    // Per-GPU share of the work under MP.
+    total.fwd_gemm /= mp;
+    total.fwd_attn /= mp;
+    total.bwd_gemm /= mp;
+    total.bwd_attn /= mp;
+    total.recompute_gemm /= mp;
+    total.recompute_attn /= mp;
+    return builder.finish(total);
+}
+
+} // namespace so::runtime

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Megatron-LM baseline (Appendix B): tensor (model) parallelism, with
+ * data parallelism layered on the remaining ranks. Per §5.2, the MP
+ * degree is chosen by searching the candidates for the best feasible
+ * throughput.
+ */
+#ifndef SO_RUNTIME_MEGATRON_H
+#define SO_RUNTIME_MEGATRON_H
+
+#include "runtime/system.h"
+
+namespace so::runtime {
+
+/** Megatron tensor parallelism (+ DP across remaining ranks). */
+class MegatronSystem : public TrainingSystem
+{
+  public:
+    /** @param mp fixed model-parallel degree, or 0 to auto-search. */
+    explicit MegatronSystem(std::uint32_t mp = 0) : mp_(mp) {}
+
+    std::string name() const override { return "Megatron"; }
+
+    IterationResult run(const TrainSetup &setup) const override;
+
+    /** MP degree chosen by the last run() (0 = none yet). */
+    std::uint32_t modelParallelDegree() const { return chosen_mp_; }
+
+  protected:
+    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                    bool checkpointing) const override;
+    double cpuBytes(const TrainSetup &setup) const override;
+    IterationResult simulate(const TrainSetup &setup,
+                             std::uint32_t micro_batch, bool checkpointing,
+                             std::uint32_t accum_steps) const override;
+
+  private:
+    /** Fraction of activations that stay replicated under MP. */
+    static double activationShare(std::uint32_t mp);
+
+    /** Effective degree used by the protected hooks (never 0). */
+    std::uint32_t effectiveMp() const
+    {
+        return chosen_mp_ == 0 ? 1 : chosen_mp_;
+    }
+
+    const std::uint32_t mp_;
+    /** Degree the protected hooks evaluate; set by run(). */
+    mutable std::uint32_t chosen_mp_ = 0;
+};
+
+} // namespace so::runtime
+
+#endif // SO_RUNTIME_MEGATRON_H

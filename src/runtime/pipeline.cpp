@@ -1,0 +1,145 @@
+#include "runtime/pipeline.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "runtime/builder.h"
+
+namespace so::runtime {
+
+double
+PipelineSystem::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                         bool checkpointing) const
+{
+    const double p = effectiveStages();
+    const auto states = model::StateSizes::forParams(setup.model.params());
+    model::ActivationOptions act_opts;
+    act_opts.checkpointing = checkpointing;
+    // 1F1B keeps up to P micro-batches of this stage's activations in
+    // flight: P x (act of 1/P of the layers) ~= one micro-batch of the
+    // whole model's activations.
+    const double act = model::activationBytes(setup.model, micro_batch,
+                                              setup.seq, act_opts);
+    return model::gpuResidentBytes(states.totalBytes() / p + act);
+}
+
+double
+PipelineSystem::cpuBytes(const TrainSetup &) const
+{
+    return 0.0;
+}
+
+IterationResult
+PipelineSystem::run(const TrainSetup &setup) const
+{
+    if (stages_ != 0) {
+        chosen_stages_ = stages_;
+        return TrainingSystem::run(setup);
+    }
+    const std::uint32_t gpus = setup.cluster.totalSuperchips();
+    IterationResult best;
+    std::uint32_t best_p = 0;
+    for (std::uint32_t p = 1; p <= gpus; p *= 2) {
+        if (p > setup.model.layers)
+            break;
+        chosen_stages_ = p;
+        IterationResult res = TrainingSystem::run(setup);
+        if (res.feasible &&
+            (!best.feasible || res.tflopsPerGpu() > best.tflopsPerGpu())) {
+            best = std::move(res);
+            best_p = p;
+        }
+    }
+    if (!best.feasible) {
+        chosen_stages_ = std::min(
+            gpus, std::max<std::uint32_t>(1, setup.model.layers));
+        return TrainingSystem::run(setup);
+    }
+    chosen_stages_ = best_p;
+    return best;
+}
+
+IterationResult
+PipelineSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
+                         bool checkpointing,
+                         std::uint32_t accum_steps) const
+{
+    IterBuilder builder(setup);
+    const model::ModelConfig &cfg = setup.model;
+    const std::uint32_t p = effectiveStages();
+    const std::uint32_t gpus = setup.cluster.totalSuperchips();
+    const std::uint32_t dp = std::max<std::uint32_t>(1, gpus / p);
+    // Micro-batches per iteration (1F1B's M): the accumulation steps.
+    const std::uint32_t m = accum_steps;
+
+    const model::IterationFlops micro_flops = model::iterationFlops(
+        cfg, micro_batch, setup.seq, checkpointing);
+    const double tokens = builder.microTokens(micro_batch);
+
+    // Per-stage, per-micro-batch compute.
+    const double fwd_stage =
+        (builder.gemmTime(micro_flops.fwd_gemm, tokens) +
+         builder.attnTime(micro_flops.fwd_attn)) / p;
+    const double bwd_stage =
+        (builder.gemmTime(micro_flops.bwd_gemm + micro_flops.recompute_gemm,
+                          tokens) +
+         builder.attnTime(micro_flops.bwd_attn +
+                          micro_flops.recompute_attn)) / p;
+
+    // Inter-stage activation transfer per micro-batch boundary (fp16
+    // hidden states, forward + gradient on the way back).
+    const double boundary_bytes =
+        2.0 * tokens * static_cast<double>(cfg.hidden);
+    const double p2p =
+        p > 1 ? boundary_bytes / setup.cluster.collectiveBandwidthPerGpu() +
+                    setup.cluster.collectiveLatency()
+              : 0.0;
+
+    // Simulate the critical path through the *last* stage: it starts
+    // after the fill (p-1 forward slots) and finishes after its own
+    // m forwards + m backwards; the drain adds (p-1) backward slots on
+    // the first stage, which the optimizer then follows.
+    sim::TaskId prev = sim::kInvalidTask;
+    const double fill = (p - 1) * (fwd_stage + p2p);
+    if (fill > 0.0)
+        prev = builder.onGpu("pipeline-fill", fill, {});
+    for (std::uint32_t i = 0; i < m; ++i) {
+        std::vector<sim::TaskId> deps;
+        if (prev != sim::kInvalidTask)
+            deps.push_back(prev);
+        prev = builder.onGpu("fwd u" + std::to_string(i), fwd_stage,
+                             std::move(deps));
+        prev = builder.onGpu("bwd u" + std::to_string(i), bwd_stage,
+                             {prev});
+    }
+    const double drain = (p - 1) * (bwd_stage + p2p);
+    if (drain > 0.0)
+        prev = builder.onGpu("pipeline-drain", drain, {prev});
+
+    // DP gradient all-reduce of this stage's shard, then GPU Adam.
+    std::vector<sim::TaskId> step_deps{prev};
+    if (dp > 1) {
+        hw::CollectiveCost dp_coll = builder.coll();
+        dp_coll.ranks = dp;
+        step_deps.push_back(builder.onNic(
+            "dp-allreduce",
+            dp_coll.allReduce(2.0 * cfg.params() / p), {prev}));
+    }
+    builder.onGpu("adam (gpu, 1/P)", builder.gpuAdamTime(cfg.params() / p),
+                  std::move(step_deps));
+
+    model::IterationFlops total = model::iterationFlops(
+        cfg, static_cast<double>(micro_batch) * accum_steps, setup.seq,
+        checkpointing);
+    // Per-GPU share of the compute under PP.
+    total.fwd_gemm /= p;
+    total.fwd_attn /= p;
+    total.bwd_gemm /= p;
+    total.bwd_attn /= p;
+    total.recompute_gemm /= p;
+    total.recompute_attn /= p;
+    return builder.finish(total);
+}
+
+} // namespace so::runtime

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pipeline-parallel baseline (§2.2's GPipe/PipeDream family; the paper
+ * lists PP among the distributed techniques whose GPU appetite
+ * motivates offloading, without evaluating it — included here for
+ * completeness of the baseline set).
+ *
+ * Modelled as synchronous 1F1B: the model is split into P stages, the
+ * per-rank batch into M micro-batches, and each stage processes every
+ * micro-batch with the classic (P-1)/(M+P-1) bubble. Activations cross
+ * stage boundaries over the cluster fabric; gradients all-reduce over
+ * the data-parallel replicas of each stage.
+ */
+#ifndef SO_RUNTIME_PIPELINE_H
+#define SO_RUNTIME_PIPELINE_H
+
+#include "runtime/system.h"
+
+namespace so::runtime {
+
+/** Synchronous pipeline parallelism (+ DP across remaining ranks). */
+class PipelineSystem : public TrainingSystem
+{
+  public:
+    /** @param stages fixed stage count, or 0 to auto-search. */
+    explicit PipelineSystem(std::uint32_t stages = 0) : stages_(stages) {}
+
+    std::string name() const override { return "Pipeline (1F1B)"; }
+
+    IterationResult run(const TrainSetup &setup) const override;
+
+    /** Stage count chosen by the last run() (0 = none yet). */
+    std::uint32_t stageCount() const { return chosen_stages_; }
+
+  protected:
+    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                    bool checkpointing) const override;
+    double cpuBytes(const TrainSetup &setup) const override;
+    IterationResult simulate(const TrainSetup &setup,
+                             std::uint32_t micro_batch, bool checkpointing,
+                             std::uint32_t accum_steps) const override;
+
+  private:
+    std::uint32_t effectiveStages() const
+    {
+        return chosen_stages_ == 0 ? 1 : chosen_stages_;
+    }
+
+    const std::uint32_t stages_;
+    mutable std::uint32_t chosen_stages_ = 0;
+};
+
+} // namespace so::runtime
+
+#endif // SO_RUNTIME_PIPELINE_H

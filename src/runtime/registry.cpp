@@ -1,0 +1,57 @@
+#include "runtime/registry.h"
+
+#include "common/logging.h"
+#include "runtime/ddp.h"
+#include "runtime/deep_opt_states.h"
+#include "runtime/fsdp_offload.h"
+#include "runtime/megatron.h"
+#include "runtime/pipeline.h"
+#include "runtime/ulysses.h"
+#include "runtime/zero.h"
+#include "runtime/zero_infinity.h"
+#include "runtime/zero_offload.h"
+
+namespace so::runtime {
+
+SystemPtr
+makeBaseline(const std::string &name)
+{
+    if (name == "ddp")
+        return std::make_unique<DdpSystem>();
+    if (name == "megatron")
+        return std::make_unique<MegatronSystem>();
+    if (name == "zero2")
+        return std::make_unique<Zero2System>();
+    if (name == "zero3")
+        return std::make_unique<Zero3System>();
+    if (name == "zero-offload")
+        return std::make_unique<ZeroOffloadSystem>();
+    if (name == "zero-infinity")
+        return std::make_unique<ZeroInfinitySystem>();
+    if (name == "fsdp-offload")
+        return std::make_unique<FsdpOffloadSystem>();
+    if (name == "ulysses")
+        return std::make_unique<UlyssesSystem>();
+    if (name == "ulysses-zero3")
+        return std::make_unique<UlyssesSystem>(3);
+    if (name == "zero-infinity-nvme")
+        return std::make_unique<ZeroInfinitySystem>(/*use_nvme=*/true);
+    if (name == "pipeline")
+        return std::make_unique<PipelineSystem>();
+    if (name == "deep-opt-states")
+        return std::make_unique<DeepOptStatesSystem>();
+    SO_FATAL("unknown baseline '", name, "'");
+}
+
+std::vector<std::string>
+baselineNames()
+{
+    return {"ddp",           "megatron",
+            "zero2",         "zero3",
+            "zero-offload",  "zero-infinity",
+            "fsdp-offload",  "ulysses",
+            "ulysses-zero3", "zero-infinity-nvme",
+            "pipeline",      "deep-opt-states"};
+}
+
+} // namespace so::runtime

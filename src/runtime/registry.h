@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Factory for the baseline training systems compared in §5.
+ */
+#ifndef SO_RUNTIME_REGISTRY_H
+#define SO_RUNTIME_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "runtime/system.h"
+
+namespace so::runtime {
+
+/**
+ * Create a baseline by name: "ddp", "megatron", "zero2", "zero3",
+ * "zero-offload", "zero-infinity", "fsdp-offload", "ulysses".
+ * @fatal on unknown names. (SuperOffload variants live in so::core.)
+ */
+SystemPtr makeBaseline(const std::string &name);
+
+/** Names of all registered baselines. */
+std::vector<std::string> baselineNames();
+
+} // namespace so::runtime
+
+#endif // SO_RUNTIME_REGISTRY_H

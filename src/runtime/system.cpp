@@ -1,0 +1,143 @@
+#include "runtime/system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace so::runtime {
+
+std::uint32_t
+TrainSetup::perGpuBatch() const
+{
+    const std::uint32_t gpus = cluster.totalSuperchips();
+    SO_ASSERT(gpus >= 1, "cluster has no superchips");
+    return std::max<std::uint32_t>(1, global_batch / gpus);
+}
+
+double
+IterationResult::tflopsPerGpu() const
+{
+    if (!feasible || iter_time <= 0.0)
+        return 0.0;
+    return flops.modelFlops() / iter_time / kTFLOPS;
+}
+
+double
+IterationResult::mfuAgainst(double peak_flops) const
+{
+    if (!feasible || iter_time <= 0.0)
+        return 0.0;
+    SO_ASSERT(peak_flops > 0.0, "peak flops must be positive");
+    return flops.modelFlops() / (iter_time * peak_flops);
+}
+
+double
+TrainingSystem::cpuCapacity(const TrainSetup &setup)
+{
+    return setup.cluster.node.superchip.cpu.mem_bytes *
+           model::kCpuUsableFraction;
+}
+
+double
+TrainingSystem::gpuCapacity(const TrainSetup &setup)
+{
+    return setup.cluster.node.superchip.gpu.mem_bytes;
+}
+
+IterationResult
+TrainingSystem::run(const TrainSetup &setup) const
+{
+    return searchBest(setup, setup.perGpuBatch());
+}
+
+IterationResult
+TrainingSystem::searchBest(const TrainSetup &setup,
+                           std::uint32_t per_gpu) const
+{
+    const double gpu_cap = gpuCapacity(setup);
+    const double cpu_cap = cpuCapacity(setup);
+    const double cpu_need = cpuBytes(setup);
+    const double nvme_cap = setup.cluster.node.superchip.nvme_bytes;
+    const double nvme_need = nvmeBytes(setup);
+
+    auto fill_memory = [&](IterationResult &res, std::uint32_t micro,
+                           bool ckpt) {
+        res.memory.gpu_bytes = gpuBytes(setup, micro, ckpt);
+        res.memory.gpu_capacity = gpu_cap;
+        res.memory.cpu_bytes = cpu_need;
+        res.memory.cpu_capacity = cpu_cap;
+        res.memory.nvme_bytes = nvme_need;
+        res.memory.nvme_capacity = nvme_cap;
+    };
+
+    if (nvme_need > nvme_cap) {
+        IterationResult res;
+        fill_memory(res, 1, true);
+        res.infeasible_reason =
+            "NVMe: needs " + formatBytes(nvme_need) + ", capacity " +
+            formatBytes(nvme_cap);
+        return res;
+    }
+
+    if (cpu_need > cpu_cap) {
+        IterationResult res;
+        fill_memory(res, 1, true);
+        res.infeasible_reason =
+            "host DRAM: needs " + formatBytes(cpu_need) + ", capacity " +
+            formatBytes(cpu_cap);
+        return res;
+    }
+
+    // Largest micro-batch that fits for a given checkpointing choice;
+    // 0 when even micro-batch 1 does not fit.
+    auto largest_micro = [&](bool ckpt) -> std::uint32_t {
+        for (std::uint32_t micro = per_gpu; micro >= 1; --micro) {
+            if (per_gpu % micro != 0)
+                continue; // Accumulation steps must be integral.
+            if (gpuBytes(setup, micro, ckpt) <= gpu_cap)
+                return micro;
+        }
+        return 0;
+    };
+
+    const std::uint32_t micro_plain = largest_micro(false);
+    const std::uint32_t micro_ckpt =
+        allowCheckpointing() ? largest_micro(true) : 0;
+
+    if (micro_plain == 0 && micro_ckpt == 0) {
+        IterationResult res;
+        fill_memory(res, 1, allowCheckpointing());
+        res.infeasible_reason =
+            "GPU memory: needs " + formatBytes(res.memory.gpu_bytes) +
+            " at micro-batch 1" +
+            (allowCheckpointing() ? " with checkpointing" : "") +
+            ", capacity " + formatBytes(gpu_cap);
+        return res;
+    }
+
+    // Evaluate the two §5.2 fallback strategies and keep the faster.
+    IterationResult best;
+    auto consider = [&](std::uint32_t micro, bool ckpt) {
+        if (micro == 0)
+            return;
+        IterationResult res =
+            simulate(setup, micro, ckpt, per_gpu / micro);
+        res.feasible = true;
+        res.micro_batch = micro;
+        res.accum_steps = per_gpu / micro;
+        res.activation_checkpointing = ckpt;
+        fill_memory(res, micro, ckpt);
+        if (!best.feasible || res.tflopsPerGpu() > best.tflopsPerGpu())
+            best = std::move(res);
+    };
+    consider(micro_plain, false);
+    // Checkpointing is only interesting when it unlocks a larger
+    // micro-batch than plain execution allows.
+    if (micro_ckpt > micro_plain)
+        consider(micro_ckpt, true);
+
+    return best;
+}
+
+} // namespace so::runtime

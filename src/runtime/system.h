@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Training-system abstraction shared by every baseline and by
+ * SuperOffload itself.
+ *
+ * A TrainingSystem answers, for one training setup (cluster, model,
+ * batch, sequence length): does it fit, and what does one iteration's
+ * schedule look like? Micro-batch selection follows the paper's §5.2
+ * protocol: when the requested batch does not fit, try (1) smaller
+ * micro-batches with gradient accumulation and (2) activation
+ * checkpointing with the largest feasible micro-batch, and report
+ * whichever yields higher throughput. Recompute FLOPs are excluded from
+ * effective-TFLOPS numbers, also per §5.2.
+ */
+#ifndef SO_RUNTIME_SYSTEM_H
+#define SO_RUNTIME_SYSTEM_H
+
+#include <memory>
+#include <string>
+
+#include "hw/collective.h"
+#include "hw/presets.h"
+#include "hw/topology.h"
+#include "model/config.h"
+#include "model/flops.h"
+#include "model/memory.h"
+
+namespace so::runtime {
+
+/** One training configuration to evaluate. */
+struct TrainSetup
+{
+    hw::ClusterSpec cluster;
+    model::ModelConfig model;
+    /** Sequences per iteration across the whole cluster. */
+    std::uint32_t global_batch = 8;
+    /** Tokens per sequence. */
+    std::uint32_t seq = 1024;
+    /** Launcher NUMA binding quality (§4.7). */
+    hw::NumaBinding binding = hw::NumaBinding::Colocated;
+
+    /**
+     * Attach a chrome://tracing JSON of the simulated schedule to the
+     * result (IterationResult::trace_json). Off by default: the trace
+     * is large and most sweeps run thousands of simulations.
+     */
+    bool capture_trace = false;
+
+    /** Sequences per GPU per iteration (>= 1). */
+    std::uint32_t perGpuBatch() const;
+};
+
+/** Memory demand vs capacity for one rank. */
+struct MemoryReport
+{
+    double gpu_bytes = 0.0;
+    double gpu_capacity = 0.0;
+    double cpu_bytes = 0.0;
+    double cpu_capacity = 0.0;
+    /** NVMe tier (ZeRO-Infinity's third tier); both 0 when unused. */
+    double nvme_bytes = 0.0;
+    double nvme_capacity = 0.0;
+
+    bool fitsGpu() const { return gpu_bytes <= gpu_capacity; }
+    bool fitsCpu() const { return cpu_bytes <= cpu_capacity; }
+    bool fitsNvme() const { return nvme_bytes <= nvme_capacity || nvme_bytes == 0.0; }
+    bool fits() const { return fitsGpu() && fitsCpu() && fitsNvme(); }
+};
+
+/** Outcome of evaluating one setup under one system. */
+struct IterationResult
+{
+    bool feasible = false;
+    std::string infeasible_reason;
+
+    /** Wall-clock of one full iteration (all accumulation steps). */
+    double iter_time = 0.0;
+    std::uint32_t micro_batch = 0;
+    std::uint32_t accum_steps = 1;
+    bool activation_checkpointing = false;
+
+    /** Busy fractions over the iteration, from the simulated timelines. */
+    double gpu_utilization = 0.0;
+    double cpu_utilization = 0.0;
+    double link_utilization = 0.0;
+
+    MemoryReport memory;
+
+    /** Per-rank FLOP breakdown of the whole iteration. */
+    model::IterationFlops flops;
+
+    /** ASCII Gantt chart of the simulated schedule (diagnostics). */
+    std::string gantt;
+
+    /** System-specific annotations (e.g. chosen policy parameters). */
+    std::string notes;
+
+    /**
+     * chrome://tracing JSON of the schedule; filled only when the
+     * setup's capture_trace flag was set.
+     */
+    std::string trace_json;
+
+    /** Effective TFLOPS per GPU: model flops (no recompute) / time. */
+    double tflopsPerGpu() const;
+
+    /** MFU against @p peak_flops (theoretical per-GPU peak). */
+    double mfuAgainst(double peak_flops) const;
+};
+
+/** Common interface of all nine training systems evaluated in §5. */
+class TrainingSystem
+{
+  public:
+    virtual ~TrainingSystem() = default;
+
+    /** Display name, e.g. "ZeRO-Offload". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Evaluate @p setup: performs the micro-batch / checkpointing
+     * search and returns the best feasible schedule (or an infeasible
+     * result naming the limiting resource). Virtual so systems with an
+     * extra search dimension (Megatron's MP degree, SuperOffload's
+     * adaptive policy) can wrap it.
+     */
+    virtual IterationResult run(const TrainSetup &setup) const;
+
+  protected:
+    /**
+     * Per-GPU resident bytes (model states + activations + overheads)
+     * for the given micro-batch and checkpointing choice.
+     */
+    virtual double gpuBytes(const TrainSetup &setup,
+                            std::uint32_t micro_batch,
+                            bool checkpointing) const = 0;
+
+    /** Per-rank host-DRAM bytes the system keeps on the CPU. */
+    virtual double cpuBytes(const TrainSetup &setup) const = 0;
+
+    /** Per-rank NVMe bytes (0 unless the system uses the third tier). */
+    virtual double nvmeBytes(const TrainSetup &) const { return 0.0; }
+
+    /**
+     * Whether the §5.2 search may fall back to activation
+     * checkpointing. Vanilla DDP returns false: checkpointing requires
+     * wrapping the model code, which the "standard PyTorch Transformer
+     * implementation" baseline does not do.
+     */
+    virtual bool allowCheckpointing() const { return true; }
+
+    /**
+     * Build and simulate one iteration's task graph for the given
+     * micro-batch / checkpointing / accumulation choice. The returned
+     * result must fill iter_time, utilizations, flops, and gantt; the
+     * base class fills the rest.
+     */
+    virtual IterationResult simulate(const TrainSetup &setup,
+                                     std::uint32_t micro_batch,
+                                     bool checkpointing,
+                                     std::uint32_t accum_steps) const = 0;
+
+    /**
+     * The §5.2 micro-batch / checkpointing search over a per-rank batch
+     * of @p per_rank_batch sequences. The default run() uses
+     * setup.perGpuBatch(); sequence-parallel systems pass the global
+     * batch instead (every rank works on every sequence).
+     */
+    IterationResult searchBest(const TrainSetup &setup,
+                               std::uint32_t per_rank_batch) const;
+
+    /** CPU capacity available to the system (usable fraction applied). */
+    static double cpuCapacity(const TrainSetup &setup);
+
+    /** GPU HBM capacity per rank. */
+    static double gpuCapacity(const TrainSetup &setup);
+};
+
+/** Shared pointer alias used by the registry. */
+using SystemPtr = std::unique_ptr<TrainingSystem>;
+
+} // namespace so::runtime
+
+#endif // SO_RUNTIME_SYSTEM_H

@@ -1,0 +1,151 @@
+#include "runtime/ulysses.h"
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "runtime/builder.h"
+
+namespace so::runtime {
+
+UlyssesSystem::UlyssesSystem(std::uint32_t zero_stage)
+    : zero_stage_(zero_stage)
+{
+    SO_ASSERT(zero_stage == 2 || zero_stage == 3,
+              "Ulysses supports ZeRO stage 2 or 3, got ", zero_stage);
+}
+
+IterationResult
+UlyssesSystem::run(const TrainSetup &setup) const
+{
+    // Sequence parallelism: every rank participates in every sequence,
+    // so the per-rank batch is the global batch.
+    return searchBest(setup, setup.global_batch);
+}
+
+double
+UlyssesSystem::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                        bool checkpointing) const
+{
+    const double n = setup.cluster.totalSuperchips();
+    const double params = setup.model.params();
+    // Stage 2: fp16 params + grads replicated, optimizer sharded.
+    // Stage 3: everything sharded, plus a 2-layer gathered working set
+    // and communication buffers.
+    const double states =
+        zero_stage_ == 3
+            ? 18.0 * params / n + 2.0 * 2.0 * setup.model.paramsPerLayer()
+            : 4.0 * params + 12.0 * params / n;
+    model::ActivationOptions act_opts;
+    act_opts.checkpointing = checkpointing;
+    act_opts.sequence_parallel = setup.cluster.totalSuperchips();
+    const double act = model::activationBytes(setup.model, micro_batch,
+                                              setup.seq, act_opts);
+    return model::gpuResidentBytes(states + act);
+}
+
+double
+UlyssesSystem::cpuBytes(const TrainSetup &) const
+{
+    return 0.0;
+}
+
+IterationResult
+UlyssesSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
+                        bool checkpointing, std::uint32_t accum_steps) const
+{
+    IterBuilder builder(setup);
+    const model::ModelConfig &cfg = setup.model;
+    const double layers = cfg.layers;
+    const double params = cfg.params();
+    const double n = setup.cluster.totalSuperchips();
+
+    // Per-rank FLOPs: the model processes micro_batch full sequences,
+    // each rank handling 1/N of the work.
+    const model::IterationFlops micro_flops = model::iterationFlops(
+        cfg, micro_batch, setup.seq, checkpointing);
+    // Effective tokens per GEMM call on one rank: s/N of each sequence.
+    const double tokens = builder.microTokens(micro_batch) / n;
+    const double fwd_layer =
+        (builder.gemmTime(micro_flops.fwd_gemm / n, tokens) +
+         builder.attnTime(micro_flops.fwd_attn / n)) / layers;
+    const double bwd_layer =
+        (builder.gemmTime(
+             (micro_flops.bwd_gemm + micro_flops.recompute_gemm) / n,
+             tokens) +
+         builder.attnTime(
+             (micro_flops.bwd_attn + micro_flops.recompute_attn) / n)) /
+        layers;
+
+    // All-to-all around attention: each rank exchanges its activation
+    // shard (fp16), twice forward and twice backward per layer.
+    const double a2a_bytes = 2.0 * static_cast<double>(micro_batch) *
+                             setup.seq * cfg.hidden / n;
+    const double a2a = n > 1 ? builder.coll().allToAll(a2a_bytes) : 0.0;
+
+    // Stage-3 per-layer parameter all-gathers (prefetchable).
+    const double gather_time =
+        zero_stage_ == 3 && n > 1
+            ? builder.coll().allGather(2.0 * params / layers)
+            : 0.0;
+
+    sim::TaskId prev = sim::kInvalidTask;
+    std::vector<sim::TaskId> final_syncs;
+    for (std::uint32_t step = 0; step < accum_steps; ++step) {
+        for (std::uint32_t l = 0; l < cfg.layers; ++l) {
+            std::vector<sim::TaskId> deps;
+            if (prev != sim::kInvalidTask)
+                deps.push_back(prev);
+            if (gather_time > 0.0)
+                deps.push_back(builder.onNic("ag", gather_time, {}));
+            prev = builder.onGpu("fwd L" + std::to_string(l), fwd_layer,
+                                 std::move(deps));
+            if (n > 1)
+                prev = builder.onNic("a2a", 2.0 * a2a, {prev});
+        }
+        const bool last = step + 1 == accum_steps;
+        for (std::uint32_t l = cfg.layers; l-- > 0;) {
+            std::vector<sim::TaskId> deps{prev};
+            if (gather_time > 0.0)
+                deps.push_back(builder.onNic("ag'", gather_time, {}));
+            prev = builder.onGpu("bwd L" + std::to_string(l), bwd_layer,
+                                 std::move(deps));
+            if (n > 1)
+                prev = builder.onNic("a2a'", 2.0 * a2a, {prev});
+            if (last && n > 1) {
+                // Gradients are identical-shape replicas under SP and
+                // reduce across ranks like DP.
+                const double grad_bytes = 2.0 * params / layers;
+                final_syncs.push_back(builder.onNic(
+                    "rs g", builder.coll().reduceScatter(grad_bytes),
+                    {prev}));
+            }
+        }
+    }
+
+    std::vector<sim::TaskId> step_deps = final_syncs;
+    step_deps.push_back(prev);
+    const sim::TaskId opt = builder.onGpu(
+        "adam (gpu, 1/N)", builder.gpuAdamTime(params / n),
+        std::move(step_deps));
+    if (n > 1 && zero_stage_ == 2) {
+        // Stage 3 gathers lazily per layer; stage 2 must refresh the
+        // full fp16 replica before the next forward.
+        builder.onNic("allgather params",
+                      builder.coll().allGather(2.0 * params), {opt});
+    }
+
+    // Report the per-rank share so TFLOPS/MFU are per GPU.
+    model::IterationFlops total = model::iterationFlops(
+        cfg, static_cast<double>(micro_batch) * accum_steps, setup.seq,
+        checkpointing);
+    total.fwd_gemm /= n;
+    total.fwd_attn /= n;
+    total.bwd_gemm /= n;
+    total.bwd_attn /= n;
+    total.recompute_gemm /= n;
+    total.recompute_attn /= n;
+    return builder.finish(total);
+}
+
+} // namespace so::runtime

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * DeepSpeed-Ulysses baseline (§4.7, §5.3): sequence parallelism over N
+ * ranks with all-to-all collectives around attention, combined (as in
+ * the DeepSpeed-Ulysses system) with ZeRO-1/2-style optimizer sharding.
+ * Model states are otherwise replicated on every GPU — the "fixed GPU
+ * memory consumption of model states" that limits how far the baseline
+ * scales in sequence length (Fig. 12).
+ */
+#ifndef SO_RUNTIME_ULYSSES_H
+#define SO_RUNTIME_ULYSSES_H
+
+#include "runtime/system.h"
+
+namespace so::runtime {
+
+/** Ulysses sequence parallelism (+ ZeRO-2 or ZeRO-3 sharding). */
+class UlyssesSystem : public TrainingSystem
+{
+  public:
+    /**
+     * @param zero_stage model-state sharding underneath SP: 2 (the
+     * DeepSpeed-Ulysses default — fp16 params and grads replicated,
+     * optimizer sharded) or 3 (fully sharded parameters with per-layer
+     * all-gathers).
+     */
+    explicit UlyssesSystem(std::uint32_t zero_stage = 2);
+
+    std::string
+    name() const override
+    {
+        return zero_stage_ == 3 ? "Ulysses+ZeRO-3" : "Ulysses";
+    }
+
+    /**
+     * Custom search: under SP every rank works on every sequence, so
+     * the per-rank batch equals the global batch and activations are
+     * divided by the SP degree.
+     */
+    IterationResult run(const TrainSetup &setup) const override;
+
+  protected:
+    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                    bool checkpointing) const override;
+    double cpuBytes(const TrainSetup &setup) const override;
+    IterationResult simulate(const TrainSetup &setup,
+                             std::uint32_t micro_batch, bool checkpointing,
+                             std::uint32_t accum_steps) const override;
+
+  private:
+    const std::uint32_t zero_stage_;
+};
+
+} // namespace so::runtime
+
+#endif // SO_RUNTIME_ULYSSES_H

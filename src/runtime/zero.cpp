@@ -1,0 +1,215 @@
+#include "runtime/zero.h"
+
+#include <string>
+#include <vector>
+
+#include "runtime/builder.h"
+
+namespace so::runtime {
+
+namespace {
+
+double
+activations(const TrainSetup &setup, std::uint32_t micro_batch,
+            bool checkpointing)
+{
+    model::ActivationOptions act_opts;
+    act_opts.checkpointing = checkpointing;
+    return model::activationBytes(setup.model, micro_batch, setup.seq,
+                                  act_opts);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- ZeRO-2
+
+double
+Zero2System::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                      bool checkpointing) const
+{
+    const double n = setup.cluster.totalSuperchips();
+    const double params = setup.model.params();
+    // Full fp16 params + full fp16 grad buffer (reduced in place), plus
+    // this rank's 12P/N optimizer shard.
+    const double states = 2.0 * params + 2.0 * params +
+                          12.0 * params / n;
+    return model::gpuResidentBytes(
+        states + activations(setup, micro_batch, checkpointing));
+}
+
+double
+Zero2System::cpuBytes(const TrainSetup &) const
+{
+    return 0.0;
+}
+
+IterationResult
+Zero2System::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
+                      bool checkpointing, std::uint32_t accum_steps) const
+{
+    IterBuilder builder(setup);
+    const model::ModelConfig &cfg = setup.model;
+    const double layers = cfg.layers;
+    const double params = cfg.params();
+    const double n = setup.cluster.totalSuperchips();
+
+    const model::IterationFlops micro_flops = model::iterationFlops(
+        cfg, micro_batch, setup.seq, checkpointing);
+    const double tokens = builder.microTokens(micro_batch);
+    const double fwd_layer =
+        (builder.gemmTime(micro_flops.fwd_gemm, tokens) +
+         builder.attnTime(micro_flops.fwd_attn)) / layers;
+    const double bwd_layer =
+        (builder.gemmTime(micro_flops.bwd_gemm + micro_flops.recompute_gemm,
+                          tokens) +
+         builder.attnTime(micro_flops.bwd_attn +
+                          micro_flops.recompute_attn)) / layers;
+
+    sim::TaskId prev = sim::kInvalidTask;
+    std::vector<sim::TaskId> final_syncs;
+    for (std::uint32_t step = 0; step < accum_steps; ++step) {
+        for (std::uint32_t l = 0; l < cfg.layers; ++l) {
+            std::vector<sim::TaskId> deps;
+            if (prev != sim::kInvalidTask)
+                deps.push_back(prev);
+            prev = builder.onGpu("fwd L" + std::to_string(l), fwd_layer,
+                                 std::move(deps));
+        }
+        const bool last = step + 1 == accum_steps;
+        for (std::uint32_t l = cfg.layers; l-- > 0;) {
+            prev = builder.onGpu("bwd L" + std::to_string(l), bwd_layer,
+                                 {prev});
+            if (last && n > 1) {
+                // Bucketed reduce-scatter overlapped with backward.
+                const double grad_bytes = 2.0 * params / layers;
+                final_syncs.push_back(builder.onNic(
+                    "reduce-scatter",
+                    builder.coll().reduceScatter(grad_bytes), {prev}));
+            }
+        }
+    }
+
+    // Optimizer step on this rank's P/N shard, then all-gather the
+    // updated fp16 parameters (exposed: the next forward needs them).
+    std::vector<sim::TaskId> step_deps = final_syncs;
+    step_deps.push_back(prev);
+    const sim::TaskId opt = builder.onGpu(
+        "adam (gpu, 1/N)", builder.gpuAdamTime(params / n),
+        std::move(step_deps));
+    if (n > 1) {
+        builder.onNic("allgather params",
+                      builder.coll().allGather(2.0 * params), {opt});
+    }
+
+    model::IterationFlops total = model::iterationFlops(
+        cfg, static_cast<double>(micro_batch) * accum_steps, setup.seq,
+        checkpointing);
+    return builder.finish(total);
+}
+
+// ---------------------------------------------------------------- ZeRO-3
+
+double
+Zero3System::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                      bool checkpointing) const
+{
+    const double n = setup.cluster.totalSuperchips();
+    const double params = setup.model.params();
+    // Fully sharded 16P/N, plus all-gather/reduce-scatter communication
+    // buffers (~2P/N), plus the gathered working set of ~2 layers of
+    // fp16 parameters kept live by prefetching.
+    const double working =
+        2.0 * 2.0 * setup.model.paramsPerLayer();
+    return model::gpuResidentBytes(
+        18.0 * params / n + working +
+        activations(setup, micro_batch, checkpointing));
+}
+
+double
+Zero3System::cpuBytes(const TrainSetup &) const
+{
+    return 0.0;
+}
+
+IterationResult
+Zero3System::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
+                      bool checkpointing, std::uint32_t accum_steps) const
+{
+    IterBuilder builder(setup);
+    const model::ModelConfig &cfg = setup.model;
+    const double layers = cfg.layers;
+    const double params = cfg.params();
+    const double n = setup.cluster.totalSuperchips();
+
+    const model::IterationFlops micro_flops = model::iterationFlops(
+        cfg, micro_batch, setup.seq, checkpointing);
+    const double tokens = builder.microTokens(micro_batch);
+    const double fwd_layer =
+        (builder.gemmTime(micro_flops.fwd_gemm, tokens) +
+         builder.attnTime(micro_flops.fwd_attn)) / layers;
+    const double bwd_layer =
+        (builder.gemmTime(micro_flops.bwd_gemm + micro_flops.recompute_gemm,
+                          tokens) +
+         builder.attnTime(micro_flops.bwd_attn +
+                          micro_flops.recompute_attn)) / layers;
+
+    const double layer_param_bytes = 2.0 * params / layers;
+    const double gather_time =
+        n > 1 ? builder.coll().allGather(layer_param_bytes) : 0.0;
+
+    sim::TaskId prev = sim::kInvalidTask;
+    std::vector<sim::TaskId> final_syncs;
+    for (std::uint32_t step = 0; step < accum_steps; ++step) {
+        for (std::uint32_t l = 0; l < cfg.layers; ++l) {
+            // Parameter all-gather can prefetch ahead of compute (it
+            // depends only on earlier NIC traffic, not on this layer's
+            // compute), so it overlaps when the NIC keeps up.
+            sim::TaskId gathered = sim::kInvalidTask;
+            if (n > 1) {
+                gathered = builder.onNic("ag L" + std::to_string(l),
+                                         gather_time, {});
+            }
+            std::vector<sim::TaskId> deps;
+            if (prev != sim::kInvalidTask)
+                deps.push_back(prev);
+            if (gathered != sim::kInvalidTask)
+                deps.push_back(gathered);
+            prev = builder.onGpu("fwd L" + std::to_string(l), fwd_layer,
+                                 std::move(deps));
+        }
+        const bool last = step + 1 == accum_steps;
+        for (std::uint32_t l = cfg.layers; l-- > 0;) {
+            sim::TaskId gathered = sim::kInvalidTask;
+            if (n > 1) {
+                gathered = builder.onNic("ag' L" + std::to_string(l),
+                                         gather_time, {});
+            }
+            std::vector<sim::TaskId> deps{prev};
+            if (gathered != sim::kInvalidTask)
+                deps.push_back(gathered);
+            prev = builder.onGpu("bwd L" + std::to_string(l), bwd_layer,
+                                 std::move(deps));
+            if (last && n > 1) {
+                const double grad_bytes = 2.0 * params / layers;
+                final_syncs.push_back(builder.onNic(
+                    "reduce-scatter",
+                    builder.coll().reduceScatter(grad_bytes), {prev}));
+            }
+        }
+    }
+
+    // Optimizer on the local shard; no parameter all-gather afterwards
+    // (ZeRO-3 gathers lazily at next use, which the next iteration's
+    // per-layer gathers already model).
+    std::vector<sim::TaskId> step_deps = final_syncs;
+    step_deps.push_back(prev);
+    builder.onGpu("adam (gpu, 1/N)", builder.gpuAdamTime(params / n),
+                  std::move(step_deps));
+
+    model::IterationFlops total = model::iterationFlops(
+        cfg, static_cast<double>(micro_batch) * accum_steps, setup.seq,
+        checkpointing);
+    return builder.finish(total);
+}
+
+} // namespace so::runtime

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ZeRO-2 and ZeRO-3 baselines (Appendix B): data parallelism with model
+ * states sharded across ranks. ZeRO-2 shards gradients + optimizer
+ * states; ZeRO-3 additionally shards the fp16 parameters, all-gathering
+ * them layer by layer around the compute.
+ */
+#ifndef SO_RUNTIME_ZERO_H
+#define SO_RUNTIME_ZERO_H
+
+#include "runtime/system.h"
+
+namespace so::runtime {
+
+/** ZeRO stage 2: sharded gradients and optimizer states. */
+class Zero2System : public TrainingSystem
+{
+  public:
+    std::string name() const override { return "ZeRO-2"; }
+
+  protected:
+    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                    bool checkpointing) const override;
+    double cpuBytes(const TrainSetup &setup) const override;
+    IterationResult simulate(const TrainSetup &setup,
+                             std::uint32_t micro_batch, bool checkpointing,
+                             std::uint32_t accum_steps) const override;
+};
+
+/** ZeRO stage 3: fully sharded model states. */
+class Zero3System : public TrainingSystem
+{
+  public:
+    std::string name() const override { return "ZeRO-3"; }
+
+  protected:
+    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
+                    bool checkpointing) const override;
+    double cpuBytes(const TrainSetup &setup) const override;
+    IterationResult simulate(const TrainSetup &setup,
+                             std::uint32_t micro_batch, bool checkpointing,
+                             std::uint32_t accum_steps) const override;
+};
+
+} // namespace so::runtime
+
+#endif // SO_RUNTIME_ZERO_H

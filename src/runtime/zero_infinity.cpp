@@ -1,0 +1,169 @@
+#include "runtime/zero_infinity.h"
+
+#include <string>
+#include <vector>
+
+#include "runtime/builder.h"
+
+namespace so::runtime {
+
+double
+ZeroInfinitySystem::gpuBytes(const TrainSetup &setup,
+                             std::uint32_t micro_batch,
+                             bool checkpointing) const
+{
+    // Weight-flow: only a ~2-layer working set of fp16 params plus the
+    // live gradient layer and fixed staging buffers reside on the GPU.
+    const double working = 3.0 * 2.0 * setup.model.paramsPerLayer();
+    const double staging = 4.0e9;
+    model::ActivationOptions act_opts;
+    act_opts.checkpointing = checkpointing;
+    const double act = model::activationBytes(setup.model, micro_batch,
+                                              setup.seq, act_opts);
+    return model::gpuResidentBytes(working + staging + act);
+}
+
+double
+ZeroInfinitySystem::cpuBytes(const TrainSetup &setup) const
+{
+    const double n = setup.cluster.totalSuperchips();
+    if (use_nvme_) {
+        // Optimizer states live on NVMe; DRAM holds the fp16 copy,
+        // the fp32 gradient buffer, and streaming windows.
+        return 7.0 * setup.model.params() / n;
+    }
+    // Full model states (16P) plus the fp16 parameter copy (2P) the
+    // swap machinery maintains, partitioned across ranks.
+    return 18.0 * setup.model.params() / n;
+}
+
+double
+ZeroInfinitySystem::nvmeBytes(const TrainSetup &setup) const
+{
+    if (!use_nvme_)
+        return 0.0;
+    // fp32 master params + momentum + variance.
+    return 12.0 * setup.model.params() / setup.cluster.totalSuperchips();
+}
+
+IterationResult
+ZeroInfinitySystem::simulate(const TrainSetup &setup,
+                             std::uint32_t micro_batch, bool checkpointing,
+                             std::uint32_t accum_steps) const
+{
+    IterBuilder builder(setup);
+    const model::ModelConfig &cfg = setup.model;
+    const double layers = cfg.layers;
+    const double params = cfg.params();
+    const double n = setup.cluster.totalSuperchips();
+    const double layer_params = params / layers;
+
+    const model::IterationFlops micro_flops = model::iterationFlops(
+        cfg, micro_batch, setup.seq, checkpointing);
+    const double tokens = builder.microTokens(micro_batch);
+    const double fwd_layer =
+        (builder.gemmTime(micro_flops.fwd_gemm, tokens) +
+         builder.attnTime(micro_flops.fwd_attn)) / layers;
+    const double bwd_layer =
+        (builder.gemmTime(micro_flops.bwd_gemm + micro_flops.recompute_gemm,
+                          tokens) +
+         builder.attnTime(micro_flops.bwd_attn +
+                          micro_flops.recompute_attn)) / layers;
+
+    // Each rank fetches its 1/N shard and all-gathers across ranks;
+    // the host transfer goes through the small staging granule, which
+    // is the bandwidth-killing behaviour §5.2 calls out.
+    const double fetch_time = builder.chunkedTransferTime(
+        2.0 * layer_params / n, kStagingGranule, /*pinned=*/true,
+        kPerChunkOverhead);
+    const double gather_time =
+        n > 1 ? builder.coll().allGather(2.0 * layer_params) : 0.0;
+
+    sim::TaskId prev = sim::kInvalidTask;
+    std::vector<sim::TaskId> grad_casts;
+    std::vector<sim::TaskId> per_layer_cast(cfg.layers, sim::kInvalidTask);
+
+    for (std::uint32_t step = 0; step < accum_steps; ++step) {
+        for (std::uint32_t l = 0; l < cfg.layers; ++l) {
+            // Fetch this layer's params from host (prefetch: depends
+            // only on link availability), then all-gather, then compute.
+            const sim::TaskId fetch = builder.onH2d(
+                "h2d L" + std::to_string(l), fetch_time, {});
+            sim::TaskId ready = fetch;
+            if (n > 1)
+                ready = builder.onNic("ag", gather_time, {fetch});
+            std::vector<sim::TaskId> deps{ready};
+            if (prev != sim::kInvalidTask)
+                deps.push_back(prev);
+            prev = builder.onGpu("fwd L" + std::to_string(l), fwd_layer,
+                                 std::move(deps));
+        }
+        const bool last = step + 1 == accum_steps;
+        for (std::uint32_t l = cfg.layers; l-- > 0;) {
+            const sim::TaskId fetch = builder.onH2d(
+                "h2d' L" + std::to_string(l), fetch_time, {});
+            sim::TaskId ready = fetch;
+            if (n > 1)
+                ready = builder.onNic("ag'", gather_time, {fetch});
+            prev = builder.onGpu("bwd L" + std::to_string(l), bwd_layer,
+                                 {prev, ready});
+            if (!last)
+                continue;
+            sim::TaskId grads = prev;
+            if (n > 1) {
+                grads = builder.onNic(
+                    "rs", builder.coll().reduceScatter(2.0 * layer_params),
+                    {grads});
+            }
+            const sim::TaskId out = builder.onD2h(
+                "d2h g L" + std::to_string(l),
+                builder.chunkedTransferTime(2.0 * layer_params / n,
+                                            kStagingGranule,
+                                            /*pinned=*/true,
+                                            kPerChunkOverhead),
+                {grads});
+            per_layer_cast[l] = builder.onCpu(
+                "cast g", builder.cpuCastTime(layer_params / n), {out});
+            grad_casts.push_back(per_layer_cast[l]);
+        }
+    }
+
+    // STE synchronization: global norm over the fp32 shard, then the
+    // CPU optimizer per layer. Updated params stay in host DRAM (the
+    // next iteration's fetches pick them up), but the fp16 shadow copy
+    // must be refreshed (a CPU cast per layer).
+    const sim::TaskId norm = builder.onCpu(
+        "grad-norm+check",
+        setup.cluster.node.superchip.cpu.memTime(4.0 * params / n),
+        grad_casts);
+    sim::TaskId last_opt = norm;
+    for (std::uint32_t l = 0; l < cfg.layers; ++l) {
+        std::vector<sim::TaskId> opt_deps{norm, per_layer_cast[l]};
+        if (use_nvme_) {
+            // Stream this layer's optimizer states in from NVMe
+            // (prefetchable) and write them back after the update.
+            opt_deps.push_back(builder.onNvme(
+                "nvme-r L" + std::to_string(l),
+                builder.nvmeTime(12.0 * layer_params / n), {}));
+        }
+        const sim::TaskId opt = builder.onCpu(
+            "adam L" + std::to_string(l),
+            builder.cpuAdamTime(layer_params / n, hw::AdamImpl::CpuAdam),
+            std::move(opt_deps));
+        if (use_nvme_) {
+            builder.onNvme("nvme-w L" + std::to_string(l),
+                           builder.nvmeTime(12.0 * layer_params / n),
+                           {opt});
+        }
+        last_opt = builder.onCpu(
+            "cast p", builder.cpuCastTime(layer_params / n), {opt});
+    }
+    (void)last_opt;
+
+    model::IterationFlops total = model::iterationFlops(
+        cfg, static_cast<double>(micro_batch) * accum_steps, setup.seq,
+        checkpointing);
+    return builder.finish(total);
+}
+
+} // namespace so::runtime

@@ -1,0 +1,74 @@
+#include "sim/graph.h"
+
+#include "common/logging.h"
+
+namespace so::sim {
+
+ResourceId
+TaskGraph::addResource(std::string name, std::uint32_t slots)
+{
+    SO_ASSERT(slots >= 1, "resource needs at least one slot");
+    resources_.push_back(Resource{std::move(name), slots});
+    return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+TaskId
+TaskGraph::addTask(ResourceId resource, double duration, std::string label,
+                   std::vector<TaskId> deps, std::int32_t priority)
+{
+    SO_ASSERT(resource < resources_.size(),
+              "task references unknown resource ", resource);
+    SO_ASSERT(duration >= 0.0, "negative task duration: ", duration);
+    const auto id = static_cast<TaskId>(tasks_.size());
+    for (TaskId dep : deps) {
+        SO_ASSERT(dep < id,
+                  "dependency must be an already-added task (got ", dep,
+                  " for task ", id, ")");
+    }
+    Task task;
+    task.label = std::move(label);
+    task.resource = resource;
+    task.duration = duration;
+    task.priority = priority;
+    task.deps = std::move(deps);
+    tasks_.push_back(std::move(task));
+    return id;
+}
+
+void
+TaskGraph::addDep(TaskId before, TaskId after)
+{
+    SO_ASSERT(before < tasks_.size() && after < tasks_.size(),
+              "addDep on unknown task");
+    SO_ASSERT(before < after,
+              "dependencies must point backwards (", before, " -> ", after,
+              "); add tasks in topological order");
+    tasks_[after].deps.push_back(before);
+}
+
+const Resource &
+TaskGraph::resource(ResourceId id) const
+{
+    SO_ASSERT(id < resources_.size(), "unknown resource ", id);
+    return resources_[id];
+}
+
+const Task &
+TaskGraph::task(TaskId id) const
+{
+    SO_ASSERT(id < tasks_.size(), "unknown task ", id);
+    return tasks_[id];
+}
+
+double
+TaskGraph::totalWork(ResourceId resource) const
+{
+    double total = 0.0;
+    for (const Task &task : tasks_) {
+        if (task.resource == resource)
+            total += task.duration;
+    }
+    return total;
+}
+
+} // namespace so::sim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Task-graph representation for the discrete-event simulator.
+ *
+ * Every training system in this library (§5 of the paper compares eight
+ * of them) is expressed as a directed acyclic graph of tasks. A task
+ * occupies one slot of one resource (GPU compute stream, CPU cores, one
+ * direction of the C2C link, a NIC, ...) for a fixed duration. Edges are
+ * happens-before dependencies. The scheduler (scheduler.h) then derives
+ * start/finish times, the makespan, and per-resource busy timelines —
+ * which is exactly the information the paper's throughput and idle-time
+ * figures are built from.
+ */
+#ifndef SO_SIM_GRAPH_H
+#define SO_SIM_GRAPH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace so::sim {
+
+/** Index of a resource within a TaskGraph. */
+using ResourceId = std::uint32_t;
+
+/** Index of a task within a TaskGraph. */
+using TaskId = std::uint32_t;
+
+inline constexpr TaskId kInvalidTask =
+    std::numeric_limits<TaskId>::max();
+
+/** An execution resource with one or more identical slots. */
+struct Resource
+{
+    std::string name;
+    /** Number of tasks the resource can run concurrently. */
+    std::uint32_t slots = 1;
+};
+
+/** A unit of work bound to a resource. */
+struct Task
+{
+    std::string label;
+    ResourceId resource = 0;
+    /** Execution time in seconds; may be zero (pure ordering point). */
+    double duration = 0.0;
+    /**
+     * Tie-break rank when several tasks are ready on the same resource;
+     * lower runs first, equal ranks fall back to insertion order.
+     */
+    std::int32_t priority = 0;
+    /** IDs of tasks that must finish before this one may start. */
+    std::vector<TaskId> deps;
+};
+
+/** Builder/owner of resources and tasks forming one simulated iteration. */
+class TaskGraph
+{
+  public:
+    /** Register a resource; returns its id. */
+    ResourceId addResource(std::string name, std::uint32_t slots = 1);
+
+    /** Add a task; @p deps must reference previously added tasks. */
+    TaskId addTask(ResourceId resource, double duration, std::string label,
+                   std::vector<TaskId> deps = {}, std::int32_t priority = 0);
+
+    /** Add the edge @p before -> @p after. */
+    void addDep(TaskId before, TaskId after);
+
+    const std::vector<Resource> &resources() const { return resources_; }
+    const std::vector<Task> &tasks() const { return tasks_; }
+
+    const Resource &resource(ResourceId id) const;
+    const Task &task(TaskId id) const;
+
+    std::size_t taskCount() const { return tasks_.size(); }
+    std::size_t resourceCount() const { return resources_.size(); }
+
+    /** Total duration of all tasks bound to @p resource. */
+    double totalWork(ResourceId resource) const;
+
+  private:
+    std::vector<Resource> resources_;
+    std::vector<Task> tasks_;
+};
+
+} // namespace so::sim
+
+#endif // SO_SIM_GRAPH_H

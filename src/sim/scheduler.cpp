@@ -1,0 +1,177 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/logging.h"
+
+namespace so::sim {
+
+double
+Schedule::idleFraction(ResourceId resource) const
+{
+    SO_ASSERT(resource < timelines.size(), "unknown resource ", resource);
+    if (makespan <= 0.0)
+        return 0.0;
+    return timelines[resource].idleTime(0.0, makespan) / makespan;
+}
+
+double
+Schedule::utilization(ResourceId resource) const
+{
+    SO_ASSERT(resource < timelines.size(), "unknown resource ", resource);
+    if (makespan <= 0.0)
+        return 0.0;
+    return timelines[resource].utilization(0.0, makespan);
+}
+
+namespace {
+
+/** A task waiting to run on a resource; ordered by (priority, id). */
+struct ReadyTask
+{
+    std::int32_t priority;
+    TaskId id;
+
+    bool
+    operator<(const ReadyTask &other) const
+    {
+        if (priority != other.priority)
+            return priority < other.priority;
+        return id < other.id;
+    }
+};
+
+/** Completion event in the global event queue. */
+struct Completion
+{
+    double time;
+    TaskId id;
+
+    // std::priority_queue is a max-heap: invert so the earliest time
+    // (then the lowest id, for determinism) pops first.
+    bool
+    operator<(const Completion &other) const
+    {
+        if (time != other.time)
+            return time > other.time;
+        return id > other.id;
+    }
+};
+
+/** Per-resource scheduling state. */
+struct ResourceState
+{
+    // Min-heap of slot free times.
+    std::priority_queue<double, std::vector<double>,
+                        std::greater<double>> slot_free;
+    // Ready tasks not yet started, ordered by (priority, id).
+    std::set<ReadyTask> ready;
+    std::uint32_t next_slot = 0;
+};
+
+} // namespace
+
+Schedule
+Scheduler::run(const TaskGraph &graph) const
+{
+    const auto &tasks = graph.tasks();
+    const std::size_t n = tasks.size();
+
+    Schedule schedule;
+    schedule.start.assign(n, 0.0);
+    schedule.finish.assign(n, 0.0);
+    schedule.timelines.resize(graph.resourceCount());
+
+    // Dependency bookkeeping.
+    std::vector<std::uint32_t> pending_deps(n, 0);
+    std::vector<std::vector<TaskId>> dependents(n);
+    for (TaskId id = 0; id < n; ++id) {
+        pending_deps[id] = static_cast<std::uint32_t>(tasks[id].deps.size());
+        for (TaskId dep : tasks[id].deps)
+            dependents[dep].push_back(id);
+    }
+
+    std::vector<ResourceState> rstate(graph.resourceCount());
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+        for (std::uint32_t s = 0; s < graph.resource(r).slots; ++s)
+            rstate[r].slot_free.push(0.0);
+    }
+
+    std::priority_queue<Completion> events;
+    std::size_t completed = 0;
+    double now = 0.0;
+
+    // Track which slot each running task holds so timelines carry slot
+    // indices (used by the chrome-trace exporter).
+    std::vector<std::uint32_t> task_slot(n, 0);
+
+    auto start_ready = [&](ResourceId r) {
+        ResourceState &state = rstate[r];
+        while (!state.ready.empty() && !state.slot_free.empty() &&
+               state.slot_free.top() <= now) {
+            state.slot_free.pop();
+            const ReadyTask ready_task = *state.ready.begin();
+            state.ready.erase(state.ready.begin());
+            const TaskId id = ready_task.id;
+            const double begin = now;
+            const double end = begin + tasks[id].duration;
+            schedule.start[id] = begin;
+            schedule.finish[id] = end;
+            const std::uint32_t slot =
+                state.next_slot++ % graph.resource(r).slots;
+            task_slot[id] = slot;
+            schedule.timelines[r].add(begin, end, id, slot);
+            events.push(Completion{end, id});
+        }
+    };
+
+    auto mark_ready = [&](TaskId id) {
+        const ResourceId r = tasks[id].resource;
+        rstate[r].ready.insert(ReadyTask{tasks[id].priority, id});
+    };
+
+    // Seed with tasks that have no dependencies.
+    for (TaskId id = 0; id < n; ++id) {
+        if (pending_deps[id] == 0)
+            mark_ready(id);
+    }
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r)
+        start_ready(r);
+
+    while (!events.empty()) {
+        now = events.top().time;
+        // Process every completion at this timestamp before starting new
+        // work, so freed slots and satisfied deps are all visible.
+        std::vector<TaskId> finished;
+        while (!events.empty() && events.top().time == now) {
+            finished.push_back(events.top().id);
+            events.pop();
+        }
+        std::set<ResourceId> touched;
+        for (TaskId id : finished) {
+            ++completed;
+            const ResourceId r = tasks[id].resource;
+            rstate[r].slot_free.push(now);
+            touched.insert(r);
+            for (TaskId next : dependents[id]) {
+                SO_ASSERT(pending_deps[next] > 0, "dependency underflow");
+                if (--pending_deps[next] == 0) {
+                    mark_ready(next);
+                    touched.insert(tasks[next].resource);
+                }
+            }
+        }
+        for (ResourceId r : touched)
+            start_ready(r);
+        schedule.makespan = std::max(schedule.makespan, now);
+    }
+
+    SO_ASSERT(completed == n,
+              "scheduler finished with ", n - completed,
+              " unreachable tasks; the graph has a cycle");
+    return schedule;
+}
+
+} // namespace so::sim

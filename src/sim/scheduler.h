@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic list-scheduling discrete-event simulator.
+ *
+ * Given a TaskGraph, the scheduler computes when each task starts and
+ * finishes under the constraints that (a) a task starts only after all
+ * its dependencies finish, and (b) a resource runs at most `slots` tasks
+ * concurrently. Ties are broken by task priority, then insertion order,
+ * so results are bit-for-bit reproducible.
+ */
+#ifndef SO_SIM_SCHEDULER_H
+#define SO_SIM_SCHEDULER_H
+
+#include <vector>
+
+#include "sim/graph.h"
+#include "sim/timeline.h"
+
+namespace so::sim {
+
+/** Result of simulating one TaskGraph. */
+struct Schedule
+{
+    /** Per-task start time (seconds). */
+    std::vector<double> start;
+    /** Per-task finish time (seconds). */
+    std::vector<double> finish;
+    /** Per-resource busy timelines, indexed by ResourceId. */
+    std::vector<Timeline> timelines;
+    /** Completion time of the last task. */
+    double makespan = 0.0;
+
+    /** GPU/CPU idle fraction for a resource over [0, makespan). */
+    double idleFraction(ResourceId resource) const;
+
+    /** Utilization of a resource over [0, makespan). */
+    double utilization(ResourceId resource) const;
+};
+
+/** Event-driven scheduler; stateless, call run() per graph. */
+class Scheduler
+{
+  public:
+    /**
+     * Simulate @p graph from time 0.
+     * @panics if the graph contains a dependency cycle (unreachable
+     * tasks at the end of simulation).
+     */
+    Schedule run(const TaskGraph &graph) const;
+};
+
+} // namespace so::sim
+
+#endif // SO_SIM_SCHEDULER_H

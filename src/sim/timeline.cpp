@@ -1,0 +1,96 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace so::sim {
+
+void
+Timeline::add(double start, double end, TaskId task, std::uint32_t slot)
+{
+    SO_ASSERT(end >= start, "interval ends before it starts");
+    if (end == start)
+        return; // Zero-length tasks do not occupy the resource.
+    intervals_.push_back(Interval{start, end, task, slot});
+}
+
+double
+Timeline::busyTime(double begin, double end) const
+{
+    if (end <= begin || intervals_.empty())
+        return 0.0;
+    // Clamp to window, sort by start, and sweep a merged union.
+    std::vector<std::pair<double, double>> clipped;
+    clipped.reserve(intervals_.size());
+    for (const Interval &iv : intervals_) {
+        const double s = std::max(iv.start, begin);
+        const double e = std::min(iv.end, end);
+        if (e > s)
+            clipped.emplace_back(s, e);
+    }
+    if (clipped.empty())
+        return 0.0;
+    std::sort(clipped.begin(), clipped.end());
+    double busy = 0.0;
+    double cur_s = clipped[0].first;
+    double cur_e = clipped[0].second;
+    for (std::size_t i = 1; i < clipped.size(); ++i) {
+        if (clipped[i].first > cur_e) {
+            busy += cur_e - cur_s;
+            cur_s = clipped[i].first;
+            cur_e = clipped[i].second;
+        } else {
+            cur_e = std::max(cur_e, clipped[i].second);
+        }
+    }
+    busy += cur_e - cur_s;
+    return busy;
+}
+
+double
+Timeline::idleTime(double begin, double end) const
+{
+    if (end <= begin)
+        return 0.0;
+    return (end - begin) - busyTime(begin, end);
+}
+
+double
+Timeline::utilization(double begin, double end) const
+{
+    if (end <= begin)
+        return 0.0;
+    return busyTime(begin, end) / (end - begin);
+}
+
+double
+Timeline::totalSlotSeconds() const
+{
+    double total = 0.0;
+    for (const Interval &iv : intervals_)
+        total += iv.end - iv.start;
+    return total;
+}
+
+double
+Timeline::firstStart() const
+{
+    if (intervals_.empty())
+        return 0.0;
+    double first = intervals_[0].start;
+    for (const Interval &iv : intervals_)
+        first = std::min(first, iv.start);
+    return first;
+}
+
+double
+Timeline::lastEnd() const
+{
+    double last = 0.0;
+    for (const Interval &iv : intervals_)
+        last = std::max(last, iv.end);
+    return last;
+}
+
+} // namespace so::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Busy-interval timelines for simulated resources.
+ *
+ * The paper's Figs. 4 and 15 are idle/busy breakdowns of the Hopper GPU
+ * and Grace CPU over a training iteration; Timeline provides the busy
+ * time, idle time, and utilization queries those figures need.
+ */
+#ifndef SO_SIM_TIMELINE_H
+#define SO_SIM_TIMELINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/graph.h"
+
+namespace so::sim {
+
+/** One busy interval on a resource slot. */
+struct Interval
+{
+    double start = 0.0;
+    double end = 0.0;
+    TaskId task = kInvalidTask;
+    std::uint32_t slot = 0;
+};
+
+/** Ordered record of the busy intervals of one resource. */
+class Timeline
+{
+  public:
+    /** Record a busy interval; intervals may overlap across slots. */
+    void add(double start, double end, TaskId task, std::uint32_t slot = 0);
+
+    const std::vector<Interval> &intervals() const { return intervals_; }
+
+    /**
+     * Time inside [begin, end) during which at least one slot is busy
+     * (union of intervals, clamped to the window).
+     */
+    double busyTime(double begin, double end) const;
+
+    /** Window length minus busyTime. */
+    double idleTime(double begin, double end) const;
+
+    /** busyTime / window length; 0 for an empty window. */
+    double utilization(double begin, double end) const;
+
+    /** Sum of slot-seconds (no union), for work accounting. */
+    double totalSlotSeconds() const;
+
+    /** Earliest interval start; 0 if empty. */
+    double firstStart() const;
+
+    /** Latest interval end; 0 if empty. */
+    double lastEnd() const;
+
+    bool empty() const { return intervals_.empty(); }
+
+  private:
+    std::vector<Interval> intervals_;
+};
+
+} // namespace so::sim
+
+#endif // SO_SIM_TIMELINE_H

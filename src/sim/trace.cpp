@@ -1,0 +1,142 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace so::sim {
+
+namespace {
+
+/** Escape a string for inclusion in a JSON literal. */
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toChromeTrace(const TaskGraph &graph, const Schedule &schedule)
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    // Process-name metadata per resource.
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << r
+           << ",\"args\":{\"name\":\""
+           << jsonEscape(graph.resource(r).name) << "\"}}";
+    }
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+        for (const Interval &iv : schedule.timelines[r].intervals()) {
+            os << ',';
+            // Times in microseconds per the trace-event spec.
+            os << "{\"name\":\""
+               << jsonEscape(graph.task(iv.task).label)
+               << "\",\"ph\":\"X\",\"pid\":" << r
+               << ",\"tid\":" << iv.slot
+               << ",\"ts\":" << iv.start * 1e6
+               << ",\"dur\":" << (iv.end - iv.start) * 1e6 << "}";
+        }
+    }
+    os << "]}";
+    return os.str();
+}
+
+bool
+writeChromeTrace(const TaskGraph &graph, const Schedule &schedule,
+                 const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open trace file ", path);
+        return false;
+    }
+    const std::string json = toChromeTrace(graph, schedule);
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+                    json.size();
+    std::fclose(f);
+    return ok;
+}
+
+std::string
+toAsciiGantt(const TaskGraph &graph, const Schedule &schedule,
+             std::size_t width)
+{
+    SO_ASSERT(width >= 10, "gantt width too small");
+    std::ostringstream os;
+    const double span = schedule.makespan;
+    if (span <= 0.0)
+        return "(empty schedule)\n";
+
+    std::size_t name_width = 0;
+    for (const Resource &r : graph.resources())
+        name_width = std::max(name_width, r.name.size());
+
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+        std::string row(width, '.');
+        for (const Interval &iv : schedule.timelines[r].intervals()) {
+            auto lo = static_cast<std::size_t>(
+                iv.start / span * static_cast<double>(width));
+            auto hi = static_cast<std::size_t>(
+                iv.end / span * static_cast<double>(width));
+            lo = std::min(lo, width - 1);
+            hi = std::min(std::max(hi, lo + 1), width);
+            for (std::size_t i = lo; i < hi; ++i)
+                row[i] = '#';
+        }
+        os << graph.resource(r).name
+           << std::string(name_width - graph.resource(r).name.size() + 1,
+                          ' ')
+           << '|' << row << "|\n";
+    }
+    return os.str();
+}
+
+std::vector<std::pair<std::string, double>>
+labelBreakdown(const TaskGraph &graph, const Schedule &schedule,
+               ResourceId resource)
+{
+    SO_ASSERT(resource < graph.resourceCount(), "unknown resource");
+    std::map<std::string, double> by_phase;
+    for (const Interval &iv : schedule.timelines[resource].intervals()) {
+        const std::string &label = graph.task(iv.task).label;
+        std::size_t cut = label.size();
+        for (std::size_t i = 0; i < label.size(); ++i) {
+            if (label[i] == ' ' ||
+                (label[i] >= '0' && label[i] <= '9')) {
+                cut = i;
+                break;
+            }
+        }
+        by_phase[label.substr(0, cut)] += iv.end - iv.start;
+    }
+    std::vector<std::pair<std::string, double>> out(by_phase.begin(),
+                                                    by_phase.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    return out;
+}
+
+} // namespace so::sim

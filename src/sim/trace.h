@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Chrome-trace (about://tracing, Perfetto) export of a Schedule.
+ *
+ * Each resource becomes a "process", each slot a "thread", each task a
+ * complete event — handy for eyeballing overlap structure of a schedule
+ * (the visual analogue of the paper's Figs. 3 and 8).
+ */
+#ifndef SO_SIM_TRACE_H
+#define SO_SIM_TRACE_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/graph.h"
+#include "sim/scheduler.h"
+
+namespace so::sim {
+
+/** Render @p schedule of @p graph as a chrome://tracing JSON document. */
+std::string toChromeTrace(const TaskGraph &graph, const Schedule &schedule);
+
+/** Write the trace JSON to @p path; returns false on I/O failure. */
+bool writeChromeTrace(const TaskGraph &graph, const Schedule &schedule,
+                      const std::string &path);
+
+/**
+ * Render a fixed-width ASCII Gantt chart of the schedule, one row per
+ * resource; useful in terminal reports and tests.
+ */
+std::string toAsciiGantt(const TaskGraph &graph, const Schedule &schedule,
+                         std::size_t width = 80);
+
+/**
+ * Busy seconds on @p resource grouped by task-label phase — the label
+ * up to the first space or digit ("fwd L3" and "fwd L7" both count as
+ * "fwd"). This is the quantity behind Fig. 3/Fig. 8-style phase
+ * breakdowns of an iteration.
+ */
+std::vector<std::pair<std::string, double>>
+labelBreakdown(const TaskGraph &graph, const Schedule &schedule,
+               ResourceId resource);
+
+} // namespace so::sim
+
+#endif // SO_SIM_TRACE_H

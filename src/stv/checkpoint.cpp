@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Binary checkpoint format for the numeric trainers.
+ *
+ * Layout (little-endian, the only byte order this library targets):
+ *   magic "SOCKPT01" | u64 param_count | u32 buckets |
+ *   i64 steps_taken | f32 loss_scale | u32 good_steps |
+ *   f32 params[param_count] |
+ *   per bucket: i64 steps | f32 m[len] | f32 v[len]
+ */
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "stv/trainer.h"
+
+namespace so::stv {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'O', 'C', 'K', 'P', 'T', '0', '1'};
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool
+writeOne(std::FILE *f, const T &value)
+{
+    return std::fwrite(&value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool
+readOne(std::FILE *f, T &value)
+{
+    return std::fread(&value, sizeof(T), 1, f) == 1;
+}
+
+bool
+writeFloats(std::FILE *f, const float *data, std::size_t n)
+{
+    return std::fwrite(data, sizeof(float), n, f) == n;
+}
+
+bool
+readFloats(std::FILE *f, float *data, std::size_t n)
+{
+    return std::fread(data, sizeof(float), n, f) == n;
+}
+
+} // namespace
+
+bool
+TrainerBase::saveCheckpoint(const std::string &path) const
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f) {
+        warn("cannot open checkpoint for writing: ", path);
+        return false;
+    }
+    const auto n = static_cast<std::uint64_t>(model_.paramCount());
+    bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) == 1 &&
+              writeOne(f.get(), n) && writeOne(f.get(), cfg_.buckets) &&
+              writeOne(f.get(), steps_taken_) &&
+              writeOne(f.get(), loss_scale_) &&
+              writeOne(f.get(), good_steps_) &&
+              writeFloats(f.get(), model_.params(), model_.paramCount());
+    for (std::uint32_t b = 0; ok && b < cfg_.buckets; ++b) {
+        const std::int64_t steps = adam_.stepCount(b);
+        ok = writeOne(f.get(), steps) &&
+             writeFloats(f.get(), adam_.momentum(b).data(),
+                         adam_.size(b)) &&
+             writeFloats(f.get(), adam_.variance(b).data(),
+                         adam_.size(b));
+    }
+    if (!ok)
+        warn("short write while checkpointing to ", path);
+    return ok;
+}
+
+bool
+TrainerBase::loadCheckpoint(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f) {
+        warn("cannot open checkpoint for reading: ", path);
+        return false;
+    }
+    char magic[8];
+    std::uint64_t n = 0;
+    std::uint32_t buckets = 0;
+    if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        warn("not a SuperOffload checkpoint: ", path);
+        return false;
+    }
+    if (!readOne(f.get(), n) || !readOne(f.get(), buckets) ||
+        n != model_.paramCount() || buckets != cfg_.buckets) {
+        warn("checkpoint shape mismatch: ", path);
+        return false;
+    }
+    std::int64_t steps_taken = 0;
+    float loss_scale = 0.0f;
+    std::uint32_t good_steps = 0;
+    if (!readOne(f.get(), steps_taken) || !readOne(f.get(), loss_scale) ||
+        !readOne(f.get(), good_steps) ||
+        !readFloats(f.get(), model_.params(), model_.paramCount())) {
+        warn("truncated checkpoint: ", path);
+        return false;
+    }
+    std::vector<float> m, v;
+    for (std::uint32_t b = 0; b < cfg_.buckets; ++b) {
+        const std::size_t len = adam_.size(b);
+        m.resize(len);
+        v.resize(len);
+        std::int64_t steps = 0;
+        if (!readOne(f.get(), steps) ||
+            !readFloats(f.get(), m.data(), len) ||
+            !readFloats(f.get(), v.data(), len)) {
+            warn("truncated checkpoint: ", path);
+            return false;
+        }
+        adam_.restoreState(b, m.data(), v.data(), steps);
+    }
+    steps_taken_ = steps_taken;
+    loss_scale_ = loss_scale;
+    good_steps_ = good_steps;
+    return true;
+}
+
+} // namespace so::stv

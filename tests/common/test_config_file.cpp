@@ -1,0 +1,100 @@
+#include "common/config_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace so {
+namespace {
+
+TEST(ConfigFile, ParsesKeyValuePairs)
+{
+    const ConfigFile cfg = ConfigFile::parse(
+        "model = 13B\n"
+        "chips=4\n"
+        "  seq   =   2048  \n");
+    EXPECT_EQ(cfg.get("model"), "13B");
+    EXPECT_EQ(cfg.getInt("chips", 0), 4);
+    EXPECT_EQ(cfg.getInt("seq", 0), 2048);
+    EXPECT_EQ(cfg.size(), 3u);
+}
+
+TEST(ConfigFile, IgnoresCommentsAndBlankLines)
+{
+    const ConfigFile cfg = ConfigFile::parse(
+        "# a comment\n"
+        "\n"
+        "key = value  # trailing comment\n"
+        "; semicolon comment\n");
+    EXPECT_EQ(cfg.size(), 1u);
+    EXPECT_EQ(cfg.get("key"), "value");
+}
+
+TEST(ConfigFile, CollectsMalformedLines)
+{
+    const ConfigFile cfg = ConfigFile::parse(
+        "good = 1\n"
+        "this line has no equals\n"
+        "= missing key\n");
+    EXPECT_EQ(cfg.size(), 1u);
+    ASSERT_EQ(cfg.malformedLines().size(), 2u);
+}
+
+TEST(ConfigFile, LaterKeysOverride)
+{
+    const ConfigFile cfg = ConfigFile::parse("x = 1\nx = 2\n");
+    EXPECT_EQ(cfg.getInt("x", 0), 2);
+}
+
+TEST(ConfigFile, TypedFallbacks)
+{
+    const ConfigFile cfg = ConfigFile::parse("bad = not-a-number\n");
+    EXPECT_EQ(cfg.getInt("bad", 9), 9);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("bad", 1.5), 1.5);
+    EXPECT_EQ(cfg.getInt("absent", 3), 3);
+}
+
+TEST(ConfigFile, BooleanSpellings)
+{
+    const ConfigFile cfg = ConfigFile::parse(
+        "a = true\nb = YES\nc = off\nd = 0\ne = maybe\n");
+    EXPECT_TRUE(cfg.getBool("a", false));
+    EXPECT_TRUE(cfg.getBool("b", false));
+    EXPECT_FALSE(cfg.getBool("c", true));
+    EXPECT_FALSE(cfg.getBool("d", true));
+    EXPECT_TRUE(cfg.getBool("e", true)); // Unparseable -> fallback.
+    EXPECT_FALSE(cfg.getBool("absent", false));
+}
+
+TEST(ConfigFile, DoubleValues)
+{
+    const ConfigFile cfg = ConfigFile::parse("lr = 2e-3\n");
+    EXPECT_DOUBLE_EQ(cfg.getDouble("lr", 0.0), 2e-3);
+}
+
+TEST(ConfigFile, LoadFromDisk)
+{
+    const std::string path = ::testing::TempDir() + "/so_config_test.ini";
+    {
+        std::ofstream out(path);
+        out << "model = 5B\nbatch = 8\n";
+    }
+    bool ok = false;
+    const ConfigFile cfg = ConfigFile::load(path, ok);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(cfg.get("model"), "5B");
+    std::remove(path.c_str());
+}
+
+TEST(ConfigFile, LoadMissingFileReportsFailure)
+{
+    bool ok = true;
+    const ConfigFile cfg =
+        ConfigFile::load("/nonexistent/so_config.ini", ok);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(cfg.size(), 0u);
+}
+
+} // namespace
+} // namespace so

@@ -1,0 +1,125 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace so {
+namespace {
+
+TEST(JsonWriter, EmptyObject)
+{
+    JsonWriter json;
+    json.beginObject().endObject();
+    EXPECT_EQ(json.str(), "{}");
+}
+
+TEST(JsonWriter, EmptyArray)
+{
+    JsonWriter json;
+    json.beginArray().endArray();
+    EXPECT_EQ(json.str(), "[]");
+}
+
+TEST(JsonWriter, FlatObject)
+{
+    JsonWriter json;
+    json.beginObject()
+        .field("name", "SuperOffload")
+        .field("tflops", 238.92)
+        .field("buckets", std::uint32_t{128})
+        .field("feasible", true)
+        .endObject();
+    EXPECT_EQ(json.str(), "{\"name\":\"SuperOffload\","
+                          "\"tflops\":238.92,"
+                          "\"buckets\":128,"
+                          "\"feasible\":true}");
+}
+
+TEST(JsonWriter, NestedStructures)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("memory").beginObject().field("gpu", 96.0).endObject();
+    json.key("sizes").beginArray().value(1.0).value(2.0).endArray();
+    json.endObject();
+    EXPECT_EQ(json.str(),
+              "{\"memory\":{\"gpu\":96},\"sizes\":[1,2]}");
+}
+
+TEST(JsonWriter, ArrayOfObjects)
+{
+    JsonWriter json;
+    json.beginArray();
+    json.beginObject().field("id", std::int64_t{1}).endObject();
+    json.beginObject().field("id", std::int64_t{2}).endObject();
+    json.endArray();
+    EXPECT_EQ(json.str(), "[{\"id\":1},{\"id\":2}]");
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters)
+{
+    JsonWriter json;
+    json.beginObject()
+        .field("text", "line1\nline2\t\"quoted\" \\slash")
+        .endObject();
+    EXPECT_EQ(json.str(), "{\"text\":\"line1\\nline2\\t\\\"quoted\\\" "
+                          "\\\\slash\"}");
+}
+
+TEST(JsonWriter, ControlCharactersBecomeUnicodeEscapes)
+{
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull)
+{
+    JsonWriter json;
+    json.beginArray()
+        .value(std::nan(""))
+        .value(std::numeric_limits<double>::infinity())
+        .endArray();
+    EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(JsonWriter, NullValue)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("missing");
+    json.null();
+    json.endObject();
+    EXPECT_EQ(json.str(), "{\"missing\":null}");
+}
+
+TEST(JsonWriter, TopLevelScalar)
+{
+    JsonWriter json;
+    json.value(42.0);
+    EXPECT_EQ(json.str(), "42");
+}
+
+TEST(JsonWriterDeath, MismatchedEndPanics)
+{
+    JsonWriter json;
+    json.beginObject();
+    EXPECT_DEATH(json.endArray(), "endArray mismatch");
+}
+
+TEST(JsonWriterDeath, UnterminatedDocumentPanics)
+{
+    JsonWriter json;
+    json.beginObject();
+    EXPECT_DEATH({ const auto s = json.str(); (void)s; },
+                 "unterminated");
+}
+
+TEST(JsonWriterDeath, KeyOutsideObjectPanics)
+{
+    JsonWriter json;
+    json.beginArray();
+    EXPECT_DEATH(json.key("oops"), "outside an object");
+}
+
+} // namespace
+} // namespace so

@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace so {
+namespace {
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(before);
+}
+
+TEST(Logging, InformAndWarnDoNotCrash)
+{
+    inform("test message ", 42);
+    warn("warning with value ", 3.14);
+    debug("debug message");
+}
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    SO_ASSERT(1 + 1 == 2, "math works");
+}
+
+TEST(LoggingDeath, AssertAbortsOnFalseCondition)
+{
+    EXPECT_DEATH(SO_ASSERT(false, "value=", 7), "assertion failed");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(SO_PANIC("internal bug ", 1), "internal bug");
+}
+
+TEST(LoggingDeath, FatalExitsWithError)
+{
+    EXPECT_EXIT(SO_FATAL("user error"), ::testing::ExitedWithCode(1),
+                "user error");
+}
+
+} // namespace
+} // namespace so

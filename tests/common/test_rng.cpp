@@ -1,0 +1,157 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace so {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsProduceDifferentStreams)
+{
+    Rng a(1), b(2);
+    int diff = 0;
+    for (int i = 0; i < 64; ++i)
+        diff += a.next() != b.next();
+    EXPECT_GT(diff, 60);
+}
+
+TEST(Rng, NearbySeedsAreDecorrelated)
+{
+    // SplitMix64 seeding should decorrelate seed and seed+1.
+    Rng a(1000), b(1001);
+    int diff = 0;
+    for (int i = 0; i < 64; ++i)
+        diff += a.next() != b.next();
+    EXPECT_GT(diff, 60);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, BelowCoversSupportWithoutBias)
+{
+    Rng rng(11);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[rng.below(10)];
+    for (int c : counts) {
+        EXPECT_GT(c, 9000);
+        EXPECT_LT(c, 11000);
+    }
+}
+
+TEST(Rng, GaussianMomentsMatch)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianWithMeanAndStddev)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(ZipfSampler, PmfSumsToOne)
+{
+    ZipfSampler zipf(100, 1.1);
+    double total = 0.0;
+    for (std::size_t i = 0; i < zipf.size(); ++i)
+        total += zipf.pmf(i);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, PmfIsMonotoneDecreasing)
+{
+    ZipfSampler zipf(50, 1.2);
+    for (std::size_t i = 1; i < zipf.size(); ++i)
+        EXPECT_LE(zipf.pmf(i), zipf.pmf(i - 1) + 1e-12);
+}
+
+TEST(ZipfSampler, SamplesFollowRankOrdering)
+{
+    ZipfSampler zipf(16, 1.1);
+    Rng rng(23);
+    std::vector<int> counts(16, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf.sample(rng)];
+    // Rank 0 must be sampled more than rank 8, rank 8 more than 15.
+    EXPECT_GT(counts[0], counts[8]);
+    EXPECT_GT(counts[8], counts[15]);
+}
+
+TEST(ZipfSampler, SingleElementSupport)
+{
+    ZipfSampler zipf(1, 1.0);
+    Rng rng(29);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+class ZipfExponentTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfExponentTest, HeadMassGrowsWithExponent)
+{
+    ZipfSampler zipf(64, GetParam());
+    // Head probability must be at least uniform.
+    EXPECT_GE(zipf.pmf(0), 1.0 / 64.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.1, 1.5, 2.0));
+
+} // namespace
+} // namespace so

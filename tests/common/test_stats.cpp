@@ -1,0 +1,105 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace so {
+namespace {
+
+TEST(RunningStat, EmptyAccumulator)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat stat;
+    stat.push(4.0);
+    EXPECT_EQ(stat.count(), 1u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 4.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 4.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat stat;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.push(x);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    // Sample variance with n-1 = 32/7.
+    EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesSequentialPush)
+{
+    Rng rng(5);
+    RunningStat all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.gaussian(3.0, 2.0);
+        all.push(x);
+        (i % 2 ? a : b).push(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, empty;
+    a.push(1.0);
+    a.push(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    RunningStat b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, Median)
+{
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 50.0), 3.0);
+}
+
+TEST(Percentile, Extremes)
+{
+    const std::vector<double> v{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0, 20.0}, 75.0), 15.0);
+}
+
+TEST(Percentile, SingleSample)
+{
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 8.0}), 2.8284271247461903, 1e-12);
+}
+
+} // namespace
+} // namespace so

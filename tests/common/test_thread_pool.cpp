@@ -1,0 +1,92 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace so {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 100000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            ++hits[i];
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForSmallRunsInline)
+{
+    ThreadPool pool(4);
+    int sum = 0; // Not atomic: small n must run inline on this thread.
+    pool.parallelFor(100, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelFor(0, [&](std::size_t, std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCorrect)
+{
+    ThreadPool pool(1);
+    std::atomic<long> sum{0};
+    pool.parallelFor(10000, [&](std::size_t begin, std::size_t end) {
+        long local = 0;
+        for (std::size_t i = begin; i < end; ++i)
+            local += static_cast<long>(i);
+        sum += local;
+    });
+    EXPECT_EQ(sum.load(), 49995000L);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive)
+{
+    ThreadPool pool;
+    EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves)
+{
+    ThreadPool pool(3);
+    for (int wave = 0; wave < 5; ++wave) {
+        std::atomic<int> count{0};
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 20);
+    }
+}
+
+} // namespace
+} // namespace so

@@ -1,0 +1,64 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace so {
+namespace {
+
+TEST(Units, ConstantsAreConsistent)
+{
+    EXPECT_DOUBLE_EQ(kGB, 1e9);
+    EXPECT_DOUBLE_EQ(kMiB, 1048576.0);
+    EXPECT_DOUBLE_EQ(kGiB, 1024.0 * kMiB);
+    EXPECT_DOUBLE_EQ(kTFLOPS, 1e12);
+    EXPECT_LT(kGB, kGiB);
+}
+
+TEST(Units, FormatBytesPicksBinaryUnit)
+{
+    EXPECT_EQ(formatBytes(64.0 * kMiB), "64.00 MiB");
+    EXPECT_EQ(formatBytes(1.5 * kGiB), "1.50 GiB");
+    EXPECT_EQ(formatBytes(512.0), "512.00 B");
+    EXPECT_EQ(formatBytes(2.0 * kTiB), "2.00 TiB");
+    EXPECT_EQ(formatBytes(4.0 * kKiB), "4.00 KiB");
+}
+
+TEST(Units, FormatBandwidth)
+{
+    EXPECT_EQ(formatBandwidth(450.0 * kGB), "450.00 GB/s");
+    EXPECT_EQ(formatBandwidth(32.0 * kGB), "32.00 GB/s");
+    EXPECT_EQ(formatBandwidth(1.2 * kTB), "1.20 TB/s");
+    EXPECT_EQ(formatBandwidth(5.0 * kMB), "5.00 MB/s");
+}
+
+TEST(Units, FormatTimeScalesAcrossMagnitudes)
+{
+    EXPECT_EQ(formatTime(2.5), "2.50 s");
+    EXPECT_EQ(formatTime(12.0 * kMs), "12.00 ms");
+    EXPECT_EQ(formatTime(7.0 * kUs), "7.00 us");
+    EXPECT_EQ(formatTime(3e-9), "3.00 ns");
+}
+
+TEST(Units, FormatFlops)
+{
+    EXPECT_EQ(formatFlops(990.0 * kTFLOPS), "990.00 TFLOPS");
+    EXPECT_EQ(formatFlops(3.0 * kTFLOPS), "3.00 TFLOPS");
+    EXPECT_EQ(formatFlops(2.0 * kPFLOPS), "2.00 PFLOPS");
+    EXPECT_EQ(formatFlops(5.0 * kGFLOPS), "5.00 GFLOPS");
+}
+
+TEST(Units, FormatParams)
+{
+    EXPECT_EQ(formatParams(13.0e9), "13.0B");
+    EXPECT_EQ(formatParams(350.0e6), "350M");
+    EXPECT_EQ(formatParams(5.139e9), "5.1B");
+}
+
+TEST(Units, FormatHandlesNegativeValues)
+{
+    EXPECT_EQ(formatBytes(-1.5 * kGiB), "-1.50 GiB");
+    EXPECT_EQ(formatTime(-2.0 * kMs), "-2.00 ms");
+}
+
+} // namespace
+} // namespace so

@@ -1,0 +1,126 @@
+#include "core/bucketization.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "hw/presets.h"
+
+namespace so::core {
+namespace {
+
+TEST(Buckets, SixtyFourMegabyteBuckets)
+{
+    // 64 MB of fp16 = 32 Mi parameters per bucket (§4.3).
+    const BucketPlan plan = planBuckets(64e6, 1024);
+    EXPECT_NEAR(plan.bucket_bytes, kSuperOffloadBucketBytes,
+                kSuperOffloadBucketBytes * 0.05);
+    EXPECT_EQ(plan.count, 2u); // 128 MB of fp16 -> 2 buckets.
+}
+
+TEST(Buckets, TotalParamsPreserved)
+{
+    for (double params : {1e6, 5.1e9, 13.1e9, 25.2e9}) {
+        const BucketPlan plan = planBuckets(params, 128);
+        EXPECT_NEAR(plan.totalParams(), params, 1.0) << params;
+    }
+}
+
+TEST(Buckets, ParamsInBucketsIsCumulative)
+{
+    const BucketPlan plan = planBuckets(5e9, 128);
+    EXPECT_DOUBLE_EQ(plan.paramsInBuckets(0), 0.0);
+    EXPECT_NEAR(plan.paramsInBuckets(plan.count), 5e9, 1.0);
+    EXPECT_LT(plan.paramsInBuckets(plan.count / 2),
+              plan.paramsInBuckets(plan.count));
+}
+
+TEST(Buckets, CapBindsForHugeShards)
+{
+    const BucketPlan plan = planBuckets(100e9, 128);
+    EXPECT_EQ(plan.count, 128u);
+    // Buckets grow beyond 64 MB when the cap binds.
+    EXPECT_GT(plan.bucket_bytes, kSuperOffloadBucketBytes);
+    EXPECT_NEAR(plan.totalParams(), 100e9, 1.0);
+}
+
+TEST(Buckets, ZeroParamsGivesEmptyPlan)
+{
+    const BucketPlan plan = planBuckets(0.0);
+    EXPECT_EQ(plan.count, 0u);
+    EXPECT_DOUBLE_EQ(plan.totalParams(), 0.0);
+}
+
+TEST(Buckets, TinyShardOneBucket)
+{
+    const BucketPlan plan = planBuckets(1000.0);
+    EXPECT_EQ(plan.count, 1u);
+    EXPECT_DOUBLE_EQ(plan.totalParams(), 1000.0);
+}
+
+TEST(Repartition, AnalyticBoundSatisfiesInequality)
+{
+    // Verify eq. (4)-(5): at the returned n, lhs <= rhs; at n-1 it is
+    // violated (unless n == 0).
+    const hw::SuperchipSpec chip = hw::gh200(480.0 * kGB);
+    const BucketPlan plan = planBuckets(5.1e9, 128);
+    const double bwd_per_bucket = 1.1 / plan.count;
+    const std::uint32_t n = analyticRetainedBuckets(
+        chip, plan, bwd_per_bucket, hw::AdamImpl::GraceAdam, true);
+
+    auto lhs = [&] {
+        const double bytes = 4.0 * plan.params_per_bucket;
+        return chip.c2c.transferTime(bytes) +
+               chip.cpu.adamStepTime(plan.params_per_bucket,
+                                     hw::AdamImpl::GraceAdam) +
+               chip.c2c.transferTime(bytes);
+    }();
+    auto rhs = [&](std::uint32_t k) {
+        return k * bwd_per_bucket +
+               chip.gpuAdamStepTime(k * plan.params_per_bucket);
+    };
+    EXPECT_LE(lhs, rhs(n));
+    if (n > 0)
+        EXPECT_GT(lhs, rhs(n - 1));
+}
+
+TEST(Repartition, SlowerCpuAdamNeedsMoreRetainedBuckets)
+{
+    const hw::SuperchipSpec chip = hw::gh200(480.0 * kGB);
+    const BucketPlan plan = planBuckets(5.1e9, 128);
+    const double bwd_per_bucket = 1.1 / plan.count;
+    const std::uint32_t grace = analyticRetainedBuckets(
+        chip, plan, bwd_per_bucket, hw::AdamImpl::GraceAdam, true);
+    const std::uint32_t naive = analyticRetainedBuckets(
+        chip, plan, bwd_per_bucket, hw::AdamImpl::Naive, true);
+    EXPECT_GE(naive, grace);
+}
+
+TEST(Repartition, EmptyPlanNeedsNothing)
+{
+    const hw::SuperchipSpec chip = hw::gh200(480.0 * kGB);
+    EXPECT_EQ(analyticRetainedBuckets(chip, BucketPlan{}, 0.0,
+                                      hw::AdamImpl::GraceAdam, true),
+              0u);
+}
+
+TEST(Repartition, CandidatesContainAnchors)
+{
+    const auto grid = retainedCandidates(10, 64);
+    EXPECT_NE(std::find(grid.begin(), grid.end(), 0u), grid.end());
+    EXPECT_NE(std::find(grid.begin(), grid.end(), 10u), grid.end());
+    EXPECT_NE(std::find(grid.begin(), grid.end(), 64u), grid.end());
+    // Sorted and within bounds.
+    for (std::size_t i = 1; i < grid.size(); ++i)
+        EXPECT_LT(grid[i - 1], grid[i]);
+    EXPECT_LE(grid.back(), 64u);
+}
+
+TEST(Repartition, CandidatesClampedToMax)
+{
+    const auto grid = retainedCandidates(100, 5);
+    for (std::uint32_t n : grid)
+        EXPECT_LE(n, 5u);
+}
+
+} // namespace
+} // namespace so::core

@@ -1,0 +1,83 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace so::core {
+namespace {
+
+runtime::TrainSetup
+setupFor(const char *model)
+{
+    runtime::TrainSetup setup;
+    setup.cluster = hw::gh200Single();
+    setup.model = model::modelPreset(model);
+    setup.global_batch = 8;
+    setup.seq = 1024;
+    return setup;
+}
+
+TEST(Engine, PlanPopulatesEveryDecision)
+{
+    SuperOffloadEngine engine;
+    const PlanReport report = engine.plan(setupFor("10B"));
+    ASSERT_TRUE(report.feasible);
+    EXPECT_GT(report.buckets.count, 0u);
+    EXPECT_TRUE(report.placement == WeightPlacement::Stationary ||
+                report.placement == WeightPlacement::Flow);
+    EXPECT_EQ(report.cast_strategy, CastStrategy::CastGpuMoveFp32);
+    EXPECT_EQ(report.adam_impl, hw::AdamImpl::GraceAdam);
+    EXPECT_GT(report.iteration.tflopsPerGpu(), 100.0);
+}
+
+TEST(Engine, InfeasiblePlanCarriesReason)
+{
+    SuperOffloadEngine engine;
+    const PlanReport report = engine.plan(setupFor("50B"));
+    EXPECT_FALSE(report.feasible);
+    EXPECT_FALSE(report.infeasible_reason.empty());
+}
+
+TEST(Engine, SummaryMentionsKeyFields)
+{
+    SuperOffloadEngine engine;
+    const runtime::TrainSetup setup = setupFor("5B");
+    const PlanReport report = engine.plan(setup);
+    const std::string s = report.summary(setup);
+    EXPECT_NE(s.find("placement:"), std::string::npos);
+    EXPECT_NE(s.find("buckets:"), std::string::npos);
+    EXPECT_NE(s.find("casting:"), std::string::npos);
+    EXPECT_NE(s.find("GraceAdam"), std::string::npos);
+    EXPECT_NE(s.find("TFLOPS"), std::string::npos);
+}
+
+TEST(Engine, InfeasibleSummaryExplains)
+{
+    SuperOffloadEngine engine;
+    const runtime::TrainSetup setup = setupFor("50B");
+    const PlanReport report = engine.plan(setup);
+    const std::string s = report.summary(setup);
+    EXPECT_NE(s.find("INFEASIBLE"), std::string::npos);
+}
+
+TEST(Engine, DisabledSacReportsClassicCasting)
+{
+    SuperOffloadOptions opts;
+    opts.sac = false;
+    SuperOffloadEngine engine(opts);
+    const PlanReport report = engine.plan(setupFor("5B"));
+    ASSERT_TRUE(report.feasible);
+    EXPECT_EQ(report.cast_strategy, CastStrategy::CastCpuMoveFp16);
+}
+
+TEST(Engine, DisabledGraceAdamReportsCpuAdam)
+{
+    SuperOffloadOptions opts;
+    opts.grace_adam = false;
+    SuperOffloadEngine engine(opts);
+    const PlanReport report = engine.plan(setupFor("5B"));
+    ASSERT_TRUE(report.feasible);
+    EXPECT_EQ(report.adam_impl, hw::AdamImpl::CpuAdam);
+}
+
+} // namespace
+} // namespace so::core

@@ -1,0 +1,91 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "hw/presets.h"
+
+namespace so::core {
+namespace {
+
+const hw::SuperchipSpec kChip = hw::gh200(480.0 * so::kGB);
+
+TEST(Policy, EfficiencyInUnitInterval)
+{
+    const double e = offloadEfficiency(kChip, 5e9, 8.0, 1024.0,
+                                       450.0 * kGB);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LT(e, 1.0);
+}
+
+TEST(Policy, EfficiencyIndependentOfModelSize)
+{
+    // Both compute and weight traffic scale linearly in params, so the
+    // ratio depends only on batch, seq, and bandwidth (Fig. 6 plots
+    // batch size on the x-axis for this reason).
+    const double e1 = offloadEfficiency(kChip, 1e9, 4.0, 1024.0,
+                                        450.0 * kGB);
+    const double e2 = offloadEfficiency(kChip, 50e9, 4.0, 1024.0,
+                                        450.0 * kGB);
+    EXPECT_NEAR(e1, e2, 1e-12);
+}
+
+TEST(Policy, EfficiencyMonotoneInBatch)
+{
+    double prev = 0.0;
+    for (double batch = 1.0; batch <= 64.0; batch *= 2.0) {
+        const double e = offloadEfficiency(kChip, 5e9, batch, 1024.0,
+                                           450.0 * kGB);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(Policy, EfficiencyMonotoneInBandwidth)
+{
+    double prev = 0.0;
+    for (double bw : {32.0, 64.0, 450.0, 900.0}) {
+        const double e = offloadEfficiency(kChip, 5e9, 4.0, 1024.0,
+                                           bw * kGB);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(Policy, Fig6CrossoverAtBatchFour)
+{
+    // §4.2: "even with a theoretical peak uni-directional C2C bandwidth
+    // of 450 GB/s, the batch size needs to be >= 4 with sequence
+    // length 1024 to achieve an efficiency greater than 60%".
+    EXPECT_LT(offloadEfficiency(kChip, 5e9, 1.0, 1024.0, 450.0 * kGB),
+              kFlowEfficiencyThreshold);
+    EXPECT_GE(offloadEfficiency(kChip, 5e9, 4.0, 1024.0, 450.0 * kGB),
+              kFlowEfficiencyThreshold);
+    EXPECT_FALSE(flowIsEfficient(kChip, 5e9, 1.0, 1024.0));
+    EXPECT_TRUE(flowIsEfficient(kChip, 5e9, 4.0, 1024.0));
+}
+
+TEST(Policy, PcieEraBandwidthNeverReachesThreshold)
+{
+    // The PCIe-era assumption: weight-flow at batch 8 over 32 GB/s is
+    // hopeless, which is why ZeRO-Offload kept weights stationary.
+    EXPECT_LT(offloadEfficiency(kChip, 5e9, 8.0, 1024.0, 32.0 * kGB),
+              kFlowEfficiencyThreshold);
+}
+
+TEST(Policy, LongSequencesMakeFlowEfficientEvenAtBatchOne)
+{
+    // §5.3's regime: batch 1, huge sequence -> compute dominates.
+    EXPECT_TRUE(flowIsEfficient(kChip, 13e9, 1.0, 65536.0));
+}
+
+TEST(Policy, PlacementNames)
+{
+    EXPECT_STREQ(placementName(WeightPlacement::Stationary),
+                 "weight-stationary");
+    EXPECT_STREQ(placementName(WeightPlacement::Flow), "weight-flow");
+    EXPECT_STREQ(placementName(WeightPlacement::Auto), "auto");
+}
+
+} // namespace
+} // namespace so::core

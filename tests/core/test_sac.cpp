@@ -1,0 +1,79 @@
+#include "core/sac.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "hw/presets.h"
+
+namespace so::core {
+namespace {
+
+const hw::SuperchipSpec kGh = hw::gh200(480.0 * so::kGB);
+
+TEST(Sac, GpuPathWinsOnSuperchip)
+{
+    // Fig. 9 / §4.5: Cast_gpu<->Move_fp32 beats Cast_cpu<->Move_fp16
+    // on GH200 across the measured tensor sizes.
+    for (double mb : {256.0, 512.0, 1024.0, 2048.0}) {
+        const double elements = mb * kMiB / 4.0; // fp32 tensor of mb MB
+        EXPECT_EQ(chooseCastStrategy(kGh, elements),
+                  CastStrategy::CastGpuMoveFp32)
+            << mb << " MB";
+    }
+}
+
+TEST(Sac, CpuPathRoughlyTwiceAsSlow)
+{
+    // §4.5: "Cast_cpu<->Move_fp16 takes around 2x execution time".
+    const double elements = 512.0 * kMiB / 4.0;
+    const double gpu_path =
+        castPipelineTime(kGh, CastStrategy::CastGpuMoveFp32, elements);
+    const double cpu_path =
+        castPipelineTime(kGh, CastStrategy::CastCpuMoveFp16, elements);
+    EXPECT_GT(cpu_path / gpu_path, 1.5);
+    EXPECT_LT(cpu_path / gpu_path, 4.0);
+}
+
+TEST(Sac, PipelineTimesScaleWithElements)
+{
+    const double t1 =
+        castPipelineTime(kGh, CastStrategy::CastGpuMoveFp32, 1e8);
+    const double t2 =
+        castPipelineTime(kGh, CastStrategy::CastGpuMoveFp32, 2e8);
+    EXPECT_GT(t2, 1.8 * t1);
+}
+
+TEST(Sac, ZeroElementsIsFree)
+{
+    EXPECT_DOUBLE_EQ(
+        castPipelineTime(kGh, CastStrategy::CastGpuMoveFp32, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(
+        castPipelineTime(kGh, CastStrategy::CastCpuMoveFp16, 0.0), 0.0);
+}
+
+TEST(Sac, AdvantageShrinksOnSlowLinks)
+{
+    // On PCIe-class links the fp32 move's doubled volume costs much
+    // more, so the GPU path's *relative* advantage shrinks: the
+    // C2C-era decision is not universal.
+    const hw::SuperchipSpec dgx = hw::dgx2().node.superchip;
+    const double elements = 512.0 * kMiB / 4.0;
+    const double gh_ratio =
+        castPipelineTime(kGh, CastStrategy::CastCpuMoveFp16, elements) /
+        castPipelineTime(kGh, CastStrategy::CastGpuMoveFp32, elements);
+    const double dgx_ratio =
+        castPipelineTime(dgx, CastStrategy::CastCpuMoveFp16, elements) /
+        castPipelineTime(dgx, CastStrategy::CastGpuMoveFp32, elements);
+    EXPECT_LT(dgx_ratio, gh_ratio);
+}
+
+TEST(Sac, StrategyNames)
+{
+    EXPECT_STREQ(castStrategyName(CastStrategy::CastGpuMoveFp32),
+                 "Cast_gpu<->Move_fp32");
+    EXPECT_STREQ(castStrategyName(CastStrategy::CastCpuMoveFp16),
+                 "Cast_cpu<->Move_fp16");
+}
+
+} // namespace
+} // namespace so::core

@@ -1,0 +1,123 @@
+#include "core/superoffload_ulysses.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/registry.h"
+
+namespace so::core {
+namespace {
+
+using runtime::TrainSetup;
+
+TrainSetup
+longSeqSetup(const char *model, std::uint32_t chips, std::uint32_t seq_k)
+{
+    TrainSetup setup;
+    setup.cluster = hw::gh200ClusterOf(chips);
+    setup.model = model::modelPreset(model);
+    setup.global_batch = 1;
+    setup.seq = seq_k * 1024;
+    return setup;
+}
+
+TEST(SuperOffloadUlysses, MillionTokensOnEightChips)
+{
+    // §5.3: "enables the training of 13B model with sequence lengths
+    // up to 1 million tokens on 8 Superchips".
+    SuperOffloadUlyssesSystem sys;
+    EXPECT_TRUE(sys.run(longSeqSetup("13B", 8, 1024)).feasible);
+    EXPECT_FALSE(sys.run(longSeqSetup("13B", 8, 1536)).feasible);
+}
+
+TEST(SuperOffloadUlysses, MfuAboveFiftyPercentAtMillionTokens)
+{
+    // §5.3: "while achieving 55% MFU".
+    SuperOffloadUlyssesSystem sys;
+    const auto res = sys.run(longSeqSetup("13B", 8, 1024));
+    ASSERT_TRUE(res.feasible);
+    const double peak =
+        hw::gh200ClusterOf(8).node.superchip.gpu.peak_flops;
+    EXPECT_GT(res.mfuAgainst(peak), 0.48);
+    EXPECT_LT(res.mfuAgainst(peak), 0.60);
+}
+
+TEST(SuperOffloadUlysses, SupportsMuchLongerSequencesThanUlysses)
+{
+    // Fig. 12: SuperOffload-Ulysses trains sequences several times
+    // longer than vanilla Ulysses.
+    SuperOffloadUlyssesSystem sou;
+    auto ul = runtime::makeBaseline("ulysses");
+
+    auto max_seq = [&](runtime::TrainingSystem &sys) {
+        std::uint32_t best = 0;
+        for (std::uint32_t k : {32u, 64u, 128u, 192u, 256u, 384u, 512u,
+                                768u, 1024u}) {
+            if (sys.run(longSeqSetup("13B", 8, k)).feasible)
+                best = k;
+        }
+        return best;
+    };
+    const std::uint32_t sou_max = max_seq(sou);
+    const std::uint32_t ul_max = max_seq(*ul);
+    ASSERT_GT(ul_max, 0u);
+    EXPECT_GE(sou_max / ul_max, 4u);
+}
+
+TEST(SuperOffloadUlysses, HigherMfuThanUlyssesWhereBothFeasible)
+{
+    // Fig. 12: "SuperOffload-Ulysses consistently achieves higher MFU".
+    SuperOffloadUlyssesSystem sou;
+    auto ul = runtime::makeBaseline("ulysses");
+    const double peak =
+        hw::gh200ClusterOf(8).node.superchip.gpu.peak_flops;
+    for (std::uint32_t k : {32u, 64u, 128u}) {
+        const TrainSetup setup = longSeqSetup("13B", 8, k);
+        const auto a = sou.run(setup);
+        const auto b = ul->run(setup);
+        ASSERT_TRUE(a.feasible) << k;
+        ASSERT_TRUE(b.feasible) << k;
+        EXPECT_GE(a.mfuAgainst(peak), b.mfuAgainst(peak) * 0.97) << k;
+    }
+}
+
+TEST(SuperOffloadUlysses, ThirtyBillionFeasibleWhereUlyssesIsNot)
+{
+    SuperOffloadUlyssesSystem sou;
+    auto ul = runtime::makeBaseline("ulysses");
+    const TrainSetup setup = longSeqSetup("30B", 8, 64);
+    EXPECT_TRUE(sou.run(setup).feasible);
+    EXPECT_FALSE(ul->run(setup).feasible);
+}
+
+TEST(SuperOffloadUlysses, MfuGrowsWithSequenceLength)
+{
+    SuperOffloadUlyssesSystem sys;
+    const double peak =
+        hw::gh200ClusterOf(8).node.superchip.gpu.peak_flops;
+    double prev = 0.0;
+    for (std::uint32_t k : {64u, 256u, 1024u}) {
+        const auto res = sys.run(longSeqSetup("13B", 8, k));
+        ASSERT_TRUE(res.feasible) << k;
+        const double mfu = res.mfuAgainst(peak);
+        EXPECT_GT(mfu, prev) << k;
+        prev = mfu;
+    }
+}
+
+TEST(SuperOffloadUlysses, CpuHoldsTheModelStates)
+{
+    SuperOffloadUlyssesSystem sys;
+    const auto res = sys.run(longSeqSetup("13B", 8, 512));
+    ASSERT_TRUE(res.feasible);
+    // 18 bytes/param sharded over 8 ranks.
+    const double expected =
+        18.0 * model::modelPreset("13B").params() / 8.0;
+    EXPECT_NEAR(res.memory.cpu_bytes, expected, 0.01 * expected);
+    // GPU side is activation-dominated, far below the 16P/N + act of
+    // a states-resident design.
+    EXPECT_LT(res.memory.gpu_bytes,
+              res.memory.gpu_capacity);
+}
+
+} // namespace
+} // namespace so::core

@@ -1,0 +1,157 @@
+#include "data/synthetic_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace so::data {
+namespace {
+
+TEST(Corpus, DeterministicForSameSeed)
+{
+    CorpusConfig cfg;
+    SyntheticCorpus a(cfg), b(cfg);
+    std::vector<std::uint32_t> in_a(100), tgt_a(100), in_b(100),
+        tgt_b(100);
+    a.nextBatch(in_a.data(), tgt_a.data(), 100);
+    b.nextBatch(in_b.data(), tgt_b.data(), 100);
+    EXPECT_EQ(in_a, in_b);
+    EXPECT_EQ(tgt_a, tgt_b);
+}
+
+TEST(Corpus, DifferentSeedsDiffer)
+{
+    CorpusConfig cfg_a, cfg_b;
+    cfg_b.seed = cfg_a.seed + 1;
+    SyntheticCorpus a(cfg_a), b(cfg_b);
+    std::vector<std::uint32_t> tgt_a(200), tgt_b(200), in(200);
+    a.nextBatch(in.data(), tgt_a.data(), 200);
+    b.nextBatch(in.data(), tgt_b.data(), 200);
+    EXPECT_NE(tgt_a, tgt_b);
+}
+
+TEST(Corpus, TokensInVocabulary)
+{
+    CorpusConfig cfg;
+    cfg.vocab = 64;
+    SyntheticCorpus corpus(cfg);
+    std::vector<std::uint32_t> in(1000), tgt(1000);
+    corpus.nextBatch(in.data(), tgt.data(), 1000);
+    for (std::size_t i = 0; i < 1000; ++i) {
+        ASSERT_LT(in[i], cfg.vocab);
+        ASSERT_LT(tgt[i], cfg.vocab);
+    }
+}
+
+TEST(Corpus, StreamIsMarkovConsistent)
+{
+    // target[i] must equal input[i+1] (a contiguous token stream).
+    CorpusConfig cfg;
+    SyntheticCorpus corpus(cfg);
+    std::vector<std::uint32_t> in(500), tgt(500);
+    corpus.nextBatch(in.data(), tgt.data(), 500);
+    for (std::size_t i = 0; i + 1 < 500; ++i)
+        ASSERT_EQ(tgt[i], in[i + 1]);
+}
+
+TEST(Corpus, ConsecutiveBatchesContinueTheStream)
+{
+    CorpusConfig cfg;
+    SyntheticCorpus corpus(cfg);
+    std::vector<std::uint32_t> in1(10), tgt1(10), in2(10), tgt2(10);
+    corpus.nextBatch(in1.data(), tgt1.data(), 10);
+    corpus.nextBatch(in2.data(), tgt2.data(), 10);
+    EXPECT_EQ(in2[0], tgt1[9]);
+}
+
+TEST(Corpus, TransitionsFollowPlantedTable)
+{
+    CorpusConfig cfg;
+    cfg.branching = 4;
+    SyntheticCorpus corpus(cfg);
+    std::vector<std::uint32_t> in(2000), tgt(2000);
+    corpus.nextBatch(in.data(), tgt.data(), 2000);
+    for (std::size_t i = 0; i < 2000; ++i) {
+        const auto &succ = corpus.successors(in[i]);
+        ASSERT_NE(std::find(succ.begin(), succ.end(), tgt[i]),
+                  succ.end())
+            << "transition " << in[i] << " -> " << tgt[i]
+            << " not in planted table";
+    }
+}
+
+TEST(Corpus, ConditionalEntropyBelowUniform)
+{
+    CorpusConfig cfg;
+    cfg.vocab = 256;
+    cfg.branching = 16;
+    SyntheticCorpus corpus(cfg);
+    const double h = corpus.conditionalEntropy();
+    EXPECT_GT(h, 0.0);
+    // Far below the uniform-vocabulary entropy ln(256): that gap is
+    // what a trained model can learn (Fig. 14's falling loss).
+    EXPECT_LT(h, std::log(256.0) * 0.6);
+    // And at most the uniform entropy over the branching factor.
+    EXPECT_LE(h, std::log(16.0) + 1e-9);
+}
+
+TEST(Corpus, OrderTwoTransitionsDependOnTwoTokens)
+{
+    // Empirically verify the defining property of the order-2 chain:
+    // the successor set of a (prev, current) pair is confined to its
+    // planted branching set, and the same `current` under different
+    // `prev` generally leads elsewhere.
+    CorpusConfig cfg;
+    cfg.vocab = 16;
+    cfg.branching = 2;
+    cfg.order = 2;
+    cfg.seed = 5;
+    SyntheticCorpus corpus(cfg);
+    const std::size_t n = 20000;
+    std::vector<std::uint32_t> in(n), tgt(n);
+    corpus.nextBatch(in.data(), tgt.data(), n);
+
+    // Count distinct successors per (prev, current) and per current.
+    std::map<std::pair<std::uint32_t, std::uint32_t>,
+             std::set<std::uint32_t>> by_pair;
+    std::map<std::uint32_t, std::set<std::uint32_t>> by_token;
+    for (std::size_t i = 1; i < n; ++i) {
+        by_pair[{in[i - 1], in[i]}].insert(tgt[i]);
+        by_token[in[i]].insert(tgt[i]);
+    }
+    for (const auto &[pair, succ] : by_pair) {
+        (void)pair;
+        EXPECT_LE(succ.size(), cfg.branching);
+    }
+    // Marginalized over prev, a token has far more successors than the
+    // branching factor — the context carries real information.
+    double avg = 0.0;
+    for (const auto &[token, succ] : by_token) {
+        (void)token;
+        avg += static_cast<double>(succ.size());
+    }
+    avg /= static_cast<double>(by_token.size());
+    EXPECT_GT(avg, 2.0 * cfg.branching);
+}
+
+TEST(CorpusDeath, RejectsUnsupportedOrder)
+{
+    CorpusConfig cfg;
+    cfg.order = 3;
+    EXPECT_DEATH(SyntheticCorpus corpus(cfg), "order-1 and order-2");
+}
+
+TEST(Corpus, EntropyGrowsWithBranching)
+{
+    CorpusConfig narrow, wide;
+    narrow.branching = 4;
+    wide.branching = 64;
+    EXPECT_LT(SyntheticCorpus(narrow).conditionalEntropy(),
+              SyntheticCorpus(wide).conditionalEntropy());
+}
+
+} // namespace
+} // namespace so::data

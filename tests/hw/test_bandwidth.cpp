@@ -1,0 +1,119 @@
+#include "hw/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "hw/presets.h"
+
+namespace so::hw {
+namespace {
+
+TEST(BandwidthCurve, FlatCurveIsConstant)
+{
+    const BandwidthCurve c = BandwidthCurve::flat(100.0 * kGB);
+    EXPECT_DOUBLE_EQ(c.bandwidth(1.0), 100.0 * kGB);
+    EXPECT_DOUBLE_EQ(c.bandwidth(1e12), 100.0 * kGB);
+}
+
+TEST(BandwidthCurve, InterpolatesBetweenPoints)
+{
+    const BandwidthCurve c({{1024.0, 10.0}, {4096.0, 30.0}});
+    EXPECT_DOUBLE_EQ(c.bandwidth(1024.0), 10.0);
+    EXPECT_DOUBLE_EQ(c.bandwidth(4096.0), 30.0);
+    // log2 midpoint of [1024, 4096] is 2048.
+    EXPECT_DOUBLE_EQ(c.bandwidth(2048.0), 20.0);
+}
+
+TEST(BandwidthCurve, ClampsOutsideCalibration)
+{
+    const BandwidthCurve c({{1024.0, 10.0}, {4096.0, 30.0}});
+    EXPECT_DOUBLE_EQ(c.bandwidth(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(c.bandwidth(1e9), 30.0);
+}
+
+TEST(BandwidthCurve, PeakAndSaturation)
+{
+    const BandwidthCurve c = c2cCurve(450.0 * kGB);
+    EXPECT_DOUBLE_EQ(c.peak(), 450.0 * kGB);
+    // Paper Fig. 7: saturation at ~64 MB.
+    EXPECT_DOUBLE_EQ(c.saturationSize(), 64.0 * kMiB);
+}
+
+TEST(BandwidthCurve, C2cSmallTensorsAreSlow)
+{
+    // §5.2: "bandwidth can drop to as low as 50 GB/s with small tensor
+    // sizes".
+    const BandwidthCurve c = c2cCurve(450.0 * kGB);
+    EXPECT_LT(c.bandwidth(256.0 * kKiB), 50.0 * kGB);
+    EXPECT_GT(c.bandwidth(64.0 * kMiB), 400.0 * kGB);
+}
+
+class CurveMonotoneTest
+    : public ::testing::TestWithParam<double> // peak bandwidth
+{
+};
+
+TEST_P(CurveMonotoneTest, BandwidthIsNonDecreasingInSize)
+{
+    const BandwidthCurve c = c2cCurve(GetParam());
+    double prev = 0.0;
+    for (double bytes = 1024.0; bytes < 4.0 * kGiB; bytes *= 1.7) {
+        const double bw = c.bandwidth(bytes);
+        EXPECT_GE(bw, prev);
+        prev = bw;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Peaks, CurveMonotoneTest,
+                         ::testing::Values(25.0 * kGB, 64.0 * kGB,
+                                           450.0 * kGB, 900.0 * kGB));
+
+TEST(Link, TransferTimeIncludesLatency)
+{
+    const Link link("test", BandwidthCurve::flat(100.0 * kGB), 1.0 * kUs);
+    EXPECT_DOUBLE_EQ(link.transferTime(0.0), 0.0);
+    EXPECT_NEAR(link.transferTime(100.0 * kGB), 1.0 + 1e-6, 1e-12);
+}
+
+TEST(Link, TransferTimeMonotoneBeyondRampRegion)
+{
+    // In the steep ramp region of the curve, doubling the message can
+    // more than double the achievable bandwidth, so strict
+    // monotonicity only holds once the curve flattens (>= 4 MiB).
+    const Link link("c2c", c2cCurve(450.0 * kGB), 2.0 * kUs);
+    double prev = 0.0;
+    for (double bytes = 4.0 * kMiB; bytes < kGiB; bytes *= 2.0) {
+        const double t = link.transferTime(bytes);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Link, UnpinnedIsSlower)
+{
+    const Link link("c2c", c2cCurve(450.0 * kGB), 2.0 * kUs);
+    const double bytes = 256.0 * kMiB;
+    EXPECT_GT(link.transferTimeUnpinned(bytes),
+              link.transferTime(bytes) * 1.5);
+}
+
+TEST(Link, PcieCurveSaturatesEarlierThanC2c)
+{
+    const BandwidthCurve pcie = pcieCurve(32.0 * kGB);
+    const BandwidthCurve c2c = c2cCurve(450.0 * kGB);
+    EXPECT_LT(pcie.saturationSize(), c2c.saturationSize());
+}
+
+TEST(BandwidthCurveDeath, RejectsNonIncreasingSizes)
+{
+    EXPECT_DEATH(BandwidthCurve({{100.0, 1.0}, {100.0, 2.0}}),
+                 "strictly increasing");
+}
+
+TEST(BandwidthCurveDeath, RejectsNonPositivePoints)
+{
+    EXPECT_DEATH(BandwidthCurve({{0.0, 1.0}}), "positive");
+}
+
+} // namespace
+} // namespace so::hw

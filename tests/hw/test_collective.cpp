@@ -1,0 +1,101 @@
+#include "hw/collective.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "hw/presets.h"
+
+namespace so::hw {
+namespace {
+
+CollectiveCost
+cost(std::uint32_t ranks, double bw = 100.0 * kGB, double lat = 1.0 * kUs)
+{
+    CollectiveCost c;
+    c.ranks = ranks;
+    c.bw_per_gpu = bw;
+    c.latency = lat;
+    return c;
+}
+
+TEST(Collective, SingleRankIsFree)
+{
+    const CollectiveCost c = cost(1);
+    EXPECT_DOUBLE_EQ(c.allReduce(kGB), 0.0);
+    EXPECT_DOUBLE_EQ(c.reduceScatter(kGB), 0.0);
+    EXPECT_DOUBLE_EQ(c.allGather(kGB), 0.0);
+    EXPECT_DOUBLE_EQ(c.allToAll(kGB), 0.0);
+    EXPECT_DOUBLE_EQ(c.broadcast(kGB), 0.0);
+}
+
+TEST(Collective, ZeroBytesIsFree)
+{
+    const CollectiveCost c = cost(8);
+    EXPECT_DOUBLE_EQ(c.allReduce(0.0), 0.0);
+}
+
+TEST(Collective, AllReduceVolumeFactor)
+{
+    // Ring all-reduce over N ranks moves 2(N-1)/N of the payload.
+    const CollectiveCost c = cost(4, 100.0 * kGB, 0.0);
+    EXPECT_NEAR(c.allReduce(100.0 * kGB), 2.0 * 3.0 / 4.0, 1e-12);
+}
+
+TEST(Collective, AllReduceIsTwiceReduceScatter)
+{
+    const CollectiveCost c = cost(8, 50.0 * kGB, 0.0);
+    EXPECT_NEAR(c.allReduce(kGB), 2.0 * c.reduceScatter(kGB), 1e-12);
+}
+
+TEST(Collective, AllGatherEqualsReduceScatter)
+{
+    const CollectiveCost c = cost(16);
+    EXPECT_DOUBLE_EQ(c.allGather(kGB), c.reduceScatter(kGB));
+}
+
+TEST(Collective, LatencyScalesWithRanks)
+{
+    const CollectiveCost c2 = cost(2, 100.0 * kGB, 1.0 * kMs);
+    const CollectiveCost c8 = cost(8, 100.0 * kGB, 1.0 * kMs);
+    // Same tiny payload: latency term dominates, 7 hops vs 1.
+    EXPECT_NEAR(c8.reduceScatter(1.0) / c2.reduceScatter(1.0), 7.0, 0.01);
+}
+
+TEST(Collective, AllReduceTimeDecreasesPerByteWithMoreRanks)
+{
+    // The 2(N-1)/N factor approaches 2: per-rank time is bounded.
+    const CollectiveCost c2 = cost(2, 100.0 * kGB, 0.0);
+    const CollectiveCost c64 = cost(64, 100.0 * kGB, 0.0);
+    EXPECT_LT(c64.allReduce(kGB), 2.0 * c2.allReduce(kGB));
+}
+
+TEST(Collective, BroadcastBandwidthTerm)
+{
+    const CollectiveCost c = cost(8, 100.0 * kGB, 0.0);
+    EXPECT_NEAR(c.broadcast(100.0 * kGB), 1.0, 1e-12);
+}
+
+TEST(Collective, AllToAllCheaperThanAllReduce)
+{
+    const CollectiveCost c = cost(8, 100.0 * kGB, 0.0);
+    EXPECT_LT(c.allToAll(kGB), c.allReduce(kGB));
+}
+
+TEST(Collective, FromClusterSingleNode)
+{
+    const CollectiveCost c =
+        CollectiveCost::fromCluster(gh200Cluster(4, 1));
+    EXPECT_EQ(c.ranks, 4u);
+    EXPECT_DOUBLE_EQ(c.bw_per_gpu, 450.0 * kGB);
+}
+
+TEST(Collective, FromClusterMultiNode)
+{
+    const CollectiveCost c =
+        CollectiveCost::fromCluster(gh200Cluster(2, 8));
+    EXPECT_EQ(c.ranks, 16u);
+    EXPECT_DOUBLE_EQ(c.bw_per_gpu, 25.0 * kGB);
+}
+
+} // namespace
+} // namespace so::hw

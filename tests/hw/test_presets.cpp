@@ -1,0 +1,132 @@
+#include "hw/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace so::hw {
+namespace {
+
+TEST(Presets, Gh200MatchesTable1)
+{
+    const SuperchipSpec chip = gh200(480.0 * kGB);
+    EXPECT_DOUBLE_EQ(chip.gpu.peak_flops, 990.0 * kTFLOPS);
+    EXPECT_DOUBLE_EQ(chip.cpu.peak_flops, 3.0 * kTFLOPS);
+    EXPECT_EQ(chip.cpu.cores, 72u);
+    EXPECT_DOUBLE_EQ(chip.cpu.mem_bw, 500.0 * kGB);
+    EXPECT_DOUBLE_EQ(chip.c2c.curve().peak(), 450.0 * kGB);
+    EXPECT_DOUBLE_EQ(chip.gpu.mem_bytes, 96.0 * kGB);
+}
+
+TEST(Presets, Dgx2MatchesTable1)
+{
+    const SuperchipSpec chip = dgx2().node.superchip;
+    EXPECT_DOUBLE_EQ(chip.gpu.peak_flops, 125.0 * kTFLOPS);
+    EXPECT_DOUBLE_EQ(chip.cpu.peak_flops, 2.07 * kTFLOPS);
+    EXPECT_EQ(chip.cpu.cores, 24u);
+    EXPECT_DOUBLE_EQ(chip.cpu.mem_bw, 100.0 * kGB);
+    // Table 1's 32 GB/s is the bidirectional total.
+    EXPECT_DOUBLE_EQ(2.0 * chip.c2c.curve().peak(), 32.0 * kGB);
+}
+
+TEST(Presets, DgxA100MatchesTable1)
+{
+    const SuperchipSpec chip = dgxA100().node.superchip;
+    EXPECT_DOUBLE_EQ(chip.gpu.peak_flops, 312.0 * kTFLOPS);
+    EXPECT_DOUBLE_EQ(chip.cpu.peak_flops, 2.3 * kTFLOPS);
+    EXPECT_EQ(chip.cpu.cores, 64u);
+    EXPECT_DOUBLE_EQ(chip.cpu.mem_bw, 150.0 * kGB);
+    // Table 1's 64 GB/s is the bidirectional total.
+    EXPECT_DOUBLE_EQ(2.0 * chip.c2c.curve().peak(), 64.0 * kGB);
+}
+
+TEST(Presets, C2cBandwidthAdvantageOverPcie)
+{
+    // The paper's headline: 900 GB/s C2C is "14x the standard PCIe
+    // Gen4 lanes" and ~28x PCIe Gen3 x16 (~"30x increase").
+    const double c2c = gh200(480.0 * kGB).c2c.curve().peak();
+    const double pcie4 = dgxA100().node.superchip.c2c.curve().peak();
+    const double pcie3 = dgx2().node.superchip.c2c.curve().peak();
+    EXPECT_NEAR(c2c / pcie4, 14.0, 0.1);  // 900/64.
+    EXPECT_NEAR(c2c / pcie3, 28.1, 0.2);  // 900/32.
+}
+
+TEST(Presets, SingleGh200Has480GbDdr)
+{
+    const ClusterSpec cluster = gh200Single();
+    EXPECT_EQ(cluster.totalSuperchips(), 1u);
+    EXPECT_DOUBLE_EQ(cluster.node.superchip.cpu.mem_bytes, 480.0 * kGB);
+}
+
+TEST(Presets, Nvl2ChipsHave240GbDdr)
+{
+    const ClusterSpec cluster = gh200Cluster(2, 8);
+    EXPECT_DOUBLE_EQ(cluster.node.superchip.cpu.mem_bytes, 240.0 * kGB);
+}
+
+TEST(Presets, ClusterOfMatchesPaperLayouts)
+{
+    EXPECT_EQ(gh200ClusterOf(1).node_count, 1u);
+    EXPECT_EQ(gh200ClusterOf(1).node.superchips_per_node, 1u);
+    // §5.4: 4 GPUs in one node, 16 across four nodes.
+    EXPECT_EQ(gh200ClusterOf(4).node_count, 1u);
+    EXPECT_EQ(gh200ClusterOf(4).node.superchips_per_node, 4u);
+    EXPECT_EQ(gh200ClusterOf(16).node_count, 4u);
+    EXPECT_EQ(gh200ClusterOf(16).node.superchips_per_node, 4u);
+    // Other even counts become NVL2 nodes (§5.1's 8x GH200 NVL2).
+    EXPECT_EQ(gh200ClusterOf(8).node.superchips_per_node, 2u);
+    EXPECT_EQ(gh200ClusterOf(8).node_count, 4u);
+}
+
+TEST(Presets, SlingshotIs200Gbps)
+{
+    const ClusterSpec cluster = gh200Cluster(2, 2);
+    EXPECT_DOUBLE_EQ(cluster.node.inter_node.curve().peak(), 25.0 * kGB);
+}
+
+TEST(PresetsDeath, OddChipCountRejected)
+{
+    EXPECT_DEATH(gh200ClusterOf(3), "cannot arrange");
+}
+
+TEST(Presets, Gh200HasNvmeTier)
+{
+    const SuperchipSpec chip = gh200(480.0 * kGB);
+    EXPECT_GT(chip.nvme_bytes, 1.0 * kTB);
+    EXPECT_GT(chip.nvme.curve().peak(), 1.0 * kGB);
+    // NVMe is far slower than the C2C link.
+    EXPECT_LT(chip.nvme.curve().peak() * 10.0, chip.c2c.curve().peak());
+}
+
+TEST(Presets, Gb200RaisesTheFlopsRatio)
+{
+    // §2.1: GB200 is "the next-generation Superchip"; the GPU/CPU
+    // FLOPS ratio that drives §4.3's repartitioning pressure keeps
+    // growing across generations.
+    const double gh = gh200(480.0 * kGB).flopsRatio();
+    const double gb = gb200Cluster().node.superchip.flopsRatio();
+    EXPECT_GT(gb, 3.0 * gh);
+    EXPECT_NEAR(gb, 1500.0, 10.0);
+}
+
+TEST(Presets, Gb200MemoryUpgrades)
+{
+    const SuperchipSpec chip = gb200Cluster().node.superchip;
+    EXPECT_DOUBLE_EQ(chip.gpu.mem_bytes, 192.0 * kGB);
+    EXPECT_GT(chip.gpu.mem_bw, gh200(480.0 * kGB).gpu.mem_bw);
+}
+
+TEST(Presets, Mi300aUnifiedPoolIsShared)
+{
+    // The documented caveat: GPU and CPU capacities alias the same
+    // 128 GB pool, and the "link" runs at memory-like speed.
+    const SuperchipSpec chip = mi300a().node.superchip;
+    EXPECT_DOUBLE_EQ(chip.gpu.mem_bytes, chip.cpu.mem_bytes);
+    EXPECT_DOUBLE_EQ(chip.gpu.mem_bw, chip.cpu.mem_bw);
+    EXPECT_GT(chip.c2c.curve().peak(),
+              gh200(480.0 * kGB).c2c.curve().peak());
+    EXPECT_LT(chip.c2c.latency(), 1.0 * kUs);
+}
+
+} // namespace
+} // namespace so::hw

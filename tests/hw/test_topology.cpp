@@ -1,0 +1,127 @@
+#include "hw/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "hw/presets.h"
+
+namespace so::hw {
+namespace {
+
+TEST(GpuSpec, ComputeTimeUsesAchievablePeak)
+{
+    GpuSpec gpu;
+    gpu.peak_flops = 100.0 * kTFLOPS;
+    gpu.achievable_frac = 0.5;
+    EXPECT_DOUBLE_EQ(gpu.effectiveFlops(), 50.0 * kTFLOPS);
+    EXPECT_DOUBLE_EQ(gpu.computeTime(50.0 * kTFLOPS), 1.0);
+}
+
+TEST(GpuSpec, AttentionUsesItsOwnFraction)
+{
+    GpuSpec gpu;
+    gpu.peak_flops = 100.0 * kTFLOPS;
+    gpu.achievable_frac = 0.25;
+    gpu.attn_achievable_frac = 0.5;
+    EXPECT_DOUBLE_EQ(gpu.attnComputeTime(50.0 * kTFLOPS), 1.0);
+    EXPECT_DOUBLE_EQ(gpu.computeTime(50.0 * kTFLOPS), 2.0);
+}
+
+TEST(GpuSpec, MemTime)
+{
+    GpuSpec gpu;
+    gpu.mem_bw = 4000.0 * kGB;
+    EXPECT_DOUBLE_EQ(gpu.memTime(4000.0 * kGB), 1.0);
+}
+
+TEST(CpuSpec, AdamEfficiencyOrdering)
+{
+    // GraceAdam > CPU-Adam > PT-CPU > torch-loop, per Table 3 / §5.2.
+    EXPECT_GT(CpuSpec::adamEfficiency(AdamImpl::GraceAdam),
+              CpuSpec::adamEfficiency(AdamImpl::CpuAdam));
+    EXPECT_GT(CpuSpec::adamEfficiency(AdamImpl::CpuAdam),
+              CpuSpec::adamEfficiency(AdamImpl::Naive));
+    EXPECT_GT(CpuSpec::adamEfficiency(AdamImpl::Naive),
+              CpuSpec::adamEfficiency(AdamImpl::PyTorchLoop));
+}
+
+TEST(CpuSpec, AdamStepTimeMatchesPaperTable3)
+{
+    // Grace CPU: 500 GB/s DDR. The paper's Table 3 reports per-step
+    // latencies on Grace; our calibration should land within ~15%.
+    const CpuSpec grace = gh200(480.0 * kGB).cpu;
+    struct Row
+    {
+        double params;
+        double pt_cpu;
+        double cpu_adam;
+        double grace_adam;
+    };
+    const Row rows[] = {
+        {1e9, 0.289, 0.098, 0.082},
+        {2e9, 0.531, 0.198, 0.160},
+        {4e9, 0.958, 0.393, 0.316},
+        {8e9, 1.834, 0.769, 0.608},
+    };
+    for (const Row &row : rows) {
+        // PT-CPU scales sub-linearly in the paper's measurements (its
+        // temporaries fit caches at small sizes); our linear model is
+        // calibrated to the 1B point and allowed 30% elsewhere.
+        EXPECT_NEAR(grace.adamStepTime(row.params, AdamImpl::Naive),
+                    row.pt_cpu, row.pt_cpu * 0.30);
+        EXPECT_NEAR(grace.adamStepTime(row.params, AdamImpl::CpuAdam),
+                    row.cpu_adam, row.cpu_adam * 0.15);
+        EXPECT_NEAR(grace.adamStepTime(row.params, AdamImpl::GraceAdam),
+                    row.grace_adam, row.grace_adam * 0.15);
+    }
+}
+
+TEST(CpuSpec, AdamStepTimeLinearInParams)
+{
+    const CpuSpec grace = gh200(480.0 * kGB).cpu;
+    const double t1 = grace.adamStepTime(1e9, AdamImpl::GraceAdam);
+    const double t4 = grace.adamStepTime(4e9, AdamImpl::GraceAdam);
+    EXPECT_NEAR(t4, 4.0 * t1, 1e-9);
+}
+
+TEST(SuperchipSpec, FlopsRatioMatchesTable1)
+{
+    EXPECT_NEAR(gh200(480.0 * kGB).flopsRatio(), 330.0, 1.0);
+    EXPECT_NEAR(dgx2().node.superchip.flopsRatio(), 60.39, 0.5);
+    EXPECT_NEAR(dgxA100().node.superchip.flopsRatio(), 135.65, 0.5);
+}
+
+TEST(SuperchipSpec, GpuAdamMuchFasterThanCpuAdam)
+{
+    const SuperchipSpec chip = gh200(480.0 * kGB);
+    EXPECT_LT(chip.gpuAdamStepTime(1e9) * 5.0,
+              chip.cpu.adamStepTime(1e9, AdamImpl::GraceAdam));
+}
+
+TEST(ClusterSpec, SingleNodeUsesNvlink)
+{
+    const ClusterSpec cluster = gh200Cluster(4, 1);
+    EXPECT_TRUE(cluster.singleNode());
+    EXPECT_DOUBLE_EQ(cluster.collectiveBandwidthPerGpu(), 450.0 * kGB);
+}
+
+TEST(ClusterSpec, MultiNodeBottleneckedByNic)
+{
+    const ClusterSpec cluster = gh200Cluster(4, 4);
+    EXPECT_FALSE(cluster.singleNode());
+    EXPECT_DOUBLE_EQ(cluster.collectiveBandwidthPerGpu(), 25.0 * kGB);
+    EXPECT_EQ(cluster.totalSuperchips(), 16u);
+}
+
+TEST(NumaBinding, RemoteBindingUsesSlowFabric)
+{
+    const ClusterSpec cluster = gh200Cluster(4, 1);
+    const Link &local =
+        effectiveHostLink(cluster.node, NumaBinding::Colocated);
+    const Link &remote =
+        effectiveHostLink(cluster.node, NumaBinding::Remote);
+    EXPECT_GT(local.curve().peak(), 10.0 * remote.curve().peak());
+}
+
+} // namespace
+} // namespace so::hw

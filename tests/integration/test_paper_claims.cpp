@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Cross-module integration tests asserting the paper's headline claims
+ * end-to-end — the same quantities the bench/ binaries print, pinned
+ * here as regression guards.
+ */
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/superoffload.h"
+#include "core/superoffload_ulysses.h"
+#include "runtime/registry.h"
+#include "runtime/scale.h"
+
+namespace so {
+namespace {
+
+using core::SuperOffloadSystem;
+using runtime::TrainSetup;
+
+TrainSetup
+setupFor(const char *model, std::uint32_t chips, std::uint32_t batch,
+         std::uint32_t seq = 1024)
+{
+    TrainSetup setup;
+    setup.cluster = hw::gh200ClusterOf(chips);
+    setup.model = model::modelPreset(model);
+    setup.global_batch = batch;
+    setup.seq = seq;
+    return setup;
+}
+
+TEST(PaperClaims, Abstract_UpTo2p5xOverOffloadBaselines)
+{
+    // "up to 2.5x throughput improvement compared to state-of-the-art
+    // offloading-based systems".
+    SuperOffloadSystem so_sys;
+    auto zo = runtime::makeBaseline("zero-offload");
+    double best_ratio = 0.0;
+    for (const char *m : {"5B", "10B", "13B", "15B"}) {
+        const TrainSetup setup = setupFor(m, 1, 8);
+        const auto a = so_sys.run(setup);
+        const auto b = zo->run(setup);
+        if (a.feasible && b.feasible)
+            best_ratio = std::max(best_ratio,
+                                  a.tflopsPerGpu() / b.tflopsPerGpu());
+    }
+    EXPECT_GT(best_ratio, 2.0);
+    EXPECT_LT(best_ratio, 3.2);
+}
+
+TEST(PaperClaims, Abstract_25BOnASingleSuperchip)
+{
+    SuperOffloadSystem so_sys;
+    EXPECT_TRUE(so_sys.run(setupFor("25B", 1, 8)).feasible);
+}
+
+TEST(PaperClaims, Intro_7xLargerThanGpuOnly)
+{
+    // "training of up to 25B model on a single Superchip ... 7x larger
+    // than GPU-only solutions". Ours: ~27B vs ~5.3B => ~5x (our DDP
+    // allows gradient accumulation; see EXPERIMENTS.md).
+    SuperOffloadSystem so_sys;
+    auto ddp = runtime::makeBaseline("ddp");
+    const TrainSetup setup = setupFor("1B", 1, 8);
+    const double so_max =
+        runtime::largestTrainableModel(so_sys, setup).max_params;
+    const double ddp_max =
+        runtime::largestTrainableModel(*ddp, setup).max_params;
+    EXPECT_GT(so_max / ddp_max, 4.0);
+}
+
+TEST(PaperClaims, Sec52_OutperformsGpuOnlyAcrossAllSizes)
+{
+    // "it also outperforms GPU-only approaches across all tested model
+    // sizes" (Fig. 10).
+    SuperOffloadSystem so_sys;
+    auto ddp = runtime::makeBaseline("ddp");
+    for (const char *m : {"1B", "2B", "3B", "4B", "5B"}) {
+        const TrainSetup setup = setupFor(m, 1, 8);
+        const auto a = so_sys.run(setup);
+        const auto b = ddp->run(setup);
+        ASSERT_TRUE(a.feasible) << m;
+        if (!b.feasible)
+            continue;
+        EXPECT_GT(a.tflopsPerGpu(), b.tflopsPerGpu()) << m;
+    }
+}
+
+TEST(PaperClaims, Sec52_UpTo67PercentOverDdp)
+{
+    // "achieves up to 67% higher throughput (TFLOPS) compared to
+    // PyTorch DDP".
+    SuperOffloadSystem so_sys;
+    auto ddp = runtime::makeBaseline("ddp");
+    double best = 0.0;
+    for (const char *m : {"1B", "3B", "5B"}) {
+        const TrainSetup setup = setupFor(m, 1, 8);
+        const auto a = so_sys.run(setup);
+        const auto b = ddp->run(setup);
+        if (a.feasible && b.feasible)
+            best = std::max(best, a.tflopsPerGpu() / b.tflopsPerGpu());
+    }
+    EXPECT_GT(best, 1.5);
+}
+
+TEST(PaperClaims, Sec54_ScaleLadderOnSixteenChips)
+{
+    // Fig. 13 orderings at 16 chips: SuperOffload > {ZeRO-3, Megatron}
+    // > {ZeRO-2, ZeRO-Offload} > DDP.
+    const TrainSetup setup = setupFor("1B", 16, 128);
+    SuperOffloadSystem so_sys;
+    auto scale = [&](runtime::TrainingSystem &sys) {
+        return runtime::largestTrainableModel(sys, setup).max_params;
+    };
+    const double so_max = scale(so_sys);
+    const double z3 = scale(*runtime::makeBaseline("zero3"));
+    const double meg = scale(*runtime::makeBaseline("megatron"));
+    const double z2 = scale(*runtime::makeBaseline("zero2"));
+    const double zo = scale(*runtime::makeBaseline("zero-offload"));
+    const double ddp = scale(*runtime::makeBaseline("ddp"));
+
+    EXPECT_GT(so_max, 190e9); // Paper: 200B.
+    EXPECT_GT(so_max, z3);
+    EXPECT_GT(z3, z2);
+    EXPECT_GT(meg, z2);
+    EXPECT_GT(z2, ddp);
+    EXPECT_GT(zo, ddp);
+    // Paper's 10x over ZeRO-Offload and 57x over DDP are directional:
+    EXPECT_GT(so_max / zo, 7.0);
+    EXPECT_GT(so_max / ddp, 30.0);
+}
+
+TEST(PaperClaims, Sec54_50BOnFourSuperchips)
+{
+    // "SuperOffload enables LLM training with 50B parameters using
+    // only four Superchips, 2.5x larger than ... ZeRO-Offload".
+    SuperOffloadSystem so_sys;
+    auto zo = runtime::makeBaseline("zero-offload");
+    const TrainSetup setup = setupFor("1B", 4, 16);
+    const double so_max =
+        runtime::largestTrainableModel(so_sys, setup).max_params;
+    const double zo_max =
+        runtime::largestTrainableModel(*zo, setup).max_params;
+    EXPECT_GT(so_max, 48e9);
+    EXPECT_GT(so_max / zo_max, 2.2);
+}
+
+TEST(PaperClaims, Fig4_ZeroOffloadIdleVsFig15_SuperOffloadBusy)
+{
+    auto zo = runtime::makeBaseline("zero-offload");
+    SuperOffloadSystem so_sys;
+    const TrainSetup setup = setupFor("13B", 1, 8);
+    const auto zo_res = zo->run(setup);
+    const auto so_res = so_sys.run(setup);
+    ASSERT_TRUE(zo_res.feasible && so_res.feasible);
+    // Fig. 4: 40-50% idle; Fig. 15: near-zero idle.
+    EXPECT_GT(1.0 - zo_res.gpu_utilization, 0.35);
+    EXPECT_LT(1.0 - so_res.gpu_utilization, 0.05);
+}
+
+TEST(PaperClaims, Sec54_6p7xOverZeroInfinity)
+{
+    // "SuperOffload achieves on average 6.7x higher throughput (up to
+    // 12.6x) than ZeRO-Infinity."
+    SuperOffloadSystem so_sys;
+    auto zi = runtime::makeBaseline("zero-infinity");
+    std::vector<double> ratios;
+    for (const char *m : {"5B", "10B", "15B", "20B"}) {
+        const TrainSetup setup = setupFor(m, 1, 8);
+        const auto a = so_sys.run(setup);
+        const auto b = zi->run(setup);
+        if (a.feasible && b.feasible)
+            ratios.push_back(a.tflopsPerGpu() / b.tflopsPerGpu());
+    }
+    ASSERT_FALSE(ratios.empty());
+    double sum = 0.0;
+    for (double r : ratios)
+        sum += r;
+    const double avg = sum / ratios.size();
+    EXPECT_GT(avg, 4.0);
+    EXPECT_LT(avg, 13.0);
+}
+
+TEST(PaperClaims, Engine_EndToEndPlanForQuickstartScenario)
+{
+    // The README quickstart scenario must work out of the box.
+    core::SuperOffloadEngine engine;
+    const TrainSetup setup = setupFor("10B", 1, 8);
+    const core::PlanReport report = engine.plan(setup);
+    ASSERT_TRUE(report.feasible);
+    EXPECT_GT(report.iteration.tflopsPerGpu(), 200.0);
+    EXPECT_FALSE(report.summary(setup).empty());
+}
+
+} // namespace
+} // namespace so

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Cross-system property sweep: invariants that must hold for EVERY
+ * training system on EVERY configuration, feasible or not. Catches
+ * accounting bugs (utilization > 1, memory reports that don't fit,
+ * batch mismatches) anywhere in the registry.
+ */
+#include <gtest/gtest.h>
+
+#include "core/superoffload.h"
+#include "core/superoffload_ulysses.h"
+#include "runtime/registry.h"
+
+namespace so {
+namespace {
+
+enum class Platform { Gh200, DgxA100, Gb200 };
+
+struct SweepCase
+{
+    std::string system;
+    const char *model;
+    std::uint32_t chips;
+    std::uint32_t batch;
+    Platform platform = Platform::Gh200;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const SweepCase &c)
+{
+    return os << c.system << '/' << c.model << '/' << c.chips << "chips";
+}
+
+hw::ClusterSpec
+clusterFor(const SweepCase &c)
+{
+    switch (c.platform) {
+      case Platform::Gh200:
+        return hw::gh200ClusterOf(c.chips);
+      case Platform::DgxA100: {
+        hw::ClusterSpec cluster = hw::dgxA100(1);
+        cluster.node.superchips_per_node = c.chips;
+        return cluster;
+      }
+      case Platform::Gb200:
+        return hw::gb200Cluster(c.chips, 1);
+    }
+    return hw::gh200ClusterOf(c.chips);
+}
+
+class SystemPropertyTest : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+runtime::SystemPtr
+makeSystem(const std::string &name)
+{
+    if (name == "superoffload")
+        return std::make_unique<core::SuperOffloadSystem>();
+    if (name == "superoffload-ulysses")
+        return std::make_unique<core::SuperOffloadUlyssesSystem>();
+    return runtime::makeBaseline(name);
+}
+
+TEST_P(SystemPropertyTest, InvariantsHold)
+{
+    const SweepCase &c = GetParam();
+    runtime::TrainSetup setup;
+    setup.cluster = clusterFor(c);
+    setup.model = model::modelPreset(c.model);
+    setup.global_batch = c.batch;
+    setup.seq = 1024;
+
+    const auto sys = makeSystem(c.system);
+    const auto res = sys->run(setup);
+
+    if (!res.feasible) {
+        // Infeasibility must always be explained.
+        EXPECT_FALSE(res.infeasible_reason.empty());
+        EXPECT_DOUBLE_EQ(res.tflopsPerGpu(), 0.0);
+        return;
+    }
+
+    // Timing sanity.
+    EXPECT_GT(res.iter_time, 0.0);
+    EXPECT_LT(res.iter_time, 600.0);
+
+    // Utilizations are fractions.
+    EXPECT_GE(res.gpu_utilization, 0.0);
+    EXPECT_LE(res.gpu_utilization, 1.0 + 1e-9);
+    EXPECT_GE(res.cpu_utilization, 0.0);
+    EXPECT_LE(res.cpu_utilization, 1.0 + 1e-9);
+    EXPECT_GE(res.link_utilization, 0.0);
+    EXPECT_LE(res.link_utilization, 1.0 + 1e-9);
+
+    // The reported memory must actually fit.
+    EXPECT_TRUE(res.memory.fits())
+        << res.memory.gpu_bytes << " / " << res.memory.gpu_capacity;
+
+    // Throughput cannot exceed the attention-efficiency bound (the
+    // fastest any kernel runs in this model).
+    const auto &gpu = setup.cluster.node.superchip.gpu;
+    EXPECT_LT(res.tflopsPerGpu() * 1e12,
+              gpu.peak_flops * gpu.attn_achievable_frac * 1.01);
+
+    // FLOPs accounting is self-consistent.
+    EXPECT_GT(res.flops.modelFlops(), 0.0);
+    EXPECT_GE(res.flops.executedFlops(), res.flops.modelFlops());
+    if (!res.activation_checkpointing) {
+        EXPECT_DOUBLE_EQ(res.flops.executedFlops(),
+                         res.flops.modelFlops());
+    }
+
+    // Batch bookkeeping (sequence-parallel systems use the global
+    // batch per rank; everyone else splits it).
+    EXPECT_GE(res.micro_batch, 1u);
+    EXPECT_GE(res.accum_steps, 1u);
+    const bool sp = c.system.find("ulysses") != std::string::npos;
+    const std::uint32_t per_rank =
+        sp ? setup.global_batch : setup.perGpuBatch();
+    EXPECT_EQ(res.micro_batch * res.accum_steps, per_rank);
+
+    // A schedule trace is always attached.
+    EXPECT_FALSE(res.gantt.empty());
+}
+
+std::vector<SweepCase>
+sweepCases()
+{
+    std::vector<SweepCase> cases;
+    const std::vector<std::string> systems = [] {
+        auto names = runtime::baselineNames();
+        names.push_back("superoffload");
+        names.push_back("superoffload-ulysses");
+        return names;
+    }();
+    for (const std::string &system : systems) {
+        for (const char *model : {"1B", "5B", "13B"}) {
+            cases.push_back(SweepCase{system, model, 1, 8});
+            cases.push_back(SweepCase{system, model, 4, 16});
+        }
+        // Off the GH200 happy path: the invariants must hold on
+        // PCIe-era and next-generation hardware too.
+        cases.push_back(
+            SweepCase{system, "1B", 4, 16, Platform::DgxA100});
+        cases.push_back(SweepCase{system, "5B", 2, 8, Platform::Gb200});
+    }
+    return cases;
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<SweepCase> &info)
+{
+    const char *platform =
+        info.param.platform == Platform::Gh200
+            ? "gh200"
+            : (info.param.platform == Platform::DgxA100 ? "dgxa100"
+                                                        : "gb200");
+    std::string name = info.param.system + "_" + info.param.model + "_" +
+                       std::to_string(info.param.chips) + "chips_" +
+                       platform;
+    for (char &c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, SystemPropertyTest,
+                         ::testing::ValuesIn(sweepCases()), caseName);
+
+} // namespace
+} // namespace so

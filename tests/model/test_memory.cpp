@@ -1,0 +1,122 @@
+#include "model/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "model/config.h"
+
+namespace so::model {
+namespace {
+
+TEST(StateSizes, SixteenBytesPerParam)
+{
+    // §2.2: "a model with P parameters consumes a total of 16P bytes".
+    const StateSizes s = StateSizes::forParams(1e9);
+    EXPECT_DOUBLE_EQ(s.totalBytes(), 16e9);
+    EXPECT_DOUBLE_EQ(s.fp16_params, 2e9);
+    EXPECT_DOUBLE_EQ(s.fp16_grads, 2e9);
+    EXPECT_DOUBLE_EQ(s.optimizerBytes(), 12e9);
+}
+
+TEST(StateSizes, PaperSixBillionExample)
+{
+    // §2.2: a 96 GB H100 accommodates only ~6B params of model states.
+    const StateSizes s = StateSizes::forParams(6e9);
+    EXPECT_DOUBLE_EQ(s.totalBytes(), 96e9);
+}
+
+TEST(Activations, LinearInBatchAndSeq)
+{
+    const ModelConfig cfg = modelPreset("5B");
+    ActivationOptions opts;
+    const double a1 = activationBytes(cfg, 1.0, 1024.0, opts);
+    const double a2 = activationBytes(cfg, 2.0, 1024.0, opts);
+    const double a4 = activationBytes(cfg, 1.0, 4096.0, opts);
+    EXPECT_GT(a2, 1.8 * a1);
+    EXPECT_GT(a4, 3.0 * a1);
+}
+
+TEST(Activations, CheckpointingShrinksFootprint)
+{
+    const ModelConfig cfg = modelPreset("13B");
+    ActivationOptions plain;
+    ActivationOptions ckpt;
+    ckpt.checkpointing = true;
+    const double a = activationBytes(cfg, 4.0, 4096.0, plain);
+    const double c = activationBytes(cfg, 4.0, 4096.0, ckpt);
+    EXPECT_LT(c, a / 4.0);
+}
+
+TEST(Activations, SequenceParallelDividesFootprint)
+{
+    const ModelConfig cfg = modelPreset("13B");
+    ActivationOptions sp1;
+    ActivationOptions sp8;
+    sp8.sequence_parallel = 8;
+    const double a1 = activationBytes(cfg, 1.0, 65536.0, sp1);
+    const double a8 = activationBytes(cfg, 1.0, 65536.0, sp8);
+    // Close to 8x smaller (the logit tile does not shrink).
+    EXPECT_GT(a1 / a8, 6.0);
+}
+
+TEST(Activations, PaperSevenBExample)
+{
+    // §4.2: "a 7B-parameter model ... needs ~2TB of memory for
+    // activations with a sequence length of 1 million tokens". Our
+    // flash-era model should land within a factor of ~1.6 of that.
+    const ModelConfig cfg = makeConfig("7B", 32, 4096);
+    ActivationOptions opts;
+    const double bytes = activationBytes(cfg, 1.0, 1e6, opts);
+    EXPECT_GT(bytes, 2e12 / 1.6);
+    EXPECT_LT(bytes, 2e12 * 2.5);
+}
+
+TEST(Activations, CheckpointScalesWithLayerCount)
+{
+    const ModelConfig shallow = makeConfig("s", 10, 4096);
+    const ModelConfig deep = makeConfig("d", 100, 4096);
+    ActivationOptions ckpt;
+    ckpt.checkpointing = true;
+    const double a_s = activationBytes(shallow, 1.0, 8192.0, ckpt);
+    const double a_d = activationBytes(deep, 1.0, 8192.0, ckpt);
+    EXPECT_GT(a_d, 3.0 * a_s);
+    EXPECT_LT(a_d, 10.0 * a_s);
+}
+
+TEST(GpuResident, AppliesOverheads)
+{
+    const double raw = 10e9;
+    const double resident = gpuResidentBytes(raw);
+    EXPECT_DOUBLE_EQ(resident, raw * kFragmentationFactor +
+                                   kGpuFixedOverhead);
+    EXPECT_GT(resident, raw);
+}
+
+TEST(GpuResident, ZeroStillHasFixedOverhead)
+{
+    EXPECT_DOUBLE_EQ(gpuResidentBytes(0.0), kGpuFixedOverhead);
+}
+
+class ActivationMonotoneTest
+    : public ::testing::TestWithParam<std::uint32_t> // SP degree
+{
+};
+
+TEST_P(ActivationMonotoneTest, MonotoneInBatch)
+{
+    const ModelConfig cfg = modelPreset("5B");
+    ActivationOptions opts;
+    opts.sequence_parallel = GetParam();
+    double prev = 0.0;
+    for (double batch = 1.0; batch <= 64.0; batch *= 2.0) {
+        const double a = activationBytes(cfg, batch, 2048.0, opts);
+        EXPECT_GT(a, prev);
+        prev = a;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SpDegrees, ActivationMonotoneTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+} // namespace
+} // namespace so::model

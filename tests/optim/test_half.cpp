@@ -1,0 +1,165 @@
+#include "optim/half.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace so::optim {
+namespace {
+
+float
+roundTrip(float x)
+{
+    return halfToFloat(floatToHalf(x));
+}
+
+TEST(Half, ExactSmallIntegers)
+{
+    for (float x : {0.0f, 1.0f, -1.0f, 2.0f, 1024.0f, -2048.0f})
+        EXPECT_EQ(roundTrip(x), x);
+}
+
+TEST(Half, KnownEncodings)
+{
+    EXPECT_EQ(floatToHalf(1.0f).bits, 0x3c00);
+    EXPECT_EQ(floatToHalf(-2.0f).bits, 0xc000);
+    EXPECT_EQ(floatToHalf(0.5f).bits, 0x3800);
+    EXPECT_EQ(floatToHalf(65504.0f).bits, 0x7bff); // Max finite.
+    EXPECT_EQ(floatToHalf(0.0f).bits, 0x0000);
+    EXPECT_EQ(floatToHalf(-0.0f).bits, 0x8000);
+}
+
+TEST(Half, OverflowBecomesInfinity)
+{
+    EXPECT_TRUE(isInf(floatToHalf(65536.0f)));
+    EXPECT_TRUE(isInf(floatToHalf(1e10f)));
+    EXPECT_TRUE(isInf(floatToHalf(-1e10f)));
+    EXPECT_EQ(floatToHalf(1e10f).bits, 0x7c00);
+    EXPECT_EQ(floatToHalf(-1e10f).bits, 0xfc00);
+}
+
+TEST(Half, MaxFiniteDoesNotOverflow)
+{
+    EXPECT_FALSE(isInf(floatToHalf(65504.0f)));
+    // 65520 rounds up to infinity (nearest even binade boundary).
+    EXPECT_TRUE(isInf(floatToHalf(65520.0f)));
+    // 65519 rounds down to 65504.
+    EXPECT_EQ(roundTrip(65519.0f), 65504.0f);
+}
+
+TEST(Half, NanPropagates)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(isNan(floatToHalf(nan)));
+    EXPECT_TRUE(std::isnan(roundTrip(nan)));
+    EXPECT_FALSE(isInf(floatToHalf(nan)));
+}
+
+TEST(Half, InfinityPropagates)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(isInf(floatToHalf(inf)));
+    EXPECT_EQ(roundTrip(inf), inf);
+    EXPECT_EQ(roundTrip(-inf), -inf);
+    EXPECT_FALSE(isNan(floatToHalf(inf)));
+}
+
+TEST(Half, SubnormalsRoundTrip)
+{
+    // Smallest positive subnormal half = 2^-24.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(roundTrip(tiny), tiny);
+    // 2^-25 rounds to zero (ties to even).
+    EXPECT_EQ(roundTrip(std::ldexp(1.0f, -25)), 0.0f);
+    // Below half the smallest subnormal: flushes to zero.
+    EXPECT_EQ(roundTrip(1e-30f), 0.0f);
+}
+
+TEST(Half, MinNormalBoundary)
+{
+    const float min_normal = std::ldexp(1.0f, -14);
+    EXPECT_EQ(halfToFloat(halfMinNormal()), min_normal);
+    EXPECT_EQ(roundTrip(min_normal), min_normal);
+}
+
+TEST(Half, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to
+    // even keeps 1.0.
+    const float halfway = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(roundTrip(halfway), 1.0f);
+    // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: ties to even
+    // rounds up to 1+2^-9.
+    const float halfway2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+    EXPECT_EQ(roundTrip(halfway2), 1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Half, RoundTripErrorBounded)
+{
+    Rng rng(31);
+    for (int i = 0; i < 10000; ++i) {
+        const float x =
+            static_cast<float>(rng.uniform(-1000.0, 1000.0));
+        const float y = roundTrip(x);
+        // Relative error bounded by 2^-11 for normal halfs.
+        EXPECT_LE(std::fabs(y - x), std::fabs(x) * 0.000489 + 1e-7f)
+            << x;
+    }
+}
+
+TEST(Half, AllHalfValuesRoundTripExactly)
+{
+    // Exhaustive: every finite half converts to float and back to the
+    // identical bit pattern.
+    for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
+        const Half h{static_cast<std::uint16_t>(bits)};
+        if (isNan(h))
+            continue; // NaN payloads need not be preserved bit-exactly.
+        const Half back = floatToHalf(halfToFloat(h));
+        ASSERT_EQ(back.bits, h.bits) << "half bits " << bits;
+    }
+}
+
+TEST(Half, BulkCastMatchesScalar)
+{
+    Rng rng(37);
+    std::vector<float> src(1000);
+    for (auto &x : src)
+        x = static_cast<float>(rng.gaussian(0.0, 100.0));
+    std::vector<Half> halves(src.size());
+    std::vector<float> back(src.size());
+    castToHalf(src.data(), halves.data(), src.size());
+    castToFloat(halves.data(), back.data(), src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        EXPECT_EQ(halves[i].bits, floatToHalf(src[i]).bits);
+        EXPECT_EQ(back[i], roundTrip(src[i]));
+    }
+}
+
+TEST(Half, HasNanOrInfScan)
+{
+    std::vector<Half> data(100, floatToHalf(1.5f));
+    EXPECT_FALSE(hasNanOrInf(data.data(), data.size()));
+    data[57] = floatToHalf(std::numeric_limits<float>::infinity());
+    EXPECT_TRUE(hasNanOrInf(data.data(), data.size()));
+    data[57] = floatToHalf(std::numeric_limits<float>::quiet_NaN());
+    EXPECT_TRUE(hasNanOrInf(data.data(), data.size()));
+}
+
+TEST(Half, GradientOverflowScenario)
+{
+    // The exact mixed-precision failure §4.4 validates against: a
+    // large loss scale pushes a gradient past 65504 -> Inf in fp16.
+    const float grad = 3.0f;
+    const float scaled = grad * 65536.0f;
+    EXPECT_TRUE(isInf(floatToHalf(scaled)));
+    const float ok = grad * 8192.0f;
+    EXPECT_FALSE(isInf(floatToHalf(ok)));
+}
+
+} // namespace
+} // namespace so::optim

@@ -1,0 +1,109 @@
+#include "optim/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace so::optim {
+namespace {
+
+TEST(Kernels, L2NormSquaredKnownValues)
+{
+    const std::vector<float> v{3.0f, 4.0f};
+    EXPECT_DOUBLE_EQ(l2NormSquared(v.data(), v.size()), 25.0);
+}
+
+TEST(Kernels, L2NormSquaredEmpty)
+{
+    EXPECT_DOUBLE_EQ(l2NormSquared(nullptr, 0), 0.0);
+}
+
+TEST(Kernels, L2NormSquaredHandlesRemainder)
+{
+    // 7 elements exercises the 4-wide main loop plus tail.
+    const std::vector<float> v{1, 1, 1, 1, 1, 1, 1};
+    EXPECT_DOUBLE_EQ(l2NormSquared(v.data(), v.size()), 7.0);
+}
+
+TEST(Kernels, L2NormSquaredMatchesNaiveOnRandomData)
+{
+    Rng rng(61);
+    std::vector<float> v(12345);
+    double expected = 0.0;
+    for (auto &x : v) {
+        x = static_cast<float>(rng.gaussian(0.0, 2.0));
+        expected += static_cast<double>(x) * x;
+    }
+    EXPECT_NEAR(l2NormSquared(v.data(), v.size()), expected,
+                expected * 1e-12);
+}
+
+TEST(Kernels, HasNanOrInfDetectsEachKind)
+{
+    std::vector<float> v(100, 1.0f);
+    EXPECT_FALSE(hasNanOrInf(v.data(), v.size()));
+    v[3] = std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(hasNanOrInf(v.data(), v.size()));
+    v[3] = -std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(hasNanOrInf(v.data(), v.size()));
+    v[3] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(hasNanOrInf(v.data(), v.size()));
+    v[3] = 1e30f; // Large but finite.
+    EXPECT_FALSE(hasNanOrInf(v.data(), v.size()));
+}
+
+TEST(Kernels, HasUnsafeValuesCatchesHugeFinite)
+{
+    std::vector<float> v(10, 1.0f);
+    EXPECT_FALSE(hasUnsafeValues(v.data(), v.size(), 1e18f));
+    v[7] = 1e20f; // Finite, but its square overflows float.
+    EXPECT_TRUE(hasUnsafeValues(v.data(), v.size(), 1e18f));
+    v[7] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(hasUnsafeValues(v.data(), v.size(), 1e18f));
+    v[7] = -std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(hasUnsafeValues(v.data(), v.size(), 1e18f));
+}
+
+TEST(Kernels, ScaleInPlace)
+{
+    std::vector<float> v{1.0f, -2.0f, 4.0f};
+    scaleInPlace(v.data(), v.size(), 0.5f);
+    EXPECT_EQ(v[0], 0.5f);
+    EXPECT_EQ(v[1], -1.0f);
+    EXPECT_EQ(v[2], 2.0f);
+}
+
+TEST(Kernels, Axpy)
+{
+    std::vector<float> dst{1.0f, 2.0f};
+    const std::vector<float> src{10.0f, 20.0f};
+    axpy(dst.data(), src.data(), 2, 0.1f);
+    EXPECT_NEAR(dst[0], 2.0f, 1e-6f);
+    EXPECT_NEAR(dst[1], 4.0f, 1e-6f);
+}
+
+TEST(Kernels, ClipScaleIdentityBelowThreshold)
+{
+    EXPECT_DOUBLE_EQ(clipScale(0.5, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(clipScale(1.0, 1.0), 1.0);
+}
+
+TEST(Kernels, ClipScaleShrinksAboveThreshold)
+{
+    const double s = clipScale(4.0, 1.0);
+    EXPECT_LT(s, 1.0);
+    EXPECT_NEAR(s * 4.0, 1.0, 1e-5);
+}
+
+TEST(Kernels, ClipScaleMatchesTorchSemantics)
+{
+    // clip_grad_norm_: scale = max_norm / (norm + 1e-6).
+    EXPECT_NEAR(clipScale(10.0, 2.0), 2.0 / (10.0 + 1e-6), 1e-12);
+}
+
+} // namespace
+} // namespace so::optim

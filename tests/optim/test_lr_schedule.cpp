@@ -1,0 +1,65 @@
+#include "optim/lr_schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace so::optim {
+namespace {
+
+TEST(LrSchedule, ConstantIsFlat)
+{
+    const LrSchedule sched = LrSchedule::constant(1e-3f);
+    EXPECT_FLOAT_EQ(sched.at(1), 1e-3f);
+    EXPECT_FLOAT_EQ(sched.at(1000000), 1e-3f);
+}
+
+TEST(LrSchedule, WarmupIsLinear)
+{
+    const LrSchedule sched(1.0f, 100, 1000);
+    EXPECT_FLOAT_EQ(sched.at(1), 0.01f);
+    EXPECT_FLOAT_EQ(sched.at(50), 0.5f);
+    EXPECT_FLOAT_EQ(sched.at(100), 1.0f);
+}
+
+TEST(LrSchedule, CosineDecaysToMinLr)
+{
+    const LrSchedule sched(1.0f, 0, 1000, LrDecay::Cosine, 0.1f);
+    EXPECT_NEAR(sched.at(500), 0.55f, 1e-4f); // Halfway point.
+    EXPECT_NEAR(sched.at(1000), 0.1f, 1e-5f);
+    EXPECT_NEAR(sched.at(5000), 0.1f, 1e-5f); // Clamped past horizon.
+}
+
+TEST(LrSchedule, LinearDecay)
+{
+    const LrSchedule sched(1.0f, 0, 100, LrDecay::Linear, 0.0f);
+    EXPECT_NEAR(sched.at(50), 0.5f, 1e-5f);
+    EXPECT_NEAR(sched.at(100), 0.0f, 1e-6f);
+}
+
+TEST(LrSchedule, MonotoneUpThenDown)
+{
+    const LrSchedule sched(2e-3f, 50, 500, LrDecay::Cosine, 1e-5f);
+    float prev = 0.0f;
+    for (std::int64_t s = 1; s <= 50; ++s) {
+        const float lr = sched.at(s);
+        EXPECT_GT(lr, prev);
+        prev = lr;
+    }
+    for (std::int64_t s = 51; s <= 500; s += 10) {
+        const float lr = sched.at(s);
+        EXPECT_LE(lr, prev + 1e-9f);
+        prev = lr;
+    }
+}
+
+TEST(LrScheduleDeath, InvalidParametersPanic)
+{
+    EXPECT_DEATH(LrSchedule(0.0f, 0, 10), "positive");
+    EXPECT_DEATH(LrSchedule(1.0f, 20, 10), "cover the warm-up");
+    EXPECT_DEATH(LrSchedule(1.0f, 0, 10, LrDecay::Cosine, 2.0f),
+                 "min_lr");
+    const LrSchedule ok(1.0f, 0, 10);
+    EXPECT_DEATH(ok.at(0), "1-based");
+}
+
+} // namespace
+} // namespace so::optim

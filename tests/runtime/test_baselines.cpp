@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "runtime/ddp.h"
+#include "runtime/fsdp_offload.h"
+#include "runtime/megatron.h"
+#include "runtime/registry.h"
+#include "runtime/ulysses.h"
+#include "runtime/zero.h"
+#include "runtime/zero_infinity.h"
+#include "runtime/zero_offload.h"
+
+namespace so::runtime {
+namespace {
+
+TrainSetup
+setupFor(const char *model, std::uint32_t chips = 1,
+         std::uint32_t batch = 8, std::uint32_t seq = 1024)
+{
+    TrainSetup setup;
+    setup.cluster = hw::gh200ClusterOf(chips);
+    setup.model = model::modelPreset(model);
+    setup.global_batch = batch;
+    setup.seq = seq;
+    return setup;
+}
+
+// ------------------------------------------------------------------- DDP
+
+TEST(Ddp, SmallModelRunsAtHighThroughput)
+{
+    DdpSystem ddp;
+    const auto res = ddp.run(setupFor("3B"));
+    ASSERT_TRUE(res.feasible);
+    EXPECT_GT(res.tflopsPerGpu(), 200.0);
+    EXPECT_FALSE(res.activation_checkpointing);
+}
+
+TEST(Ddp, OomBeyondMemoryWall)
+{
+    // 16 bytes/param: ~6B is the single-GPU ceiling (§2.2).
+    DdpSystem ddp;
+    EXPECT_TRUE(ddp.run(setupFor("5B")).feasible);
+    EXPECT_FALSE(ddp.run(setupFor("8B")).feasible);
+}
+
+TEST(Ddp, NeverUsesActivationCheckpointing)
+{
+    DdpSystem ddp;
+    for (const char *m : {"1B", "3B", "5B"}) {
+        const auto res = ddp.run(setupFor(m));
+        if (res.feasible)
+            EXPECT_FALSE(res.activation_checkpointing) << m;
+    }
+}
+
+TEST(Ddp, FallsBackToGradientAccumulation)
+{
+    DdpSystem ddp;
+    const auto res = ddp.run(setupFor("5B"));
+    ASSERT_TRUE(res.feasible);
+    // The 5B model at batch 8 does not fit without accumulation.
+    EXPECT_GT(res.accum_steps, 1u);
+}
+
+// -------------------------------------------------------------- Megatron
+
+TEST(Megatron, SingleGpuDegradesToMp1)
+{
+    MegatronSystem meg;
+    const auto res = meg.run(setupFor("3B"));
+    ASSERT_TRUE(res.feasible);
+    EXPECT_EQ(meg.modelParallelDegree(), 1u);
+}
+
+TEST(Megatron, UsesModelParallelismForLargeModels)
+{
+    MegatronSystem meg;
+    const auto res = meg.run(setupFor("20B", 4, 16));
+    ASSERT_TRUE(res.feasible);
+    EXPECT_GT(meg.modelParallelDegree(), 1u);
+}
+
+TEST(Megatron, FixedDegreeIsRespected)
+{
+    MegatronSystem meg(4);
+    const auto res = meg.run(setupFor("10B", 4, 16));
+    ASSERT_TRUE(res.feasible);
+    EXPECT_EQ(meg.modelParallelDegree(), 4u);
+}
+
+TEST(Megatron, TpSyncCostMakesItSlowerThanZero3)
+{
+    // Fig. 11: Megatron trails ZeRO-3 at the same scale.
+    MegatronSystem meg;
+    Zero3System z3;
+    const TrainSetup setup = setupFor("10B", 4, 16);
+    const auto m = meg.run(setup);
+    const auto z = z3.run(setup);
+    ASSERT_TRUE(m.feasible);
+    ASSERT_TRUE(z.feasible);
+    EXPECT_LT(m.tflopsPerGpu(), z.tflopsPerGpu());
+}
+
+// ---------------------------------------------------------------- ZeRO-2/3
+
+TEST(Zero2, ShardingUnlocksLargerModelsThanDdp)
+{
+    Zero2System z2;
+    DdpSystem ddp;
+    const TrainSetup setup = setupFor("10B", 4, 16);
+    EXPECT_TRUE(z2.run(setup).feasible);
+    EXPECT_FALSE(ddp.run(setup).feasible);
+}
+
+TEST(Zero3, ShardsFurtherThanZero2)
+{
+    Zero3System z3;
+    Zero2System z2;
+    const TrainSetup setup = setupFor("20B", 16, 128);
+    EXPECT_TRUE(z3.run(setup).feasible);
+    EXPECT_FALSE(z2.run(setup).feasible);
+}
+
+TEST(Zero3, ParameterGathersOverlapCompute)
+{
+    Zero3System z3;
+    const auto res = z3.run(setupFor("10B", 4, 16));
+    ASSERT_TRUE(res.feasible);
+    // Prefetched all-gathers should keep the GPU mostly busy.
+    EXPECT_GT(res.gpu_utilization, 0.7);
+}
+
+// ------------------------------------------------------------ ZeRO-Offload
+
+TEST(ZeroOffload, TrainsModelsDdpCannot)
+{
+    ZeroOffloadSystem zo;
+    EXPECT_TRUE(zo.run(setupFor("15B")).feasible);
+    EXPECT_FALSE(DdpSystem().run(setupFor("15B")).feasible);
+}
+
+TEST(ZeroOffload, GpuIdleFractionMatchesFig4)
+{
+    // Fig. 4: "the GPU remains idle for 40-50% of the total execution
+    // time" at the largest feasible model / batch.
+    ZeroOffloadSystem zo;
+    const auto res = zo.run(setupFor("13B", 1, 8));
+    ASSERT_TRUE(res.feasible);
+    const double idle = 1.0 - res.gpu_utilization;
+    EXPECT_GT(idle, 0.35);
+    EXPECT_LT(idle, 0.60);
+}
+
+TEST(ZeroOffload, BoundedNearTwentyBillionRegardlessOfScale)
+{
+    // §5.4: each GPU holds the full fp16 copy, so scale caps at ~20B.
+    ZeroOffloadSystem zo;
+    EXPECT_FALSE(zo.run(setupFor("25B", 1, 8)).feasible);
+    EXPECT_FALSE(zo.run(setupFor("25B", 16, 128)).feasible);
+    EXPECT_TRUE(zo.run(setupFor("20B", 16, 128)).feasible);
+}
+
+TEST(ZeroOffload, CpuSideHoldsOptimizerAndGrads)
+{
+    ZeroOffloadSystem zo;
+    const auto res = zo.run(setupFor("10B"));
+    ASSERT_TRUE(res.feasible);
+    // 16 bytes/param on the host.
+    EXPECT_NEAR(res.memory.cpu_bytes,
+                16.0 * model::modelPreset("10B").params(), 1e9);
+}
+
+// ----------------------------------------------------------- ZeRO-Infinity
+
+TEST(ZeroInfinity, ThroughputBelowFiftyTflops)
+{
+    // §5.2: "ZeRO-Infinity's throughput remains below 50 TFLOPS".
+    ZeroInfinitySystem zi;
+    for (const char *m : {"5B", "13B", "20B"}) {
+        const auto res = zi.run(setupFor(m));
+        ASSERT_TRUE(res.feasible) << m;
+        EXPECT_LT(res.tflopsPerGpu(), 50.0) << m;
+        EXPECT_GT(res.tflopsPerGpu(), 15.0) << m;
+    }
+}
+
+TEST(ZeroInfinity, WeightFlowTrainsBeyondZeroOffload)
+{
+    // Weight-flow keeps only a working set on the GPU, so ZeRO-Infinity
+    // trains models ZeRO-Offload's resident fp16 copy cannot (Fig. 13).
+    ZeroInfinitySystem zi;
+    ZeroOffloadSystem zo;
+    const TrainSetup setup = setupFor("20B");
+    EXPECT_TRUE(zi.run(setup).feasible);
+    EXPECT_FALSE(zo.run(setup).feasible);
+}
+
+// ------------------------------------------------------------ FSDP-Offload
+
+TEST(FsdpOffload, CappedBelowSixteenTflops)
+{
+    // §5.2: "FSDP-Offload consistently achieves less than 15 TFLOPS".
+    FsdpOffloadSystem fsdp;
+    for (const char *m : {"3B", "10B", "20B"}) {
+        const auto res = fsdp.run(setupFor(m));
+        ASSERT_TRUE(res.feasible) << m;
+        EXPECT_LT(res.tflopsPerGpu(), 17.0) << m;
+    }
+}
+
+TEST(FsdpOffload, OptimizerDominatesIteration)
+{
+    FsdpOffloadSystem fsdp;
+    const auto res = fsdp.run(setupFor("10B"));
+    ASSERT_TRUE(res.feasible);
+    // The PyTorch-loop Adam leaves the GPU mostly idle.
+    EXPECT_LT(res.gpu_utilization, 0.25);
+}
+
+// ---------------------------------------------------------------- Ulysses
+
+TEST(Ulysses, SequenceLengthBoundedByReplicatedStates)
+{
+    UlyssesSystem ul;
+    // 13B on 8 chips: feasible at 128k, OOM at 256k (Fig. 12 shape).
+    EXPECT_TRUE(ul.run(setupFor("13B", 8, 1, 128 * 1024)).feasible);
+    EXPECT_FALSE(ul.run(setupFor("13B", 8, 1, 256 * 1024)).feasible);
+}
+
+TEST(Ulysses, ThirtyBillionDoesNotFitEightChips)
+{
+    UlyssesSystem ul;
+    EXPECT_FALSE(ul.run(setupFor("30B", 8, 1, 32 * 1024)).feasible);
+}
+
+TEST(Ulysses, MfuImprovesWithSequenceLength)
+{
+    UlyssesSystem ul;
+    const double peak =
+        hw::gh200ClusterOf(8).node.superchip.gpu.peak_flops;
+    const auto short_seq = ul.run(setupFor("13B", 8, 1, 32 * 1024));
+    const auto long_seq = ul.run(setupFor("13B", 8, 1, 128 * 1024));
+    ASSERT_TRUE(short_seq.feasible && long_seq.feasible);
+    EXPECT_GT(long_seq.mfuAgainst(peak), short_seq.mfuAgainst(peak));
+}
+
+} // namespace
+} // namespace so::runtime

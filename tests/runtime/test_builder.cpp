@@ -1,0 +1,157 @@
+#include "runtime/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace so::runtime {
+namespace {
+
+TrainSetup
+gh200Setup()
+{
+    TrainSetup setup;
+    setup.cluster = hw::gh200Single();
+    setup.model = model::modelPreset("5B");
+    setup.global_batch = 8;
+    setup.seq = 1024;
+    return setup;
+}
+
+TEST(IterBuilder, RegistersStandardResources)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    EXPECT_EQ(b.graph().resourceCount(), 7u);
+    EXPECT_NE(b.gpu(), b.cpu());
+    EXPECT_NE(b.h2d(), b.d2h());
+    EXPECT_NE(b.nvme(), b.nic());
+}
+
+TEST(IterBuilder, GemmTimePenalizesSmallMicroBatches)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    const double flops = 1e14;
+    const double big = b.gemmTime(flops, 8.0 * 1024.0);
+    const double small = b.gemmTime(flops, 1.0 * 1024.0);
+    EXPECT_GT(small, 1.5 * big);
+}
+
+TEST(IterBuilder, AttentionFasterThanGemmPerFlop)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    EXPECT_LT(b.attnTime(1e14), b.gemmTime(1e14, 8192.0));
+}
+
+TEST(IterBuilder, TransferTimesSymmetricPerDirection)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    EXPECT_DOUBLE_EQ(b.h2dTime(kGB), b.d2hTime(kGB));
+}
+
+TEST(IterBuilder, UnpinnedSlowerThanPinned)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    EXPECT_GT(b.h2dTime(kGB, false), 2.0 * b.h2dTime(kGB, true));
+}
+
+TEST(IterBuilder, ChunkedTransferSlowerThanBulk)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    const double bytes = 1.0 * kGB;
+    const double bulk = b.h2dTime(bytes);
+    const double chunked = b.chunkedTransferTime(bytes, kMiB);
+    EXPECT_GT(chunked, 2.0 * bulk);
+}
+
+TEST(IterBuilder, ChunkedTransferOverheadAccumulates)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    const double bytes = 100.0 * kMiB;
+    const double no_ovh = b.chunkedTransferTime(bytes, kMiB, true, 0.0);
+    const double with_ovh =
+        b.chunkedTransferTime(bytes, kMiB, true, 100e-6);
+    EXPECT_NEAR(with_ovh - no_ovh, 100.0 * 100e-6, 1e-6);
+}
+
+TEST(IterBuilder, NumaRemoteBindingSlowsHostTransfers)
+{
+    TrainSetup colocated = gh200Setup();
+    TrainSetup remote = gh200Setup();
+    remote.binding = hw::NumaBinding::Remote;
+    IterBuilder b1(colocated), b2(remote);
+    // §4.7: mis-bound processes traverse the inter-Superchip fabric.
+    EXPECT_GT(b2.h2dTime(kGB), 5.0 * b1.h2dTime(kGB));
+}
+
+TEST(IterBuilder, CastCheaperOnGpuThanCpu)
+{
+    // The heart of SAC (§4.5): HBM is ~8x faster than DDR.
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    EXPECT_LT(b.gpuCastTime(1e9), b.cpuCastTime(1e9) / 4.0);
+}
+
+TEST(IterBuilder, FinishComputesUtilizations)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    const auto a = b.onGpu("work", 1.0);
+    b.onCpu("tail", 1.0, {a});
+    const IterationResult res = b.finish(model::IterationFlops{});
+    EXPECT_DOUBLE_EQ(res.iter_time, 2.0);
+    EXPECT_DOUBLE_EQ(res.gpu_utilization, 0.5);
+    EXPECT_DOUBLE_EQ(res.cpu_utilization, 0.5);
+    EXPECT_DOUBLE_EQ(res.link_utilization, 0.0);
+    EXPECT_FALSE(res.gantt.empty());
+}
+
+TEST(IterBuilder, FinishWindowMeasuresSubrange)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    const auto a = b.onGpu("one", 1.0);
+    b.onGpu("two", 1.0, {a});
+    const sim::Schedule sched = b.schedule();
+    const IterationResult res =
+        b.finishWindow(model::IterationFlops{}, 1.0, 2.0, sched);
+    EXPECT_DOUBLE_EQ(res.iter_time, 1.0);
+    EXPECT_DOUBLE_EQ(res.gpu_utilization, 1.0);
+}
+
+TEST(IterBuilder, NvmeTimesUseTheNvmeLink)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    // 6 GB at 6 GB/s ~= 1 s, far slower than the same bytes over C2C.
+    EXPECT_NEAR(b.nvmeTime(6.0 * kGB), 1.0, 0.01);
+    EXPECT_GT(b.nvmeTime(kGB), 20.0 * b.h2dTime(kGB));
+}
+
+TEST(IterBuilder, NvmeTasksOccupyTheirOwnChannel)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    // NVMe traffic overlaps GPU work (separate resources).
+    const auto gpu_task = b.onGpu("work", 1.0);
+    b.onNvme("read", 1.0);
+    (void)gpu_task;
+    const auto res = b.finish(model::IterationFlops{});
+    EXPECT_DOUBLE_EQ(res.iter_time, 1.0);
+}
+
+TEST(IterBuilder, MicroTokens)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    EXPECT_DOUBLE_EQ(b.microTokens(4), 4.0 * 1024.0);
+}
+
+} // namespace
+} // namespace so::runtime

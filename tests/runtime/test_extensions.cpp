@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the extension systems beyond the paper's evaluated set:
+ * pipeline parallelism, Deep-Optimizer-States, Ulysses+ZeRO-3, and
+ * ZeRO-Infinity's NVMe tier (§2.2 / §5.1 references).
+ */
+#include <gtest/gtest.h>
+
+#include "runtime/deep_opt_states.h"
+#include "runtime/pipeline.h"
+#include "runtime/registry.h"
+#include "runtime/scale.h"
+#include "runtime/ulysses.h"
+#include "runtime/zero_infinity.h"
+#include "runtime/zero_offload.h"
+
+namespace so::runtime {
+namespace {
+
+TrainSetup
+setupFor(const char *model, std::uint32_t chips = 1,
+         std::uint32_t batch = 8, std::uint32_t seq = 1024)
+{
+    TrainSetup setup;
+    setup.cluster = hw::gh200ClusterOf(chips);
+    setup.model = model::modelPreset(model);
+    setup.global_batch = batch;
+    setup.seq = seq;
+    return setup;
+}
+
+// -------------------------------------------------------------- Pipeline
+
+TEST(Pipeline, SingleGpuDegeneratesToOneStage)
+{
+    PipelineSystem pp;
+    const auto res = pp.run(setupFor("3B"));
+    ASSERT_TRUE(res.feasible);
+    EXPECT_EQ(pp.stageCount(), 1u);
+}
+
+TEST(Pipeline, ShardsStatesAcrossStages)
+{
+    PipelineSystem pp;
+    // 20B does not fit one GPU; 4 stages make it feasible.
+    EXPECT_FALSE(pp.run(setupFor("20B", 1, 8)).feasible);
+    const auto res = pp.run(setupFor("20B", 4, 16));
+    ASSERT_TRUE(res.feasible);
+    EXPECT_GT(pp.stageCount(), 1u);
+}
+
+TEST(Pipeline, BubbleLimitsThroughputAtSmallMicroCounts)
+{
+    // With few micro-batches per stage the (P-1)/(M+P-1) bubble bites:
+    // PP trails ZeRO-3 on the same cluster.
+    PipelineSystem pp;
+    auto z3 = makeBaseline("zero3");
+    const TrainSetup setup = setupFor("10B", 4, 16);
+    const auto p = pp.run(setup);
+    const auto z = z3->run(setup);
+    ASSERT_TRUE(p.feasible && z.feasible);
+    EXPECT_LT(p.tflopsPerGpu(), z.tflopsPerGpu());
+}
+
+TEST(Pipeline, MoreMicroBatchesAmortizeTheBubble)
+{
+    PipelineSystem pp(4);
+    TrainSetup few = setupFor("10B", 4, 16);   // 1 micro/stage slot
+    TrainSetup many = setupFor("10B", 4, 128); // 8x more micro-batches
+    const auto a = pp.run(few);
+    const auto b = pp.run(many);
+    ASSERT_TRUE(a.feasible && b.feasible);
+    EXPECT_GT(b.tflopsPerGpu(), a.tflopsPerGpu());
+}
+
+TEST(Pipeline, FixedStageCountRespected)
+{
+    PipelineSystem pp(2);
+    const auto res = pp.run(setupFor("10B", 4, 16));
+    ASSERT_TRUE(res.feasible);
+    EXPECT_EQ(pp.stageCount(), 2u);
+}
+
+// ------------------------------------------------- Deep-Optimizer-States
+
+TEST(DeepOptStates, FasterThanZeroOffloadOnSuperchip)
+{
+    // GPU-side updates + fast C2C beat CPU-side updates: the point of
+    // the contrast.
+    DeepOptStatesSystem dos;
+    ZeroOffloadSystem zo;
+    const TrainSetup setup = setupFor("10B");
+    const auto d = dos.run(setup);
+    const auto z = zo.run(setup);
+    ASSERT_TRUE(d.feasible && z.feasible);
+    EXPECT_GT(d.tflopsPerGpu(), 1.3 * z.tflopsPerGpu());
+}
+
+TEST(DeepOptStates, SlowerThanSuperOffload)
+{
+    // It still ships 24 bytes/param of states across the link each
+    // iteration and keeps the STE-ish return path.
+    DeepOptStatesSystem dos;
+    const auto res = dos.run(setupFor("10B"));
+    ASSERT_TRUE(res.feasible);
+    EXPECT_LT(res.tflopsPerGpu(), 240.0);
+    EXPECT_GT(res.tflopsPerGpu(), 150.0);
+}
+
+TEST(DeepOptStates, CpuHoldsOnlyOptimizerStates)
+{
+    DeepOptStatesSystem dos;
+    const auto res = dos.run(setupFor("10B"));
+    ASSERT_TRUE(res.feasible);
+    EXPECT_NEAR(res.memory.cpu_bytes,
+                12.0 * model::modelPreset("10B").params(), 1e9);
+}
+
+// --------------------------------------------------------- Ulysses+ZeRO-3
+
+TEST(UlyssesZero3, TrainsLongerSequencesThanStage2)
+{
+    auto stage2 = makeBaseline("ulysses");
+    auto stage3 = makeBaseline("ulysses-zero3");
+    const TrainSetup setup = setupFor("13B", 8, 1, 512 * 1024);
+    EXPECT_FALSE(stage2->run(setup).feasible);
+    EXPECT_TRUE(stage3->run(setup).feasible);
+}
+
+TEST(UlyssesZero3, NameDistinguishesTheVariant)
+{
+    EXPECT_EQ(makeBaseline("ulysses-zero3")->name(), "Ulysses+ZeRO-3");
+    EXPECT_EQ(makeBaseline("ulysses")->name(), "Ulysses");
+}
+
+TEST(UlyssesZero3Death, RejectsUnsupportedStage)
+{
+    EXPECT_DEATH(UlyssesSystem bad(1), "stage 2 or 3");
+}
+
+// --------------------------------------------------- ZeRO-Infinity + NVMe
+
+TEST(ZeroInfinityNvme, ExtendsScaleBeyondDram)
+{
+    auto dram_only = makeBaseline("zero-infinity");
+    auto nvme = makeBaseline("zero-infinity-nvme");
+    const TrainSetup setup = setupFor("50B");
+    EXPECT_FALSE(dram_only->run(setup).feasible);
+    EXPECT_TRUE(nvme->run(setup).feasible);
+}
+
+TEST(ZeroInfinityNvme, PaysHeavilyInThroughput)
+{
+    auto nvme = makeBaseline("zero-infinity-nvme");
+    const auto res = nvme->run(setupFor("25B"));
+    ASSERT_TRUE(res.feasible);
+    EXPECT_LT(res.tflopsPerGpu(), 30.0);
+}
+
+TEST(ZeroInfinityNvme, ReportsNvmeFootprint)
+{
+    auto nvme = makeBaseline("zero-infinity-nvme");
+    const auto res = nvme->run(setupFor("25B"));
+    ASSERT_TRUE(res.feasible);
+    EXPECT_NEAR(res.memory.nvme_bytes,
+                12.0 * model::modelPreset("25B").params(), 1e9);
+    EXPECT_GT(res.memory.nvme_capacity, 0.0);
+    EXPECT_TRUE(res.memory.fitsNvme());
+}
+
+TEST(ZeroInfinityNvme, NvmeCapacityBindsEventually)
+{
+    auto nvme = makeBaseline("zero-infinity-nvme");
+    // 12 bytes/param on a 4 TB device caps near 333B; DRAM (7 B/param
+    // of 432 GB usable) caps near 61B first.
+    const auto res = nvme->run(setupFor("80B"));
+    EXPECT_FALSE(res.feasible);
+    EXPECT_NE(res.infeasible_reason.find("host DRAM"),
+              std::string::npos);
+}
+
+TEST(ZeroInfinityNvme, LargestModelRoughlySixtyBillion)
+{
+    auto nvme = makeBaseline("zero-infinity-nvme");
+    TrainSetup setup = setupFor("1B");
+    const auto scale = largestTrainableModel(*nvme, setup);
+    ASSERT_TRUE(scale.any_feasible);
+    EXPECT_GT(scale.max_params, 50e9);
+    EXPECT_LT(scale.max_params, 70e9);
+}
+
+} // namespace
+} // namespace so::runtime

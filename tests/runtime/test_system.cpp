@@ -1,0 +1,130 @@
+#include "runtime/system.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/registry.h"
+
+namespace so::runtime {
+namespace {
+
+TrainSetup
+setupFor(const char *model, std::uint32_t chips = 1,
+         std::uint32_t batch = 8)
+{
+    TrainSetup setup;
+    setup.cluster = hw::gh200ClusterOf(chips);
+    setup.model = model::modelPreset(model);
+    setup.global_batch = batch;
+    setup.seq = 1024;
+    return setup;
+}
+
+TEST(TrainSetup, PerGpuBatchDividesGlobal)
+{
+    EXPECT_EQ(setupFor("5B", 1, 8).perGpuBatch(), 8u);
+    EXPECT_EQ(setupFor("5B", 4, 16).perGpuBatch(), 4u);
+    EXPECT_EQ(setupFor("5B", 16, 128).perGpuBatch(), 8u);
+    // Clamped to at least 1.
+    EXPECT_EQ(setupFor("5B", 16, 4).perGpuBatch(), 1u);
+}
+
+TEST(MemoryReport, FitPredicates)
+{
+    MemoryReport report;
+    report.gpu_bytes = 50.0;
+    report.gpu_capacity = 96.0;
+    report.cpu_bytes = 500.0;
+    report.cpu_capacity = 432.0;
+    EXPECT_TRUE(report.fitsGpu());
+    EXPECT_FALSE(report.fitsCpu());
+    EXPECT_FALSE(report.fits());
+}
+
+TEST(IterationResult, TflopsExcludesRecompute)
+{
+    IterationResult res;
+    res.feasible = true;
+    res.iter_time = 1.0;
+    res.flops.fwd_gemm = 1e12;
+    res.flops.bwd_gemm = 2e12;
+    res.flops.recompute_gemm = 1e12;
+    EXPECT_DOUBLE_EQ(res.tflopsPerGpu(), 3.0);
+    EXPECT_DOUBLE_EQ(res.mfuAgainst(10e12), 0.3);
+}
+
+TEST(IterationResult, InfeasibleReportsZeroThroughput)
+{
+    IterationResult res;
+    res.iter_time = 1.0;
+    res.flops.fwd_gemm = 1e12;
+    EXPECT_DOUBLE_EQ(res.tflopsPerGpu(), 0.0);
+}
+
+TEST(System, InfeasibleNamesTheBindingResource)
+{
+    // A 200B model cannot fit a single superchip under any system.
+    auto ddp = makeBaseline("ddp");
+    const IterationResult res = ddp->run(setupFor("200B"));
+    EXPECT_FALSE(res.feasible);
+    EXPECT_NE(res.infeasible_reason.find("GPU memory"),
+              std::string::npos);
+}
+
+TEST(System, CpuBoundInfeasibilityNamesHostDram)
+{
+    // ZeRO-Offload needs 16P/N of host DRAM; 80B on one chip exceeds
+    // the 480 GB Grace memory before the GPU check even matters.
+    auto zo = makeBaseline("zero-offload");
+    const IterationResult res = zo->run(setupFor("80B"));
+    EXPECT_FALSE(res.feasible);
+    EXPECT_NE(res.infeasible_reason.find("host DRAM"),
+              std::string::npos);
+}
+
+TEST(System, FeasibleResultIsFullyPopulated)
+{
+    auto zo = makeBaseline("zero-offload");
+    const IterationResult res = zo->run(setupFor("5B"));
+    ASSERT_TRUE(res.feasible);
+    EXPECT_GT(res.iter_time, 0.0);
+    EXPECT_GE(res.micro_batch, 1u);
+    EXPECT_GE(res.accum_steps, 1u);
+    EXPECT_GT(res.gpu_utilization, 0.0);
+    EXPECT_LE(res.gpu_utilization, 1.0 + 1e-9);
+    EXPECT_GT(res.memory.gpu_bytes, 0.0);
+    EXPECT_TRUE(res.memory.fits());
+    EXPECT_GT(res.flops.modelFlops(), 0.0);
+    EXPECT_FALSE(res.gantt.empty());
+}
+
+TEST(System, MicroBatchTimesAccumEqualsPerGpuBatch)
+{
+    for (const char *name : {"ddp", "zero-offload", "zero-infinity"}) {
+        auto sys = makeBaseline(name);
+        const TrainSetup setup = setupFor("5B", 1, 8);
+        const IterationResult res = sys->run(setup);
+        if (!res.feasible)
+            continue;
+        EXPECT_EQ(res.micro_batch * res.accum_steps, 8u) << name;
+    }
+}
+
+TEST(System, RegistryExposesAllBaselines)
+{
+    const auto names = baselineNames();
+    EXPECT_EQ(names.size(), 12u);
+    for (const auto &name : names) {
+        auto sys = makeBaseline(name);
+        ASSERT_NE(sys, nullptr) << name;
+        EXPECT_FALSE(sys->name().empty());
+    }
+}
+
+TEST(SystemDeath, UnknownBaselineIsFatal)
+{
+    EXPECT_EXIT(makeBaseline("does-not-exist"),
+                ::testing::ExitedWithCode(1), "unknown baseline");
+}
+
+} // namespace
+} // namespace so::runtime

@@ -1,0 +1,90 @@
+#include "sim/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace so::sim {
+namespace {
+
+TEST(TaskGraph, AddResourceAssignsSequentialIds)
+{
+    TaskGraph g;
+    EXPECT_EQ(g.addResource("GPU"), 0u);
+    EXPECT_EQ(g.addResource("CPU", 2), 1u);
+    EXPECT_EQ(g.resourceCount(), 2u);
+    EXPECT_EQ(g.resource(0).name, "GPU");
+    EXPECT_EQ(g.resource(1).slots, 2u);
+}
+
+TEST(TaskGraph, AddTaskStoresFields)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId a = g.addTask(r, 1.5, "fwd");
+    const TaskId b = g.addTask(r, 0.5, "bwd", {a}, 3);
+    EXPECT_EQ(g.taskCount(), 2u);
+    EXPECT_DOUBLE_EQ(g.task(a).duration, 1.5);
+    EXPECT_EQ(g.task(b).deps.size(), 1u);
+    EXPECT_EQ(g.task(b).deps[0], a);
+    EXPECT_EQ(g.task(b).priority, 3);
+}
+
+TEST(TaskGraph, AddDepAppends)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId a = g.addTask(r, 1.0, "a");
+    const TaskId b = g.addTask(r, 1.0, "b");
+    g.addDep(a, b);
+    EXPECT_EQ(g.task(b).deps.size(), 1u);
+}
+
+TEST(TaskGraph, TotalWorkSumsPerResource)
+{
+    TaskGraph g;
+    const ResourceId gpu = g.addResource("GPU");
+    const ResourceId cpu = g.addResource("CPU");
+    g.addTask(gpu, 1.0, "x");
+    g.addTask(gpu, 2.0, "y");
+    g.addTask(cpu, 4.0, "z");
+    EXPECT_DOUBLE_EQ(g.totalWork(gpu), 3.0);
+    EXPECT_DOUBLE_EQ(g.totalWork(cpu), 4.0);
+}
+
+TEST(TaskGraph, ZeroDurationTaskAllowed)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    EXPECT_NO_THROW(g.addTask(r, 0.0, "barrier"));
+}
+
+TEST(TaskGraphDeath, RejectsUnknownResource)
+{
+    TaskGraph g;
+    EXPECT_DEATH(g.addTask(3, 1.0, "bad"), "unknown resource");
+}
+
+TEST(TaskGraphDeath, RejectsForwardDependency)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId a = g.addTask(r, 1.0, "a");
+    // Dependencies must reference previously added tasks.
+    EXPECT_DEATH(g.addTask(r, 1.0, "b", {static_cast<TaskId>(a + 5)}),
+                 "already-added");
+}
+
+TEST(TaskGraphDeath, RejectsNegativeDuration)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    EXPECT_DEATH(g.addTask(r, -1.0, "bad"), "negative");
+}
+
+TEST(TaskGraphDeath, RejectsZeroSlotResource)
+{
+    TaskGraph g;
+    EXPECT_DEATH(g.addResource("bad", 0), "at least one slot");
+}
+
+} // namespace
+} // namespace so::sim

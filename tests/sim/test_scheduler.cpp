@@ -1,0 +1,183 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/graph.h"
+
+namespace so::sim {
+namespace {
+
+TEST(Scheduler, SingleTask)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    g.addTask(r, 2.0, "a");
+    const Schedule s = Scheduler().run(g);
+    EXPECT_DOUBLE_EQ(s.start[0], 0.0);
+    EXPECT_DOUBLE_EQ(s.finish[0], 2.0);
+    EXPECT_DOUBLE_EQ(s.makespan, 2.0);
+}
+
+TEST(Scheduler, ChainRespectsDependencies)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId a = g.addTask(r, 1.0, "a");
+    const TaskId b = g.addTask(r, 2.0, "b", {a});
+    const TaskId c = g.addTask(r, 3.0, "c", {b});
+    const Schedule s = Scheduler().run(g);
+    EXPECT_DOUBLE_EQ(s.start[b], 1.0);
+    EXPECT_DOUBLE_EQ(s.start[c], 3.0);
+    EXPECT_DOUBLE_EQ(s.makespan, 6.0);
+}
+
+TEST(Scheduler, IndependentTasksSerializeOnOneSlot)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU", 1);
+    g.addTask(r, 1.0, "a");
+    g.addTask(r, 1.0, "b");
+    const Schedule s = Scheduler().run(g);
+    EXPECT_DOUBLE_EQ(s.makespan, 2.0);
+}
+
+TEST(Scheduler, IndependentTasksRunConcurrentlyOnTwoSlots)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("CPU", 2);
+    g.addTask(r, 1.0, "a");
+    g.addTask(r, 1.0, "b");
+    const Schedule s = Scheduler().run(g);
+    EXPECT_DOUBLE_EQ(s.makespan, 1.0);
+}
+
+TEST(Scheduler, CrossResourceOverlap)
+{
+    TaskGraph g;
+    const ResourceId gpu = g.addResource("GPU");
+    const ResourceId link = g.addResource("D2H");
+    // GPU computes two chunks; each chunk's transfer overlaps the next
+    // chunk's compute.
+    const TaskId c0 = g.addTask(gpu, 1.0, "c0");
+    const TaskId t0 = g.addTask(link, 1.0, "t0", {c0});
+    const TaskId c1 = g.addTask(gpu, 1.0, "c1", {c0});
+    const TaskId t1 = g.addTask(link, 1.0, "t1", {c1});
+    (void)t0;
+    const Schedule s = Scheduler().run(g);
+    EXPECT_DOUBLE_EQ(s.start[c1], 1.0);       // Right after c0.
+    EXPECT_DOUBLE_EQ(s.start[t1], 2.0);       // t0 done at 2.0.
+    EXPECT_DOUBLE_EQ(s.makespan, 3.0);        // One transfer exposed.
+}
+
+TEST(Scheduler, PriorityBreaksTies)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId low = g.addTask(r, 1.0, "low", {}, 5);
+    const TaskId high = g.addTask(r, 1.0, "high", {}, -5);
+    const Schedule s = Scheduler().run(g);
+    EXPECT_DOUBLE_EQ(s.start[high], 0.0);
+    EXPECT_DOUBLE_EQ(s.start[low], 1.0);
+}
+
+TEST(Scheduler, InsertionOrderBreaksEqualPriority)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId first = g.addTask(r, 1.0, "first");
+    const TaskId second = g.addTask(r, 1.0, "second");
+    const Schedule s = Scheduler().run(g);
+    EXPECT_LT(s.start[first], s.start[second]);
+}
+
+TEST(Scheduler, ZeroDurationTasksActAsOrderingPoints)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId a = g.addTask(r, 1.0, "a");
+    const TaskId barrier = g.addTask(r, 0.0, "barrier", {a});
+    const TaskId b = g.addTask(r, 1.0, "b", {barrier});
+    const Schedule s = Scheduler().run(g);
+    EXPECT_DOUBLE_EQ(s.start[b], 1.0);
+    EXPECT_DOUBLE_EQ(s.makespan, 2.0);
+}
+
+TEST(Scheduler, DiamondDependency)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU", 2);
+    const TaskId src = g.addTask(r, 1.0, "src");
+    const TaskId left = g.addTask(r, 2.0, "left", {src});
+    const TaskId right = g.addTask(r, 3.0, "right", {src});
+    const TaskId sink = g.addTask(r, 1.0, "sink", {left, right});
+    const Schedule s = Scheduler().run(g);
+    EXPECT_DOUBLE_EQ(s.start[sink], 4.0); // After the slower branch.
+    EXPECT_DOUBLE_EQ(s.makespan, 5.0);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns)
+{
+    TaskGraph g;
+    const ResourceId gpu = g.addResource("GPU");
+    const ResourceId cpu = g.addResource("CPU", 3);
+    TaskId prev = kInvalidTask;
+    for (int i = 0; i < 50; ++i) {
+        std::vector<TaskId> deps;
+        if (prev != kInvalidTask)
+            deps.push_back(prev);
+        prev = g.addTask(gpu, 0.1 + i * 0.01, "g", deps);
+        g.addTask(cpu, 0.2, "c", {prev});
+    }
+    const Schedule s1 = Scheduler().run(g);
+    const Schedule s2 = Scheduler().run(g);
+    ASSERT_EQ(s1.start.size(), s2.start.size());
+    for (std::size_t i = 0; i < s1.start.size(); ++i) {
+        EXPECT_DOUBLE_EQ(s1.start[i], s2.start[i]);
+        EXPECT_DOUBLE_EQ(s1.finish[i], s2.finish[i]);
+    }
+}
+
+TEST(Scheduler, UtilizationAndIdleFractions)
+{
+    TaskGraph g;
+    const ResourceId gpu = g.addResource("GPU");
+    const ResourceId cpu = g.addResource("CPU");
+    const TaskId a = g.addTask(gpu, 1.0, "a");
+    g.addTask(cpu, 1.0, "b", {a});
+    const Schedule s = Scheduler().run(g);
+    EXPECT_DOUBLE_EQ(s.makespan, 2.0);
+    EXPECT_DOUBLE_EQ(s.utilization(gpu), 0.5);
+    EXPECT_DOUBLE_EQ(s.idleFraction(gpu), 0.5);
+    EXPECT_DOUBLE_EQ(s.utilization(cpu), 0.5);
+}
+
+TEST(Scheduler, ManyTasksStress)
+{
+    TaskGraph g;
+    const ResourceId gpu = g.addResource("GPU");
+    const ResourceId link = g.addResource("link");
+    TaskId prev = kInvalidTask;
+    double total = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        std::vector<TaskId> deps;
+        if (prev != kInvalidTask)
+            deps.push_back(prev);
+        prev = g.addTask(gpu, 0.001, "g", deps);
+        g.addTask(link, 0.0005, "l", {prev});
+        total += 0.001;
+    }
+    const Schedule s = Scheduler().run(g);
+    // GPU chain dominates; last transfer adds its tail.
+    EXPECT_NEAR(s.makespan, total + 0.0005, 1e-9);
+}
+
+TEST(Scheduler, EmptyGraph)
+{
+    TaskGraph g;
+    g.addResource("GPU");
+    const Schedule s = Scheduler().run(g);
+    EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+}
+
+} // namespace
+} // namespace so::sim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Property-based tests of the discrete-event scheduler over randomly
+ * generated DAGs: every schedule it emits must satisfy the defining
+ * invariants regardless of graph shape.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/graph.h"
+#include "sim/scheduler.h"
+
+namespace so::sim {
+namespace {
+
+struct RandomGraph
+{
+    TaskGraph graph;
+    std::vector<std::uint32_t> slots;
+};
+
+RandomGraph
+makeRandomGraph(std::uint64_t seed, std::size_t n_resources,
+                std::size_t n_tasks)
+{
+    Rng rng(seed);
+    RandomGraph out;
+    for (std::size_t r = 0; r < n_resources; ++r) {
+        const auto s =
+            static_cast<std::uint32_t>(1 + rng.below(3));
+        out.slots.push_back(s);
+        out.graph.addResource("R" + std::to_string(r), s);
+    }
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+        std::vector<TaskId> deps;
+        // Up to 3 backward dependencies.
+        const std::size_t n_deps = t == 0 ? 0 : rng.below(4);
+        for (std::size_t d = 0; d < n_deps; ++d)
+            deps.push_back(static_cast<TaskId>(rng.below(t)));
+        std::sort(deps.begin(), deps.end());
+        deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+        const auto resource =
+            static_cast<ResourceId>(rng.below(n_resources));
+        // Mix zero-duration barriers in.
+        const double duration =
+            rng.bernoulli(0.1) ? 0.0 : rng.uniform(0.01, 1.0);
+        const auto priority =
+            static_cast<std::int32_t>(rng.below(5)) - 2;
+        out.graph.addTask(resource, duration, "t" + std::to_string(t),
+                          std::move(deps), priority);
+    }
+    return out;
+}
+
+class SchedulerPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> // seed
+{
+};
+
+TEST_P(SchedulerPropertyTest, ScheduleSatisfiesAllInvariants)
+{
+    const RandomGraph rg = makeRandomGraph(GetParam(), 4, 200);
+    const Schedule sched = Scheduler().run(rg.graph);
+    const auto &tasks = rg.graph.tasks();
+
+    double latest_finish = 0.0;
+    for (TaskId id = 0; id < tasks.size(); ++id) {
+        // Duration honored.
+        ASSERT_NEAR(sched.finish[id] - sched.start[id],
+                    tasks[id].duration, 1e-12);
+        ASSERT_GE(sched.start[id], 0.0);
+        latest_finish = std::max(latest_finish, sched.finish[id]);
+        // Dependencies strictly precede.
+        for (TaskId dep : tasks[id].deps)
+            ASSERT_GE(sched.start[id], sched.finish[dep] - 1e-12)
+                << "task " << id << " started before dep " << dep;
+    }
+    // Makespan is exactly the last finish.
+    ASSERT_NEAR(sched.makespan, latest_finish, 1e-12);
+
+    // Resource concurrency never exceeds the slot count: sweep each
+    // resource's intervals.
+    for (ResourceId r = 0; r < rg.graph.resourceCount(); ++r) {
+        std::vector<std::pair<double, int>> events;
+        for (const Interval &iv : sched.timelines[r].intervals()) {
+            events.emplace_back(iv.start, +1);
+            events.emplace_back(iv.end, -1);
+        }
+        std::sort(events.begin(), events.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first < b.first;
+                      return a.second < b.second; // Ends before starts.
+                  });
+        int live = 0;
+        for (const auto &[time, delta] : events) {
+            (void)time;
+            live += delta;
+            ASSERT_LE(live, static_cast<int>(rg.slots[r]))
+                << "resource " << r << " oversubscribed";
+        }
+    }
+
+    // Work conservation: total busy slot-seconds equals the summed
+    // durations of the tasks bound to each resource.
+    for (ResourceId r = 0; r < rg.graph.resourceCount(); ++r) {
+        ASSERT_NEAR(sched.timelines[r].totalSlotSeconds(),
+                    rg.graph.totalWork(r), 1e-9);
+    }
+}
+
+TEST_P(SchedulerPropertyTest, ReRunIsBitwiseIdentical)
+{
+    const RandomGraph rg = makeRandomGraph(GetParam() ^ 0xabcd, 3, 120);
+    const Schedule a = Scheduler().run(rg.graph);
+    const Schedule b = Scheduler().run(rg.graph);
+    for (std::size_t i = 0; i < a.start.size(); ++i) {
+        ASSERT_EQ(a.start[i], b.start[i]);
+        ASSERT_EQ(a.finish[i], b.finish[i]);
+    }
+}
+
+TEST_P(SchedulerPropertyTest, MakespanAtLeastCriticalPath)
+{
+    const RandomGraph rg = makeRandomGraph(GetParam() ^ 0x1234, 5, 150);
+    const Schedule sched = Scheduler().run(rg.graph);
+    const auto &tasks = rg.graph.tasks();
+    // Longest dependency chain is a lower bound on the makespan.
+    std::vector<double> chain(tasks.size(), 0.0);
+    double critical = 0.0;
+    for (TaskId id = 0; id < tasks.size(); ++id) {
+        double ready = 0.0;
+        for (TaskId dep : tasks[id].deps)
+            ready = std::max(ready, chain[dep]);
+        chain[id] = ready + tasks[id].duration;
+        critical = std::max(critical, chain[id]);
+    }
+    EXPECT_GE(sched.makespan + 1e-12, critical);
+    // And no worse than fully serial execution.
+    double total = 0.0;
+    for (const Task &task : tasks)
+        total += task.duration;
+    EXPECT_LE(sched.makespan, total + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+} // namespace
+} // namespace so::sim

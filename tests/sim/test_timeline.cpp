@@ -1,0 +1,93 @@
+#include "sim/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace so::sim {
+namespace {
+
+TEST(Timeline, EmptyTimeline)
+{
+    Timeline t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_DOUBLE_EQ(t.busyTime(0.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(t.idleTime(0.0, 10.0), 10.0);
+    EXPECT_DOUBLE_EQ(t.utilization(0.0, 10.0), 0.0);
+}
+
+TEST(Timeline, SingleInterval)
+{
+    Timeline t;
+    t.add(1.0, 3.0, 0);
+    EXPECT_DOUBLE_EQ(t.busyTime(0.0, 10.0), 2.0);
+    EXPECT_DOUBLE_EQ(t.idleTime(0.0, 10.0), 8.0);
+    EXPECT_DOUBLE_EQ(t.utilization(0.0, 10.0), 0.2);
+}
+
+TEST(Timeline, ClampsToWindow)
+{
+    Timeline t;
+    t.add(0.0, 10.0, 0);
+    EXPECT_DOUBLE_EQ(t.busyTime(2.0, 5.0), 3.0);
+    EXPECT_DOUBLE_EQ(t.busyTime(-5.0, 2.0), 2.0);
+    EXPECT_DOUBLE_EQ(t.busyTime(10.0, 20.0), 0.0);
+}
+
+TEST(Timeline, OverlappingIntervalsCountOnce)
+{
+    Timeline t;
+    t.add(0.0, 4.0, 0, 0);
+    t.add(2.0, 6.0, 1, 1); // Second slot overlaps.
+    EXPECT_DOUBLE_EQ(t.busyTime(0.0, 10.0), 6.0);
+    EXPECT_DOUBLE_EQ(t.totalSlotSeconds(), 8.0);
+}
+
+TEST(Timeline, DisjointIntervals)
+{
+    Timeline t;
+    t.add(0.0, 1.0, 0);
+    t.add(5.0, 6.0, 1);
+    t.add(2.0, 3.0, 2); // Out of order insertion is fine.
+    EXPECT_DOUBLE_EQ(t.busyTime(0.0, 10.0), 3.0);
+}
+
+TEST(Timeline, AdjacentIntervalsMerge)
+{
+    Timeline t;
+    t.add(0.0, 1.0, 0);
+    t.add(1.0, 2.0, 1);
+    EXPECT_DOUBLE_EQ(t.busyTime(0.0, 2.0), 2.0);
+}
+
+TEST(Timeline, ZeroLengthIntervalIgnored)
+{
+    Timeline t;
+    t.add(1.0, 1.0, 0);
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(Timeline, FirstStartAndLastEnd)
+{
+    Timeline t;
+    t.add(3.0, 4.0, 0);
+    t.add(1.0, 2.0, 1);
+    t.add(5.0, 9.0, 2);
+    EXPECT_DOUBLE_EQ(t.firstStart(), 1.0);
+    EXPECT_DOUBLE_EQ(t.lastEnd(), 9.0);
+}
+
+TEST(Timeline, EmptyWindowReturnsZero)
+{
+    Timeline t;
+    t.add(0.0, 1.0, 0);
+    EXPECT_DOUBLE_EQ(t.busyTime(5.0, 5.0), 0.0);
+    EXPECT_DOUBLE_EQ(t.utilization(5.0, 5.0), 0.0);
+}
+
+TEST(TimelineDeath, RejectsBackwardsInterval)
+{
+    Timeline t;
+    EXPECT_DEATH(t.add(2.0, 1.0, 0), "ends before");
+}
+
+} // namespace
+} // namespace so::sim

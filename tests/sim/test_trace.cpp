@@ -1,0 +1,123 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/graph.h"
+#include "sim/scheduler.h"
+
+namespace so::sim {
+namespace {
+
+TaskGraph
+smallGraph()
+{
+    TaskGraph g;
+    const ResourceId gpu = g.addResource("GPU");
+    const ResourceId cpu = g.addResource("CPU");
+    const TaskId a = g.addTask(gpu, 1.0, "fwd");
+    g.addTask(cpu, 0.5, "adam \"step\"", {a});
+    return g;
+}
+
+TEST(Trace, ChromeTraceContainsEventsAndMetadata)
+{
+    const TaskGraph g = smallGraph();
+    const Schedule s = Scheduler().run(g);
+    const std::string json = toChromeTrace(g, s);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("fwd"), std::string::npos);
+    // The embedded quote must be escaped.
+    EXPECT_NE(json.find("adam \\\"step\\\""), std::string::npos);
+    EXPECT_EQ(json.find("adam \"step\""), std::string::npos);
+}
+
+TEST(Trace, WriteChromeTraceCreatesFile)
+{
+    const TaskGraph g = smallGraph();
+    const Schedule s = Scheduler().run(g);
+    const std::string path = ::testing::TempDir() + "/so_trace.json";
+    ASSERT_TRUE(writeChromeTrace(g, s, path));
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), toChromeTrace(g, s));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, AsciiGanttHasOneRowPerResource)
+{
+    const TaskGraph g = smallGraph();
+    const Schedule s = Scheduler().run(g);
+    const std::string gantt = toAsciiGantt(g, s, 40);
+    EXPECT_NE(gantt.find("GPU"), std::string::npos);
+    EXPECT_NE(gantt.find("CPU"), std::string::npos);
+    // Two newline-terminated rows.
+    EXPECT_EQ(std::count(gantt.begin(), gantt.end(), '\n'), 2);
+    EXPECT_NE(gantt.find('#'), std::string::npos);
+}
+
+TEST(Trace, AsciiGanttBusyFractionRoughlyMatches)
+{
+    TaskGraph g;
+    const ResourceId gpu = g.addResource("GPU");
+    g.addTask(gpu, 1.0, "a");
+    const TaskId b = g.addTask(gpu, 0.0, "zero");
+    g.addDep(0, b);
+    // Add an idle tail via another resource.
+    const ResourceId cpu = g.addResource("CPU");
+    g.addTask(cpu, 1.0, "c", {0});
+    const Schedule s = Scheduler().run(g);
+    const std::string gantt = toAsciiGantt(g, s, 100);
+    // The GPU row should be roughly half busy.
+    const std::string gpu_row = gantt.substr(0, gantt.find('\n'));
+    const auto busy = std::count(gpu_row.begin(), gpu_row.end(), '#');
+    EXPECT_GT(busy, 40);
+    EXPECT_LT(busy, 60);
+}
+
+TEST(Trace, LabelBreakdownGroupsPhases)
+{
+    TaskGraph g;
+    const ResourceId gpu = g.addResource("GPU");
+    const TaskId a = g.addTask(gpu, 1.0, "fwd L0");
+    const TaskId b = g.addTask(gpu, 1.5, "fwd L1", {a});
+    const TaskId c = g.addTask(gpu, 2.0, "bwd L1", {b});
+    g.addTask(gpu, 0.5, "adam(gpu) b3", {c});
+    const Schedule s = Scheduler().run(g);
+    const auto breakdown = labelBreakdown(g, s, gpu);
+    ASSERT_EQ(breakdown.size(), 3u);
+    // Sorted by time, descending.
+    EXPECT_EQ(breakdown[0].first, "fwd");
+    EXPECT_DOUBLE_EQ(breakdown[0].second, 2.5);
+    EXPECT_EQ(breakdown[1].first, "bwd");
+    EXPECT_DOUBLE_EQ(breakdown[1].second, 2.0);
+    EXPECT_EQ(breakdown[2].first, "adam(gpu)");
+    EXPECT_DOUBLE_EQ(breakdown[2].second, 0.5);
+}
+
+TEST(Trace, LabelBreakdownEmptyResource)
+{
+    TaskGraph g;
+    const ResourceId gpu = g.addResource("GPU");
+    const ResourceId idle = g.addResource("idle");
+    g.addTask(gpu, 1.0, "work");
+    const Schedule s = Scheduler().run(g);
+    EXPECT_TRUE(labelBreakdown(g, s, idle).empty());
+}
+
+TEST(Trace, EmptyScheduleGantt)
+{
+    TaskGraph g;
+    g.addResource("GPU");
+    const Schedule s = Scheduler().run(g);
+    EXPECT_EQ(toAsciiGantt(g, s), "(empty schedule)\n");
+}
+
+} // namespace
+} // namespace so::sim

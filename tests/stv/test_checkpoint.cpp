@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "data/synthetic_corpus.h"
+#include "nn/mlp_lm.h"
+#include "stv/trainer.h"
+
+namespace so::stv {
+namespace {
+
+nn::MlpLmConfig
+modelConfig()
+{
+    nn::MlpLmConfig cfg;
+    cfg.vocab = 64;
+    cfg.embed = 16;
+    cfg.hidden = 32;
+    return cfg;
+}
+
+TrainerConfig
+trainerConfig()
+{
+    TrainerConfig cfg;
+    cfg.adam.lr = 2e-3f;
+    cfg.loss_scale = 65536.0f;
+    cfg.clip_norm = 5.0;
+    cfg.buckets = 6;
+    cfg.rollback = RollbackMode::Snapshot;
+    return cfg;
+}
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+/** Pre-generate a deterministic batch stream. */
+std::vector<std::vector<std::uint32_t>>
+batchStream(int steps, std::size_t batch)
+{
+    data::CorpusConfig cc;
+    cc.vocab = 64;
+    cc.branching = 8;
+    cc.seed = 101;
+    data::SyntheticCorpus corpus(cc);
+    std::vector<std::vector<std::uint32_t>> stream;
+    for (int s = 0; s < steps; ++s) {
+        std::vector<std::uint32_t> in(batch), tgt(batch);
+        corpus.nextBatch(in.data(), tgt.data(), batch);
+        std::vector<std::uint32_t> both = in;
+        both.insert(both.end(), tgt.begin(), tgt.end());
+        stream.push_back(std::move(both));
+    }
+    return stream;
+}
+
+void
+runSteps(TrainerBase &trainer,
+         const std::vector<std::vector<std::uint32_t>> &stream, int from,
+         int to, std::size_t batch)
+{
+    for (int s = from; s < to; ++s) {
+        const std::uint32_t *in = stream[s].data();
+        const std::uint32_t *tgt = stream[s].data() + batch;
+        trainer.step(in, tgt, batch);
+    }
+}
+
+TEST(Checkpoint, ResumeReproducesUninterruptedRunBitwise)
+{
+    const std::size_t batch = 16;
+    const auto stream = batchStream(200, batch);
+    const std::string path = tempPath("so_ckpt_resume.bin");
+
+    // Uninterrupted reference run.
+    nn::MlpLm ref_model(modelConfig(), 5);
+    StvTrainer ref(ref_model, trainerConfig());
+    runSteps(ref, stream, 0, 200, batch);
+
+    // Interrupted run: 120 steps, checkpoint, fresh process state,
+    // resume for the remaining 80.
+    nn::MlpLm model_a(modelConfig(), 5);
+    {
+        StvTrainer first_half(model_a, trainerConfig());
+        runSteps(first_half, stream, 0, 120, batch);
+        ASSERT_TRUE(first_half.saveCheckpoint(path));
+    }
+    nn::MlpLm model_b(modelConfig(), 999); // Different init: must not matter.
+    StvTrainer second_half(model_b, trainerConfig());
+    ASSERT_TRUE(second_half.loadCheckpoint(path));
+    EXPECT_EQ(second_half.stepsTaken(), 120);
+    runSteps(second_half, stream, 120, 200, batch);
+
+    ASSERT_EQ(second_half.stepsTaken(), ref.stepsTaken());
+    EXPECT_EQ(second_half.lossScale(), ref.lossScale());
+    for (std::size_t i = 0; i < ref_model.paramCount(); ++i)
+        ASSERT_EQ(model_b.params()[i], ref_model.params()[i]) << i;
+
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, WorksAcrossTrainerKinds)
+{
+    // A SyncTrainer can resume from an StvTrainer's checkpoint: the
+    // state format is schedule-independent (the schedules are
+    // equivalent, after all).
+    const std::size_t batch = 16;
+    const auto stream = batchStream(100, batch);
+    const std::string path = tempPath("so_ckpt_kinds.bin");
+
+    nn::MlpLm model_a(modelConfig(), 7);
+    StvTrainer stv(model_a, trainerConfig());
+    runSteps(stv, stream, 0, 50, batch);
+    ASSERT_TRUE(stv.saveCheckpoint(path));
+    runSteps(stv, stream, 50, 100, batch);
+
+    nn::MlpLm model_b(modelConfig(), 7);
+    SyncTrainer sync(model_b, trainerConfig());
+    ASSERT_TRUE(sync.loadCheckpoint(path));
+    runSteps(sync, stream, 50, 100, batch);
+
+    for (std::size_t i = 0; i < model_a.paramCount(); ++i)
+        ASSERT_EQ(model_b.params()[i], model_a.params()[i]) << i;
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsShapeMismatch)
+{
+    const std::string path = tempPath("so_ckpt_shape.bin");
+    nn::MlpLm model(modelConfig(), 9);
+    SyncTrainer trainer(model, trainerConfig());
+    ASSERT_TRUE(trainer.saveCheckpoint(path));
+
+    // Different bucket count.
+    TrainerConfig other_cfg = trainerConfig();
+    other_cfg.buckets = 5;
+    nn::MlpLm model2(modelConfig(), 9);
+    SyncTrainer other(model2, other_cfg);
+    EXPECT_FALSE(other.loadCheckpoint(path));
+
+    // Different model size.
+    nn::MlpLmConfig big = modelConfig();
+    big.hidden = 64;
+    nn::MlpLm model3(big, 9);
+    SyncTrainer bigger(model3, trainerConfig());
+    EXPECT_FALSE(bigger.loadCheckpoint(path));
+
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbageFiles)
+{
+    const std::string path = tempPath("so_ckpt_garbage.bin");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("definitely not a checkpoint", f);
+        std::fclose(f);
+    }
+    nn::MlpLm model(modelConfig(), 11);
+    SyncTrainer trainer(model, trainerConfig());
+    EXPECT_FALSE(trainer.loadCheckpoint(path));
+    EXPECT_FALSE(trainer.loadCheckpoint("/nonexistent/ckpt.bin"));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace so::stv

@@ -1,0 +1,182 @@
+#include "stv/data_parallel_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/synthetic_corpus.h"
+#include "nn/attention_lm.h"
+
+namespace so::stv {
+namespace {
+
+nn::MlpLmConfig
+modelConfig()
+{
+    nn::MlpLmConfig cfg;
+    cfg.vocab = 64;
+    cfg.embed = 16;
+    cfg.hidden = 32;
+    return cfg;
+}
+
+data::SyntheticCorpus
+corpus(std::uint64_t seed)
+{
+    data::CorpusConfig cfg;
+    cfg.vocab = 64;
+    cfg.branching = 8;
+    cfg.seed = seed;
+    return data::SyntheticCorpus(cfg);
+}
+
+TrainerConfig
+trainerConfig()
+{
+    TrainerConfig cfg;
+    cfg.adam.lr = 2e-3f;
+    cfg.loss_scale = 1.0f;  // Equivalence tests want clean arithmetic.
+    cfg.fp16_grads = false; // Per-rank rounding would break exactness.
+    cfg.clip_norm = 100.0;
+    cfg.buckets = 8;
+    return cfg;
+}
+
+TEST(DataParallel, ReplicasStayBitwiseIdentical)
+{
+    DataParallelTrainer dp(modelConfig(), 4, trainerConfig(), 7);
+    auto data = corpus(11);
+    std::vector<std::uint32_t> in(4 * 8), tgt(4 * 8);
+    for (int step = 0; step < 50; ++step) {
+        data.nextBatch(in.data(), tgt.data(), in.size());
+        dp.step(in.data(), tgt.data(), 8);
+        ASSERT_TRUE(dp.replicasInSync()) << "step " << step;
+    }
+    EXPECT_EQ(dp.stepsTaken(), 50);
+}
+
+class DpDegreeTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(DpDegreeTest, MatchesSingleRankBigBatch)
+{
+    // The defining DP property: K ranks x count samples == one rank x
+    // K*count samples (up to float summation order in the reduce).
+    const std::uint32_t ranks = GetParam();
+    const std::size_t per_rank = 8;
+    DataParallelTrainer dp(modelConfig(), ranks, trainerConfig(), 21);
+
+    nn::MlpLm single_model(modelConfig(), 21);
+    SyncTrainer single(single_model, trainerConfig());
+
+    auto d1 = corpus(31), d2 = corpus(31);
+    const std::size_t total = ranks * per_rank;
+    std::vector<std::uint32_t> in(total), tgt(total);
+    for (int step = 0; step < 60; ++step) {
+        d1.nextBatch(in.data(), tgt.data(), total);
+        dp.step(in.data(), tgt.data(), per_rank);
+        d2.nextBatch(in.data(), tgt.data(), total);
+        single.step(in.data(), tgt.data(), total);
+    }
+    const nn::Model &dp_model = dp.replica(0);
+    for (std::size_t i = 0; i < dp_model.paramCount(); ++i) {
+        ASSERT_NEAR(dp_model.params()[i], single_model.params()[i],
+                    5e-4f * (1.0f + std::fabs(single_model.params()[i])))
+            << "param " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DpDegreeTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(DataParallel, SingleRankIsExactlySyncTrainer)
+{
+    // With one rank the DP machinery must collapse to the plain loop.
+    DataParallelTrainer dp(modelConfig(), 1, trainerConfig(), 33);
+    nn::MlpLm ref_model(modelConfig(), 33);
+    SyncTrainer ref(ref_model, trainerConfig());
+    auto d1 = corpus(41), d2 = corpus(41);
+    std::vector<std::uint32_t> in(16), tgt(16);
+    for (int step = 0; step < 80; ++step) {
+        d1.nextBatch(in.data(), tgt.data(), 16);
+        dp.step(in.data(), tgt.data(), 16);
+        d2.nextBatch(in.data(), tgt.data(), 16);
+        ref.step(in.data(), tgt.data(), 16);
+    }
+    for (std::size_t i = 0; i < ref_model.paramCount(); ++i)
+        ASSERT_EQ(dp.replica(0).params()[i], ref_model.params()[i]);
+}
+
+TEST(DataParallel, ConvergesWithMixedPrecision)
+{
+    TrainerConfig cfg = trainerConfig();
+    cfg.loss_scale = 4096.0f;
+    cfg.fp16_grads = true;
+    cfg.clip_norm = 5.0;
+    DataParallelTrainer dp(modelConfig(), 4, cfg, 51);
+    auto data = corpus(61);
+    std::vector<std::uint32_t> in(4 * 16), tgt(4 * 16);
+    float first = 0.0f, last = 0.0f;
+    for (int step = 0; step < 400; ++step) {
+        data.nextBatch(in.data(), tgt.data(), in.size());
+        const StepStats s = dp.step(in.data(), tgt.data(), 16);
+        if (step == 0)
+            first = s.loss;
+        last = s.loss;
+    }
+    EXPECT_LT(last, 0.75f * first);
+    EXPECT_TRUE(dp.replicasInSync());
+}
+
+TEST(DataParallel, OverflowSkipsGlobally)
+{
+    TrainerConfig cfg = trainerConfig();
+    cfg.loss_scale = 1e9f;
+    cfg.fp16_grads = true;
+    DataParallelTrainer dp(modelConfig(), 2, cfg, 71);
+    auto data = corpus(81);
+    std::vector<std::uint32_t> in(2 * 16), tgt(2 * 16);
+    data.nextBatch(in.data(), tgt.data(), in.size());
+    const StepStats stats = dp.step(in.data(), tgt.data(), 16);
+    EXPECT_TRUE(stats.overflowed);
+    EXPECT_EQ(dp.stepsTaken(), 0);
+    EXPECT_TRUE(dp.replicasInSync());
+}
+
+TEST(DataParallel, FactoryFormSupportsAttentionReplicas)
+{
+    // The generic constructor accepts any Model; attention replicas
+    // train in sync exactly like MLPs.
+    nn::AttentionLmConfig acfg;
+    acfg.vocab = 16;
+    acfg.embed = 8;
+    acfg.hidden = 12;
+    DataParallelTrainer dp(
+        [&acfg] { return std::make_unique<nn::AttentionLm>(acfg, 3); },
+        2, trainerConfig());
+    data::CorpusConfig cc;
+    cc.vocab = 16;
+    cc.branching = 4;
+    cc.seed = 91;
+    data::SyntheticCorpus data(cc);
+    std::vector<std::uint32_t> in(2 * 12), tgt(2 * 12);
+    for (int step = 0; step < 30; ++step) {
+        data.nextBatch(in.data(), tgt.data(), in.size());
+        dp.step(in.data(), tgt.data(), 12);
+        ASSERT_TRUE(dp.replicasInSync());
+    }
+    EXPECT_EQ(dp.stepsTaken(), 30);
+}
+
+TEST(DataParallelDeath, NeedsShardPerRank)
+{
+    TrainerConfig cfg = trainerConfig();
+    cfg.buckets = 2;
+    EXPECT_DEATH(DataParallelTrainer(modelConfig(), 4, cfg, 1),
+                 "shard per rank");
+}
+
+} // namespace
+} // namespace so::stv

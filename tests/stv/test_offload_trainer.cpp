@@ -1,0 +1,179 @@
+#include "stv/offload_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/synthetic_corpus.h"
+#include "nn/mlp_lm.h"
+#include "optim/kernels.h"
+
+namespace so::stv {
+namespace {
+
+nn::MlpLmConfig
+modelConfig()
+{
+    nn::MlpLmConfig cfg;
+    cfg.vocab = 64;
+    cfg.embed = 16;
+    cfg.hidden = 32;
+    return cfg;
+}
+
+data::SyntheticCorpus
+corpus(std::uint64_t seed)
+{
+    data::CorpusConfig cfg;
+    cfg.vocab = 64;
+    cfg.branching = 8;
+    cfg.seed = seed;
+    return data::SyntheticCorpus(cfg);
+}
+
+TrainerConfig
+trainerConfig()
+{
+    TrainerConfig cfg;
+    cfg.adam.lr = 2e-3f;
+    cfg.loss_scale = 4096.0f;
+    cfg.clip_norm = 5.0;
+    cfg.buckets = 6;
+    return cfg;
+}
+
+TEST(OffloadTrainer, ConvergesWithFp16Weights)
+{
+    nn::MlpLm model(modelConfig(), 3);
+    OffloadTrainer trainer(model, trainerConfig());
+    auto data = corpus(17);
+    std::vector<std::uint32_t> in(32), tgt(32);
+    float first = 0.0f, last = 0.0f;
+    for (int step = 0; step < 600; ++step) {
+        data.nextBatch(in.data(), tgt.data(), 32);
+        const StepStats s = trainer.step(in.data(), tgt.data(), 32);
+        if (step == 0)
+            first = s.loss;
+        last = s.loss;
+    }
+    EXPECT_LT(last, 0.75f * first);
+    EXPECT_EQ(trainer.stepsTaken(), 600);
+}
+
+TEST(OffloadTrainer, DeviceParamsAreAlwaysTheFp16Shadow)
+{
+    // The invariant mixed-precision training guarantees: the device
+    // copy equals the fp16 rounding of the fp32 master, bit for bit.
+    nn::MlpLm model(modelConfig(), 5);
+    OffloadTrainer trainer(model, trainerConfig());
+    auto data = corpus(23);
+    std::vector<std::uint32_t> in(16), tgt(16);
+    for (int step = 0; step < 50; ++step) {
+        data.nextBatch(in.data(), tgt.data(), 16);
+        trainer.step(in.data(), tgt.data(), 16);
+        const auto &master = trainer.masterParams();
+        const auto &device = trainer.deviceParams();
+        for (std::size_t i = 0; i < master.size(); ++i) {
+            ASSERT_EQ(device[i].bits,
+                      optim::floatToHalf(master[i]).bits)
+                << "step " << step << " param " << i;
+        }
+    }
+}
+
+TEST(OffloadTrainer, SacAndClassicPipelinesAreNumericallyIdentical)
+{
+    // §4.5's claim is about COST, not values: both casting pipelines
+    // must deliver identical numerics; they differ only in wire bytes.
+    nn::MlpLm model_sac(modelConfig(), 7);
+    nn::MlpLm model_classic(modelConfig(), 7);
+    OffloadTrainer sac(model_sac, trainerConfig(),
+                       CastStrategy::CastGpuMoveFp32);
+    OffloadTrainer classic(model_classic, trainerConfig(),
+                           CastStrategy::CastCpuMoveFp16);
+    auto d1 = corpus(31), d2 = corpus(31);
+    std::vector<std::uint32_t> in(16), tgt(16);
+    for (int step = 0; step < 100; ++step) {
+        d1.nextBatch(in.data(), tgt.data(), 16);
+        sac.step(in.data(), tgt.data(), 16);
+        d2.nextBatch(in.data(), tgt.data(), 16);
+        classic.step(in.data(), tgt.data(), 16);
+    }
+    for (std::size_t i = 0; i < sac.masterParams().size(); ++i)
+        ASSERT_EQ(sac.masterParams()[i], classic.masterParams()[i]);
+    // SAC ships fp32 both ways: exactly twice the classic volume.
+    EXPECT_EQ(sac.bytesMoved(), 2u * classic.bytesMoved());
+}
+
+TEST(OffloadTrainer, OverflowSkipsWithoutTouchingState)
+{
+    nn::MlpLm model(modelConfig(), 9);
+    TrainerConfig cfg = trainerConfig();
+    cfg.loss_scale = 1e9f;
+    OffloadTrainer trainer(model, cfg);
+    const std::vector<float> master_before = trainer.masterParams();
+    auto data = corpus(41);
+    std::vector<std::uint32_t> in(16), tgt(16);
+    data.nextBatch(in.data(), tgt.data(), 16);
+    const StepStats stats = trainer.step(in.data(), tgt.data(), 16);
+    EXPECT_TRUE(stats.overflowed);
+    EXPECT_EQ(trainer.stepsTaken(), 0);
+    EXPECT_LT(trainer.lossScale(), 1e9f);
+    EXPECT_EQ(trainer.masterParams(), master_before);
+}
+
+TEST(OffloadTrainer, MatchesDirectMixedPrecisionReference)
+{
+    // Reference: the same mixed-precision math with no staging at all.
+    nn::MlpLm staged_model(modelConfig(), 11);
+    nn::MlpLm ref_model(modelConfig(), 11);
+    TrainerConfig cfg = trainerConfig();
+    cfg.clip_norm = 100.0; // The bare reference below never clips.
+    OffloadTrainer staged(staged_model, cfg);
+
+    const std::size_t n = ref_model.paramCount();
+    std::vector<float> master(ref_model.params(),
+                              ref_model.params() + n);
+    optim::Adam ref_adam(cfg.adam, cfg.kernel);
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    for (std::uint32_t b = 0; b < cfg.buckets; ++b) {
+        const std::size_t base = n / cfg.buckets;
+        const std::size_t extra = n % cfg.buckets;
+        const std::size_t begin =
+            b * base + std::min<std::size_t>(b, extra);
+        const std::size_t end = begin + base + (b < extra ? 1 : 0);
+        ranges.emplace_back(begin, end);
+        ref_adam.addParameter(end - begin);
+    }
+
+    auto d1 = corpus(53), d2 = corpus(53);
+    std::vector<std::uint32_t> in(16), tgt(16);
+    for (int step = 0; step < 80; ++step) {
+        d1.nextBatch(in.data(), tgt.data(), 16);
+        staged.step(in.data(), tgt.data(), 16);
+
+        d2.nextBatch(in.data(), tgt.data(), 16);
+        // Reference: compute with fp16-rounded weights...
+        for (std::size_t i = 0; i < n; ++i) {
+            ref_model.params()[i] = optim::halfToFloat(
+                optim::floatToHalf(master[i]));
+        }
+        ref_model.trainBatch(in.data(), tgt.data(), 16,
+                             cfg.loss_scale);
+        // ...round gradients through fp16, unscale, step the master.
+        ref_model.roundGradsThroughFp16();
+        optim::scaleInPlace(ref_model.grads(), n, 1.0f / cfg.loss_scale);
+        for (std::uint32_t b = 0; b < cfg.buckets; ++b) {
+            ref_adam.step(b, master.data() + ranges[b].first,
+                          ref_model.grads() + ranges[b].first);
+        }
+
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(staged.masterParams()[i], master[i])
+                << "step " << step << " param " << i;
+    }
+}
+
+} // namespace
+} // namespace so::stv

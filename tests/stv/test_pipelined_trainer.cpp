@@ -1,0 +1,198 @@
+#include "stv/pipelined_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/synthetic_corpus.h"
+#include "nn/mlp_lm.h"
+
+namespace so::stv {
+namespace {
+
+nn::MlpLmConfig
+modelConfig()
+{
+    nn::MlpLmConfig cfg;
+    cfg.vocab = 64;
+    cfg.embed = 16;
+    cfg.hidden = 32;
+    return cfg;
+}
+
+data::SyntheticCorpus
+corpus(std::uint64_t seed)
+{
+    data::CorpusConfig cfg;
+    cfg.vocab = 64;
+    cfg.branching = 8;
+    cfg.seed = seed;
+    return data::SyntheticCorpus(cfg);
+}
+
+TrainerConfig
+trainerConfig()
+{
+    TrainerConfig cfg;
+    cfg.adam.lr = 2e-3f;
+    cfg.loss_scale = 1.0e6f; // Warm-up overflows guaranteed.
+    cfg.clip_norm = 0.9;     // Clipping fires in warm-up too.
+    cfg.buckets = 6;
+    cfg.rollback = RollbackMode::Snapshot;
+    return cfg;
+}
+
+TEST(PipelinedStv, ConvergesWithBackgroundValidation)
+{
+    nn::MlpLm model(modelConfig(), 3);
+    TrainerConfig cfg = trainerConfig();
+    cfg.clip_norm = 5.0;
+    PipelinedStvTrainer trainer(model, cfg);
+    auto data = corpus(17);
+    std::vector<std::uint32_t> in(32), tgt(32);
+    float first = 0.0f, last = 0.0f;
+    for (int step = 0; step < 600; ++step) {
+        data.nextBatch(in.data(), tgt.data(), 32);
+        const StepStats s = trainer.step(in.data(), tgt.data(), 32);
+        if (step == 0)
+            first = s.loss;
+        last = s.loss;
+    }
+    trainer.drain();
+    EXPECT_LT(last, 0.75f * first);
+    EXPECT_GT(trainer.rollbackCount(), 0u);
+}
+
+TEST(PipelinedStv, TrajectoryBitwiseMatchesSynchronous)
+{
+    // The load-bearing concurrency test: despite validation running on
+    // a background thread one step behind, the settled trajectory must
+    // equal the synchronous schedule bit for bit (snapshot rollback).
+    nn::MlpLm pipe_model(modelConfig(), 7);
+    nn::MlpLm sync_model(modelConfig(), 7);
+    const TrainerConfig cfg = trainerConfig();
+    PipelinedStvTrainer pipe(pipe_model, cfg);
+    SyncTrainer sync(sync_model, cfg);
+    auto pipe_data = corpus(33);
+    auto sync_data = corpus(33);
+
+    std::vector<std::uint32_t> in(16), tgt(16);
+    for (int step = 0; step < 300; ++step) {
+        pipe_data.nextBatch(in.data(), tgt.data(), 16);
+        pipe.step(in.data(), tgt.data(), 16);
+        sync_data.nextBatch(in.data(), tgt.data(), 16);
+        sync.step(in.data(), tgt.data(), 16);
+    }
+    // The pipelined trainer is one validation behind: settle it.
+    pipe.drain();
+
+    ASSERT_EQ(pipe.stepsTaken(), sync.stepsTaken());
+    EXPECT_EQ(pipe.lossScale(), sync.lossScale());
+    for (std::size_t i = 0; i < pipe_model.paramCount(); ++i) {
+        ASSERT_EQ(pipe_model.params()[i], sync_model.params()[i])
+            << "param " << i;
+    }
+}
+
+TEST(PipelinedStv, RecomputesForwardAfterMisSpeculation)
+{
+    nn::MlpLm model(modelConfig(), 9);
+    PipelinedStvTrainer trainer(model, trainerConfig());
+    auto data = corpus(55);
+    std::vector<std::uint32_t> in(16), tgt(16);
+    for (int step = 0; step < 100; ++step) {
+        data.nextBatch(in.data(), tgt.data(), 16);
+        trainer.step(in.data(), tgt.data(), 16);
+    }
+    trainer.drain();
+    // The warm-up overflows and clips forced wasted-forward recomputes.
+    EXPECT_GT(trainer.recomputeCount(), 0u);
+    EXPECT_GE(trainer.recomputeCount(), trainer.rollbackCount());
+}
+
+TEST(PipelinedStv, VerdictsArriveOneStepLate)
+{
+    // The first step can never report a validation outcome (nothing
+    // was in flight); a guaranteed overflow surfaces on step two.
+    nn::MlpLm model(modelConfig(), 11);
+    TrainerConfig cfg = trainerConfig();
+    cfg.loss_scale = 1e9f;
+    PipelinedStvTrainer trainer(model, cfg);
+    auto data = corpus(66);
+    std::vector<std::uint32_t> in(16), tgt(16);
+
+    data.nextBatch(in.data(), tgt.data(), 16);
+    const StepStats first = trainer.step(in.data(), tgt.data(), 16);
+    EXPECT_FALSE(first.overflowed);
+    EXPECT_FALSE(first.rolled_back);
+
+    data.nextBatch(in.data(), tgt.data(), 16);
+    const StepStats second = trainer.step(in.data(), tgt.data(), 16);
+    EXPECT_TRUE(second.overflowed);
+    EXPECT_TRUE(second.rolled_back);
+    trainer.drain();
+}
+
+TEST(PipelinedStv, ExactUnderLearningRateSchedule)
+{
+    // The schedule introduces a rate change at every step; pipelined
+    // and synchronous schedules must still agree bitwise (the rollback
+    // must revert with the rate the speculation used).
+    nn::MlpLm pipe_model(modelConfig(), 21);
+    nn::MlpLm sync_model(modelConfig(), 21);
+    TrainerConfig cfg = trainerConfig();
+    cfg.lr_schedule = optim::LrSchedule(2e-3f, 20, 200,
+                                        optim::LrDecay::Cosine, 1e-5f);
+    PipelinedStvTrainer pipe(pipe_model, cfg);
+    SyncTrainer sync(sync_model, cfg);
+    auto d1 = corpus(91), d2 = corpus(91);
+    std::vector<std::uint32_t> in(16), tgt(16);
+    for (int step = 0; step < 200; ++step) {
+        d1.nextBatch(in.data(), tgt.data(), 16);
+        pipe.step(in.data(), tgt.data(), 16);
+        d2.nextBatch(in.data(), tgt.data(), 16);
+        sync.step(in.data(), tgt.data(), 16);
+    }
+    pipe.drain();
+    for (std::size_t i = 0; i < pipe_model.paramCount(); ++i)
+        ASSERT_EQ(pipe_model.params()[i], sync_model.params()[i]);
+}
+
+TEST(PipelinedStv, DrainIsIdempotent)
+{
+    nn::MlpLm model(modelConfig(), 13);
+    PipelinedStvTrainer trainer(model, trainerConfig());
+    auto data = corpus(77);
+    std::vector<std::uint32_t> in(16), tgt(16);
+    data.nextBatch(in.data(), tgt.data(), 16);
+    trainer.step(in.data(), tgt.data(), 16);
+    trainer.drain();
+    const std::uint64_t after_first = trainer.rollbackCount();
+    trainer.drain();
+    EXPECT_EQ(trainer.rollbackCount(), after_first);
+}
+
+TEST(PipelinedStv, AlgebraicModeAlsoConverges)
+{
+    nn::MlpLm model(modelConfig(), 15);
+    TrainerConfig cfg = trainerConfig();
+    cfg.rollback = RollbackMode::Algebraic;
+    cfg.clip_norm = 5.0;
+    PipelinedStvTrainer trainer(model, cfg);
+    auto data = corpus(88);
+    std::vector<std::uint32_t> in(32), tgt(32);
+    float first = 0.0f, last = 0.0f;
+    for (int step = 0; step < 500; ++step) {
+        data.nextBatch(in.data(), tgt.data(), 32);
+        const StepStats s = trainer.step(in.data(), tgt.data(), 32);
+        if (step == 0)
+            first = s.loss;
+        last = s.loss;
+    }
+    trainer.drain();
+    EXPECT_LT(last, 0.8f * first);
+}
+
+} // namespace
+} // namespace so::stv
