@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_casting"
+  "../bench/bench_fig09_casting.pdb"
+  "CMakeFiles/bench_fig09_casting.dir/fig09_casting.cpp.o"
+  "CMakeFiles/bench_fig09_casting.dir/fig09_casting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_casting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_multi_superchip"
+  "../bench/bench_fig11_multi_superchip.pdb"
+  "CMakeFiles/bench_fig11_multi_superchip.dir/fig11_multi_superchip.cpp.o"
+  "CMakeFiles/bench_fig11_multi_superchip.dir/fig11_multi_superchip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_multi_superchip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_ulysses"
+  "../bench/bench_fig12_ulysses.pdb"
+  "CMakeFiles/bench_fig12_ulysses.dir/fig12_ulysses.cpp.o"
+  "CMakeFiles/bench_fig12_ulysses.dir/fig12_ulysses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ulysses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_gpu_utilization"
+  "../bench/bench_fig15_gpu_utilization.pdb"
+  "CMakeFiles/bench_fig15_gpu_utilization.dir/fig15_gpu_utilization.cpp.o"
+  "CMakeFiles/bench_fig15_gpu_utilization.dir/fig15_gpu_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_gpu_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

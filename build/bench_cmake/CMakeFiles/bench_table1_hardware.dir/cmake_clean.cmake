@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_hardware"
+  "../bench/bench_table1_hardware.pdb"
+  "CMakeFiles/bench_table1_hardware.dir/table1_hardware.cpp.o"
+  "CMakeFiles/bench_table1_hardware.dir/table1_hardware.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_graceadam"
+  "../bench/bench_table3_graceadam.pdb"
+  "CMakeFiles/bench_table3_graceadam.dir/table3_graceadam.cpp.o"
+  "CMakeFiles/bench_table3_graceadam.dir/table3_graceadam.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_graceadam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

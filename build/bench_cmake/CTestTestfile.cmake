@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench_cmake
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[smoke_bench_table1_hardware]=] "/root/repo/build/bench/bench_table1_hardware")
+set_tests_properties([=[smoke_bench_table1_hardware]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[smoke_bench_table2_ablation]=] "/root/repo/build/bench/bench_table2_ablation")
+set_tests_properties([=[smoke_bench_table2_ablation]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[smoke_bench_table3_graceadam]=] "/root/repo/build/bench/bench_table3_graceadam")
+set_tests_properties([=[smoke_bench_table3_graceadam]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[smoke_bench_fig04_idle_time]=] "/root/repo/build/bench/bench_fig04_idle_time")
+set_tests_properties([=[smoke_bench_fig04_idle_time]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[smoke_bench_fig06_efficiency]=] "/root/repo/build/bench/bench_fig06_efficiency")
+set_tests_properties([=[smoke_bench_fig06_efficiency]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[smoke_bench_fig07_bandwidth]=] "/root/repo/build/bench/bench_fig07_bandwidth")
+set_tests_properties([=[smoke_bench_fig07_bandwidth]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[smoke_bench_fig09_casting]=] "/root/repo/build/bench/bench_fig09_casting")
+set_tests_properties([=[smoke_bench_fig09_casting]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[smoke_bench_fig10_single_superchip]=] "/root/repo/build/bench/bench_fig10_single_superchip")
+set_tests_properties([=[smoke_bench_fig10_single_superchip]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[smoke_bench_fig11_multi_superchip]=] "/root/repo/build/bench/bench_fig11_multi_superchip")
+set_tests_properties([=[smoke_bench_fig11_multi_superchip]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[smoke_bench_fig12_ulysses]=] "/root/repo/build/bench/bench_fig12_ulysses")
+set_tests_properties([=[smoke_bench_fig12_ulysses]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[smoke_bench_fig13_model_scale]=] "/root/repo/build/bench/bench_fig13_model_scale")
+set_tests_properties([=[smoke_bench_fig13_model_scale]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[smoke_bench_fig14_stv_convergence]=] "/root/repo/build/bench/bench_fig14_stv_convergence")
+set_tests_properties([=[smoke_bench_fig14_stv_convergence]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[smoke_bench_fig15_gpu_utilization]=] "/root/repo/build/bench/bench_fig15_gpu_utilization")
+set_tests_properties([=[smoke_bench_fig15_gpu_utilization]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[smoke_bench_ablation_bucket_size]=] "/root/repo/build/bench/bench_ablation_bucket_size")
+set_tests_properties([=[smoke_bench_ablation_bucket_size]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")

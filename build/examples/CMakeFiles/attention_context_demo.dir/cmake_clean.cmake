@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_context_demo.dir/attention_context_demo.cpp.o"
+  "CMakeFiles/attention_context_demo.dir/attention_context_demo.cpp.o.d"
+  "attention_context_demo"
+  "attention_context_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_context_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/era_contrast.dir/era_contrast.cpp.o"
+  "CMakeFiles/era_contrast.dir/era_contrast.cpp.o.d"
+  "era_contrast"
+  "era_contrast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/era_contrast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

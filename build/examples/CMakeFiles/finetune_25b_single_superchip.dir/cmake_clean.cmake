@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_25b_single_superchip.dir/finetune_25b_single_superchip.cpp.o"
+  "CMakeFiles/finetune_25b_single_superchip.dir/finetune_25b_single_superchip.cpp.o.d"
+  "finetune_25b_single_superchip"
+  "finetune_25b_single_superchip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_25b_single_superchip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

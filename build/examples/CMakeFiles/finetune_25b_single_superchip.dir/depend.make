@@ -1,0 +1,2 @@
+# Empty dependencies file for finetune_25b_single_superchip.
+# This may be replaced when dependencies are built.

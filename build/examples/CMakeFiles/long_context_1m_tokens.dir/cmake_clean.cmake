@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_context_1m_tokens.dir/long_context_1m_tokens.cpp.o"
+  "CMakeFiles/long_context_1m_tokens.dir/long_context_1m_tokens.cpp.o.d"
+  "long_context_1m_tokens"
+  "long_context_1m_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_context_1m_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/next_gen_superchips.dir/next_gen_superchips.cpp.o"
+  "CMakeFiles/next_gen_superchips.dir/next_gen_superchips.cpp.o.d"
+  "next_gen_superchips"
+  "next_gen_superchips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/next_gen_superchips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stv_training_demo.dir/stv_training_demo.cpp.o"
+  "CMakeFiles/stv_training_demo.dir/stv_training_demo.cpp.o.d"
+  "stv_training_demo"
+  "stv_training_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stv_training_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

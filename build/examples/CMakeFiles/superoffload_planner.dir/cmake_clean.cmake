@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superoffload_planner.dir/superoffload_planner.cpp.o"
+  "CMakeFiles/superoffload_planner.dir/superoffload_planner.cpp.o.d"
+  "superoffload_planner"
+  "superoffload_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superoffload_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

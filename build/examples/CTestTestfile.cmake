@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_finetune_25b_single_superchip]=] "/root/repo/build/examples/finetune_25b_single_superchip")
+set_tests_properties([=[example_finetune_25b_single_superchip]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_long_context_1m_tokens]=] "/root/repo/build/examples/long_context_1m_tokens")
+set_tests_properties([=[example_long_context_1m_tokens]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_stv_training_demo]=] "/root/repo/build/examples/stv_training_demo")
+set_tests_properties([=[example_stv_training_demo]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_next_gen_superchips]=] "/root/repo/build/examples/next_gen_superchips")
+set_tests_properties([=[example_next_gen_superchips]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_era_contrast]=] "/root/repo/build/examples/era_contrast")
+set_tests_properties([=[example_era_contrast]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_attention_context_demo]=] "/root/repo/build/examples/attention_context_demo")
+set_tests_properties([=[example_attention_context_demo]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_planner_cli]=] "/root/repo/build/examples/superoffload_planner" "--model" "5B" "--chips" "1" "--batch" "8" "--json")
+set_tests_properties([=[example_planner_cli]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_planner_list_models]=] "/root/repo/build/examples/superoffload_planner" "--list-models")
+set_tests_properties([=[example_planner_list_models]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

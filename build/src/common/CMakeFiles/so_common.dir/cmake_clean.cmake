@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_common.dir/argparse.cpp.o"
+  "CMakeFiles/so_common.dir/argparse.cpp.o.d"
+  "CMakeFiles/so_common.dir/config_file.cpp.o"
+  "CMakeFiles/so_common.dir/config_file.cpp.o.d"
+  "CMakeFiles/so_common.dir/json.cpp.o"
+  "CMakeFiles/so_common.dir/json.cpp.o.d"
+  "CMakeFiles/so_common.dir/logging.cpp.o"
+  "CMakeFiles/so_common.dir/logging.cpp.o.d"
+  "CMakeFiles/so_common.dir/stats.cpp.o"
+  "CMakeFiles/so_common.dir/stats.cpp.o.d"
+  "CMakeFiles/so_common.dir/table.cpp.o"
+  "CMakeFiles/so_common.dir/table.cpp.o.d"
+  "CMakeFiles/so_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/so_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/so_common.dir/units.cpp.o"
+  "CMakeFiles/so_common.dir/units.cpp.o.d"
+  "libso_common.a"
+  "libso_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

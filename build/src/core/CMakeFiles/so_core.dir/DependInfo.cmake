@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bucketization.cpp" "src/core/CMakeFiles/so_core.dir/bucketization.cpp.o" "gcc" "src/core/CMakeFiles/so_core.dir/bucketization.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/so_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/so_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/so_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/so_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/report_json.cpp" "src/core/CMakeFiles/so_core.dir/report_json.cpp.o" "gcc" "src/core/CMakeFiles/so_core.dir/report_json.cpp.o.d"
+  "/root/repo/src/core/sac.cpp" "src/core/CMakeFiles/so_core.dir/sac.cpp.o" "gcc" "src/core/CMakeFiles/so_core.dir/sac.cpp.o.d"
+  "/root/repo/src/core/superoffload.cpp" "src/core/CMakeFiles/so_core.dir/superoffload.cpp.o" "gcc" "src/core/CMakeFiles/so_core.dir/superoffload.cpp.o.d"
+  "/root/repo/src/core/superoffload_ulysses.cpp" "src/core/CMakeFiles/so_core.dir/superoffload_ulysses.cpp.o" "gcc" "src/core/CMakeFiles/so_core.dir/superoffload_ulysses.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/so_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/so_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/so_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/so_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/so_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_core.dir/bucketization.cpp.o"
+  "CMakeFiles/so_core.dir/bucketization.cpp.o.d"
+  "CMakeFiles/so_core.dir/engine.cpp.o"
+  "CMakeFiles/so_core.dir/engine.cpp.o.d"
+  "CMakeFiles/so_core.dir/policy.cpp.o"
+  "CMakeFiles/so_core.dir/policy.cpp.o.d"
+  "CMakeFiles/so_core.dir/report_json.cpp.o"
+  "CMakeFiles/so_core.dir/report_json.cpp.o.d"
+  "CMakeFiles/so_core.dir/sac.cpp.o"
+  "CMakeFiles/so_core.dir/sac.cpp.o.d"
+  "CMakeFiles/so_core.dir/superoffload.cpp.o"
+  "CMakeFiles/so_core.dir/superoffload.cpp.o.d"
+  "CMakeFiles/so_core.dir/superoffload_ulysses.cpp.o"
+  "CMakeFiles/so_core.dir/superoffload_ulysses.cpp.o.d"
+  "libso_core.a"
+  "libso_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

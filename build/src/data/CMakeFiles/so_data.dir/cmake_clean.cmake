@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_data.dir/synthetic_corpus.cpp.o"
+  "CMakeFiles/so_data.dir/synthetic_corpus.cpp.o.d"
+  "libso_data.a"
+  "libso_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

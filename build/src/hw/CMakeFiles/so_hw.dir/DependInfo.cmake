@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/bandwidth.cpp" "src/hw/CMakeFiles/so_hw.dir/bandwidth.cpp.o" "gcc" "src/hw/CMakeFiles/so_hw.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/hw/collective.cpp" "src/hw/CMakeFiles/so_hw.dir/collective.cpp.o" "gcc" "src/hw/CMakeFiles/so_hw.dir/collective.cpp.o.d"
+  "/root/repo/src/hw/presets.cpp" "src/hw/CMakeFiles/so_hw.dir/presets.cpp.o" "gcc" "src/hw/CMakeFiles/so_hw.dir/presets.cpp.o.d"
+  "/root/repo/src/hw/topology.cpp" "src/hw/CMakeFiles/so_hw.dir/topology.cpp.o" "gcc" "src/hw/CMakeFiles/so_hw.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/so_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

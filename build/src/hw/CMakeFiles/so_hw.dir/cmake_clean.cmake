@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_hw.dir/bandwidth.cpp.o"
+  "CMakeFiles/so_hw.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/so_hw.dir/collective.cpp.o"
+  "CMakeFiles/so_hw.dir/collective.cpp.o.d"
+  "CMakeFiles/so_hw.dir/presets.cpp.o"
+  "CMakeFiles/so_hw.dir/presets.cpp.o.d"
+  "CMakeFiles/so_hw.dir/topology.cpp.o"
+  "CMakeFiles/so_hw.dir/topology.cpp.o.d"
+  "libso_hw.a"
+  "libso_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libso_hw.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/config.cpp" "src/model/CMakeFiles/so_model.dir/config.cpp.o" "gcc" "src/model/CMakeFiles/so_model.dir/config.cpp.o.d"
+  "/root/repo/src/model/flops.cpp" "src/model/CMakeFiles/so_model.dir/flops.cpp.o" "gcc" "src/model/CMakeFiles/so_model.dir/flops.cpp.o.d"
+  "/root/repo/src/model/memory.cpp" "src/model/CMakeFiles/so_model.dir/memory.cpp.o" "gcc" "src/model/CMakeFiles/so_model.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/so_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/so_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

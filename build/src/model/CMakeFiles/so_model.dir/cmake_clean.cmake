@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_model.dir/config.cpp.o"
+  "CMakeFiles/so_model.dir/config.cpp.o.d"
+  "CMakeFiles/so_model.dir/flops.cpp.o"
+  "CMakeFiles/so_model.dir/flops.cpp.o.d"
+  "CMakeFiles/so_model.dir/memory.cpp.o"
+  "CMakeFiles/so_model.dir/memory.cpp.o.d"
+  "libso_model.a"
+  "libso_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

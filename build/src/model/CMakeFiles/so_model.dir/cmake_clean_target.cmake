@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libso_model.a"
+)

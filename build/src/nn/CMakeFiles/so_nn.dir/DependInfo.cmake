@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention_lm.cpp" "src/nn/CMakeFiles/so_nn.dir/attention_lm.cpp.o" "gcc" "src/nn/CMakeFiles/so_nn.dir/attention_lm.cpp.o.d"
+  "/root/repo/src/nn/mlp_lm.cpp" "src/nn/CMakeFiles/so_nn.dir/mlp_lm.cpp.o" "gcc" "src/nn/CMakeFiles/so_nn.dir/mlp_lm.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/so_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/so_nn.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/so_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/so_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

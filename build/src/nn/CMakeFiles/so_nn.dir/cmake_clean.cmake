@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_nn.dir/attention_lm.cpp.o"
+  "CMakeFiles/so_nn.dir/attention_lm.cpp.o.d"
+  "CMakeFiles/so_nn.dir/mlp_lm.cpp.o"
+  "CMakeFiles/so_nn.dir/mlp_lm.cpp.o.d"
+  "CMakeFiles/so_nn.dir/model.cpp.o"
+  "CMakeFiles/so_nn.dir/model.cpp.o.d"
+  "libso_nn.a"
+  "libso_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

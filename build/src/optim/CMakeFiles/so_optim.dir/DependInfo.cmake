@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/adam.cpp" "src/optim/CMakeFiles/so_optim.dir/adam.cpp.o" "gcc" "src/optim/CMakeFiles/so_optim.dir/adam.cpp.o.d"
+  "/root/repo/src/optim/half.cpp" "src/optim/CMakeFiles/so_optim.dir/half.cpp.o" "gcc" "src/optim/CMakeFiles/so_optim.dir/half.cpp.o.d"
+  "/root/repo/src/optim/kernels.cpp" "src/optim/CMakeFiles/so_optim.dir/kernels.cpp.o" "gcc" "src/optim/CMakeFiles/so_optim.dir/kernels.cpp.o.d"
+  "/root/repo/src/optim/lr_schedule.cpp" "src/optim/CMakeFiles/so_optim.dir/lr_schedule.cpp.o" "gcc" "src/optim/CMakeFiles/so_optim.dir/lr_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/so_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

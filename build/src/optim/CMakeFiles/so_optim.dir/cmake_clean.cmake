@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_optim.dir/adam.cpp.o"
+  "CMakeFiles/so_optim.dir/adam.cpp.o.d"
+  "CMakeFiles/so_optim.dir/half.cpp.o"
+  "CMakeFiles/so_optim.dir/half.cpp.o.d"
+  "CMakeFiles/so_optim.dir/kernels.cpp.o"
+  "CMakeFiles/so_optim.dir/kernels.cpp.o.d"
+  "CMakeFiles/so_optim.dir/lr_schedule.cpp.o"
+  "CMakeFiles/so_optim.dir/lr_schedule.cpp.o.d"
+  "libso_optim.a"
+  "libso_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

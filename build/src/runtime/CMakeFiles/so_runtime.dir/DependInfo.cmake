@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/builder.cpp" "src/runtime/CMakeFiles/so_runtime.dir/builder.cpp.o" "gcc" "src/runtime/CMakeFiles/so_runtime.dir/builder.cpp.o.d"
+  "/root/repo/src/runtime/ddp.cpp" "src/runtime/CMakeFiles/so_runtime.dir/ddp.cpp.o" "gcc" "src/runtime/CMakeFiles/so_runtime.dir/ddp.cpp.o.d"
+  "/root/repo/src/runtime/deep_opt_states.cpp" "src/runtime/CMakeFiles/so_runtime.dir/deep_opt_states.cpp.o" "gcc" "src/runtime/CMakeFiles/so_runtime.dir/deep_opt_states.cpp.o.d"
+  "/root/repo/src/runtime/fsdp_offload.cpp" "src/runtime/CMakeFiles/so_runtime.dir/fsdp_offload.cpp.o" "gcc" "src/runtime/CMakeFiles/so_runtime.dir/fsdp_offload.cpp.o.d"
+  "/root/repo/src/runtime/megatron.cpp" "src/runtime/CMakeFiles/so_runtime.dir/megatron.cpp.o" "gcc" "src/runtime/CMakeFiles/so_runtime.dir/megatron.cpp.o.d"
+  "/root/repo/src/runtime/pipeline.cpp" "src/runtime/CMakeFiles/so_runtime.dir/pipeline.cpp.o" "gcc" "src/runtime/CMakeFiles/so_runtime.dir/pipeline.cpp.o.d"
+  "/root/repo/src/runtime/registry.cpp" "src/runtime/CMakeFiles/so_runtime.dir/registry.cpp.o" "gcc" "src/runtime/CMakeFiles/so_runtime.dir/registry.cpp.o.d"
+  "/root/repo/src/runtime/scale.cpp" "src/runtime/CMakeFiles/so_runtime.dir/scale.cpp.o" "gcc" "src/runtime/CMakeFiles/so_runtime.dir/scale.cpp.o.d"
+  "/root/repo/src/runtime/system.cpp" "src/runtime/CMakeFiles/so_runtime.dir/system.cpp.o" "gcc" "src/runtime/CMakeFiles/so_runtime.dir/system.cpp.o.d"
+  "/root/repo/src/runtime/ulysses.cpp" "src/runtime/CMakeFiles/so_runtime.dir/ulysses.cpp.o" "gcc" "src/runtime/CMakeFiles/so_runtime.dir/ulysses.cpp.o.d"
+  "/root/repo/src/runtime/zero.cpp" "src/runtime/CMakeFiles/so_runtime.dir/zero.cpp.o" "gcc" "src/runtime/CMakeFiles/so_runtime.dir/zero.cpp.o.d"
+  "/root/repo/src/runtime/zero_infinity.cpp" "src/runtime/CMakeFiles/so_runtime.dir/zero_infinity.cpp.o" "gcc" "src/runtime/CMakeFiles/so_runtime.dir/zero_infinity.cpp.o.d"
+  "/root/repo/src/runtime/zero_offload.cpp" "src/runtime/CMakeFiles/so_runtime.dir/zero_offload.cpp.o" "gcc" "src/runtime/CMakeFiles/so_runtime.dir/zero_offload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/so_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/so_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/so_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/so_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

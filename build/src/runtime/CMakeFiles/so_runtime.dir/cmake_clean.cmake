@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_runtime.dir/builder.cpp.o"
+  "CMakeFiles/so_runtime.dir/builder.cpp.o.d"
+  "CMakeFiles/so_runtime.dir/ddp.cpp.o"
+  "CMakeFiles/so_runtime.dir/ddp.cpp.o.d"
+  "CMakeFiles/so_runtime.dir/deep_opt_states.cpp.o"
+  "CMakeFiles/so_runtime.dir/deep_opt_states.cpp.o.d"
+  "CMakeFiles/so_runtime.dir/fsdp_offload.cpp.o"
+  "CMakeFiles/so_runtime.dir/fsdp_offload.cpp.o.d"
+  "CMakeFiles/so_runtime.dir/megatron.cpp.o"
+  "CMakeFiles/so_runtime.dir/megatron.cpp.o.d"
+  "CMakeFiles/so_runtime.dir/pipeline.cpp.o"
+  "CMakeFiles/so_runtime.dir/pipeline.cpp.o.d"
+  "CMakeFiles/so_runtime.dir/registry.cpp.o"
+  "CMakeFiles/so_runtime.dir/registry.cpp.o.d"
+  "CMakeFiles/so_runtime.dir/scale.cpp.o"
+  "CMakeFiles/so_runtime.dir/scale.cpp.o.d"
+  "CMakeFiles/so_runtime.dir/system.cpp.o"
+  "CMakeFiles/so_runtime.dir/system.cpp.o.d"
+  "CMakeFiles/so_runtime.dir/ulysses.cpp.o"
+  "CMakeFiles/so_runtime.dir/ulysses.cpp.o.d"
+  "CMakeFiles/so_runtime.dir/zero.cpp.o"
+  "CMakeFiles/so_runtime.dir/zero.cpp.o.d"
+  "CMakeFiles/so_runtime.dir/zero_infinity.cpp.o"
+  "CMakeFiles/so_runtime.dir/zero_infinity.cpp.o.d"
+  "CMakeFiles/so_runtime.dir/zero_offload.cpp.o"
+  "CMakeFiles/so_runtime.dir/zero_offload.cpp.o.d"
+  "libso_runtime.a"
+  "libso_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_sim.dir/graph.cpp.o"
+  "CMakeFiles/so_sim.dir/graph.cpp.o.d"
+  "CMakeFiles/so_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/so_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/so_sim.dir/timeline.cpp.o"
+  "CMakeFiles/so_sim.dir/timeline.cpp.o.d"
+  "CMakeFiles/so_sim.dir/trace.cpp.o"
+  "CMakeFiles/so_sim.dir/trace.cpp.o.d"
+  "libso_sim.a"
+  "libso_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stv/checkpoint.cpp" "src/stv/CMakeFiles/so_stv.dir/checkpoint.cpp.o" "gcc" "src/stv/CMakeFiles/so_stv.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/stv/data_parallel_trainer.cpp" "src/stv/CMakeFiles/so_stv.dir/data_parallel_trainer.cpp.o" "gcc" "src/stv/CMakeFiles/so_stv.dir/data_parallel_trainer.cpp.o.d"
+  "/root/repo/src/stv/offload_trainer.cpp" "src/stv/CMakeFiles/so_stv.dir/offload_trainer.cpp.o" "gcc" "src/stv/CMakeFiles/so_stv.dir/offload_trainer.cpp.o.d"
+  "/root/repo/src/stv/pipelined_trainer.cpp" "src/stv/CMakeFiles/so_stv.dir/pipelined_trainer.cpp.o" "gcc" "src/stv/CMakeFiles/so_stv.dir/pipelined_trainer.cpp.o.d"
+  "/root/repo/src/stv/trainer.cpp" "src/stv/CMakeFiles/so_stv.dir/trainer.cpp.o" "gcc" "src/stv/CMakeFiles/so_stv.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/so_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/so_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/so_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/so_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

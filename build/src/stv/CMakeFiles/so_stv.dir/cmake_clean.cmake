@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_stv.dir/checkpoint.cpp.o"
+  "CMakeFiles/so_stv.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/so_stv.dir/data_parallel_trainer.cpp.o"
+  "CMakeFiles/so_stv.dir/data_parallel_trainer.cpp.o.d"
+  "CMakeFiles/so_stv.dir/offload_trainer.cpp.o"
+  "CMakeFiles/so_stv.dir/offload_trainer.cpp.o.d"
+  "CMakeFiles/so_stv.dir/pipelined_trainer.cpp.o"
+  "CMakeFiles/so_stv.dir/pipelined_trainer.cpp.o.d"
+  "CMakeFiles/so_stv.dir/trainer.cpp.o"
+  "CMakeFiles/so_stv.dir/trainer.cpp.o.d"
+  "libso_stv.a"
+  "libso_stv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_stv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for so_stv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_tests_common.dir/common/test_argparse.cpp.o"
+  "CMakeFiles/so_tests_common.dir/common/test_argparse.cpp.o.d"
+  "CMakeFiles/so_tests_common.dir/common/test_config_file.cpp.o"
+  "CMakeFiles/so_tests_common.dir/common/test_config_file.cpp.o.d"
+  "CMakeFiles/so_tests_common.dir/common/test_json.cpp.o"
+  "CMakeFiles/so_tests_common.dir/common/test_json.cpp.o.d"
+  "CMakeFiles/so_tests_common.dir/common/test_logging.cpp.o"
+  "CMakeFiles/so_tests_common.dir/common/test_logging.cpp.o.d"
+  "CMakeFiles/so_tests_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/so_tests_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/so_tests_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/so_tests_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/so_tests_common.dir/common/test_table.cpp.o"
+  "CMakeFiles/so_tests_common.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/so_tests_common.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/so_tests_common.dir/common/test_thread_pool.cpp.o.d"
+  "CMakeFiles/so_tests_common.dir/common/test_units.cpp.o"
+  "CMakeFiles/so_tests_common.dir/common/test_units.cpp.o.d"
+  "so_tests_common"
+  "so_tests_common.pdb"
+  "so_tests_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

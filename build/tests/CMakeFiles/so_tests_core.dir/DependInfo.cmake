@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_bucketization.cpp" "tests/CMakeFiles/so_tests_core.dir/core/test_bucketization.cpp.o" "gcc" "tests/CMakeFiles/so_tests_core.dir/core/test_bucketization.cpp.o.d"
+  "/root/repo/tests/core/test_engine.cpp" "tests/CMakeFiles/so_tests_core.dir/core/test_engine.cpp.o" "gcc" "tests/CMakeFiles/so_tests_core.dir/core/test_engine.cpp.o.d"
+  "/root/repo/tests/core/test_policy.cpp" "tests/CMakeFiles/so_tests_core.dir/core/test_policy.cpp.o" "gcc" "tests/CMakeFiles/so_tests_core.dir/core/test_policy.cpp.o.d"
+  "/root/repo/tests/core/test_report_json.cpp" "tests/CMakeFiles/so_tests_core.dir/core/test_report_json.cpp.o" "gcc" "tests/CMakeFiles/so_tests_core.dir/core/test_report_json.cpp.o.d"
+  "/root/repo/tests/core/test_sac.cpp" "tests/CMakeFiles/so_tests_core.dir/core/test_sac.cpp.o" "gcc" "tests/CMakeFiles/so_tests_core.dir/core/test_sac.cpp.o.d"
+  "/root/repo/tests/core/test_superoffload.cpp" "tests/CMakeFiles/so_tests_core.dir/core/test_superoffload.cpp.o" "gcc" "tests/CMakeFiles/so_tests_core.dir/core/test_superoffload.cpp.o.d"
+  "/root/repo/tests/core/test_superoffload_ulysses.cpp" "tests/CMakeFiles/so_tests_core.dir/core/test_superoffload_ulysses.cpp.o" "gcc" "tests/CMakeFiles/so_tests_core.dir/core/test_superoffload_ulysses.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/so_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/so_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stv/CMakeFiles/so_stv.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/so_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/so_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/so_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/so_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/so_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/so_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/so_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

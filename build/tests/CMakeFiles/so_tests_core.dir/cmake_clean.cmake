@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_tests_core.dir/core/test_bucketization.cpp.o"
+  "CMakeFiles/so_tests_core.dir/core/test_bucketization.cpp.o.d"
+  "CMakeFiles/so_tests_core.dir/core/test_engine.cpp.o"
+  "CMakeFiles/so_tests_core.dir/core/test_engine.cpp.o.d"
+  "CMakeFiles/so_tests_core.dir/core/test_policy.cpp.o"
+  "CMakeFiles/so_tests_core.dir/core/test_policy.cpp.o.d"
+  "CMakeFiles/so_tests_core.dir/core/test_report_json.cpp.o"
+  "CMakeFiles/so_tests_core.dir/core/test_report_json.cpp.o.d"
+  "CMakeFiles/so_tests_core.dir/core/test_sac.cpp.o"
+  "CMakeFiles/so_tests_core.dir/core/test_sac.cpp.o.d"
+  "CMakeFiles/so_tests_core.dir/core/test_superoffload.cpp.o"
+  "CMakeFiles/so_tests_core.dir/core/test_superoffload.cpp.o.d"
+  "CMakeFiles/so_tests_core.dir/core/test_superoffload_ulysses.cpp.o"
+  "CMakeFiles/so_tests_core.dir/core/test_superoffload_ulysses.cpp.o.d"
+  "so_tests_core"
+  "so_tests_core.pdb"
+  "so_tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_tests_hw.dir/hw/test_bandwidth.cpp.o"
+  "CMakeFiles/so_tests_hw.dir/hw/test_bandwidth.cpp.o.d"
+  "CMakeFiles/so_tests_hw.dir/hw/test_collective.cpp.o"
+  "CMakeFiles/so_tests_hw.dir/hw/test_collective.cpp.o.d"
+  "CMakeFiles/so_tests_hw.dir/hw/test_presets.cpp.o"
+  "CMakeFiles/so_tests_hw.dir/hw/test_presets.cpp.o.d"
+  "CMakeFiles/so_tests_hw.dir/hw/test_topology.cpp.o"
+  "CMakeFiles/so_tests_hw.dir/hw/test_topology.cpp.o.d"
+  "so_tests_hw"
+  "so_tests_hw.pdb"
+  "so_tests_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_tests_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

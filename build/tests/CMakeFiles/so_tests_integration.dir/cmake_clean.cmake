@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_tests_integration.dir/integration/test_paper_claims.cpp.o"
+  "CMakeFiles/so_tests_integration.dir/integration/test_paper_claims.cpp.o.d"
+  "CMakeFiles/so_tests_integration.dir/integration/test_system_properties.cpp.o"
+  "CMakeFiles/so_tests_integration.dir/integration/test_system_properties.cpp.o.d"
+  "so_tests_integration"
+  "so_tests_integration.pdb"
+  "so_tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

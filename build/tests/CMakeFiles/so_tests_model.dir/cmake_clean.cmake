@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_tests_model.dir/model/test_config.cpp.o"
+  "CMakeFiles/so_tests_model.dir/model/test_config.cpp.o.d"
+  "CMakeFiles/so_tests_model.dir/model/test_flops.cpp.o"
+  "CMakeFiles/so_tests_model.dir/model/test_flops.cpp.o.d"
+  "CMakeFiles/so_tests_model.dir/model/test_memory.cpp.o"
+  "CMakeFiles/so_tests_model.dir/model/test_memory.cpp.o.d"
+  "so_tests_model"
+  "so_tests_model.pdb"
+  "so_tests_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_tests_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_tests_nn_data.dir/data/test_corpus.cpp.o"
+  "CMakeFiles/so_tests_nn_data.dir/data/test_corpus.cpp.o.d"
+  "CMakeFiles/so_tests_nn_data.dir/nn/test_attention_lm.cpp.o"
+  "CMakeFiles/so_tests_nn_data.dir/nn/test_attention_lm.cpp.o.d"
+  "CMakeFiles/so_tests_nn_data.dir/nn/test_mlp_lm.cpp.o"
+  "CMakeFiles/so_tests_nn_data.dir/nn/test_mlp_lm.cpp.o.d"
+  "so_tests_nn_data"
+  "so_tests_nn_data.pdb"
+  "so_tests_nn_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_tests_nn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_tests_optim.dir/optim/test_adam.cpp.o"
+  "CMakeFiles/so_tests_optim.dir/optim/test_adam.cpp.o.d"
+  "CMakeFiles/so_tests_optim.dir/optim/test_half.cpp.o"
+  "CMakeFiles/so_tests_optim.dir/optim/test_half.cpp.o.d"
+  "CMakeFiles/so_tests_optim.dir/optim/test_kernels.cpp.o"
+  "CMakeFiles/so_tests_optim.dir/optim/test_kernels.cpp.o.d"
+  "CMakeFiles/so_tests_optim.dir/optim/test_lr_schedule.cpp.o"
+  "CMakeFiles/so_tests_optim.dir/optim/test_lr_schedule.cpp.o.d"
+  "so_tests_optim"
+  "so_tests_optim.pdb"
+  "so_tests_optim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_tests_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

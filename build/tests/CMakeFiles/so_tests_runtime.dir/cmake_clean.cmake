@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_tests_runtime.dir/runtime/test_baselines.cpp.o"
+  "CMakeFiles/so_tests_runtime.dir/runtime/test_baselines.cpp.o.d"
+  "CMakeFiles/so_tests_runtime.dir/runtime/test_builder.cpp.o"
+  "CMakeFiles/so_tests_runtime.dir/runtime/test_builder.cpp.o.d"
+  "CMakeFiles/so_tests_runtime.dir/runtime/test_extensions.cpp.o"
+  "CMakeFiles/so_tests_runtime.dir/runtime/test_extensions.cpp.o.d"
+  "CMakeFiles/so_tests_runtime.dir/runtime/test_scale.cpp.o"
+  "CMakeFiles/so_tests_runtime.dir/runtime/test_scale.cpp.o.d"
+  "CMakeFiles/so_tests_runtime.dir/runtime/test_system.cpp.o"
+  "CMakeFiles/so_tests_runtime.dir/runtime/test_system.cpp.o.d"
+  "so_tests_runtime"
+  "so_tests_runtime.pdb"
+  "so_tests_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_tests_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

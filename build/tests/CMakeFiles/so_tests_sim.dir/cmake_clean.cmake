@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_tests_sim.dir/sim/test_graph.cpp.o"
+  "CMakeFiles/so_tests_sim.dir/sim/test_graph.cpp.o.d"
+  "CMakeFiles/so_tests_sim.dir/sim/test_scheduler.cpp.o"
+  "CMakeFiles/so_tests_sim.dir/sim/test_scheduler.cpp.o.d"
+  "CMakeFiles/so_tests_sim.dir/sim/test_scheduler_properties.cpp.o"
+  "CMakeFiles/so_tests_sim.dir/sim/test_scheduler_properties.cpp.o.d"
+  "CMakeFiles/so_tests_sim.dir/sim/test_timeline.cpp.o"
+  "CMakeFiles/so_tests_sim.dir/sim/test_timeline.cpp.o.d"
+  "CMakeFiles/so_tests_sim.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/so_tests_sim.dir/sim/test_trace.cpp.o.d"
+  "so_tests_sim"
+  "so_tests_sim.pdb"
+  "so_tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stv/test_checkpoint.cpp" "tests/CMakeFiles/so_tests_stv.dir/stv/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/so_tests_stv.dir/stv/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/stv/test_data_parallel_trainer.cpp" "tests/CMakeFiles/so_tests_stv.dir/stv/test_data_parallel_trainer.cpp.o" "gcc" "tests/CMakeFiles/so_tests_stv.dir/stv/test_data_parallel_trainer.cpp.o.d"
+  "/root/repo/tests/stv/test_offload_trainer.cpp" "tests/CMakeFiles/so_tests_stv.dir/stv/test_offload_trainer.cpp.o" "gcc" "tests/CMakeFiles/so_tests_stv.dir/stv/test_offload_trainer.cpp.o.d"
+  "/root/repo/tests/stv/test_pipelined_trainer.cpp" "tests/CMakeFiles/so_tests_stv.dir/stv/test_pipelined_trainer.cpp.o" "gcc" "tests/CMakeFiles/so_tests_stv.dir/stv/test_pipelined_trainer.cpp.o.d"
+  "/root/repo/tests/stv/test_trainer.cpp" "tests/CMakeFiles/so_tests_stv.dir/stv/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/so_tests_stv.dir/stv/test_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/so_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/so_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stv/CMakeFiles/so_stv.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/so_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/so_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/so_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/so_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/so_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/so_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/so_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

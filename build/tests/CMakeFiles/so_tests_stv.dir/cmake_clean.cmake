@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_tests_stv.dir/stv/test_checkpoint.cpp.o"
+  "CMakeFiles/so_tests_stv.dir/stv/test_checkpoint.cpp.o.d"
+  "CMakeFiles/so_tests_stv.dir/stv/test_data_parallel_trainer.cpp.o"
+  "CMakeFiles/so_tests_stv.dir/stv/test_data_parallel_trainer.cpp.o.d"
+  "CMakeFiles/so_tests_stv.dir/stv/test_offload_trainer.cpp.o"
+  "CMakeFiles/so_tests_stv.dir/stv/test_offload_trainer.cpp.o.d"
+  "CMakeFiles/so_tests_stv.dir/stv/test_pipelined_trainer.cpp.o"
+  "CMakeFiles/so_tests_stv.dir/stv/test_pipelined_trainer.cpp.o.d"
+  "CMakeFiles/so_tests_stv.dir/stv/test_trainer.cpp.o"
+  "CMakeFiles/so_tests_stv.dir/stv/test_trainer.cpp.o.d"
+  "so_tests_stv"
+  "so_tests_stv.pdb"
+  "so_tests_stv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_tests_stv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

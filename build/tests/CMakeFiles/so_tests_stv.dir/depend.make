@@ -1,0 +1,2 @@
+# Empty dependencies file for so_tests_stv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/so_tests_common[1]_include.cmake")
+include("/root/repo/build/tests/so_tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/so_tests_hw[1]_include.cmake")
+include("/root/repo/build/tests/so_tests_model[1]_include.cmake")
+include("/root/repo/build/tests/so_tests_optim[1]_include.cmake")
+include("/root/repo/build/tests/so_tests_nn_data[1]_include.cmake")
+include("/root/repo/build/tests/so_tests_runtime[1]_include.cmake")
+include("/root/repo/build/tests/so_tests_core[1]_include.cmake")
+include("/root/repo/build/tests/so_tests_stv[1]_include.cmake")
+include("/root/repo/build/tests/so_tests_integration[1]_include.cmake")
