@@ -7,18 +7,21 @@
  * per-bucket overheads; much larger buckets coarsen the overlap
  * granularity and lengthen the exposed last-bucket tail.
  */
+#include <memory>
+#include <vector>
+
 #include "bench_util.h"
-#include "common/table.h"
 #include "common/units.h"
 #include "core/superoffload.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace so;
-    bench::banner("Ablation", "SuperOffload transfer bucket size",
-                  "Sec. 4.3 picks 64 MB: the size where the C2C curve "
-                  "saturates (Fig. 7)");
+    bench::Harness harness(
+        argc, argv, "Ablation", "SuperOffload transfer bucket size",
+        "Sec. 4.3 picks 64 MB: the size where the C2C curve "
+        "saturates (Fig. 7)");
 
     runtime::TrainSetup setup;
     setup.cluster = hw::gh200Single();
@@ -26,22 +29,35 @@ main()
     setup.global_batch = 8;
     setup.seq = 1024;
 
-    Table table("bucket-size sweep (13B, single GH200, batch 8)");
-    table.setHeader({"bucket size", "TFLOPS", "GPU util %",
-                     "link bw at this size"});
-    const hw::BandwidthCurve curve =
-        setup.cluster.node.superchip.c2c.curve();
-    double best = 0.0;
-    std::string best_label;
-    for (double mb : {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0}) {
+    const std::vector<double> sizes_mb = {1.0,  4.0,   16.0,
+                                          64.0, 256.0, 1024.0};
+    // One system per bucket size; all stay alive for the engine.
+    std::vector<std::unique_ptr<core::SuperOffloadSystem>> systems;
+    for (double mb : sizes_mb) {
         core::SuperOffloadOptions opts;
         opts.bucket_bytes = mb * kMiB;
         // Honor the requested granularity literally (the production
         // engine would coalesce tiny buckets away; the ablation wants
         // their raw cost).
         opts.coalesce_buckets = false;
-        core::SuperOffloadSystem sys(opts);
-        const auto res = sys.run(setup);
+        systems.push_back(
+            std::make_unique<core::SuperOffloadSystem>(opts));
+        harness.add(*systems.back(), setup,
+                    Table::num(mb, 0) + " MiB");
+    }
+    harness.run();
+
+    Table &table =
+        harness.table("bucket-size sweep (13B, single GH200, batch 8)");
+    table.setHeader({"bucket size", "TFLOPS", "GPU util %",
+                     "link bw at this size"});
+    const hw::BandwidthCurve curve =
+        setup.cluster.node.superchip.c2c.curve();
+    double best = 0.0;
+    std::string best_label;
+    for (std::size_t i = 0; i < sizes_mb.size(); ++i) {
+        const double mb = sizes_mb[i];
+        const auto &res = harness.result(i);
         const std::string label = Table::num(mb, 0) + " MiB";
         table.addRow(
             {label,
@@ -63,5 +79,5 @@ main()
         "the knee\nlocation tracks the overhead/bandwidth ratio, the "
         "shape (tiny buckets are catastrophic,\nhuge ones plateau) is "
         "the Sec. 4.3 result.\n");
-    return 0;
+    return harness.finish();
 }

@@ -1,0 +1,95 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/argparse.h"
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace so::bench {
+
+std::string
+Harness::sanitizeId(const std::string &id)
+{
+    std::string out;
+    out.reserve(id.size());
+    for (char c : id) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out.empty() ? std::string("bench") : out;
+}
+
+Harness::Harness(int argc, const char *const *argv, std::string id,
+                 const std::string &description,
+                 const std::string &paper_expectation,
+                 std::size_t default_jobs)
+    : id_(std::move(id))
+{
+    banner(id_, description, paper_expectation);
+
+    const ArgParser args(argc, argv);
+    runtime::SweepOptions options;
+    options.jobs = static_cast<std::size_t>(std::max(
+        0LL,
+        args.getInt("jobs", static_cast<long long>(default_jobs))));
+    options.progress = args.has("progress");
+    options.name = id_;
+    engine_ = std::make_unique<runtime::SweepEngine>(options);
+
+    if (args.has("json")) {
+        json_path_ = args.get("json");
+        if (json_path_.empty())
+            json_path_ = "BENCH_" + sanitizeId(id_) + ".json";
+    }
+}
+
+std::size_t
+Harness::add(const runtime::TrainingSystem &system,
+             runtime::TrainSetup setup, std::string tag)
+{
+    return engine_->add(system, std::move(setup), std::move(tag));
+}
+
+Table &
+Harness::table(std::string title)
+{
+    tables_.push_back(std::make_unique<Table>(std::move(title)));
+    return *tables_.back();
+}
+
+int
+Harness::finish()
+{
+    if (json_path_.empty())
+        return 0;
+    JsonWriter json;
+    json.beginObject();
+    json.field("bench", id_);
+    json.field("jobs", static_cast<std::uint64_t>(engine_->jobs()));
+    json.field("cache_hits",
+               static_cast<std::uint64_t>(engine_->cacheHits()));
+    json.field("cache_misses",
+               static_cast<std::uint64_t>(engine_->cacheMisses()));
+    json.key("tables").beginArray();
+    for (const auto &table : tables_)
+        table->writeJson(json);
+    json.endArray();
+    json.key("cells");
+    engine_->writeCells(json);
+    json.endObject();
+
+    std::FILE *out = std::fopen(json_path_.c_str(), "w");
+    if (!out)
+        SO_FATAL("cannot open ", json_path_, " for writing");
+    const std::string doc = json.str();
+    std::fwrite(doc.data(), 1, doc.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path_.c_str());
+    return 0;
+}
+
+} // namespace so::bench

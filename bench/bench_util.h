@@ -1,12 +1,26 @@
 /**
  * @file
  * Shared helpers for the table/figure reproduction binaries.
+ *
+ * Every bench builds on the Harness: it parses the shared command line
+ * (--jobs N for parallel evaluation, --json [path] for a
+ * machine-readable BENCH_<id>.json record, --progress for sweep
+ * logging), owns the SweepEngine the bench declares its grid into, and
+ * collects the rendered tables so the JSON document carries both the
+ * formatted tables and the raw per-cell records. Benches keep working
+ * with no arguments at all — that is how the ctest smoke tests and CI
+ * run them.
  */
 #ifndef SO_BENCH_BENCH_UTIL_H
 #define SO_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "runtime/sweep.h"
 
 namespace so::bench {
 
@@ -31,6 +45,71 @@ tflopsCell(bool feasible, double tflops)
     std::snprintf(buf, sizeof(buf), "%.1f", tflops);
     return buf;
 }
+
+/**
+ * Driver shared by all reproduction binaries: banner + command line +
+ * sweep engine + table collection + JSON export.
+ *
+ * Typical shape of a bench:
+ *
+ *   Harness harness(argc, argv, "Fig. 10", ...);
+ *   for (...) harness.add(system, setup, tag);   // declare the grid
+ *   harness.run();                               // evaluate (parallel)
+ *   Table &t = harness.table("...");             // build + print rows
+ *   ...
+ *   return harness.finish();                     // JSON when requested
+ */
+class Harness
+{
+  public:
+    /**
+     * Parses argv, prints the banner, and sets up the engine.
+     * @p default_jobs applies when --jobs is absent (0 = all cores);
+     * most benches default to 1 so smoke runs stay deterministic in
+     * load order.
+     */
+    Harness(int argc, const char *const *argv, std::string id,
+            const std::string &description,
+            const std::string &paper_expectation,
+            std::size_t default_jobs = 1);
+
+    /** The engine (for scale searches and direct evaluate() calls). */
+    runtime::SweepEngine &engine() { return *engine_; }
+
+    /** Declare one cell; returns its index for result(). */
+    std::size_t add(const runtime::TrainingSystem &system,
+                    runtime::TrainSetup setup, std::string tag = "");
+
+    /** Evaluate everything declared so far. */
+    void run() { engine_->run(); }
+
+    /** Result of cell @p index (run() must have covered it). */
+    const runtime::IterationResult &result(std::size_t index) const
+    {
+        return engine_->result(index);
+    }
+
+    /** Create a table collected into the JSON document. */
+    Table &table(std::string title);
+
+    /** Resolved worker count. */
+    std::size_t jobs() const { return engine_->jobs(); }
+
+    /**
+     * Finish the bench: write BENCH_<id>.json when --json was given.
+     * Returns the process exit code (0).
+     */
+    int finish();
+
+    /** "Fig. 10" -> "fig10": the id as a filename fragment. */
+    static std::string sanitizeId(const std::string &id);
+
+  private:
+    std::string id_;
+    std::string json_path_; // Empty: no JSON requested.
+    std::unique_ptr<runtime::SweepEngine> engine_;
+    std::vector<std::unique_ptr<Table>> tables_;
+};
 
 } // namespace so::bench
 

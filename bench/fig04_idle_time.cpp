@@ -4,21 +4,22 @@
  * Superchip and on one GH200 node, at the largest model it can
  * accommodate and the largest OOM-free batch.
  */
+#include <vector>
+
 #include "bench_util.h"
-#include "common/table.h"
 #include "common/units.h"
 #include "runtime/registry.h"
-#include "runtime/scale.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace so;
-    bench::banner("Fig. 4", "ZeRO-Offload idle time per iteration",
-                  "GPU idle 40-50% of each iteration on both setups");
+    bench::Harness harness(
+        argc, argv, "Fig. 4", "ZeRO-Offload idle time per iteration",
+        "GPU idle 40-50% of each iteration on both setups");
 
     auto zo = runtime::makeBaseline("zero-offload");
-    Table table("Fig. 4: ZeRO-Offload utilization");
+    Table &table = harness.table("Fig. 4: ZeRO-Offload utilization");
     table.setHeader({"setup", "model", "batch", "GPU idle %",
                      "CPU idle %", "iter (s)"});
 
@@ -27,18 +28,32 @@ main()
         const char *label;
         std::uint32_t chips;
     };
-    for (const Case &c : {Case{"1x GH200", 1}, Case{"GH200 node (4x)", 4}}) {
-        runtime::TrainSetup setup;
-        setup.cluster = hw::gh200ClusterOf(c.chips);
-        setup.seq = 1024;
-        setup.global_batch = 8 * c.chips;
+    const std::vector<Case> cases = {Case{"1x GH200", 1},
+                                     Case{"GH200 node (4x)", 4}};
+    const std::vector<model::ModelConfig> presets = model::modelPresets();
+
+    // Every (case, preset) probe is independent: declare them all and
+    // keep the largest feasible preset per case afterwards.
+    for (const Case &c : cases) {
+        for (const model::ModelConfig &cfg : presets) {
+            runtime::TrainSetup setup;
+            setup.cluster = hw::gh200ClusterOf(c.chips);
+            setup.seq = 1024;
+            setup.global_batch = 8 * c.chips;
+            setup.model = cfg;
+            harness.add(*zo, setup, c.label);
+        }
+    }
+    harness.run();
+
+    std::size_t cell = 0;
+    for (const Case &c : cases) {
         // Largest ZeRO-Offload-feasible Appendix-A preset (the paper
         // evaluates the preset configurations).
         runtime::IterationResult res;
         model::ModelConfig best;
-        for (const model::ModelConfig &cfg : model::modelPresets()) {
-            setup.model = cfg;
-            const auto attempt = zo->run(setup);
+        for (const model::ModelConfig &cfg : presets) {
+            const auto &attempt = harness.result(cell++);
             if (attempt.feasible) {
                 res = attempt;
                 best = cfg;
@@ -47,7 +62,7 @@ main()
         if (!res.feasible)
             continue;
         table.addRow({c.label, formatParams(best.params()),
-                      std::to_string(setup.global_batch),
+                      std::to_string(8 * c.chips),
                       Table::num(100.0 * (1.0 - res.gpu_utilization), 1),
                       Table::num(100.0 * (1.0 - res.cpu_utilization), 1),
                       Table::num(res.iter_time, 3)});
@@ -60,5 +75,5 @@ main()
         }
     }
     table.print();
-    return 0;
+    return harness.finish();
 }

@@ -4,23 +4,25 @@
  * for several CPU->GPU bandwidth tiers at sequence length 1024.
  */
 #include "bench_util.h"
-#include "common/table.h"
 #include "common/units.h"
 #include "core/policy.h"
 #include "hw/presets.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace so;
-    bench::banner("Fig. 6", "Impact of bandwidth on offload efficiency",
-                  "450 GB/s needs batch >= 4 at seq 1024 to exceed 60%");
+    bench::Harness harness(
+        argc, argv, "Fig. 6",
+        "Impact of bandwidth on offload efficiency",
+        "450 GB/s needs batch >= 4 at seq 1024 to exceed 60%");
 
     const hw::SuperchipSpec chip = hw::gh200(480.0 * kGB);
     const double params = 5.0e9; // Size cancels out of eq. (3).
     const double bws[] = {16.0, 32.0, 64.0, 450.0, 900.0};
 
-    Table table("Fig. 6: efficiency = comp / (comp + comm), seq 1024");
+    Table &table = harness.table(
+        "Fig. 6: efficiency = comp / (comp + comm), seq 1024");
     table.setHeader({"batch", "16 GB/s", "32 GB/s", "64 GB/s",
                      "450 GB/s", "900 GB/s"});
     for (std::uint32_t batch = 1; batch <= 64; batch *= 2) {
@@ -52,5 +54,5 @@ main()
             std::printf("  %6.0f GB/s: never within batch <= 1024\n", bw);
         }
     }
-    return 0;
+    return harness.finish();
 }

@@ -4,20 +4,21 @@
  * including the pinned/unpinned gap, from the calibrated link model.
  */
 #include "bench_util.h"
-#include "common/table.h"
 #include "common/units.h"
 #include "hw/presets.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace so;
-    bench::banner("Fig. 7", "GH200 C2C bandwidth vs tensor size",
-                  "rises with size, saturates (~450 GB/s/dir) at ~64 MB; "
-                  "small tensors can see < 50 GB/s");
+    bench::Harness harness(
+        argc, argv, "Fig. 7", "GH200 C2C bandwidth vs tensor size",
+        "rises with size, saturates (~450 GB/s/dir) at ~64 MB; "
+        "small tensors can see < 50 GB/s");
 
     const hw::Link &c2c = hw::gh200(480.0 * kGB).c2c;
-    Table table("Fig. 7: C2C bandwidth measurement (per direction)");
+    Table &table = harness.table(
+        "Fig. 7: C2C bandwidth measurement (per direction)");
     table.setHeader({"tensor size", "pinned GB/s", "unpinned GB/s",
                      "transfer time"});
     for (double bytes = 64.0 * kKiB; bytes <= 2.0 * kGiB; bytes *= 4.0) {
@@ -31,5 +32,5 @@ main()
     std::printf("saturation size (first >= 95%% of peak): %s\n",
                 formatBytes(c2c.curve().saturationSize()).c_str());
     std::printf("=> SuperOffload bucket size: 64 MiB (Sec. 4.3)\n");
-    return 0;
+    return harness.finish();
 }

@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "common/table.h"
 #include "common/units.h"
 #include "core/sac.h"
 #include "hw/presets.h"
@@ -44,15 +43,18 @@ measureHostCastRate()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace so;
-    bench::banner("Fig. 9", "Casting-pipeline cost on GH200 (per swap-out)",
-                  "Cast_cpu<->Move_fp16 ~2x slower than "
-                  "Cast_gpu<->Move_fp32 for 256 MB - 2048 MB tensors");
+    bench::Harness harness(
+        argc, argv, "Fig. 9",
+        "Casting-pipeline cost on GH200 (per swap-out)",
+        "Cast_cpu<->Move_fp16 ~2x slower than "
+        "Cast_gpu<->Move_fp32 for 256 MB - 2048 MB tensors");
 
     const hw::SuperchipSpec chip = hw::gh200(480.0 * kGB);
-    Table table("Fig. 9: pipeline time by fp32 tensor size");
+    Table &table =
+        harness.table("Fig. 9: pipeline time by fp32 tensor size");
     table.setHeader({"tensor", "Cast_gpu+Move_fp32", "Cast_cpu+Move_fp16",
                      "ratio", "winner"});
     for (double mb = 16.0; mb <= 2048.0; mb *= 2.0) {
@@ -74,5 +76,5 @@ main()
                 "%.1f Melem/s (%.2f GB/s of fp32 output)\n",
                 rate / 1e6, rate * 4.0 / kGB);
     std::printf("=> SAC picks Cast_gpu<->Move_fp32 on GH200 (Sec. 4.5)\n");
-    return 0;
+    return harness.finish();
 }

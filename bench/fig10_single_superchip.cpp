@@ -4,17 +4,18 @@
  * excluded) of PyTorch DDP, FSDP-Offload, ZeRO-Infinity, ZeRO-Offload,
  * and SuperOffload on a single GH200 at batch size 8.
  */
+#include <vector>
+
 #include "bench_util.h"
-#include "common/table.h"
 #include "core/superoffload.h"
 #include "runtime/registry.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace so;
-    bench::banner(
-        "Fig. 10", "Single-Superchip throughput, batch 8",
+    bench::Harness harness(
+        argc, argv, "Fig. 10", "Single-Superchip throughput, batch 8",
         "SuperOffload ~239 TFLOPS max; 2x (up to 2.5x) over "
         "ZeRO-Offload; up to 67% over DDP; ZeRO-Infinity < 50; "
         "FSDP-Offload < 15");
@@ -24,28 +25,37 @@ main()
     auto zi = runtime::makeBaseline("zero-infinity");
     auto zo = runtime::makeBaseline("zero-offload");
     core::SuperOffloadSystem so_sys;
+    const std::vector<const runtime::TrainingSystem *> systems = {
+        ddp.get(), fsdp.get(), zi.get(), zo.get(), &so_sys};
 
-    Table table("Fig. 10: TFLOPS per GPU (OOM = infeasible)");
-    table.setHeader({"model", "PyTorch DDP", "FSDP-Offload",
-                     "ZeRO-Infinity", "ZeRO-Offload", "SuperOffload",
-                     "SO/ZO"});
+    const std::vector<const char *> models = {
+        "1B", "2B", "3B", "4B", "5B", "6B", "8B",
+        "10B", "13B", "15B", "20B", "25B"};
 
-    for (const char *m : {"1B", "2B", "3B", "4B", "5B", "6B", "8B",
-                          "10B", "13B", "15B", "20B", "25B"}) {
+    for (const char *m : models) {
         runtime::TrainSetup setup;
         setup.cluster = hw::gh200Single();
         setup.model = model::modelPreset(m);
         setup.global_batch = 8;
         setup.seq = 1024;
+        for (const runtime::TrainingSystem *sys : systems)
+            harness.add(*sys, setup, m);
+    }
+    harness.run();
 
-        auto eval = [&](runtime::TrainingSystem &sys) {
-            return sys.run(setup);
-        };
-        const auto r_ddp = eval(*ddp);
-        const auto r_fsdp = eval(*fsdp);
-        const auto r_zi = eval(*zi);
-        const auto r_zo = eval(*zo);
-        const auto r_so = eval(so_sys);
+    Table &table =
+        harness.table("Fig. 10: TFLOPS per GPU (OOM = infeasible)");
+    table.setHeader({"model", "PyTorch DDP", "FSDP-Offload",
+                     "ZeRO-Infinity", "ZeRO-Offload", "SuperOffload",
+                     "SO/ZO"});
+
+    std::size_t cell = 0;
+    for (const char *m : models) {
+        const auto &r_ddp = harness.result(cell++);
+        const auto &r_fsdp = harness.result(cell++);
+        const auto &r_zi = harness.result(cell++);
+        const auto &r_zo = harness.result(cell++);
+        const auto &r_so = harness.result(cell++);
         std::string ratio = "-";
         if (r_zo.feasible && r_so.feasible) {
             ratio = Table::num(r_so.tflopsPerGpu() / r_zo.tflopsPerGpu(),
@@ -60,5 +70,5 @@ main()
              ratio});
     }
     table.print();
-    return 0;
+    return harness.finish();
 }

@@ -4,53 +4,71 @@
  * ZeRO-2/3, ZeRO-Offload, and SuperOffload on 4 GH200 (one node,
  * batch 16) and 16 GH200 (four nodes, batch 128).
  */
+#include <vector>
+
 #include "bench_util.h"
-#include "common/table.h"
 #include "core/superoffload.h"
 #include "runtime/registry.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace so;
-    bench::banner("Fig. 11", "Multi-Superchip throughput per GPU",
-                  "SuperOffload up to +83% vs Megatron, +46% vs ZeRO-2, "
-                  "+37% vs ZeRO-3, ~2.5x vs ZeRO-Offload; scales to 50B "
-                  "(4 GPUs) / 200B (16 GPUs)");
+    bench::Harness harness(
+        argc, argv, "Fig. 11", "Multi-Superchip throughput per GPU",
+        "SuperOffload up to +83% vs Megatron, +46% vs ZeRO-2, "
+        "+37% vs ZeRO-3, ~2.5x vs ZeRO-Offload; scales to 50B "
+        "(4 GPUs) / 200B (16 GPUs)");
 
     auto meg = runtime::makeBaseline("megatron");
     auto z2 = runtime::makeBaseline("zero2");
     auto z3 = runtime::makeBaseline("zero3");
     auto zo = runtime::makeBaseline("zero-offload");
     core::SuperOffloadSystem so_sys;
+    const std::vector<const runtime::TrainingSystem *> systems = {
+        meg.get(), z2.get(), z3.get(), zo.get(), &so_sys};
 
     struct ClusterCase
     {
         std::uint32_t chips;
         std::uint32_t batch;
     };
-    for (const ClusterCase &cc : {ClusterCase{4, 16}, ClusterCase{16, 128}}) {
-        Table table("Fig. 11: " + std::to_string(cc.chips) +
-                    "x GH200, batch " + std::to_string(cc.batch) +
-                    " (TFLOPS per GPU)");
-        table.setHeader({"model", "Megatron", "ZeRO-2", "ZeRO-3",
-                         "ZeRO-Offload", "SuperOffload"});
-        for (const char *m : {"5B", "10B", "15B", "20B", "30B", "50B",
-                              "80B", "150B", "200B"}) {
+    const std::vector<ClusterCase> cases = {ClusterCase{4, 16},
+                                            ClusterCase{16, 128}};
+    const std::vector<const char *> models = {
+        "5B", "10B", "15B", "20B", "30B", "50B", "80B", "150B", "200B"};
+
+    for (const ClusterCase &cc : cases) {
+        for (const char *m : models) {
             runtime::TrainSetup setup;
             setup.cluster = hw::gh200ClusterOf(cc.chips);
             setup.model = model::modelPreset(m);
             setup.global_batch = cc.batch;
             setup.seq = 1024;
-            auto cell = [&](runtime::TrainingSystem &sys) {
-                const auto res = sys.run(setup);
-                return bench::tflopsCell(res.feasible,
-                                         res.tflopsPerGpu());
-            };
-            table.addRow({m, cell(*meg), cell(*z2), cell(*z3), cell(*zo),
-                          cell(so_sys)});
+            for (const runtime::TrainingSystem *sys : systems)
+                harness.add(*sys, setup, m);
+        }
+    }
+    harness.run();
+
+    std::size_t cell = 0;
+    for (const ClusterCase &cc : cases) {
+        Table &table =
+            harness.table("Fig. 11: " + std::to_string(cc.chips) +
+                          "x GH200, batch " + std::to_string(cc.batch) +
+                          " (TFLOPS per GPU)");
+        table.setHeader({"model", "Megatron", "ZeRO-2", "ZeRO-3",
+                         "ZeRO-Offload", "SuperOffload"});
+        for (const char *m : models) {
+            std::vector<std::string> row = {m};
+            for (std::size_t s = 0; s < systems.size(); ++s) {
+                const auto &res = harness.result(cell++);
+                row.push_back(bench::tflopsCell(res.feasible,
+                                                res.tflopsPerGpu()));
+            }
+            table.addRow(std::move(row));
         }
         table.print();
     }
-    return 0;
+    return harness.finish();
 }

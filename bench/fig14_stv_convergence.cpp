@@ -61,12 +61,15 @@ trainerConfig(stv::RollbackMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Fig. 14", "STV training: loss curve + rollbacks",
-                  "loss converges; rollbacks frequent in the warm-up "
-                  "phase, then ~0.12% of iterations; exactness "
-                  "preserved");
+    // No system grid here — the harness supplies the shared --json
+    // flag so the loss table is exported like every other bench's.
+    bench::Harness harness(
+        argc, argv, "Fig. 14", "STV training: loss curve + rollbacks",
+        "loss converges; rollbacks frequent in the warm-up "
+        "phase, then ~0.12% of iterations; exactness "
+        "preserved");
 
     // Part 1: the training run with the paper's in-place (algebraic)
     // rollback — Fig. 14's loss curve and red dots, scaled down.
@@ -80,7 +83,8 @@ main()
     constexpr std::size_t kBatch = 32;
     std::vector<std::uint32_t> in(kBatch), tgt(kBatch);
 
-    Table table("Fig. 14 (scaled): loss (EMA) and cumulative rollbacks");
+    Table &table = harness.table(
+        "Fig. 14 (scaled): loss (EMA) and cumulative rollbacks");
     table.setHeader({"iteration", "loss", "rollbacks so far",
                      "loss scale"});
     double ema = 0.0;
@@ -142,5 +146,6 @@ main()
                 "%llu rollbacks executed\n",
                 bitwise_equal ? "IDENTICAL" : "DIFFERENT",
                 static_cast<unsigned long long>(stv_tr.rollbackCount()));
+    harness.finish();
     return bitwise_equal ? 0 : 1;
 }

@@ -6,19 +6,19 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "common/table.h"
 #include "common/units.h"
 #include "core/superoffload.h"
 #include "runtime/registry.h"
 #include "runtime/scale.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace so;
-    bench::banner("Fig. 15", "SuperOffload GPU utilization",
-                  "near-complete GPU utilization, idle periods "
-                  "effectively eliminated (vs 40-50% idle in Fig. 4)");
+    bench::Harness harness(
+        argc, argv, "Fig. 15", "SuperOffload GPU utilization",
+        "near-complete GPU utilization, idle periods "
+        "effectively eliminated (vs 40-50% idle in Fig. 4)");
 
     core::SuperOffloadSystem so_sys;
     auto zo = runtime::makeBaseline("zero-offload");
@@ -28,14 +28,19 @@ main()
     setup.cluster = hw::gh200Single();
     setup.global_batch = 8;
     setup.seq = 1024;
-    const auto scale = runtime::largestTrainableModel(*zo, setup);
+    const auto scale =
+        runtime::largestTrainableModel(harness.engine(), *zo, setup);
     setup.model = scale.config;
 
-    const auto so_res = so_sys.run(setup);
-    const auto zo_res = zo->run(setup);
+    const std::size_t zo_cell = harness.add(*zo, setup, "fig4");
+    const std::size_t so_cell = harness.add(so_sys, setup, "fig15");
+    harness.run();
+    const auto &zo_res = harness.result(zo_cell);
+    const auto &so_res = harness.result(so_cell);
 
-    Table table("Fig. 15: utilization at " +
-                formatParams(scale.max_params) + ", batch 8");
+    Table &table = harness.table("Fig. 15: utilization at " +
+                                 formatParams(scale.max_params) +
+                                 ", batch 8");
     table.setHeader({"system", "GPU busy %", "GPU idle %", "iter (s)",
                      "TFLOPS"});
     auto add = [&](const std::string &name,
@@ -51,5 +56,5 @@ main()
 
     std::printf("SuperOffload steady-state timeline (3 simulated "
                 "iterations; # = busy):\n%s\n", so_res.gantt.c_str());
-    return 0;
+    return harness.finish();
 }

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * SweepEngine scaling check: evaluates a heavy Fig.-10-style grid
+ * (large accumulation counts, long sequences) twice — once on a single
+ * thread, once on the harness's worker pool — verifies the two result
+ * sets are bit-identical, and reports the wall-clock speedup. This is
+ * the determinism + parallelism contract of docs/sweep.md as an
+ * executable check; it exits non-zero when any cell diverges.
+ *
+ * Unlike the figure benches this one defaults --jobs to 0 (all cores)
+ * so the smoke-test run exercises the parallel path.
+ */
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/superoffload.h"
+#include "runtime/registry.h"
+
+namespace {
+
+/** Bit-exact equality on everything the figure tables consume. */
+bool
+sameResult(const so::runtime::IterationResult &a,
+           const so::runtime::IterationResult &b)
+{
+    return a.feasible == b.feasible &&
+           a.infeasible_reason == b.infeasible_reason &&
+           a.iter_time == b.iter_time && a.micro_batch == b.micro_batch &&
+           a.accum_steps == b.accum_steps &&
+           a.activation_checkpointing == b.activation_checkpointing &&
+           a.gpu_utilization == b.gpu_utilization &&
+           a.cpu_utilization == b.cpu_utilization &&
+           a.link_utilization == b.link_utilization &&
+           a.memory.gpu_bytes == b.memory.gpu_bytes &&
+           a.memory.cpu_bytes == b.memory.cpu_bytes &&
+           a.extras == b.extras && a.notes == b.notes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace so;
+    using clock = std::chrono::steady_clock;
+
+    bench::Harness harness(
+        argc, argv, "Sweep scaling",
+        "parallel sweep vs serial sweep on a heavy grid",
+        "same tables bit-for-bit, several times faster on a "
+        "multi-core host",
+        /*default_jobs=*/0);
+
+    auto zo = runtime::makeBaseline("zero-offload");
+    core::SuperOffloadSystem so_sys;
+    const std::vector<const runtime::TrainingSystem *> systems = {
+        zo.get(), &so_sys};
+    const std::vector<const char *> models = {"13B", "20B", "25B"};
+    const std::vector<std::uint32_t> batches = {64, 128, 256};
+    const std::vector<std::uint32_t> seqs = {2048, 4096};
+
+    runtime::SweepOptions serial_opts;
+    serial_opts.jobs = 1;
+    serial_opts.name = "serial reference";
+    runtime::SweepEngine serial(serial_opts);
+
+    for (const char *m : models) {
+        for (std::uint32_t batch : batches) {
+            for (std::uint32_t seq : seqs) {
+                runtime::TrainSetup setup;
+                setup.cluster = hw::gh200Single();
+                setup.model = model::modelPreset(m);
+                setup.global_batch = batch;
+                setup.seq = seq;
+                for (const runtime::TrainingSystem *sys : systems) {
+                    harness.add(*sys, setup, m);
+                    serial.add(*sys, setup, m);
+                }
+            }
+        }
+    }
+
+    const auto t0 = clock::now();
+    serial.run();
+    const auto t1 = clock::now();
+    harness.run();
+    const auto t2 = clock::now();
+    const double serial_s =
+        std::chrono::duration<double>(t1 - t0).count();
+    const double parallel_s =
+        std::chrono::duration<double>(t2 - t1).count();
+
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < serial.cells().size(); ++i) {
+        if (!sameResult(serial.result(i), harness.result(i)))
+            ++mismatches;
+    }
+
+    Table &table = harness.table("serial vs parallel sweep");
+    table.setHeader({"cells", "simulations", "jobs", "serial s",
+                     "parallel s", "speedup", "identical"});
+    table.addRow(
+        {std::to_string(serial.cells().size()),
+         std::to_string(serial.cacheMisses()),
+         std::to_string(harness.jobs()), Table::num(serial_s, 2),
+         Table::num(parallel_s, 2),
+         Table::num(serial_s / parallel_s, 2) + "x",
+         mismatches == 0 ? "yes"
+                         : std::to_string(mismatches) + " MISMATCH"});
+    table.print();
+
+    if (mismatches != 0) {
+        std::fprintf(stderr,
+                     "parallel sweep diverged from serial on %zu "
+                     "cells\n",
+                     mismatches);
+        return 1;
+    }
+    const int rc = harness.finish();
+    return rc;
+}

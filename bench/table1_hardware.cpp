@@ -4,23 +4,23 @@
  * DGX-A100, GH200 Superchip) from the hardware presets.
  */
 #include "bench_util.h"
-#include "common/table.h"
 #include "common/units.h"
 #include "hw/presets.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace so;
-    bench::banner("Table 1", "Comparison of GPU node architectures",
-                  "GH200: 500 GB/s CPU BW, 900 GB/s C<->GPU, 72 cores, "
-                  "3 TFLOPS CPU, 990 TFLOPS GPU, ratio 330");
+    bench::Harness harness(
+        argc, argv, "Table 1", "Comparison of GPU node architectures",
+        "GH200: 500 GB/s CPU BW, 900 GB/s C<->GPU, 72 cores, "
+        "3 TFLOPS CPU, 990 TFLOPS GPU, ratio 330");
 
     const hw::SuperchipSpec dgx2 = hw::dgx2().node.superchip;
     const hw::SuperchipSpec dgxa = hw::dgxA100().node.superchip;
     const hw::SuperchipSpec gh = hw::gh200(480.0 * kGB);
 
-    Table table("Table 1: node architectures");
+    Table &table = harness.table("Table 1: node architectures");
     table.setHeader({"Hardware Setting", "DGX-2", "DGX-A100", "GH"});
     auto row = [&](const std::string &label, auto get, int digits) {
         table.addRow({label, Table::num(get(dgx2), digits),
@@ -53,5 +53,5 @@ main()
     row("GPU/CPU FLOPS",
         [](const hw::SuperchipSpec &c) { return c.flopsRatio(); }, 2);
     table.print();
-    return 0;
+    return harness.finish();
 }

@@ -4,17 +4,21 @@
  * the 5B model (single GH200, batch 8), enabling GraceAdam, SAC, STV,
  * and bucket repartitioning cumulatively.
  */
+#include <memory>
+#include <vector>
+
 #include "bench_util.h"
-#include "common/table.h"
 #include "core/superoffload.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace so;
-    bench::banner("Table 2", "Ablation on the 5B model (single GH200)",
-                  "116.2 -> 128.2 (GraceAdam) -> 144.5 (SAC) -> 209.4 "
-                  "(STV) -> 238.9 (repartitioning); 2.06x total");
+    bench::Harness harness(
+        argc, argv, "Table 2",
+        "Ablation on the 5B model (single GH200)",
+        "116.2 -> 128.2 (GraceAdam) -> 144.5 (SAC) -> 209.4 "
+        "(STV) -> 238.9 (repartitioning); 2.06x total");
 
     runtime::TrainSetup setup;
     setup.cluster = hw::gh200Single();
@@ -22,40 +26,49 @@ main()
     setup.global_batch = 8;
     setup.seq = 1024;
 
-    Table table("Table 2: cumulative optimization breakdown");
-    table.setHeader({"GraceAdam", "SAC", "STV", "Buck.Repart.",
-                     "TFLOPS", "vs baseline"});
-
+    // One system per cumulative stage; all stay alive for the engine.
+    std::vector<std::unique_ptr<core::SuperOffloadSystem>> stages;
+    std::vector<core::SuperOffloadOptions> stage_opts;
     core::SuperOffloadOptions opts;
     opts.grace_adam = false;
     opts.sac = false;
     opts.stv = false;
     opts.repartition = false;
+    auto stage = [&] {
+        stage_opts.push_back(opts);
+        stages.push_back(
+            std::make_unique<core::SuperOffloadSystem>(opts));
+        harness.add(*stages.back(), setup);
+    };
+    stage();
+    opts.grace_adam = true;
+    stage();
+    opts.sac = true;
+    stage();
+    opts.stv = true;
+    stage();
+    opts.repartition = true;
+    stage();
+    harness.run();
+
+    Table &table =
+        harness.table("Table 2: cumulative optimization breakdown");
+    table.setHeader({"GraceAdam", "SAC", "STV", "Buck.Repart.",
+                     "TFLOPS", "vs baseline"});
 
     double baseline = 0.0;
-    auto add_row = [&] {
-        core::SuperOffloadSystem sys(opts);
-        const auto res = sys.run(setup);
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const auto &res = harness.result(i);
         const double tflops = res.feasible ? res.tflopsPerGpu() : 0.0;
         if (baseline == 0.0)
             baseline = tflops;
         auto mark = [](bool on) { return on ? "yes" : "-"; };
-        table.addRow({mark(opts.grace_adam), mark(opts.sac),
-                      mark(opts.stv), mark(opts.repartition),
-                      Table::num(tflops, 2),
+        const core::SuperOffloadOptions &s = stage_opts[i];
+        table.addRow({mark(s.grace_adam), mark(s.sac), mark(s.stv),
+                      mark(s.repartition), Table::num(tflops, 2),
                       Table::num(tflops / baseline, 2) + "x"});
-    };
-
-    add_row();
-    opts.grace_adam = true;
-    add_row();
-    opts.sac = true;
-    add_row();
-    opts.stv = true;
-    add_row();
-    opts.repartition = true;
-    add_row();
+    }
 
     table.print();
-    return 0;
+    return harness.finish();
 }

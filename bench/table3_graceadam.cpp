@@ -15,7 +15,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "common/table.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
 #include "hw/presets.h"
@@ -45,19 +44,22 @@ timeKernel(const std::function<void(std::int64_t)> &step)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace so;
-    bench::banner("Table 3", "Adam step latency: PT-CPU vs CPU-Adam vs "
-                             "GraceAdam (real kernels)",
-                  "on Grace: 0.289 / 0.098 / 0.082 s per 1B params — "
-                  "GraceAdam >3x faster than PT-CPU, ~1.36x over "
-                  "CPU-Adam");
+    bench::Harness harness(
+        argc, argv, "Table 3",
+        "Adam step latency: PT-CPU vs CPU-Adam vs "
+        "GraceAdam (real kernels)",
+        "on Grace: 0.289 / 0.098 / 0.082 s per 1B params — "
+        "GraceAdam >3x faster than PT-CPU, ~1.36x over "
+        "CPU-Adam");
 
     const optim::AdamConfig cfg;
     ThreadPool pool;
 
-    Table measured("Table 3a: measured on this host (real kernels)");
+    Table &measured =
+        harness.table("Table 3a: measured on this host (real kernels)");
     measured.setHeader({"#elements", "PT-CPU (ms)", "CPU-Adam (ms)",
                         "GraceAdam (ms)", "PT/Grace", "CpuAdam/Grace"});
 
@@ -87,8 +89,9 @@ main()
 
     // Projection onto Grace via the calibrated DDR-bandwidth model.
     const hw::CpuSpec grace = hw::gh200(480.0 * kGB).cpu;
-    Table projected("Table 3b: projected Grace-CPU latency (s), "
-                    "calibrated model");
+    Table &projected =
+        harness.table("Table 3b: projected Grace-CPU latency (s), "
+                      "calibrated model");
     projected.setHeader({"#Parameter", "PT-CPU", "CPU-Adam",
                          "GraceAdam"});
     for (double billions : {1.0, 2.0, 4.0, 8.0}) {
@@ -104,5 +107,5 @@ main()
                  3)});
     }
     projected.print();
-    return 0;
+    return harness.finish();
 }

@@ -13,6 +13,7 @@
 #include "core/superoffload.h"
 #include "runtime/registry.h"
 #include "runtime/scale.h"
+#include "runtime/sweep.h"
 
 int
 main()
@@ -41,18 +42,29 @@ main()
     auto zo = runtime::makeBaseline("zero-offload");
     core::SuperOffloadSystem so_sys;
 
-    Table table("offloading across hardware eras (batch 8, seq 1024)");
-    table.setHeader({"era", "model", "GPU-only (DDP)", "ZeRO-Offload",
-                     "SuperOffload", "ZO vs DDP", "SO vs DDP"});
+    // One engine evaluates every grid point and memoizes the scale
+    // searches' probes below.
+    runtime::SweepEngine sweep;
     for (const Era &era : eras) {
         runtime::TrainSetup setup;
         setup.cluster = era.cluster;
         setup.model = model::modelPreset(era.model);
         setup.global_batch = 8;
         setup.seq = 1024;
-        const auto r_ddp = ddp->run(setup);
-        const auto r_zo = zo->run(setup);
-        const auto r_so = so_sys.run(setup);
+        sweep.add(*ddp, setup, era.label);
+        sweep.add(*zo, setup, era.label);
+        sweep.add(so_sys, setup, era.label);
+    }
+    sweep.run();
+
+    Table table("offloading across hardware eras (batch 8, seq 1024)");
+    table.setHeader({"era", "model", "GPU-only (DDP)", "ZeRO-Offload",
+                     "SuperOffload", "ZO vs DDP", "SO vs DDP"});
+    std::size_t cell = 0;
+    for (const Era &era : eras) {
+        const auto &r_ddp = sweep.result(cell++);
+        const auto &r_zo = sweep.result(cell++);
+        const auto &r_so = sweep.result(cell++);
         const double gpu_only =
             r_ddp.feasible ? r_ddp.tflopsPerGpu() : 0.0;
         auto vs = [&](const runtime::IterationResult &r) {
@@ -85,9 +97,11 @@ main()
         setup.global_batch = 8;
         setup.seq = 1024;
         const double a =
-            runtime::largestTrainableModel(*ddp, setup).max_params;
+            runtime::largestTrainableModel(sweep, *ddp, setup)
+                .max_params;
         const double b =
-            runtime::largestTrainableModel(so_sys, setup).max_params;
+            runtime::largestTrainableModel(sweep, so_sys, setup)
+                .max_params;
         scale.addRow({era.label, Table::num(a / 1e9, 1) + "B",
                       Table::num(b / 1e9, 1) + "B",
                       Table::num(b / std::max(a, 1.0), 1) + "x"});

@@ -5,10 +5,12 @@
  * training fits — and how each alternative fares on the same machine.
  */
 #include <cstdio>
+#include <vector>
 
 #include "common/table.h"
 #include "core/engine.h"
 #include "runtime/registry.h"
+#include "runtime/sweep.h"
 
 int
 main()
@@ -24,13 +26,20 @@ main()
     std::printf("Fine-tuning %s on one GH200 (96 GB HBM, 480 GB DDR)\n\n",
                 setup.model.summary().c_str());
 
-    Table table("Who can train 25B on a single Superchip?");
-    table.setHeader({"system", "feasible", "TFLOPS", "limiting factor"});
+    runtime::SweepEngine sweep;
+    std::vector<runtime::SystemPtr> systems;
     for (const char *name : {"ddp", "zero2", "zero-offload",
                              "zero-infinity", "fsdp-offload"}) {
-        auto sys = runtime::makeBaseline(name);
-        const auto res = sys->run(setup);
-        table.addRow({sys->name(), res.feasible ? "yes" : "no",
+        systems.push_back(runtime::makeBaseline(name));
+        sweep.add(*systems.back(), setup);
+    }
+    sweep.run();
+
+    Table table("Who can train 25B on a single Superchip?");
+    table.setHeader({"system", "feasible", "TFLOPS", "limiting factor"});
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+        const auto &res = sweep.result(i);
+        table.addRow({systems[i]->name(), res.feasible ? "yes" : "no",
                       res.feasible ? Table::num(res.tflopsPerGpu(), 1)
                                    : "-",
                       res.feasible ? "" : res.infeasible_reason});

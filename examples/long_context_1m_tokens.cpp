@@ -5,11 +5,13 @@
  * SuperOffload-Ulysses, where vanilla Ulysses OOMs far earlier.
  */
 #include <cstdio>
+#include <vector>
 
 #include "common/table.h"
 #include "common/units.h"
 #include "core/superoffload_ulysses.h"
 #include "runtime/registry.h"
+#include "runtime/sweep.h"
 
 int
 main()
@@ -23,17 +25,27 @@ main()
 
     std::printf("Scaling context length for 13B on 8x GH200 NVL2\n\n");
 
-    Table table("sequence-length sweep (batch 1)");
-    table.setHeader({"seq", "Ulysses", "SuperOffload-Ulysses",
-                     "SO-Ulysses MFU", "iter time"});
-    for (std::uint32_t k : {64u, 128u, 256u, 512u, 1024u}) {
+    const std::vector<std::uint32_t> seqs_k = {64u, 128u, 256u, 512u,
+                                               1024u};
+    runtime::SweepEngine sweep;
+    for (std::uint32_t k : seqs_k) {
         runtime::TrainSetup setup;
         setup.cluster = cluster;
         setup.model = model::modelPreset("13B");
         setup.global_batch = 1;
         setup.seq = k * 1024;
-        const auto base = ulysses->run(setup);
-        const auto ours = sou.run(setup);
+        sweep.add(*ulysses, setup);
+        sweep.add(sou, setup);
+    }
+    sweep.run();
+
+    Table table("sequence-length sweep (batch 1)");
+    table.setHeader({"seq", "Ulysses", "SuperOffload-Ulysses",
+                     "SO-Ulysses MFU", "iter time"});
+    std::size_t cell = 0;
+    for (std::uint32_t k : seqs_k) {
+        const auto &base = sweep.result(cell++);
+        const auto &ours = sweep.result(cell++);
         table.addRow(
             {std::to_string(k) + "k", base.feasible ? "ok" : "OOM",
              ours.feasible ? "ok" : "OOM",
@@ -44,13 +56,14 @@ main()
     }
     table.print();
 
-    // The million-token configuration in detail.
+    // The million-token configuration in detail (a cache hit: it is
+    // the sweep's 1024k row).
     runtime::TrainSetup setup;
     setup.cluster = cluster;
     setup.model = model::modelPreset("13B");
     setup.global_batch = 1;
     setup.seq = 1024 * 1024;
-    const auto res = sou.run(setup);
+    const auto res = sweep.evaluate(sou, setup);
     if (res.feasible) {
         std::printf("1M tokens: %.1f TFLOPS/GPU, %.1f%% MFU, GPU %s / "
                     "CPU %s resident\n",

@@ -14,6 +14,7 @@
  */
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/argparse.h"
 #include "common/config_file.h"
@@ -22,6 +23,7 @@
 #include "core/engine.h"
 #include "core/report_json.h"
 #include "runtime/registry.h"
+#include "runtime/sweep.h"
 
 namespace {
 
@@ -61,6 +63,8 @@ main(int argc, char **argv)
             "  --placement <p>       auto|stationary|flow\n"
             "  --no-stv --no-sac --no-grace-adam --no-repartition\n"
             "  --compare             also evaluate every baseline\n"
+            "  --jobs <n>            worker threads for --compare "
+            "(0 = all cores)\n"
             "  --json                emit the plan as JSON\n"
             "  --trace <file>        dump the simulated schedule as "
             "chrome://tracing JSON\n"
@@ -152,13 +156,24 @@ main(int argc, char **argv)
     std::printf("%s\n", report.summary(setup).c_str());
 
     if (args.has("compare")) {
+        runtime::SweepOptions sweep_opts;
+        sweep_opts.jobs = static_cast<std::size_t>(
+            std::max(0LL, args.getInt("jobs", 1)));
+        sweep_opts.name = "compare";
+        runtime::SweepEngine sweep(sweep_opts);
+        std::vector<runtime::SystemPtr> baselines;
+        for (const std::string &name : runtime::baselineNames()) {
+            baselines.push_back(runtime::makeBaseline(name));
+            sweep.add(*baselines.back(), setup);
+        }
+        sweep.run();
+
         Table table("baseline comparison");
         table.setHeader({"system", "TFLOPS", "GPU util %", "status"});
-        for (const std::string &name : runtime::baselineNames()) {
-            auto sys = runtime::makeBaseline(name);
-            const auto res = sys->run(setup);
+        for (std::size_t i = 0; i < baselines.size(); ++i) {
+            const auto &res = sweep.result(i);
             table.addRow(
-                {sys->name(),
+                {baselines[i]->name(),
                  res.feasible ? Table::num(res.tflopsPerGpu(), 1) : "-",
                  res.feasible
                      ? Table::num(100.0 * res.gpu_utilization, 1)

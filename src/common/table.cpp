@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/json.h"
+
 namespace so {
 
 void
@@ -100,6 +102,26 @@ Table::csv() const
     for (const auto &row : rows_)
         emit(row);
     return os.str();
+}
+
+void
+Table::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    json.field("title", title_);
+    json.key("header").beginArray();
+    for (const std::string &cell : header_)
+        json.value(cell);
+    json.endArray();
+    json.key("rows").beginArray();
+    for (const auto &row : rows_) {
+        json.beginArray();
+        for (const std::string &cell : row)
+            json.value(cell);
+        json.endArray();
+    }
+    json.endArray();
+    json.endObject();
 }
 
 void

@@ -14,6 +14,8 @@
 
 namespace so {
 
+class JsonWriter;
+
 /** A simple aligned text table with an optional title and CSV export. */
 class Table
 {
@@ -37,6 +39,14 @@ class Table
 
     /** Render as CSV (header + rows). */
     std::string csv() const;
+
+    /**
+     * Emit {title, header, rows} as one JSON object into an in-progress
+     * document. Cells stay strings: the table stores formatted text.
+     */
+    void writeJson(JsonWriter &json) const;
+
+    const std::string &title() const { return title_; }
 
     /** Print the aligned table to @p out (defaults to stdout). */
     void print(std::FILE *out = stdout) const;

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace so {
 
@@ -41,6 +42,11 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+    if (first_error_) {
+        std::exception_ptr err = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
 }
 
 void
@@ -85,9 +91,16 @@ ThreadPool::workerLoop()
             task = std::move(tasks_.front());
             tasks_.pop();
         }
-        task();
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            if (err && !first_error_)
+                first_error_ = err;
             --in_flight_;
             if (in_flight_ == 0)
                 cv_done_.notify_all();

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -35,7 +36,11 @@ class ThreadPool
     /** Enqueue a task for asynchronous execution. */
     void submit(std::function<void()> task);
 
-    /** Block until all submitted tasks have finished. */
+    /**
+     * Block until all submitted tasks have finished. If any task threw,
+     * rethrows the first captured exception (later ones are dropped);
+     * the pool stays usable afterwards.
+     */
     void wait();
 
     /**
@@ -57,6 +62,8 @@ class ThreadPool
     std::condition_variable cv_done_;
     std::size_t in_flight_ = 0;
     bool stop_ = false;
+    /** First exception thrown by a task since the last wait(). */
+    std::exception_ptr first_error_;
 };
 
 } // namespace so

@@ -26,8 +26,10 @@ SuperOffloadEngine::plan(const runtime::TrainSetup &setup) const
     if (!report.feasible)
         return report;
 
-    report.placement = system_.chosenPlacement();
-    report.retained_buckets = system_.chosenRetainedBuckets();
+    report.placement = static_cast<WeightPlacement>(
+        static_cast<std::uint32_t>(report.iteration.extra("placement")));
+    report.retained_buckets = static_cast<std::uint32_t>(
+        report.iteration.extra("retained_buckets"));
     const double shard = setup.model.params() /
                          setup.cluster.totalSuperchips();
     report.buckets =

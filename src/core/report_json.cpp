@@ -1,55 +1,14 @@
 #include "core/report_json.h"
 
 #include "common/json.h"
+#include "runtime/result_json.h"
 
 namespace so::core {
-
-namespace {
-
-void
-writeIteration(JsonWriter &json, const runtime::IterationResult &result)
-{
-    json.beginObject();
-    json.field("feasible", result.feasible);
-    if (!result.feasible) {
-        json.field("infeasible_reason", result.infeasible_reason);
-        json.endObject();
-        return;
-    }
-    json.field("iter_time_s", result.iter_time);
-    json.field("tflops_per_gpu", result.tflopsPerGpu());
-    json.field("micro_batch", result.micro_batch);
-    json.field("accum_steps", result.accum_steps);
-    json.field("activation_checkpointing",
-               result.activation_checkpointing);
-    json.field("gpu_utilization", result.gpu_utilization);
-    json.field("cpu_utilization", result.cpu_utilization);
-    json.field("link_utilization", result.link_utilization);
-    json.key("memory").beginObject();
-    json.field("gpu_bytes", result.memory.gpu_bytes);
-    json.field("gpu_capacity", result.memory.gpu_capacity);
-    json.field("cpu_bytes", result.memory.cpu_bytes);
-    json.field("cpu_capacity", result.memory.cpu_capacity);
-    if (result.memory.nvme_bytes > 0.0) {
-        json.field("nvme_bytes", result.memory.nvme_bytes);
-        json.field("nvme_capacity", result.memory.nvme_capacity);
-    }
-    json.endObject();
-    json.field("model_flops", result.flops.modelFlops());
-    json.field("executed_flops", result.flops.executedFlops());
-    if (!result.notes.empty())
-        json.field("notes", result.notes);
-    json.endObject();
-}
-
-} // namespace
 
 std::string
 toJson(const runtime::IterationResult &result)
 {
-    JsonWriter json;
-    writeIteration(json, result);
-    return json.str();
+    return runtime::toJson(result);
 }
 
 std::string
@@ -90,7 +49,7 @@ toJson(const PlanReport &report, const runtime::TrainSetup &setup)
     }
 
     json.key("iteration");
-    writeIteration(json, report.iteration);
+    runtime::writeIterationJson(json, report.iteration);
 
     json.endObject();
     return json.str();

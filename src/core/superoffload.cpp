@@ -12,6 +12,7 @@ namespace so::core {
 
 using runtime::IterBuilder;
 using runtime::IterationResult;
+using runtime::SearchCandidate;
 using runtime::TrainSetup;
 
 namespace {
@@ -41,58 +42,26 @@ SuperOffloadSystem::SuperOffloadSystem(SuperOffloadOptions opts)
 {
 }
 
-WeightPlacement
-SuperOffloadSystem::activePlacement() const
+std::vector<std::uint32_t>
+SuperOffloadSystem::searchVariants(const TrainSetup &) const
 {
-    return eval_placement_ == WeightPlacement::Auto
-               ? WeightPlacement::Stationary
-               : eval_placement_;
-}
-
-IterationResult
-SuperOffloadSystem::run(const TrainSetup &setup) const
-{
-    std::vector<WeightPlacement> candidates;
     if (opts_.placement == WeightPlacement::Auto) {
-        candidates = {WeightPlacement::Stationary, WeightPlacement::Flow};
-    } else {
-        candidates = {opts_.placement};
+        return {static_cast<std::uint32_t>(WeightPlacement::Stationary),
+                static_cast<std::uint32_t>(WeightPlacement::Flow)};
     }
-
-    IterationResult best;
-    WeightPlacement best_placement = candidates.front();
-    for (WeightPlacement placement : candidates) {
-        eval_placement_ = placement;
-        IterationResult res = TrainingSystem::run(setup);
-        if (res.feasible &&
-            (!best.feasible || res.tflopsPerGpu() > best.tflopsPerGpu())) {
-            best = std::move(res);
-            best_placement = placement;
-        } else if (!best.feasible && !res.feasible &&
-                   best.infeasible_reason.empty()) {
-            best = std::move(res);
-        }
-    }
-    chosen_placement_ = best_placement;
-    eval_placement_ = WeightPlacement::Auto;
-    if (best.feasible) {
-        best.notes = std::string(placementName(best_placement)) + ", " +
-                     best.notes;
-    }
-    return best;
+    return {static_cast<std::uint32_t>(opts_.placement)};
 }
 
 double
 SuperOffloadSystem::gpuBaseBytes(const TrainSetup &setup,
-                                 std::uint32_t micro_batch,
-                                 bool checkpointing) const
+                                 const SearchCandidate &cand) const
 {
     const double n_ranks = setup.cluster.totalSuperchips();
     const double params = setup.model.params();
     const double shard = params / n_ranks;
 
     double state_bytes;
-    if (activePlacement() == WeightPlacement::Stationary) {
+    if (placementOf(cand) == WeightPlacement::Stationary) {
         // This rank's fp16 parameter shard stays resident; plus the
         // gathered working set when partitioned across ranks.
         state_bytes = 2.0 * shard;
@@ -106,41 +75,42 @@ SuperOffloadSystem::gpuBaseBytes(const TrainSetup &setup,
     state_bytes += kStagingBuckets * 2.0 * kSuperOffloadBucketBytes;
 
     model::ActivationOptions act_opts;
-    act_opts.checkpointing = checkpointing;
-    const double act = model::activationBytes(setup.model, micro_batch,
+    act_opts.checkpointing = cand.checkpointing;
+    const double act = model::activationBytes(setup.model, cand.micro_batch,
                                               setup.seq, act_opts);
     return model::gpuResidentBytes(state_bytes + act);
 }
 
 double
 SuperOffloadSystem::gpuBytes(const TrainSetup &setup,
-                             std::uint32_t micro_batch,
-                             bool checkpointing) const
+                             const SearchCandidate &cand) const
 {
     // Feasibility is judged with zero retained buckets (the minimum-
     // memory configuration); the grid search only retains buckets that
     // fit in the slack.
-    return gpuBaseBytes(setup, micro_batch, checkpointing);
+    return gpuBaseBytes(setup, cand);
 }
 
 double
-SuperOffloadSystem::cpuBytes(const TrainSetup &setup) const
+SuperOffloadSystem::cpuBytes(const TrainSetup &setup,
+                             const SearchCandidate &cand) const
 {
     const double n_ranks = setup.cluster.totalSuperchips();
     const double shard = setup.model.params() / n_ranks;
     // Optimizer states (12 B/param) + fp32 gradient shard (4 B/param);
     // weight-flow additionally keeps the streamed fp16 copy host-side.
     double bytes = 16.0 * shard;
-    if (activePlacement() == WeightPlacement::Flow)
+    if (placementOf(cand) == WeightPlacement::Flow)
         bytes += 2.0 * shard;
     return bytes;
 }
 
 IterationResult
 SuperOffloadSystem::simulate(const TrainSetup &setup,
-                             std::uint32_t micro_batch, bool checkpointing,
-                             std::uint32_t accum_steps) const
+                             const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
     const double n_ranks = setup.cluster.totalSuperchips();
     const double shard = setup.model.params() / n_ranks;
     const BucketPlan plan =
@@ -151,8 +121,7 @@ SuperOffloadSystem::simulate(const TrainSetup &setup,
     // memory slack caps it.
     std::uint32_t n_max = 0;
     if (opts_.repartition && plan.count > 0) {
-        const double base =
-            gpuBaseBytes(setup, micro_batch, checkpointing);
+        const double base = gpuBaseBytes(setup, cand);
         const double slack = gpuCapacity(setup) - base;
         const double per_bucket = 16.0 * plan.params_per_bucket;
         if (slack > 0.0 && per_bucket > 0.0) {
@@ -177,8 +146,7 @@ SuperOffloadSystem::simulate(const TrainSetup &setup,
     IterationResult best;
     std::uint32_t best_n = 0;
     for (std::uint32_t n : retainedCandidates(analytic, n_max)) {
-        IterationResult res = simulateWithRetained(
-            setup, micro_batch, checkpointing, accum_steps, plan, n);
+        IterationResult res = simulateWithRetained(setup, cand, plan, n);
         if (!best.feasible ||
             res.flops.modelFlops() / res.iter_time >
                 best.flops.modelFlops() / best.iter_time) {
@@ -188,23 +156,31 @@ SuperOffloadSystem::simulate(const TrainSetup &setup,
         best.feasible = true; // Marker that `best` holds a candidate.
     }
     best.feasible = false;    // Base class sets the real flag.
-    chosen_n_ = best_n;
-    best.notes = "retained=" + std::to_string(best_n) + "/" +
+    const WeightPlacement placement = placementOf(cand);
+    best.notes = std::string(placementName(placement)) + ", retained=" +
+                 std::to_string(best_n) + "/" +
                  std::to_string(plan.count) + " buckets";
+    best.setExtra("placement", static_cast<double>(
+                                   static_cast<std::uint32_t>(placement)));
+    best.setExtra("retained_buckets", static_cast<double>(best_n));
     return best;
 }
 
 IterationResult
-SuperOffloadSystem::simulateWithRetained(
-    const TrainSetup &setup, std::uint32_t micro_batch, bool checkpointing,
-    std::uint32_t accum_steps, const BucketPlan &plan,
-    std::uint32_t retained) const
+SuperOffloadSystem::simulateWithRetained(const TrainSetup &setup,
+                                         const SearchCandidate &cand,
+                                         const BucketPlan &plan,
+                                         std::uint32_t retained) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
+    const std::uint32_t accum_steps = cand.accum_steps;
+
     IterBuilder builder(setup);
     const model::ModelConfig &cfg = setup.model;
     const double n_ranks = setup.cluster.totalSuperchips();
     const bool multi = n_ranks > 1;
-    const bool flow = activePlacement() == WeightPlacement::Flow;
+    const bool flow = placementOf(cand) == WeightPlacement::Flow;
     const std::uint32_t nbuckets = std::max<std::uint32_t>(plan.count, 1);
     const double bp = plan.params_per_bucket; // params per bucket/rank
 

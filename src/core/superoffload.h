@@ -87,47 +87,48 @@ class SuperOffloadSystem : public runtime::TrainingSystem
 
     const SuperOffloadOptions &options() const { return opts_; }
 
-    /** Evaluates both weight placements when the policy is Auto. */
-    runtime::IterationResult run(const runtime::TrainSetup &setup)
-        const override;
-
-    /** Placement chosen by the last run(). */
-    WeightPlacement chosenPlacement() const { return chosen_placement_; }
-
-    /** GPU-retained bucket count chosen by the last run's grid search. */
-    std::uint32_t chosenRetainedBuckets() const { return chosen_n_; }
-
   protected:
     double gpuBytes(const runtime::TrainSetup &setup,
-                    std::uint32_t micro_batch,
-                    bool checkpointing) const override;
-    double cpuBytes(const runtime::TrainSetup &setup) const override;
-    runtime::IterationResult simulate(const runtime::TrainSetup &setup,
-                                      std::uint32_t micro_batch,
-                                      bool checkpointing,
-                                      std::uint32_t accum_steps)
-        const override;
+                    const runtime::SearchCandidate &cand) const override;
+    double cpuBytes(const runtime::TrainSetup &setup,
+                    const runtime::SearchCandidate &cand) const override;
+    runtime::IterationResult
+    simulate(const runtime::TrainSetup &setup,
+             const runtime::SearchCandidate &cand) const override;
+
+    /**
+     * The §4.2 placement policy as the search dimension: Auto
+     * evaluates Stationary then Flow (so Stationary wins throughput
+     * ties and carries the infeasible diagnosis); a fixed placement
+     * evaluates only itself. The variant index is the WeightPlacement
+     * enum value. The chosen placement and retained-bucket count are
+     * reported as the "placement" / "retained_buckets" extras.
+     */
+    std::vector<std::uint32_t>
+    searchVariants(const runtime::TrainSetup &setup) const override;
 
   private:
-    /** Placement the protected hooks evaluate (never Auto). */
-    WeightPlacement activePlacement() const;
+    /** The candidate's placement (never Auto). */
+    static WeightPlacement placementOf(const runtime::SearchCandidate &cand)
+    {
+        return cand.variant == static_cast<std::uint32_t>(
+                                   WeightPlacement::Flow)
+                   ? WeightPlacement::Flow
+                   : WeightPlacement::Stationary;
+    }
 
     /** GPU bytes excluding retained-bucket optimizer states. */
     double gpuBaseBytes(const runtime::TrainSetup &setup,
-                        std::uint32_t micro_batch,
-                        bool checkpointing) const;
+                        const runtime::SearchCandidate &cand) const;
 
     /** Simulate one candidate retained-bucket count. */
-    runtime::IterationResult simulateWithRetained(
-        const runtime::TrainSetup &setup, std::uint32_t micro_batch,
-        bool checkpointing, std::uint32_t accum_steps,
-        const BucketPlan &plan, std::uint32_t retained) const;
+    runtime::IterationResult
+    simulateWithRetained(const runtime::TrainSetup &setup,
+                         const runtime::SearchCandidate &cand,
+                         const BucketPlan &plan,
+                         std::uint32_t retained) const;
 
     SuperOffloadOptions opts_;
-    mutable WeightPlacement chosen_placement_ = WeightPlacement::Auto;
-    mutable std::uint32_t chosen_n_ = 0;
-    /** Placement under evaluation during run(). */
-    mutable WeightPlacement eval_placement_ = WeightPlacement::Auto;
 };
 
 } // namespace so::core

@@ -9,19 +9,15 @@ namespace so::core {
 
 using runtime::IterBuilder;
 using runtime::IterationResult;
+using runtime::SearchCandidate;
 using runtime::TrainSetup;
-
-IterationResult
-SuperOffloadUlyssesSystem::run(const TrainSetup &setup) const
-{
-    return searchBest(setup, setup.global_batch);
-}
 
 double
 SuperOffloadUlyssesSystem::gpuBytes(const TrainSetup &setup,
-                                    std::uint32_t micro_batch,
-                                    bool checkpointing) const
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
     // Weight-flow working set (~2 layers in flight, fp16 + fp32-wide
     // staging under SAC) plus sequence-sharded activations.
     const double working = 2.0 * 6.0 * setup.model.paramsPerLayer();
@@ -34,7 +30,7 @@ SuperOffloadUlyssesSystem::gpuBytes(const TrainSetup &setup,
 }
 
 double
-SuperOffloadUlyssesSystem::cpuBytes(const TrainSetup &setup) const
+SuperOffloadUlyssesSystem::cpuBytes(const TrainSetup &setup, const SearchCandidate &) const
 {
     const double n = setup.cluster.totalSuperchips();
     // Full model states + streamed fp16 copy, ZeRO-3 partitioned.
@@ -43,10 +39,11 @@ SuperOffloadUlyssesSystem::cpuBytes(const TrainSetup &setup) const
 
 IterationResult
 SuperOffloadUlyssesSystem::simulate(const TrainSetup &setup,
-                                    std::uint32_t micro_batch,
-                                    bool checkpointing,
-                                    std::uint32_t accum_steps) const
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
+    const std::uint32_t accum_steps = cand.accum_steps;
     IterBuilder builder(setup);
     const model::ModelConfig &cfg = setup.model;
     const double layers = cfg.layers;

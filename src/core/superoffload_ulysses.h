@@ -22,20 +22,21 @@ class SuperOffloadUlyssesSystem : public runtime::TrainingSystem
   public:
     std::string name() const override { return "SuperOffload-Ulysses"; }
 
-    /** SP: every rank works on every sequence. */
-    runtime::IterationResult run(const runtime::TrainSetup &setup)
-        const override;
-
   protected:
     double gpuBytes(const runtime::TrainSetup &setup,
-                    std::uint32_t micro_batch,
-                    bool checkpointing) const override;
-    double cpuBytes(const runtime::TrainSetup &setup) const override;
-    runtime::IterationResult simulate(const runtime::TrainSetup &setup,
-                                      std::uint32_t micro_batch,
-                                      bool checkpointing,
-                                      std::uint32_t accum_steps)
-        const override;
+                    const runtime::SearchCandidate &cand) const override;
+    double cpuBytes(const runtime::TrainSetup &setup,
+                    const runtime::SearchCandidate &) const override;
+    runtime::IterationResult
+    simulate(const runtime::TrainSetup &setup,
+             const runtime::SearchCandidate &cand) const override;
+
+    /** SP: every rank works on every sequence. */
+    std::uint32_t
+    perRankBatch(const runtime::TrainSetup &setup) const override
+    {
+        return setup.global_batch;
+    }
 };
 
 } // namespace so::core

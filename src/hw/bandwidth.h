@@ -53,6 +53,9 @@ class BandwidthCurve
 
     bool empty() const { return points_.empty(); }
 
+    /** Calibration points, in ascending size order. */
+    const std::vector<Point> &points() const { return points_; }
+
   private:
     std::vector<Point> points_;
 };

@@ -7,9 +7,11 @@
 namespace so::runtime {
 
 double
-DdpSystem::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
-                    bool checkpointing) const
+DdpSystem::gpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
     const double params = setup.model.params();
     const auto states = model::StateSizes::forParams(params);
     model::ActivationOptions act_opts;
@@ -20,15 +22,18 @@ DdpSystem::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
 }
 
 double
-DdpSystem::cpuBytes(const TrainSetup &) const
+DdpSystem::cpuBytes(const TrainSetup &, const SearchCandidate &) const
 {
     return 0.0;
 }
 
 IterationResult
-DdpSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
-                    bool checkpointing, std::uint32_t accum_steps) const
+DdpSystem::simulate(const TrainSetup &setup,
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
+    const std::uint32_t accum_steps = cand.accum_steps;
     IterBuilder builder(setup);
     const model::ModelConfig &cfg = setup.model;
     const double layers = cfg.layers;

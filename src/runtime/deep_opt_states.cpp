@@ -11,9 +11,10 @@ namespace so::runtime {
 
 double
 DeepOptStatesSystem::gpuBytes(const TrainSetup &setup,
-                              std::uint32_t micro_batch,
-                              bool checkpointing) const
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
     const double n = setup.cluster.totalSuperchips();
     const double params = setup.model.params();
     // fp16 params + fp16 grads resident (ZeRO-2 style) plus streaming
@@ -27,7 +28,7 @@ DeepOptStatesSystem::gpuBytes(const TrainSetup &setup,
 }
 
 double
-DeepOptStatesSystem::cpuBytes(const TrainSetup &setup) const
+DeepOptStatesSystem::cpuBytes(const TrainSetup &setup, const SearchCandidate &) const
 {
     // Optimizer states only (12 bytes/param), sharded across ranks.
     return 12.0 * setup.model.params() / setup.cluster.totalSuperchips();
@@ -35,10 +36,11 @@ DeepOptStatesSystem::cpuBytes(const TrainSetup &setup) const
 
 IterationResult
 DeepOptStatesSystem::simulate(const TrainSetup &setup,
-                              std::uint32_t micro_batch,
-                              bool checkpointing,
-                              std::uint32_t accum_steps) const
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
+    const std::uint32_t accum_steps = cand.accum_steps;
     IterBuilder builder(setup);
     const model::ModelConfig &cfg = setup.model;
     const double params = cfg.params();

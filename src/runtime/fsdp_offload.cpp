@@ -9,9 +9,10 @@ namespace so::runtime {
 
 double
 FsdpOffloadSystem::gpuBytes(const TrainSetup &setup,
-                            std::uint32_t micro_batch,
-                            bool checkpointing) const
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
     // Working set of the currently-gathered layer (plus one in flight).
     const double working = 2.0 * 2.0 * setup.model.paramsPerLayer();
     model::ActivationOptions act_opts;
@@ -22,7 +23,7 @@ FsdpOffloadSystem::gpuBytes(const TrainSetup &setup,
 }
 
 double
-FsdpOffloadSystem::cpuBytes(const TrainSetup &setup) const
+FsdpOffloadSystem::cpuBytes(const TrainSetup &setup, const SearchCandidate &) const
 {
     const double n = setup.cluster.totalSuperchips();
     // fp32 params + optimizer + fp32 grads, sharded.
@@ -31,9 +32,11 @@ FsdpOffloadSystem::cpuBytes(const TrainSetup &setup) const
 
 IterationResult
 FsdpOffloadSystem::simulate(const TrainSetup &setup,
-                            std::uint32_t micro_batch, bool checkpointing,
-                            std::uint32_t accum_steps) const
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
+    const std::uint32_t accum_steps = cand.accum_steps;
     IterBuilder builder(setup);
     const model::ModelConfig &cfg = setup.model;
     const double layers = cfg.layers;

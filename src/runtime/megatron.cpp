@@ -16,33 +16,11 @@ MegatronSystem::activationShare(std::uint32_t mp)
     return 0.3 + 0.7 / static_cast<double>(mp);
 }
 
-double
-MegatronSystem::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
-                         bool checkpointing) const
+std::vector<std::uint32_t>
+MegatronSystem::searchVariants(const TrainSetup &setup) const
 {
-    const double mp = effectiveMp();
-    const auto states = model::StateSizes::forParams(setup.model.params());
-    model::ActivationOptions act_opts;
-    act_opts.checkpointing = checkpointing;
-    const double act = model::activationBytes(setup.model, micro_batch,
-                                              setup.seq, act_opts) *
-                       activationShare(effectiveMp());
-    return model::gpuResidentBytes(states.totalBytes() / mp + act);
-}
-
-double
-MegatronSystem::cpuBytes(const TrainSetup &) const
-{
-    return 0.0;
-}
-
-IterationResult
-MegatronSystem::run(const TrainSetup &setup) const
-{
-    if (mp_ != 0) {
-        chosen_mp_ = mp_;
-        return TrainingSystem::run(setup);
-    }
+    if (mp_ != 0)
+        return {mp_};
 
     // Auto mode: §5.2 "we use a MP degree that gives the best
     // performance". Megatron-LM caps the tensor-parallel degree at 8
@@ -52,39 +30,54 @@ MegatronSystem::run(const TrainSetup &setup) const
     // which the search discovers on its own.
     const std::uint32_t gpus = setup.cluster.totalSuperchips();
     const std::uint32_t max_mp = std::min<std::uint32_t>(gpus, 8);
-    IterationResult best;
-    std::uint32_t best_mp = 0;
-    for (std::uint32_t mp = 1; mp <= max_mp; mp *= 2) {
-        chosen_mp_ = mp;
-        IterationResult res = TrainingSystem::run(setup);
-        if (res.feasible &&
-            (!best.feasible || res.tflopsPerGpu() > best.tflopsPerGpu())) {
-            best = std::move(res);
-            best_mp = mp;
-        }
-    }
-    if (!best.feasible) {
-        // Report the failure at the largest degree (the most memory-
-        // friendly one).
-        chosen_mp_ = max_mp;
-        return TrainingSystem::run(setup);
-    }
-    chosen_mp_ = best_mp;
-    return best;
+    std::vector<std::uint32_t> degrees;
+    for (std::uint32_t mp = 1; mp <= max_mp; mp *= 2)
+        degrees.push_back(mp);
+    return degrees;
+}
+
+std::uint32_t
+MegatronSystem::fallbackVariant(const TrainSetup &setup) const
+{
+    return searchVariants(setup).back();
+}
+
+double
+MegatronSystem::gpuBytes(const TrainSetup &setup,
+                         const SearchCandidate &cand) const
+{
+    const std::uint32_t mp_deg = degreeOf(cand);
+    const double mp = mp_deg;
+    const auto states = model::StateSizes::forParams(setup.model.params());
+    model::ActivationOptions act_opts;
+    act_opts.checkpointing = cand.checkpointing;
+    const double act = model::activationBytes(setup.model, cand.micro_batch,
+                                              setup.seq, act_opts) *
+                       activationShare(mp_deg);
+    return model::gpuResidentBytes(states.totalBytes() / mp + act);
+}
+
+double
+MegatronSystem::cpuBytes(const TrainSetup &, const SearchCandidate &) const
+{
+    return 0.0;
 }
 
 IterationResult
-MegatronSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
-                         bool checkpointing,
-                         std::uint32_t accum_steps) const
+MegatronSystem::simulate(const TrainSetup &setup,
+                         const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
+    const std::uint32_t accum_steps = cand.accum_steps;
+    const std::uint32_t mp_deg = degreeOf(cand);
+
     IterBuilder builder(setup);
     const model::ModelConfig &cfg = setup.model;
-    const double mp = effectiveMp();
+    const double mp = mp_deg;
     const double layers = cfg.layers;
     const std::uint32_t gpus = setup.cluster.totalSuperchips();
-    const std::uint32_t dp = std::max<std::uint32_t>(
-        1, gpus / effectiveMp());
+    const std::uint32_t dp = std::max<std::uint32_t>(1, gpus / mp_deg);
 
     const model::IterationFlops micro_flops = model::iterationFlops(
         cfg, micro_batch, setup.seq, checkpointing);
@@ -94,9 +87,8 @@ MegatronSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
     // narrows every GEMM to 1/mp of its width, which costs sustained
     // efficiency (tile quantization, more kernel launches per FLOP).
     const double tp_penalty =
-        1.0 + (effectiveMp() > 1
-                   ? 0.15 * std::log2(static_cast<double>(mp))
-                   : 0.0);
+        1.0 + (mp_deg > 1 ? 0.15 * std::log2(static_cast<double>(mp))
+                          : 0.0);
     const double fwd_layer =
         (builder.gemmTime(micro_flops.fwd_gemm / mp, tokens) * tp_penalty +
          builder.attnTime(micro_flops.fwd_attn / mp)) /
@@ -112,8 +104,8 @@ MegatronSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
     // TP all-reduces run over NVLink while the group fits in a node,
     // otherwise over the inter-node fabric.
     hw::CollectiveCost tp_coll;
-    tp_coll.ranks = effectiveMp();
-    if (effectiveMp() <= setup.cluster.node.superchips_per_node) {
+    tp_coll.ranks = mp_deg;
+    if (mp_deg <= setup.cluster.node.superchips_per_node) {
         tp_coll.bw_per_gpu = setup.cluster.node.intra_node.curve().peak();
         tp_coll.latency = setup.cluster.node.intra_node.latency();
     } else {
@@ -140,7 +132,7 @@ MegatronSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
                 deps.push_back(prev);
             prev = builder.onGpu("fwd L" + std::to_string(l), fwd_layer,
                                  std::move(deps));
-            if (effectiveMp() > 1) {
+            if (mp_deg > 1) {
                 // TP sync is on the critical path of the layer.
                 prev = builder.onNic("tp-ar", tp_sync, {prev});
             }
@@ -149,7 +141,7 @@ MegatronSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
         for (std::uint32_t l = cfg.layers; l-- > 0;) {
             prev = builder.onGpu("bwd L" + std::to_string(l), bwd_layer,
                                  {prev});
-            if (effectiveMp() > 1)
+            if (mp_deg > 1)
                 prev = builder.onNic("tp-ar", tp_sync, {prev});
             if (last && dp > 1) {
                 const double grad_bytes = 2.0 * cfg.params() / mp / layers;
@@ -174,7 +166,9 @@ MegatronSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
     total.bwd_attn /= mp;
     total.recompute_gemm /= mp;
     total.recompute_attn /= mp;
-    return builder.finish(total);
+    IterationResult res = builder.finish(total);
+    res.setExtra("mp", mp);
+    return res;
 }
 
 } // namespace so::runtime

@@ -3,10 +3,14 @@
  * Megatron-LM baseline (Appendix B): tensor (model) parallelism, with
  * data parallelism layered on the remaining ranks. Per §5.2, the MP
  * degree is chosen by searching the candidates for the best feasible
- * throughput.
+ * throughput; the degree is the candidate's variant index, so every
+ * (degree, micro-batch) simulation is an independent, thread-safe
+ * evaluation. The chosen degree is reported as the "mp" extra.
  */
 #ifndef SO_RUNTIME_MEGATRON_H
 #define SO_RUNTIME_MEGATRON_H
+
+#include <algorithm>
 
 #include "runtime/system.h"
 
@@ -21,32 +25,35 @@ class MegatronSystem : public TrainingSystem
 
     std::string name() const override { return "Megatron"; }
 
-    IterationResult run(const TrainSetup &setup) const override;
-
-    /** MP degree chosen by the last run() (0 = none yet). */
-    std::uint32_t modelParallelDegree() const { return chosen_mp_; }
-
   protected:
-    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
-                    bool checkpointing) const override;
-    double cpuBytes(const TrainSetup &setup) const override;
+    double gpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &cand) const override;
+    double cpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &) const override;
     IterationResult simulate(const TrainSetup &setup,
-                             std::uint32_t micro_batch, bool checkpointing,
-                             std::uint32_t accum_steps) const override;
+                             const SearchCandidate &cand) const override;
+
+    /** Candidate MP degrees: the fixed one, or powers of two up to 8. */
+    std::vector<std::uint32_t>
+    searchVariants(const TrainSetup &setup) const override;
+
+    /**
+     * Report an all-infeasible search at the largest degree (the most
+     * memory-friendly one).
+     */
+    std::uint32_t fallbackVariant(const TrainSetup &setup) const override;
 
   private:
     /** Fraction of activations that stay replicated under MP. */
     static double activationShare(std::uint32_t mp);
 
-    /** Effective degree used by the protected hooks (never 0). */
-    std::uint32_t effectiveMp() const
+    /** The candidate's MP degree (variants are always >= 1). */
+    static std::uint32_t degreeOf(const SearchCandidate &cand)
     {
-        return chosen_mp_ == 0 ? 1 : chosen_mp_;
+        return std::max<std::uint32_t>(1, cand.variant);
     }
 
     const std::uint32_t mp_;
-    /** Degree the protected hooks evaluate; set by run(). */
-    mutable std::uint32_t chosen_mp_ = 0;
 };
 
 } // namespace so::runtime

@@ -8,66 +8,65 @@
 
 namespace so::runtime {
 
-double
-PipelineSystem::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
-                         bool checkpointing) const
+std::vector<std::uint32_t>
+PipelineSystem::searchVariants(const TrainSetup &setup) const
 {
-    const double p = effectiveStages();
+    if (stages_ != 0)
+        return {stages_};
+    const std::uint32_t gpus = setup.cluster.totalSuperchips();
+    std::vector<std::uint32_t> counts;
+    for (std::uint32_t p = 1; p <= gpus; p *= 2) {
+        if (p > setup.model.layers)
+            break;
+        counts.push_back(p);
+    }
+    if (counts.empty())
+        counts.push_back(1);
+    return counts;
+}
+
+std::uint32_t
+PipelineSystem::fallbackVariant(const TrainSetup &setup) const
+{
+    if (stages_ != 0)
+        return stages_;
+    return std::min(setup.cluster.totalSuperchips(),
+                    std::max<std::uint32_t>(1, setup.model.layers));
+}
+
+double
+PipelineSystem::gpuBytes(const TrainSetup &setup,
+                         const SearchCandidate &cand) const
+{
+    const double p = stagesOf(cand);
     const auto states = model::StateSizes::forParams(setup.model.params());
     model::ActivationOptions act_opts;
-    act_opts.checkpointing = checkpointing;
+    act_opts.checkpointing = cand.checkpointing;
     // 1F1B keeps up to P micro-batches of this stage's activations in
     // flight: P x (act of 1/P of the layers) ~= one micro-batch of the
     // whole model's activations.
-    const double act = model::activationBytes(setup.model, micro_batch,
+    const double act = model::activationBytes(setup.model, cand.micro_batch,
                                               setup.seq, act_opts);
     return model::gpuResidentBytes(states.totalBytes() / p + act);
 }
 
 double
-PipelineSystem::cpuBytes(const TrainSetup &) const
+PipelineSystem::cpuBytes(const TrainSetup &, const SearchCandidate &) const
 {
     return 0.0;
 }
 
 IterationResult
-PipelineSystem::run(const TrainSetup &setup) const
+PipelineSystem::simulate(const TrainSetup &setup,
+                         const SearchCandidate &cand) const
 {
-    if (stages_ != 0) {
-        chosen_stages_ = stages_;
-        return TrainingSystem::run(setup);
-    }
-    const std::uint32_t gpus = setup.cluster.totalSuperchips();
-    IterationResult best;
-    std::uint32_t best_p = 0;
-    for (std::uint32_t p = 1; p <= gpus; p *= 2) {
-        if (p > setup.model.layers)
-            break;
-        chosen_stages_ = p;
-        IterationResult res = TrainingSystem::run(setup);
-        if (res.feasible &&
-            (!best.feasible || res.tflopsPerGpu() > best.tflopsPerGpu())) {
-            best = std::move(res);
-            best_p = p;
-        }
-    }
-    if (!best.feasible) {
-        chosen_stages_ = std::min(
-            gpus, std::max<std::uint32_t>(1, setup.model.layers));
-        return TrainingSystem::run(setup);
-    }
-    chosen_stages_ = best_p;
-    return best;
-}
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
+    const std::uint32_t accum_steps = cand.accum_steps;
 
-IterationResult
-PipelineSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
-                         bool checkpointing,
-                         std::uint32_t accum_steps) const
-{
     IterBuilder builder(setup);
     const model::ModelConfig &cfg = setup.model;
-    const std::uint32_t p = effectiveStages();
+    const std::uint32_t p = stagesOf(cand);
     const std::uint32_t gpus = setup.cluster.totalSuperchips();
     const std::uint32_t dp = std::max<std::uint32_t>(1, gpus / p);
     // Micro-batches per iteration (1F1B's M): the accumulation steps.
@@ -139,7 +138,9 @@ PipelineSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
     total.bwd_attn /= p;
     total.recompute_gemm /= p;
     total.recompute_attn /= p;
-    return builder.finish(total);
+    IterationResult res = builder.finish(total);
+    res.setExtra("stages", static_cast<double>(p));
+    return res;
 }
 
 } // namespace so::runtime

@@ -9,10 +9,14 @@
  * per-rank batch into M micro-batches, and each stage processes every
  * micro-batch with the classic (P-1)/(M+P-1) bubble. Activations cross
  * stage boundaries over the cluster fabric; gradients all-reduce over
- * the data-parallel replicas of each stage.
+ * the data-parallel replicas of each stage. The stage count is the
+ * candidate's variant index; the chosen count is reported as the
+ * "stages" extra.
  */
 #ifndef SO_RUNTIME_PIPELINE_H
 #define SO_RUNTIME_PIPELINE_H
+
+#include <algorithm>
 
 #include "runtime/system.h"
 
@@ -27,27 +31,36 @@ class PipelineSystem : public TrainingSystem
 
     std::string name() const override { return "Pipeline (1F1B)"; }
 
-    IterationResult run(const TrainSetup &setup) const override;
-
-    /** Stage count chosen by the last run() (0 = none yet). */
-    std::uint32_t stageCount() const { return chosen_stages_; }
-
   protected:
-    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
-                    bool checkpointing) const override;
-    double cpuBytes(const TrainSetup &setup) const override;
+    double gpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &cand) const override;
+    double cpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &) const override;
     IterationResult simulate(const TrainSetup &setup,
-                             std::uint32_t micro_batch, bool checkpointing,
-                             std::uint32_t accum_steps) const override;
+                             const SearchCandidate &cand) const override;
+
+    /**
+     * Candidate stage counts: the fixed one, or powers of two up to
+     * the cluster size, capped by the layer count.
+     */
+    std::vector<std::uint32_t>
+    searchVariants(const TrainSetup &setup) const override;
+
+    /**
+     * When no power-of-two count fits, retry at the layer-bounded
+     * count min(gpus, layers) — it shards states the finest and may
+     * still be feasible.
+     */
+    std::uint32_t fallbackVariant(const TrainSetup &setup) const override;
 
   private:
-    std::uint32_t effectiveStages() const
+    /** The candidate's stage count (variants are always >= 1). */
+    static std::uint32_t stagesOf(const SearchCandidate &cand)
     {
-        return chosen_stages_ == 0 ? 1 : chosen_stages_;
+        return std::max<std::uint32_t>(1, cand.variant);
     }
 
     const std::uint32_t stages_;
-    mutable std::uint32_t chosen_stages_ = 0;
 };
 
 } // namespace so::runtime

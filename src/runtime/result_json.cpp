@@ -1,0 +1,57 @@
+#include "runtime/result_json.h"
+
+#include "common/json.h"
+
+namespace so::runtime {
+
+void
+writeIterationJson(JsonWriter &json, const IterationResult &result)
+{
+    json.beginObject();
+    json.field("feasible", result.feasible);
+    if (!result.feasible) {
+        json.field("infeasible_reason", result.infeasible_reason);
+        json.endObject();
+        return;
+    }
+    json.field("iter_time_s", result.iter_time);
+    json.field("tflops_per_gpu", result.tflopsPerGpu());
+    json.field("micro_batch", result.micro_batch);
+    json.field("accum_steps", result.accum_steps);
+    json.field("activation_checkpointing",
+               result.activation_checkpointing);
+    json.field("gpu_utilization", result.gpu_utilization);
+    json.field("cpu_utilization", result.cpu_utilization);
+    json.field("link_utilization", result.link_utilization);
+    json.key("memory").beginObject();
+    json.field("gpu_bytes", result.memory.gpu_bytes);
+    json.field("gpu_capacity", result.memory.gpu_capacity);
+    json.field("cpu_bytes", result.memory.cpu_bytes);
+    json.field("cpu_capacity", result.memory.cpu_capacity);
+    if (result.memory.nvme_bytes > 0.0) {
+        json.field("nvme_bytes", result.memory.nvme_bytes);
+        json.field("nvme_capacity", result.memory.nvme_capacity);
+    }
+    json.endObject();
+    json.field("model_flops", result.flops.modelFlops());
+    json.field("executed_flops", result.flops.executedFlops());
+    if (!result.extras.empty()) {
+        json.key("extras").beginObject();
+        for (const auto &[key, value] : result.extras)
+            json.field(key, value);
+        json.endObject();
+    }
+    if (!result.notes.empty())
+        json.field("notes", result.notes);
+    json.endObject();
+}
+
+std::string
+toJson(const IterationResult &result)
+{
+    JsonWriter json;
+    writeIterationJson(json, result);
+    return json.str();
+}
+
+} // namespace so::runtime

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * JSON serialization of IterationResult.
+ *
+ * Lives in the runtime layer (rather than core/report_json) so the
+ * SweepEngine and the bench harness can emit machine-readable records
+ * without depending on the SuperOffload planner; core/report_json
+ * delegates here for the shared iteration section.
+ */
+#ifndef SO_RUNTIME_RESULT_JSON_H
+#define SO_RUNTIME_RESULT_JSON_H
+
+#include <string>
+
+#include "runtime/system.h"
+
+namespace so {
+class JsonWriter;
+} // namespace so
+
+namespace so::runtime {
+
+/**
+ * Emit @p result as one JSON object (feasibility, timing, memory,
+ * utilizations, extras) into an in-progress document.
+ */
+void writeIterationJson(JsonWriter &json, const IterationResult &result);
+
+/** Serialize one iteration evaluation as a standalone document. */
+std::string toJson(const IterationResult &result);
+
+} // namespace so::runtime
+
+#endif // SO_RUNTIME_RESULT_JSON_H

@@ -7,7 +7,7 @@
 namespace so::runtime {
 
 ScaleResult
-largestTrainableModel(const TrainingSystem &system,
+largestTrainableModel(SweepEngine &engine, const TrainingSystem &system,
                       const TrainSetup &setup_template,
                       std::uint32_t max_layers)
 {
@@ -23,7 +23,7 @@ largestTrainableModel(const TrainingSystem &system,
                 std::to_string(hidden) + "h" + std::to_string(layers) +
                     "L",
                 layers, hidden);
-            return system.run(setup).feasible;
+            return engine.evaluate(system, setup).feasible;
         };
         if (!feasible_at(1))
             continue;
@@ -54,8 +54,18 @@ largestTrainableModel(const TrainingSystem &system,
     return best;
 }
 
+ScaleResult
+largestTrainableModel(const TrainingSystem &system,
+                      const TrainSetup &setup_template,
+                      std::uint32_t max_layers)
+{
+    SweepEngine engine;
+    return largestTrainableModel(engine, system, setup_template,
+                                 max_layers);
+}
+
 std::uint32_t
-maxSequenceLength(const TrainingSystem &system,
+maxSequenceLength(SweepEngine &engine, const TrainingSystem &system,
                   const TrainSetup &setup_template,
                   std::uint32_t granularity, std::uint32_t max_seq)
 {
@@ -64,7 +74,7 @@ maxSequenceLength(const TrainingSystem &system,
     auto feasible_at = [&](std::uint32_t seq) {
         TrainSetup setup = setup_template;
         setup.seq = seq;
-        return system.run(setup).feasible;
+        return engine.evaluate(system, setup).feasible;
     };
     if (!feasible_at(granularity))
         return 0;
@@ -94,6 +104,16 @@ maxSequenceLength(const TrainingSystem &system,
             hi = mid;
     }
     return lo;
+}
+
+std::uint32_t
+maxSequenceLength(const TrainingSystem &system,
+                  const TrainSetup &setup_template,
+                  std::uint32_t granularity, std::uint32_t max_seq)
+{
+    SweepEngine engine;
+    return maxSequenceLength(engine, system, setup_template,
+                             granularity, max_seq);
 }
 
 } // namespace so::runtime

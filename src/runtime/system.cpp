@@ -15,6 +15,27 @@ TrainSetup::perGpuBatch() const
     return std::max<std::uint32_t>(1, global_batch / gpus);
 }
 
+void
+IterationResult::setExtra(const std::string &key, double value)
+{
+    for (auto &kv : extras) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    extras.emplace_back(key, value);
+}
+
+double
+IterationResult::extra(const std::string &key, double fallback) const
+{
+    for (const auto &kv : extras)
+        if (kv.first == key)
+            return kv.second;
+    return fallback;
+}
+
 double
 IterationResult::tflopsPerGpu() const
 {
@@ -45,57 +66,62 @@ TrainingSystem::gpuCapacity(const TrainSetup &setup)
     return setup.cluster.node.superchip.gpu.mem_bytes;
 }
 
-IterationResult
-TrainingSystem::run(const TrainSetup &setup) const
+std::vector<std::uint32_t>
+TrainingSystem::searchVariants(const TrainSetup &) const
 {
-    return searchBest(setup, setup.perGpuBatch());
+    return {0};
 }
 
-IterationResult
-TrainingSystem::searchBest(const TrainSetup &setup,
-                           std::uint32_t per_gpu) const
+std::uint32_t
+TrainingSystem::fallbackVariant(const TrainSetup &setup) const
 {
+    return searchVariants(setup).front();
+}
+
+std::uint32_t
+TrainingSystem::perRankBatch(const TrainSetup &setup) const
+{
+    return setup.perGpuBatch();
+}
+
+void
+TrainingSystem::fillMemory(IterationResult &res, const TrainSetup &setup,
+                           const SearchCandidate &cand) const
+{
+    res.memory.gpu_bytes = gpuBytes(setup, cand);
+    res.memory.gpu_capacity = gpuCapacity(setup);
+    res.memory.cpu_bytes = cpuBytes(setup, cand);
+    res.memory.cpu_capacity = cpuCapacity(setup);
+    res.memory.nvme_bytes = nvmeBytes(setup, cand);
+    res.memory.nvme_capacity = setup.cluster.node.superchip.nvme_bytes;
+}
+
+bool
+TrainingSystem::screenVariant(const TrainSetup &setup,
+                              std::uint32_t variant,
+                              std::vector<SearchCandidate> &out) const
+{
+    SearchCandidate probe;
+    probe.variant = variant;
+
+    if (nvmeBytes(setup, probe) > setup.cluster.node.superchip.nvme_bytes)
+        return false;
+    if (cpuBytes(setup, probe) > cpuCapacity(setup))
+        return false;
+
     const double gpu_cap = gpuCapacity(setup);
-    const double cpu_cap = cpuCapacity(setup);
-    const double cpu_need = cpuBytes(setup);
-    const double nvme_cap = setup.cluster.node.superchip.nvme_bytes;
-    const double nvme_need = nvmeBytes(setup);
-
-    auto fill_memory = [&](IterationResult &res, std::uint32_t micro,
-                           bool ckpt) {
-        res.memory.gpu_bytes = gpuBytes(setup, micro, ckpt);
-        res.memory.gpu_capacity = gpu_cap;
-        res.memory.cpu_bytes = cpu_need;
-        res.memory.cpu_capacity = cpu_cap;
-        res.memory.nvme_bytes = nvme_need;
-        res.memory.nvme_capacity = nvme_cap;
-    };
-
-    if (nvme_need > nvme_cap) {
-        IterationResult res;
-        fill_memory(res, 1, true);
-        res.infeasible_reason =
-            "NVMe: needs " + formatBytes(nvme_need) + ", capacity " +
-            formatBytes(nvme_cap);
-        return res;
-    }
-
-    if (cpu_need > cpu_cap) {
-        IterationResult res;
-        fill_memory(res, 1, true);
-        res.infeasible_reason =
-            "host DRAM: needs " + formatBytes(cpu_need) + ", capacity " +
-            formatBytes(cpu_cap);
-        return res;
-    }
+    const std::uint32_t per_rank = perRankBatch(setup);
 
     // Largest micro-batch that fits for a given checkpointing choice;
     // 0 when even micro-batch 1 does not fit.
     auto largest_micro = [&](bool ckpt) -> std::uint32_t {
-        for (std::uint32_t micro = per_gpu; micro >= 1; --micro) {
-            if (per_gpu % micro != 0)
+        SearchCandidate c = probe;
+        c.checkpointing = ckpt;
+        for (std::uint32_t micro = per_rank; micro >= 1; --micro) {
+            if (per_rank % micro != 0)
                 continue; // Accumulation steps must be integral.
-            if (gpuBytes(setup, micro, ckpt) <= gpu_cap)
+            c.micro_batch = micro;
+            if (gpuBytes(setup, c) <= gpu_cap)
                 return micro;
         }
         return 0;
@@ -104,40 +130,120 @@ TrainingSystem::searchBest(const TrainSetup &setup,
     const std::uint32_t micro_plain = largest_micro(false);
     const std::uint32_t micro_ckpt =
         allowCheckpointing() ? largest_micro(true) : 0;
+    if (micro_plain == 0 && micro_ckpt == 0)
+        return false;
 
-    if (micro_plain == 0 && micro_ckpt == 0) {
-        IterationResult res;
-        fill_memory(res, 1, allowCheckpointing());
-        res.infeasible_reason =
-            "GPU memory: needs " + formatBytes(res.memory.gpu_bytes) +
-            " at micro-batch 1" +
-            (allowCheckpointing() ? " with checkpointing" : "") +
-            ", capacity " + formatBytes(gpu_cap);
-        return res;
-    }
-
-    // Evaluate the two §5.2 fallback strategies and keep the faster.
-    IterationResult best;
-    auto consider = [&](std::uint32_t micro, bool ckpt) {
-        if (micro == 0)
-            return;
-        IterationResult res =
-            simulate(setup, micro, ckpt, per_gpu / micro);
-        res.feasible = true;
-        res.micro_batch = micro;
-        res.accum_steps = per_gpu / micro;
-        res.activation_checkpointing = ckpt;
-        fill_memory(res, micro, ckpt);
-        if (!best.feasible || res.tflopsPerGpu() > best.tflopsPerGpu())
-            best = std::move(res);
+    auto push = [&](std::uint32_t micro, bool ckpt) {
+        SearchCandidate c;
+        c.micro_batch = micro;
+        c.accum_steps = per_rank / micro;
+        c.checkpointing = ckpt;
+        c.variant = variant;
+        out.push_back(c);
     };
-    consider(micro_plain, false);
+    if (micro_plain != 0)
+        push(micro_plain, false);
     // Checkpointing is only interesting when it unlocks a larger
     // micro-batch than plain execution allows.
     if (micro_ckpt > micro_plain)
-        consider(micro_ckpt, true);
+        push(micro_ckpt, true);
+    return true;
+}
 
-    return best;
+std::vector<SearchCandidate>
+TrainingSystem::enumerateCandidates(const TrainSetup &setup) const
+{
+    std::vector<SearchCandidate> cands;
+    for (std::uint32_t variant : searchVariants(setup))
+        screenVariant(setup, variant, cands);
+    if (cands.empty()) {
+        // Give the fallback variant (Pipeline's layer-bounded stage
+        // count, for example) a chance to rescue the search; when it
+        // was already screened above this finds nothing new.
+        screenVariant(setup, fallbackVariant(setup), cands);
+    }
+    return cands;
+}
+
+IterationResult
+TrainingSystem::infeasibleResult(const TrainSetup &setup,
+                                 std::uint32_t variant) const
+{
+    SearchCandidate probe;
+    probe.variant = variant;
+    probe.checkpointing = true;
+
+    IterationResult res;
+    const double nvme_cap = setup.cluster.node.superchip.nvme_bytes;
+    const double nvme_need = nvmeBytes(setup, probe);
+    if (nvme_need > nvme_cap) {
+        fillMemory(res, setup, probe);
+        res.infeasible_reason =
+            "NVMe: needs " + formatBytes(nvme_need) + ", capacity " +
+            formatBytes(nvme_cap);
+        return res;
+    }
+
+    const double cpu_need = cpuBytes(setup, probe);
+    const double cpu_cap = cpuCapacity(setup);
+    if (cpu_need > cpu_cap) {
+        fillMemory(res, setup, probe);
+        res.infeasible_reason =
+            "host DRAM: needs " + formatBytes(cpu_need) + ", capacity " +
+            formatBytes(cpu_cap);
+        return res;
+    }
+
+    probe.checkpointing = allowCheckpointing();
+    fillMemory(res, setup, probe);
+    res.infeasible_reason =
+        "GPU memory: needs " + formatBytes(res.memory.gpu_bytes) +
+        " at micro-batch 1" +
+        (allowCheckpointing() ? " with checkpointing" : "") +
+        ", capacity " + formatBytes(gpuCapacity(setup));
+    return res;
+}
+
+IterationResult
+TrainingSystem::evaluateCandidate(const TrainSetup &setup,
+                                  const SearchCandidate &cand) const
+{
+    IterationResult res = simulate(setup, cand);
+    res.feasible = true;
+    res.micro_batch = cand.micro_batch;
+    res.accum_steps = cand.accum_steps;
+    res.activation_checkpointing = cand.checkpointing;
+    fillMemory(res, setup, cand);
+    return res;
+}
+
+IterationResult
+TrainingSystem::selectBest(const TrainSetup &setup,
+                           const std::vector<SearchCandidate> &cands,
+                           std::vector<IterationResult> results) const
+{
+    SO_ASSERT(cands.size() == results.size(),
+              "selectBest: ", cands.size(), " candidates but ",
+              results.size(), " results");
+    if (cands.empty())
+        return infeasibleResult(setup, fallbackVariant(setup));
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < results.size(); ++i)
+        if (results[i].tflopsPerGpu() > results[best].tflopsPerGpu())
+            best = i;
+    return std::move(results[best]);
+}
+
+IterationResult
+TrainingSystem::run(const TrainSetup &setup) const
+{
+    const std::vector<SearchCandidate> cands = enumerateCandidates(setup);
+    std::vector<IterationResult> results;
+    results.reserve(cands.size());
+    for (const SearchCandidate &cand : cands)
+        results.push_back(evaluateCandidate(setup, cand));
+    return selectBest(setup, cands, std::move(results));
 }
 
 } // namespace so::runtime

@@ -11,12 +11,25 @@
  * checkpointing with the largest feasible micro-batch, and report
  * whichever yields higher throughput. Recompute FLOPs are excluded from
  * effective-TFLOPS numbers, also per §5.2.
+ *
+ * The search is factored into three pure stages so the SweepEngine can
+ * fan the simulations out across threads:
+ *
+ *   enumerateCandidates()  -> the full candidate list (memory screen)
+ *   evaluateCandidate()    -> one simulation, thread-safe, any order
+ *   selectBest()           -> deterministic argmax in enumeration order
+ *
+ * run() composes the three serially and is the single-threaded
+ * convenience entry point.
  */
 #ifndef SO_RUNTIME_SYSTEM_H
 #define SO_RUNTIME_SYSTEM_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "hw/collective.h"
 #include "hw/presets.h"
@@ -48,6 +61,23 @@ struct TrainSetup
 
     /** Sequences per GPU per iteration (>= 1). */
     std::uint32_t perGpuBatch() const;
+};
+
+/**
+ * One point of a system's search space, fully determined by data: the
+ * §5.2 micro-batch / checkpointing choice plus a system-specific
+ * variant index (Megatron's MP degree, Pipeline's stage count,
+ * SuperOffload's weight placement; 0 for systems with no extra
+ * dimension). Candidates are plain values so independent simulations
+ * can run on any thread in any order.
+ */
+struct SearchCandidate
+{
+    std::uint32_t micro_batch = 1;
+    std::uint32_t accum_steps = 1;
+    bool checkpointing = false;
+    /** System-specific search dimension (MP degree, stages, placement). */
+    std::uint32_t variant = 0;
 };
 
 /** Memory demand vs capacity for one rank. */
@@ -96,10 +126,23 @@ struct IterationResult
     std::string notes;
 
     /**
+     * Machine-readable system-specific outputs (e.g. "mp", "stages",
+     * "placement", "retained_buckets"), in insertion order so JSON
+     * emission is deterministic.
+     */
+    std::vector<std::pair<std::string, double>> extras;
+
+    /**
      * chrome://tracing JSON of the schedule; filled only when the
      * setup's capture_trace flag was set.
      */
     std::string trace_json;
+
+    /** Set (or overwrite) one named extra. */
+    void setExtra(const std::string &key, double value);
+
+    /** Look up a named extra; @p fallback when absent. */
+    double extra(const std::string &key, double fallback = 0.0) const;
 
     /** Effective TFLOPS per GPU: model flops (no recompute) / time. */
     double tflopsPerGpu() const;
@@ -118,28 +161,62 @@ class TrainingSystem
     virtual std::string name() const = 0;
 
     /**
-     * Evaluate @p setup: performs the micro-batch / checkpointing
-     * search and returns the best feasible schedule (or an infeasible
-     * result naming the limiting resource). Virtual so systems with an
-     * extra search dimension (Megatron's MP degree, SuperOffload's
-     * adaptive policy) can wrap it.
+     * Evaluate @p setup: enumerate candidates, simulate each, and
+     * return the best feasible schedule (or an infeasible result
+     * naming the limiting resource). Equivalent to enumerateCandidates
+     * + evaluateCandidate + selectBest run serially.
      */
-    virtual IterationResult run(const TrainSetup &setup) const;
+    IterationResult run(const TrainSetup &setup) const;
+
+    /**
+     * The full candidate list for @p setup after the memory screen:
+     * for each search variant, the largest plain micro-batch that fits
+     * plus the largest checkpointed micro-batch when it unlocks a
+     * strictly larger one (§5.2). Empty when no candidate fits (the
+     * fallback variant is also screened first, so e.g. Pipeline's
+     * layer-bounded stage count still shows up).
+     */
+    std::vector<SearchCandidate>
+    enumerateCandidates(const TrainSetup &setup) const;
+
+    /**
+     * Simulate one candidate. Pure with respect to the system object:
+     * safe to call concurrently from many threads for the same or
+     * different candidates. Fills feasibility, memory report, and the
+     * simulated schedule.
+     */
+    IterationResult evaluateCandidate(const TrainSetup &setup,
+                                      const SearchCandidate &cand) const;
+
+    /**
+     * Deterministic reduction: first-wins strict-throughput argmax over
+     * @p results in enumeration order (so earlier candidates win ties,
+     * matching the serial search). @p results must be positionally
+     * parallel to @p cands. When @p cands is empty, reconstructs the
+     * infeasible diagnosis at the fallback variant.
+     */
+    IterationResult selectBest(const TrainSetup &setup,
+                               const std::vector<SearchCandidate> &cands,
+                               std::vector<IterationResult> results) const;
 
   protected:
     /**
      * Per-GPU resident bytes (model states + activations + overheads)
-     * for the given micro-batch and checkpointing choice.
+     * for the candidate's micro-batch / checkpointing / variant.
      */
     virtual double gpuBytes(const TrainSetup &setup,
-                            std::uint32_t micro_batch,
-                            bool checkpointing) const = 0;
+                            const SearchCandidate &cand) const = 0;
 
     /** Per-rank host-DRAM bytes the system keeps on the CPU. */
-    virtual double cpuBytes(const TrainSetup &setup) const = 0;
+    virtual double cpuBytes(const TrainSetup &setup,
+                            const SearchCandidate &cand) const = 0;
 
     /** Per-rank NVMe bytes (0 unless the system uses the third tier). */
-    virtual double nvmeBytes(const TrainSetup &) const { return 0.0; }
+    virtual double nvmeBytes(const TrainSetup &,
+                             const SearchCandidate &) const
+    {
+        return 0.0;
+    }
 
     /**
      * Whether the §5.2 search may fall back to activation
@@ -150,30 +227,62 @@ class TrainingSystem
     virtual bool allowCheckpointing() const { return true; }
 
     /**
-     * Build and simulate one iteration's task graph for the given
-     * micro-batch / checkpointing / accumulation choice. The returned
-     * result must fill iter_time, utilizations, flops, and gantt; the
-     * base class fills the rest.
+     * Build and simulate one iteration's task graph for the candidate.
+     * Must fill iter_time, utilizations, flops, gantt, and any
+     * system-specific notes/extras; evaluateCandidate fills the rest.
+     * Must be thread-safe: no mutation of system state.
      */
     virtual IterationResult simulate(const TrainSetup &setup,
-                                     std::uint32_t micro_batch,
-                                     bool checkpointing,
-                                     std::uint32_t accum_steps) const = 0;
+                                     const SearchCandidate &cand) const = 0;
 
     /**
-     * The §5.2 micro-batch / checkpointing search over a per-rank batch
-     * of @p per_rank_batch sequences. The default run() uses
-     * setup.perGpuBatch(); sequence-parallel systems pass the global
-     * batch instead (every rank works on every sequence).
+     * The system-specific search dimension, in evaluation order
+     * (earlier variants win throughput ties). Default: the single
+     * variant 0.
      */
-    IterationResult searchBest(const TrainSetup &setup,
-                               std::uint32_t per_rank_batch) const;
+    virtual std::vector<std::uint32_t>
+    searchVariants(const TrainSetup &setup) const;
+
+    /**
+     * Variant used to diagnose (and possibly rescue) an all-infeasible
+     * search: Megatron reports at its largest MP degree, Pipeline
+     * retries at a layer-bounded stage count. Default: the first search
+     * variant.
+     */
+    virtual std::uint32_t fallbackVariant(const TrainSetup &setup) const;
+
+    /**
+     * Sequences each rank processes per iteration. The default is
+     * setup.perGpuBatch(); sequence-parallel systems return the global
+     * batch (every rank works on every sequence).
+     */
+    virtual std::uint32_t perRankBatch(const TrainSetup &setup) const;
 
     /** CPU capacity available to the system (usable fraction applied). */
     static double cpuCapacity(const TrainSetup &setup);
 
     /** GPU HBM capacity per rank. */
     static double gpuCapacity(const TrainSetup &setup);
+
+  private:
+    /**
+     * §5.2 memory screen for one variant: appends the plain candidate
+     * and, when strictly larger, the checkpointed candidate to @p out.
+     * Returns true when at least one candidate was appended.
+     */
+    bool screenVariant(const TrainSetup &setup, std::uint32_t variant,
+                       std::vector<SearchCandidate> &out) const;
+
+    /**
+     * Reconstruct the infeasible diagnosis (NVMe, then host DRAM, then
+     * GPU memory at micro-batch 1) for @p variant.
+     */
+    IterationResult infeasibleResult(const TrainSetup &setup,
+                                     std::uint32_t variant) const;
+
+    /** Fill the memory demand/capacity report for @p cand. */
+    void fillMemory(IterationResult &res, const TrainSetup &setup,
+                    const SearchCandidate &cand) const;
 };
 
 /** Shared pointer alias used by the registry. */

@@ -15,18 +15,12 @@ UlyssesSystem::UlyssesSystem(std::uint32_t zero_stage)
               "Ulysses supports ZeRO stage 2 or 3, got ", zero_stage);
 }
 
-IterationResult
-UlyssesSystem::run(const TrainSetup &setup) const
-{
-    // Sequence parallelism: every rank participates in every sequence,
-    // so the per-rank batch is the global batch.
-    return searchBest(setup, setup.global_batch);
-}
-
 double
-UlyssesSystem::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
-                        bool checkpointing) const
+UlyssesSystem::gpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
     const double n = setup.cluster.totalSuperchips();
     const double params = setup.model.params();
     // Stage 2: fp16 params + grads replicated, optimizer sharded.
@@ -45,15 +39,18 @@ UlyssesSystem::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
 }
 
 double
-UlyssesSystem::cpuBytes(const TrainSetup &) const
+UlyssesSystem::cpuBytes(const TrainSetup &, const SearchCandidate &) const
 {
     return 0.0;
 }
 
 IterationResult
-UlyssesSystem::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
-                        bool checkpointing, std::uint32_t accum_steps) const
+UlyssesSystem::simulate(const TrainSetup &setup,
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
+    const std::uint32_t accum_steps = cand.accum_steps;
     IterBuilder builder(setup);
     const model::ModelConfig &cfg = setup.model;
     const double layers = cfg.layers;

@@ -32,20 +32,23 @@ class UlyssesSystem : public TrainingSystem
         return zero_stage_ == 3 ? "Ulysses+ZeRO-3" : "Ulysses";
     }
 
-    /**
-     * Custom search: under SP every rank works on every sequence, so
-     * the per-rank batch equals the global batch and activations are
-     * divided by the SP degree.
-     */
-    IterationResult run(const TrainSetup &setup) const override;
-
   protected:
-    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
-                    bool checkpointing) const override;
-    double cpuBytes(const TrainSetup &setup) const override;
+    double gpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &cand) const override;
+    double cpuBytes(const TrainSetup &setup, const SearchCandidate &) const override;
     IterationResult simulate(const TrainSetup &setup,
-                             std::uint32_t micro_batch, bool checkpointing,
-                             std::uint32_t accum_steps) const override;
+                    const SearchCandidate &cand) const override;
+
+    /**
+     * Under SP every rank works on every sequence, so the per-rank
+     * batch equals the global batch and activations are divided by the
+     * SP degree.
+     */
+    std::uint32_t
+    perRankBatch(const TrainSetup &setup) const override
+    {
+        return setup.global_batch;
+    }
 
   private:
     const std::uint32_t zero_stage_;

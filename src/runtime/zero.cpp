@@ -24,9 +24,11 @@ activations(const TrainSetup &setup, std::uint32_t micro_batch,
 // ---------------------------------------------------------------- ZeRO-2
 
 double
-Zero2System::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
-                      bool checkpointing) const
+Zero2System::gpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
     const double n = setup.cluster.totalSuperchips();
     const double params = setup.model.params();
     // Full fp16 params + full fp16 grad buffer (reduced in place), plus
@@ -38,15 +40,18 @@ Zero2System::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
 }
 
 double
-Zero2System::cpuBytes(const TrainSetup &) const
+Zero2System::cpuBytes(const TrainSetup &, const SearchCandidate &) const
 {
     return 0.0;
 }
 
 IterationResult
-Zero2System::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
-                      bool checkpointing, std::uint32_t accum_steps) const
+Zero2System::simulate(const TrainSetup &setup,
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
+    const std::uint32_t accum_steps = cand.accum_steps;
     IterBuilder builder(setup);
     const model::ModelConfig &cfg = setup.model;
     const double layers = cfg.layers;
@@ -110,9 +115,11 @@ Zero2System::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
 // ---------------------------------------------------------------- ZeRO-3
 
 double
-Zero3System::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
-                      bool checkpointing) const
+Zero3System::gpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
     const double n = setup.cluster.totalSuperchips();
     const double params = setup.model.params();
     // Fully sharded 16P/N, plus all-gather/reduce-scatter communication
@@ -126,15 +133,18 @@ Zero3System::gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
 }
 
 double
-Zero3System::cpuBytes(const TrainSetup &) const
+Zero3System::cpuBytes(const TrainSetup &, const SearchCandidate &) const
 {
     return 0.0;
 }
 
 IterationResult
-Zero3System::simulate(const TrainSetup &setup, std::uint32_t micro_batch,
-                      bool checkpointing, std::uint32_t accum_steps) const
+Zero3System::simulate(const TrainSetup &setup,
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
+    const std::uint32_t accum_steps = cand.accum_steps;
     IterBuilder builder(setup);
     const model::ModelConfig &cfg = setup.model;
     const double layers = cfg.layers;

@@ -19,12 +19,11 @@ class Zero2System : public TrainingSystem
     std::string name() const override { return "ZeRO-2"; }
 
   protected:
-    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
-                    bool checkpointing) const override;
-    double cpuBytes(const TrainSetup &setup) const override;
+    double gpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &cand) const override;
+    double cpuBytes(const TrainSetup &setup, const SearchCandidate &) const override;
     IterationResult simulate(const TrainSetup &setup,
-                             std::uint32_t micro_batch, bool checkpointing,
-                             std::uint32_t accum_steps) const override;
+                    const SearchCandidate &cand) const override;
 };
 
 /** ZeRO stage 3: fully sharded model states. */
@@ -34,12 +33,11 @@ class Zero3System : public TrainingSystem
     std::string name() const override { return "ZeRO-3"; }
 
   protected:
-    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
-                    bool checkpointing) const override;
-    double cpuBytes(const TrainSetup &setup) const override;
+    double gpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &cand) const override;
+    double cpuBytes(const TrainSetup &setup, const SearchCandidate &) const override;
     IterationResult simulate(const TrainSetup &setup,
-                             std::uint32_t micro_batch, bool checkpointing,
-                             std::uint32_t accum_steps) const override;
+                    const SearchCandidate &cand) const override;
 };
 
 } // namespace so::runtime

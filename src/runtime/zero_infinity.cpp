@@ -9,9 +9,10 @@ namespace so::runtime {
 
 double
 ZeroInfinitySystem::gpuBytes(const TrainSetup &setup,
-                             std::uint32_t micro_batch,
-                             bool checkpointing) const
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
     // Weight-flow: only a ~2-layer working set of fp16 params plus the
     // live gradient layer and fixed staging buffers reside on the GPU.
     const double working = 3.0 * 2.0 * setup.model.paramsPerLayer();
@@ -24,7 +25,7 @@ ZeroInfinitySystem::gpuBytes(const TrainSetup &setup,
 }
 
 double
-ZeroInfinitySystem::cpuBytes(const TrainSetup &setup) const
+ZeroInfinitySystem::cpuBytes(const TrainSetup &setup, const SearchCandidate &) const
 {
     const double n = setup.cluster.totalSuperchips();
     if (use_nvme_) {
@@ -38,7 +39,7 @@ ZeroInfinitySystem::cpuBytes(const TrainSetup &setup) const
 }
 
 double
-ZeroInfinitySystem::nvmeBytes(const TrainSetup &setup) const
+ZeroInfinitySystem::nvmeBytes(const TrainSetup &setup, const SearchCandidate &) const
 {
     if (!use_nvme_)
         return 0.0;
@@ -48,9 +49,11 @@ ZeroInfinitySystem::nvmeBytes(const TrainSetup &setup) const
 
 IterationResult
 ZeroInfinitySystem::simulate(const TrainSetup &setup,
-                             std::uint32_t micro_batch, bool checkpointing,
-                             std::uint32_t accum_steps) const
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
+    const std::uint32_t accum_steps = cand.accum_steps;
     IterBuilder builder(setup);
     const model::ModelConfig &cfg = setup.model;
     const double layers = cfg.layers;

@@ -51,13 +51,12 @@ class ZeroInfinitySystem : public TrainingSystem
     static constexpr double kPerChunkOverhead = 250.0e-6;
 
   protected:
-    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
-                    bool checkpointing) const override;
-    double cpuBytes(const TrainSetup &setup) const override;
-    double nvmeBytes(const TrainSetup &setup) const override;
+    double gpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &cand) const override;
+    double cpuBytes(const TrainSetup &setup, const SearchCandidate &) const override;
+    double nvmeBytes(const TrainSetup &setup, const SearchCandidate &) const override;
     IterationResult simulate(const TrainSetup &setup,
-                             std::uint32_t micro_batch, bool checkpointing,
-                             std::uint32_t accum_steps) const override;
+                    const SearchCandidate &cand) const override;
 
   private:
     const bool use_nvme_;

@@ -11,9 +11,10 @@ namespace so::runtime {
 
 double
 ZeroOffloadSystem::gpuBytes(const TrainSetup &setup,
-                            std::uint32_t micro_batch,
-                            bool checkpointing) const
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
     const double n = setup.cluster.totalSuperchips();
     const double params = setup.model.params();
     // Full fp16 parameters + full fp16 gradient buffer (DeepSpeed's
@@ -28,7 +29,7 @@ ZeroOffloadSystem::gpuBytes(const TrainSetup &setup,
 }
 
 double
-ZeroOffloadSystem::cpuBytes(const TrainSetup &setup) const
+ZeroOffloadSystem::cpuBytes(const TrainSetup &setup, const SearchCandidate &) const
 {
     const double n = setup.cluster.totalSuperchips();
     const double params = setup.model.params();
@@ -38,9 +39,11 @@ ZeroOffloadSystem::cpuBytes(const TrainSetup &setup) const
 
 IterationResult
 ZeroOffloadSystem::simulate(const TrainSetup &setup,
-                            std::uint32_t micro_batch, bool checkpointing,
-                            std::uint32_t accum_steps) const
+                    const SearchCandidate &cand) const
 {
+    const std::uint32_t micro_batch = cand.micro_batch;
+    const bool checkpointing = cand.checkpointing;
+    const std::uint32_t accum_steps = cand.accum_steps;
     IterBuilder builder(setup);
     const model::ModelConfig &cfg = setup.model;
     const double params = cfg.params();

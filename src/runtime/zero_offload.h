@@ -32,12 +32,11 @@ class ZeroOffloadSystem : public TrainingSystem
     static constexpr double kBucketFrameworkOverhead = 10.0e-3;
 
   protected:
-    double gpuBytes(const TrainSetup &setup, std::uint32_t micro_batch,
-                    bool checkpointing) const override;
-    double cpuBytes(const TrainSetup &setup) const override;
+    double gpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &cand) const override;
+    double cpuBytes(const TrainSetup &setup, const SearchCandidate &) const override;
     IterationResult simulate(const TrainSetup &setup,
-                             std::uint32_t micro_batch, bool checkpointing,
-                             std::uint32_t accum_steps) const override;
+                    const SearchCandidate &cand) const override;
 };
 
 } // namespace so::runtime

@@ -40,9 +40,10 @@ TaskGraph::addDep(TaskId before, TaskId after)
 {
     SO_ASSERT(before < tasks_.size() && after < tasks_.size(),
               "addDep on unknown task");
-    SO_ASSERT(before < after,
-              "dependencies must point backwards (", before, " -> ", after,
-              "); add tasks in topological order");
+    SO_ASSERT(before != after, "task ", before,
+              " cannot depend on itself");
+    // Edges may be wired in any order; the scheduler diagnoses actual
+    // cycles with the labels of the unreachable tasks.
     tasks_[after].deps.push_back(before);
 }
 

@@ -66,7 +66,11 @@ class TaskGraph
     TaskId addTask(ResourceId resource, double duration, std::string label,
                    std::vector<TaskId> deps = {}, std::int32_t priority = 0);
 
-    /** Add the edge @p before -> @p after. */
+    /**
+     * Add the edge @p before -> @p after. Edges may be wired in any
+     * order (self-loops excepted); a graph that ends up cyclic is
+     * diagnosed by the scheduler with the unreachable tasks' labels.
+     */
     void addDep(TaskId before, TaskId after);
 
     const std::vector<Resource> &resources() const { return resources_; }

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <queue>
-#include <set>
+#include <string>
 
 #include "common/logging.h"
 
@@ -43,6 +43,16 @@ struct ReadyTask
     }
 };
 
+/** Min-heap comparator: the lowest (priority, id) pops first. */
+struct ReadyAfter
+{
+    bool
+    operator()(const ReadyTask &a, const ReadyTask &b) const
+    {
+        return b < a;
+    }
+};
+
 /** Completion event in the global event queue. */
 struct Completion
 {
@@ -66,10 +76,14 @@ struct ResourceState
     // Min-heap of slot free times.
     std::priority_queue<double, std::vector<double>,
                         std::greater<double>> slot_free;
-    // Ready tasks not yet started, ordered by (priority, id).
-    std::set<ReadyTask> ready;
+    // Ready tasks not yet started; min-heap by (priority, id).
+    std::priority_queue<ReadyTask, std::vector<ReadyTask>, ReadyAfter>
+        ready;
     std::uint32_t next_slot = 0;
 };
+
+/** How many unreachable-task labels a cycle diagnosis lists. */
+constexpr std::size_t kMaxCycleLabels = 8;
 
 } // namespace
 
@@ -84,13 +98,28 @@ Scheduler::run(const TaskGraph &graph) const
     schedule.finish.assign(n, 0.0);
     schedule.timelines.resize(graph.resourceCount());
 
-    // Dependency bookkeeping.
+    // Dependency bookkeeping. The reverse edges (task -> dependents) are
+    // flattened CSR-style into one offsets array plus one edge array so
+    // graph setup costs two allocations instead of one vector per task.
     std::vector<std::uint32_t> pending_deps(n, 0);
-    std::vector<std::vector<TaskId>> dependents(n);
+    std::size_t edge_count = 0;
     for (TaskId id = 0; id < n; ++id) {
         pending_deps[id] = static_cast<std::uint32_t>(tasks[id].deps.size());
+        edge_count += tasks[id].deps.size();
+    }
+    std::vector<std::size_t> dependent_offsets(n + 1, 0);
+    for (TaskId id = 0; id < n; ++id)
         for (TaskId dep : tasks[id].deps)
-            dependents[dep].push_back(id);
+            ++dependent_offsets[dep + 1];
+    for (std::size_t i = 1; i <= n; ++i)
+        dependent_offsets[i] += dependent_offsets[i - 1];
+    std::vector<TaskId> dependents(edge_count);
+    {
+        std::vector<std::size_t> cursor(dependent_offsets.begin(),
+                                        dependent_offsets.end() - (n ? 1 : 0));
+        for (TaskId id = 0; id < n; ++id)
+            for (TaskId dep : tasks[id].deps)
+                dependents[cursor[dep]++] = id;
     }
 
     std::vector<ResourceState> rstate(graph.resourceCount());
@@ -104,17 +133,18 @@ Scheduler::run(const TaskGraph &graph) const
     double now = 0.0;
 
     // Track which slot each running task holds so timelines carry slot
-    // indices (used by the chrome-trace exporter).
+    // indices (used by the chrome-trace exporter), and which tasks ever
+    // completed (for the cycle diagnosis).
     std::vector<std::uint32_t> task_slot(n, 0);
+    std::vector<char> done(n, 0);
 
     auto start_ready = [&](ResourceId r) {
         ResourceState &state = rstate[r];
         while (!state.ready.empty() && !state.slot_free.empty() &&
                state.slot_free.top() <= now) {
             state.slot_free.pop();
-            const ReadyTask ready_task = *state.ready.begin();
-            state.ready.erase(state.ready.begin());
-            const TaskId id = ready_task.id;
+            const TaskId id = state.ready.top().id;
+            state.ready.pop();
             const double begin = now;
             const double end = begin + tasks[id].duration;
             schedule.start[id] = begin;
@@ -129,7 +159,7 @@ Scheduler::run(const TaskGraph &graph) const
 
     auto mark_ready = [&](TaskId id) {
         const ResourceId r = tasks[id].resource;
-        rstate[r].ready.insert(ReadyTask{tasks[id].priority, id});
+        rstate[r].ready.push(ReadyTask{tasks[id].priority, id});
     };
 
     // Seed with tasks that have no dependencies.
@@ -140,37 +170,67 @@ Scheduler::run(const TaskGraph &graph) const
     for (ResourceId r = 0; r < graph.resourceCount(); ++r)
         start_ready(r);
 
+    // Per-timestamp scratch, hoisted out of the event loop. `touched` is
+    // a flag per resource (resource counts are tiny) so freed resources
+    // restart work in ascending-id order, deterministically.
+    std::vector<TaskId> finished;
+    finished.reserve(16);
+    std::vector<char> touched(graph.resourceCount(), 0);
+
     while (!events.empty()) {
         now = events.top().time;
         // Process every completion at this timestamp before starting new
         // work, so freed slots and satisfied deps are all visible.
-        std::vector<TaskId> finished;
+        finished.clear();
         while (!events.empty() && events.top().time == now) {
             finished.push_back(events.top().id);
             events.pop();
         }
-        std::set<ResourceId> touched;
+        std::fill(touched.begin(), touched.end(), 0);
         for (TaskId id : finished) {
             ++completed;
+            done[id] = 1;
             const ResourceId r = tasks[id].resource;
             rstate[r].slot_free.push(now);
-            touched.insert(r);
-            for (TaskId next : dependents[id]) {
+            touched[r] = 1;
+            const std::size_t dep_begin = dependent_offsets[id];
+            const std::size_t dep_end = dependent_offsets[id + 1];
+            for (std::size_t e = dep_begin; e < dep_end; ++e) {
+                const TaskId next = dependents[e];
                 SO_ASSERT(pending_deps[next] > 0, "dependency underflow");
                 if (--pending_deps[next] == 0) {
                     mark_ready(next);
-                    touched.insert(tasks[next].resource);
+                    touched[tasks[next].resource] = 1;
                 }
             }
         }
-        for (ResourceId r : touched)
-            start_ready(r);
+        for (ResourceId r = 0; r < graph.resourceCount(); ++r)
+            if (touched[r])
+                start_ready(r);
         schedule.makespan = std::max(schedule.makespan, now);
     }
 
-    SO_ASSERT(completed == n,
-              "scheduler finished with ", n - completed,
-              " unreachable tasks; the graph has a cycle");
+    if (completed != n) {
+        // Unreachable tasks: the graph has a dependency cycle. Name the
+        // stuck tasks so a bad system schedule is debuggable.
+        std::string labels;
+        std::size_t listed = 0;
+        for (TaskId id = 0; id < n && listed < kMaxCycleLabels; ++id) {
+            if (done[id])
+                continue;
+            if (listed++)
+                labels += ", ";
+            labels += '"' + tasks[id].label + '"';
+        }
+        const std::size_t stuck = n - completed;
+        if (stuck > kMaxCycleLabels)
+            labels += ", ... (" +
+                      std::to_string(stuck - kMaxCycleLabels) + " more)";
+        SO_FATAL("scheduler: ", stuck,
+                 " task(s) unreachable — the graph has a dependency "
+                 "cycle involving: ",
+                 labels);
+    }
     return schedule;
 }
 

@@ -37,14 +37,18 @@ struct Schedule
     double utilization(ResourceId resource) const;
 };
 
-/** Event-driven scheduler; stateless, call run() per graph. */
+/**
+ * Event-driven scheduler; stateless and reentrant — run() keeps all of
+ * its working state on the stack, so one Scheduler (or many) may
+ * simulate different graphs concurrently from multiple threads.
+ */
 class Scheduler
 {
   public:
     /**
      * Simulate @p graph from time 0.
-     * @panics if the graph contains a dependency cycle (unreachable
-     * tasks at the end of simulation).
+     * Fails (exits with a diagnostic naming the unreachable tasks'
+     * labels) if the graph contains a dependency cycle.
      */
     Schedule run(const TaskGraph &graph) const;
 };

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace so {
@@ -86,6 +88,53 @@ TEST(ThreadPool, ReusableAcrossWaves)
         pool.wait();
         EXPECT_EQ(count.load(), 20);
     }
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, FirstExceptionWinsOtherTasksStillRun)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 50; ++i) {
+        pool.submit([&, i] {
+            ++ran;
+            if (i % 10 == 0)
+                throw std::runtime_error("boom " + std::to_string(i));
+        });
+    }
+    // Exactly one of the five exceptions surfaces; every task ran.
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, PoolUsableAfterException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed: the next wave runs clean.
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100000,
+                                  [&](std::size_t begin, std::size_t) {
+                                      if (begin == 0)
+                                          throw std::runtime_error("chunk");
+                                  }),
+                 std::runtime_error);
 }
 
 } // namespace

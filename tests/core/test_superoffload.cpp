@@ -156,8 +156,11 @@ TEST(SuperOffload, AdaptivePolicyReportsPlacement)
     ASSERT_TRUE(res.feasible);
     EXPECT_NE(res.notes.find("weight-"), std::string::npos);
     EXPECT_NE(res.notes.find("retained="), std::string::npos);
-    EXPECT_TRUE(sys.chosenPlacement() == WeightPlacement::Stationary ||
-                sys.chosenPlacement() == WeightPlacement::Flow);
+    const auto placement =
+        static_cast<WeightPlacement>(static_cast<std::uint32_t>(
+            res.extra("placement", -1.0)));
+    EXPECT_TRUE(placement == WeightPlacement::Stationary ||
+                placement == WeightPlacement::Flow);
 }
 
 TEST(SuperOffload, ForcedStationaryStillFeasibleOnMidSizes)
@@ -167,7 +170,8 @@ TEST(SuperOffload, ForcedStationaryStillFeasibleOnMidSizes)
     SuperOffloadSystem sys(opts);
     const auto res = sys.run(setupFor("10B"));
     ASSERT_TRUE(res.feasible);
-    EXPECT_EQ(sys.chosenPlacement(), WeightPlacement::Stationary);
+    EXPECT_EQ(res.extra("placement", -1.0),
+              static_cast<double>(WeightPlacement::Stationary));
 }
 
 TEST(SuperOffload, FlowModeUnlocksLongSequences)
@@ -184,8 +188,10 @@ TEST(SuperOffload, FlowModeUnlocksLongSequences)
     EXPECT_TRUE(SuperOffloadSystem(flow).run(setup).feasible);
 
     SuperOffloadSystem adaptive;
-    EXPECT_TRUE(adaptive.run(setup).feasible);
-    EXPECT_EQ(adaptive.chosenPlacement(), WeightPlacement::Flow);
+    const auto auto_res = adaptive.run(setup);
+    EXPECT_TRUE(auto_res.feasible);
+    EXPECT_EQ(auto_res.extra("placement", -1.0),
+              static_cast<double>(WeightPlacement::Flow));
 }
 
 TEST(SuperOffload, RemoteNumaBindingHurtsThroughput)
@@ -247,8 +253,9 @@ TEST(SuperOffload, FullyDeterministicAcrossRuns)
     EXPECT_EQ(r1.gpu_utilization, r2.gpu_utilization);
     EXPECT_EQ(r1.micro_batch, r2.micro_batch);
     EXPECT_EQ(r1.notes, r2.notes);
-    EXPECT_EQ(a.chosenPlacement(), b.chosenPlacement());
-    EXPECT_EQ(a.chosenRetainedBuckets(), b.chosenRetainedBuckets());
+    EXPECT_EQ(r1.extra("placement", -1.0), r2.extra("placement", -1.0));
+    EXPECT_EQ(r1.extra("retained_buckets", -1.0),
+              r2.extra("retained_buckets", -1.0));
 }
 
 TEST(SuperOffload, TraceCaptureIsOptIn)

@@ -69,7 +69,7 @@ TEST(Megatron, SingleGpuDegradesToMp1)
     MegatronSystem meg;
     const auto res = meg.run(setupFor("3B"));
     ASSERT_TRUE(res.feasible);
-    EXPECT_EQ(meg.modelParallelDegree(), 1u);
+    EXPECT_EQ(res.extra("mp"), 1.0);
 }
 
 TEST(Megatron, UsesModelParallelismForLargeModels)
@@ -77,7 +77,7 @@ TEST(Megatron, UsesModelParallelismForLargeModels)
     MegatronSystem meg;
     const auto res = meg.run(setupFor("20B", 4, 16));
     ASSERT_TRUE(res.feasible);
-    EXPECT_GT(meg.modelParallelDegree(), 1u);
+    EXPECT_GT(res.extra("mp"), 1.0);
 }
 
 TEST(Megatron, FixedDegreeIsRespected)
@@ -85,7 +85,7 @@ TEST(Megatron, FixedDegreeIsRespected)
     MegatronSystem meg(4);
     const auto res = meg.run(setupFor("10B", 4, 16));
     ASSERT_TRUE(res.feasible);
-    EXPECT_EQ(meg.modelParallelDegree(), 4u);
+    EXPECT_EQ(res.extra("mp"), 4.0);
 }
 
 TEST(Megatron, TpSyncCostMakesItSlowerThanZero3)

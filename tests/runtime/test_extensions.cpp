@@ -36,7 +36,7 @@ TEST(Pipeline, SingleGpuDegeneratesToOneStage)
     PipelineSystem pp;
     const auto res = pp.run(setupFor("3B"));
     ASSERT_TRUE(res.feasible);
-    EXPECT_EQ(pp.stageCount(), 1u);
+    EXPECT_EQ(res.extra("stages"), 1.0);
 }
 
 TEST(Pipeline, ShardsStatesAcrossStages)
@@ -46,7 +46,7 @@ TEST(Pipeline, ShardsStatesAcrossStages)
     EXPECT_FALSE(pp.run(setupFor("20B", 1, 8)).feasible);
     const auto res = pp.run(setupFor("20B", 4, 16));
     ASSERT_TRUE(res.feasible);
-    EXPECT_GT(pp.stageCount(), 1u);
+    EXPECT_GT(res.extra("stages"), 1.0);
 }
 
 TEST(Pipeline, BubbleLimitsThroughputAtSmallMicroCounts)
@@ -78,7 +78,7 @@ TEST(Pipeline, FixedStageCountRespected)
     PipelineSystem pp(2);
     const auto res = pp.run(setupFor("10B", 4, 16));
     ASSERT_TRUE(res.feasible);
-    EXPECT_EQ(pp.stageCount(), 2u);
+    EXPECT_EQ(res.extra("stages"), 2.0);
 }
 
 // ------------------------------------------------- Deep-Optimizer-States

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "sim/graph.h"
 
 namespace so::sim {
@@ -177,6 +181,91 @@ TEST(Scheduler, EmptyGraph)
     g.addResource("GPU");
     const Schedule s = Scheduler().run(g);
     EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+}
+
+TEST(SchedulerDeathTest, CycleNamesTheUnreachableTasks)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId head = g.addTask(r, 1.0, "prologue");
+    const TaskId a = g.addTask(r, 1.0, "opt-step", {head});
+    const TaskId b = g.addTask(r, 1.0, "grad-sync", {a});
+    g.addDep(b, a); // opt-step <-> grad-sync: a cycle.
+    EXPECT_DEATH(Scheduler().run(g),
+                 "unreachable.*opt-step.*grad-sync");
+}
+
+TEST(SchedulerDeathTest, CycleDiagnosisTruncatesLongLists)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId first = g.addTask(r, 1.0, "stuck0");
+    TaskId prev = first;
+    for (int i = 1; i < 12; ++i)
+        prev = g.addTask(r, 1.0, "stuck" + std::to_string(i), {prev});
+    g.addDep(prev, first); // 12-task ring: all unreachable.
+    EXPECT_DEATH(Scheduler().run(g), "stuck0.*stuck7.*4 more");
+}
+
+TEST(Scheduler, ForwardWiredDagStillRuns)
+{
+    // addDep accepts edges in any order; only true cycles are fatal.
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId a = g.addTask(r, 1.0, "late-dep");
+    const TaskId b = g.addTask(r, 1.0, "early");
+    g.addDep(b, a); // a waits for the later-added b.
+    const Schedule s = Scheduler().run(g);
+    EXPECT_DOUBLE_EQ(s.start[b], 0.0);
+    EXPECT_DOUBLE_EQ(s.start[a], 1.0);
+    EXPECT_DOUBLE_EQ(s.makespan, 2.0);
+}
+
+TEST(Scheduler, ConcurrentRunsAreIndependentAndIdentical)
+{
+    // The scheduler must be reentrant: many threads simulating the same
+    // graph shape concurrently produce bit-identical schedules.
+    auto build = [] {
+        TaskGraph g;
+        const ResourceId gpu = g.addResource("GPU");
+        const ResourceId cpu = g.addResource("CPU", 4);
+        const ResourceId link = g.addResource("link");
+        TaskId prev = kInvalidTask;
+        for (int i = 0; i < 800; ++i) {
+            std::vector<TaskId> deps;
+            if (prev != kInvalidTask)
+                deps.push_back(prev);
+            prev = g.addTask(gpu, 0.001 + 0.0001 * (i % 7), "g", deps,
+                             i % 3 - 1);
+            const TaskId moved =
+                g.addTask(link, 0.0004, "d2h", {prev});
+            g.addTask(cpu, 0.002, "adam", {moved});
+        }
+        return g;
+    };
+
+    const TaskGraph reference_graph = build();
+    const Schedule reference = Scheduler().run(reference_graph);
+
+    constexpr int kThreads = 8;
+    std::vector<Schedule> results(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            const TaskGraph g = build();
+            results[t] = Scheduler().run(g);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    for (int t = 0; t < kThreads; ++t) {
+        ASSERT_EQ(results[t].start.size(), reference.start.size());
+        EXPECT_EQ(results[t].makespan, reference.makespan);
+        EXPECT_EQ(results[t].start, reference.start);
+        EXPECT_EQ(results[t].finish, reference.finish);
+    }
 }
 
 } // namespace
