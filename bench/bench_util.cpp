@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
+#include <system_error>
 
 #include "common/argparse.h"
 #include "common/json.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace so::bench {
 
@@ -44,12 +47,24 @@ Harness::Harness(int argc, const char *const *argv, std::string id,
         if (json_path_.empty())
             json_path_ = "BENCH_" + sanitizeId(id_) + ".json";
     }
+    if (args.has("trace-dir")) {
+        trace_dir_ = args.get("trace-dir");
+        if (trace_dir_.empty())
+            trace_dir_ = "traces";
+    }
+    // --trace-dir implies profiling so the traces carry critical-path
+    // flow arrows and each cell gets its profile document.
+    profile_ = args.has("profile") || !trace_dir_.empty();
 }
 
 std::size_t
 Harness::add(const runtime::TrainingSystem &system,
              runtime::TrainSetup setup, std::string tag)
 {
+    if (profile_)
+        setup.capture_profile = true;
+    if (!trace_dir_.empty())
+        setup.capture_trace = true;
     return engine_->add(system, std::move(setup), std::move(tag));
 }
 
@@ -60,9 +75,53 @@ Harness::table(std::string title)
     return *tables_.back();
 }
 
+void
+Harness::writeTraceFiles() const
+{
+    if (trace_dir_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir_, ec);
+    if (ec)
+        SO_FATAL("cannot create trace directory ", trace_dir_, ": ",
+                 ec.message());
+
+    auto write_doc = [&](const std::string &path,
+                         const std::string &doc) {
+        std::FILE *out = std::fopen(path.c_str(), "w");
+        if (!out)
+            SO_FATAL("cannot open ", path, " for writing");
+        std::fwrite(doc.data(), 1, doc.size(), out);
+        std::fputc('\n', out);
+        std::fclose(out);
+    };
+
+    const std::string stem = sanitizeId(id_);
+    std::size_t written = 0;
+    const auto &cells = engine_->cells();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!cells[i].evaluated)
+            continue;
+        const runtime::IterationResult &res = cells[i].result;
+        const std::string base =
+            trace_dir_ + "/" + stem + "_cell" + std::to_string(i);
+        if (!res.trace_json.empty()) {
+            write_doc(base + ".trace.json", res.trace_json);
+            ++written;
+        }
+        if (!res.profile_json.empty()) {
+            write_doc(base + ".profile.json", res.profile_json);
+            ++written;
+        }
+    }
+    std::printf("wrote %zu trace/profile file(s) to %s\n", written,
+                trace_dir_.c_str());
+}
+
 int
 Harness::finish()
 {
+    writeTraceFiles();
     if (json_path_.empty())
         return 0;
     JsonWriter json;
@@ -79,6 +138,8 @@ Harness::finish()
     json.endArray();
     json.key("cells");
     engine_->writeCells(json);
+    json.key("metrics");
+    MetricsRegistry::global().snapshot().write(json);
     json.endObject();
 
     std::FILE *out = std::fopen(json_path_.c_str(), "w");

@@ -5,11 +5,12 @@
  * Every bench builds on the Harness: it parses the shared command line
  * (--jobs N for parallel evaluation, --json [path] for a
  * machine-readable BENCH_<id>.json record, --progress for sweep
- * logging), owns the SweepEngine the bench declares its grid into, and
- * collects the rendered tables so the JSON document carries both the
- * formatted tables and the raw per-cell records. Benches keep working
- * with no arguments at all — that is how the ctest smoke tests and CI
- * run them.
+ * logging, --profile for schedule profiling, --trace-dir DIR for
+ * per-cell chrome-trace/profile files), owns the SweepEngine the bench
+ * declares its grid into, and collects the rendered tables so the JSON
+ * document carries both the formatted tables and the raw per-cell
+ * records. Benches keep working with no arguments at all — that is how
+ * the ctest smoke tests and CI run them.
  */
 #ifndef SO_BENCH_BENCH_UTIL_H
 #define SO_BENCH_BENCH_UTIL_H
@@ -76,7 +77,11 @@ class Harness
     /** The engine (for scale searches and direct evaluate() calls). */
     runtime::SweepEngine &engine() { return *engine_; }
 
-    /** Declare one cell; returns its index for result(). */
+    /**
+     * Declare one cell; returns its index for result(). When --profile
+     * or --trace-dir was given, the setup's capture_profile /
+     * capture_trace flags are switched on before the cell is added.
+     */
     std::size_t add(const runtime::TrainingSystem &system,
                     runtime::TrainSetup setup, std::string tag = "");
 
@@ -95,9 +100,14 @@ class Harness
     /** Resolved worker count. */
     std::size_t jobs() const { return engine_->jobs(); }
 
+    /** Whether --profile (or --trace-dir) switched profiling on. */
+    bool profiling() const { return profile_; }
+
     /**
-     * Finish the bench: write BENCH_<id>.json when --json was given.
-     * Returns the process exit code (0).
+     * Finish the bench: write per-cell trace/profile files when
+     * --trace-dir was given, and BENCH_<id>.json (tables, cells, and a
+     * metrics-registry snapshot) when --json was given. Returns the
+     * process exit code (0).
      */
     int finish();
 
@@ -105,8 +115,13 @@ class Harness
     static std::string sanitizeId(const std::string &id);
 
   private:
+    /** Write per-cell .trace.json / .profile.json under trace_dir_. */
+    void writeTraceFiles() const;
+
     std::string id_;
     std::string json_path_; // Empty: no JSON requested.
+    std::string trace_dir_; // Empty: no trace files requested.
+    bool profile_ = false;
     std::unique_ptr<runtime::SweepEngine> engine_;
     std::vector<std::unique_ptr<Table>> tables_;
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.h"
 
@@ -151,6 +152,306 @@ JsonWriter::str() const
 {
     SO_ASSERT(stack_.empty(), "unterminated JSON structure");
     return out_;
+}
+
+bool
+JsonValue::boolean() const
+{
+    SO_ASSERT(isBool(), "JsonValue is not a boolean");
+    return bool_;
+}
+
+double
+JsonValue::number() const
+{
+    SO_ASSERT(isNumber(), "JsonValue is not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::text() const
+{
+    SO_ASSERT(isString(), "JsonValue is not a string");
+    return text_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    SO_ASSERT(isArray(), "JsonValue is not an array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    SO_ASSERT(isObject(), "JsonValue is not an object");
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    SO_ASSERT(isObject(), "JsonValue is not an object");
+    for (const auto &[name, value] : members_)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *value = find(key);
+    SO_ASSERT(value, "JSON object has no member \"", key, "\"");
+    return *value;
+}
+
+/** Recursive-descent parser over one in-memory document. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        skipWhitespace();
+        if (!parseValue(out, 0))
+            return false;
+        skipWhitespace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    /** Deepest nesting accepted before the parser gives up. */
+    static constexpr std::size_t kMaxDepth = 256;
+
+    bool
+    fail(const std::string &reason)
+    {
+        if (error_ && error_->empty())
+            *error_ = "offset " + std::to_string(pos_) + ": " + reason;
+        return false;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char expected)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != expected)
+            return fail(std::string("expected '") + expected + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool
+    parseLiteral(const char *word, std::size_t len)
+    {
+        if (text_.compare(pos_, len, word) != 0)
+            return fail(std::string("invalid literal, expected ") + word);
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            if (++pos_ >= text_.size())
+                return fail("dangling escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode the code point (surrogate pairs are
+                // passed through individually; the writer never emits
+                // them, it only \u-escapes control characters).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a number");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("malformed number \"" + token + "\"");
+        out.kind_ = JsonValue::Kind::Number;
+        out.number_ = value;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, std::size_t depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        switch (text_[pos_]) {
+          case '{': {
+            ++pos_;
+            out.kind_ = JsonValue::Kind::Object;
+            skipWhitespace();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWhitespace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWhitespace();
+                if (!consume(':'))
+                    return false;
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.members_.emplace_back(std::move(key),
+                                          std::move(value));
+                skipWhitespace();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                return consume('}');
+            }
+          }
+          case '[': {
+            ++pos_;
+            out.kind_ = JsonValue::Kind::Array;
+            skipWhitespace();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.items_.push_back(std::move(value));
+                skipWhitespace();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                return consume(']');
+            }
+          }
+          case '"':
+            out.kind_ = JsonValue::Kind::String;
+            return parseString(out.text_);
+          case 't':
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = true;
+            return parseLiteral("true", 4);
+          case 'f':
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = false;
+            return parseLiteral("false", 5);
+          case 'n':
+            out.kind_ = JsonValue::Kind::Null;
+            return parseLiteral("null", 4);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+bool
+JsonValue::parse(const std::string &text, JsonValue &out,
+                 std::string *error)
+{
+    if (error)
+        error->clear();
+    out = JsonValue();
+    JsonParser parser(text, error);
+    return parser.parseDocument(out);
 }
 
 std::string

@@ -1,17 +1,19 @@
 /**
  * @file
- * Minimal streaming JSON writer.
+ * Minimal streaming JSON writer and recursive-descent parser.
  *
- * Enough JSON for this library's needs — result/report export and the
- * chrome-trace format — without an external dependency: objects,
- * arrays, strings (escaped), numbers (finite doubles; non-finite
- * values are emitted as null per RFC 8259), booleans.
+ * Enough JSON for this library's needs — result/report export, the
+ * chrome-trace format, and round-trip validation of both in tests —
+ * without an external dependency: objects, arrays, strings (escaped),
+ * numbers (finite doubles; non-finite values are emitted as null per
+ * RFC 8259), booleans.
  */
 #ifndef SO_COMMON_JSON_H
 #define SO_COMMON_JSON_H
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace so {
@@ -66,6 +68,64 @@ class JsonWriter
     /** Whether the current container already has an element. */
     std::vector<bool> has_elem_;
     bool pending_key_ = false;
+};
+
+/**
+ * One parsed JSON value. A plain tagged struct rather than a variant:
+ * the inactive members are empty/zero, and accessors assert the kind so
+ * misuse fails loudly in tests.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** The boolean payload. @panics unless isBool(). */
+    bool boolean() const;
+
+    /** The numeric payload. @panics unless isNumber(). */
+    double number() const;
+
+    /** The string payload (unescaped). @panics unless isString(). */
+    const std::string &text() const;
+
+    /** Array elements in order. @panics unless isArray(). */
+    const std::vector<JsonValue> &items() const;
+
+    /** Object members in document order. @panics unless isObject(). */
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /** First member named @p key, or nullptr. @panics unless isObject(). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Like find() but @panics when the key is absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /**
+     * Parse @p text as one JSON document (trailing whitespace allowed,
+     * trailing garbage rejected). Returns false and fills *@p error
+     * (when non-null) with "offset N: reason" on malformed input.
+     */
+    static bool parse(const std::string &text, JsonValue &out,
+                      std::string *error = nullptr);
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string text_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
 } // namespace so

@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -12,6 +13,35 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Info};
 std::mutex g_mutex;
+std::once_flag g_env_once;
+
+/** Apply SO_LOG_LEVEL (if set and well-formed) to g_level. */
+void
+applyEnvLevel()
+{
+    const char *text = std::getenv("SO_LOG_LEVEL");
+    if (!text)
+        return;
+    bool ok = false;
+    const LogLevel level = parseLogLevel(text, LogLevel::Info, &ok);
+    if (ok) {
+        g_level.store(level, std::memory_order_relaxed);
+    } else {
+        // Direct fprintf: warn() would re-enter the once-flag via
+        // logLevel() and deadlock.
+        std::fprintf(stderr,
+                     "[warn] SO_LOG_LEVEL=\"%s\" not recognized "
+                     "(expected debug|info|warn|error); keeping %s\n",
+                     text, "info");
+    }
+}
+
+/** One-time lazy application of the environment override. */
+void
+ensureEnvApplied()
+{
+    std::call_once(g_env_once, applyEnvLevel);
+}
 
 const char *
 prefix(LogLevel level)
@@ -30,16 +60,50 @@ prefix(LogLevel level)
 void
 setLogLevel(LogLevel level)
 {
+    // Resolve the environment first so an explicit call always wins
+    // regardless of whether any logging happened yet.
+    ensureEnvApplied();
     g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
+    ensureEnvApplied();
     return g_level.load(std::memory_order_relaxed);
 }
 
+LogLevel
+parseLogLevel(const std::string &text, LogLevel fallback, bool *ok)
+{
+    std::string lowered;
+    lowered.reserve(text.size());
+    for (char c : text)
+        lowered += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (ok)
+        *ok = true;
+    if (lowered == "debug")
+        return LogLevel::Debug;
+    if (lowered == "info")
+        return LogLevel::Info;
+    if (lowered == "warn" || lowered == "warning")
+        return LogLevel::Warn;
+    if (lowered == "error")
+        return LogLevel::Error;
+    if (ok)
+        *ok = false;
+    return fallback;
+}
+
 namespace log_detail {
+
+void
+reapplyEnvLogLevel()
+{
+    ensureEnvApplied(); // Keep the once-flag settled either way.
+    applyEnvLevel();
+}
 
 void
 emit(LogLevel level, const std::string &msg)

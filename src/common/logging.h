@@ -30,6 +30,13 @@ void emit(LogLevel level, const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
 
+/**
+ * Re-read SO_LOG_LEVEL and apply it (normally done automatically on
+ * first logging use). Exposed so tests can exercise the environment
+ * hook after setenv().
+ */
+void reapplyEnvLogLevel();
+
 /** Stringify a pack of arguments with operator<<. */
 template <typename... Args>
 std::string
@@ -42,11 +49,26 @@ concat(Args &&...args)
 
 } // namespace log_detail
 
-/** Minimum level that reaches the sink; defaults to Info. */
+/**
+ * Minimum level that reaches the sink; defaults to Info. The
+ * SO_LOG_LEVEL environment variable ("debug", "info", "warn"/"warning",
+ * "error"; case-insensitive) overrides the default on first use, so
+ * bench/CI runs can silence info-level chatter without recompiling; an
+ * explicit setLogLevel() call wins over the environment.
+ */
 void setLogLevel(LogLevel level);
 
 /** Current minimum level. */
 LogLevel logLevel();
+
+/**
+ * Parse a level name as accepted by SO_LOG_LEVEL. Sets *@p ok (when
+ * non-null) to whether @p text was recognized; unrecognized input
+ * returns @p fallback.
+ */
+LogLevel parseLogLevel(const std::string &text,
+                       LogLevel fallback = LogLevel::Info,
+                       bool *ok = nullptr);
 
 /** Informative message a user should see but not worry about. */
 template <typename... Args>

@@ -1,0 +1,198 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace so {
+
+void
+MetricsRegistry::add(const std::string &name, std::int64_t delta,
+                     MetricScope scope)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SO_ASSERT(!gauges_.count(name) && !histograms_.count(name),
+              "metric '", name, "' is not a counter");
+    const auto [it, fresh] = counters_.try_emplace(name);
+    if (fresh)
+        it->second.scope = scope;
+    it->second.value += delta;
+}
+
+void
+MetricsRegistry::set(const std::string &name, double value,
+                     MetricScope scope)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SO_ASSERT(!counters_.count(name) && !histograms_.count(name),
+              "metric '", name, "' is not a gauge");
+    const auto [it, fresh] = gauges_.try_emplace(name);
+    if (fresh)
+        it->second.scope = scope;
+    it->second.value = value;
+}
+
+void
+MetricsRegistry::observe(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SO_ASSERT(!counters_.count(name) && !gauges_.count(name),
+              "metric '", name, "' is not a histogram");
+    Histogram &h = histograms_[name];
+    if (h.count == 0) {
+        h.min = value;
+        h.max = value;
+    } else {
+        h.min = std::min(h.min, value);
+        h.max = std::max(h.max, value);
+    }
+    ++h.count;
+    h.sum += value;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        snap.counters.push_back(CounterValue{name, c.value, c.scope});
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        snap.gauges.push_back(GaugeValue{name, g.value, g.scope});
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_)
+        snap.histograms.push_back(
+            HistogramValue{name, h.count, h.sum, h.min, h.max});
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+std::int64_t
+MetricsSnapshot::counter(const std::string &name,
+                         std::int64_t fallback) const
+{
+    for (const CounterValue &c : counters)
+        if (c.name == name)
+            return c.value;
+    return fallback;
+}
+
+double
+MetricsSnapshot::gauge(const std::string &name, double fallback) const
+{
+    for (const GaugeValue &g : gauges)
+        if (g.name == name)
+            return g.value;
+    return fallback;
+}
+
+const HistogramValue *
+MetricsSnapshot::histogram(const std::string &name) const
+{
+    for (const HistogramValue &h : histograms)
+        if (h.name == name)
+            return &h;
+    return nullptr;
+}
+
+void
+MetricsSnapshot::write(JsonWriter &json) const
+{
+    json.beginObject();
+    json.key("counters").beginObject();
+    for (const CounterValue &c : counters)
+        json.field(c.name, c.value);
+    json.endObject();
+    json.key("gauges").beginObject();
+    for (const GaugeValue &g : gauges)
+        json.field(g.name, g.value);
+    json.endObject();
+    json.key("histograms").beginObject();
+    for (const HistogramValue &h : histograms) {
+        json.key(h.name).beginObject();
+        json.field("count", static_cast<std::uint64_t>(h.count));
+        json.field("sum", h.sum);
+        json.field("min", h.min);
+        json.field("max", h.max);
+        json.field("mean", h.mean());
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+}
+
+std::string
+MetricsSnapshot::json() const
+{
+    JsonWriter json;
+    write(json);
+    return json.str();
+}
+
+std::string
+MetricsSnapshot::stableJson() const
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("counters").beginObject();
+    for (const CounterValue &c : counters)
+        if (c.scope == MetricScope::Stable)
+            json.field(c.name, c.value);
+    json.endObject();
+    json.key("gauges").beginObject();
+    for (const GaugeValue &g : gauges)
+        if (g.scope == MetricScope::Stable)
+            json.field(g.name, g.value);
+    json.endObject();
+    json.endObject();
+    return json.str();
+}
+
+ScopedTimer::ScopedTimer(MetricsRegistry &registry, std::string name)
+    : registry_(&registry), name_(std::move(name)),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+ScopedTimer::ScopedTimer(ScopedTimer &&other) noexcept
+    : registry_(std::exchange(other.registry_, nullptr)),
+      name_(std::move(other.name_)), start_(other.start_)
+{
+}
+
+void
+ScopedTimer::stop()
+{
+    if (!registry_)
+        return;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    registry_->observe(name_, elapsed.count());
+    registry_ = nullptr;
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    stop();
+}
+
+} // namespace so

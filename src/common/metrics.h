@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and value
+ * histograms with a scoped-timer helper and deterministic JSON export.
+ *
+ * The registry is the measurement substrate behind the paper's
+ * observability claims (Figs. 4 and 15 are idle-time and utilization
+ * breakdowns): the thread pool, the sweep engine, and the STV trainers
+ * all publish into it, and benches/CI read one snapshot at the end of a
+ * run instead of each subsystem growing ad-hoc counters.
+ *
+ * Determinism contract: metrics recorded with MetricScope::Stable count
+ * *logical* work (cells evaluated, cache hits, training steps) and must
+ * be identical for a given workload regardless of thread count or
+ * scheduling. MetricScope::Execution covers quantities that legitimately
+ * depend on how the work was executed (thread-pool task counts, chunk
+ * splits). Histograms record wall-clock observations and are exempt
+ * from any determinism claim. MetricsSnapshot::stableJson() exports only
+ * the Stable counters/gauges, so two runs of the same workload under
+ * different --jobs settings can be diffed byte for byte.
+ */
+#ifndef SO_COMMON_METRICS_H
+#define SO_COMMON_METRICS_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace so {
+
+class JsonWriter;
+
+/** Determinism class of a counter or gauge (see file comment). */
+enum class MetricScope
+{
+    /** Counts logical work: identical across thread counts. */
+    Stable,
+    /** Depends on execution shape (thread count, chunking). */
+    Execution,
+};
+
+/** Point-in-time copy of one counter. */
+struct CounterValue
+{
+    std::string name;
+    std::int64_t value = 0;
+    MetricScope scope = MetricScope::Stable;
+};
+
+/** Point-in-time copy of one gauge. */
+struct GaugeValue
+{
+    std::string name;
+    double value = 0.0;
+    MetricScope scope = MetricScope::Stable;
+};
+
+/** Point-in-time copy of one histogram (count/sum/min/max/mean). */
+struct HistogramValue
+{
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/** Consistent copy of a registry, sorted by metric name. */
+struct MetricsSnapshot
+{
+    std::vector<CounterValue> counters;
+    std::vector<GaugeValue> gauges;
+    std::vector<HistogramValue> histograms;
+
+    /** Counter value by name; @p fallback when absent. */
+    std::int64_t counter(const std::string &name,
+                         std::int64_t fallback = 0) const;
+
+    /** Gauge value by name; @p fallback when absent. */
+    double gauge(const std::string &name, double fallback = 0.0) const;
+
+    /** Histogram by name; nullptr when absent. */
+    const HistogramValue *histogram(const std::string &name) const;
+
+    /**
+     * The whole snapshot as one JSON document:
+     * {counters:{..}, gauges:{..}, histograms:{name:{count,sum,...}}}.
+     * Key order is name order, so equal snapshots render equal text.
+     */
+    std::string json() const;
+
+    /**
+     * Only the Stable counters and gauges, as {counters:{..},
+     * gauges:{..}} — the byte-comparable projection of the registry.
+     */
+    std::string stableJson() const;
+
+    /** Emit json()'s object into an in-progress document. */
+    void write(JsonWriter &json) const;
+};
+
+/**
+ * Thread-safe named-metric store. All operations auto-register the
+ * metric on first use; a metric's kind (counter/gauge/histogram) and
+ * scope are fixed by that first use (@panics on a kind mismatch).
+ *
+ * Construction is cheap; subsystems either share the process-wide
+ * global() instance (the default wiring) or own a private registry
+ * (tests needing isolation).
+ */
+class MetricsRegistry
+{
+  public:
+    /** Add @p delta to counter @p name (registering it on first use). */
+    void add(const std::string &name, std::int64_t delta = 1,
+             MetricScope scope = MetricScope::Stable);
+
+    /** Set gauge @p name to @p value. */
+    void set(const std::string &name, double value,
+             MetricScope scope = MetricScope::Stable);
+
+    /** Fold @p value into histogram @p name. */
+    void observe(const std::string &name, double value);
+
+    /** Consistent copy of every metric, sorted by name. */
+    MetricsSnapshot snapshot() const;
+
+    /** Drop every metric (tests / bench isolation). */
+    void reset();
+
+    /** The process-wide registry all built-in wiring publishes to. */
+    static MetricsRegistry &global();
+
+  private:
+    struct Counter
+    {
+        std::int64_t value = 0;
+        MetricScope scope = MetricScope::Stable;
+    };
+    struct Gauge
+    {
+        double value = 0.0;
+        MetricScope scope = MetricScope::Stable;
+    };
+    struct Histogram
+    {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    mutable std::mutex mutex_;
+    // std::map: snapshot order (and therefore JSON key order) is name
+    // order, independent of registration order.
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+/**
+ * RAII timer: records the elapsed seconds between construction and
+ * destruction into a histogram. Move-only; a moved-from timer records
+ * nothing.
+ *
+ *     { ScopedTimer t(MetricsRegistry::global(), "sweep.cell_s"); ... }
+ */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(MetricsRegistry &registry, std::string name);
+    ~ScopedTimer();
+
+    ScopedTimer(ScopedTimer &&other) noexcept;
+    ScopedTimer &operator=(ScopedTimer &&) = delete;
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Record now instead of at destruction (idempotent). */
+    void stop();
+
+  private:
+    MetricsRegistry *registry_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace so
+
+#endif // SO_COMMON_METRICS_H

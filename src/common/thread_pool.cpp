@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace so {
 
 ThreadPool::ThreadPool(std::size_t threads)
@@ -29,9 +31,11 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    MetricsRegistry::global().add("pool.tasks_submitted", 1,
+                                  MetricScope::Execution);
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        tasks_.push(std::move(task));
+        tasks_.push(Job{std::move(task), std::chrono::steady_clock::now()});
         ++in_flight_;
     }
     cv_task_.notify_one();
@@ -56,6 +60,10 @@ ThreadPool::parallelFor(
 {
     if (n == 0)
         return;
+    // Counts elements, not chunks: the value is identical no matter how
+    // the range ends up split across workers (or run inline).
+    MetricsRegistry::global().add("pool.parallel_for_items",
+                                  static_cast<std::int64_t>(n));
     const std::size_t workers = threadCount();
     // Below this size, dispatch overhead dominates: run inline.
     constexpr std::size_t kInlineThreshold = 4096;
@@ -80,7 +88,7 @@ void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> task;
+        Job job;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -88,12 +96,18 @@ ThreadPool::workerLoop()
                 // stop_ must be set: drain finished.
                 return;
             }
-            task = std::move(tasks_.front());
+            job = std::move(tasks_.front());
             tasks_.pop();
         }
+        MetricsRegistry &metrics = MetricsRegistry::global();
+        const auto dequeued = std::chrono::steady_clock::now();
+        metrics.observe(
+            "pool.queue_wait_s",
+            std::chrono::duration<double>(dequeued - job.enqueued).count());
         std::exception_ptr err;
         try {
-            task();
+            ScopedTimer run_timer(metrics, "pool.task_run_s");
+            job.fn();
         } catch (...) {
             err = std::current_exception();
         }

@@ -9,6 +9,7 @@
 #ifndef SO_COMMON_THREAD_POOL_H
 #define SO_COMMON_THREAD_POOL_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -20,7 +21,16 @@
 
 namespace so {
 
-/** Fixed-size worker pool; tasks are std::function<void()>. */
+/**
+ * Fixed-size worker pool; tasks are std::function<void()>.
+ *
+ * Every pool publishes into MetricsRegistry::global():
+ *   - pool.tasks_submitted (counter, Execution scope): submit() calls;
+ *   - pool.parallel_for_items (counter, Stable): elements covered by
+ *     parallelFor(), independent of how they were chunked;
+ *   - pool.queue_wait_s (histogram): submit-to-dequeue latency;
+ *   - pool.task_run_s (histogram): task execution time.
+ */
 class ThreadPool
 {
   public:
@@ -53,10 +63,17 @@ class ThreadPool
                      const std::function<void(std::size_t, std::size_t)> &fn);
 
   private:
+    /** A submitted task plus its enqueue time (queue-wait metric). */
+    struct Job
+    {
+        std::function<void()> fn;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> tasks_;
+    std::queue<Job> tasks_;
     std::mutex mutex_;
     std::condition_variable cv_task_;
     std::condition_variable cv_done_;

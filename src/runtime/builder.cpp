@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "sim/profiler.h"
 #include "sim/trace.h"
 
 namespace so::runtime {
@@ -195,8 +196,32 @@ IterBuilder::finishWindow(const model::IterationFlops &flops,
         schedule.timelines[d2h_].busyTime(win_begin, win_end);
     res.link_utilization = link_busy / (2.0 * (win_end - win_begin));
     res.gantt = sim::toAsciiGantt(graph_, schedule);
-    if (setup_.capture_trace)
+    if (setup_.capture_profile) {
+        // The profile covers the whole simulated schedule, not just the
+        // [win_begin, win_end) measurement window: idle attribution is
+        // only meaningful against the full iteration.
+        const sim::ScheduleProfile prof =
+            sim::profileSchedule(graph_, schedule);
+        res.profile.valid = true;
+        res.profile.critical_length = prof.critical_length;
+        res.profile.critical_phases = prof.critical_phases;
+        for (sim::TaskId id : sim::topZeroSlackTasks(prof, graph_))
+            res.profile.hot_tasks.push_back(graph_.task(id).label);
+        for (sim::ResourceId r = 0; r < graph_.resourceCount(); ++r) {
+            ProfileSummary::ResourceIdle idle;
+            idle.resource = graph_.resource(r).name;
+            idle.busy = prof.resources[r].busy;
+            idle.dependency = prof.resources[r].idle_dependency;
+            idle.contention = prof.resources[r].idle_contention;
+            idle.tail = prof.resources[r].idle_tail;
+            res.profile.idle.push_back(std::move(idle));
+        }
+        res.profile_json = sim::profileToJson(prof, graph_, schedule);
+        if (setup_.capture_trace)
+            res.trace_json = sim::toChromeTrace(graph_, schedule, prof);
+    } else if (setup_.capture_trace) {
         res.trace_json = sim::toChromeTrace(graph_, schedule);
+    }
     return res;
 }
 

@@ -35,6 +35,38 @@ writeIterationJson(JsonWriter &json, const IterationResult &result)
     json.endObject();
     json.field("model_flops", result.flops.modelFlops());
     json.field("executed_flops", result.flops.executedFlops());
+    if (result.profile.valid) {
+        json.key("profile").beginObject();
+        json.field("critical_length_s", result.profile.critical_length);
+        json.key("critical_phases").beginArray();
+        for (const auto &[phase, seconds] : result.profile.critical_phases) {
+            json.beginObject();
+            json.field("phase", phase);
+            json.field("seconds", seconds);
+            json.field("share",
+                       result.profile.critical_length > 0.0
+                           ? seconds / result.profile.critical_length
+                           : 0.0);
+            json.endObject();
+        }
+        json.endArray();
+        json.key("hot_tasks").beginArray();
+        for (const std::string &label : result.profile.hot_tasks)
+            json.value(label);
+        json.endArray();
+        json.key("idle").beginArray();
+        for (const auto &idle : result.profile.idle) {
+            json.beginObject();
+            json.field("resource", idle.resource);
+            json.field("busy_s", idle.busy);
+            json.field("dependency_s", idle.dependency);
+            json.field("contention_s", idle.contention);
+            json.field("tail_s", idle.tail);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
     if (!result.extras.empty()) {
         json.key("extras").beginObject();
         for (const auto &[key, value] : result.extras)

@@ -8,6 +8,7 @@
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "runtime/result_json.h"
 
@@ -131,6 +132,7 @@ SweepEngine::fingerprint(const TrainingSystem &system,
     appendNum(key, setup.seq);
     appendNum(key, static_cast<std::uint32_t>(setup.binding));
     appendNum(key, static_cast<std::uint32_t>(setup.capture_trace));
+    appendNum(key, static_cast<std::uint32_t>(setup.capture_profile));
     return key;
 }
 
@@ -153,6 +155,9 @@ SweepEngine::run()
         return;
     const auto wall_start = std::chrono::steady_clock::now();
     const std::size_t batch_hits_before = hits_;
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    metrics.add("sweep.cells",
+                static_cast<std::int64_t>(cells_.size() - next_unrun_));
 
     // One pending evaluation shared by every batch cell with the same
     // fingerprint. first_cell supplies the (system, setup) to evaluate.
@@ -185,6 +190,7 @@ SweepEngine::run()
                 cell.evaluated = true;
                 cell.from_cache = true;
                 ++hits_;
+                metrics.add("sweep.cache_hits");
                 continue;
             }
         }
@@ -197,6 +203,7 @@ SweepEngine::run()
             pending.push_back(std::move(p));
         } else if (options_.cache) {
             ++hits_; // Duplicate within this batch: evaluated once.
+            metrics.add("sweep.cache_hits");
         }
         cell_pending[i - next_unrun_] = it->second;
     }
@@ -216,6 +223,8 @@ SweepEngine::run()
         for (std::size_t c = 0; c < pending[p].cands.size(); ++c)
             units.push_back(Unit{p, c});
     }
+    metrics.add("sweep.candidates",
+                static_cast<std::int64_t>(units.size()));
 
     if (options_.progress) {
         inform("sweep", options_.name.empty() ? "" : " ",
@@ -227,6 +236,7 @@ SweepEngine::run()
     // Simulate. Every unit writes its own preallocated slot, so the
     // stored results are independent of thread scheduling.
     auto simulate_unit = [&](const Unit &unit) {
+        ScopedTimer timer(MetricsRegistry::global(), "sweep.sim_s");
         Pending &p = pending[unit.pending];
         const SweepCell &cell = cells_[p.first_cell];
         p.results[unit.cand] =
@@ -253,6 +263,7 @@ SweepEngine::run()
         if (options_.cache)
             cache_.emplace(p.key, p.best);
         ++misses_;
+        metrics.add("sweep.cache_misses");
     }
 
     for (std::size_t i = next_unrun_; i < cells_.size(); ++i) {
@@ -268,9 +279,25 @@ SweepEngine::run()
         const auto elapsed =
             std::chrono::duration_cast<std::chrono::milliseconds>(
                 std::chrono::steady_clock::now() - wall_start);
+        // Lifetime hit-rate and mean simulation time come from the
+        // metrics registry so the line reflects every engine in the
+        // process, not just this batch.
+        const MetricsSnapshot snap = metrics.snapshot();
+        const std::int64_t reg_hits = snap.counter("sweep.cache_hits");
+        const std::int64_t reg_misses =
+            snap.counter("sweep.cache_misses");
+        const std::int64_t lookups = reg_hits + reg_misses;
+        const HistogramValue *sim = snap.histogram("sweep.sim_s");
+        char stats[96];
+        std::snprintf(stats, sizeof(stats),
+                      "hit-rate %.1f%%, mean sim %.3f ms",
+                      lookups > 0 ? 100.0 * static_cast<double>(reg_hits) /
+                                        static_cast<double>(lookups)
+                                  : 0.0,
+                      sim ? sim->mean() * 1e3 : 0.0);
         inform("sweep", options_.name.empty() ? "" : " ",
                options_.name, ": done in ", elapsed.count(), " ms (",
-               hits_ - batch_hits_before, " cached)");
+               hits_ - batch_hits_before, " cached; ", stats, ")");
     }
 }
 
@@ -281,15 +308,17 @@ SweepEngine::evaluateCell(const TrainingSystem &system,
     const std::vector<SearchCandidate> cands =
         system.enumerateCandidates(setup);
     std::vector<IterationResult> results(cands.size());
+    auto simulate_one = [&system, &setup, &cands, &results](std::size_t c) {
+        ScopedTimer timer(MetricsRegistry::global(), "sweep.sim_s");
+        results[c] = system.evaluateCandidate(setup, cands[c]);
+    };
     if (jobs_ <= 1 || cands.size() <= 1) {
         for (std::size_t c = 0; c < cands.size(); ++c)
-            results[c] = system.evaluateCandidate(setup, cands[c]);
+            simulate_one(c);
     } else {
         ThreadPool &workers = pool();
         for (std::size_t c = 0; c < cands.size(); ++c)
-            workers.submit([&system, &setup, &cands, &results, c] {
-                results[c] = system.evaluateCandidate(setup, cands[c]);
-            });
+            workers.submit([&simulate_one, c] { simulate_one(c); });
         workers.wait();
     }
     return system.selectBest(setup, cands, std::move(results));
@@ -301,16 +330,19 @@ SweepEngine::evaluate(const TrainingSystem &system,
 {
     if (!options_.cache) {
         ++misses_;
+        MetricsRegistry::global().add("sweep.cache_misses");
         return evaluateCell(system, setup);
     }
     std::string key = fingerprint(system, setup);
     const auto hit = cache_.find(key);
     if (hit != cache_.end()) {
         ++hits_;
+        MetricsRegistry::global().add("sweep.cache_hits");
         return hit->second;
     }
     IterationResult res = evaluateCell(system, setup);
     ++misses_;
+    MetricsRegistry::global().add("sweep.cache_misses");
     cache_.emplace(std::move(key), res);
     return res;
 }

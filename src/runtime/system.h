@@ -59,6 +59,17 @@ struct TrainSetup
      */
     bool capture_trace = false;
 
+    /**
+     * Attach a schedule profile (critical path, per-task slack,
+     * idle-cause attribution) to the result: the compact summary in
+     * IterationResult::profile plus the full document in
+     * IterationResult::profile_json. When combined with capture_trace,
+     * the trace additionally carries critical-path flow arrows and
+     * per-resource occupancy counter tracks. Off by default for the
+     * same reason as capture_trace.
+     */
+    bool capture_profile = false;
+
     /** Sequences per GPU per iteration (>= 1). */
     std::uint32_t perGpuBatch() const;
 };
@@ -95,6 +106,40 @@ struct MemoryReport
     bool fitsCpu() const { return cpu_bytes <= cpu_capacity; }
     bool fitsNvme() const { return nvme_bytes <= nvme_capacity || nvme_bytes == 0.0; }
     bool fits() const { return fitsGpu() && fitsCpu() && fitsNvme(); }
+};
+
+/**
+ * Compact schedule-profile summary (see sim/profiler.h for the full
+ * analysis). Filled only when TrainSetup::capture_profile is set.
+ */
+struct ProfileSummary
+{
+    /** Per-resource busy/idle-cause seconds over the schedule. */
+    struct ResourceIdle
+    {
+        std::string resource;
+        double busy = 0.0;
+        /** Idle waiting on an upstream dependency still executing. */
+        double dependency = 0.0;
+        /** Idle waiting on a dependency queued behind other work. */
+        double contention = 0.0;
+        /** Idle with no further work this iteration. */
+        double tail = 0.0;
+    };
+
+    bool valid = false;
+
+    /** Critical-path length (== the simulated makespan). */
+    double critical_length = 0.0;
+
+    /** Critical-path seconds per label phase, largest share first. */
+    std::vector<std::pair<std::string, double>> critical_phases;
+
+    /** Labels of the longest zero-slack tasks, longest first. */
+    std::vector<std::string> hot_tasks;
+
+    /** One entry per simulated resource, in resource order. */
+    std::vector<ResourceIdle> idle;
 };
 
 /** Outcome of evaluating one setup under one system. */
@@ -137,6 +182,15 @@ struct IterationResult
      * setup's capture_trace flag was set.
      */
     std::string trace_json;
+
+    /**
+     * Compact profile summary; profile.valid (and profile_json below)
+     * only when the setup's capture_profile flag was set.
+     */
+    ProfileSummary profile;
+
+    /** Full schedule-profile JSON document (sim::profileToJson). */
+    std::string profile_json;
 
     /** Set (or overwrite) one named extra. */
     void setExtra(const std::string &key, double value);

@@ -1,0 +1,357 @@
+#include "sim/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "sim/trace.h"
+
+namespace so::sim {
+
+const char *
+idleCauseName(IdleCause cause)
+{
+    switch (cause) {
+      case IdleCause::DependencyWait: return "dependency-wait";
+      case IdleCause::ResourceContention: return "resource-contention";
+      case IdleCause::Tail: return "tail";
+    }
+    return "?";
+}
+
+namespace {
+
+const char *
+linkName(CriticalLink link)
+{
+    switch (link) {
+      case CriticalLink::Start: return "start";
+      case CriticalLink::Dependency: return "dependency";
+      case CriticalLink::Resource: return "resource";
+    }
+    return "?";
+}
+
+/** Latest-finishing dependency of @p task (ties: first in dep order);
+ *  kInvalidTask when the task has none. */
+TaskId
+blockingDep(const TaskGraph &graph, const Schedule &schedule, TaskId task)
+{
+    TaskId blocker = kInvalidTask;
+    for (TaskId dep : graph.task(task).deps) {
+        if (blocker == kInvalidTask ||
+            schedule.finish[dep] > schedule.finish[blocker])
+            blocker = dep;
+    }
+    return blocker;
+}
+
+} // namespace
+
+ScheduleProfile
+profileSchedule(const TaskGraph &graph, const Schedule &schedule)
+{
+    const auto &tasks = graph.tasks();
+    const std::size_t n = tasks.size();
+    SO_ASSERT(schedule.start.size() == n && schedule.finish.size() == n,
+              "schedule does not match graph");
+    SO_ASSERT(schedule.timelines.size() == graph.resourceCount(),
+              "schedule timelines do not match graph resources");
+
+    ScheduleProfile prof;
+    prof.makespan = schedule.makespan;
+    prof.slack.assign(n, 0.0);
+    prof.resources.resize(graph.resourceCount());
+    if (n == 0)
+        return prof;
+
+    // Event times propagate exactly through the scheduler (a task's
+    // start IS the double of the completion that released it), so the
+    // tolerance only guards against hypothetical fp drift.
+    const double eps = std::max(prof.makespan, 1.0) * 1e-12;
+
+    // When every dependency of a task was done (0 for source tasks).
+    std::vector<double> ready(n, 0.0);
+    for (TaskId id = 0; id < n; ++id)
+        for (TaskId dep : tasks[id].deps)
+            ready[id] = std::max(ready[id], schedule.finish[dep]);
+
+    // ---------------------------------------------------- critical path
+    // Walk backwards from the last-finishing task. Each step asks "why
+    // did this task start exactly when it did?" — either a dependency
+    // finished at that instant, or a task on the same resource freed
+    // the slot at that instant. The greedy scheduler starts tasks the
+    // moment both constraints clear, so one of the two always holds and
+    // the chain is contiguous from the makespan back to time 0.
+    TaskId end_task = 0;
+    for (TaskId id = 1; id < n; ++id)
+        if (schedule.finish[id] > schedule.finish[end_task])
+            end_task = id;
+
+    std::vector<char> on_path(n, 0);
+    std::vector<CriticalStep> rpath;
+    TaskId cur = end_task;
+    on_path[cur] = 1;
+    for (;;) {
+        const double s = schedule.start[cur];
+        if (s <= eps) {
+            rpath.push_back(CriticalStep{cur, CriticalLink::Start});
+            break;
+        }
+        const TaskId dep = blockingDep(graph, schedule, cur);
+        if (dep != kInvalidTask && schedule.finish[dep] >= s - eps &&
+            !on_path[dep]) {
+            rpath.push_back(CriticalStep{cur, CriticalLink::Dependency});
+            cur = dep;
+            on_path[cur] = 1;
+            continue;
+        }
+        // Resource hand-off: the task holding the slot until s.
+        TaskId holder = kInvalidTask;
+        for (const Interval &iv :
+             schedule.timelines[tasks[cur].resource].intervals()) {
+            if (iv.task == cur || on_path[iv.task])
+                continue;
+            if (std::abs(iv.end - s) <= eps &&
+                (holder == kInvalidTask || iv.task < holder))
+                holder = iv.task;
+        }
+        if (holder != kInvalidTask) {
+            rpath.push_back(CriticalStep{cur, CriticalLink::Resource});
+            cur = holder;
+            on_path[cur] = 1;
+            continue;
+        }
+        if (dep != kInvalidTask && !on_path[dep]) {
+            // Defensive: a gap in the chain (should not happen for
+            // schedules produced by Scheduler::run). Keep walking via
+            // the latest dependency so the path still reaches a source.
+            rpath.push_back(CriticalStep{cur, CriticalLink::Dependency});
+            cur = dep;
+            on_path[cur] = 1;
+            continue;
+        }
+        rpath.push_back(CriticalStep{cur, CriticalLink::Start});
+        break;
+    }
+    prof.critical_path.assign(rpath.rbegin(), rpath.rend());
+    // Accumulate front-to-back: mirrors the scheduler's own finish-time
+    // additions, so a contiguous chain sums to the makespan exactly.
+    prof.critical_length = 0.0;
+    for (const CriticalStep &step : prof.critical_path)
+        prof.critical_length += tasks[step.task].duration;
+
+    std::map<std::string, double> phases;
+    for (const CriticalStep &step : prof.critical_path)
+        phases[phaseKey(tasks[step.task].label)] +=
+            tasks[step.task].duration;
+    prof.critical_phases.assign(phases.begin(), phases.end());
+    std::sort(prof.critical_phases.begin(), prof.critical_phases.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+
+    // ------------------------------------------------------------ slack
+    // Local slack: how far a finish could slip before bumping into the
+    // earliest dependent, the next occupant of the same resource slot,
+    // or the end of the iteration.
+    std::vector<double> limit(n, prof.makespan);
+    for (TaskId id = 0; id < n; ++id)
+        for (TaskId dep : tasks[id].deps)
+            limit[dep] = std::min(limit[dep], schedule.start[id]);
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+        // Successor on the same slot: intervals are recorded in start
+        // order, so a per-slot "previous task" sweep finds each pair.
+        std::map<std::uint32_t, TaskId> prev_on_slot;
+        for (const Interval &iv : schedule.timelines[r].intervals()) {
+            const auto it = prev_on_slot.find(iv.slot);
+            if (it != prev_on_slot.end())
+                limit[it->second] =
+                    std::min(limit[it->second], iv.start);
+            prev_on_slot[iv.slot] = iv.task;
+        }
+    }
+    for (TaskId id = 0; id < n; ++id)
+        prof.slack[id] =
+            std::max(0.0, limit[id] - schedule.finish[id]);
+
+    // ------------------------------------------------- idle attribution
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+        ResourceProfile &rp = prof.resources[r];
+        std::vector<Interval> ivs(schedule.timelines[r].intervals());
+        std::sort(ivs.begin(), ivs.end(),
+                  [](const Interval &a, const Interval &b) {
+                      if (a.start != b.start)
+                          return a.start < b.start;
+                      return a.end < b.end;
+                  });
+
+        // Classify the gap that ends when `next` starts.
+        auto classify = [&](TaskId next) {
+            const double r_next = ready[next];
+            if (r_next < schedule.start[next] - eps) {
+                // Ready before it ran: only possible when the slot
+                // bookkeeping (not a dependency) held it back.
+                return IdleCause::ResourceContention;
+            }
+            // The gap waited on the latest-finishing dependency. If
+            // that dependency itself queued behind other work on its
+            // resource, the root cause is contention there (e.g. the
+            // C2C link serializing transfers); otherwise it is pure
+            // upstream latency.
+            const TaskId dep = blockingDep(graph, schedule, next);
+            if (dep != kInvalidTask &&
+                schedule.start[dep] > ready[dep] + eps)
+                return IdleCause::ResourceContention;
+            return IdleCause::DependencyWait;
+        };
+
+        // Sweep the union of busy intervals, attributing each hole.
+        double cursor = 0.0;
+        for (std::size_t i = 0; i < ivs.size(); ++i) {
+            const double b = std::min(ivs[i].start, prof.makespan);
+            const double e = std::min(ivs[i].end, prof.makespan);
+            if (b > cursor) {
+                IdleGap gap;
+                gap.begin = cursor;
+                gap.end = b;
+                gap.next_task = ivs[i].task;
+                gap.cause = classify(ivs[i].task);
+                rp.gaps.push_back(gap);
+            }
+            cursor = std::max(cursor, e);
+        }
+        if (prof.makespan > cursor) {
+            IdleGap gap;
+            gap.begin = cursor;
+            gap.end = prof.makespan;
+            gap.cause = IdleCause::Tail;
+            rp.gaps.push_back(gap);
+        }
+
+        for (const IdleGap &gap : rp.gaps) {
+            rp.idle += gap.length();
+            switch (gap.cause) {
+              case IdleCause::DependencyWait:
+                rp.idle_dependency += gap.length();
+                break;
+              case IdleCause::ResourceContention:
+                rp.idle_contention += gap.length();
+                break;
+              case IdleCause::Tail:
+                rp.idle_tail += gap.length();
+                break;
+            }
+        }
+        rp.busy = prof.makespan - rp.idle;
+    }
+
+    return prof;
+}
+
+std::vector<TaskId>
+topZeroSlackTasks(const ScheduleProfile &profile, const TaskGraph &graph,
+                  std::size_t top_k)
+{
+    const double eps = std::max(profile.makespan, 1.0) * 1e-12;
+    std::vector<TaskId> hot;
+    for (TaskId id = 0; id < graph.taskCount(); ++id)
+        if (profile.slack[id] <= eps && graph.task(id).duration > 0.0)
+            hot.push_back(id);
+    std::sort(hot.begin(), hot.end(), [&](TaskId a, TaskId b) {
+        if (graph.task(a).duration != graph.task(b).duration)
+            return graph.task(a).duration > graph.task(b).duration;
+        return a < b;
+    });
+    if (hot.size() > top_k)
+        hot.resize(top_k);
+    return hot;
+}
+
+std::string
+profileToJson(const ScheduleProfile &profile, const TaskGraph &graph,
+              const Schedule &schedule, std::size_t top_slack)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("makespan_s", profile.makespan);
+
+    json.key("critical_path").beginObject();
+    json.field("length_s", profile.critical_length);
+    json.key("tasks").beginArray();
+    for (const CriticalStep &step : profile.critical_path) {
+        const Task &task = graph.task(step.task);
+        json.beginObject();
+        json.field("task", step.task);
+        json.field("label", task.label);
+        json.field("resource", graph.resource(task.resource).name);
+        json.field("start_s", schedule.start[step.task]);
+        json.field("duration_s", task.duration);
+        json.field("link", linkName(step.link));
+        json.endObject();
+    }
+    json.endArray();
+    json.key("phases").beginArray();
+    for (const auto &[phase, seconds] : profile.critical_phases) {
+        json.beginObject();
+        json.field("phase", phase);
+        json.field("seconds", seconds);
+        json.field("share", profile.critical_length > 0.0
+                                ? seconds / profile.critical_length
+                                : 0.0);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+
+    // Longest zero-slack tasks: where optimization effort pays off.
+    const std::vector<TaskId> hot =
+        topZeroSlackTasks(profile, graph, top_slack);
+    json.key("zero_slack_tasks").beginArray();
+    for (TaskId id : hot) {
+        json.beginObject();
+        json.field("label", graph.task(id).label);
+        json.field("resource",
+                   graph.resource(graph.task(id).resource).name);
+        json.field("duration_s", graph.task(id).duration);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("resources").beginArray();
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+        const ResourceProfile &rp = profile.resources[r];
+        json.beginObject();
+        json.field("resource", graph.resource(r).name);
+        json.field("busy_s", rp.busy);
+        json.field("idle_s", rp.idle);
+        json.field("utilization", profile.makespan > 0.0
+                                      ? rp.busy / profile.makespan
+                                      : 0.0);
+        json.field("idle_dependency_s", rp.idle_dependency);
+        json.field("idle_contention_s", rp.idle_contention);
+        json.field("idle_tail_s", rp.idle_tail);
+        json.key("gaps").beginArray();
+        for (const IdleGap &gap : rp.gaps) {
+            json.beginObject();
+            json.field("begin_s", gap.begin);
+            json.field("end_s", gap.end);
+            json.field("cause", idleCauseName(gap.cause));
+            if (gap.next_task != kInvalidTask)
+                json.field("next", graph.task(gap.next_task).label);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+
+    json.endObject();
+    return json.str();
+}
+
+} // namespace so::sim

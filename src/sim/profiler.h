@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Post-hoc schedule profiling: critical-path extraction, per-task
+ * slack, and per-resource idle-gap attribution.
+ *
+ * The simulator (scheduler.h) says how long an iteration takes; this
+ * module says *why*. It recovers, from a finished Schedule, the chain
+ * of tasks that determined the makespan (the critical path), how much
+ * each off-path task could slip without stretching the iteration
+ * (slack), and — for every resource — what each idle gap was waiting
+ * on: an upstream dependency still computing (dependency-wait), an
+ * upstream dependency stuck in another resource's queue
+ * (resource-contention, e.g. the C2C link serializing bucket
+ * transfers), or simply no work left this iteration (tail). These are
+ * exactly the quantities behind the paper's Fig. 4 idle-time and
+ * Fig. 15 GPU-utilization breakdowns, and the per-resource attribution
+ * mirrors the bottleneck analyses in MLP-Offload and HyperOffload.
+ *
+ * Invariants (tested): the critical path is a contiguous chain from
+ * time 0 to the makespan, so its length equals the makespan; per
+ * resource, the classified gaps partition Timeline::idleTime(0,
+ * makespan).
+ */
+#ifndef SO_SIM_PROFILER_H
+#define SO_SIM_PROFILER_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/graph.h"
+#include "sim/scheduler.h"
+
+namespace so::sim {
+
+/** What an idle gap on a resource was waiting on. */
+enum class IdleCause
+{
+    /** The next task's dependency was still executing. */
+    DependencyWait,
+    /** The next task's dependency sat queued behind other work. */
+    ResourceContention,
+    /** No further task runs on the resource this iteration. */
+    Tail,
+};
+
+/** Display name of an IdleCause ("dependency-wait", ...). */
+const char *idleCauseName(IdleCause cause);
+
+/** One idle interval on a resource, with its attributed cause. */
+struct IdleGap
+{
+    double begin = 0.0;
+    double end = 0.0;
+    IdleCause cause = IdleCause::Tail;
+    /** Task whose start closes the gap; kInvalidTask for tail gaps. */
+    TaskId next_task = kInvalidTask;
+
+    double length() const { return end - begin; }
+};
+
+/** Busy/idle accounting of one resource over [0, makespan). */
+struct ResourceProfile
+{
+    /** Union busy time (at least one slot occupied). */
+    double busy = 0.0;
+    /** makespan - busy; equals the sum of the gap lengths. */
+    double idle = 0.0;
+    double idle_dependency = 0.0;
+    double idle_contention = 0.0;
+    double idle_tail = 0.0;
+    std::vector<IdleGap> gaps;
+};
+
+/** How a critical-path task's start time is explained. */
+enum class CriticalLink
+{
+    /** First task of the chain (starts at time 0). */
+    Start,
+    /** Started the instant a dependency finished. */
+    Dependency,
+    /** Started the instant its resource freed a slot. */
+    Resource,
+};
+
+/** One step of the critical path, in execution order. */
+struct CriticalStep
+{
+    TaskId task = kInvalidTask;
+    CriticalLink link = CriticalLink::Start;
+};
+
+/** Full profile of one (TaskGraph, Schedule) pair. */
+struct ScheduleProfile
+{
+    double makespan = 0.0;
+
+    /** The makespan-determining chain, first task first. */
+    std::vector<CriticalStep> critical_path;
+
+    /** Sum of critical-path task durations (== makespan when the chain
+     * is contiguous, which the deterministic greedy scheduler
+     * guarantees). */
+    double critical_length = 0.0;
+
+    /**
+     * Per-task local slack: how far the task's finish could slip —
+     * holding everything else fixed — before it would delay a
+     * dependent, the next task sharing its resource slot, or the
+     * makespan. Critical-path tasks have zero slack.
+     */
+    std::vector<double> slack;
+
+    /** Indexed by ResourceId. */
+    std::vector<ResourceProfile> resources;
+
+    /**
+     * Critical-path seconds grouped by label phase (same grouping as
+     * labelBreakdown), largest first — the "which phase bounds the
+     * iteration" answer.
+     */
+    std::vector<std::pair<std::string, double>> critical_phases;
+};
+
+/** Analyze @p schedule of @p graph (schedule must come from it). */
+ScheduleProfile profileSchedule(const TaskGraph &graph,
+                                const Schedule &schedule);
+
+/**
+ * The (at most @p top_k) longest nonzero-duration tasks with zero
+ * slack, longest first — the tasks where a speedup would immediately
+ * shorten the iteration.
+ */
+std::vector<TaskId> topZeroSlackTasks(const ScheduleProfile &profile,
+                                      const TaskGraph &graph,
+                                      std::size_t top_k = 8);
+
+/**
+ * The profile as one standalone JSON document: critical path (tasks,
+ * length, phase shares), per-resource busy/idle splits with per-gap
+ * causes, and the top-@p top_slack zero-slack tasks by duration.
+ */
+std::string profileToJson(const ScheduleProfile &profile,
+                          const TaskGraph &graph,
+                          const Schedule &schedule,
+                          std::size_t top_slack = 8);
+
+} // namespace so::sim
+
+#endif // SO_SIM_PROFILER_H

@@ -5,28 +5,40 @@
 #include <map>
 #include <sstream>
 
+#include "common/json.h"
 #include "common/logging.h"
+#include "sim/profiler.h"
 
 namespace so::sim {
 
 namespace {
 
-/** Escape a string for inclusion in a JSON literal. */
-std::string
-jsonEscape(const std::string &in)
+/** Process-name metadata plus one complete event per interval. */
+void
+writeBaseEvents(std::ostringstream &os, const TaskGraph &graph,
+                const Schedule &schedule)
 {
-    std::string out;
-    out.reserve(in.size());
-    for (char c : in) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default: out += c;
+    bool first = true;
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << r
+           << ",\"args\":{\"name\":\""
+           << JsonWriter::escape(graph.resource(r).name) << "\"}}";
+    }
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+        for (const Interval &iv : schedule.timelines[r].intervals()) {
+            os << ',';
+            // Times in microseconds per the trace-event spec.
+            os << "{\"name\":\""
+               << JsonWriter::escape(graph.task(iv.task).label)
+               << "\",\"ph\":\"X\",\"pid\":" << r
+               << ",\"tid\":" << iv.slot
+               << ",\"ts\":" << iv.start * 1e6
+               << ",\"dur\":" << (iv.end - iv.start) * 1e6 << "}";
         }
     }
-    return out;
 }
 
 } // namespace
@@ -36,28 +48,63 @@ toChromeTrace(const TaskGraph &graph, const Schedule &schedule)
 {
     std::ostringstream os;
     os << "{\"traceEvents\":[";
-    bool first = true;
-    // Process-name metadata per resource.
-    for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
-        if (!first)
-            os << ',';
-        first = false;
-        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << r
-           << ",\"args\":{\"name\":\""
-           << jsonEscape(graph.resource(r).name) << "\"}}";
+    writeBaseEvents(os, graph, schedule);
+    os << "]}";
+    return os.str();
+}
+
+std::string
+toChromeTrace(const TaskGraph &graph, const Schedule &schedule,
+              const ScheduleProfile &profile)
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    writeBaseEvents(os, graph, schedule);
+
+    // Which slot each task ran on, for flow-event thread ids.
+    std::vector<std::uint32_t> slot_of(graph.taskCount(), 0);
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r)
+        for (const Interval &iv : schedule.timelines[r].intervals())
+            slot_of[iv.task] = iv.slot;
+
+    // Flow arrows between consecutive critical-path tasks: an "s"
+    // event at the predecessor's finish, a matching "f" (bind to
+    // enclosing slice) at the successor's start.
+    for (std::size_t i = 0; i + 1 < profile.critical_path.size(); ++i) {
+        const TaskId a = profile.critical_path[i].task;
+        const TaskId b = profile.critical_path[i + 1].task;
+        os << ",{\"name\":\"critical\",\"cat\":\"critical\","
+           << "\"ph\":\"s\",\"id\":" << i
+           << ",\"pid\":" << graph.task(a).resource
+           << ",\"tid\":" << slot_of[a]
+           << ",\"ts\":" << schedule.finish[a] * 1e6 << "}";
+        os << ",{\"name\":\"critical\",\"cat\":\"critical\","
+           << "\"ph\":\"f\",\"bp\":\"e\",\"id\":" << i
+           << ",\"pid\":" << graph.task(b).resource
+           << ",\"tid\":" << slot_of[b]
+           << ",\"ts\":" << schedule.start[b] * 1e6 << "}";
     }
+
+    // Occupancy counter per resource: busy-slot count at every
+    // interval boundary (step function readable in the trace viewer).
     for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+        std::map<double, int> delta;
+        delta[0.0] += 0; // Anchor the track at t=0 even when idle.
         for (const Interval &iv : schedule.timelines[r].intervals()) {
-            os << ',';
-            // Times in microseconds per the trace-event spec.
-            os << "{\"name\":\""
-               << jsonEscape(graph.task(iv.task).label)
-               << "\",\"ph\":\"X\",\"pid\":" << r
-               << ",\"tid\":" << iv.slot
-               << ",\"ts\":" << iv.start * 1e6
-               << ",\"dur\":" << (iv.end - iv.start) * 1e6 << "}";
+            if (iv.end <= iv.start)
+                continue;
+            delta[iv.start] += 1;
+            delta[iv.end] -= 1;
+        }
+        int busy = 0;
+        for (const auto &[t, d] : delta) {
+            busy += d;
+            os << ",{\"name\":\"occupancy\",\"ph\":\"C\",\"pid\":" << r
+               << ",\"ts\":" << t * 1e6
+               << ",\"args\":{\"busy\":" << busy << "}}";
         }
     }
+
     os << "]}";
     return os.str();
 }
@@ -112,29 +159,45 @@ toAsciiGantt(const TaskGraph &graph, const Schedule &schedule,
     return os.str();
 }
 
+std::string
+phaseKey(const std::string &label)
+{
+    // First space-delimited token...
+    std::size_t token = label.find(' ');
+    if (token == std::string::npos)
+        token = label.size();
+    // ...with its trailing digit run stripped, so per-layer/per-bucket
+    // indices fold away ("fwd3" -> "fwd") while interior digits stay
+    // ("d2h", "128k"). A token that is *all* digits keeps them rather
+    // than collapsing to "".
+    std::size_t cut = token;
+    while (cut > 0 && label[cut - 1] >= '0' && label[cut - 1] <= '9')
+        --cut;
+    if (cut == 0)
+        cut = token;
+    // Empty labels (and blank-leading ones, whose first token is
+    // empty) group under a synthetic phase.
+    if (cut == 0)
+        return "(unnamed)";
+    return label.substr(0, cut);
+}
+
 std::vector<std::pair<std::string, double>>
 labelBreakdown(const TaskGraph &graph, const Schedule &schedule,
                ResourceId resource)
 {
     SO_ASSERT(resource < graph.resourceCount(), "unknown resource");
     std::map<std::string, double> by_phase;
-    for (const Interval &iv : schedule.timelines[resource].intervals()) {
-        const std::string &label = graph.task(iv.task).label;
-        std::size_t cut = label.size();
-        for (std::size_t i = 0; i < label.size(); ++i) {
-            if (label[i] == ' ' ||
-                (label[i] >= '0' && label[i] <= '9')) {
-                cut = i;
-                break;
-            }
-        }
-        by_phase[label.substr(0, cut)] += iv.end - iv.start;
-    }
+    for (const Interval &iv : schedule.timelines[resource].intervals())
+        by_phase[phaseKey(graph.task(iv.task).label)] +=
+            iv.end - iv.start;
     std::vector<std::pair<std::string, double>> out(by_phase.begin(),
                                                     by_phase.end());
     std::sort(out.begin(), out.end(),
               [](const auto &a, const auto &b) {
-                  return a.second > b.second;
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
               });
     return out;
 }

@@ -4,7 +4,9 @@
  *
  * Each resource becomes a "process", each slot a "thread", each task a
  * complete event — handy for eyeballing overlap structure of a schedule
- * (the visual analogue of the paper's Figs. 3 and 8).
+ * (the visual analogue of the paper's Figs. 3 and 8). The profile-aware
+ * overload additionally draws flow arrows along the critical path and a
+ * per-resource occupancy counter track.
  */
 #ifndef SO_SIM_TRACE_H
 #define SO_SIM_TRACE_H
@@ -18,8 +20,19 @@
 
 namespace so::sim {
 
+struct ScheduleProfile;
+
 /** Render @p schedule of @p graph as a chrome://tracing JSON document. */
 std::string toChromeTrace(const TaskGraph &graph, const Schedule &schedule);
+
+/**
+ * Like the two-argument overload, plus flow events ("s"/"f" pairs)
+ * linking consecutive critical-path tasks and one "occupancy" counter
+ * track per resource (number of busy slots over time). @p profile must
+ * come from profileSchedule() over the same pair.
+ */
+std::string toChromeTrace(const TaskGraph &graph, const Schedule &schedule,
+                          const ScheduleProfile &profile);
 
 /** Write the trace JSON to @p path; returns false on I/O failure. */
 bool writeChromeTrace(const TaskGraph &graph, const Schedule &schedule,
@@ -33,9 +46,18 @@ std::string toAsciiGantt(const TaskGraph &graph, const Schedule &schedule,
                          std::size_t width = 80);
 
 /**
- * Busy seconds on @p resource grouped by task-label phase — the label
- * up to the first space or digit ("fwd L3" and "fwd L7" both count as
- * "fwd"). This is the quantity behind Fig. 3/Fig. 8-style phase
+ * Grouping key of a task label for phase breakdowns: the label's first
+ * space-delimited token with its trailing digit run stripped. "fwd L3",
+ * "fwd L7" and "fwd3" all group as "fwd"; interior digits survive
+ * ("d2h bucket 4" groups as "d2h", "128k prefetch" as "128k"). A token
+ * that would strip to nothing keeps its digits ("42 things" groups as
+ * "42"); an empty or blank-leading label groups as "(unnamed)".
+ */
+std::string phaseKey(const std::string &label);
+
+/**
+ * Busy seconds on @p resource grouped by phaseKey() of the task labels,
+ * largest first. This is the quantity behind Fig. 3/Fig. 8-style phase
  * breakdowns of an iteration.
  */
 std::vector<std::pair<std::string, double>>

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "optim/kernels.h"
 
 namespace so::stv {
@@ -75,6 +76,22 @@ TrainerBase::applyLrSchedule()
 }
 
 void
+TrainerBase::recordStep(const StepStats &stats) const
+{
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    metrics.add("stv.steps");
+    if (stats.overflowed)
+        metrics.add("stv.overflows");
+    if (stats.clipped)
+        metrics.add("stv.clips");
+    if (stats.rolled_back)
+        metrics.add("stv.rollbacks");
+    metrics.observe("stv.loss", stats.loss);
+    if (!stats.overflowed)
+        metrics.observe("stv.grad_norm", stats.grad_norm);
+}
+
+void
 TrainerBase::updateLossScale(bool overflowed)
 {
     if (overflowed) {
@@ -99,6 +116,7 @@ StepStats
 SyncTrainer::step(const std::uint32_t *inputs, const std::uint32_t *targets,
                   std::size_t count)
 {
+    ScopedTimer timer(MetricsRegistry::global(), "stv.step_s");
     StepStats stats;
     stats.loss = computeGradients(inputs, targets, count);
 
@@ -106,6 +124,7 @@ SyncTrainer::step(const std::uint32_t *inputs, const std::uint32_t *targets,
     if (gradsOverflowed()) {
         stats.overflowed = true;
         updateLossScale(true);
+        recordStep(stats);
         return stats;
     }
 
@@ -126,6 +145,7 @@ SyncTrainer::step(const std::uint32_t *inputs, const std::uint32_t *targets,
     }
     ++steps_taken_;
     updateLossScale(false);
+    recordStep(stats);
     return stats;
 }
 
@@ -206,6 +226,7 @@ StepStats
 StvTrainer::step(const std::uint32_t *inputs, const std::uint32_t *targets,
                  std::size_t count)
 {
+    ScopedTimer timer(MetricsRegistry::global(), "stv.step_s");
     StepStats stats;
     stats.loss = computeGradients(inputs, targets, count);
 
@@ -226,6 +247,7 @@ StvTrainer::step(const std::uint32_t *inputs, const std::uint32_t *targets,
         stats.overflowed = true;
         stats.rolled_back = true;
         updateLossScale(true);
+        recordStep(stats);
         return stats;
     }
 
@@ -243,6 +265,7 @@ StvTrainer::step(const std::uint32_t *inputs, const std::uint32_t *targets,
     }
     ++steps_taken_;
     updateLossScale(false);
+    recordStep(stats);
     return stats;
 }
 

@@ -99,6 +99,86 @@ TEST(JsonWriter, TopLevelScalar)
     EXPECT_EQ(json.str(), "42");
 }
 
+TEST(JsonValue, ParsesScalars)
+{
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::parse("null", v));
+    EXPECT_TRUE(v.isNull());
+    ASSERT_TRUE(JsonValue::parse("true", v));
+    EXPECT_TRUE(v.boolean());
+    ASSERT_TRUE(JsonValue::parse("false", v));
+    EXPECT_FALSE(v.boolean());
+    ASSERT_TRUE(JsonValue::parse("-12.5e2", v));
+    EXPECT_DOUBLE_EQ(v.number(), -1250.0);
+    ASSERT_TRUE(JsonValue::parse("\"hi\"", v));
+    EXPECT_EQ(v.text(), "hi");
+}
+
+TEST(JsonValue, ParsesNestedContainers)
+{
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(
+        "{\"a\":[1,2,{\"b\":true}],\"c\":{\"d\":null}} \n", v, &error))
+        << error;
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.members().size(), 2u);
+    const JsonValue &a = v.at("a");
+    ASSERT_EQ(a.items().size(), 3u);
+    EXPECT_DOUBLE_EQ(a.items()[1].number(), 2.0);
+    EXPECT_TRUE(a.items()[2].at("b").boolean());
+    EXPECT_TRUE(v.at("c").at("d").isNull());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonValue, UnescapesStrings)
+{
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::parse(
+        "\"tab\\tquote\\\"back\\\\slash\\/nl\\nu\\u0041\"", v));
+    EXPECT_EQ(v.text(), "tab\tquote\"back\\slash/nl\nuA");
+}
+
+TEST(JsonValue, RejectsMalformedInput)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse("", v, &error));
+    EXPECT_FALSE(JsonValue::parse("{", v, &error));
+    EXPECT_FALSE(JsonValue::parse("[1,]", v, &error));
+    EXPECT_FALSE(JsonValue::parse("{\"a\" 1}", v, &error));
+    EXPECT_FALSE(JsonValue::parse("nul", v, &error));
+    // Trailing garbage after a complete document is rejected too.
+    EXPECT_FALSE(JsonValue::parse("{} x", v, &error));
+    EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(JsonValue, RoundTripsWriterOutput)
+{
+    JsonWriter json;
+    json.beginObject()
+        .field("name", "line1\nline2 \"q\"")
+        .field("value", 0.125)
+        .key("list");
+    json.beginArray().value(true).null().endArray();
+    json.endObject();
+
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(json.str(), v, &error)) << error;
+    EXPECT_EQ(v.at("name").text(), "line1\nline2 \"q\"");
+    EXPECT_DOUBLE_EQ(v.at("value").number(), 0.125);
+    EXPECT_TRUE(v.at("list").items()[0].boolean());
+    EXPECT_TRUE(v.at("list").items()[1].isNull());
+}
+
+TEST(JsonValueDeath, KindMismatchPanics)
+{
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::parse("42", v));
+    EXPECT_DEATH({ const auto &t = v.text(); (void)t; }, "");
+}
+
 TEST(JsonWriterDeath, MismatchedEndPanics)
 {
     JsonWriter json;

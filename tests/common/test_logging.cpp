@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 namespace so {
 namespace {
 
@@ -20,6 +22,44 @@ TEST(Logging, InformAndWarnDoNotCrash)
     inform("test message ", 42);
     warn("warning with value ", 3.14);
     debug("debug message");
+}
+
+TEST(Logging, ParseLogLevelAcceptsDocumentedNames)
+{
+    bool ok = false;
+    EXPECT_EQ(parseLogLevel("debug", LogLevel::Info, &ok),
+              LogLevel::Debug);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseLogLevel("INFO"), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("Warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("warning"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("error"), LogLevel::Error);
+}
+
+TEST(Logging, ParseLogLevelFallsBackOnGarbage)
+{
+    bool ok = true;
+    EXPECT_EQ(parseLogLevel("loud", LogLevel::Warn, &ok),
+              LogLevel::Warn);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(parseLogLevel("", LogLevel::Error, &ok), LogLevel::Error);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Logging, EnvironmentVariableSetsLevel)
+{
+    const LogLevel before = logLevel();
+    ::setenv("SO_LOG_LEVEL", "error", 1);
+    log_detail::reapplyEnvLogLevel();
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+
+    // Unknown values leave the level untouched (with a warning).
+    ::setenv("SO_LOG_LEVEL", "bogus", 1);
+    log_detail::reapplyEnvLogLevel();
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+
+    ::unsetenv("SO_LOG_LEVEL");
+    setLogLevel(before);
 }
 
 TEST(Logging, AssertPassesOnTrueCondition)

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * MetricsRegistry contract tests: counters/gauges/histograms register
+ * on first use, snapshots are name-sorted and deterministic, the
+ * Stable/Execution scope split drives stableJson(), the ScopedTimer
+ * records exactly one observation, and concurrent updates are safe.
+ */
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+namespace so {
+namespace {
+
+TEST(Metrics, CountersAccumulate)
+{
+    MetricsRegistry reg;
+    reg.add("a");
+    reg.add("a", 4);
+    reg.add("b", -2);
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("a"), 5);
+    EXPECT_EQ(snap.counter("b"), -2);
+    EXPECT_EQ(snap.counter("missing", 42), 42);
+}
+
+TEST(Metrics, GaugesKeepLastValue)
+{
+    MetricsRegistry reg;
+    reg.set("g", 1.5);
+    reg.set("g", -3.25);
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_DOUBLE_EQ(snap.gauge("g"), -3.25);
+    EXPECT_DOUBLE_EQ(snap.gauge("missing", 7.0), 7.0);
+}
+
+TEST(Metrics, HistogramsFoldCountSumMinMax)
+{
+    MetricsRegistry reg;
+    reg.observe("h", 2.0);
+    reg.observe("h", -1.0);
+    reg.observe("h", 5.0);
+    const MetricsSnapshot snap = reg.snapshot();
+    const HistogramValue *h = snap.histogram("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 3u);
+    EXPECT_DOUBLE_EQ(h->sum, 6.0);
+    EXPECT_DOUBLE_EQ(h->min, -1.0);
+    EXPECT_DOUBLE_EQ(h->max, 5.0);
+    EXPECT_DOUBLE_EQ(h->mean(), 2.0);
+    EXPECT_EQ(snap.histogram("missing"), nullptr);
+}
+
+TEST(Metrics, EmptyHistogramMeanIsZero)
+{
+    HistogramValue h;
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Metrics, SnapshotIsSortedByName)
+{
+    MetricsRegistry reg;
+    reg.add("zebra");
+    reg.add("alpha");
+    reg.add("mid");
+    const MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 3u);
+    EXPECT_EQ(snap.counters[0].name, "alpha");
+    EXPECT_EQ(snap.counters[1].name, "mid");
+    EXPECT_EQ(snap.counters[2].name, "zebra");
+}
+
+TEST(Metrics, JsonIsDeterministicAndParses)
+{
+    // Same metrics registered in different orders render identical
+    // JSON, and the JSON round-trips through the parser.
+    MetricsRegistry a;
+    a.add("c1", 3);
+    a.set("g1", 0.5);
+    a.observe("h1", 1.0);
+    MetricsRegistry b;
+    b.observe("h1", 1.0);
+    b.set("g1", 0.5);
+    b.add("c1", 3);
+    EXPECT_EQ(a.snapshot().json(), b.snapshot().json());
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(a.snapshot().json(), doc, &error))
+        << error;
+    EXPECT_DOUBLE_EQ(doc.at("counters").at("c1").number(), 3.0);
+    EXPECT_DOUBLE_EQ(doc.at("gauges").at("g1").number(), 0.5);
+    EXPECT_DOUBLE_EQ(doc.at("histograms").at("h1").at("count").number(),
+                     1.0);
+}
+
+TEST(Metrics, StableJsonExcludesExecutionScopeAndHistograms)
+{
+    MetricsRegistry reg;
+    reg.add("logical.cells", 10, MetricScope::Stable);
+    reg.add("pool.tasks", 99, MetricScope::Execution);
+    reg.set("logical.rate", 2.5, MetricScope::Stable);
+    reg.set("pool.depth", 7.0, MetricScope::Execution);
+    reg.observe("wall_s", 0.123);
+    const std::string stable = reg.snapshot().stableJson();
+    EXPECT_NE(stable.find("logical.cells"), std::string::npos);
+    EXPECT_NE(stable.find("logical.rate"), std::string::npos);
+    EXPECT_EQ(stable.find("pool.tasks"), std::string::npos);
+    EXPECT_EQ(stable.find("pool.depth"), std::string::npos);
+    EXPECT_EQ(stable.find("wall_s"), std::string::npos);
+
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::parse(stable, doc));
+    EXPECT_DOUBLE_EQ(doc.at("counters").at("logical.cells").number(),
+                     10.0);
+}
+
+TEST(Metrics, ResetDropsEverything)
+{
+    MetricsRegistry reg;
+    reg.add("c");
+    reg.set("g", 1.0);
+    reg.observe("h", 1.0);
+    reg.reset();
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.gauges.empty());
+    EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(Metrics, GlobalIsOneInstance)
+{
+    EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+TEST(Metrics, ScopedTimerRecordsOneObservation)
+{
+    MetricsRegistry reg;
+    {
+        ScopedTimer timer(reg, "t_s");
+    }
+    const MetricsSnapshot snap = reg.snapshot();
+    const HistogramValue *h = snap.histogram("t_s");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 1u);
+    EXPECT_GE(h->min, 0.0);
+}
+
+TEST(Metrics, ScopedTimerStopIsIdempotent)
+{
+    MetricsRegistry reg;
+    {
+        ScopedTimer timer(reg, "t_s");
+        timer.stop();
+        timer.stop(); // Second stop and the destructor record nothing.
+    }
+    EXPECT_EQ(reg.snapshot().histogram("t_s")->count, 1u);
+}
+
+TEST(Metrics, ScopedTimerMoveTransfersOwnership)
+{
+    MetricsRegistry reg;
+    {
+        ScopedTimer outer(reg, "t_s");
+        ScopedTimer inner(std::move(outer));
+    } // Only the moved-to timer records.
+    EXPECT_EQ(reg.snapshot().histogram("t_s")->count, 1u);
+}
+
+TEST(Metrics, ConcurrentUpdatesAreCounted)
+{
+    MetricsRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&reg] {
+            for (int i = 0; i < kPerThread; ++i) {
+                reg.add("contended");
+                reg.observe("obs", 1.0);
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("contended"), kThreads * kPerThread);
+    EXPECT_EQ(snap.histogram("obs")->count,
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_DOUBLE_EQ(snap.histogram("obs")->sum, kThreads * kPerThread);
+}
+
+} // namespace
+} // namespace so

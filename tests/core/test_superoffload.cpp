@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/json.h"
 #include "runtime/registry.h"
 
 namespace so::core {
@@ -273,6 +274,70 @@ TEST(SuperOffload, TraceCaptureIsOptIn)
     EXPECT_NE(with.trace_json.find("\"traceEvents\""),
               std::string::npos);
     EXPECT_NE(with.trace_json.find("GPU"), std::string::npos);
+}
+
+TEST(SuperOffload, ProfileCaptureAttributesTheSchedule)
+{
+    SuperOffloadSystem sys;
+    TrainSetup plain = setupFor("5B");
+    const auto without = sys.run(plain);
+    ASSERT_TRUE(without.feasible);
+    EXPECT_FALSE(without.profile.valid);
+    EXPECT_TRUE(without.profile_json.empty());
+
+    TrainSetup profiled = setupFor("5B");
+    profiled.capture_profile = true;
+    const auto with = sys.run(profiled);
+    ASSERT_TRUE(with.feasible);
+    ASSERT_TRUE(with.profile.valid);
+    EXPECT_GT(with.profile.critical_length, 0.0);
+    EXPECT_FALSE(with.profile.critical_phases.empty());
+    EXPECT_FALSE(with.profile.idle.empty());
+
+    // The full profile document parses, its critical path spans the
+    // schedule, the per-resource idle causes partition the idle time,
+    // and the critical-path phase shares sum to one.
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(with.profile_json, doc, &error))
+        << error;
+    const double makespan = doc.at("makespan_s").number();
+    EXPECT_NEAR(doc.at("critical_path").at("length_s").number(),
+                makespan, 1e-9 + 1e-9 * makespan);
+    double share = 0.0;
+    for (const JsonValue &phase :
+         doc.at("critical_path").at("phases").items())
+        share += phase.at("share").number();
+    EXPECT_NEAR(share, 1.0, 1e-9);
+    for (const JsonValue &res : doc.at("resources").items()) {
+        const double idle = res.at("idle_s").number();
+        const double split = res.at("idle_dependency_s").number() +
+                             res.at("idle_contention_s").number() +
+                             res.at("idle_tail_s").number();
+        EXPECT_NEAR(split, idle, 1e-9)
+            << res.at("resource").text();
+        EXPECT_NEAR(res.at("busy_s").number() + idle, makespan,
+                    1e-9 + 1e-9 * makespan)
+            << res.at("resource").text();
+    }
+}
+
+TEST(SuperOffload, ProfileImpliesTraceFlowEvents)
+{
+    // capture_profile + capture_trace upgrades the trace with
+    // critical-path flow arrows and occupancy counter tracks.
+    SuperOffloadSystem sys;
+    TrainSetup setup = setupFor("5B");
+    setup.capture_trace = true;
+    setup.capture_profile = true;
+    const auto res = sys.run(setup);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_NE(res.trace_json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(res.trace_json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(res.trace_json.find("\"ph\":\"C\""), std::string::npos);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(res.trace_json, doc, &error)) << error;
 }
 
 TEST(SuperOffload, StvDisabledExposesOptimizer)

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "core/superoffload.h"
 #include "hw/presets.h"
 #include "model/config.h"
@@ -174,6 +175,45 @@ TEST(Sweep, ParallelMatchesSerialAcrossAllSystems)
         expectSameResult(serial.result(i), nocache.result(i),
                          what + " (no cache)");
     }
+}
+
+/**
+ * Acceptance criterion for the telemetry layer: the stable-scope slice
+ * of the global metrics registry (logical work — cells, candidates,
+ * cache traffic) is byte-identical between a 1-thread and an N-thread
+ * run of the same full-system sweep. Wall-clock histograms are
+ * execution-scoped and therefore excluded by stableJson().
+ */
+TEST(Sweep, StableMetricsAreIdenticalAcrossJobCounts)
+{
+    const hw::ClusterSpec single = hw::gh200Single();
+    std::vector<SystemPtr> systems;
+    for (const std::string &name : baselineNames())
+        systems.push_back(makeBaseline(name));
+    core::SuperOffloadSystem so_sys;
+
+    auto sweep_metrics = [&](std::size_t jobs) {
+        MetricsRegistry::global().reset();
+        SweepOptions opts;
+        opts.jobs = jobs;
+        SweepEngine engine(opts);
+        for (const auto &sys : systems)
+            engine.add(*sys, setupFor(single, "1B"));
+        engine.add(so_sys, setupFor(single, "1B"));
+        // A duplicate cell so the cache-hit counter registers too.
+        engine.add(so_sys, setupFor(single, "1B"));
+        engine.run();
+        return MetricsRegistry::global().snapshot().stableJson();
+    };
+
+    const std::string serial = sweep_metrics(1);
+    const std::string parallel = sweep_metrics(4);
+    EXPECT_EQ(serial, parallel);
+    // Sanity: the stable slice actually carries the sweep counters.
+    EXPECT_NE(serial.find("sweep.cells"), std::string::npos);
+    EXPECT_NE(serial.find("sweep.candidates"), std::string::npos);
+    EXPECT_NE(serial.find("sweep.cache_hits"), std::string::npos);
+    MetricsRegistry::global().reset();
 }
 
 TEST(Sweep, JobsZeroResolvesToHardwareConcurrency)

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/json.h"
 #include "sim/graph.h"
 #include "sim/scheduler.h"
 
@@ -79,6 +80,69 @@ TEST(Trace, AsciiGanttBusyFractionRoughlyMatches)
     const auto busy = std::count(gpu_row.begin(), gpu_row.end(), '#');
     EXPECT_GT(busy, 40);
     EXPECT_LT(busy, 60);
+}
+
+TEST(Trace, ChromeTraceRoundTripsThroughJsonParser)
+{
+    const TaskGraph g = smallGraph();
+    const Schedule s = Scheduler().run(g);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(toChromeTrace(g, s), doc, &error))
+        << error;
+    ASSERT_TRUE(doc.at("traceEvents").isArray());
+    std::size_t complete = 0, metadata = 0;
+    for (const JsonValue &ev : doc.at("traceEvents").items()) {
+        const std::string &ph = ev.at("ph").text();
+        if (ph == "X") {
+            ++complete;
+            EXPECT_GE(ev.at("dur").number(), 0.0);
+            EXPECT_GE(ev.at("ts").number(), 0.0);
+        } else if (ph == "M") {
+            ++metadata;
+        }
+    }
+    EXPECT_EQ(complete, g.taskCount());
+    EXPECT_EQ(metadata, g.resourceCount());
+    // The escaped label survives the round trip intact.
+    bool found = false;
+    for (const JsonValue &ev : doc.at("traceEvents").items())
+        if (ev.at("ph").text() == "X" &&
+            ev.at("name").text() == "adam \"step\"")
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Trace, PhaseKeyRules)
+{
+    // Documented grouping rules, pinned: first space-delimited token,
+    // trailing digit run stripped; all-digit tokens keep their digits;
+    // empty (or blank-leading) labels get a synthetic phase.
+    EXPECT_EQ(phaseKey(""), "(unnamed)");
+    EXPECT_EQ(phaseKey("fwd L3"), "fwd");
+    EXPECT_EQ(phaseKey("fwd3"), "fwd");
+    EXPECT_EQ(phaseKey("adam(gpu) b3"), "adam(gpu)");
+    EXPECT_EQ(phaseKey("128k prefetch"), "128k");
+    EXPECT_EQ(phaseKey("128k"), "128k");
+    EXPECT_EQ(phaseKey("d2h bucket 4"), "d2h");
+    EXPECT_EQ(phaseKey("42 things"), "42");
+    EXPECT_EQ(phaseKey(" leading space"), "(unnamed)");
+}
+
+TEST(Trace, LabelBreakdownDigitLeadingAndEmptyLabels)
+{
+    TaskGraph g;
+    const ResourceId gpu = g.addResource("GPU");
+    const TaskId a = g.addTask(gpu, 1.0, "128k prefetch");
+    const TaskId b = g.addTask(gpu, 0.5, "128k flush", {a});
+    g.addTask(gpu, 0.25, "", {b});
+    const Schedule s = Scheduler().run(g);
+    const auto breakdown = labelBreakdown(g, s, gpu);
+    ASSERT_EQ(breakdown.size(), 2u);
+    EXPECT_EQ(breakdown[0].first, "128k");
+    EXPECT_DOUBLE_EQ(breakdown[0].second, 1.5);
+    EXPECT_EQ(breakdown[1].first, "(unnamed)");
+    EXPECT_DOUBLE_EQ(breakdown[1].second, 0.25);
 }
 
 TEST(Trace, LabelBreakdownGroupsPhases)
