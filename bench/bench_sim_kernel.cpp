@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Simulation-kernel microbenchmark: how fast can one worker build and
+ * schedule task graphs?
+ *
+ * This is the inner loop every sweep cell pays, isolated from the
+ * hardware model: an offload-shaped graph (GPU chain + D2H swap-outs +
+ * CPU optimizer tail) at 1k / 10k / 100k tasks, timed separately for
+ * the build phase (addTask/addDep into the SoA pools) and the schedule
+ * phase (discrete-event run over a reused workspace). Both phases also
+ * publish into a private MetricsRegistry so the JSON record carries the
+ * full histograms alongside the derived tasks/sec numbers.
+ *
+ * Run with --json [path] to write BENCH_sim_kernel.json (default path);
+ * CI's perf-smoke step records the numbers without gating on them.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "sim/graph.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using so::sim::ResourceId;
+using so::sim::Scheduler;
+using so::sim::TaskGraph;
+using so::sim::TaskId;
+using so::sim::kInvalidTask;
+
+/**
+ * Offload-shaped graph of roughly @p target_tasks tasks: an
+ * accumulation loop of forward/backward chains with per-layer D2H
+ * swap-outs and CPU optimizer steps on the last pass.
+ */
+TaskGraph
+buildGraph(std::size_t target_tasks)
+{
+    // Tasks per layer across the shape below: 2*accum compute + 2
+    // offload + 1 optimizer, with accum=4 -> 11 tasks per layer.
+    constexpr std::uint32_t kAccum = 4;
+    const std::size_t layers =
+        std::max<std::size_t>(1, target_tasks / (2 * kAccum + 3));
+
+    TaskGraph g;
+    const ResourceId gpu = g.addResource("GPU");
+    const ResourceId d2h = g.addResource("D2H");
+    const ResourceId cpu = g.addResource("CPU");
+    g.reserveTasks(2 * kAccum * layers + 3 * layers + 1, 16 * layers);
+    g.reserveEdges(2 * kAccum * layers + 4 * layers + 1);
+
+    TaskId prev = kInvalidTask;
+    std::vector<TaskId> opts;
+    opts.reserve(layers);
+    for (std::uint32_t step = 0; step < kAccum; ++step) {
+        for (std::size_t l = 0; l < layers; ++l) {
+            if (prev == kInvalidTask)
+                prev = g.addTask(gpu, 1e-3, "fwd L" + std::to_string(l));
+            else
+                prev = g.addTask(gpu, 1e-3, "fwd L" + std::to_string(l),
+                                 {prev});
+        }
+        const bool last = step + 1 == kAccum;
+        for (std::size_t l = layers; l-- > 0;) {
+            prev = g.addTask(gpu, 2e-3, "bwd L" + std::to_string(l),
+                             {prev});
+            if (!last)
+                continue;
+            const TaskId moved =
+                g.addTask(d2h, 5e-4, "d2h g L" + std::to_string(l),
+                          {prev});
+            opts.push_back(g.addTask(
+                cpu, 8e-4, "adam (fused, per-bucket dispatch)",
+                {moved}));
+        }
+    }
+    g.addTask(cpu, 1e-4, "grad-norm+check", opts);
+    return g;
+}
+
+struct SizeResult
+{
+    std::size_t tasks = 0;
+    std::size_t reps = 0;
+    double build_s = 0.0;    // mean seconds per graph build
+    double schedule_s = 0.0; // mean seconds per schedule run
+};
+
+SizeResult
+measure(std::size_t target_tasks, so::MetricsRegistry &metrics)
+{
+    using clock = std::chrono::steady_clock;
+    // Repeat until the measurement is comfortably above timer noise.
+    constexpr double kMinSeconds = 0.2;
+    constexpr std::size_t kMinReps = 3;
+
+    Scheduler::Workspace ws;
+    // Warm up: grow the workspace heaps and fault in the code paths.
+    {
+        const TaskGraph g = buildGraph(target_tasks);
+        (void)Scheduler().run(g, ws);
+    }
+
+    SizeResult out;
+    double build_total = 0.0;
+    double schedule_total = 0.0;
+    const std::string suffix = std::to_string(target_tasks);
+    while (out.reps < kMinReps ||
+           build_total + schedule_total < kMinSeconds) {
+        const auto t0 = clock::now();
+        TaskGraph g;
+        {
+            so::ScopedTimer timer(metrics,
+                                  "sim_kernel.build_s." + suffix);
+            g = buildGraph(target_tasks);
+        }
+        const auto t1 = clock::now();
+        so::sim::Schedule sched;
+        {
+            so::ScopedTimer timer(metrics,
+                                  "sim_kernel.schedule_s." + suffix);
+            sched = Scheduler().run(g, ws);
+        }
+        const auto t2 = clock::now();
+        if (sched.makespan <= 0.0) {
+            std::fprintf(stderr, "bogus schedule (makespan 0)\n");
+            std::exit(1);
+        }
+        out.tasks = g.taskCount();
+        build_total += std::chrono::duration<double>(t1 - t0).count();
+        schedule_total += std::chrono::duration<double>(t2 - t1).count();
+        ++out.reps;
+    }
+    out.build_s = build_total / static_cast<double>(out.reps);
+    out.schedule_s = schedule_total / static_cast<double>(out.reps);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json_path = (i + 1 < argc && argv[i + 1][0] != '-')
+                            ? argv[++i]
+                            : "BENCH_sim_kernel.json";
+        } else {
+            std::fprintf(stderr, "usage: %s [--json [path]]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("sim-kernel microbenchmark: graph build + schedule\n");
+    std::printf("%10s %6s %14s %14s %16s %16s\n", "tasks", "reps",
+                "build ms", "schedule ms", "build tasks/s",
+                "sched tasks/s");
+
+    so::MetricsRegistry metrics; // Private: only this bench's timers.
+    const std::size_t sizes[] = {1000, 10000, 100000};
+    std::vector<SizeResult> results;
+    for (std::size_t size : sizes) {
+        const SizeResult r = measure(size, metrics);
+        const double n = static_cast<double>(r.tasks);
+        std::printf("%10zu %6zu %14.3f %14.3f %16.0f %16.0f\n", r.tasks,
+                    r.reps, r.build_s * 1e3, r.schedule_s * 1e3,
+                    n / r.build_s, n / r.schedule_s);
+        if (!(n / r.build_s > 0.0) || !(n / r.schedule_s > 0.0)) {
+            std::fprintf(stderr, "non-positive throughput\n");
+            return 1;
+        }
+        results.push_back(r);
+    }
+
+    if (!json_path.empty()) {
+        so::JsonWriter json;
+        json.beginObject();
+        json.field("bench", "sim_kernel");
+        json.key("sizes").beginArray();
+        for (const SizeResult &r : results) {
+            const double n = static_cast<double>(r.tasks);
+            json.beginObject();
+            json.field("tasks", static_cast<std::uint64_t>(r.tasks));
+            json.field("reps", static_cast<std::uint64_t>(r.reps));
+            json.field("build_s_mean", r.build_s);
+            json.field("schedule_s_mean", r.schedule_s);
+            json.field("build_tasks_per_s", n / r.build_s);
+            json.field("schedule_tasks_per_s", n / r.schedule_s);
+            json.field("total_tasks_per_s",
+                       n / (r.build_s + r.schedule_s));
+            json.endObject();
+        }
+        json.endArray();
+        json.key("metrics");
+        metrics.snapshot().write(json);
+        json.endObject();
+
+        const std::string doc = json.str();
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -80,7 +80,7 @@ JsonWriter::key(const std::string &name)
 }
 
 JsonWriter &
-JsonWriter::value(const std::string &text)
+JsonWriter::value(std::string_view text)
 {
     comma();
     out_ += '"';
@@ -92,7 +92,7 @@ JsonWriter::value(const std::string &text)
 JsonWriter &
 JsonWriter::value(const char *text)
 {
-    return value(std::string(text));
+    return value(std::string_view(text));
 }
 
 JsonWriter &
@@ -455,7 +455,7 @@ JsonValue::parse(const std::string &text, JsonValue &out,
 }
 
 std::string
-JsonWriter::escape(const std::string &text)
+JsonWriter::escape(std::string_view text)
 {
     std::string out;
     out.reserve(text.size());

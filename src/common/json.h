@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -34,7 +35,7 @@ class JsonWriter
 
     /// @name Values
     /// @{
-    JsonWriter &value(const std::string &text);
+    JsonWriter &value(std::string_view text);
     JsonWriter &value(const char *text);
     JsonWriter &value(double number);
     JsonWriter &value(std::int64_t number);
@@ -57,7 +58,7 @@ class JsonWriter
     std::string str() const;
 
     /** Escape @p text for embedding in a JSON string literal. */
-    static std::string escape(const std::string &text);
+    static std::string escape(std::string_view text);
 
   private:
     void comma();

@@ -9,13 +9,13 @@
 #ifndef SO_COMMON_THREAD_POOL_H
 #define SO_COMMON_THREAD_POOL_H
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -71,13 +71,36 @@ class ThreadPool
     };
 
     void workerLoop();
+    /** Append to the ring, growing it when full. Caller holds mutex_. */
+    void pushLocked(Job job);
+    /** Pop the oldest job. Caller holds mutex_; count_ must be > 0. */
+    Job popLocked();
 
     std::vector<std::thread> workers_;
-    std::queue<Job> tasks_;
+    /**
+     * Pre-sized ring buffer of pending jobs: steady-state submit/dequeue
+     * reuses slots instead of allocating a queue node per job. Capacity
+     * only grows (doubling), never shrinks.
+     */
+    std::vector<Job> ring_;
+    std::size_t head_ = 0;  ///< Index of the oldest queued job.
+    std::size_t count_ = 0; ///< Queued jobs (guarded by mutex_).
+    /**
+     * Mirror of count_ readable without the lock: workers use it for a
+     * double-checked empty test, so a busy worker finishing a job pays
+     * no condition-variable round trip when more work is visible (and a
+     * spuriously woken one re-checks cheaply).
+     */
+    std::atomic<std::size_t> queued_{0};
+    /** Submitted-but-unfinished jobs; wait() blocks on this. */
+    std::atomic<std::size_t> in_flight_{0};
+    /** Workers inside cv_task_.wait(); guarded by mutex_. submit()
+     *  elides its notify when this is zero (busy workers re-check
+     *  queued_ before sleeping, so the job cannot be missed). */
+    std::size_t idle_workers_ = 0;
     std::mutex mutex_;
     std::condition_variable cv_task_;
     std::condition_variable cv_done_;
-    std::size_t in_flight_ = 0;
     bool stop_ = false;
     /** First exception thrown by a task since the last wait(). */
     std::exception_ptr first_error_;

@@ -237,10 +237,24 @@ SuperOffloadSystem::simulateWithRetained(const TrainSetup &setup,
     std::vector<sim::TaskId> iter_first_task(kSimIterations,
                                              sim::kInvalidTask);
 
+    // Rough upper bound per iteration: each pass touches every bucket
+    // with compute plus up to three companion tasks (fetch / gather /
+    // offload), and the epilogue adds up to five tasks per CPU bucket
+    // plus the norm, validation, and barrier machinery. Deps average
+    // under three per task.
+    {
+        const auto b = static_cast<std::size_t>(nbuckets);
+        const std::size_t per_iter =
+            static_cast<std::size_t>(accum_steps) * 2 * 4 * b + 6 * b + 4;
+        builder.reserve(kSimIterations * per_iter,
+                        kSimIterations * per_iter * 3);
+    }
+
     sim::TaskId prev = sim::kInvalidTask;
     for (std::uint32_t it = 0; it < kSimIterations; ++it) {
         std::vector<sim::TaskId> ready(nbuckets, sim::kInvalidTask);
         std::vector<sim::TaskId> arrivals;
+        arrivals.reserve(nbuckets);
         std::vector<sim::TaskId> returns;
         sim::TaskId first_fwd = sim::kInvalidTask;
 
@@ -351,6 +365,7 @@ SuperOffloadSystem::simulateWithRetained(const TrainSetup &setup,
                 arrivals);
         }
         std::vector<sim::TaskId> validations;
+        validations.reserve(nbuckets);
         for (std::uint32_t c = 0; c + retained < nbuckets; ++c) {
             std::vector<sim::TaskId> deps{ready[c]};
             if (norm != sim::kInvalidTask)
@@ -397,6 +412,7 @@ SuperOffloadSystem::simulateWithRetained(const TrainSetup &setup,
             // STE constraint 2 (§3): next forward waits for *all*
             // returned parameters.
             std::vector<sim::TaskId> barrier_deps;
+            barrier_deps.reserve(ready.size());
             for (sim::TaskId id : ready) {
                 if (id != sim::kInvalidTask)
                     barrier_deps.push_back(id);

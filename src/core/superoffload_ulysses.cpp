@@ -80,6 +80,18 @@ SuperOffloadUlyssesSystem::simulate(const TrainSetup &setup,
     std::vector<sim::TaskId> first_fwd(kIters, sim::kInvalidTask);
     std::vector<sim::TaskId> opt_prev(cfg.layers, sim::kInvalidTask);
 
+    // Per layer and pass: fetch (+ gather, a2a) + compute; the last
+    // pass adds six offload/optimizer tasks per layer. Deps average
+    // about two per task.
+    {
+        const auto lc = static_cast<std::size_t>(cfg.layers);
+        const std::size_t per_layer = n > 1 ? 4 : 2;
+        const std::size_t per_iter =
+            static_cast<std::size_t>(accum_steps) * 2 * per_layer * lc +
+            6 * lc;
+        builder.reserve(kIters * per_iter, kIters * per_iter * 2);
+    }
+
     sim::TaskId prev = sim::kInvalidTask;
     for (std::uint32_t it = 0; it < kIters; ++it) {
         std::vector<sim::TaskId> opt_done(cfg.layers, sim::kInvalidTask);

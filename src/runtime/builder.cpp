@@ -110,65 +110,68 @@ IterBuilder::microTokens(std::uint32_t micro) const
 }
 
 sim::TaskId
-IterBuilder::onGpu(std::string label, double seconds,
-                   std::vector<sim::TaskId> deps, std::int32_t priority)
+IterBuilder::onGpu(std::string_view label, double seconds,
+                   sim::DepView deps, std::int32_t priority)
 {
-    return graph_.addTask(gpu_, seconds, std::move(label), std::move(deps),
-                          priority);
+    return graph_.addTask(gpu_, seconds, label, deps, priority);
 }
 
 sim::TaskId
-IterBuilder::onCpu(std::string label, double seconds,
-                   std::vector<sim::TaskId> deps, std::int32_t priority)
+IterBuilder::onCpu(std::string_view label, double seconds,
+                   sim::DepView deps, std::int32_t priority)
 {
-    return graph_.addTask(cpu_, seconds, std::move(label), std::move(deps),
-                          priority);
+    return graph_.addTask(cpu_, seconds, label, deps, priority);
 }
 
 sim::TaskId
-IterBuilder::onCpuBg(std::string label, double seconds,
-                     std::vector<sim::TaskId> deps, std::int32_t priority)
+IterBuilder::onCpuBg(std::string_view label, double seconds,
+                     sim::DepView deps, std::int32_t priority)
 {
-    return graph_.addTask(cpu_bg_, seconds, std::move(label),
-                          std::move(deps), priority);
+    return graph_.addTask(cpu_bg_, seconds, label, deps, priority);
 }
 
 sim::TaskId
-IterBuilder::onH2d(std::string label, double seconds,
-                   std::vector<sim::TaskId> deps, std::int32_t priority)
+IterBuilder::onH2d(std::string_view label, double seconds,
+                   sim::DepView deps, std::int32_t priority)
 {
-    return graph_.addTask(h2d_, seconds, std::move(label), std::move(deps),
-                          priority);
+    return graph_.addTask(h2d_, seconds, label, deps, priority);
 }
 
 sim::TaskId
-IterBuilder::onD2h(std::string label, double seconds,
-                   std::vector<sim::TaskId> deps, std::int32_t priority)
+IterBuilder::onD2h(std::string_view label, double seconds,
+                   sim::DepView deps, std::int32_t priority)
 {
-    return graph_.addTask(d2h_, seconds, std::move(label), std::move(deps),
-                          priority);
+    return graph_.addTask(d2h_, seconds, label, deps, priority);
 }
 
 sim::TaskId
-IterBuilder::onNic(std::string label, double seconds,
-                   std::vector<sim::TaskId> deps, std::int32_t priority)
+IterBuilder::onNic(std::string_view label, double seconds,
+                   sim::DepView deps, std::int32_t priority)
 {
-    return graph_.addTask(nic_, seconds, std::move(label), std::move(deps),
-                          priority);
+    return graph_.addTask(nic_, seconds, label, deps, priority);
 }
 
 sim::TaskId
-IterBuilder::onNvme(std::string label, double seconds,
-                    std::vector<sim::TaskId> deps, std::int32_t priority)
+IterBuilder::onNvme(std::string_view label, double seconds,
+                    sim::DepView deps, std::int32_t priority)
 {
-    return graph_.addTask(nvme_, seconds, std::move(label),
-                          std::move(deps), priority);
+    return graph_.addTask(nvme_, seconds, label, deps, priority);
+}
+
+void
+IterBuilder::reserve(std::size_t tasks, std::size_t edges)
+{
+    graph_.reserveTasks(tasks);
+    graph_.reserveEdges(edges);
 }
 
 sim::Schedule
 IterBuilder::schedule() const
 {
-    return sim::Scheduler().run(graph_);
+    // Reuse this worker thread's scratch arena: sweeps simulate
+    // thousands of graphs per thread, and the workspace makes that O(1)
+    // scheduler allocations per thread instead of O(graphs).
+    return sim::Scheduler().run(graph_, sim::Scheduler::threadWorkspace());
 }
 
 IterationResult
@@ -206,7 +209,7 @@ IterBuilder::finishWindow(const model::IterationFlops &flops,
         res.profile.critical_length = prof.critical_length;
         res.profile.critical_phases = prof.critical_phases;
         for (sim::TaskId id : sim::topZeroSlackTasks(prof, graph_))
-            res.profile.hot_tasks.push_back(graph_.task(id).label);
+            res.profile.hot_tasks.emplace_back(graph_.label(id));
         for (sim::ResourceId r = 0; r < graph_.resourceCount(); ++r) {
             ProfileSummary::ResourceIdle idle;
             idle.resource = graph_.resource(r).name;

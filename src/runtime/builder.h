@@ -12,8 +12,7 @@
 #ifndef SO_RUNTIME_BUILDER_H
 #define SO_RUNTIME_BUILDER_H
 
-#include <string>
-#include <vector>
+#include <string_view>
 
 #include "hw/collective.h"
 #include "runtime/system.h"
@@ -97,29 +96,35 @@ class IterBuilder
     /// @}
 
     /// @name Task helpers (thin wrappers over TaskGraph::addTask)
+    ///
+    /// Labels and dependency lists are borrowed views: literals and
+    /// `{a, b}` brace lists cost no heap allocation per task (the graph
+    /// interns/pools them internally).
     /// @{
-    sim::TaskId onGpu(std::string label, double seconds,
-                      std::vector<sim::TaskId> deps = {},
-                      std::int32_t priority = 0);
-    sim::TaskId onCpu(std::string label, double seconds,
-                      std::vector<sim::TaskId> deps = {},
-                      std::int32_t priority = 0);
-    sim::TaskId onCpuBg(std::string label, double seconds,
-                        std::vector<sim::TaskId> deps = {},
+    sim::TaskId onGpu(std::string_view label, double seconds,
+                      sim::DepView deps = {}, std::int32_t priority = 0);
+    sim::TaskId onCpu(std::string_view label, double seconds,
+                      sim::DepView deps = {}, std::int32_t priority = 0);
+    sim::TaskId onCpuBg(std::string_view label, double seconds,
+                        sim::DepView deps = {},
                         std::int32_t priority = 0);
-    sim::TaskId onH2d(std::string label, double seconds,
-                      std::vector<sim::TaskId> deps = {},
-                      std::int32_t priority = 0);
-    sim::TaskId onD2h(std::string label, double seconds,
-                      std::vector<sim::TaskId> deps = {},
-                      std::int32_t priority = 0);
-    sim::TaskId onNic(std::string label, double seconds,
-                      std::vector<sim::TaskId> deps = {},
-                      std::int32_t priority = 0);
-    sim::TaskId onNvme(std::string label, double seconds,
-                       std::vector<sim::TaskId> deps = {},
-                       std::int32_t priority = 0);
+    sim::TaskId onH2d(std::string_view label, double seconds,
+                      sim::DepView deps = {}, std::int32_t priority = 0);
+    sim::TaskId onD2h(std::string_view label, double seconds,
+                      sim::DepView deps = {}, std::int32_t priority = 0);
+    sim::TaskId onNic(std::string_view label, double seconds,
+                      sim::DepView deps = {}, std::int32_t priority = 0);
+    sim::TaskId onNvme(std::string_view label, double seconds,
+                       sim::DepView deps = {}, std::int32_t priority = 0);
     /// @}
+
+    /**
+     * Pre-size the graph for the schedule shape the caller is about to
+     * build: @p tasks expected addTask calls, @p edges expected total
+     * dependency-list entries. Every runtime system calls this with the
+     * counts its loop structure implies (see docs/SWEEP.md).
+     */
+    void reserve(std::size_t tasks, std::size_t edges);
 
     sim::TaskGraph &graph() { return graph_; }
 

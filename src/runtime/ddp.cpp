@@ -56,8 +56,18 @@ DdpSystem::simulate(const TrainSetup &setup,
                           micro_flops.recompute_attn)) /
         layers;
 
+    // accum_steps passes of fwd+bwd per layer, the bucketed all-reduces
+    // on the last pass, and the optimizer step; roughly one dep edge per
+    // task plus the optimizer's fan-in.
+    const auto layer_count = static_cast<std::size_t>(cfg.layers);
+    const std::size_t sync_count =
+        builder.coll().ranks > 1 ? layer_count : 0;
+    builder.reserve(accum_steps * 2 * layer_count + sync_count + 1,
+                    accum_steps * 2 * layer_count + 2 * sync_count + 1);
+
     sim::TaskId prev = sim::kInvalidTask;
     std::vector<sim::TaskId> final_syncs;
+    final_syncs.reserve(sync_count);
     for (std::uint32_t step = 0; step < accum_steps; ++step) {
         // Forward.
         for (std::uint32_t l = 0; l < cfg.layers; ++l) {

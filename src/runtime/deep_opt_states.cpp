@@ -69,8 +69,18 @@ DeepOptStatesSystem::simulate(const TrainSetup &setup,
     const double fetch_time = builder.h2dTime(12.0 * shard);
     const double writeback_time = builder.d2hTime(12.0 * shard);
 
+    // accum_steps fwd+bwd passes per bucket; the last pass adds up to
+    // four tasks per bucket (rs, h2d, adam, d2h) plus the optional
+    // final all-gather with its bucket-wide fan-in.
+    builder.reserve(
+        static_cast<std::size_t>(accum_steps) * 2 * buckets +
+            4 * static_cast<std::size_t>(buckets) + 1,
+        static_cast<std::size_t>(accum_steps) * 2 * buckets +
+            7 * static_cast<std::size_t>(buckets) + 1);
+
     sim::TaskId prev = sim::kInvalidTask;
     std::vector<sim::TaskId> updates;
+    updates.reserve(buckets);
     for (std::uint32_t step = 0; step < accum_steps; ++step) {
         for (std::uint32_t c = 0; c < buckets; ++c) {
             std::vector<sim::TaskId> deps;

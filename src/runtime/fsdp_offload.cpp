@@ -65,6 +65,15 @@ FsdpOffloadSystem::simulate(const TrainSetup &setup,
     const double gather_time =
         n > 1 ? builder.coll().allGather(2.0 * layer_params) : 0.0;
 
+    // Per layer and pass: fetch (+ gather) + compute; last pass adds up
+    // to two offload tasks per layer; epilogue adds norm + optimizer.
+    const auto layer_count = static_cast<std::size_t>(cfg.layers);
+    const std::size_t per_layer = n > 1 ? 3 : 2;
+    builder.reserve(accum_steps * 2 * per_layer * layer_count +
+                        2 * layer_count + 2,
+                    accum_steps * 2 * per_layer * layer_count +
+                        3 * layer_count + 2);
+
     sim::TaskId prev = sim::kInvalidTask;
     std::vector<sim::TaskId> grad_arrivals(cfg.layers, sim::kInvalidTask);
 
@@ -107,6 +116,7 @@ FsdpOffloadSystem::simulate(const TrainSetup &setup,
     // Global norm, then PyTorch's unfused CPU Adam over the shard —
     // serialized, exposed, and slow (AdamImpl::Naive).
     std::vector<sim::TaskId> all_grads;
+    all_grads.reserve(grad_arrivals.size());
     for (sim::TaskId id : grad_arrivals)
         all_grads.push_back(id);
     const sim::TaskId norm = builder.onCpu(

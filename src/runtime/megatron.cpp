@@ -123,8 +123,19 @@ MegatronSystem::simulate(const TrainSetup &setup,
     hw::CollectiveCost dp_coll = builder.coll();
     dp_coll.ranks = dp;
 
+    // Per layer and pass: compute plus optional TP sync; last pass adds
+    // the DP all-reduces; then the optimizer.
+    const auto layer_count = static_cast<std::size_t>(cfg.layers);
+    const std::size_t per_layer = mp_deg > 1 ? 2 : 1;
+    const std::size_t sync_count = dp > 1 ? layer_count : 0;
+    builder.reserve(accum_steps * 2 * per_layer * layer_count +
+                        sync_count + 1,
+                    accum_steps * 2 * per_layer * layer_count +
+                        2 * sync_count + 1);
+
     sim::TaskId prev = sim::kInvalidTask;
     std::vector<sim::TaskId> final_syncs;
+    final_syncs.reserve(sync_count);
     for (std::uint32_t step = 0; step < accum_steps; ++step) {
         for (std::uint32_t l = 0; l < cfg.layers; ++l) {
             std::vector<sim::TaskId> deps;

@@ -99,6 +99,10 @@ PipelineSystem::simulate(const TrainSetup &setup,
     // after the fill (p-1 forward slots) and finishes after its own
     // m forwards + m backwards; the drain adds (p-1) backward slots on
     // the first stage, which the optimizer then follows.
+    // Fill + m fwd/bwd pairs + drain + optional all-reduce + optimizer.
+    builder.reserve(2 * static_cast<std::size_t>(m) + 4,
+                    2 * static_cast<std::size_t>(m) + 6);
+
     sim::TaskId prev = sim::kInvalidTask;
     const double fill = (p - 1) * (fwd_stage + p2p);
     if (fill > 0.0)

@@ -86,8 +86,24 @@ UlyssesSystem::simulate(const TrainSetup &setup,
             ? builder.coll().allGather(2.0 * params / layers)
             : 0.0;
 
+    // Per layer and pass: compute, optional stage-3 gather, optional
+    // all-to-all; last pass adds reduce-scatters; then optimizer and
+    // the stage-2 refresh.
+    const auto layer_count = static_cast<std::size_t>(cfg.layers);
+    std::size_t per_layer = 1;
+    if (gather_time > 0.0)
+        ++per_layer;
+    if (n > 1)
+        ++per_layer;
+    const std::size_t sync_count = n > 1 ? layer_count : 0;
+    builder.reserve(accum_steps * 2 * per_layer * layer_count +
+                        sync_count + 2,
+                    accum_steps * 2 * (per_layer + 1) * layer_count +
+                        2 * sync_count + 3);
+
     sim::TaskId prev = sim::kInvalidTask;
     std::vector<sim::TaskId> final_syncs;
+    final_syncs.reserve(sync_count);
     for (std::uint32_t step = 0; step < accum_steps; ++step) {
         for (std::uint32_t l = 0; l < cfg.layers; ++l) {
             std::vector<sim::TaskId> deps;

@@ -70,8 +70,16 @@ Zero2System::simulate(const TrainSetup &setup,
          builder.attnTime(micro_flops.bwd_attn +
                           micro_flops.recompute_attn)) / layers;
 
+    // accum_steps fwd+bwd passes per layer, last-pass reduce-scatters,
+    // optimizer, optional all-gather.
+    const auto layer_count = static_cast<std::size_t>(cfg.layers);
+    const std::size_t sync_count = n > 1 ? layer_count : 0;
+    builder.reserve(accum_steps * 2 * layer_count + sync_count + 2,
+                    accum_steps * 2 * layer_count + 2 * sync_count + 3);
+
     sim::TaskId prev = sim::kInvalidTask;
     std::vector<sim::TaskId> final_syncs;
+    final_syncs.reserve(sync_count);
     for (std::uint32_t step = 0; step < accum_steps; ++step) {
         for (std::uint32_t l = 0; l < cfg.layers; ++l) {
             std::vector<sim::TaskId> deps;
@@ -167,8 +175,18 @@ Zero3System::simulate(const TrainSetup &setup,
     const double gather_time =
         n > 1 ? builder.coll().allGather(layer_param_bytes) : 0.0;
 
+    // Per layer and pass: an optional all-gather plus the compute task,
+    // last-pass reduce-scatters, and the optimizer; fwd tasks carry up
+    // to two deps each.
+    const auto layer_count = static_cast<std::size_t>(cfg.layers);
+    const std::size_t per_pass = n > 1 ? 2 * layer_count : layer_count;
+    const std::size_t sync_count = n > 1 ? layer_count : 0;
+    builder.reserve(accum_steps * 2 * per_pass + sync_count + 1,
+                    accum_steps * 4 * layer_count + 2 * sync_count + 1);
+
     sim::TaskId prev = sim::kInvalidTask;
     std::vector<sim::TaskId> final_syncs;
+    final_syncs.reserve(sync_count);
     for (std::uint32_t step = 0; step < accum_steps; ++step) {
         for (std::uint32_t l = 0; l < cfg.layers; ++l) {
             // Parameter all-gather can prefetch ahead of compute (it

@@ -82,8 +82,18 @@ ZeroInfinitySystem::simulate(const TrainSetup &setup,
     const double gather_time =
         n > 1 ? builder.coll().allGather(2.0 * layer_params) : 0.0;
 
+    // Per layer and pass: fetch (+ all-gather) + compute; the last pass
+    // adds up to three offload tasks per layer; the epilogue adds the
+    // norm plus up to four tasks per layer (NVMe r/w, adam, cast).
+    const auto layer_count = static_cast<std::size_t>(cfg.layers);
+    const std::size_t per_layer = n > 1 ? 3 : 2;
+    builder.reserve(accum_steps * 2 * per_layer * layer_count +
+                        (3 + 4) * layer_count + 1,
+                    accum_steps * 6 * layer_count + 9 * layer_count + 1);
+
     sim::TaskId prev = sim::kInvalidTask;
     std::vector<sim::TaskId> grad_casts;
+    grad_casts.reserve(layer_count);
     std::vector<sim::TaskId> per_layer_cast(cfg.layers, sim::kInvalidTask);
 
     for (std::uint32_t step = 0; step < accum_steps; ++step) {

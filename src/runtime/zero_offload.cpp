@@ -67,8 +67,18 @@ ZeroOffloadSystem::simulate(const TrainSetup &setup,
          builder.attnTime(micro_flops.bwd_attn +
                           micro_flops.recompute_attn)) / buckets;
 
+    // Per accumulation step: fwd+bwd per bucket; last step adds up to
+    // three offload tasks per bucket (rs/d2h/cast); then the norm check,
+    // three return-path tasks per bucket, and the optional all-gather.
+    builder.reserve(
+        static_cast<std::size_t>(accum_steps) * 2 * buckets +
+            7 * static_cast<std::size_t>(buckets) + 2,
+        static_cast<std::size_t>(accum_steps) * 2 * buckets +
+            10 * static_cast<std::size_t>(buckets) + 2);
+
     sim::TaskId prev = sim::kInvalidTask;
     std::vector<sim::TaskId> casts;
+    casts.reserve(buckets);
     std::vector<sim::TaskId> cast_done(buckets, sim::kInvalidTask);
 
     for (std::uint32_t step = 0; step < accum_steps; ++step) {
@@ -121,6 +131,7 @@ ZeroOffloadSystem::simulate(const TrainSetup &setup,
     // swap-in of the updated parameters; the H2D transfers overlap with
     // later buckets' optimizer work.
     std::vector<sim::TaskId> returns;
+    returns.reserve(buckets);
     for (std::uint32_t c = 0; c < buckets; ++c) {
         const sim::TaskId opt = builder.onCpu(
             "adam b" + std::to_string(c),

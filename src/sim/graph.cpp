@@ -1,8 +1,26 @@
 #include "sim/graph.h"
 
+#include <cstring>
+
 #include "common/logging.h"
 
 namespace so::sim {
+
+namespace {
+
+/** FNV-1a over the label bytes; cheap and stable across platforms. */
+std::uint64_t
+hashBytes(std::string_view text)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
 
 ResourceId
 TaskGraph::addResource(std::string name, std::uint32_t slots)
@@ -12,39 +30,103 @@ TaskGraph::addResource(std::string name, std::uint32_t slots)
     return static_cast<ResourceId>(resources_.size() - 1);
 }
 
+TaskGraph::LabelRef
+TaskGraph::internLabel(std::string_view label)
+{
+    if (label.empty())
+        return LabelRef{0, 0};
+    const std::uint64_t hash = hashBytes(label);
+    const auto hit = label_intern_.find(hash);
+    if (hit != label_intern_.end()) {
+        const LabelRef &ref = hit->second;
+        if (ref.length == label.size() &&
+            std::memcmp(label_arena_.data() + ref.offset, label.data(),
+                        label.size()) == 0)
+            return ref;
+        // Hash collision between distinct labels: fall through and
+        // store the new bytes (the table keeps the first entry).
+    }
+    SO_ASSERT(label_arena_.size() + label.size() <=
+                  std::numeric_limits<std::uint32_t>::max(),
+              "label arena overflow");
+    const LabelRef ref{static_cast<std::uint32_t>(label_arena_.size()),
+                       static_cast<std::uint32_t>(label.size())};
+    label_arena_.append(label);
+    if (hit == label_intern_.end())
+        label_intern_.emplace(hash, ref);
+    return ref;
+}
+
 TaskId
-TaskGraph::addTask(ResourceId resource, double duration, std::string label,
-                   std::vector<TaskId> deps, std::int32_t priority)
+TaskGraph::addTask(ResourceId resource, double duration,
+                   std::string_view label, DepView deps,
+                   std::int32_t priority)
 {
     SO_ASSERT(resource < resources_.size(),
               "task references unknown resource ", resource);
     SO_ASSERT(duration >= 0.0, "negative task duration: ", duration);
-    const auto id = static_cast<TaskId>(tasks_.size());
+    const auto id = static_cast<TaskId>(durations_.size());
     for (TaskId dep : deps) {
         SO_ASSERT(dep < id,
                   "dependency must be an already-added task (got ", dep,
                   " for task ", id, ")");
     }
-    Task task;
-    task.label = std::move(label);
-    task.resource = resource;
-    task.duration = duration;
-    task.priority = priority;
-    task.deps = std::move(deps);
-    tasks_.push_back(std::move(task));
+    durations_.push_back(duration);
+    task_resource_.push_back(resource);
+    priorities_.push_back(priority);
+    labels_.push_back(internLabel(label));
+    DepRef ref;
+    ref.begin = static_cast<std::uint32_t>(edges_.size());
+    ref.count = static_cast<std::uint32_t>(deps.size());
+    edges_.insert(edges_.end(), deps.begin(), deps.end());
+    dep_refs_.push_back(ref);
+    live_edges_ += deps.size();
     return id;
 }
 
 void
 TaskGraph::addDep(TaskId before, TaskId after)
 {
-    SO_ASSERT(before < tasks_.size() && after < tasks_.size(),
+    SO_ASSERT(before < taskCount() && after < taskCount(),
               "addDep on unknown task");
     SO_ASSERT(before != after, "task ", before,
               " cannot depend on itself");
     // Edges may be wired in any order; the scheduler diagnoses actual
     // cycles with the labels of the unreachable tasks.
-    tasks_[after].deps.push_back(before);
+    DepRef &ref = dep_refs_[after];
+    if (ref.count != 0 && ref.begin + ref.count != edges_.size()) {
+        // The task's run is not at the pool tail (another task's deps
+        // were appended since): relocate it to the tail so the run
+        // stays contiguous. The old entries become dead pool space.
+        const std::uint32_t new_begin =
+            static_cast<std::uint32_t>(edges_.size());
+        edges_.insert(edges_.end(), edges_.begin() + ref.begin,
+                      edges_.begin() + ref.begin + ref.count);
+        ref.begin = new_begin;
+    } else if (ref.count == 0) {
+        ref.begin = static_cast<std::uint32_t>(edges_.size());
+    }
+    edges_.push_back(before);
+    ++ref.count;
+    ++live_edges_;
+}
+
+void
+TaskGraph::reserveTasks(std::size_t count, std::size_t label_bytes)
+{
+    durations_.reserve(count);
+    task_resource_.reserve(count);
+    priorities_.reserve(count);
+    labels_.reserve(count);
+    dep_refs_.reserve(count);
+    if (label_bytes > 0)
+        label_arena_.reserve(label_bytes);
+}
+
+void
+TaskGraph::reserveEdges(std::size_t count)
+{
+    edges_.reserve(count);
 }
 
 const Resource &
@@ -54,20 +136,57 @@ TaskGraph::resource(ResourceId id) const
     return resources_[id];
 }
 
-const Task &
-TaskGraph::task(TaskId id) const
+std::string_view
+TaskGraph::label(TaskId id) const
 {
-    SO_ASSERT(id < tasks_.size(), "unknown task ", id);
-    return tasks_[id];
+    SO_ASSERT(id < taskCount(), "unknown task ", id);
+    const LabelRef &ref = labels_[id];
+    return std::string_view(label_arena_).substr(ref.offset, ref.length);
+}
+
+double
+TaskGraph::duration(TaskId id) const
+{
+    SO_ASSERT(id < taskCount(), "unknown task ", id);
+    return durations_[id];
+}
+
+ResourceId
+TaskGraph::taskResource(TaskId id) const
+{
+    SO_ASSERT(id < taskCount(), "unknown task ", id);
+    return task_resource_[id];
+}
+
+std::int32_t
+TaskGraph::priority(TaskId id) const
+{
+    SO_ASSERT(id < taskCount(), "unknown task ", id);
+    return priorities_[id];
+}
+
+std::span<const TaskId>
+TaskGraph::deps(TaskId id) const
+{
+    SO_ASSERT(id < taskCount(), "unknown task ", id);
+    const DepRef &ref = dep_refs_[id];
+    return std::span<const TaskId>(edges_.data() + ref.begin, ref.count);
+}
+
+std::size_t
+TaskGraph::depCount(TaskId id) const
+{
+    SO_ASSERT(id < taskCount(), "unknown task ", id);
+    return dep_refs_[id].count;
 }
 
 double
 TaskGraph::totalWork(ResourceId resource) const
 {
     double total = 0.0;
-    for (const Task &task : tasks_) {
-        if (task.resource == resource)
-            total += task.duration;
+    for (TaskId id = 0; id < taskCount(); ++id) {
+        if (task_resource_[id] == resource)
+            total += durations_[id];
     }
     return total;
 }

@@ -10,14 +10,26 @@
  * start/finish times, the makespan, and per-resource busy timelines —
  * which is exactly the information the paper's throughput and idle-time
  * figures are built from.
+ *
+ * Storage layout: tasks are kept structure-of-arrays. Durations,
+ * resource bindings, and priorities live in parallel vectors; labels are
+ * interned into one shared character arena (duplicate labels may share
+ * storage); dependency lists live in one shared edge pool, contiguous
+ * per task. Building a graph therefore costs O(log n) vector growths in
+ * total instead of two heap allocations per task, which is what makes
+ * sweeping thousands of simulated iterations cheap (see docs/PERF.md).
  */
 #ifndef SO_SIM_GRAPH_H
 #define SO_SIM_GRAPH_H
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
+#include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace so::sim {
@@ -39,20 +51,48 @@ struct Resource
     std::uint32_t slots = 1;
 };
 
-/** A unit of work bound to a resource. */
-struct Task
+/**
+ * Borrowed, read-only dependency list accepted by TaskGraph::addTask.
+ * Converts implicitly from a brace list, a vector, or a span, so call
+ * sites write `{a, b}` without materializing a heap-allocated vector.
+ * Views only — the referenced storage must outlive the call.
+ */
+class DepView
 {
-    std::string label;
-    ResourceId resource = 0;
-    /** Execution time in seconds; may be zero (pure ordering point). */
-    double duration = 0.0;
-    /**
-     * Tie-break rank when several tasks are ready on the same resource;
-     * lower runs first, equal ranks fall back to insertion order.
-     */
-    std::int32_t priority = 0;
-    /** IDs of tasks that must finish before this one may start. */
-    std::vector<TaskId> deps;
+  public:
+    constexpr DepView() = default;
+    // The view never outlives the full-expression it appears in (addTask
+    // copies the ids during the call), so borrowing the initializer
+    // list's backing array is safe despite the lifetime warning.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+    DepView(std::initializer_list<TaskId> deps)
+        : data_(deps.begin()), size_(deps.size())
+    {
+    }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+    DepView(const std::vector<TaskId> &deps)
+        : data_(deps.data()), size_(deps.size())
+    {
+    }
+    constexpr DepView(std::span<const TaskId> deps)
+        : data_(deps.data()), size_(deps.size())
+    {
+    }
+
+    const TaskId *begin() const { return data_; }
+    const TaskId *end() const { return data_ + size_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    TaskId operator[](std::size_t i) const { return data_[i]; }
+
+  private:
+    const TaskId *data_ = nullptr;
+    std::size_t size_ = 0;
 };
 
 /** Builder/owner of resources and tasks forming one simulated iteration. */
@@ -63,8 +103,9 @@ class TaskGraph
     ResourceId addResource(std::string name, std::uint32_t slots = 1);
 
     /** Add a task; @p deps must reference previously added tasks. */
-    TaskId addTask(ResourceId resource, double duration, std::string label,
-                   std::vector<TaskId> deps = {}, std::int32_t priority = 0);
+    TaskId addTask(ResourceId resource, double duration,
+                   std::string_view label, DepView deps = {},
+                   std::int32_t priority = 0);
 
     /**
      * Add the edge @p before -> @p after. Edges may be wired in any
@@ -73,21 +114,102 @@ class TaskGraph
      */
     void addDep(TaskId before, TaskId after);
 
+    /**
+     * Pre-size the task arrays for @p count tasks (builders know the
+     * schedule shape, so they can reserve the exact count up front).
+     * @p label_bytes additionally pre-sizes the label arena.
+     */
+    void reserveTasks(std::size_t count, std::size_t label_bytes = 0);
+
+    /** Pre-size the shared dependency pool for @p count edges. */
+    void reserveEdges(std::size_t count);
+
     const std::vector<Resource> &resources() const { return resources_; }
-    const std::vector<Task> &tasks() const { return tasks_; }
 
     const Resource &resource(ResourceId id) const;
-    const Task &task(TaskId id) const;
 
-    std::size_t taskCount() const { return tasks_.size(); }
+    /// @name Per-task accessors
+    /// @{
+    /**
+     * The task's label. The view aliases the shared arena: it is
+     * invalidated by the next addTask() call, so copy it when keeping
+     * it across graph mutations.
+     */
+    std::string_view label(TaskId id) const;
+
+    /** Execution time in seconds; may be zero (pure ordering point). */
+    double duration(TaskId id) const;
+
+    /** The resource the task occupies one slot of. */
+    ResourceId taskResource(TaskId id) const;
+
+    /**
+     * Tie-break rank when several tasks are ready on the same resource;
+     * lower runs first, equal ranks fall back to insertion order.
+     */
+    std::int32_t priority(TaskId id) const;
+
+    /**
+     * IDs of tasks that must finish before this one may start, in the
+     * order they were added. The span aliases the shared edge pool: it
+     * is invalidated by the next addTask()/addDep() call.
+     */
+    std::span<const TaskId> deps(TaskId id) const;
+
+    std::size_t depCount(TaskId id) const;
+    /// @}
+
+    std::size_t taskCount() const { return durations_.size(); }
     std::size_t resourceCount() const { return resources_.size(); }
+
+    /** Number of live dependency edges across all tasks. */
+    std::size_t edgeCount() const { return live_edges_; }
+
+    /** Bytes currently held by the label arena (diagnostics). */
+    std::size_t labelArenaBytes() const { return label_arena_.size(); }
 
     /** Total duration of all tasks bound to @p resource. */
     double totalWork(ResourceId resource) const;
 
   private:
+    /** Offset/length of an interned label inside label_arena_. */
+    struct LabelRef
+    {
+        std::uint32_t offset = 0;
+        std::uint32_t length = 0;
+    };
+
+    /** Begin/count of a task's dependency run inside edges_. */
+    struct DepRef
+    {
+        std::uint32_t begin = 0;
+        std::uint32_t count = 0;
+    };
+
+    /** Copy @p label into the arena (or reuse an identical entry). */
+    LabelRef internLabel(std::string_view label);
+
     std::vector<Resource> resources_;
-    std::vector<Task> tasks_;
+
+    // Structure-of-arrays task storage; all indexed by TaskId.
+    std::vector<double> durations_;
+    std::vector<ResourceId> task_resource_;
+    std::vector<std::int32_t> priorities_;
+    std::vector<LabelRef> labels_;
+    std::vector<DepRef> dep_refs_;
+
+    // Shared label arena + hash -> offset intern table. The table maps a
+    // label's byte hash to the arena entry that first carried it; a hash
+    // collision merely stores the colliding label a second time.
+    std::string label_arena_;
+    std::unordered_map<std::uint64_t, LabelRef> label_intern_;
+
+    // Shared dependency pool. Each task's deps occupy one contiguous
+    // run; appending to a task whose run is not at the pool tail (rare
+    // addDep() wiring into older tasks) relocates that run to the tail,
+    // leaving a small dead gap behind.
+    std::vector<TaskId> edges_;
+    std::size_t live_edges_ = 0;
 };
 
 } // namespace so::sim

@@ -40,7 +40,7 @@ TaskId
 blockingDep(const TaskGraph &graph, const Schedule &schedule, TaskId task)
 {
     TaskId blocker = kInvalidTask;
-    for (TaskId dep : graph.task(task).deps) {
+    for (TaskId dep : graph.deps(task)) {
         if (blocker == kInvalidTask ||
             schedule.finish[dep] > schedule.finish[blocker])
             blocker = dep;
@@ -53,8 +53,7 @@ blockingDep(const TaskGraph &graph, const Schedule &schedule, TaskId task)
 ScheduleProfile
 profileSchedule(const TaskGraph &graph, const Schedule &schedule)
 {
-    const auto &tasks = graph.tasks();
-    const std::size_t n = tasks.size();
+    const std::size_t n = graph.taskCount();
     SO_ASSERT(schedule.start.size() == n && schedule.finish.size() == n,
               "schedule does not match graph");
     SO_ASSERT(schedule.timelines.size() == graph.resourceCount(),
@@ -75,7 +74,7 @@ profileSchedule(const TaskGraph &graph, const Schedule &schedule)
     // When every dependency of a task was done (0 for source tasks).
     std::vector<double> ready(n, 0.0);
     for (TaskId id = 0; id < n; ++id)
-        for (TaskId dep : tasks[id].deps)
+        for (TaskId dep : graph.deps(id))
             ready[id] = std::max(ready[id], schedule.finish[dep]);
 
     // ---------------------------------------------------- critical path
@@ -111,7 +110,7 @@ profileSchedule(const TaskGraph &graph, const Schedule &schedule)
         // Resource hand-off: the task holding the slot until s.
         TaskId holder = kInvalidTask;
         for (const Interval &iv :
-             schedule.timelines[tasks[cur].resource].intervals()) {
+             schedule.timelines[graph.taskResource(cur)].intervals()) {
             if (iv.task == cur || on_path[iv.task])
                 continue;
             if (std::abs(iv.end - s) <= eps &&
@@ -141,12 +140,12 @@ profileSchedule(const TaskGraph &graph, const Schedule &schedule)
     // additions, so a contiguous chain sums to the makespan exactly.
     prof.critical_length = 0.0;
     for (const CriticalStep &step : prof.critical_path)
-        prof.critical_length += tasks[step.task].duration;
+        prof.critical_length += graph.duration(step.task);
 
     std::map<std::string, double> phases;
     for (const CriticalStep &step : prof.critical_path)
-        phases[phaseKey(tasks[step.task].label)] +=
-            tasks[step.task].duration;
+        phases[phaseKey(graph.label(step.task))] +=
+            graph.duration(step.task);
     prof.critical_phases.assign(phases.begin(), phases.end());
     std::sort(prof.critical_phases.begin(), prof.critical_phases.end(),
               [](const auto &a, const auto &b) {
@@ -161,7 +160,7 @@ profileSchedule(const TaskGraph &graph, const Schedule &schedule)
     // or the end of the iteration.
     std::vector<double> limit(n, prof.makespan);
     for (TaskId id = 0; id < n; ++id)
-        for (TaskId dep : tasks[id].deps)
+        for (TaskId dep : graph.deps(id))
             limit[dep] = std::min(limit[dep], schedule.start[id]);
     for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
         // Successor on the same slot: intervals are recorded in start
@@ -260,11 +259,11 @@ topZeroSlackTasks(const ScheduleProfile &profile, const TaskGraph &graph,
     const double eps = std::max(profile.makespan, 1.0) * 1e-12;
     std::vector<TaskId> hot;
     for (TaskId id = 0; id < graph.taskCount(); ++id)
-        if (profile.slack[id] <= eps && graph.task(id).duration > 0.0)
+        if (profile.slack[id] <= eps && graph.duration(id) > 0.0)
             hot.push_back(id);
     std::sort(hot.begin(), hot.end(), [&](TaskId a, TaskId b) {
-        if (graph.task(a).duration != graph.task(b).duration)
-            return graph.task(a).duration > graph.task(b).duration;
+        if (graph.duration(a) != graph.duration(b))
+            return graph.duration(a) > graph.duration(b);
         return a < b;
     });
     if (hot.size() > top_k)
@@ -284,13 +283,13 @@ profileToJson(const ScheduleProfile &profile, const TaskGraph &graph,
     json.field("length_s", profile.critical_length);
     json.key("tasks").beginArray();
     for (const CriticalStep &step : profile.critical_path) {
-        const Task &task = graph.task(step.task);
         json.beginObject();
         json.field("task", step.task);
-        json.field("label", task.label);
-        json.field("resource", graph.resource(task.resource).name);
+        json.field("label", graph.label(step.task));
+        json.field("resource",
+                   graph.resource(graph.taskResource(step.task)).name);
         json.field("start_s", schedule.start[step.task]);
-        json.field("duration_s", task.duration);
+        json.field("duration_s", graph.duration(step.task));
         json.field("link", linkName(step.link));
         json.endObject();
     }
@@ -314,10 +313,10 @@ profileToJson(const ScheduleProfile &profile, const TaskGraph &graph,
     json.key("zero_slack_tasks").beginArray();
     for (TaskId id : hot) {
         json.beginObject();
-        json.field("label", graph.task(id).label);
+        json.field("label", graph.label(id));
         json.field("resource",
-                   graph.resource(graph.task(id).resource).name);
-        json.field("duration_s", graph.task(id).duration);
+                   graph.resource(graph.taskResource(id)).name);
+        json.field("duration_s", graph.duration(id));
         json.endObject();
     }
     json.endArray();
@@ -342,7 +341,7 @@ profileToJson(const ScheduleProfile &profile, const TaskGraph &graph,
             json.field("end_s", gap.end);
             json.field("cause", idleCauseName(gap.cause));
             if (gap.next_task != kInvalidTask)
-                json.field("next", graph.task(gap.next_task).label);
+                json.field("next", graph.label(gap.next_task));
             json.endObject();
         }
         json.endArray();

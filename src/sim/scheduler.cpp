@@ -1,7 +1,6 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
-#include <queue>
 #include <string>
 
 #include "common/logging.h"
@@ -28,58 +27,36 @@ Schedule::utilization(ResourceId resource) const
 
 namespace {
 
-/** A task waiting to run on a resource; ordered by (priority, id). */
-struct ReadyTask
-{
-    std::int32_t priority;
-    TaskId id;
-
-    bool
-    operator<(const ReadyTask &other) const
-    {
-        if (priority != other.priority)
-            return priority < other.priority;
-        return id < other.id;
-    }
-};
+using Ready = Scheduler::Workspace::Ready;
+using Slot = Scheduler::Workspace::Slot;
+using Event = Scheduler::Workspace::Event;
 
 /** Min-heap comparator: the lowest (priority, id) pops first. */
 struct ReadyAfter
 {
     bool
-    operator()(const ReadyTask &a, const ReadyTask &b) const
+    operator()(const Ready &a, const Ready &b) const
     {
-        return b < a;
+        if (a.priority != b.priority)
+            return a.priority > b.priority;
+        return a.id > b.id;
     }
 };
 
-/** Completion event in the global event queue. */
-struct Completion
+/**
+ * Min-heap comparator over (free time, slot index): the slot that freed
+ * earliest pops first, ties broken toward the lowest slot index so slot
+ * assignment is deterministic and chrome-trace lanes never overlap.
+ */
+struct SlotAfter
 {
-    double time;
-    TaskId id;
-
-    // std::priority_queue is a max-heap: invert so the earliest time
-    // (then the lowest id, for determinism) pops first.
     bool
-    operator<(const Completion &other) const
+    operator()(const Slot &a, const Slot &b) const
     {
-        if (time != other.time)
-            return time > other.time;
-        return id > other.id;
+        if (a.free_time != b.free_time)
+            return a.free_time > b.free_time;
+        return a.slot > b.slot;
     }
-};
-
-/** Per-resource scheduling state. */
-struct ResourceState
-{
-    // Min-heap of slot free times.
-    std::priority_queue<double, std::vector<double>,
-                        std::greater<double>> slot_free;
-    // Ready tasks not yet started; min-heap by (priority, id).
-    std::priority_queue<ReadyTask, std::vector<ReadyTask>, ReadyAfter>
-        ready;
-    std::uint32_t next_slot = 0;
 };
 
 /** How many unreachable-task labels a cycle diagnosis lists. */
@@ -90,122 +67,153 @@ constexpr std::size_t kMaxCycleLabels = 8;
 Schedule
 Scheduler::run(const TaskGraph &graph) const
 {
-    const auto &tasks = graph.tasks();
-    const std::size_t n = tasks.size();
+    Workspace local;
+    return run(graph, local);
+}
+
+Scheduler::Workspace &
+Scheduler::threadWorkspace()
+{
+    static thread_local Workspace ws;
+    return ws;
+}
+
+Schedule
+Scheduler::run(const TaskGraph &graph, Workspace &ws) const
+{
+    const std::size_t n = graph.taskCount();
+    const std::size_t nres = graph.resourceCount();
 
     Schedule schedule;
     schedule.start.assign(n, 0.0);
     schedule.finish.assign(n, 0.0);
-    schedule.timelines.resize(graph.resourceCount());
+    schedule.timelines.resize(nres);
 
     // Dependency bookkeeping. The reverse edges (task -> dependents) are
-    // flattened CSR-style into one offsets array plus one edge array so
-    // graph setup costs two allocations instead of one vector per task.
-    std::vector<std::uint32_t> pending_deps(n, 0);
+    // flattened CSR-style into one offsets array plus one edge array;
+    // all scratch lives in the workspace, so repeated runs on the same
+    // thread reuse the previous run's capacity.
+    ws.pending_deps.assign(n, 0);
+    ws.dependent_offsets.assign(n + 1, 0);
     std::size_t edge_count = 0;
     for (TaskId id = 0; id < n; ++id) {
-        pending_deps[id] = static_cast<std::uint32_t>(tasks[id].deps.size());
-        edge_count += tasks[id].deps.size();
+        const std::size_t count = graph.depCount(id);
+        ws.pending_deps[id] = static_cast<std::uint32_t>(count);
+        edge_count += count;
+        for (TaskId dep : graph.deps(id))
+            ++ws.dependent_offsets[dep + 1];
     }
-    std::vector<std::size_t> dependent_offsets(n + 1, 0);
-    for (TaskId id = 0; id < n; ++id)
-        for (TaskId dep : tasks[id].deps)
-            ++dependent_offsets[dep + 1];
     for (std::size_t i = 1; i <= n; ++i)
-        dependent_offsets[i] += dependent_offsets[i - 1];
-    std::vector<TaskId> dependents(edge_count);
-    {
-        std::vector<std::size_t> cursor(dependent_offsets.begin(),
-                                        dependent_offsets.end() - (n ? 1 : 0));
-        for (TaskId id = 0; id < n; ++id)
-            for (TaskId dep : tasks[id].deps)
-                dependents[cursor[dep]++] = id;
-    }
+        ws.dependent_offsets[i] += ws.dependent_offsets[i - 1];
+    ws.dependents.resize(edge_count);
+    ws.dependent_cursor.assign(ws.dependent_offsets.begin(),
+                               ws.dependent_offsets.begin() +
+                                   static_cast<std::ptrdiff_t>(n));
+    for (TaskId id = 0; id < n; ++id)
+        for (TaskId dep : graph.deps(id))
+            ws.dependents[ws.dependent_cursor[dep]++] = id;
 
-    std::vector<ResourceState> rstate(graph.resourceCount());
-    for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+    if (ws.ready.size() < nres)
+        ws.ready.resize(nres);
+    if (ws.slot_free.size() < nres)
+        ws.slot_free.resize(nres);
+    for (ResourceId r = 0; r < nres; ++r) {
+        ws.ready[r].clear();
+        ws.slot_free[r].clear();
+        // All slots free at t=0, in ascending index order — already a
+        // valid (free_time, slot) min-heap.
         for (std::uint32_t s = 0; s < graph.resource(r).slots; ++s)
-            rstate[r].slot_free.push(0.0);
+            ws.slot_free[r].push_back(Slot{0.0, s});
     }
 
-    std::priority_queue<Completion> events;
+    ws.events.clear();
     std::size_t completed = 0;
     double now = 0.0;
 
-    // Track which slot each running task holds so timelines carry slot
-    // indices (used by the chrome-trace exporter), and which tasks ever
-    // completed (for the cycle diagnosis).
-    std::vector<std::uint32_t> task_slot(n, 0);
-    std::vector<char> done(n, 0);
+    // Track which slot each running task holds so freed slots return to
+    // the heap under their own index (timelines then carry overlap-free
+    // slot lanes), and which tasks ever completed (cycle diagnosis).
+    ws.task_slot.assign(n, 0);
+    ws.done.assign(n, 0);
 
     auto start_ready = [&](ResourceId r) {
-        ResourceState &state = rstate[r];
-        while (!state.ready.empty() && !state.slot_free.empty() &&
-               state.slot_free.top() <= now) {
-            state.slot_free.pop();
-            const TaskId id = state.ready.top().id;
-            state.ready.pop();
+        std::vector<Ready> &ready = ws.ready[r];
+        std::vector<Slot> &slots = ws.slot_free[r];
+        while (!ready.empty() && !slots.empty() &&
+               slots.front().free_time <= now) {
+            std::pop_heap(slots.begin(), slots.end(), SlotAfter{});
+            const std::uint32_t slot = slots.back().slot;
+            slots.pop_back();
+            std::pop_heap(ready.begin(), ready.end(), ReadyAfter{});
+            const TaskId id = ready.back().id;
+            ready.pop_back();
             const double begin = now;
-            const double end = begin + tasks[id].duration;
+            const double end = begin + graph.duration(id);
             schedule.start[id] = begin;
             schedule.finish[id] = end;
-            const std::uint32_t slot =
-                state.next_slot++ % graph.resource(r).slots;
-            task_slot[id] = slot;
+            ws.task_slot[id] = slot;
             schedule.timelines[r].add(begin, end, id, slot);
-            events.push(Completion{end, id});
+            ws.events.push_back(Event{end, id});
+            std::push_heap(ws.events.begin(), ws.events.end());
         }
     };
 
     auto mark_ready = [&](TaskId id) {
-        const ResourceId r = tasks[id].resource;
-        rstate[r].ready.push(ReadyTask{tasks[id].priority, id});
+        std::vector<Ready> &ready = ws.ready[graph.taskResource(id)];
+        ready.push_back(Ready{graph.priority(id), id});
+        std::push_heap(ready.begin(), ready.end(), ReadyAfter{});
     };
 
     // Seed with tasks that have no dependencies.
     for (TaskId id = 0; id < n; ++id) {
-        if (pending_deps[id] == 0)
+        if (ws.pending_deps[id] == 0)
             mark_ready(id);
     }
-    for (ResourceId r = 0; r < graph.resourceCount(); ++r)
+    for (ResourceId r = 0; r < nres; ++r)
         start_ready(r);
 
     // Per-timestamp scratch, hoisted out of the event loop. `touched` is
     // a flag per resource (resource counts are tiny) so freed resources
     // restart work in ascending-id order, deterministically.
-    std::vector<TaskId> finished;
-    finished.reserve(16);
-    std::vector<char> touched(graph.resourceCount(), 0);
+    ws.finished.clear();
+    if (ws.touched.size() < nres)
+        ws.touched.resize(nres, 0);
 
-    while (!events.empty()) {
-        now = events.top().time;
+    while (!ws.events.empty()) {
+        now = ws.events.front().time;
         // Process every completion at this timestamp before starting new
         // work, so freed slots and satisfied deps are all visible.
-        finished.clear();
-        while (!events.empty() && events.top().time == now) {
-            finished.push_back(events.top().id);
-            events.pop();
+        ws.finished.clear();
+        while (!ws.events.empty() && ws.events.front().time == now) {
+            ws.finished.push_back(ws.events.front().id);
+            std::pop_heap(ws.events.begin(), ws.events.end());
+            ws.events.pop_back();
         }
-        std::fill(touched.begin(), touched.end(), 0);
-        for (TaskId id : finished) {
+        std::fill(ws.touched.begin(), ws.touched.begin() +
+                                          static_cast<std::ptrdiff_t>(nres),
+                  0);
+        for (TaskId id : ws.finished) {
             ++completed;
-            done[id] = 1;
-            const ResourceId r = tasks[id].resource;
-            rstate[r].slot_free.push(now);
-            touched[r] = 1;
-            const std::size_t dep_begin = dependent_offsets[id];
-            const std::size_t dep_end = dependent_offsets[id + 1];
-            for (std::size_t e = dep_begin; e < dep_end; ++e) {
-                const TaskId next = dependents[e];
-                SO_ASSERT(pending_deps[next] > 0, "dependency underflow");
-                if (--pending_deps[next] == 0) {
+            ws.done[id] = 1;
+            const ResourceId r = graph.taskResource(id);
+            std::vector<Slot> &slots = ws.slot_free[r];
+            slots.push_back(Slot{now, ws.task_slot[id]});
+            std::push_heap(slots.begin(), slots.end(), SlotAfter{});
+            ws.touched[r] = 1;
+            const std::uint32_t dep_begin = ws.dependent_offsets[id];
+            const std::uint32_t dep_end = ws.dependent_offsets[id + 1];
+            for (std::uint32_t e = dep_begin; e < dep_end; ++e) {
+                const TaskId next = ws.dependents[e];
+                SO_ASSERT(ws.pending_deps[next] > 0,
+                          "dependency underflow");
+                if (--ws.pending_deps[next] == 0) {
                     mark_ready(next);
-                    touched[tasks[next].resource] = 1;
+                    ws.touched[graph.taskResource(next)] = 1;
                 }
             }
         }
-        for (ResourceId r = 0; r < graph.resourceCount(); ++r)
-            if (touched[r])
+        for (ResourceId r = 0; r < nres; ++r)
+            if (ws.touched[r])
                 start_ready(r);
         schedule.makespan = std::max(schedule.makespan, now);
     }
@@ -216,11 +224,13 @@ Scheduler::run(const TaskGraph &graph) const
         std::string labels;
         std::size_t listed = 0;
         for (TaskId id = 0; id < n && listed < kMaxCycleLabels; ++id) {
-            if (done[id])
+            if (ws.done[id])
                 continue;
             if (listed++)
                 labels += ", ";
-            labels += '"' + tasks[id].label + '"';
+            labels += '"';
+            labels += graph.label(id);
+            labels += '"';
         }
         const std::size_t stuck = n - completed;
         if (stuck > kMaxCycleLabels)

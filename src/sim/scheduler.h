@@ -11,6 +11,7 @@
 #ifndef SO_SIM_SCHEDULER_H
 #define SO_SIM_SCHEDULER_H
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/graph.h"
@@ -38,19 +39,85 @@ struct Schedule
 };
 
 /**
- * Event-driven scheduler; stateless and reentrant — run() keeps all of
- * its working state on the stack, so one Scheduler (or many) may
- * simulate different graphs concurrently from multiple threads.
+ * Event-driven scheduler. run() keeps its working state either on the
+ * stack (the one-argument overload) or in a caller-provided Workspace
+ * that is reused across calls, so a sweep evaluating thousands of
+ * graphs performs O(1) scratch allocations per worker thread instead of
+ * O(graphs). Schedules are bit-identical either way. A Scheduler object
+ * itself is stateless; many threads may run() concurrently as long as
+ * each uses its own Workspace (or none).
  */
 class Scheduler
 {
   public:
     /**
-     * Simulate @p graph from time 0.
+     * Reusable scratch memory for run(). Not thread-safe: one Workspace
+     * per worker thread (see docs/PERF.md for the reuse contract). The
+     * vectors grow to the largest graph seen and keep their capacity.
+     */
+    struct Workspace
+    {
+        /** A task waiting to run; min-heap by (priority, id). */
+        struct Ready
+        {
+            std::int32_t priority;
+            TaskId id;
+        };
+        /** A resource slot; min-heap by (free time, slot index). */
+        struct Slot
+        {
+            double free_time;
+            std::uint32_t slot;
+        };
+        /** Completion event in the global event queue. */
+        struct Event
+        {
+            double time;
+            TaskId id;
+
+            // std::push_heap builds a max-heap: invert so the earliest
+            // time (then the lowest id, for determinism) pops first.
+            bool
+            operator<(const Event &other) const
+            {
+                if (time != other.time)
+                    return time > other.time;
+                return id > other.id;
+            }
+        };
+
+        std::vector<std::uint32_t> pending_deps;
+        /** CSR offsets (n+1) and edge array of task -> dependents. */
+        std::vector<std::uint32_t> dependent_offsets;
+        std::vector<std::uint32_t> dependent_cursor;
+        std::vector<TaskId> dependents;
+        /** Per-resource ready heaps and slot-free heaps. */
+        std::vector<std::vector<Ready>> ready;
+        std::vector<std::vector<Slot>> slot_free;
+        std::vector<Event> events;
+        /** Slot index each running/finished task occupies. */
+        std::vector<std::uint32_t> task_slot;
+        std::vector<char> done;
+        std::vector<char> touched;
+        std::vector<TaskId> finished;
+    };
+
+    /**
+     * Simulate @p graph from time 0 using stack-local scratch.
      * Fails (exits with a diagnostic naming the unreachable tasks'
      * labels) if the graph contains a dependency cycle.
      */
     Schedule run(const TaskGraph &graph) const;
+
+    /** Like run(graph), reusing @p ws for all scratch storage. */
+    Schedule run(const TaskGraph &graph, Workspace &ws) const;
+
+    /**
+     * This thread's lazily created Workspace. The per-worker reuse
+     * point for thread-pool simulations (SweepEngine, bench harness):
+     * every run() on the same thread shares one scratch arena.
+     */
+    static Workspace &threadWorkspace();
 };
 
 } // namespace so::sim

@@ -32,7 +32,7 @@ writeBaseEvents(std::ostringstream &os, const TaskGraph &graph,
             os << ',';
             // Times in microseconds per the trace-event spec.
             os << "{\"name\":\""
-               << JsonWriter::escape(graph.task(iv.task).label)
+               << JsonWriter::escape(graph.label(iv.task))
                << "\",\"ph\":\"X\",\"pid\":" << r
                << ",\"tid\":" << iv.slot
                << ",\"ts\":" << iv.start * 1e6
@@ -75,12 +75,12 @@ toChromeTrace(const TaskGraph &graph, const Schedule &schedule,
         const TaskId b = profile.critical_path[i + 1].task;
         os << ",{\"name\":\"critical\",\"cat\":\"critical\","
            << "\"ph\":\"s\",\"id\":" << i
-           << ",\"pid\":" << graph.task(a).resource
+           << ",\"pid\":" << graph.taskResource(a)
            << ",\"tid\":" << slot_of[a]
            << ",\"ts\":" << schedule.finish[a] * 1e6 << "}";
         os << ",{\"name\":\"critical\",\"cat\":\"critical\","
            << "\"ph\":\"f\",\"bp\":\"e\",\"id\":" << i
-           << ",\"pid\":" << graph.task(b).resource
+           << ",\"pid\":" << graph.taskResource(b)
            << ",\"tid\":" << slot_of[b]
            << ",\"ts\":" << schedule.start[b] * 1e6 << "}";
     }
@@ -160,11 +160,11 @@ toAsciiGantt(const TaskGraph &graph, const Schedule &schedule,
 }
 
 std::string
-phaseKey(const std::string &label)
+phaseKey(std::string_view label)
 {
     // First space-delimited token...
     std::size_t token = label.find(' ');
-    if (token == std::string::npos)
+    if (token == std::string_view::npos)
         token = label.size();
     // ...with its trailing digit run stripped, so per-layer/per-bucket
     // indices fold away ("fwd3" -> "fwd") while interior digits stay
@@ -179,7 +179,7 @@ phaseKey(const std::string &label)
     // empty) group under a synthetic phase.
     if (cut == 0)
         return "(unnamed)";
-    return label.substr(0, cut);
+    return std::string(label.substr(0, cut));
 }
 
 std::vector<std::pair<std::string, double>>
@@ -189,8 +189,7 @@ labelBreakdown(const TaskGraph &graph, const Schedule &schedule,
     SO_ASSERT(resource < graph.resourceCount(), "unknown resource");
     std::map<std::string, double> by_phase;
     for (const Interval &iv : schedule.timelines[resource].intervals())
-        by_phase[phaseKey(graph.task(iv.task).label)] +=
-            iv.end - iv.start;
+        by_phase[phaseKey(graph.label(iv.task))] += iv.end - iv.start;
     std::vector<std::pair<std::string, double>> out(by_phase.begin(),
                                                     by_phase.end());
     std::sort(out.begin(), out.end(),

@@ -12,6 +12,7 @@
 #define SO_SIM_TRACE_H
 
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -53,7 +54,7 @@ std::string toAsciiGantt(const TaskGraph &graph, const Schedule &schedule,
  * that would strip to nothing keeps its digits ("42 things" groups as
  * "42"); an empty or blank-leading label groups as "(unnamed)".
  */
-std::string phaseKey(const std::string &label);
+std::string phaseKey(std::string_view label);
 
 /**
  * Busy seconds on @p resource grouped by phaseKey() of the task labels,

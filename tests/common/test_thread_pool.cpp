@@ -90,6 +90,32 @@ TEST(ThreadPool, ReusableAcrossWaves)
     }
 }
 
+class ThreadPoolStress : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ThreadPoolStress, PushAndDrain100kNoopJobs)
+{
+    // Hammers the pre-sized ring and the notify-elision path: a mix of
+    // burst submission (queue depth >> capacity growth) and interleaved
+    // waits (empty wakeups while workers race the submitter).
+    ThreadPool pool(GetParam());
+    std::atomic<std::size_t> ran{0};
+    constexpr std::size_t kJobs = 100000;
+    constexpr std::size_t kWaves = 10;
+    for (std::size_t wave = 0; wave < kWaves; ++wave) {
+        for (std::size_t i = 0; i < kJobs / kWaves; ++i)
+            pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+        pool.wait();
+        ASSERT_EQ(ran.load(), (wave + 1) * (kJobs / kWaves));
+    }
+    EXPECT_EQ(ran.load(), kJobs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ThreadPoolStress,
+                         ::testing::Values(std::size_t{1},
+                                           std::size_t{4}));
+
 TEST(ThreadPool, WaitRethrowsTaskException)
 {
     ThreadPool pool(2);

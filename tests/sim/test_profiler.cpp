@@ -228,7 +228,7 @@ TEST(Profiler, SuperOffloadShapedScheduleInvariants)
     // leave the GPU (D2H/CPU/H2D tasks on it).
     bool off_gpu = false;
     for (const CriticalStep &step : prof.critical_path)
-        off_gpu |= g.task(step.task).resource != 0;
+        off_gpu |= g.taskResource(step.task) != 0;
     EXPECT_TRUE(off_gpu);
     // Phase attribution covers the whole path.
     double phase_total = 0.0;
@@ -248,10 +248,9 @@ TEST(Profiler, TopZeroSlackTasksAreSortedAndCapped)
     const double eps = std::max(prof.makespan, 1.0) * 1e-12;
     for (std::size_t i = 0; i < hot.size(); ++i) {
         EXPECT_LE(prof.slack[hot[i]], eps);
-        EXPECT_GT(g.task(hot[i]).duration, 0.0);
+        EXPECT_GT(g.duration(hot[i]), 0.0);
         if (i > 0)
-            EXPECT_GE(g.task(hot[i - 1]).duration,
-                      g.task(hot[i]).duration);
+            EXPECT_GE(g.duration(hot[i - 1]), g.duration(hot[i]));
     }
 }
 

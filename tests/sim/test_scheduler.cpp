@@ -55,6 +55,63 @@ TEST(Scheduler, IndependentTasksRunConcurrentlyOnTwoSlots)
     EXPECT_DOUBLE_EQ(s.makespan, 1.0);
 }
 
+TEST(Scheduler, SlotAssignmentTracksActualFreeSlot)
+{
+    // Two slots, staggered durations: task c must land on whichever
+    // slot actually freed first (slot 1, where the short b ran), not on
+    // a round-robin counter that ignores completion order.
+    TaskGraph g;
+    const ResourceId r = g.addResource("CPU", 2);
+    const TaskId a = g.addTask(r, 4.0, "a"); // slot 0, busy until 4.
+    const TaskId b = g.addTask(r, 1.0, "b"); // slot 1, frees at 1.
+    const TaskId c = g.addTask(r, 1.0, "c", {b});
+    const Schedule s = Scheduler().run(g);
+    EXPECT_DOUBLE_EQ(s.start[c], 1.0);
+
+    std::uint32_t slot_a = 99, slot_b = 99, slot_c = 99;
+    for (const Interval &iv : s.timelines[r].intervals()) {
+        if (iv.task == a)
+            slot_a = iv.slot;
+        else if (iv.task == b)
+            slot_b = iv.slot;
+        else if (iv.task == c)
+            slot_c = iv.slot;
+    }
+    EXPECT_EQ(slot_a, 0u);
+    EXPECT_EQ(slot_b, 1u);
+    EXPECT_EQ(slot_c, 1u); // c reuses b's freed slot while a still runs.
+}
+
+TEST(Scheduler, OverlappingIntervalsNeverShareASlot)
+{
+    // Pinned regression for the old `next_slot++ % slots` assignment:
+    // with overlapping occupancy, no two time-overlapping intervals may
+    // report the same slot index.
+    TaskGraph g;
+    const ResourceId r = g.addResource("CPU", 2);
+    TaskId chain = g.addTask(r, 0.5, "seed");
+    for (int i = 0; i < 16; ++i) {
+        // A long task and a short chain sharing two slots produces many
+        // overlapping pairs with non-uniform completion order.
+        g.addTask(r, 2.5, "long" + std::to_string(i), {chain});
+        chain = g.addTask(r, 0.7, "short" + std::to_string(i), {chain});
+    }
+    const Schedule s = Scheduler().run(g);
+    const auto &intervals = s.timelines[r].intervals();
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        for (std::size_t j = i + 1; j < intervals.size(); ++j) {
+            const Interval &x = intervals[i];
+            const Interval &y = intervals[j];
+            const bool overlap =
+                x.start < y.end - 1e-12 && y.start < x.end - 1e-12;
+            if (overlap)
+                EXPECT_NE(x.slot, y.slot)
+                    << "tasks " << x.task << " and " << y.task
+                    << " double-book slot " << x.slot;
+        }
+    }
+}
+
 TEST(Scheduler, CrossResourceOverlap)
 {
     TaskGraph g;

@@ -64,17 +64,16 @@ TEST_P(SchedulerPropertyTest, ScheduleSatisfiesAllInvariants)
 {
     const RandomGraph rg = makeRandomGraph(GetParam(), 4, 200);
     const Schedule sched = Scheduler().run(rg.graph);
-    const auto &tasks = rg.graph.tasks();
 
     double latest_finish = 0.0;
-    for (TaskId id = 0; id < tasks.size(); ++id) {
+    for (TaskId id = 0; id < rg.graph.taskCount(); ++id) {
         // Duration honored.
         ASSERT_NEAR(sched.finish[id] - sched.start[id],
-                    tasks[id].duration, 1e-12);
+                    rg.graph.duration(id), 1e-12);
         ASSERT_GE(sched.start[id], 0.0);
         latest_finish = std::max(latest_finish, sched.finish[id]);
         // Dependencies strictly precede.
-        for (TaskId dep : tasks[id].deps)
+        for (TaskId dep : rg.graph.deps(id))
             ASSERT_GE(sched.start[id], sched.finish[dep] - 1e-12)
                 << "task " << id << " started before dep " << dep;
     }
@@ -110,6 +109,55 @@ TEST_P(SchedulerPropertyTest, ScheduleSatisfiesAllInvariants)
         ASSERT_NEAR(sched.timelines[r].totalSlotSeconds(),
                     rg.graph.totalWork(r), 1e-9);
     }
+
+    // Slot assignments are physical: intervals sharing a slot index
+    // never overlap in time, and indices stay below the slot count.
+    for (ResourceId r = 0; r < rg.graph.resourceCount(); ++r) {
+        std::vector<std::vector<std::pair<double, double>>> by_slot(
+            rg.slots[r]);
+        for (const Interval &iv : sched.timelines[r].intervals()) {
+            ASSERT_LT(iv.slot, rg.slots[r]);
+            if (iv.end > iv.start)
+                by_slot[iv.slot].emplace_back(iv.start, iv.end);
+        }
+        for (auto &intervals : by_slot) {
+            std::sort(intervals.begin(), intervals.end());
+            for (std::size_t i = 1; i < intervals.size(); ++i)
+                ASSERT_LE(intervals[i - 1].second,
+                          intervals[i].first + 1e-12)
+                    << "resource " << r << " double-books a slot";
+        }
+    }
+}
+
+TEST_P(SchedulerPropertyTest, SharedWorkspaceIsBitwiseIdentical)
+{
+    // Reusing one workspace across many runs (the sweep hot path) must
+    // not leak state between graphs: results match fresh-workspace runs
+    // bit for bit.
+    Scheduler::Workspace ws;
+    for (std::uint64_t salt = 0; salt < 4; ++salt) {
+        const RandomGraph rg =
+            makeRandomGraph(GetParam() ^ (salt * 0x9e3779b9), 4, 150);
+        const Schedule fresh = Scheduler().run(rg.graph);
+        const Schedule reused = Scheduler().run(rg.graph, ws);
+        ASSERT_EQ(fresh.start.size(), reused.start.size());
+        for (std::size_t i = 0; i < fresh.start.size(); ++i) {
+            ASSERT_EQ(fresh.start[i], reused.start[i]);
+            ASSERT_EQ(fresh.finish[i], reused.finish[i]);
+        }
+        for (ResourceId r = 0; r < rg.graph.resourceCount(); ++r) {
+            const auto &fi = fresh.timelines[r].intervals();
+            const auto &ri = reused.timelines[r].intervals();
+            ASSERT_EQ(fi.size(), ri.size());
+            for (std::size_t i = 0; i < fi.size(); ++i) {
+                ASSERT_EQ(fi[i].task, ri[i].task);
+                ASSERT_EQ(fi[i].slot, ri[i].slot);
+                ASSERT_EQ(fi[i].start, ri[i].start);
+                ASSERT_EQ(fi[i].end, ri[i].end);
+            }
+        }
+    }
 }
 
 TEST_P(SchedulerPropertyTest, ReRunIsBitwiseIdentical)
@@ -127,22 +175,21 @@ TEST_P(SchedulerPropertyTest, MakespanAtLeastCriticalPath)
 {
     const RandomGraph rg = makeRandomGraph(GetParam() ^ 0x1234, 5, 150);
     const Schedule sched = Scheduler().run(rg.graph);
-    const auto &tasks = rg.graph.tasks();
     // Longest dependency chain is a lower bound on the makespan.
-    std::vector<double> chain(tasks.size(), 0.0);
+    std::vector<double> chain(rg.graph.taskCount(), 0.0);
     double critical = 0.0;
-    for (TaskId id = 0; id < tasks.size(); ++id) {
+    for (TaskId id = 0; id < rg.graph.taskCount(); ++id) {
         double ready = 0.0;
-        for (TaskId dep : tasks[id].deps)
+        for (TaskId dep : rg.graph.deps(id))
             ready = std::max(ready, chain[dep]);
-        chain[id] = ready + tasks[id].duration;
+        chain[id] = ready + rg.graph.duration(id);
         critical = std::max(critical, chain[id]);
     }
     EXPECT_GE(sched.makespan + 1e-12, critical);
     // And no worse than fully serial execution.
     double total = 0.0;
-    for (const Task &task : tasks)
-        total += task.duration;
+    for (TaskId id = 0; id < rg.graph.taskCount(); ++id)
+        total += rg.graph.duration(id);
     EXPECT_LE(sched.makespan, total + 1e-9);
 }
 
