@@ -16,12 +16,14 @@
  */
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/json.h"
 #include "common/metrics.h"
+#include "report/history.h"
 #include "sim/graph.h"
 #include "sim/scheduler.h"
 
@@ -147,13 +149,24 @@ int
 main(int argc, char **argv)
 {
     std::string json_path;
+    std::string baseline_path;
+    double tolerance = 0.25;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             json_path = (i + 1 < argc && argv[i + 1][0] != '-')
                             ? argv[++i]
                             : "BENCH_sim_kernel.json";
+        } else if (std::strcmp(argv[i], "--baseline") == 0 &&
+                   i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--tolerance") == 0 &&
+                   i + 1 < argc) {
+            tolerance = std::atof(argv[++i]);
         } else {
-            std::fprintf(stderr, "usage: %s [--json [path]]\n", argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--json [path]] [--baseline FILE]"
+                         " [--tolerance T]\n",
+                         argv[0]);
             return 2;
         }
     }
@@ -179,7 +192,7 @@ main(int argc, char **argv)
         results.push_back(r);
     }
 
-    if (!json_path.empty()) {
+    if (!json_path.empty() || !baseline_path.empty()) {
         so::JsonWriter json;
         json.beginObject();
         json.field("bench", "sim_kernel");
@@ -203,15 +216,52 @@ main(int argc, char **argv)
         json.endObject();
 
         const std::string doc = json.str();
-        std::FILE *f = std::fopen(json_path.c_str(), "w");
-        if (!f) {
-            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
-            return 1;
+        if (!json_path.empty()) {
+            std::FILE *f = std::fopen(json_path.c_str(), "w");
+            if (!f) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             json_path.c_str());
+                return 1;
+            }
+            std::fwrite(doc.data(), 1, doc.size(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+            std::printf("\nwrote %s\n", json_path.c_str());
         }
-        std::fwrite(doc.data(), 1, doc.size(), f);
-        std::fputc('\n', f);
-        std::fclose(f);
-        std::printf("\nwrote %s\n", json_path.c_str());
+
+        // Warn-only regression check against a committed baseline
+        // record; `so-report check` is the gating form (docs/DIFF.md).
+        if (!baseline_path.empty()) {
+            std::FILE *f = std::fopen(baseline_path.c_str(), "r");
+            std::string base_text;
+            if (f) {
+                char buf[4096];
+                std::size_t n = 0;
+                while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+                    base_text.append(buf, n);
+                std::fclose(f);
+            }
+            so::JsonValue base_doc, fresh_doc;
+            std::string error;
+            if (!f) {
+                std::fprintf(stderr, "cannot read baseline %s\n",
+                             baseline_path.c_str());
+            } else if (!so::JsonValue::parse(base_text, base_doc,
+                                             &error) ||
+                       !so::JsonValue::parse(doc, fresh_doc, &error)) {
+                std::fprintf(stderr, "baseline check skipped: %s\n",
+                             error.c_str());
+            } else {
+                so::report::CheckOptions options;
+                options.tolerance = tolerance;
+                const so::report::CheckVerdict verdict =
+                    so::report::checkAgainstBaseline(base_doc,
+                                                     fresh_doc,
+                                                     options);
+                std::printf("baseline %s: %s\n", baseline_path.c_str(),
+                            verdict.summary().c_str());
+            }
+        }
     }
     return 0;
 }

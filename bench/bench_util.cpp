@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <system_error>
 
 #include "common/argparse.h"
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "report/history.h"
 
 namespace so::bench {
 
@@ -51,7 +54,21 @@ Harness::Harness(int argc, const char *const *argv, std::string id,
         trace_dir_ = args.get("trace-dir");
         if (trace_dir_.empty())
             trace_dir_ = "traces";
+        // Fail fast, before hours of sweep work: an existing regular
+        // file at the target path would otherwise only surface when
+        // the first per-cell write fails with a confusing message.
+        std::error_code ec;
+        std::filesystem::create_directories(trace_dir_, ec);
+        if (!std::filesystem::is_directory(trace_dir_)) {
+            const std::string detail =
+                ec ? " (" + ec.message() + ")" : std::string();
+            SO_FATAL("--trace-dir ", trace_dir_,
+                     " is not a directory", detail);
+        }
     }
+    if (args.has("baseline"))
+        baseline_path_ = args.get("baseline");
+    tolerance_ = args.getDouble("tolerance", tolerance_);
     // --trace-dir implies profiling so the traces carry critical-path
     // flow arrows and each cell gets its profile document.
     profile_ = args.has("profile") || !trace_dir_.empty();
@@ -118,11 +135,64 @@ Harness::writeTraceFiles() const
                 trace_dir_.c_str());
 }
 
+void
+Harness::checkBaseline(const std::string &doc) const
+{
+    std::ifstream in(baseline_path_, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "baseline check: cannot read %s\n",
+                     baseline_path_.c_str());
+        return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    JsonValue baseline, fresh;
+    std::string error;
+    if (!JsonValue::parse(buf.str(), baseline, &error)) {
+        std::fprintf(stderr, "baseline check: %s: %s\n",
+                     baseline_path_.c_str(), error.c_str());
+        return;
+    }
+    if (!JsonValue::parse(doc, fresh, &error)) {
+        std::fprintf(stderr, "baseline check: fresh record: %s\n",
+                     error.c_str());
+        return;
+    }
+    report::CheckOptions options;
+    options.tolerance = tolerance_;
+    const report::CheckVerdict verdict =
+        report::checkAgainstBaseline(baseline, fresh, options);
+    std::printf("baseline %s: %s\n", baseline_path_.c_str(),
+                verdict.summary().c_str());
+
+    // Verdict file next to the record: BENCH_<id>.verdict.json.
+    std::string verdict_path =
+        json_path_.empty() ? "BENCH_" + sanitizeId(id_) + ".json"
+                           : json_path_;
+    const std::string suffix = ".json";
+    if (verdict_path.size() >= suffix.size() &&
+        verdict_path.compare(verdict_path.size() - suffix.size(),
+                             suffix.size(), suffix) == 0)
+        verdict_path.resize(verdict_path.size() - suffix.size());
+    verdict_path += ".verdict.json";
+    if (std::FILE *out = std::fopen(verdict_path.c_str(), "w")) {
+        const std::string text = verdict.json();
+        std::fwrite(text.data(), 1, text.size(), out);
+        std::fputc('\n', out);
+        std::fclose(out);
+        std::printf("wrote %s\n", verdict_path.c_str());
+    } else {
+        std::fprintf(stderr, "baseline check: cannot write %s\n",
+                     verdict_path.c_str());
+    }
+}
+
 int
 Harness::finish()
 {
     writeTraceFiles();
-    if (json_path_.empty())
+    if (json_path_.empty() && baseline_path_.empty())
         return 0;
     JsonWriter json;
     json.beginObject();
@@ -141,15 +211,19 @@ Harness::finish()
     json.key("metrics");
     MetricsRegistry::global().snapshot().write(json);
     json.endObject();
-
-    std::FILE *out = std::fopen(json_path_.c_str(), "w");
-    if (!out)
-        SO_FATAL("cannot open ", json_path_, " for writing");
     const std::string doc = json.str();
-    std::fwrite(doc.data(), 1, doc.size(), out);
-    std::fputc('\n', out);
-    std::fclose(out);
-    std::printf("wrote %s\n", json_path_.c_str());
+
+    if (!json_path_.empty()) {
+        std::FILE *out = std::fopen(json_path_.c_str(), "w");
+        if (!out)
+            SO_FATAL("cannot open ", json_path_, " for writing");
+        std::fwrite(doc.data(), 1, doc.size(), out);
+        std::fputc('\n', out);
+        std::fclose(out);
+        std::printf("wrote %s\n", json_path_.c_str());
+    }
+    if (!baseline_path_.empty())
+        checkBaseline(doc);
     return 0;
 }
 

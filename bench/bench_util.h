@@ -6,7 +6,9 @@
  * (--jobs N for parallel evaluation, --json [path] for a
  * machine-readable BENCH_<id>.json record, --progress for sweep
  * logging, --profile for schedule profiling, --trace-dir DIR for
- * per-cell chrome-trace/profile files), owns the SweepEngine the bench
+ * per-cell chrome-trace/profile files, --baseline FILE +
+ * --tolerance T for an in-process regression check of the fresh
+ * record against a committed BENCH_*.json), owns the SweepEngine the bench
  * declares its grid into, and collects the rendered tables so the JSON
  * document carries both the formatted tables and the raw per-cell
  * records. Benches keep working with no arguments at all — that is how
@@ -106,8 +108,13 @@ class Harness
     /**
      * Finish the bench: write per-cell trace/profile files when
      * --trace-dir was given, and BENCH_<id>.json (tables, cells, and a
-     * metrics-registry snapshot) when --json was given. Returns the
-     * process exit code (0).
+     * metrics-registry snapshot) when --json was given. When
+     * --baseline FILE was given, additionally check the fresh record
+     * against that baseline (report::checkAgainstBaseline), print the
+     * verdict, and write it next to the record as
+     * BENCH_<id>.verdict.json. The check is warn-only: the returned
+     * exit code stays 0 so smoke runs and CI keep passing while the
+     * guard accumulates history (`so-report check` gates for real).
      */
     int finish();
 
@@ -118,9 +125,14 @@ class Harness
     /** Write per-cell .trace.json / .profile.json under trace_dir_. */
     void writeTraceFiles() const;
 
+    /** Run the --baseline check against @p doc (the fresh record). */
+    void checkBaseline(const std::string &doc) const;
+
     std::string id_;
-    std::string json_path_; // Empty: no JSON requested.
-    std::string trace_dir_; // Empty: no trace files requested.
+    std::string json_path_;     // Empty: no JSON requested.
+    std::string trace_dir_;     // Empty: no trace files requested.
+    std::string baseline_path_; // Empty: no regression check.
+    double tolerance_ = 0.25;
     bool profile_ = false;
     std::unique_ptr<runtime::SweepEngine> engine_;
     std::vector<std::unique_ptr<Table>> tables_;

@@ -10,7 +10,8 @@
  *                        [--binding colocated|remote]
  *                        [--placement auto|stationary|flow]
  *                        [--no-stv] [--no-sac] [--no-grace-adam]
- *                        [--no-repartition] [--compare] [--list-models]
+ *                        [--no-repartition] [--compare]
+ *                        [--explain [baseline]] [--list-models]
  */
 #include <cstdio>
 #include <string>
@@ -22,6 +23,7 @@
 #include "common/units.h"
 #include "core/engine.h"
 #include "core/report_json.h"
+#include "report/diff.h"
 #include "runtime/registry.h"
 #include "runtime/sweep.h"
 
@@ -63,6 +65,10 @@ main(int argc, char **argv)
             "  --placement <p>       auto|stationary|flow\n"
             "  --no-stv --no-sac --no-grace-adam --no-repartition\n"
             "  --compare             also evaluate every baseline\n"
+            "  --explain [base]      diff SuperOffload's schedule "
+            "against a baseline's\n"
+            "                        (default zero-offload; implies "
+            "--compare)\n"
             "  --jobs <n>            worker threads for --compare "
             "(0 = all cores)\n"
             "  --json                emit the plan as JSON\n"
@@ -117,6 +123,10 @@ main(int argc, char **argv)
     if (str_opt("binding", "colocated") == "remote")
         setup.binding = hw::NumaBinding::Remote;
     setup.capture_trace = args.has("trace");
+    // --explain diffs schedule profiles, so both the SuperOffload plan
+    // and the baseline cells must capture them.
+    const bool explain = args.has("explain");
+    setup.capture_profile = explain;
 
     core::SuperOffloadOptions opts;
     opts.stv = !args.has("no-stv") && file.getBool("stv", true);
@@ -155,7 +165,7 @@ main(int argc, char **argv)
     }
     std::printf("%s\n", report.summary(setup).c_str());
 
-    if (args.has("compare")) {
+    if (args.has("compare") || explain) {
         runtime::SweepOptions sweep_opts;
         sweep_opts.jobs = static_cast<std::size_t>(
             std::max(0LL, args.getInt("jobs", 1)));
@@ -188,6 +198,44 @@ main(int argc, char **argv)
                  "ok"});
         }
         table.print();
+
+        if (explain) {
+            // Phase-level attribution of SuperOffload's gap over one
+            // baseline (the paper's Fig. 4 / Fig. 10 argument).
+            std::string base = args.get("explain");
+            if (base.empty())
+                base = "zero-offload";
+            std::size_t base_index = baselines.size();
+            for (std::size_t i = 0; i < baselines.size(); ++i)
+                if (runtime::baselineNames()[i] == base)
+                    base_index = i;
+            if (base_index == baselines.size()) {
+                std::fprintf(stderr,
+                             "--explain: unknown baseline '%s'\n",
+                             base.c_str());
+                return 1;
+            }
+            const auto &base_res = sweep.result(base_index);
+            if (!base_res.feasible || !base_res.profile.valid) {
+                std::printf("\n--explain: baseline %s is infeasible "
+                            "here, nothing to diff\n",
+                            base.c_str());
+            } else if (!report.feasible ||
+                       !report.iteration.profile.valid) {
+                std::printf("\n--explain: SuperOffload plan is "
+                            "infeasible here, nothing to diff\n");
+            } else {
+                const so::report::ProfileDiff diff =
+                    so::report::diffProfiles(
+                        so::report::viewFromSummary(
+                            base_res.profile,
+                            baselines[base_index]->name()),
+                        so::report::viewFromSummary(
+                            report.iteration.profile, "SuperOffload"));
+                std::printf("\n%s",
+                            so::report::diffToText(diff).c_str());
+            }
+        }
     }
     return report.feasible ? 0 : 1;
 }

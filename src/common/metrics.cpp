@@ -8,6 +8,13 @@
 
 namespace so {
 
+namespace {
+
+/** Reservoir slots per histogram: exact quantiles up to this count. */
+constexpr std::size_t kReservoirSize = 512;
+
+} // namespace
+
 void
 MetricsRegistry::add(const std::string &name, std::int64_t delta,
                      MetricScope scope)
@@ -50,6 +57,16 @@ MetricsRegistry::observe(const std::string &name, double value)
     }
     ++h.count;
     h.sum += value;
+    // Algorithm R: keep the first kReservoirSize observations, then
+    // replace a uniformly chosen slot with probability K/count.
+    if (h.sample.size() < kReservoirSize) {
+        h.sample.push_back(value);
+    } else {
+        h.rng = h.rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        const std::uint64_t j = (h.rng >> 32) % h.count;
+        if (j < kReservoirSize)
+            h.sample[j] = value;
+    }
 }
 
 MetricsSnapshot
@@ -64,9 +81,13 @@ MetricsRegistry::snapshot() const
     for (const auto &[name, g] : gauges_)
         snap.gauges.push_back(GaugeValue{name, g.value, g.scope});
     snap.histograms.reserve(histograms_.size());
-    for (const auto &[name, h] : histograms_)
-        snap.histograms.push_back(
-            HistogramValue{name, h.count, h.sum, h.min, h.max});
+    for (const auto &[name, h] : histograms_) {
+        HistogramValue value{name, h.count, h.sum, h.min, h.max,
+                             h.sample};
+        // Sorted once here so quantile() is a plain lookup.
+        std::sort(value.sample.begin(), value.sample.end());
+        snap.histograms.push_back(std::move(value));
+    }
     return snap;
 }
 
@@ -105,6 +126,21 @@ MetricsSnapshot::gauge(const std::string &name, double fallback) const
     return fallback;
 }
 
+double
+HistogramValue::quantile(double q) const
+{
+    if (sample.empty())
+        return 0.0;
+    const double clamped = std::min(1.0, std::max(0.0, q));
+    const double pos =
+        clamped * static_cast<double>(sample.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    if (lo + 1 >= sample.size())
+        return sample.back();
+    const double frac = pos - static_cast<double>(lo);
+    return sample[lo] + frac * (sample[lo + 1] - sample[lo]);
+}
+
 const HistogramValue *
 MetricsSnapshot::histogram(const std::string &name) const
 {
@@ -134,6 +170,9 @@ MetricsSnapshot::write(JsonWriter &json) const
         json.field("min", h.min);
         json.field("max", h.max);
         json.field("mean", h.mean());
+        json.field("p50", h.quantile(0.50));
+        json.field("p95", h.quantile(0.95));
+        json.field("p99", h.quantile(0.99));
         json.endObject();
     }
     json.endObject();

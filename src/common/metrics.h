@@ -14,10 +14,11 @@
  * be identical for a given workload regardless of thread count or
  * scheduling. MetricScope::Execution covers quantities that legitimately
  * depend on how the work was executed (thread-pool task counts, chunk
- * splits). Histograms record wall-clock observations and are exempt
- * from any determinism claim. MetricsSnapshot::stableJson() exports only
- * the Stable counters/gauges, so two runs of the same workload under
- * different --jobs settings can be diffed byte for byte.
+ * splits). Histograms record wall-clock observations (with a reservoir
+ * sample backing p50/p95/p99 summaries) and are exempt from any
+ * determinism claim. MetricsSnapshot::stableJson() exports only the
+ * Stable counters/gauges — never histograms — so two runs of the same
+ * workload under different --jobs settings can be diffed byte for byte.
  */
 #ifndef SO_COMMON_METRICS_H
 #define SO_COMMON_METRICS_H
@@ -58,7 +59,12 @@ struct GaugeValue
     MetricScope scope = MetricScope::Stable;
 };
 
-/** Point-in-time copy of one histogram (count/sum/min/max/mean). */
+/**
+ * Point-in-time copy of one histogram (count/sum/min/max/mean plus a
+ * quantile summary). Quantiles come from a fixed-size reservoir sample
+ * (Algorithm R, 512 slots) kept per histogram: exact until the 513th
+ * observation, an unbiased uniform sample afterwards.
+ */
 struct HistogramValue
 {
     std::string name;
@@ -66,8 +72,16 @@ struct HistogramValue
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    /** Reservoir sample of the observations, sorted ascending. */
+    std::vector<double> sample;
 
     double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+
+    /**
+     * Quantile @p q in [0, 1] of the reservoir sample, linearly
+     * interpolated between order statistics; 0 when no observations.
+     */
+    double quantile(double q) const;
 };
 
 /** Consistent copy of a registry, sorted by metric name. */
@@ -153,6 +167,10 @@ class MetricsRegistry
         double sum = 0.0;
         double min = 0.0;
         double max = 0.0;
+        /** Reservoir sample (Algorithm R) backing the quantiles. */
+        std::vector<double> sample;
+        /** Per-histogram LCG state for the reservoir replacements. */
+        std::uint64_t rng = 0x853c49e68282b3fbULL;
     };
 
     mutable std::mutex mutex_;

@@ -1,0 +1,512 @@
+#include "report/diff.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/json.h"
+
+namespace so::report {
+
+namespace {
+
+/** Numeric member @p key of @p obj, or @p fallback when absent. */
+double
+numberOr(const JsonValue &obj, const std::string &key, double fallback)
+{
+    const JsonValue *v = obj.find(key);
+    return v && v->isNumber() ? v->number() : fallback;
+}
+
+/** String member @p key of @p obj, or @p fallback when absent. */
+std::string
+textOr(const JsonValue &obj, const std::string &key,
+       const std::string &fallback)
+{
+    const JsonValue *v = obj.find(key);
+    return v && v->isString() ? v->text() : fallback;
+}
+
+/** Read a [{phase, seconds}] array into @p out. */
+void
+readPhases(const JsonValue &arr, std::vector<PhaseSlice> &out)
+{
+    for (const JsonValue &item : arr.items()) {
+        if (!item.isObject())
+            continue;
+        PhaseSlice slice;
+        slice.phase = textOr(item, "phase", "");
+        slice.seconds = numberOr(item, "seconds", 0.0);
+        out.push_back(std::move(slice));
+    }
+}
+
+/**
+ * View of a result document (runtime::toJson shape). Older records
+ * lack the profile's own makespan_s; the critical-path length equals
+ * it by the profiler invariant, so it is the fallback.
+ */
+bool
+viewFromResultDoc(const JsonValue &doc, ProfileView &out,
+                  std::string *error)
+{
+    const JsonValue *feasible = doc.find("feasible");
+    if (feasible && feasible->isBool() && !feasible->boolean()) {
+        if (error)
+            *error = "result is infeasible (" +
+                     textOr(doc, "infeasible_reason", "unknown") +
+                     "): no schedule to profile";
+        return false;
+    }
+    const JsonValue *profile = doc.find("profile");
+    if (!profile || !profile->isObject()) {
+        if (error)
+            *error = "result has no profile section (rerun with "
+                     "--profile / capture_profile)";
+        return false;
+    }
+    out.makespan = numberOr(*profile, "makespan_s",
+                            numberOr(*profile, "critical_length_s", 0.0));
+    if (const JsonValue *phases = profile->find("critical_phases"))
+        if (phases->isArray())
+            readPhases(*phases, out.phases);
+    if (const JsonValue *idle = profile->find("idle")) {
+        if (idle->isArray()) {
+            for (const JsonValue &item : idle->items()) {
+                if (!item.isObject())
+                    continue;
+                ResourceSlice slice;
+                slice.resource = textOr(item, "resource", "");
+                slice.busy = numberOr(item, "busy_s", 0.0);
+                slice.dependency = numberOr(item, "dependency_s", 0.0);
+                slice.contention = numberOr(item, "contention_s", 0.0);
+                slice.tail = numberOr(item, "tail_s", 0.0);
+                out.resources.push_back(std::move(slice));
+            }
+        }
+    }
+    return true;
+}
+
+/** View of a standalone profile document (sim::profileToJson shape). */
+bool
+viewFromProfileDoc(const JsonValue &doc, ProfileView &out,
+                   std::string *error)
+{
+    out.makespan = numberOr(doc, "makespan_s", 0.0);
+    const JsonValue &cp = doc.at("critical_path");
+    if (const JsonValue *phases = cp.find("phases"))
+        if (phases->isArray())
+            readPhases(*phases, out.phases);
+    if (const JsonValue *resources = doc.find("resources")) {
+        if (resources->isArray()) {
+            for (const JsonValue &item : resources->items()) {
+                if (!item.isObject())
+                    continue;
+                ResourceSlice slice;
+                slice.resource = textOr(item, "resource", "");
+                slice.busy = numberOr(item, "busy_s", 0.0);
+                slice.dependency =
+                    numberOr(item, "idle_dependency_s", 0.0);
+                slice.contention =
+                    numberOr(item, "idle_contention_s", 0.0);
+                slice.tail = numberOr(item, "idle_tail_s", 0.0);
+                out.resources.push_back(std::move(slice));
+            }
+        }
+    }
+    (void)error;
+    return true;
+}
+
+/**
+ * Select one cell of a sweep/bench record by @p selector: a decimal
+ * index, a system name, or a tag (first match wins).
+ */
+const JsonValue *
+selectCell(const JsonValue &cells, const std::string &selector,
+           std::string *label, std::string *error)
+{
+    const std::vector<JsonValue> &items = cells.items();
+    if (selector.empty()) {
+        if (error)
+            *error = "record has " + std::to_string(items.size()) +
+                     " cells: select one with --cell INDEX|SYSTEM|TAG";
+        return nullptr;
+    }
+    const bool numeric =
+        !selector.empty() &&
+        std::all_of(selector.begin(), selector.end(), [](char c) {
+            return std::isdigit(static_cast<unsigned char>(c));
+        });
+    if (numeric) {
+        const std::size_t index = std::stoul(selector);
+        if (index >= items.size()) {
+            if (error)
+                *error = "cell index " + selector + " out of range (" +
+                         std::to_string(items.size()) + " cells)";
+            return nullptr;
+        }
+        const JsonValue &cell = items[index];
+        *label = textOr(cell, "system", "cell " + selector);
+        return &cell;
+    }
+    for (const JsonValue &cell : items) {
+        if (!cell.isObject())
+            continue;
+        if (textOr(cell, "system", "") == selector ||
+            textOr(cell, "tag", "") == selector) {
+            *label = selector;
+            return &cell;
+        }
+    }
+    if (error)
+        *error = "no cell with system or tag '" + selector + "'";
+    return nullptr;
+}
+
+std::string
+formatSeconds(double s)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%+.6f", s);
+    return buf;
+}
+
+} // namespace
+
+ProfileView
+viewFromProfile(const sim::ScheduleProfile &profile, std::string label)
+{
+    ProfileView view;
+    view.label = std::move(label);
+    view.makespan = profile.makespan;
+    view.phases.reserve(profile.critical_phases.size());
+    for (const auto &[phase, seconds] : profile.critical_phases)
+        view.phases.push_back(PhaseSlice{phase, seconds});
+    view.resources.reserve(profile.resources.size());
+    for (std::size_t r = 0; r < profile.resources.size(); ++r) {
+        const sim::ResourceProfile &rp = profile.resources[r];
+        ResourceSlice slice;
+        slice.resource = r < profile.resource_names.size()
+                             ? profile.resource_names[r]
+                             : "resource " + std::to_string(r);
+        slice.busy = rp.busy;
+        slice.dependency = rp.idle_dependency;
+        slice.contention = rp.idle_contention;
+        slice.tail = rp.idle_tail;
+        view.resources.push_back(std::move(slice));
+    }
+    return view;
+}
+
+ProfileView
+viewFromSummary(const runtime::ProfileSummary &summary,
+                std::string label)
+{
+    ProfileView view;
+    view.label = std::move(label);
+    view.makespan = summary.makespan > 0.0 ? summary.makespan
+                                           : summary.critical_length;
+    view.phases.reserve(summary.critical_phases.size());
+    for (const auto &[phase, seconds] : summary.critical_phases)
+        view.phases.push_back(PhaseSlice{phase, seconds});
+    view.resources.reserve(summary.idle.size());
+    for (const auto &idle : summary.idle) {
+        ResourceSlice slice;
+        slice.resource = idle.resource;
+        slice.busy = idle.busy;
+        slice.dependency = idle.dependency;
+        slice.contention = idle.contention;
+        slice.tail = idle.tail;
+        view.resources.push_back(std::move(slice));
+    }
+    return view;
+}
+
+bool
+viewFromJson(const JsonValue &doc, ProfileView &out, std::string *error,
+             const std::string &cell)
+{
+    if (!doc.isObject()) {
+        if (error)
+            *error = "document is not a JSON object";
+        return false;
+    }
+    // Standalone profile document (sim::profileToJson).
+    if (doc.find("makespan_s") && doc.find("critical_path"))
+        return viewFromProfileDoc(doc, out, error);
+    // Planner report (core::toJson): the profile sits in `iteration`.
+    if (const JsonValue *iteration = doc.find("iteration"))
+        if (iteration->isObject())
+            return viewFromResultDoc(*iteration, out, error);
+    // Sweep / bench record: pick one cell, then read its result.
+    if (const JsonValue *cells = doc.find("cells")) {
+        if (cells->isArray()) {
+            std::string label;
+            const JsonValue *selected =
+                selectCell(*cells, cell, &label, error);
+            if (!selected)
+                return false;
+            const JsonValue *result = selected->find("result");
+            if (!result || !result->isObject()) {
+                if (error)
+                    *error = "cell '" + cell + "' has no result";
+                return false;
+            }
+            if (out.label.empty())
+                out.label = label;
+            return viewFromResultDoc(*result, out, error);
+        }
+    }
+    // Bare result document (runtime::toJson).
+    if (doc.find("feasible"))
+        return viewFromResultDoc(doc, out, error);
+    if (error)
+        *error = "unrecognized document: expected a profile, result, "
+                 "report, or sweep/bench record";
+    return false;
+}
+
+ProfileDiff
+diffProfiles(const ProfileView &before, const ProfileView &after)
+{
+    ProfileDiff diff;
+    diff.before_label = before.label;
+    diff.after_label = after.label;
+    diff.makespan_before = before.makespan;
+    diff.makespan_after = after.makespan;
+    diff.makespan_delta = after.makespan - before.makespan;
+
+    // Fold each side's phases (duplicate phase names accumulate), then
+    // diff over the union of names.
+    std::map<std::string, std::pair<double, double>> phases;
+    for (const PhaseSlice &slice : before.phases)
+        phases[slice.phase].first += slice.seconds;
+    for (const PhaseSlice &slice : after.phases)
+        phases[slice.phase].second += slice.seconds;
+    std::map<std::string, bool> in_before, in_after;
+    for (const PhaseSlice &slice : before.phases)
+        in_before[slice.phase] = true;
+    for (const PhaseSlice &slice : after.phases)
+        in_after[slice.phase] = true;
+
+    double attributed = 0.0;
+    for (const auto &[phase, seconds] : phases) {
+        PhaseDelta delta;
+        delta.phase = phase;
+        delta.before = seconds.first;
+        delta.after = seconds.second;
+        delta.delta = seconds.second - seconds.first;
+        delta.appeared = !in_before.count(phase);
+        delta.vanished = !in_after.count(phase);
+        attributed += delta.delta;
+        diff.phases.push_back(std::move(delta));
+    }
+    std::sort(diff.phases.begin(), diff.phases.end(),
+              [](const PhaseDelta &a, const PhaseDelta &b) {
+                  const double ma = std::abs(a.delta);
+                  const double mb = std::abs(b.delta);
+                  if (ma != mb)
+                      return ma > mb;
+                  return a.phase < b.phase;
+              });
+    // Exact by construction: whatever the phase deltas miss of the
+    // makespan delta lands here (≈0 for profiler-produced inputs,
+    // where each side's phases sum to its makespan).
+    diff.unattributed = diff.makespan_delta - attributed;
+
+    // Resource idle-cause deltas over the union of resource names,
+    // before-side order first, then after-only resources.
+    std::map<std::string, ResourceSlice> before_res, after_res;
+    for (const ResourceSlice &slice : before.resources)
+        before_res[slice.resource] = slice;
+    for (const ResourceSlice &slice : after.resources)
+        after_res[slice.resource] = slice;
+    auto push_delta = [&](const std::string &name) {
+        const ResourceSlice zero{name, 0.0, 0.0, 0.0, 0.0};
+        const auto bit = before_res.find(name);
+        const auto ait = after_res.find(name);
+        const ResourceSlice &b =
+            bit != before_res.end() ? bit->second : zero;
+        const ResourceSlice &a =
+            ait != after_res.end() ? ait->second : zero;
+        ResourceDelta delta;
+        delta.resource = name;
+        delta.busy = a.busy - b.busy;
+        delta.dependency = a.dependency - b.dependency;
+        delta.contention = a.contention - b.contention;
+        delta.tail = a.tail - b.tail;
+        diff.resources.push_back(std::move(delta));
+    };
+    for (const ResourceSlice &slice : before.resources)
+        push_delta(slice.resource);
+    for (const ResourceSlice &slice : after.resources)
+        if (!before_res.count(slice.resource))
+            push_delta(slice.resource);
+    return diff;
+}
+
+bool
+diffSweepCells(const runtime::SweepEngine &engine, std::size_t before,
+               std::size_t after, ProfileDiff &out, std::string *error)
+{
+    const std::vector<runtime::SweepCell> &cells = engine.cells();
+    auto view_of = [&](std::size_t index, ProfileView &view) {
+        if (index >= cells.size()) {
+            if (error)
+                *error = "cell index " + std::to_string(index) +
+                         " out of range";
+            return false;
+        }
+        const runtime::SweepCell &cell = cells[index];
+        if (!cell.evaluated) {
+            if (error)
+                *error = "cell " + std::to_string(index) +
+                         " not evaluated (call run() first)";
+            return false;
+        }
+        if (!cell.result.feasible) {
+            if (error)
+                *error = "cell " + std::to_string(index) +
+                         " is infeasible: " +
+                         cell.result.infeasible_reason;
+            return false;
+        }
+        if (!cell.result.profile.valid) {
+            if (error)
+                *error = "cell " + std::to_string(index) +
+                         " has no profile (set capture_profile)";
+            return false;
+        }
+        std::string label =
+            cell.tag.empty()
+                ? (cell.system ? cell.system->name()
+                               : "cell " + std::to_string(index))
+                : cell.tag;
+        view = viewFromSummary(cell.result.profile, std::move(label));
+        return true;
+    };
+    ProfileView view_before, view_after;
+    if (!view_of(before, view_before) || !view_of(after, view_after))
+        return false;
+    out = diffProfiles(view_before, view_after);
+    return true;
+}
+
+std::vector<PhaseDelta>
+topContributors(const ProfileDiff &diff, std::size_t top_k)
+{
+    const std::size_t n = std::min(top_k, diff.phases.size());
+    return {diff.phases.begin(),
+            diff.phases.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+std::string
+diffToText(const ProfileDiff &diff)
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "schedule diff: %s -> %s\n",
+                  diff.before_label.c_str(), diff.after_label.c_str());
+    out += line;
+    const double pct =
+        diff.makespan_before > 0.0
+            ? 100.0 * diff.makespan_delta / diff.makespan_before
+            : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "  makespan %.6f s -> %.6f s  (delta %s s, %+.2f%%)\n",
+                  diff.makespan_before, diff.makespan_after,
+                  formatSeconds(diff.makespan_delta).c_str(), pct);
+    out += line;
+    out += "  phase contributions to the delta (signed; contributions "
+           "+ residual = delta):\n";
+    std::snprintf(line, sizeof(line), "    %-20s %12s %12s %12s  %s\n",
+                  "phase", "before_s", "after_s", "delta_s", "note");
+    out += line;
+    for (const PhaseDelta &phase : diff.phases) {
+        const char *note = phase.appeared   ? "appeared"
+                           : phase.vanished ? "vanished"
+                                            : "";
+        std::snprintf(line, sizeof(line),
+                      "    %-20s %12.6f %12.6f %12s  %s\n",
+                      phase.phase.c_str(), phase.before, phase.after,
+                      formatSeconds(phase.delta).c_str(), note);
+        out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "    %-20s %12s %12s %12s\n", "(unattributed)", "",
+                  "", formatSeconds(diff.unattributed).c_str());
+    out += line;
+    if (!diff.resources.empty()) {
+        out += "  idle-cause deltas per resource (after - before, "
+               "seconds):\n";
+        std::snprintf(line, sizeof(line),
+                      "    %-12s %12s %12s %12s %12s\n", "resource",
+                      "busy", "dependency", "contention", "tail");
+        out += line;
+        for (const ResourceDelta &res : diff.resources) {
+            std::snprintf(line, sizeof(line),
+                          "    %-12s %12s %12s %12s %12s\n",
+                          res.resource.c_str(),
+                          formatSeconds(res.busy).c_str(),
+                          formatSeconds(res.dependency).c_str(),
+                          formatSeconds(res.contention).c_str(),
+                          formatSeconds(res.tail).c_str());
+            out += line;
+        }
+    }
+    return out;
+}
+
+std::string
+diffToJson(const ProfileDiff &diff)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("before").beginObject();
+    json.field("label", diff.before_label);
+    json.field("makespan_s", diff.makespan_before);
+    json.endObject();
+    json.key("after").beginObject();
+    json.field("label", diff.after_label);
+    json.field("makespan_s", diff.makespan_after);
+    json.endObject();
+    json.field("makespan_delta_s", diff.makespan_delta);
+    json.key("phases").beginArray();
+    for (const PhaseDelta &phase : diff.phases) {
+        json.beginObject();
+        json.field("phase", phase.phase);
+        json.field("before_s", phase.before);
+        json.field("after_s", phase.after);
+        json.field("delta_s", phase.delta);
+        json.field("share",
+                   diff.makespan_delta != 0.0
+                       ? phase.delta / diff.makespan_delta
+                       : 0.0);
+        if (phase.appeared)
+            json.field("appeared", true);
+        if (phase.vanished)
+            json.field("vanished", true);
+        json.endObject();
+    }
+    json.endArray();
+    json.field("unattributed_s", diff.unattributed);
+    json.key("resources").beginArray();
+    for (const ResourceDelta &res : diff.resources) {
+        json.beginObject();
+        json.field("resource", res.resource);
+        json.field("busy_delta_s", res.busy);
+        json.field("dependency_delta_s", res.dependency);
+        json.field("contention_delta_s", res.contention);
+        json.field("tail_delta_s", res.tail);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+} // namespace so::report

@@ -206,6 +206,7 @@ IterBuilder::finishWindow(const model::IterationFlops &flops,
         const sim::ScheduleProfile prof =
             sim::profileSchedule(graph_, schedule);
         res.profile.valid = true;
+        res.profile.makespan = prof.makespan;
         res.profile.critical_length = prof.critical_length;
         res.profile.critical_phases = prof.critical_phases;
         for (sim::TaskId id : sim::topZeroSlackTasks(prof, graph_))

@@ -37,6 +37,7 @@ writeIterationJson(JsonWriter &json, const IterationResult &result)
     json.field("executed_flops", result.flops.executedFlops());
     if (result.profile.valid) {
         json.key("profile").beginObject();
+        json.field("makespan_s", result.profile.makespan);
         json.field("critical_length_s", result.profile.critical_length);
         json.key("critical_phases").beginArray();
         for (const auto &[phase, seconds] : result.profile.critical_phases) {

@@ -129,6 +129,9 @@ struct ProfileSummary
 
     bool valid = false;
 
+    /** Simulated makespan of the profiled schedule. */
+    double makespan = 0.0;
+
     /** Critical-path length (== the simulated makespan). */
     double critical_length = 0.0;
 

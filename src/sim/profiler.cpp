@@ -63,6 +63,9 @@ profileSchedule(const TaskGraph &graph, const Schedule &schedule)
     prof.makespan = schedule.makespan;
     prof.slack.assign(n, 0.0);
     prof.resources.resize(graph.resourceCount());
+    prof.resource_names.reserve(graph.resourceCount());
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r)
+        prof.resource_names.push_back(graph.resource(r).name);
     if (n == 0)
         return prof;
 

@@ -115,6 +115,13 @@ struct ScheduleProfile
     std::vector<ResourceProfile> resources;
 
     /**
+     * Display names of the resources, indexed by ResourceId — copied
+     * from the graph so a profile can be rendered or diffed (see
+     * report/diff.h) without the TaskGraph that produced it.
+     */
+    std::vector<std::string> resource_names;
+
+    /**
      * Critical-path seconds grouped by label phase (same grouping as
      * labelBreakdown), largest first — the "which phase bounds the
      * iteration" answer.

@@ -60,6 +60,63 @@ TEST(Metrics, EmptyHistogramMeanIsZero)
 {
     HistogramValue h;
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Metrics, HistogramQuantilesExactBelowReservoirSize)
+{
+    // 101 observations of 0..100: the sample is exact, so quantiles
+    // are the interpolated order statistics.
+    MetricsRegistry reg;
+    for (int i = 100; i >= 0; --i)
+        reg.observe("h", static_cast<double>(i));
+    const MetricsSnapshot snap = reg.snapshot();
+    const HistogramValue *h = snap.histogram("h");
+    ASSERT_NE(h, nullptr);
+    ASSERT_EQ(h->sample.size(), 101u);
+    EXPECT_DOUBLE_EQ(h->quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h->quantile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(h->quantile(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(h->quantile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(h->quantile(1.0), 100.0);
+    // The snapshot's sample is sorted even though observations arrived
+    // in reverse.
+    EXPECT_TRUE(
+        std::is_sorted(h->sample.begin(), h->sample.end()));
+}
+
+TEST(Metrics, HistogramReservoirIsBoundedAndRepresentative)
+{
+    // 20k observations uniform over [0, 1): the reservoir stays at its
+    // fixed size and the sampled median lands near the true median.
+    MetricsRegistry reg;
+    for (int i = 0; i < 20000; ++i)
+        reg.observe("h", static_cast<double>(i % 1000) / 1000.0);
+    const MetricsSnapshot snap = reg.snapshot();
+    const HistogramValue *h = snap.histogram("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 20000u);
+    EXPECT_EQ(h->sample.size(), 512u);
+    EXPECT_NEAR(h->quantile(0.50), 0.5, 0.1);
+    EXPECT_GE(h->quantile(0.95), h->quantile(0.50));
+    EXPECT_GE(h->quantile(0.99), h->quantile(0.95));
+    EXPECT_GE(h->min, 0.0);
+    EXPECT_LE(h->quantile(1.0), h->max);
+}
+
+TEST(Metrics, HistogramJsonCarriesQuantiles)
+{
+    MetricsRegistry reg;
+    for (int i = 1; i <= 100; ++i)
+        reg.observe("h", static_cast<double>(i));
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(reg.snapshot().json(), doc, &error))
+        << error;
+    const JsonValue &h = doc.at("histograms").at("h");
+    EXPECT_DOUBLE_EQ(h.at("p50").number(), 50.5);
+    EXPECT_GT(h.at("p95").number(), h.at("p50").number());
+    EXPECT_GT(h.at("p99").number(), h.at("p95").number());
 }
 
 TEST(Metrics, SnapshotIsSortedByName)

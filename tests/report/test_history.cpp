@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Bench-guard contract tests: numeric leaves flatten to stable paths,
+ * the suffix convention fixes each metric's better-direction, the
+ * check passes on identical records and catches throughput drops /
+ * latency growth / vanished metrics, tolerances (default and per-path)
+ * are honored, the `metrics` subtree never gates, the verdict JSON
+ * parses, and the JSONL history appends and reloads records.
+ */
+#include "report/history.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace so::report {
+namespace {
+
+JsonValue
+parsed(const std::string &text)
+{
+    JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(JsonValue::parse(text, doc, &error)) << error;
+    return doc;
+}
+
+const char *kRecord = R"({
+  "bench": "sim_kernel",
+  "jobs": 4,
+  "sizes": [
+    {"tasks": 100, "reps": 3, "build_s_mean": 0.010,
+     "build_tasks_per_s": 10000.0},
+    {"tasks": 1000, "reps": 3, "build_s_mean": 0.100,
+     "build_tasks_per_s": 10000.0}
+  ],
+  "metrics": {"histograms": {"wall_s": {"count": 3, "sum": 0.5}}}
+})";
+
+TEST(BenchGuard, FlattenProducesIndexedPaths)
+{
+    std::vector<std::pair<std::string, double>> flat;
+    flattenNumericLeaves(parsed(kRecord), "", flat);
+    auto value_of = [&](const std::string &path, double *out) {
+        for (const auto &[p, v] : flat)
+            if (p == path) {
+                *out = v;
+                return true;
+            }
+        return false;
+    };
+    double v = 0.0;
+    EXPECT_TRUE(value_of("jobs", &v));
+    EXPECT_DOUBLE_EQ(v, 4.0);
+    EXPECT_TRUE(value_of("sizes[0].build_tasks_per_s", &v));
+    EXPECT_DOUBLE_EQ(v, 10000.0);
+    EXPECT_TRUE(value_of("sizes[1].build_s_mean", &v));
+    EXPECT_DOUBLE_EQ(v, 0.1);
+    // The metrics subtree is invisible to the guard.
+    EXPECT_FALSE(value_of("metrics.histograms.wall_s.sum", &v));
+}
+
+TEST(BenchGuard, DirectionFollowsSuffixConvention)
+{
+    EXPECT_EQ(metricDirection("sizes[0].build_tasks_per_s"), 1);
+    EXPECT_EQ(metricDirection("sizes[0].build_s_mean"), -1);
+    EXPECT_EQ(metricDirection("cells[2].result.iter_time_s"), -1);
+    EXPECT_EQ(metricDirection("latency_ms"), -1);
+    EXPECT_EQ(metricDirection("sizes[0].tasks"), 0);
+    EXPECT_EQ(metricDirection("jobs"), 0);
+    EXPECT_EQ(metricDirection("share"), 0);
+}
+
+TEST(BenchGuard, IdenticalRecordsPass)
+{
+    const JsonValue doc = parsed(kRecord);
+    const CheckVerdict verdict = checkAgainstBaseline(doc, doc);
+    EXPECT_TRUE(verdict.pass);
+    EXPECT_TRUE(verdict.regressions().empty());
+    EXPECT_EQ(verdict.gated, 4u); // 2 sizes x (per_s + s_mean).
+    EXPECT_GT(verdict.checked, verdict.gated);
+    EXPECT_NE(verdict.summary().find("pass"), std::string::npos);
+}
+
+TEST(BenchGuard, ThroughputDropRegresses)
+{
+    const JsonValue baseline = parsed(
+        R"({"sizes": [{"build_tasks_per_s": 1000.0}]})");
+    // -50% throughput: beyond the default 25% tolerance.
+    const JsonValue slow =
+        parsed(R"({"sizes": [{"build_tasks_per_s": 500.0}]})");
+    CheckVerdict verdict = checkAgainstBaseline(baseline, slow);
+    EXPECT_FALSE(verdict.pass);
+    ASSERT_EQ(verdict.regressions().size(), 1u);
+    EXPECT_EQ(verdict.regressions()[0], "sizes[0].build_tasks_per_s");
+    EXPECT_NE(verdict.summary().find("REGRESSED"), std::string::npos);
+
+    // -10% is within tolerance; +200% (an improvement) always passes.
+    EXPECT_TRUE(checkAgainstBaseline(
+                    baseline,
+                    parsed(R"({"sizes": [{"build_tasks_per_s": 900.0}]})"))
+                    .pass);
+    EXPECT_TRUE(checkAgainstBaseline(
+                    baseline,
+                    parsed(R"({"sizes": [{"build_tasks_per_s": 3000.0}]})"))
+                    .pass);
+}
+
+TEST(BenchGuard, LatencyGrowthRegresses)
+{
+    const JsonValue baseline = parsed(R"({"build_s_mean": 1.0})");
+    EXPECT_FALSE(
+        checkAgainstBaseline(baseline, parsed(R"({"build_s_mean": 2.0})"))
+            .pass);
+    EXPECT_TRUE(
+        checkAgainstBaseline(baseline, parsed(R"({"build_s_mean": 1.1})"))
+            .pass);
+    // Getting faster is never a regression.
+    EXPECT_TRUE(
+        checkAgainstBaseline(baseline, parsed(R"({"build_s_mean": 0.1})"))
+            .pass);
+}
+
+TEST(BenchGuard, MissingGatedMetricRegresses)
+{
+    const JsonValue baseline =
+        parsed(R"({"a_per_s": 10.0, "count": 3})");
+    const CheckVerdict verdict =
+        checkAgainstBaseline(baseline, parsed(R"({"count": 3})"));
+    EXPECT_FALSE(verdict.pass);
+    ASSERT_EQ(verdict.metrics.size(), 1u);
+    EXPECT_TRUE(verdict.metrics[0].missing);
+    EXPECT_NE(verdict.summary().find("missing"), std::string::npos);
+
+    // An ungated metric vanishing is not a regression.
+    const JsonValue no_gates = parsed(R"({"count": 3, "extra": 1.0})");
+    EXPECT_TRUE(
+        checkAgainstBaseline(no_gates, parsed(R"({"count": 3})")).pass);
+}
+
+TEST(BenchGuard, ToleranceAndOverridesAreHonored)
+{
+    const JsonValue baseline = parsed(R"({"x_per_s": 100.0})");
+    const JsonValue fresh = parsed(R"({"x_per_s": 60.0})"); // -40%.
+    CheckOptions loose;
+    loose.tolerance = 0.5;
+    EXPECT_TRUE(checkAgainstBaseline(baseline, fresh, loose).pass);
+    CheckOptions strict;
+    strict.tolerance = 0.5;
+    strict.overrides["x_per_s"] = 0.1;
+    EXPECT_FALSE(checkAgainstBaseline(baseline, fresh, strict).pass);
+}
+
+TEST(BenchGuard, MetricsSubtreeNeverGates)
+{
+    const JsonValue baseline = parsed(
+        R"({"metrics": {"histograms": {"wall_s": {"sum": 1.0}}}})");
+    const JsonValue fresh = parsed(
+        R"({"metrics": {"histograms": {"wall_s": {"sum": 99.0}}}})");
+    const CheckVerdict verdict = checkAgainstBaseline(baseline, fresh);
+    EXPECT_TRUE(verdict.pass);
+    EXPECT_EQ(verdict.gated, 0u);
+}
+
+TEST(BenchGuard, VerdictJsonIsMachineReadable)
+{
+    const JsonValue baseline = parsed(R"({"a_per_s": 10.0})");
+    const JsonValue fresh = parsed(R"({"a_per_s": 1.0})");
+    const CheckVerdict verdict = checkAgainstBaseline(baseline, fresh);
+    const JsonValue doc = parsed(verdict.json());
+    EXPECT_FALSE(doc.at("pass").boolean());
+    EXPECT_EQ(doc.at("regressions").items().size(), 1u);
+    EXPECT_EQ(doc.at("regressions").items()[0].text(), "a_per_s");
+    const JsonValue &metric = doc.at("metrics").items()[0];
+    EXPECT_DOUBLE_EQ(metric.at("baseline").number(), 10.0);
+    EXPECT_DOUBLE_EQ(metric.at("fresh").number(), 1.0);
+    EXPECT_TRUE(metric.at("regressed").boolean());
+}
+
+TEST(BenchGuard, HistoryAppendsAndReloads)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "so_test_history.jsonl")
+            .string();
+    std::filesystem::remove(path);
+    BenchHistory history(path);
+
+    std::vector<JsonValue> records;
+    std::string error;
+    ASSERT_TRUE(history.load(records, &error)) << error;
+    EXPECT_TRUE(records.empty()); // Missing file = empty history.
+
+    ASSERT_TRUE(history.append(kRecord, &error)) << error;
+    ASSERT_TRUE(history.append(R"({"bench": "second"})", &error))
+        << error;
+    EXPECT_FALSE(history.append("{not json", &error));
+
+    records.clear();
+    ASSERT_TRUE(history.load(records, &error)) << error;
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].at("bench").text(), "sim_kernel");
+    EXPECT_EQ(records[1].at("bench").text(), "second");
+    std::filesystem::remove(path);
+}
+
+TEST(BenchGuard, CompactJsonRoundTrips)
+{
+    const JsonValue doc = parsed(kRecord);
+    const std::string compact = compactJson(doc);
+    EXPECT_EQ(compact.find('\n'), std::string::npos);
+    const JsonValue again = parsed(compact);
+    EXPECT_EQ(again.at("bench").text(), "sim_kernel");
+    EXPECT_DOUBLE_EQ(
+        again.at("sizes").items()[1].at("build_s_mean").number(), 0.1);
+}
+
+} // namespace
+} // namespace so::report

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * `so-report` — differential-profiling and bench-guard front end.
+ *
+ * Subcommands:
+ *   so-report diff BEFORE.json AFTER.json [--cell SEL] [--cell-b SEL]
+ *             [--top K] [--json]
+ *       Attribute the makespan delta between two profiled runs to
+ *       schedule phases and idle causes. Inputs may be profile
+ *       documents (*.profile.json), planner reports, result JSON, or
+ *       sweep/bench records (select a cell with --cell; --cell-b
+ *       selects in AFTER when the two records need different cells).
+ *   so-report diff FILE.json --cell SEL --cell-b SEL
+ *       Same, but both sides come from one sweep/bench record — e.g.
+ *       zero-offload vs superoffload on one grid cell.
+ *   so-report check FRESH.json --baseline BASE.json [--tolerance T]
+ *             [--tol PATH=T ...] [--out VERDICT.json]
+ *             [--history FILE] [--warn-only]
+ *       Guard a fresh BENCH_*.json record against a committed
+ *       baseline; exit 1 on regression unless --warn-only.
+ *   so-report top FILE.json [--cell SEL] [--top K]
+ *       Largest critical-path phases and idle causes of one run.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/argparse.h"
+#include "common/json.h"
+#include "report/diff.h"
+#include "report/history.h"
+
+namespace {
+
+using namespace so;
+
+int
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "so-report: explain schedule deltas and guard bench baselines\n"
+        "  so-report diff BEFORE.json AFTER.json [--cell SEL] "
+        "[--cell-b SEL] [--top K] [--json]\n"
+        "  so-report diff FILE.json --cell SEL --cell-b SEL\n"
+        "  so-report check FRESH.json --baseline BASE.json "
+        "[--tolerance T] [--tol PATH=T]\n"
+        "            [--out VERDICT.json] [--history FILE] "
+        "[--warn-only]\n"
+        "  so-report top FILE.json [--cell SEL] [--top K]\n"
+        "Inputs: profile documents, planner reports, result JSON, or\n"
+        "sweep/bench records (--cell selects by index, system, or "
+        "tag).\n");
+    return out == stdout ? 0 : 1;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "so-report: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+bool
+parseFile(const std::string &path, JsonValue &doc)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+    std::string error;
+    if (!JsonValue::parse(text, doc, &error)) {
+        std::fprintf(stderr, "so-report: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+loadView(const std::string &path, const std::string &cell,
+         report::ProfileView &view)
+{
+    JsonValue doc;
+    if (!parseFile(path, doc))
+        return false;
+    view.label = cell.empty() ? path : path + ":" + cell;
+    std::string error;
+    if (!report::viewFromJson(doc, view, &error, cell)) {
+        std::fprintf(stderr, "so-report: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+cmdDiff(const ArgParser &args)
+{
+    const std::vector<std::string> &files = args.positional();
+    // positional()[0] is the subcommand itself.
+    const std::size_t inputs = files.size() - 1;
+    if (inputs != 1 && inputs != 2)
+        return usage(stderr);
+    const std::string cell_a = args.get("cell");
+    const std::string cell_b =
+        args.has("cell-b") ? args.get("cell-b") : cell_a;
+    const std::string before_path = files[1];
+    const std::string after_path = inputs == 2 ? files[2] : files[1];
+    if (inputs == 1 && (!args.has("cell") || !args.has("cell-b"))) {
+        std::fprintf(stderr,
+                     "so-report: diffing within one record needs both "
+                     "--cell and --cell-b\n");
+        return 1;
+    }
+
+    report::ProfileView before, after;
+    if (!loadView(before_path, cell_a, before) ||
+        !loadView(after_path, cell_b, after))
+        return 1;
+    report::ProfileDiff diff = report::diffProfiles(before, after);
+    const std::size_t top_k = static_cast<std::size_t>(
+        std::max(1LL, args.getInt("top", 64)));
+    if (diff.phases.size() > top_k)
+        diff.phases.resize(top_k);
+    if (args.has("json"))
+        std::printf("%s\n", report::diffToJson(diff).c_str());
+    else
+        std::printf("%s", report::diffToText(diff).c_str());
+    return 0;
+}
+
+int
+cmdCheck(const ArgParser &args)
+{
+    const std::vector<std::string> &files = args.positional();
+    if (files.size() != 2 || !args.has("baseline"))
+        return usage(stderr);
+    const std::string fresh_path = files[1];
+    const std::string baseline_path = args.get("baseline");
+
+    JsonValue fresh, baseline;
+    if (!parseFile(fresh_path, fresh) ||
+        !parseFile(baseline_path, baseline))
+        return 1;
+
+    report::CheckOptions options;
+    options.tolerance = args.getDouble("tolerance", options.tolerance);
+    if (args.has("tol")) {
+        const std::string spec = args.get("tol");
+        const std::size_t eq = spec.rfind('=');
+        if (eq == std::string::npos) {
+            std::fprintf(stderr,
+                         "so-report: --tol expects PATH=TOLERANCE\n");
+            return 1;
+        }
+        options.overrides[spec.substr(0, eq)] =
+            std::stod(spec.substr(eq + 1));
+    }
+
+    const report::CheckVerdict verdict =
+        report::checkAgainstBaseline(baseline, fresh, options);
+    std::printf("%s vs %s\n%s\n", fresh_path.c_str(),
+                baseline_path.c_str(), verdict.summary().c_str());
+
+    if (args.has("out")) {
+        const std::string out_path = args.get("out");
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "so-report: cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        out << verdict.json() << '\n';
+        std::printf("verdict written to %s\n", out_path.c_str());
+    }
+    if (args.has("history")) {
+        report::BenchHistory history(args.get("history"));
+        std::string text, error;
+        if (!readFile(fresh_path, text) ||
+            !history.append(text, &error)) {
+            std::fprintf(stderr, "so-report: history: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::printf("record appended to %s\n", history.path().c_str());
+    }
+    if (!verdict.pass && !args.has("warn-only"))
+        return 1;
+    return 0;
+}
+
+int
+cmdTop(const ArgParser &args)
+{
+    const std::vector<std::string> &files = args.positional();
+    if (files.size() != 2)
+        return usage(stderr);
+    report::ProfileView view;
+    if (!loadView(files[1], args.get("cell"), view))
+        return 1;
+    const std::size_t top_k = static_cast<std::size_t>(
+        std::max(1LL, args.getInt("top", 8)));
+
+    std::printf("%s: makespan %.6f s\n", view.label.c_str(),
+                view.makespan);
+    std::printf("critical-path phases (largest first):\n");
+    std::vector<report::PhaseSlice> phases = view.phases;
+    std::sort(phases.begin(), phases.end(),
+              [](const report::PhaseSlice &a,
+                 const report::PhaseSlice &b) {
+                  if (a.seconds != b.seconds)
+                      return a.seconds > b.seconds;
+                  return a.phase < b.phase;
+              });
+    for (std::size_t i = 0; i < phases.size() && i < top_k; ++i)
+        std::printf("  %-20s %10.6f s  %5.1f%%\n",
+                    phases[i].phase.c_str(), phases[i].seconds,
+                    view.makespan > 0.0
+                        ? 100.0 * phases[i].seconds / view.makespan
+                        : 0.0);
+    if (!view.resources.empty()) {
+        std::printf("idle causes per resource (seconds):\n");
+        std::printf("  %-12s %10s %10s %10s %10s\n", "resource",
+                    "busy", "dependency", "contention", "tail");
+        for (const report::ResourceSlice &res : view.resources)
+            std::printf("  %-12s %10.6f %10.6f %10.6f %10.6f\n",
+                        res.resource.c_str(), res.busy, res.dependency,
+                        res.contention, res.tail);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ArgParser args(argc, argv);
+    if (args.has("help"))
+        return usage(stdout);
+    const std::vector<std::string> &positional = args.positional();
+    if (positional.empty())
+        return usage(stderr);
+    const std::string &command = positional[0];
+    if (command == "diff")
+        return cmdDiff(args);
+    if (command == "check")
+        return cmdCheck(args);
+    if (command == "top")
+        return cmdTop(args);
+    std::fprintf(stderr, "so-report: unknown subcommand '%s'\n",
+                 command.c_str());
+    return usage(stderr);
+}
