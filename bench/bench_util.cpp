@@ -11,7 +11,17 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/schema.h"
 #include "report/history.h"
+#include "report/html.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#ifndef SO_GIT_SHA
+#define SO_GIT_SHA "unknown"
+#endif
 
 namespace so::bench {
 
@@ -35,6 +45,9 @@ Harness::Harness(int argc, const char *const *argv, std::string id,
     : id_(std::move(id))
 {
     banner(id_, description, paper_expectation);
+
+    for (int i = 0; i < argc; ++i)
+        argv_.emplace_back(argv[i]);
 
     const ArgParser args(argc, argv);
     runtime::SweepOptions options;
@@ -66,12 +79,27 @@ Harness::Harness(int argc, const char *const *argv, std::string id,
                      " is not a directory", detail);
         }
     }
+    if (args.has("html")) {
+        html_dir_ = args.get("html");
+        if (html_dir_.empty())
+            html_dir_ = "html";
+        std::error_code ec;
+        std::filesystem::create_directories(html_dir_, ec);
+        if (!std::filesystem::is_directory(html_dir_)) {
+            const std::string detail =
+                ec ? " (" + ec.message() + ")" : std::string();
+            SO_FATAL("--html ", html_dir_, " is not a directory",
+                     detail);
+        }
+    }
     if (args.has("baseline"))
         baseline_path_ = args.get("baseline");
     tolerance_ = args.getDouble("tolerance", tolerance_);
-    // --trace-dir implies profiling so the traces carry critical-path
-    // flow arrows and each cell gets its profile document.
-    profile_ = args.has("profile") || !trace_dir_.empty();
+    // --trace-dir and --html imply profiling so the traces carry
+    // critical-path flow arrows and each cell gets its profile and
+    // inspection-bundle documents.
+    profile_ = args.has("profile") || !trace_dir_.empty() ||
+               !html_dir_.empty();
 }
 
 std::size_t
@@ -130,19 +158,23 @@ Harness::writeTraceFiles() const
             write_doc(base + ".profile.json", res.profile_json);
             ++written;
         }
+        if (!res.bundle_json.empty()) {
+            write_doc(base + ".bundle.json", res.bundle_json);
+            ++written;
+        }
     }
     std::printf("wrote %zu trace/profile file(s) to %s\n", written,
                 trace_dir_.c_str());
 }
 
-void
+std::string
 Harness::checkBaseline(const std::string &doc) const
 {
     std::ifstream in(baseline_path_, std::ios::binary);
     if (!in) {
         std::fprintf(stderr, "baseline check: cannot read %s\n",
                      baseline_path_.c_str());
-        return;
+        return "";
     }
     std::ostringstream buf;
     buf << in.rdbuf();
@@ -152,12 +184,12 @@ Harness::checkBaseline(const std::string &doc) const
     if (!JsonValue::parse(buf.str(), baseline, &error)) {
         std::fprintf(stderr, "baseline check: %s: %s\n",
                      baseline_path_.c_str(), error.c_str());
-        return;
+        return "";
     }
     if (!JsonValue::parse(doc, fresh, &error)) {
         std::fprintf(stderr, "baseline check: fresh record: %s\n",
                      error.c_str());
-        return;
+        return "";
     }
     report::CheckOptions options;
     options.tolerance = tolerance_;
@@ -176,9 +208,9 @@ Harness::checkBaseline(const std::string &doc) const
                              suffix.size(), suffix) == 0)
         verdict_path.resize(verdict_path.size() - suffix.size());
     verdict_path += ".verdict.json";
+    const std::string verdict_json = verdict.json();
     if (std::FILE *out = std::fopen(verdict_path.c_str(), "w")) {
-        const std::string text = verdict.json();
-        std::fwrite(text.data(), 1, text.size(), out);
+        std::fwrite(verdict_json.data(), 1, verdict_json.size(), out);
         std::fputc('\n', out);
         std::fclose(out);
         std::printf("wrote %s\n", verdict_path.c_str());
@@ -186,13 +218,58 @@ Harness::checkBaseline(const std::string &doc) const
         std::fprintf(stderr, "baseline check: cannot write %s\n",
                      verdict_path.c_str());
     }
+    return verdict_json;
+}
+
+void
+Harness::writeHtmlPages(const std::string &doc,
+                        const std::string &verdict_json) const
+{
+    auto write_page = [&](const std::string &path,
+                          const report::HtmlReport &page) {
+        std::ofstream out(path, std::ios::binary);
+        if (!out)
+            SO_FATAL("cannot open ", path, " for writing");
+        out << report::renderHtmlReport(page);
+    };
+
+    const std::string stem = sanitizeId(id_);
+    const auto &cells = engine_->cells();
+    std::vector<std::pair<std::string, std::string>> cell_links;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!cells[i].evaluated ||
+            cells[i].result.bundle_json.empty())
+            continue;
+        const std::string name =
+            stem + "_cell" + std::to_string(i) + ".html";
+        report::HtmlReport page;
+        page.title = id_ + " · cell " + std::to_string(i);
+        page.schedules.push_back(cells[i].result.bundle_json);
+        if (!cells[i].result.profile_json.empty())
+            page.profiles.emplace_back(
+                "cell " + std::to_string(i),
+                cells[i].result.profile_json);
+        page.links.emplace_back("index", "index.html");
+        write_page(html_dir_ + "/" + name, page);
+        cell_links.emplace_back("cell " + std::to_string(i), name);
+    }
+
+    report::HtmlReport index;
+    index.title = id_;
+    index.records.emplace_back(id_, doc);
+    index.verdict_json = verdict_json;
+    index.links = std::move(cell_links);
+    write_page(html_dir_ + "/index.html", index);
+    std::printf("wrote %zu explorer page(s) to %s\n",
+                index.links.size() + 1, html_dir_.c_str());
 }
 
 int
 Harness::finish()
 {
     writeTraceFiles();
-    if (json_path_.empty() && baseline_path_.empty())
+    if (json_path_.empty() && baseline_path_.empty() &&
+        html_dir_.empty())
         return 0;
     JsonWriter json;
     json.beginObject();
@@ -210,6 +287,24 @@ Harness::finish()
     engine_->writeCells(json);
     json.key("metrics");
     MetricsRegistry::global().snapshot().write(json);
+    // Provenance subtree. Like `metrics`, the regression guard skips
+    // everything under `meta`: a record must not "regress" because it
+    // was produced on a different host or commit.
+    json.key("meta").beginObject();
+    json.field("schema_version", kSchemaVersion);
+    json.field("git_sha", SO_GIT_SHA);
+    char hostname[256] = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+    if (gethostname(hostname, sizeof(hostname)) != 0)
+        std::snprintf(hostname, sizeof(hostname), "unknown");
+    hostname[sizeof(hostname) - 1] = '\0';
+#endif
+    json.field("hostname", hostname);
+    json.key("argv").beginArray();
+    for (const std::string &arg : argv_)
+        json.value(arg);
+    json.endArray();
+    json.endObject();
     json.endObject();
     const std::string doc = json.str();
 
@@ -222,8 +317,11 @@ Harness::finish()
         std::fclose(out);
         std::printf("wrote %s\n", json_path_.c_str());
     }
+    std::string verdict_json;
     if (!baseline_path_.empty())
-        checkBaseline(doc);
+        verdict_json = checkBaseline(doc);
+    if (!html_dir_.empty())
+        writeHtmlPages(doc, verdict_json);
     return 0;
 }
 

@@ -6,7 +6,8 @@
  * (--jobs N for parallel evaluation, --json [path] for a
  * machine-readable BENCH_<id>.json record, --progress for sweep
  * logging, --profile for schedule profiling, --trace-dir DIR for
- * per-cell chrome-trace/profile files, --baseline FILE +
+ * per-cell chrome-trace/profile/bundle files, --html DIR for a browsable
+ * HTML Schedule Explorer (per-cell pages + an index), --baseline FILE +
  * --tolerance T for an in-process regression check of the fresh
  * record against a committed BENCH_*.json), owns the SweepEngine the bench
  * declares its grid into, and collects the rendered tables so the JSON
@@ -106,15 +107,20 @@ class Harness
     bool profiling() const { return profile_; }
 
     /**
-     * Finish the bench: write per-cell trace/profile files when
-     * --trace-dir was given, and BENCH_<id>.json (tables, cells, and a
-     * metrics-registry snapshot) when --json was given. When
-     * --baseline FILE was given, additionally check the fresh record
-     * against that baseline (report::checkAgainstBaseline), print the
-     * verdict, and write it next to the record as
-     * BENCH_<id>.verdict.json. The check is warn-only: the returned
-     * exit code stays 0 so smoke runs and CI keep passing while the
-     * guard accumulates history (`so-report check` gates for real).
+     * Finish the bench: write per-cell trace/profile/bundle files when
+     * --trace-dir was given, and BENCH_<id>.json (tables, cells, a
+     * metrics-registry snapshot, and a `meta` subtree — schema version,
+     * git SHA, hostname, argv — that the regression guard skips like
+     * `metrics`) when --json was given. When --baseline FILE was
+     * given, additionally check the fresh record against that baseline
+     * (report::checkAgainstBaseline), print the verdict, and write it
+     * next to the record as BENCH_<id>.verdict.json. The check is
+     * warn-only: the returned exit code stays 0 so smoke runs and CI
+     * keep passing while the guard accumulates history
+     * (`so-report check` gates for real). When --html DIR was given,
+     * additionally render the HTML explorer there: one page per
+     * profiled cell plus an index.html with the record heatmap and the
+     * verdict.
      */
     int finish();
 
@@ -122,18 +128,33 @@ class Harness
     static std::string sanitizeId(const std::string &id);
 
   private:
-    /** Write per-cell .trace.json / .profile.json under trace_dir_. */
+    /**
+     * Write per-cell .trace.json / .profile.json / .bundle.json under
+     * trace_dir_.
+     */
     void writeTraceFiles() const;
 
-    /** Run the --baseline check against @p doc (the fresh record). */
-    void checkBaseline(const std::string &doc) const;
+    /**
+     * Run the --baseline check against @p doc (the fresh record);
+     * returns the verdict JSON ("" when the check could not run).
+     */
+    std::string checkBaseline(const std::string &doc) const;
+
+    /**
+     * Render the --html explorer pages: per-cell pages plus an
+     * index.html embedding @p doc and @p verdict_json.
+     */
+    void writeHtmlPages(const std::string &doc,
+                        const std::string &verdict_json) const;
 
     std::string id_;
     std::string json_path_;     // Empty: no JSON requested.
     std::string trace_dir_;     // Empty: no trace files requested.
+    std::string html_dir_;      // Empty: no HTML explorer requested.
     std::string baseline_path_; // Empty: no regression check.
     double tolerance_ = 0.25;
     bool profile_ = false;
+    std::vector<std::string> argv_; // For the record's meta subtree.
     std::unique_ptr<runtime::SweepEngine> engine_;
     std::vector<std::unique_ptr<Table>> tables_;
 };

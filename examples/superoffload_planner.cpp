@@ -11,9 +11,11 @@
  *                        [--placement auto|stationary|flow]
  *                        [--no-stv] [--no-sac] [--no-grace-adam]
  *                        [--no-repartition] [--compare]
- *                        [--explain [baseline]] [--list-models]
+ *                        [--explain [baseline]]
+ *                        [--explain-html explain.html] [--list-models]
  */
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "core/engine.h"
 #include "core/report_json.h"
 #include "report/diff.h"
+#include "report/html.h"
 #include "runtime/registry.h"
 #include "runtime/sweep.h"
 
@@ -69,6 +72,10 @@ main(int argc, char **argv)
             "against a baseline's\n"
             "                        (default zero-offload; implies "
             "--compare)\n"
+            "  --explain-html <file> additionally render the diff plus "
+            "both schedules'\n"
+            "                        Gantts as a self-contained HTML "
+            "explorer page\n"
             "  --jobs <n>            worker threads for --compare "
             "(0 = all cores)\n"
             "  --json                emit the plan as JSON\n"
@@ -125,7 +132,7 @@ main(int argc, char **argv)
     setup.capture_trace = args.has("trace");
     // --explain diffs schedule profiles, so both the SuperOffload plan
     // and the baseline cells must capture them.
-    const bool explain = args.has("explain");
+    const bool explain = args.has("explain") || args.has("explain-html");
     setup.capture_profile = explain;
 
     core::SuperOffloadOptions opts;
@@ -234,6 +241,33 @@ main(int argc, char **argv)
                             report.iteration.profile, "SuperOffload"));
                 std::printf("\n%s",
                             so::report::diffToText(diff).c_str());
+                if (args.has("explain-html")) {
+                    std::string html_path = args.get("explain-html");
+                    if (html_path.empty())
+                        html_path = "explain.html";
+                    so::report::HtmlReport page;
+                    page.title =
+                        "SuperOffload vs " + base + " · " + model_name;
+                    page.schedules.push_back(base_res.bundle_json);
+                    page.schedules.push_back(
+                        report.iteration.bundle_json);
+                    page.profiles.emplace_back(
+                        base, base_res.profile_json);
+                    page.profiles.emplace_back(
+                        "SuperOffload", report.iteration.profile_json);
+                    page.diff_json = so::report::diffToJson(diff);
+                    std::ofstream out(html_path, std::ios::binary);
+                    if (!out) {
+                        std::fprintf(stderr,
+                                     "cannot write %s\n",
+                                     html_path.c_str());
+                        return 1;
+                    }
+                    out << so::report::renderHtmlReport(page);
+                    std::fprintf(stderr,
+                                 "explorer page written to %s\n",
+                                 html_path.c_str());
+                }
             }
         }
     }

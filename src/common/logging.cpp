@@ -2,16 +2,20 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+
+#include "common/json.h"
 
 namespace so {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Info};
+std::atomic<LogFormat> g_format{LogFormat::Human};
 std::mutex g_mutex;
 std::once_flag g_env_once;
 
@@ -36,11 +40,44 @@ applyEnvLevel()
     }
 }
 
-/** One-time lazy application of the environment override. */
+/** Apply SO_LOG_JSON (truthy selects the JSONL sink) to g_format. */
+void
+applyEnvFormat()
+{
+    const char *text = std::getenv("SO_LOG_JSON");
+    if (!text)
+        return;
+    std::string lowered;
+    for (const char *c = text; *c; ++c)
+        lowered += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*c)));
+    const bool truthy = lowered == "1" || lowered == "true" ||
+                        lowered == "yes" || lowered == "on";
+    g_format.store(truthy ? LogFormat::Json : LogFormat::Human,
+                   std::memory_order_relaxed);
+}
+
+/** One-time lazy application of the environment overrides. */
 void
 ensureEnvApplied()
 {
-    std::call_once(g_env_once, applyEnvLevel);
+    std::call_once(g_env_once, [] {
+        applyEnvLevel();
+        applyEnvFormat();
+    });
+}
+
+/**
+ * Monotonic seconds since logging first ran in this process. The
+ * anchor is process-relative on purpose: collectors correlate lines
+ * within one run, not across runs.
+ */
+double
+monotonicSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point start = clock::now();
+    return std::chrono::duration<double>(clock::now() - start).count();
 }
 
 const char *
@@ -73,6 +110,49 @@ logLevel()
     return g_level.load(std::memory_order_relaxed);
 }
 
+void
+setLogFormat(LogFormat format)
+{
+    ensureEnvApplied(); // Explicit call wins over the environment.
+    g_format.store(format, std::memory_order_relaxed);
+}
+
+LogFormat
+logFormat()
+{
+    ensureEnvApplied();
+    return g_format.load(std::memory_order_relaxed);
+}
+
+std::string
+formatLogLine(LogLevel level, const std::string &component,
+              const std::string &message, double ts_s, LogFormat format)
+{
+    if (format == LogFormat::Human) {
+        std::string out;
+        out.reserve(message.size() + 16);
+        out += '[';
+        out += prefix(level);
+        out += "] ";
+        out += message;
+        return out;
+    }
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), "%.6f", ts_s);
+    std::string out;
+    out.reserve(message.size() + component.size() + 64);
+    out += "{\"ts_s\":";
+    out += ts;
+    out += ",\"level\":\"";
+    out += prefix(level);
+    out += "\",\"component\":\"";
+    out += JsonWriter::escape(component);
+    out += "\",\"message\":\"";
+    out += JsonWriter::escape(message);
+    out += "\"}";
+    return out;
+}
+
 LogLevel
 parseLogLevel(const std::string &text, LogLevel fallback, bool *ok)
 {
@@ -103,6 +183,7 @@ reapplyEnvLogLevel()
 {
     ensureEnvApplied(); // Keep the once-flag settled either way.
     applyEnvLevel();
+    applyEnvFormat();
 }
 
 void
@@ -110,13 +191,17 @@ emit(LogLevel level, const std::string &msg)
 {
     if (static_cast<int>(level) < static_cast<int>(logLevel()))
         return;
+    const std::string line =
+        formatLogLine(level, "so", msg, monotonicSeconds(), logFormat());
     std::lock_guard<std::mutex> lock(g_mutex);
-    std::fprintf(stderr, "[%s] %s\n", prefix(level), msg.c_str());
+    std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    // Always the human form: a crash report is for eyes, and the
+    // formatter must not be trusted mid-invariant-violation.
     {
         std::lock_guard<std::mutex> lock(g_mutex);
         std::fprintf(stderr, "[panic] %s:%d: %s\n", file, line, msg.c_str());

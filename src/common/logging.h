@@ -17,6 +17,16 @@ namespace so {
 /** Severity of a log message. */
 enum class LogLevel { Debug, Info, Warn, Error };
 
+/**
+ * Shape of an emitted log line. Human is the default `[level] message`
+ * form; Json emits one structured JSON object per line (level,
+ * component, message, monotonic timestamp) for machine consumers —
+ * CI collectors, `jq` over captured stderr. The SO_LOG_JSON
+ * environment variable ("1"/"true"/"yes"/"on", case-insensitive)
+ * selects Json on first use; an explicit setLogFormat() call wins.
+ */
+enum class LogFormat { Human, Json };
+
 namespace log_detail {
 
 /** Emit one formatted line to the log sink. */
@@ -31,9 +41,9 @@ void emit(LogLevel level, const std::string &msg);
                             const std::string &msg);
 
 /**
- * Re-read SO_LOG_LEVEL and apply it (normally done automatically on
- * first logging use). Exposed so tests can exercise the environment
- * hook after setenv().
+ * Re-read SO_LOG_LEVEL and SO_LOG_JSON and apply them (normally done
+ * automatically on first logging use). Exposed so tests can exercise
+ * the environment hooks after setenv().
  */
 void reapplyEnvLogLevel();
 
@@ -69,6 +79,28 @@ LogLevel logLevel();
 LogLevel parseLogLevel(const std::string &text,
                        LogLevel fallback = LogLevel::Info,
                        bool *ok = nullptr);
+
+/**
+ * Shape of lines reaching the sink; defaults to Human, overridden by
+ * SO_LOG_JSON on first use. An explicit call wins over the
+ * environment.
+ */
+void setLogFormat(LogFormat format);
+
+/** Current sink format. */
+LogFormat logFormat();
+
+/**
+ * Format one log line (without trailing newline) exactly as the sink
+ * would emit it: `[level] message` for Human,
+ * `{"ts_s":…,"level":"…","component":"…","message":"…"}` for Json
+ * (message JSON-escaped, @p ts_s the monotonic seconds since logging
+ * started). Pure — exposed so tests pin both formats without
+ * capturing stderr.
+ */
+std::string formatLogLine(LogLevel level, const std::string &component,
+                          const std::string &message, double ts_s,
+                          LogFormat format);
 
 /** Informative message a user should see but not worry about. */
 template <typename... Args>

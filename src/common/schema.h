@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Version tag shared by every JSON document this library emits.
+ *
+ * Profile documents, result/sweep/bench records, inspection bundles,
+ * and check verdicts all carry a top-level (or `meta`-nested)
+ * `schema_version` so consumers — `so-report`, the HTML explorer, CI
+ * scripts — can tell what they are reading. Readers treat a *newer*
+ * version as a warning, never an error: documents only gain fields, so
+ * an old reader still understands the subset it knows about.
+ */
+#ifndef SO_COMMON_SCHEMA_H
+#define SO_COMMON_SCHEMA_H
+
+#include <cstdint>
+
+namespace so {
+
+/**
+ * Current version of the JSON export schema. Bump when an emitted
+ * document changes shape in a way readers must know about (a renamed
+ * or re-typed field); adding fields does not require a bump.
+ */
+inline constexpr std::int64_t kSchemaVersion = 1;
+
+} // namespace so
+
+#endif // SO_COMMON_SCHEMA_H

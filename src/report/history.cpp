@@ -78,8 +78,9 @@ flattenNumericLeaves(const JsonValue &doc, const std::string &prefix,
     case JsonValue::Kind::Object:
         for (const auto &[key, member] : doc.members()) {
             // The MetricsRegistry snapshot is wall-clock noise by
-            // design: never part of the gated surface.
-            if (key == "metrics")
+            // design, and the meta subtree is provenance (git SHA,
+            // hostname, argv): neither is part of the gated surface.
+            if (key == "metrics" || key == "meta")
                 continue;
             flattenNumericLeaves(
                 member, prefix.empty() ? key : prefix + "." + key, out);

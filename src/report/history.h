@@ -12,7 +12,9 @@
  *   - anything else             — recorded in the verdict but ungated.
  * The `metrics` subtree of a record (the MetricsRegistry snapshot) is
  * skipped entirely: its histograms are wall-clock observations that
- * vary run to run by design.
+ * vary run to run by design. The `meta` subtree (schema version, git
+ * SHA, hostname, argv) is skipped for the same reason — provenance is
+ * not a comparable surface.
  *
  * The verdict is machine-readable JSON so CI can upload it as an
  * artifact and later gate on it; the check itself never exits — policy
@@ -41,7 +43,7 @@ int metricDirection(const std::string &path);
 /**
  * Append every numeric leaf of @p doc to @p out as
  * (dot-and-index path, value) pairs — e.g. "sizes[0].build_tasks_per_s"
- * — skipping any object member named "metrics".
+ * — skipping any object member named "metrics" or "meta".
  */
 void flattenNumericLeaves(const JsonValue &doc, const std::string &prefix,
                           std::vector<std::pair<std::string, double>> &out);

@@ -1,0 +1,1120 @@
+#include "report/html_assets.h"
+
+namespace so::report::assets {
+
+// Design notes. The palette is the validated brand-neutral default:
+// eight categorical slots (adjacent-pair CVD dE >= 8 in both modes),
+// a blue sequential ramp for the heatmap, blue<->red diverging for the
+// A/B view, and reserved status colors for verdicts. Phases wear
+// categorical slots in order of first appearance (never cycled — the
+// ninth phase folds into a neutral "other"); idle causes have their own
+// fixed mapping so the same cause reads identically in every section.
+// Marks are thin with 2px surface gaps; text always wears ink tokens,
+// never a series color. Dark mode is its own stepped palette, selected
+// via prefers-color-scheme, not an automatic flip.
+const char kExplorerCss[] = R"SOCSS(
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb;
+  --plane: #f9f9f7;
+  --ink: #0b0b0b;
+  --ink-2: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+  --series-5: #e87ba4;
+  --series-6: #008300;
+  --series-7: #4a3aa7;
+  --series-8: #e34948;
+  --series-other: #a5a39c;
+  --cause-dependency: #eda100;
+  --cause-contention: #e34948;
+  --cause-tail: #d6d5cd;
+  --busy: #9ec5f4;
+  --seq-lo: #cde2fb;
+  --seq-hi: #0d366b;
+  --div-neg: #2a78d6;
+  --div-pos: #e34948;
+  --status-good: #0ca30c;
+  --status-bad: #d03b3b;
+  --good-text: #006300;
+  --bad-text: #b02a2a;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19;
+    --plane: #0d0d0d;
+    --ink: #ffffff;
+    --ink-2: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --axis: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+    --series-5: #d55181;
+    --series-6: #008300;
+    --series-7: #9085e9;
+    --series-8: #e66767;
+    --series-other: #6b6a64;
+    --cause-dependency: #c98500;
+    --cause-contention: #e66767;
+    --cause-tail: #383835;
+    --busy: #1c5cab;
+    --seq-lo: #10324f;
+    --seq-hi: #9ec5f4;
+    --div-neg: #3987e5;
+    --div-pos: #e66767;
+    --good-text: #0ca30c;
+    --bad-text: #e66767;
+  }
+}
+* { box-sizing: border-box; }
+html { background: var(--plane); }
+body {
+  margin: 0 auto;
+  padding: 24px 28px 64px;
+  max-width: 1180px;
+  background: var(--plane);
+  color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+header { margin-bottom: 8px; }
+h1 { font-size: 21px; font-weight: 650; margin: 0 0 2px; }
+.so-generator { color: var(--muted); font-size: 12px; margin: 0; }
+nav.so-links { margin: 10px 0 0; display: flex; flex-wrap: wrap; gap: 8px; }
+nav.so-links a {
+  color: var(--series-1);
+  text-decoration: none;
+  border: 1px solid var(--border);
+  border-radius: 6px;
+  padding: 3px 10px;
+  background: var(--surface);
+  font-size: 13px;
+}
+nav.so-links a:hover { border-color: var(--series-1); }
+section.so-section {
+  background: var(--surface);
+  border: 1px solid var(--border);
+  border-radius: 10px;
+  padding: 16px 18px 18px;
+  margin: 16px 0;
+}
+section.so-section > h2 {
+  font-size: 15px; font-weight: 650; margin: 0 0 2px;
+}
+.so-sub { color: var(--ink-2); font-size: 12.5px; margin: 0 0 12px; }
+.so-note { color: var(--muted); font-size: 12px; margin: 8px 0 0; }
+.so-error { color: var(--bad-text); font-size: 13px; }
+
+/* chips & legends */
+.so-chips { display: flex; flex-wrap: wrap; gap: 6px 12px; margin-top: 10px; }
+.so-chip { display: inline-flex; align-items: center; gap: 6px;
+  color: var(--ink-2); font-size: 12px; }
+.so-chip i { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }
+.so-chip.line i { height: 3px; border-radius: 2px; width: 14px; }
+
+/* verdict / status chips: icon + label, never color alone */
+.so-badge { display: inline-block; border-radius: 999px; padding: 1px 9px;
+  font-size: 11.5px; font-weight: 600; border: 1px solid; }
+.so-badge.good { color: var(--good-text); border-color: var(--status-good); }
+.so-badge.bad { color: var(--bad-text); border-color: var(--status-bad); }
+
+/* Gantt */
+.so-gantt-scroll { overflow-x: auto; border: 1px solid var(--grid);
+  border-radius: 8px; padding: 10px 12px 12px; }
+.so-gantt { position: relative; min-width: 100%; }
+.so-axis { position: relative; height: 18px; color: var(--muted);
+  font-size: 11px; font-variant-numeric: tabular-nums; }
+.so-axis span { position: absolute; transform: translateX(-50%); white-space: nowrap; }
+.so-res { margin-top: 6px; }
+.so-res-head { display: flex; justify-content: space-between; align-items: baseline;
+  font-size: 12px; color: var(--ink-2); padding: 2px 0; }
+.so-res-name { font-weight: 600; color: var(--ink); }
+.so-res-util { font-variant-numeric: tabular-nums; color: var(--muted); }
+.so-lanes { position: relative; background:
+  repeating-linear-gradient(to bottom, transparent 0, transparent 21px,
+    var(--grid) 21px, var(--grid) 22px); }
+.so-task { position: absolute; height: 18px; margin-top: 2px;
+  border-radius: 0 3px 3px 0; min-width: 2px; cursor: default; }
+.so-task:hover { outline: 2px solid var(--ink); outline-offset: 0; z-index: 3; }
+.so-task.crit { box-shadow: inset 0 0 0 1.5px var(--ink); }
+.so-idle-strip { position: relative; height: 7px; margin-top: 2px;
+  background: transparent; border-radius: 2px; overflow: hidden; }
+.so-gap { position: absolute; top: 0; bottom: 0; min-width: 1px; }
+.so-gap.dependency-wait { background: var(--cause-dependency); }
+.so-gap.resource-contention { background: var(--cause-contention); }
+.so-gap.tail { background: var(--cause-tail); }
+.so-overlay { position: absolute; inset: 0; pointer-events: none; }
+.so-zoom { display: flex; align-items: center; gap: 8px; margin: 0 0 8px;
+  color: var(--muted); font-size: 12px; }
+.so-zoom input { width: 160px; accent-color: var(--series-1); }
+
+/* stacked bars & strips */
+.so-bar { display: flex; height: 20px; border-radius: 4px; overflow: hidden; }
+.so-seg { height: 100%; margin-right: 2px; position: relative; min-width: 1px; }
+.so-seg:last-child { margin-right: 0; }
+.so-seg span { position: absolute; inset: 0; display: flex; align-items: center;
+  justify-content: center; font-size: 11px; overflow: hidden; white-space: nowrap; }
+.so-striprow { display: grid; grid-template-columns: 130px 1fr 90px;
+  gap: 10px; align-items: center; margin-top: 6px; }
+.so-striprow .name { font-size: 12.5px; color: var(--ink); text-align: right;
+  overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+.so-striprow .val { font-size: 12px; color: var(--muted);
+  font-variant-numeric: tabular-nums; }
+.so-strip { display: flex; height: 14px; border-radius: 3px; }
+.so-strip i { height: 100%; margin-right: 2px; min-width: 0; }
+.so-strip i:last-child { margin-right: 0; }
+
+/* tables */
+table.so-table { border-collapse: collapse; font-size: 12.5px; width: 100%;
+  margin-top: 8px; }
+table.so-table th { text-align: left; color: var(--muted); font-weight: 600;
+  border-bottom: 1px solid var(--axis); padding: 4px 10px 4px 0; }
+table.so-table td { border-bottom: 1px solid var(--grid);
+  padding: 3px 10px 3px 0; font-variant-numeric: tabular-nums; }
+table.so-table td.num { text-align: right; }
+table.so-table th.num { text-align: right; }
+details.so-details { margin-top: 10px; }
+details.so-details summary { cursor: pointer; color: var(--ink-2);
+  font-size: 12.5px; }
+
+/* heatmap */
+.so-heat { overflow-x: auto; }
+.so-heat table { border-collapse: separate; border-spacing: 2px;
+  font-size: 12px; margin-top: 6px; }
+.so-heat th { color: var(--ink-2); font-weight: 600; padding: 3px 6px;
+  text-align: left; white-space: nowrap; }
+.so-heat th.col { writing-mode: initial; font-weight: 500;
+  color: var(--muted); }
+.so-heat td.so-cell { min-width: 64px; padding: 5px 8px; text-align: right;
+  border-radius: 4px; cursor: pointer;
+  font-variant-numeric: tabular-nums; }
+.so-heat td.so-cell:hover { outline: 2px solid var(--ink); }
+.so-heat td.so-cell.oom { background: transparent;
+  border: 1px dashed var(--axis); color: var(--muted); cursor: default; }
+.so-scale { display: flex; align-items: center; gap: 8px; margin-top: 8px;
+  color: var(--muted); font-size: 11.5px; }
+.so-scale .ramp { width: 140px; height: 10px; border-radius: 3px;
+  background: linear-gradient(to right, var(--seq-lo), var(--seq-hi)); }
+.so-drill { margin-top: 12px; border-top: 1px solid var(--grid);
+  padding-top: 10px; }
+
+/* sparkline cards */
+.so-cards { display: grid; grid-template-columns:
+  repeat(auto-fill, minmax(230px, 1fr)); gap: 10px; margin-top: 10px; }
+.so-card { border: 1px solid var(--grid); border-radius: 8px;
+  padding: 10px 12px; }
+.so-card .k { color: var(--ink-2); font-size: 11.5px; overflow: hidden;
+  text-overflow: ellipsis; white-space: nowrap; }
+.so-card .v { font-size: 19px; font-weight: 650; margin: 2px 0 4px; }
+.so-card .d { font-size: 11.5px; color: var(--muted); }
+.so-card .d.up { color: var(--good-text); }
+.so-card .d.down { color: var(--bad-text); }
+.so-card canvas { display: block; width: 100%; height: 44px; margin-top: 6px; }
+
+/* diff view */
+.so-diff-head { display: flex; gap: 24px; align-items: baseline;
+  flex-wrap: wrap; margin-bottom: 10px; }
+.so-diff-head .side { font-size: 13px; color: var(--ink-2); }
+.so-diff-head .side b { color: var(--ink); }
+.so-diff-head .delta { font-size: 26px; font-weight: 650;
+  font-variant-numeric: initial; }
+.so-diffrow { display: grid; grid-template-columns: 150px 1fr 110px;
+  gap: 10px; align-items: center; margin-top: 5px; font-size: 12.5px; }
+.so-diffrow .name { text-align: right; overflow: hidden;
+  text-overflow: ellipsis; white-space: nowrap; }
+.so-diffrow .val { color: var(--muted); font-variant-numeric: tabular-nums; }
+.so-diffbar { position: relative; height: 14px; }
+.so-diffbar .mid { position: absolute; left: 50%; top: -2px; bottom: -2px;
+  width: 1px; background: var(--axis); }
+.so-diffbar i { position: absolute; top: 0; bottom: 0; border-radius: 3px;
+  min-width: 1px; }
+.so-diffbar i.neg { background: var(--div-neg); right: 50%; }
+.so-diffbar i.pos { background: var(--div-pos); left: 50%; }
+.so-tag { color: var(--muted); font-size: 11px; border: 1px solid var(--grid);
+  border-radius: 4px; padding: 0 5px; margin-left: 6px; }
+
+/* tooltip */
+.so-tip { position: fixed; z-index: 10; max-width: 360px;
+  background: var(--surface); color: var(--ink);
+  border: 1px solid var(--border); border-radius: 8px;
+  box-shadow: 0 4px 16px rgba(0, 0, 0, 0.18);
+  padding: 8px 11px; font-size: 12px; pointer-events: none; }
+.so-tip .t { font-weight: 650; font-size: 12.5px; margin-bottom: 3px;
+  overflow-wrap: anywhere; }
+.so-tip .r { display: flex; justify-content: space-between; gap: 16px;
+  color: var(--ink-2); }
+.so-tip .r b { color: var(--ink); font-weight: 600;
+  font-variant-numeric: tabular-nums; }
+)SOCSS";
+
+const char kExplorerJs[] = R"SOJS(
+(function () {
+  'use strict';
+
+  var DATA = JSON.parse(document.getElementById('so-data').textContent);
+  var app = document.getElementById('app');
+
+  // ------------------------------------------------------- tiny helpers
+  function el(tag, cls, text) {
+    var e = document.createElement(tag);
+    if (cls) e.className = cls;
+    if (text !== undefined && text !== null) e.textContent = text;
+    return e;
+  }
+  function cssVar(name) {
+    return getComputedStyle(document.documentElement)
+        .getPropertyValue(name).trim();
+  }
+  function fmtS(s) {
+    if (s === undefined || s === null || !isFinite(s)) return '-';
+    var a = Math.abs(s);
+    if (a === 0) return '0 s';
+    if (a < 1e-3) return (s * 1e6).toPrecision(3) + ' µs';
+    if (a < 1) return (s * 1e3).toPrecision(3) + ' ms';
+    return s.toPrecision(4) + ' s';
+  }
+  function fmtSigned(s) { return (s > 0 ? '+' : '') + fmtS(s); }
+  function fmtNum(x) {
+    if (x === undefined || x === null || !isFinite(x)) return '-';
+    if (x !== 0 && (Math.abs(x) >= 1e6 || Math.abs(x) < 1e-4))
+      return x.toExponential(3);
+    var r = Math.round(x * 10000) / 10000;
+    return String(r);
+  }
+  function section(title, sub) {
+    var s = el('section', 'so-section');
+    s.appendChild(el('h2', null, title));
+    if (sub) s.appendChild(el('p', 'so-sub', sub));
+    app.appendChild(s);
+    return s;
+  }
+
+  // Phase identity: categorical slots in order of first appearance,
+  // shared across every section so "fwd" is the same color everywhere.
+  // Never cycled: phases past the 8 slots fold into the neutral swatch.
+  var phaseSlot = {};
+  var phaseCount = 0;
+  function phaseColor(phase) {
+    if (!(phase in phaseSlot))
+      phaseSlot[phase] = phaseCount < 8 ? ++phaseCount : 0;
+    var slot = phaseSlot[phase];
+    return slot === 0 ? cssVar('--series-other')
+                      : cssVar('--series-' + slot);
+  }
+  var CAUSES = [
+    ['dependency-wait', '--cause-dependency', 'waiting on a dependency'],
+    ['resource-contention', '--cause-contention', 'dependency queued elsewhere'],
+    ['tail', '--cause-tail', 'no work left']
+  ];
+
+  // One tooltip for the whole page; marks are their own hit targets.
+  var tip = el('div', 'so-tip');
+  tip.hidden = true;
+  document.body.appendChild(tip);
+  function tipShow(evt, title, rows) {
+    tip.textContent = '';
+    if (title) tip.appendChild(el('div', 't', title));
+    (rows || []).forEach(function (row) {
+      var r = el('div', 'r');
+      r.appendChild(el('span', null, row[0]));
+      r.appendChild(el('b', null, row[1]));
+      tip.appendChild(r);
+    });
+    tip.hidden = false;
+    tipMove(evt);
+  }
+  function tipMove(evt) {
+    if (tip.hidden) return;
+    var pad = 14;
+    var w = tip.offsetWidth, h = tip.offsetHeight;
+    var x = evt.clientX + pad, y = evt.clientY + pad;
+    if (x + w > innerWidth - 8) x = evt.clientX - w - pad;
+    if (y + h > innerHeight - 8) y = evt.clientY - h - pad;
+    tip.style.left = Math.max(4, x) + 'px';
+    tip.style.top = Math.max(4, y) + 'px';
+  }
+  function tipHide() { tip.hidden = true; }
+  function hover(node, make) {
+    node.addEventListener('pointerenter', function (evt) {
+      var c = make();
+      tipShow(evt, c[0], c[1]);
+    });
+    node.addEventListener('pointermove', tipMove);
+    node.addEventListener('pointerleave', tipHide);
+  }
+
+  function phaseLegend(host, phases) {
+    var chips = el('div', 'so-chips');
+    phases.forEach(function (p) {
+      var chip = el('span', 'so-chip');
+      var sw = el('i');
+      sw.style.background = phaseColor(p[0]);
+      chip.appendChild(sw);
+      chip.appendChild(document.createTextNode(
+          p[1] === undefined ? p[0] : p[0] + ' · ' + fmtS(p[1])));
+      chips.appendChild(chip);
+    });
+    host.appendChild(chips);
+  }
+  function causeLegend(host) {
+    var chips = el('div', 'so-chips');
+    CAUSES.forEach(function (c) {
+      var chip = el('span', 'so-chip');
+      var sw = el('i');
+      sw.style.background = cssVar(c[1]);
+      chip.appendChild(sw);
+      chip.appendChild(document.createTextNode('idle: ' + c[0]));
+      chips.appendChild(chip);
+    });
+    host.appendChild(chips);
+  }
+
+  function dataTable(host, summary, header, rows) {
+    var details = el('details', 'so-details');
+    details.appendChild(el('summary', null, summary));
+    var table = el('table', 'so-table');
+    var tr = el('tr');
+    header.forEach(function (h) {
+      tr.appendChild(el('th', typeof rows[0] !== 'undefined' ? null : null, h));
+    });
+    table.appendChild(tr);
+    rows.forEach(function (row) {
+      var r = el('tr');
+      row.forEach(function (cell, i) {
+        r.appendChild(el('td', i > 0 ? 'num' : null, String(cell)));
+      });
+      table.appendChild(r);
+    });
+    details.appendChild(table);
+    host.appendChild(details);
+  }
+
+  // ------------------------------------------------------------- Gantt
+  function renderGantt(bundle) {
+    var label = bundle.label || 'schedule';
+    var sec = section('Schedule · ' + label,
+        'Interactive Gantt: one lane per resource slot, tasks colored ' +
+        'by phase, critical path outlined in ink, idle strip colored ' +
+        'by cause. Hover any task for its card.');
+    var tasks = bundle.tasks || [];
+    var makespan = bundle.makespan_s || 0;
+    tasks.forEach(function (t) { makespan = Math.max(makespan, t.end_s); });
+    if (!tasks.length || makespan <= 0) {
+      sec.appendChild(el('p', 'so-error', 'empty schedule'));
+      return;
+    }
+    var byId = {};
+    tasks.forEach(function (t) { byId[t.id] = t; });
+    var depsOf = {};
+    (bundle.edges || []).forEach(function (e) {
+      (depsOf[e[1]] = depsOf[e[1]] || []).push(e[0]);
+    });
+
+    // Zoom: widens the inner surface inside a scroll container.
+    var zoom = el('div', 'so-zoom');
+    zoom.appendChild(el('span', null, 'zoom'));
+    var range = document.createElement('input');
+    range.type = 'range';
+    range.min = '1'; range.max = '12'; range.step = '0.5';
+    range.value = '1';
+    zoom.appendChild(range);
+    var zv = el('span', null, '1×');
+    zoom.appendChild(zv);
+    sec.appendChild(zoom);
+
+    var scroll = el('div', 'so-gantt-scroll');
+    var gantt = el('div', 'so-gantt');
+    scroll.appendChild(gantt);
+    sec.appendChild(scroll);
+
+    // Axis ticks on clean fractions of the makespan.
+    var axis = el('div', 'so-axis');
+    for (var i = 0; i <= 8; ++i) {
+      var t = el('span', null, fmtS(makespan * i / 8));
+      t.style.left = (100 * i / 8) + '%';
+      axis.appendChild(t);
+    }
+    gantt.appendChild(axis);
+
+    var resources = bundle.resources || [];
+    var laneOf = {};
+    tasks.forEach(function (t) {
+      laneOf[t.resource] = Math.max(laneOf[t.resource] || 0, t.slot + 1);
+    });
+    var LANE = 22;
+    var taskEls = {};
+    var phaseSeconds = {};
+
+    var count = resources.length;
+    tasks.forEach(function (t) { count = Math.max(count, t.resource + 1); });
+    for (var r = 0; r < count; ++r) {
+      var meta = resources[r] || {};
+      var block = el('div', 'so-res');
+      var head = el('div', 'so-res-head');
+      head.appendChild(el('span', 'so-res-name',
+          meta.resource || ('resource ' + r)));
+      if (meta.busy_s !== undefined)
+        head.appendChild(el('span', 'so-res-util',
+            (100 * meta.busy_s / makespan).toFixed(1) + '% busy'));
+      block.appendChild(head);
+
+      var lanes = el('div', 'so-lanes');
+      lanes.style.height = ((laneOf[r] || 1) * LANE) + 'px';
+      block.appendChild(lanes);
+
+      var strip = el('div', 'so-idle-strip');
+      (meta.gaps || []).forEach(function (gap) {
+        var g = el('i', 'so-gap ' + gap.cause);
+        g.style.left = (100 * gap.begin_s / makespan) + '%';
+        g.style.width =
+            (100 * (gap.end_s - gap.begin_s) / makespan) + '%';
+        hover(g, function () {
+          var next = gap.next !== undefined && byId[gap.next]
+              ? byId[gap.next].label : '(end of iteration)';
+          return ['idle · ' + gap.cause, [
+            ['from', fmtS(gap.begin_s)],
+            ['to', fmtS(gap.end_s)],
+            ['length', fmtS(gap.end_s - gap.begin_s)],
+            ['unblocked by', next]
+          ]];
+        });
+        strip.appendChild(g);
+      });
+      block.appendChild(strip);
+      gantt.appendChild(block);
+
+      tasks.forEach(function (t) {
+        if (t.resource !== r) return;
+        var div = el('div', 'so-task' + (t.critical ? ' crit' : ''));
+        div.style.left = (100 * t.start_s / makespan) + '%';
+        div.style.width =
+            (100 * (t.end_s - t.start_s) / makespan) + '%';
+        div.style.top = (t.slot * LANE) + 'px';
+        div.style.background = phaseColor(t.phase);
+        phaseSeconds[t.phase] =
+            (phaseSeconds[t.phase] || 0) + (t.end_s - t.start_s);
+        hover(div, function () {
+          var deps = (depsOf[t.id] || []).map(function (d) {
+            return byId[d] ? byId[d].label : ('#' + d);
+          });
+          var rows = [
+            ['phase', t.phase],
+            ['resource', (meta.resource || ('resource ' + r)) +
+                ' / slot ' + t.slot],
+            ['start', fmtS(t.start_s)],
+            ['end', fmtS(t.end_s)],
+            ['duration', fmtS(t.end_s - t.start_s)],
+            ['slack', t.critical ? 'critical path' : fmtS(t.slack_s)]
+          ];
+          if (deps.length)
+            rows.push(['after', deps.slice(0, 6).join(', ') +
+                (deps.length > 6
+                     ? ' (+' + (deps.length - 6) + ')' : '')]);
+          return [t.label, rows];
+        });
+        taskEls[t.id] = div;
+        lanes.appendChild(div);
+      });
+    }
+
+    // Critical-path overlay: a hairline joining the chain's task
+    // centers, drawn after layout and on every resize/zoom.
+    var overlay = document.createElement('canvas');
+    overlay.className = 'so-overlay';
+    gantt.appendChild(overlay);
+    function drawOverlay() {
+      var rect = gantt.getBoundingClientRect();
+      if (!rect.width) return;
+      var dpr = devicePixelRatio || 1;
+      overlay.width = Math.round(rect.width * dpr);
+      overlay.height = Math.round(rect.height * dpr);
+      var ctx = overlay.getContext('2d');
+      ctx.scale(dpr, dpr);
+      ctx.clearRect(0, 0, rect.width, rect.height);
+      ctx.strokeStyle = cssVar('--ink');
+      ctx.globalAlpha = 0.55;
+      ctx.lineWidth = 1.5;
+      ctx.setLineDash([]);
+      ctx.beginPath();
+      var first = true;
+      (bundle.critical_path || []).forEach(function (id) {
+        var node = taskEls[id];
+        if (!node) return;
+        var b = node.getBoundingClientRect();
+        var x = b.left - rect.left + b.width / 2;
+        var y = b.top - rect.top + b.height / 2;
+        if (first) { ctx.moveTo(x, y); first = false; }
+        else ctx.lineTo(x, y);
+      });
+      ctx.stroke();
+    }
+    range.addEventListener('input', function () {
+      gantt.style.width = (100 * Number(range.value)) + '%';
+      zv.textContent = Number(range.value) + '×';
+      drawOverlay();
+    });
+    addEventListener('resize', drawOverlay);
+    requestAnimationFrame(drawOverlay);
+
+    var phases = Object.keys(phaseSeconds).map(function (p) {
+      return [p, phaseSeconds[p]];
+    }).sort(function (a, b) { return b[1] - a[1]; });
+    phaseLegend(sec, phases);
+    causeLegend(sec);
+    sec.appendChild(el('p', 'so-note',
+        'makespan ' + fmtS(makespan) + ' · ' + tasks.length +
+        ' tasks · ' + (bundle.edges || []).length + ' edges · ' +
+        (bundle.critical_path || []).length +
+        ' tasks on the critical path'));
+    dataTable(sec, 'task table', ['task', 'phase', 'resource', 'slot',
+        'start', 'end', 'duration', 'slack', 'critical'],
+        tasks.map(function (t) {
+          return [t.label, t.phase,
+              (resources[t.resource] || {}).resource || t.resource,
+              t.slot, fmtS(t.start_s), fmtS(t.end_s),
+              fmtS(t.end_s - t.start_s),
+              fmtS(t.slack_s), t.critical ? 'yes' : ''];
+        }));
+  }
+
+  // --------------------------------------------------- profile section
+  function stackedBar(host, parts, total, colorOf) {
+    // parts: [name, seconds]; 2px surface gaps between segments.
+    var bar = el('div', 'so-bar');
+    parts.forEach(function (p) {
+      if (p[1] <= 0) return;
+      var seg = el('div', 'so-seg');
+      seg.style.background = colorOf(p[0]);
+      seg.style.flexGrow = String(p[1]);
+      hover(seg, function () {
+        return [p[0], [['seconds', fmtS(p[1])],
+            ['share', total > 0
+                 ? (100 * p[1] / total).toFixed(1) + '%' : '-']]];
+      });
+      bar.appendChild(seg);
+    });
+    host.appendChild(bar);
+  }
+
+  function renderProfile(label, doc) {
+    var sec = section('Phase breakdown · ' + label,
+        'Critical-path seconds per phase (the chain that determines ' +
+        'the makespan) and each resource’s busy/idle split by ' +
+        'cause — the Fig. 4 analogue.');
+    var cp = doc.critical_path || {};
+    var phases = (cp.phases || []).map(function (p) {
+      return [p.phase, p.seconds];
+    });
+    var total = cp.length_s || 0;
+    if (phases.length) {
+      stackedBar(sec, phases, total, phaseColor);
+      phaseLegend(sec, phases);
+    }
+    var resources = doc.resources || [];
+    if (resources.length) {
+      var strips = el('div');
+      resources.forEach(function (r) {
+        var row = el('div', 'so-striprow');
+        row.appendChild(el('span', 'name', r.resource));
+        var strip = el('div', 'so-strip');
+        var makespan = doc.makespan_s ||
+            (r.busy_s + r.idle_s) || 1;
+        [['busy', r.busy_s, '--busy'],
+         ['idle: dependency-wait', r.idle_dependency_s,
+          '--cause-dependency'],
+         ['idle: resource-contention', r.idle_contention_s,
+          '--cause-contention'],
+         ['idle: tail', r.idle_tail_s, '--cause-tail']]
+            .forEach(function (part) {
+          if (!(part[1] > 0)) return;
+          var seg = el('i');
+          seg.style.background = cssVar(part[2]);
+          seg.style.flexGrow = String(part[1]);
+          hover(seg, function () {
+            return [r.resource + ' · ' + part[0],
+                [['seconds', fmtS(part[1])],
+                 ['share of makespan', makespan > 0
+                      ? (100 * part[1] / makespan).toFixed(1) + '%'
+                      : '-']]];
+          });
+          strip.appendChild(seg);
+        });
+        row.appendChild(strip);
+        row.appendChild(el('span', 'val', makespan > 0
+            ? (100 * r.busy_s / makespan).toFixed(1) + '% busy' : '-'));
+        strips.appendChild(row);
+      });
+      sec.appendChild(strips);
+      var chips = el('div', 'so-chips');
+      var busyChip = el('span', 'so-chip');
+      var sw = el('i');
+      sw.style.background = cssVar('--busy');
+      busyChip.appendChild(sw);
+      busyChip.appendChild(document.createTextNode('busy'));
+      chips.appendChild(busyChip);
+      sec.appendChild(chips);
+      causeLegend(sec);
+    }
+    if (doc.zero_slack_tasks && doc.zero_slack_tasks.length)
+      dataTable(sec, 'longest zero-slack tasks',
+          ['task', 'resource', 'duration'],
+          doc.zero_slack_tasks.map(function (t) {
+            return [t.label, t.resource, fmtS(t.duration_s)];
+          }));
+  }
+
+  // ------------------------------------------------- records & heatmap
+  function flatten(doc, prefix, out) {
+    if (typeof doc === 'number') { out.push([prefix, doc]); return; }
+    if (Array.isArray(doc)) {
+      doc.forEach(function (item, i) {
+        flatten(item, prefix + '[' + i + ']', out);
+      });
+      return;
+    }
+    if (doc && typeof doc === 'object') {
+      Object.keys(doc).forEach(function (key) {
+        // Mirror the regression guard: wall-clock metrics snapshots
+        // and the meta subtree are not comparable surfaces.
+        if (key === 'metrics' || key === 'meta') return;
+        flatten(doc[key], prefix ? prefix + '.' + key : key, out);
+      });
+    }
+  }
+
+  function mixColor(a, b, t) {
+    function hex(c) {
+      var m = c.replace('#', '');
+      return [parseInt(m.substr(0, 2), 16), parseInt(m.substr(2, 2), 16),
+              parseInt(m.substr(4, 2), 16)];
+    }
+    var x = hex(a), y = hex(b);
+    var rgb = x.map(function (v, i) {
+      return Math.round(v + (y[i] - v) * t);
+    });
+    return 'rgb(' + rgb.join(',') + ')';
+  }
+  function luminance(rgb) {
+    var m = /rgb\((\d+),(\d+),(\d+)\)/.exec(rgb);
+    return m ? (0.2126 * m[1] + 0.7152 * m[2] + 0.0722 * m[3]) / 255
+             : 0.5;
+  }
+
+  function cellColumnKey(cell) {
+    if (cell.tag) return cell.tag;
+    var s = cell.setup || {};
+    return (s.model || '?') + ' · b' + (s.global_batch || '?') +
+        ' · seq ' + (s.seq || '?') + ' · ×' +
+        (s.superchips || '?');
+  }
+
+  function renderCellsRecord(label, doc) {
+    var cells = doc.cells || [];
+    var sec = section('Sweep · ' + label,
+        'Effective TFLOPS per GPU over the system × setup grid ' +
+        '(sequential ramp, darker = faster). Click a cell for its ' +
+        'full record.');
+    var systems = [], cols = [], grid = {};
+    cells.forEach(function (cell) {
+      var sys = cell.system || '?';
+      var col = cellColumnKey(cell);
+      if (systems.indexOf(sys) < 0) systems.push(sys);
+      if (cols.indexOf(col) < 0) cols.push(col);
+      grid[sys + '\u001f' + col] = cell;
+    });
+    var lo = Infinity, hi = -Infinity;
+    cells.forEach(function (cell) {
+      var res = cell.result || {};
+      if (res.feasible && isFinite(res.tflops_per_gpu)) {
+        lo = Math.min(lo, res.tflops_per_gpu);
+        hi = Math.max(hi, res.tflops_per_gpu);
+      }
+    });
+    var heat = el('div', 'so-heat');
+    var table = el('table');
+    var head = el('tr');
+    head.appendChild(el('th'));
+    cols.forEach(function (c) {
+      head.appendChild(el('th', 'col', c));
+    });
+    table.appendChild(head);
+    var drill = el('div', 'so-drill');
+    drill.hidden = true;
+    systems.forEach(function (sys) {
+      var row = el('tr');
+      row.appendChild(el('th', null, sys));
+      cols.forEach(function (col) {
+        var cell = grid[sys + '\u001f' + col];
+        var td;
+        if (!cell || !cell.result) {
+          td = el('td', 'so-cell oom', '·');
+        } else if (!cell.result.feasible) {
+          td = el('td', 'so-cell oom', 'OOM');
+          hover(td, function () {
+            return [sys + ' · ' + col,
+                [['status', cell.result.infeasible_reason ||
+                     'infeasible']]];
+          });
+        } else {
+          var v = cell.result.tflops_per_gpu;
+          var t = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+          var bg = mixColor(cssVar('--seq-lo'), cssVar('--seq-hi'), t);
+          td = el('td', 'so-cell', v.toFixed(1));
+          td.style.background = bg;
+          // Ink picked by the fill's own luminance so the value
+          // always clears contrast inside the cell.
+          td.style.color = luminance(bg) > 0.45 ? '#0b0b0b' : '#ffffff';
+          hover(td, function () {
+            return [sys + ' · ' + col, [
+              ['TFLOPS/GPU', v.toFixed(2)],
+              ['iter time', fmtS(cell.result.iter_time_s)],
+              ['GPU util', (100 * (cell.result.gpu_utilization || 0))
+                   .toFixed(1) + '%']
+            ]];
+          });
+          td.addEventListener('click', function () {
+            renderDrill(drill, sys + ' · ' + col, cell);
+          });
+        }
+        row.appendChild(td);
+      });
+      table.appendChild(row);
+    });
+    heat.appendChild(table);
+    sec.appendChild(heat);
+    if (isFinite(lo)) {
+      var scale = el('div', 'so-scale');
+      scale.appendChild(el('span', null, lo.toFixed(1)));
+      scale.appendChild(el('span', 'ramp'));
+      scale.appendChild(el('span', null, hi.toFixed(1)));
+      scale.appendChild(el('span', null, 'TFLOPS per GPU'));
+      sec.appendChild(scale);
+    }
+    sec.appendChild(drill);
+    dataTable(sec, 'cell table',
+        ['system', 'setup', 'TFLOPS/GPU', 'iter time', 'GPU util'],
+        cells.map(function (cell) {
+          var res = cell.result || {};
+          return [cell.system || '?', cellColumnKey(cell),
+              res.feasible ? res.tflops_per_gpu.toFixed(2) : 'OOM',
+              res.feasible ? fmtS(res.iter_time_s) : '-',
+              res.feasible
+                  ? (100 * (res.gpu_utilization || 0)).toFixed(1) + '%'
+                  : '-'];
+        }));
+  }
+
+  function renderDrill(drill, title, cell) {
+    drill.hidden = false;
+    drill.textContent = '';
+    drill.appendChild(el('h2', null, title));
+    var res = cell.result || {};
+    var flat = [];
+    flatten(res, '', flat);
+    var table = el('table', 'so-table');
+    var head = el('tr');
+    head.appendChild(el('th', null, 'metric'));
+    head.appendChild(el('th', 'num', 'value'));
+    table.appendChild(head);
+    flat.slice(0, 48).forEach(function (kv) {
+      var row = el('tr');
+      row.appendChild(el('td', null, kv[0]));
+      row.appendChild(el('td', 'num', fmtNum(kv[1])));
+      table.appendChild(row);
+    });
+    drill.appendChild(table);
+    var profile = res.profile || {};
+    if (profile.critical_phases && profile.critical_phases.length) {
+      drill.appendChild(el('p', 'so-note', 'critical-path phases'));
+      stackedBar(drill, profile.critical_phases.map(function (p) {
+        return [p.phase, p.seconds];
+      }), profile.critical_length_s || 0, phaseColor);
+    }
+  }
+
+  function renderGenericRecord(label, doc) {
+    var flat = [];
+    flatten(doc, '', flat);
+    if (!flat.length) return;
+    var sec = section('Record · ' + label,
+        'Flattened numeric surface of the record — the same ' +
+        'leaves the regression guard compares.');
+    var table = el('table', 'so-table');
+    var head = el('tr');
+    head.appendChild(el('th', null, 'metric'));
+    head.appendChild(el('th', 'num', 'value'));
+    table.appendChild(head);
+    var shown = flat.slice(0, 80);
+    shown.forEach(function (kv) {
+      var row = el('tr');
+      row.appendChild(el('td', null, kv[0]));
+      row.appendChild(el('td', 'num', fmtNum(kv[1])));
+      table.appendChild(row);
+    });
+    sec.appendChild(table);
+    if (flat.length > shown.length)
+      sec.appendChild(el('p', 'so-note',
+          (flat.length - shown.length) + ' more leaves omitted'));
+  }
+
+  // --------------------------------------------------- bench history
+  function sparkline(canvas, series) {
+    var dpr = devicePixelRatio || 1;
+    var w = canvas.clientWidth || 220, h = 44;
+    canvas.width = Math.round(w * dpr);
+    canvas.height = Math.round(h * dpr);
+    var ctx = canvas.getContext('2d');
+    ctx.scale(dpr, dpr);
+    var xs = series.filter(function (v) { return v !== null; });
+    if (!xs.length) return;
+    var lo = Math.min.apply(null, xs), hi = Math.max.apply(null, xs);
+    if (hi === lo) { hi += 1; lo -= 1; }
+    var pad = 6;
+    function x(i) {
+      return series.length > 1
+          ? pad + (w - 2 * pad) * i / (series.length - 1) : w / 2;
+    }
+    function y(v) {
+      return h - pad - (h - 2 * pad) * (v - lo) / (hi - lo);
+    }
+    ctx.strokeStyle = cssVar('--series-1');
+    ctx.lineWidth = 2;
+    ctx.lineJoin = 'round';
+    ctx.lineCap = 'round';
+    ctx.beginPath();
+    var started = false;
+    series.forEach(function (v, i) {
+      if (v === null) return;
+      if (!started) { ctx.moveTo(x(i), y(v)); started = true; }
+      else ctx.lineTo(x(i), y(v));
+    });
+    ctx.stroke();
+    // End marker with a surface ring so it reads over the line.
+    var last = series.length - 1;
+    while (last >= 0 && series[last] === null) --last;
+    if (last >= 0) {
+      ctx.fillStyle = cssVar('--surface');
+      ctx.beginPath();
+      ctx.arc(x(last), y(series[last]), 6, 0, 2 * Math.PI);
+      ctx.fill();
+      ctx.fillStyle = cssVar('--series-1');
+      ctx.beginPath();
+      ctx.arc(x(last), y(series[last]), 4, 0, 2 * Math.PI);
+      ctx.fill();
+    }
+  }
+
+  function gatedDirection(path) {
+    if (/_per_s$/.test(path)) return 1;
+    if (/(_s|_s_mean|_ms)$/.test(path)) return -1;
+    return 0;
+  }
+
+  function renderHistory(history, verdict) {
+    if (!history.length) return;
+    var sec = section('Bench history',
+        history.length + ' record(s) from BENCH_history.jsonl — ' +
+        'one sparkline per gated metric, latest value leading.' +
+        (verdict ? ' Badges carry the regression-guard verdict for ' +
+         'the freshest record.' : ''));
+    if (verdict) {
+      var head = el('p', 'so-sub');
+      var badge = el('span',
+          'so-badge ' + (verdict.pass ? 'good' : 'bad'),
+          (verdict.pass ? '✓ pass' : '✗ regressed'));
+      head.appendChild(badge);
+      head.appendChild(document.createTextNode(
+          ' ' + (verdict.gated || 0) + ' gated metric(s), tolerance ±' +
+          (100 * (verdict.tolerance || 0)).toFixed(0) + '%' +
+          (verdict.pass ? ''
+              : ', regressed: ' +
+                  (verdict.regressions || []).join(', '))));
+      sec.appendChild(head);
+    }
+    var flats = history.map(function (rec) {
+      var out = [];
+      flatten(rec, '', out);
+      var map = {};
+      out.forEach(function (kv) { map[kv[0]] = kv[1]; });
+      return map;
+    });
+    var lastFlat = flats[flats.length - 1];
+    var paths = Object.keys(lastFlat).filter(function (p) {
+      return gatedDirection(p) !== 0;
+    });
+    var verdictByPath = {};
+    ((verdict && verdict.metrics) || []).forEach(function (m) {
+      verdictByPath[m.path] = m;
+    });
+    var cards = el('div', 'so-cards');
+    paths.slice(0, 36).forEach(function (path) {
+      var card = el('div', 'so-card');
+      card.appendChild(el('div', 'k', path));
+      card.appendChild(el('div', 'v', fmtNum(lastFlat[path])));
+      var delta = el('div', 'd');
+      var m = verdictByPath[path];
+      if (m && !m.missing) {
+        var dir = gatedDirection(path);
+        var good = dir * m.rel_change >= 0;
+        delta.className = 'd ' + (m.regressed ? 'down'
+            : good ? 'up' : '');
+        delta.textContent =
+            (m.rel_change >= 0 ? '+' : '') +
+            (100 * m.rel_change).toFixed(1) + '% vs baseline' +
+            (m.regressed ? ' — REGRESSED' : '');
+      } else if (flats.length > 1) {
+        var prev = flats[flats.length - 2][path];
+        if (prev !== undefined && prev !== 0) {
+          var rel = (lastFlat[path] - prev) / Math.abs(prev);
+          delta.textContent = (rel >= 0 ? '+' : '') +
+              (100 * rel).toFixed(1) + '% vs previous record';
+        }
+      }
+      card.appendChild(delta);
+      var canvas = document.createElement('canvas');
+      card.appendChild(canvas);
+      hover(card, function () {
+        return [path, flats.map(function (f, i) {
+          return ['record ' + (i + 1),
+              f[path] === undefined ? '-' : fmtNum(f[path])];
+        }).slice(-8)];
+      });
+      cards.appendChild(card);
+      requestAnimationFrame(function () {
+        sparkline(canvas, flats.map(function (f) {
+          return f[path] === undefined ? null : f[path];
+        }));
+      });
+    });
+    sec.appendChild(cards);
+    if (paths.length > 36)
+      sec.appendChild(el('p', 'so-note',
+          (paths.length - 36) + ' more metrics omitted'));
+    dataTable(sec, 'history table',
+        ['metric'].concat(history.map(function (rec, i) {
+          return 'record ' + (i + 1);
+        })),
+        paths.map(function (path) {
+          return [path].concat(flats.map(function (f) {
+            return f[path] === undefined ? '-' : fmtNum(f[path]);
+          }));
+        }));
+  }
+
+  // ------------------------------------------------------- A/B diff
+  function renderDiff(doc) {
+    var before = doc.before || {}, after = doc.after || {};
+    var sec = section('A/B · ' +
+        (before.label || 'before') + ' vs ' + (after.label || 'after'),
+        'Phase-matched attribution of the makespan delta: each bar is ' +
+        'one phase’s signed contribution (left/blue = faster ' +
+        'after, right/red = slower after). Contributions plus the ' +
+        'residual sum exactly to the delta.');
+    var head = el('div', 'so-diff-head');
+    var delta = doc.makespan_delta_s || 0;
+    var d = el('span', 'delta', fmtSigned(delta));
+    d.style.color = cssVar(delta <= 0 ? '--good-text' : '--bad-text');
+    head.appendChild(d);
+    var sideB = el('span', 'side');
+    sideB.appendChild(el('b', null, before.label || 'before'));
+    sideB.appendChild(document.createTextNode(
+        ' ' + fmtS(before.makespan_s)));
+    var sideA = el('span', 'side');
+    sideA.appendChild(el('b', null, after.label || 'after'));
+    sideA.appendChild(document.createTextNode(
+        ' ' + fmtS(after.makespan_s)));
+    head.appendChild(sideB);
+    head.appendChild(sideA);
+    sec.appendChild(head);
+
+    var phases = doc.phases || [];
+    var max = 0;
+    phases.forEach(function (p) {
+      max = Math.max(max, Math.abs(p.delta_s));
+    });
+    if (doc.unattributed_s)
+      max = Math.max(max, Math.abs(doc.unattributed_s));
+    function row(name, value, tag) {
+      var r = el('div', 'so-diffrow');
+      var n = el('span', 'name', name);
+      if (tag) n.appendChild(el('span', 'so-tag', tag));
+      r.appendChild(n);
+      var bar = el('div', 'so-diffbar');
+      bar.appendChild(el('i', 'mid'));
+      if (max > 0 && value !== 0) {
+        var seg = el('i', value < 0 ? 'neg' : 'pos');
+        seg.style.width = (50 * Math.abs(value) / max) + '%';
+        bar.appendChild(seg);
+      }
+      r.appendChild(bar);
+      r.appendChild(el('span', 'val', fmtSigned(value)));
+      hover(r, function () {
+        return [name, [['delta', fmtSigned(value)]]];
+      });
+      sec.appendChild(r);
+      return r;
+    }
+    phases.slice(0, 14).forEach(function (p) {
+      var r = row(p.phase, p.delta_s,
+          p.appeared ? 'appeared' : p.vanished ? 'vanished' : null);
+      hover(r, function () {
+        return [p.phase, [
+          ['before', fmtS(p.before_s)],
+          ['after', fmtS(p.after_s)],
+          ['delta', fmtSigned(p.delta_s)]
+        ]];
+      });
+    });
+    if (doc.unattributed_s)
+      row('(unattributed)', doc.unattributed_s);
+    if (phases.length > 14)
+      sec.appendChild(el('p', 'so-note',
+          (phases.length - 14) + ' smaller phases omitted'));
+    var resources = doc.resources || [];
+    if (resources.length)
+      dataTable(sec, 'per-resource deltas',
+          ['resource', 'busy', 'dependency', 'contention', 'tail'],
+          resources.map(function (r) {
+            return [r.resource, fmtSigned(r.busy_delta_s),
+                fmtSigned(r.dependency_delta_s),
+                fmtSigned(r.contention_delta_s),
+                fmtSigned(r.tail_delta_s)];
+          }));
+  }
+
+  // ------------------------------------------------------------ main
+  try {
+    (DATA.schedules || []).forEach(renderGantt);
+    (DATA.profiles || []).forEach(function (p) {
+      renderProfile(p.label, p.doc);
+    });
+    if (DATA.diff) renderDiff(DATA.diff);
+    (DATA.records || []).forEach(function (r) {
+      if (r.doc && Array.isArray(r.doc.cells))
+        renderCellsRecord(r.label, r.doc);
+      else renderGenericRecord(r.label, r.doc);
+    });
+    renderHistory(DATA.history || [], DATA.verdict || null);
+    if (!app.children.length)
+      app.appendChild(el('p', 'so-error',
+          'nothing to render: the report was built with no inputs'));
+  } catch (err) {
+    var fail = el('p', 'so-error',
+        'explorer failed to render: ' + err.message);
+    app.appendChild(fail);
+    throw err;
+  }
+})();
+)SOJS";
+
+} // namespace so::report::assets

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Embedded static assets of the HTML Schedule Explorer.
+ *
+ * The stylesheet and the viewer application are compiled into the
+ * library as string constants so a rendered report is one
+ * self-contained file with zero external fetches (see html.h for the
+ * contract). Both are hand-written vanilla CSS/JS — no framework, no
+ * build step — and deliberately contain no URL of any kind: the
+ * self-containment test greps the rendered document for scheme
+ * prefixes.
+ */
+#ifndef SO_REPORT_HTML_ASSETS_H
+#define SO_REPORT_HTML_ASSETS_H
+
+namespace so::report::assets {
+
+/** Stylesheet inlined into the report's <style> block. */
+extern const char kExplorerCss[];
+
+/** Viewer application inlined into the report's <script> block. */
+extern const char kExplorerJs[];
+
+} // namespace so::report::assets
+
+#endif // SO_REPORT_HTML_ASSETS_H

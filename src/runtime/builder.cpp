@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "sim/inspect.h"
 #include "sim/profiler.h"
 #include "sim/trace.h"
 
@@ -221,6 +222,8 @@ IterBuilder::finishWindow(const model::IterationFlops &flops,
             res.profile.idle.push_back(std::move(idle));
         }
         res.profile_json = sim::profileToJson(prof, graph_, schedule);
+        res.bundle_json = sim::bundleToJson(
+            sim::makeInspectionBundle(graph_, schedule, prof));
         if (setup_.capture_trace)
             res.trace_json = sim::toChromeTrace(graph_, schedule, prof);
     } else if (setup_.capture_trace) {

@@ -1,6 +1,7 @@
 #include "runtime/result_json.h"
 
 #include "common/json.h"
+#include "common/schema.h"
 
 namespace so::runtime {
 
@@ -8,6 +9,7 @@ void
 writeIterationJson(JsonWriter &json, const IterationResult &result)
 {
     json.beginObject();
+    json.field("schema_version", kSchemaVersion);
     json.field("feasible", result.feasible);
     if (!result.feasible) {
         json.field("infeasible_reason", result.infeasible_reason);

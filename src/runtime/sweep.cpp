@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/json.h"
+#include "common/schema.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
@@ -394,6 +395,7 @@ SweepEngine::json() const
 {
     JsonWriter json;
     json.beginObject();
+    json.field("schema_version", kSchemaVersion);
     json.field("sweep", options_.name);
     json.field("jobs", static_cast<std::uint64_t>(jobs_));
     json.field("cache_hits", static_cast<std::uint64_t>(hits_));

@@ -195,6 +195,14 @@ struct IterationResult
     /** Full schedule-profile JSON document (sim::profileToJson). */
     std::string profile_json;
 
+    /**
+     * Inspection-bundle JSON (sim::bundleToJson): per-task spans plus
+     * the dependency edge list, the input of the HTML Schedule
+     * Explorer (report/html.h). Filled alongside profile_json when the
+     * setup's capture_profile flag was set.
+     */
+    std::string bundle_json;
+
     /** Set (or overwrite) one named extra. */
     void setExtra(const std::string &key, double value);
 

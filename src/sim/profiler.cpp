@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/json.h"
+#include "common/schema.h"
 #include "common/logging.h"
 #include "sim/trace.h"
 
@@ -280,6 +281,7 @@ profileToJson(const ScheduleProfile &profile, const TaskGraph &graph,
 {
     JsonWriter json;
     json.beginObject();
+    json.field("schema_version", kSchemaVersion);
     json.field("makespan_s", profile.makespan);
 
     json.key("critical_path").beginObject();

@@ -62,6 +62,59 @@ TEST(Logging, EnvironmentVariableSetsLevel)
     setLogLevel(before);
 }
 
+TEST(Logging, FormatRoundTrip)
+{
+    const LogFormat before = logFormat();
+    setLogFormat(LogFormat::Json);
+    EXPECT_EQ(logFormat(), LogFormat::Json);
+    setLogFormat(LogFormat::Human);
+    EXPECT_EQ(logFormat(), LogFormat::Human);
+    setLogFormat(before);
+}
+
+TEST(Logging, HumanLineShapeIsPinned)
+{
+    EXPECT_EQ(formatLogLine(LogLevel::Info, "so", "ready", 1.5,
+                            LogFormat::Human),
+              "[info] ready");
+    EXPECT_EQ(formatLogLine(LogLevel::Warn, "so", "careful", 0.0,
+                            LogFormat::Human),
+              "[warn] careful");
+}
+
+TEST(Logging, JsonLineShapeIsPinned)
+{
+    EXPECT_EQ(formatLogLine(LogLevel::Error, "so", "boom", 1.25,
+                            LogFormat::Json),
+              "{\"ts_s\":1.250000,\"level\":\"error\","
+              "\"component\":\"so\",\"message\":\"boom\"}");
+    // Quotes and backslashes in the message stay valid JSON.
+    EXPECT_EQ(formatLogLine(LogLevel::Debug, "so", "path \"a\\b\"", 0.0,
+                            LogFormat::Json),
+              "{\"ts_s\":0.000000,\"level\":\"debug\","
+              "\"component\":\"so\","
+              "\"message\":\"path \\\"a\\\\b\\\"\"}");
+}
+
+TEST(Logging, EnvironmentVariableSetsFormat)
+{
+    const LogFormat before = logFormat();
+    ::setenv("SO_LOG_JSON", "1", 1);
+    log_detail::reapplyEnvLogLevel();
+    EXPECT_EQ(logFormat(), LogFormat::Json);
+
+    ::setenv("SO_LOG_JSON", "off", 1);
+    log_detail::reapplyEnvLogLevel();
+    EXPECT_EQ(logFormat(), LogFormat::Human);
+
+    ::setenv("SO_LOG_JSON", "TRUE", 1);
+    log_detail::reapplyEnvLogLevel();
+    EXPECT_EQ(logFormat(), LogFormat::Json);
+
+    ::unsetenv("SO_LOG_JSON");
+    setLogFormat(before);
+}
+
 TEST(Logging, AssertPassesOnTrueCondition)
 {
     SO_ASSERT(1 + 1 == 2, "math works");

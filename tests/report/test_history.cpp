@@ -65,6 +65,28 @@ TEST(BenchGuard, FlattenProducesIndexedPaths)
     EXPECT_FALSE(value_of("metrics.histograms.wall_s.sum", &v));
 }
 
+TEST(BenchGuard, MetaSubtreeNeverGates)
+{
+    // The provenance block carries numbers (schema_version) that must
+    // not be compared across runs, exactly like `metrics`.
+    const char *record = R"({
+      "bench": "sim_kernel",
+      "iter_s": 0.5,
+      "meta": {"schema_version": 1,
+               "git_sha": "abc1234",
+               "argv": ["bench", "--jobs", "4"]}
+    })";
+    std::vector<std::pair<std::string, double>> flat;
+    flattenNumericLeaves(parsed(record), "", flat);
+    for (const auto &[path, value] : flat) {
+        (void)value;
+        EXPECT_EQ(path.rfind("meta", 0), std::string::npos)
+            << "meta leaked into the gate: " << path;
+    }
+    ASSERT_EQ(flat.size(), 1u);
+    EXPECT_EQ(flat[0].first, "iter_s");
+}
+
 TEST(BenchGuard, DirectionFollowsSuffixConvention)
 {
     EXPECT_EQ(metricDirection("sizes[0].build_tasks_per_s"), 1);

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Schedule Explorer safety-contract tests (see report/html.h): hostile
+ * task labels — quotes, UTF-8, a literal script-closing tag — cannot
+ * escape the embedded data island or the markup, the rendered document
+ * references no external resource, and the data island round-trips
+ * through the JSON parser with every task id intact.
+ */
+#include "report/html.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.h"
+#include "sim/graph.h"
+#include "sim/inspect.h"
+#include "sim/profiler.h"
+#include "sim/scheduler.h"
+
+namespace so::report {
+namespace {
+
+/** A bundle whose labels are actively hostile to HTML embedding. */
+std::string
+hostileBundleJson()
+{
+    sim::TaskGraph g;
+    const sim::ResourceId gpu = g.addResource("GPU <&> \"quoted\"");
+    const sim::TaskId a =
+        g.addTask(gpu, 0.010, "fwd </script><script>alert(1)", {});
+    const sim::TaskId b = g.addTask(gpu, 0.020, "bwd \"λ∑β\" 'mixed'", {a});
+    g.addTask(gpu, 0.005, "cast <img src=x onerror=alert(2)>", {b});
+    const sim::Schedule s = sim::Scheduler().run(g);
+    const sim::ScheduleProfile prof = sim::profileSchedule(g, s);
+    return sim::bundleToJson(
+        sim::makeInspectionBundle(g, s, prof, "hostile <title>"));
+}
+
+HtmlReport
+hostileReport()
+{
+    HtmlReport report;
+    report.title = "report of <doom> & \"quotes\"";
+    report.schedules.push_back(hostileBundleJson());
+    return report;
+}
+
+/** The text between the data island's script tags. */
+std::string
+extractDataIsland(const std::string &html)
+{
+    const std::string open =
+        "<script id=\"so-data\" type=\"application/json\">";
+    const std::size_t begin = html.find(open);
+    EXPECT_NE(begin, std::string::npos);
+    if (begin == std::string::npos)
+        return "";
+    const std::size_t start = begin + open.size();
+    const std::size_t end = html.find("</script>", start);
+    EXPECT_NE(end, std::string::npos);
+    return html.substr(start, end - start);
+}
+
+TEST(HtmlEscape, CoversTheFiveSignificantCharacters)
+{
+    EXPECT_EQ(htmlEscape("a<b>&\"'z"),
+              "a&lt;b&gt;&amp;&quot;&#39;z");
+    EXPECT_EQ(htmlEscape("plain text stays"), "plain text stays");
+    // UTF-8 passes through untouched.
+    EXPECT_EQ(htmlEscape("λ∑β"), "λ∑β");
+}
+
+TEST(EscapeJsonForScript, OnlyRewritesAngleOpens)
+{
+    EXPECT_EQ(escapeJsonForScript("{\"a\":\"</script>\"}"),
+              "{\"a\":\"\\u003c/script>\"}");
+    EXPECT_EQ(escapeJsonForScript("{\"n\":1}"), "{\"n\":1}");
+}
+
+TEST(HtmlReportRender, HostileLabelsCannotTerminateTheDataIsland)
+{
+    const std::string html = renderHtmlReport(hostileReport());
+
+    // The raw injection sequence must not appear anywhere: inside the
+    // island `<` is \u003c-escaped, and in markup it is &lt;-escaped.
+    EXPECT_EQ(html.find("</script><script>alert"), std::string::npos);
+    EXPECT_EQ(html.find("<img src=x"), std::string::npos);
+    EXPECT_NE(html.find("\\u003c/script>"), std::string::npos);
+
+    // The island itself contains no `<` at all, so nothing inside it
+    // can open or close a tag.
+    const std::string island = extractDataIsland(html);
+    ASSERT_FALSE(island.empty());
+    EXPECT_EQ(island.find('<'), std::string::npos);
+
+    // The title is escaped into <title> and the header.
+    EXPECT_EQ(html.find("<doom>"), std::string::npos);
+    EXPECT_NE(html.find("&lt;doom&gt;"), std::string::npos);
+}
+
+TEST(HtmlReportRender, DataIslandRoundTripsWithEveryTask)
+{
+    const std::string bundle_text = hostileBundleJson();
+    HtmlReport report;
+    report.schedules.push_back(bundle_text);
+    const std::string html = renderHtmlReport(report);
+
+    JsonValue island;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(extractDataIsland(html), island,
+                                 &error))
+        << error;
+    const JsonValue &schedules = island.at("schedules");
+    ASSERT_EQ(schedules.items().size(), 1u);
+
+    // The embedded bundle is byte-equivalent to the input after JSON
+    // decoding: same tasks, same labels (UTF-8 and quotes intact).
+    JsonValue original;
+    ASSERT_TRUE(JsonValue::parse(bundle_text, original, &error));
+    const auto &in_tasks = original.at("tasks").items();
+    const auto &out_tasks = schedules.items()[0].at("tasks").items();
+    ASSERT_EQ(out_tasks.size(), in_tasks.size());
+    for (std::size_t i = 0; i < in_tasks.size(); ++i) {
+        EXPECT_DOUBLE_EQ(out_tasks[i].at("id").number(),
+                         in_tasks[i].at("id").number());
+        EXPECT_EQ(out_tasks[i].at("label").text(),
+                  in_tasks[i].at("label").text());
+    }
+    EXPECT_EQ(out_tasks[1].at("label").text(), "bwd \"λ∑β\" 'mixed'");
+}
+
+TEST(HtmlReportRender, DocumentIsSelfContained)
+{
+    // Exercise every section at once: schedule, profile, record,
+    // history, verdict, diff, links — then require zero external
+    // resource references in the whole document.
+    HtmlReport report;
+    report.title = "full page";
+    report.schedules.push_back(hostileBundleJson());
+    report.profiles.emplace_back(
+        "p", R"({"makespan_s":1.0,"critical_path":{"length_s":1.0,)"
+             R"("phases":[{"phase":"fwd","seconds":1.0}]},)"
+             R"("resources":[]})");
+    report.records.emplace_back("r", R"({"bench":"x","cells":[]})");
+    report.history_jsonl = "{\"bench\":\"x\",\"iter_s\":1.0}\n"
+                           "not json at all\n"
+                           "{\"bench\":\"x\",\"iter_s\":0.9}\n";
+    report.verdict_json =
+        R"({"pass":true,"tolerance":0.25,"checked":1,"gated":1,)"
+        R"("regressions":[],"metrics":[]})";
+    report.diff_json =
+        R"({"before":{"label":"a","makespan_s":1.0},)"
+        R"("after":{"label":"b","makespan_s":0.9},)"
+        R"("makespan_delta_s":-0.1,"phases":[],"unattributed_s":-0.1,)"
+        R"("resources":[]})";
+    report.links.emplace_back("cell 0", "cell0.html");
+
+    const std::string html = renderHtmlReport(report);
+    EXPECT_EQ(html.find("http://"), std::string::npos);
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+    EXPECT_EQ(html.find("//cdn"), std::string::npos);
+
+    // Malformed history lines were dropped, valid ones kept.
+    JsonValue island;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(extractDataIsland(html), island,
+                                 &error))
+        << error;
+    EXPECT_EQ(island.at("history").items().size(), 2u);
+    EXPECT_TRUE(island.at("verdict").at("pass").boolean());
+    EXPECT_DOUBLE_EQ(island.at("diff").at("makespan_delta_s").number(),
+                     -0.1);
+
+    // Relative links render escaped but intact.
+    EXPECT_NE(html.find("<a href=\"cell0.html\">cell 0</a>"),
+              std::string::npos);
+}
+
+TEST(HtmlReportRender, MalformedSectionDegradesToNull)
+{
+    HtmlReport report;
+    report.schedules.push_back("{truncated");
+    report.verdict_json = "also broken";
+    report.records.emplace_back("ok", "{\"bench\":\"x\"}");
+    const std::string html = renderHtmlReport(report);
+
+    JsonValue island;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(extractDataIsland(html), island,
+                                 &error))
+        << error;
+    ASSERT_EQ(island.at("schedules").items().size(), 1u);
+    EXPECT_TRUE(island.at("schedules").items()[0].isNull());
+    EXPECT_TRUE(island.at("verdict").isNull());
+    EXPECT_EQ(island.at("records").items().size(), 1u);
+}
+
+TEST(HtmlReportRender, EmptyReportStillRenders)
+{
+    const std::string html = renderHtmlReport(HtmlReport{});
+    EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+    EXPECT_NE(html.find("Schedule Explorer"), std::string::npos);
+    EXPECT_EQ(html.find("http://"), std::string::npos);
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+}
+
+} // namespace
+} // namespace so::report

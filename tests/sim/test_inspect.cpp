@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Inspection-bundle tests: makeInspectionBundle flattens exactly the
+ * schedule it was given (every task id, every dependency edge, the
+ * profiler's slack/critical/idle data), and the JSON export round-trips
+ * through bundleFromJson field for field. Malformed documents are
+ * rejected with an error instead of producing a half-filled bundle.
+ */
+#include "sim/inspect.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/json.h"
+#include "common/schema.h"
+#include "sim/graph.h"
+#include "sim/profiler.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+
+namespace so::sim {
+namespace {
+
+/** Two-resource pipeline with a fan-in, enough to exercise slots. */
+TaskGraph
+pipelineGraph()
+{
+    TaskGraph g;
+    const ResourceId gpu = g.addResource("GPU");
+    const ResourceId d2h = g.addResource("D2H", 2);
+    const TaskId f0 = g.addTask(gpu, 0.010, "fwd L0", {});
+    const TaskId f1 = g.addTask(gpu, 0.010, "fwd L1", {f0});
+    const TaskId b1 = g.addTask(gpu, 0.020, "bwd L1", {f1});
+    const TaskId b0 = g.addTask(gpu, 0.020, "bwd L0", {b1});
+    const TaskId g1 = g.addTask(d2h, 0.015, "d2h bucket 1", {b1});
+    const TaskId g0 = g.addTask(d2h, 0.015, "d2h bucket 0", {b0});
+    g.addTask(gpu, 0.005, "cast params", {g0, g1});
+    return g;
+}
+
+struct Built
+{
+    TaskGraph graph;
+    Schedule schedule;
+    ScheduleProfile profile;
+    InspectionBundle bundle;
+};
+
+Built
+buildBundle(const std::string &label = "unit")
+{
+    Built b;
+    b.graph = pipelineGraph();
+    b.schedule = Scheduler().run(b.graph);
+    b.profile = profileSchedule(b.graph, b.schedule);
+    b.bundle =
+        makeInspectionBundle(b.graph, b.schedule, b.profile, label);
+    return b;
+}
+
+TEST(InspectionBundle, FlattensScheduleExactly)
+{
+    const Built b = buildBundle();
+    EXPECT_EQ(b.bundle.label, "unit");
+    EXPECT_DOUBLE_EQ(b.bundle.makespan, b.schedule.makespan);
+    ASSERT_EQ(b.bundle.tasks.size(), b.graph.taskCount());
+    ASSERT_EQ(b.bundle.resources.size(), b.graph.resourceCount());
+
+    for (TaskId id = 0; id < b.graph.taskCount(); ++id) {
+        const TaskSpan &span = b.bundle.tasks[id];
+        EXPECT_EQ(span.task, id);
+        EXPECT_EQ(span.label, b.graph.label(id));
+        EXPECT_EQ(span.phase, phaseKey(b.graph.label(id)));
+        EXPECT_EQ(span.resource, b.graph.taskResource(id));
+        EXPECT_DOUBLE_EQ(span.start, b.schedule.start[id]);
+        EXPECT_DOUBLE_EQ(span.end, b.schedule.finish[id]);
+        EXPECT_DOUBLE_EQ(span.slack, b.profile.slack[id]);
+    }
+
+    // Every dependency edge appears exactly once, as (before, after).
+    std::set<std::pair<TaskId, TaskId>> edges(b.bundle.edges.begin(),
+                                              b.bundle.edges.end());
+    EXPECT_EQ(edges.size(), b.bundle.edges.size());
+    std::size_t expected = 0;
+    for (TaskId id = 0; id < b.graph.taskCount(); ++id)
+        for (TaskId dep : b.graph.deps(id)) {
+            EXPECT_TRUE(edges.count({dep, id}))
+                << "missing edge " << dep << " -> " << id;
+            ++expected;
+        }
+    EXPECT_EQ(edges.size(), expected);
+
+    // The critical path mirrors the profiler's, and every task on it
+    // carries the critical flag (and zero slack).
+    ASSERT_EQ(b.bundle.critical_path.size(),
+              b.profile.critical_path.size());
+    for (std::size_t i = 0; i < b.bundle.critical_path.size(); ++i) {
+        const TaskId id = b.bundle.critical_path[i];
+        EXPECT_EQ(id, b.profile.critical_path[i].task);
+        EXPECT_TRUE(b.bundle.tasks[id].critical);
+    }
+
+    // Slot lanes stay within each resource's declared slot count.
+    for (const TaskSpan &span : b.bundle.tasks)
+        EXPECT_LT(span.slot, b.bundle.resources[span.resource].slots);
+
+    // Resource summaries restate the profiler's idle attribution.
+    for (ResourceId r = 0; r < b.graph.resourceCount(); ++r) {
+        EXPECT_EQ(b.bundle.resources[r].name, b.graph.resource(r).name);
+        EXPECT_DOUBLE_EQ(b.bundle.resources[r].busy,
+                         b.profile.resources[r].busy);
+        EXPECT_EQ(b.bundle.resources[r].gaps.size(),
+                  b.profile.resources[r].gaps.size());
+    }
+}
+
+TEST(InspectionBundle, JsonRoundTripPreservesEveryField)
+{
+    const Built b = buildBundle("round-trip");
+    const std::string doc = bundleToJson(b.bundle);
+
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(doc, parsed, &error)) << error;
+    EXPECT_EQ(parsed.at("kind").text(), "inspection_bundle");
+    EXPECT_DOUBLE_EQ(parsed.at("schema_version").number(),
+                     static_cast<double>(kSchemaVersion));
+
+    InspectionBundle back;
+    ASSERT_TRUE(bundleFromJson(parsed, back, &error)) << error;
+
+    // Doubles compare with a tolerance: the JSON writer prints ~15
+    // significant digits, one ulp short of binary round-tripping.
+    constexpr double kUlp = 1e-12;
+    EXPECT_EQ(back.label, b.bundle.label);
+    EXPECT_NEAR(back.makespan, b.bundle.makespan, kUlp);
+    ASSERT_EQ(back.tasks.size(), b.bundle.tasks.size());
+    for (std::size_t i = 0; i < back.tasks.size(); ++i) {
+        const TaskSpan &a = b.bundle.tasks[i];
+        const TaskSpan &c = back.tasks[i];
+        EXPECT_EQ(c.task, a.task);
+        EXPECT_EQ(c.label, a.label);
+        EXPECT_EQ(c.phase, a.phase);
+        EXPECT_EQ(c.resource, a.resource);
+        EXPECT_EQ(c.slot, a.slot);
+        EXPECT_NEAR(c.start, a.start, kUlp);
+        EXPECT_NEAR(c.end, a.end, kUlp);
+        EXPECT_NEAR(c.slack, a.slack, kUlp);
+        EXPECT_EQ(c.critical, a.critical);
+    }
+    EXPECT_EQ(back.edges, b.bundle.edges);
+    EXPECT_EQ(back.critical_path, b.bundle.critical_path);
+    ASSERT_EQ(back.resources.size(), b.bundle.resources.size());
+    for (std::size_t r = 0; r < back.resources.size(); ++r) {
+        const ResourceSummary &a = b.bundle.resources[r];
+        const ResourceSummary &c = back.resources[r];
+        EXPECT_EQ(c.name, a.name);
+        EXPECT_EQ(c.slots, a.slots);
+        EXPECT_NEAR(c.busy, a.busy, kUlp);
+        EXPECT_NEAR(c.idle_dependency, a.idle_dependency, kUlp);
+        EXPECT_NEAR(c.idle_contention, a.idle_contention, kUlp);
+        EXPECT_NEAR(c.idle_tail, a.idle_tail, kUlp);
+        ASSERT_EQ(c.gaps.size(), a.gaps.size());
+        for (std::size_t i = 0; i < c.gaps.size(); ++i) {
+            EXPECT_NEAR(c.gaps[i].begin, a.gaps[i].begin, kUlp);
+            EXPECT_NEAR(c.gaps[i].end, a.gaps[i].end, kUlp);
+            EXPECT_EQ(c.gaps[i].cause, a.gaps[i].cause);
+        }
+    }
+}
+
+TEST(InspectionBundle, RejectsForeignAndBrokenDocuments)
+{
+    JsonValue doc;
+    std::string error;
+
+    // Not a bundle at all (a profile document shape).
+    ASSERT_TRUE(JsonValue::parse(
+        R"({"makespan_s": 1.0, "critical_path": {}})", doc));
+    InspectionBundle out;
+    EXPECT_FALSE(bundleFromJson(doc, out, &error));
+    EXPECT_FALSE(error.empty());
+
+    // A span pointing at a resource beyond the resource array. Task
+    // spans carry numeric resource ids (`"resource":0,"slot"`); the
+    // resources array uses the same key for names, so anchor on the
+    // adjacent slot field.
+    const Built b = buildBundle();
+    std::string text = bundleToJson(b.bundle);
+    const std::string span_field = "\"resource\":0,\"slot\"";
+    const std::size_t pos = text.find(span_field);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, span_field.size(), "\"resource\":99,\"slot\"");
+    ASSERT_TRUE(JsonValue::parse(text, doc, &error)) << error;
+    EXPECT_FALSE(bundleFromJson(doc, out, &error));
+
+    // An edge naming a task id beyond the task array.
+    std::string edge_text = bundleToJson(b.bundle);
+    const std::size_t epos = edge_text.find("\"edges\":[[");
+    ASSERT_NE(epos, std::string::npos);
+    edge_text.replace(epos, 10, "\"edges\":[[999,");
+    if (JsonValue::parse(edge_text, doc))
+        EXPECT_FALSE(bundleFromJson(doc, out, &error));
+}
+
+TEST(InspectionBundle, ZeroDurationTasksKeepTheirSpans)
+{
+    TaskGraph g;
+    const ResourceId gpu = g.addResource("GPU");
+    const TaskId a = g.addTask(gpu, 0.0, "barrier enter", {});
+    g.addTask(gpu, 0.010, "fwd L0", {a});
+    const Schedule s = Scheduler().run(g);
+    const ScheduleProfile prof = profileSchedule(g, s);
+    const InspectionBundle bundle = makeInspectionBundle(g, s, prof);
+    ASSERT_EQ(bundle.tasks.size(), 2u);
+    EXPECT_DOUBLE_EQ(bundle.tasks[0].duration(), 0.0);
+}
+
+} // namespace
+} // namespace so::sim

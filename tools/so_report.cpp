@@ -20,9 +20,21 @@
  *       baseline; exit 1 on regression unless --warn-only.
  *   so-report top FILE.json [--cell SEL] [--top K]
  *       Largest critical-path phases and idle causes of one run.
+ *   so-report html INPUT.json ... [--trace-dir DIR] [--history FILE]
+ *             [--verdict FILE] [--title T] [--out report.html]
+ *       Render any mix of artifacts — inspection bundles, profile
+ *       documents, sweep/bench records, diff JSON, verdicts, history
+ *       files — as one self-contained HTML Schedule Explorer page.
+ *       Inputs are classified by shape; --trace-dir scans a harness
+ *       trace directory for *.bundle.json and *.profile.json.
+ *
+ * Documents carrying a `schema_version` newer than this build's
+ * so::kSchemaVersion draw a warning but are still read: newer writers
+ * only add fields.
  */
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -30,8 +42,10 @@
 
 #include "common/argparse.h"
 #include "common/json.h"
+#include "common/schema.h"
 #include "report/diff.h"
 #include "report/history.h"
+#include "report/html.h"
 
 namespace {
 
@@ -51,6 +65,10 @@ usage(std::FILE *out)
         "            [--out VERDICT.json] [--history FILE] "
         "[--warn-only]\n"
         "  so-report top FILE.json [--cell SEL] [--top K]\n"
+        "  so-report html INPUT.json ... [--trace-dir DIR] "
+        "[--history FILE]\n"
+        "            [--verdict FILE] [--title T] "
+        "[--out report.html]\n"
         "Inputs: profile documents, planner reports, result JSON, or\n"
         "sweep/bench records (--cell selects by index, system, or "
         "tag).\n");
@@ -72,6 +90,26 @@ readFile(const std::string &path, std::string &out)
     return true;
 }
 
+/**
+ * Forward-compatibility warning: a document stamped with a newer
+ * schema_version than this build knows is still readable (writers only
+ * add fields), so readers warn instead of failing.
+ */
+void
+warnUnknownSchema(const std::string &path, const JsonValue &doc)
+{
+    if (!doc.isObject())
+        return;
+    const JsonValue *version = doc.find("schema_version");
+    if (version && version->isNumber() &&
+        version->number() > static_cast<double>(kSchemaVersion))
+        std::fprintf(stderr,
+                     "so-report: warning: %s has schema_version %.0f, "
+                     "newer than this build's %lld; reading anyway\n",
+                     path.c_str(), version->number(),
+                     static_cast<long long>(kSchemaVersion));
+}
+
 bool
 parseFile(const std::string &path, JsonValue &doc)
 {
@@ -84,6 +122,7 @@ parseFile(const std::string &path, JsonValue &doc)
                      error.c_str());
         return false;
     }
+    warnUnknownSchema(path, doc);
     return true;
 }
 
@@ -241,6 +280,120 @@ cmdTop(const ArgParser &args)
     return 0;
 }
 
+/**
+ * Drop @p path's document into the section of @p page its shape
+ * matches: inspection bundle, profile, diff, verdict, or (the default)
+ * a record. Returns false only when the file cannot be read/parsed.
+ */
+bool
+classifyInput(const std::string &path, report::HtmlReport &page)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+    if (path.size() > 6 &&
+        path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+        page.history_jsonl += text;
+        if (!text.empty() && text.back() != '\n')
+            page.history_jsonl += '\n';
+        return true;
+    }
+    JsonValue doc;
+    std::string error;
+    if (!JsonValue::parse(text, doc, &error)) {
+        std::fprintf(stderr, "so-report: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    warnUnknownSchema(path, doc);
+    const std::string label =
+        std::filesystem::path(path).filename().string();
+    if (!doc.isObject()) {
+        page.records.emplace_back(label, text);
+        return true;
+    }
+    const JsonValue *kind = doc.find("kind");
+    if (kind && kind->isString() &&
+        kind->text() == "inspection_bundle") {
+        page.schedules.push_back(std::move(text));
+        return true;
+    }
+    if (doc.find("makespan_s") && doc.find("critical_path")) {
+        page.profiles.emplace_back(label, std::move(text));
+        return true;
+    }
+    if (doc.find("makespan_delta_s") && doc.find("before") &&
+        doc.find("after")) {
+        page.diff_json = std::move(text);
+        return true;
+    }
+    if (doc.find("pass") && doc.find("gated") && doc.find("metrics")) {
+        page.verdict_json = std::move(text);
+        return true;
+    }
+    page.records.emplace_back(label, std::move(text));
+    return true;
+}
+
+int
+cmdHtml(const ArgParser &args)
+{
+    const std::vector<std::string> &files = args.positional();
+    report::HtmlReport page;
+    page.title = args.get("title", "Schedule Explorer");
+    for (std::size_t i = 1; i < files.size(); ++i)
+        if (!classifyInput(files[i], page))
+            return 1;
+
+    if (args.has("trace-dir")) {
+        const std::filesystem::path dir = args.get("trace-dir");
+        std::error_code ec;
+        std::vector<std::string> found;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(dir, ec))
+            found.push_back(entry.path().string());
+        if (ec) {
+            std::fprintf(stderr, "so-report: cannot scan %s: %s\n",
+                         dir.string().c_str(),
+                         ec.message().c_str());
+            return 1;
+        }
+        // Sorted so cell ordering is deterministic across platforms.
+        std::sort(found.begin(), found.end());
+        for (const std::string &path : found) {
+            const bool bundle =
+                path.find(".bundle.json") != std::string::npos;
+            const bool profile =
+                path.find(".profile.json") != std::string::npos;
+            if ((bundle || profile) && !classifyInput(path, page))
+                return 1;
+        }
+    }
+    if (args.has("history") && !classifyInput(args.get("history"), page))
+        return 1;
+    if (args.has("verdict") && !classifyInput(args.get("verdict"), page))
+        return 1;
+
+    if (page.schedules.empty() && page.profiles.empty() &&
+        page.records.empty() && page.history_jsonl.empty() &&
+        page.diff_json.empty()) {
+        std::fprintf(stderr, "so-report: html: no inputs\n");
+        return usage(stderr);
+    }
+
+    const std::string out_path = args.get("out", "report.html");
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "so-report: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    out << report::renderHtmlReport(page);
+    out.close();
+    std::printf("report written to %s\n", out_path.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -259,6 +412,8 @@ main(int argc, char **argv)
         return cmdCheck(args);
     if (command == "top")
         return cmdTop(args);
+    if (command == "html")
+        return cmdHtml(args);
     std::fprintf(stderr, "so-report: unknown subcommand '%s'\n",
                  command.c_str());
     return usage(stderr);
