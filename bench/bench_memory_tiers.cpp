@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Memory-tier bench: what the N-tier hierarchy buys.
+ *
+ * Two questions, one record:
+ *  1. Multi-path NVMe streaming (MLP-Offload-style): with the same
+ *     optimizer-state share on NVMe, how much faster is striping the
+ *     drive traffic across the staged DDR route and the direct GDS
+ *     route versus funneling everything through the staged route?
+ *  2. Graph-driven placement (HyperOffload-style): when host DRAM
+ *     overflows, what does spilling whole layers cost versus the
+ *     streaming-everything baseline (zero-infinity-nvme)?
+ *
+ * The per-channel traffic table is the tier-accounting surface the
+ * hierarchy refactor added; `so-report check` guards the record
+ * against the committed BENCH_memory_tiers.json baseline in CI.
+ */
+#include <string>
+
+#include "bench_util.h"
+#include "common/units.h"
+#include "runtime/graph_placement.h"
+#include "runtime/multipath_offload.h"
+#include "runtime/registry.h"
+
+namespace {
+
+double
+trafficOn(const so::runtime::IterationResult &res,
+          const std::string &channel)
+{
+    double bytes = 0.0;
+    for (const auto &t : res.tier_traffic)
+        if (t.channel == channel)
+            bytes += t.bytes;
+    return bytes;
+}
+
+std::string
+gib(double bytes)
+{
+    return so::Table::num(bytes / (1024.0 * 1024.0 * 1024.0), 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace so;
+    bench::Harness harness(
+        argc, argv, "memory_tiers",
+        "N-tier hierarchy: multi-path NVMe striping and layer placement",
+        "striping the drive stream across concurrent routes hides most "
+        "of the NVMe time; layer spilling beats streaming everything");
+
+    runtime::TrainSetup mid;
+    mid.cluster = hw::gh200Single();
+    mid.model = model::modelPreset("25B");
+    mid.global_batch = 8;
+    mid.seq = 1024;
+
+    runtime::TrainSetup big = mid;
+    big.model = model::modelPreset("80B");
+    big.global_batch = 4;
+
+    // Like-for-like: both variants pin half the optimizer states to
+    // NVMe; only the number of routes differs.
+    runtime::MultiPathOffloadSystem multi(/*enable_gds=*/true, 0.5);
+    runtime::MultiPathOffloadSystem staged(/*enable_gds=*/false, 0.5);
+    runtime::GraphPlacementSystem placed;
+    const auto infinity = runtime::makeBaseline("zero-infinity-nvme");
+
+    const std::size_t c_multi = harness.add(multi, mid, "multi-path");
+    const std::size_t c_staged = harness.add(staged, mid, "staged-only");
+    const std::size_t c_place = harness.add(placed, big, "placement 80B");
+    const std::size_t c_inf =
+        harness.add(*infinity, big, "zero-infinity-nvme 80B");
+    harness.run();
+
+    Table &paths = harness.table(
+        "multi-path vs staged NVMe (25B, single GH200, NVMe frac 0.5)");
+    paths.setHeader({"variant", "iter s", "TFLOPS", "staged GiB",
+                     "GDS GiB"});
+    for (const auto &[idx, tag] :
+         {std::pair<std::size_t, const char *>{c_multi, "multi-path"},
+          {c_staged, "staged-only"}}) {
+        const auto &res = harness.result(idx);
+        paths.addRow({tag,
+                      res.feasible ? Table::num(res.iter_time, 2) : "OOM",
+                      res.feasible ? Table::num(res.tflopsPerGpu(), 1)
+                                   : "-",
+                      res.feasible ? gib(trafficOn(res, "NVMe")) : "-",
+                      res.feasible ? gib(trafficOn(res, "GDS")) : "-"});
+    }
+    paths.print();
+
+    const auto &rm = harness.result(c_multi);
+    const auto &rs = harness.result(c_staged);
+    if (rm.feasible && rs.feasible)
+        std::printf("multi-path speedup over staged-only: %.2fx\n",
+                    rs.iter_time / rm.iter_time);
+
+    Table &place = harness.table(
+        "layer placement vs streaming (80B, single GH200)");
+    place.setHeader({"system", "iter s", "TFLOPS", "NVMe GiB moved",
+                     "spilled layers"});
+    for (const auto &[idx, tag] :
+         {std::pair<std::size_t, const char *>{c_place, "hyperoffload"},
+          {c_inf, "zero-infinity-nvme"}}) {
+        const auto &res = harness.result(idx);
+        place.addRow(
+            {tag, res.feasible ? Table::num(res.iter_time, 2) : "OOM",
+             res.feasible ? Table::num(res.tflopsPerGpu(), 1) : "-",
+             res.feasible ? gib(trafficOn(res, "NVMe")) : "-",
+             res.feasible ? Table::num(res.extra("nvme_layers", 0.0), 0)
+                          : "-"});
+    }
+    place.print();
+
+    Table &traffic = harness.table(
+        "per-channel traffic, multi-path cell (GiB per iteration)");
+    traffic.setHeader({"route", "channel", "GiB"});
+    for (const auto &t : rm.tier_traffic)
+        traffic.addRow(
+            {t.from + "->" + t.to, t.channel, gib(t.bytes)});
+    traffic.print();
+
+    return harness.finish();
+}

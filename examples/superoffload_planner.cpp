@@ -25,6 +25,8 @@
 #include "common/units.h"
 #include "core/engine.h"
 #include "core/report_json.h"
+#include "hw/bandwidth.h"
+#include "hw/topology.h"
 #include "report/diff.h"
 #include "report/html.h"
 #include "runtime/registry.h"
@@ -82,7 +84,11 @@ main(int argc, char **argv)
             "  --trace <file>        dump the simulated schedule as "
             "chrome://tracing JSON\n"
             "  --config <file>       declarative job file (flags "
-            "override)\n");
+            "override)\n"
+            "  config-only hierarchy keys (docs/HW.md): nvme_gb, "
+            "nvme_bw_gbs,\n"
+            "                        nvme_latency_us override the "
+            "chips' NVMe tier\n");
         return 0;
     }
     if (args.has("list-models"))
@@ -127,6 +133,28 @@ main(int argc, char **argv)
     setup.global_batch =
         static_cast<std::uint32_t>(int_opt("batch", 8));
     setup.seq = static_cast<std::uint32_t>(int_opt("seq", 1024));
+    // Hierarchy overrides (docs/HW.md): reshape the cold tier without
+    // recompiling a preset. `nvme_gb 0` removes the NVMe tier; the
+    // derived hw::MemoryHierarchy, fit checks, and sweep fingerprints
+    // all follow automatically.
+    if (file.has("nvme_gb")) {
+        hw::SuperchipSpec &chip = setup.cluster.node.superchip;
+        chip.nvme_bytes = file.getDouble("nvme_gb", 0.0) * kGB;
+        if (chip.nvme_bytes > 0.0) {
+            const double bw =
+                file.getDouble("nvme_bw_gbs",
+                               chip.nvme.curve().empty()
+                                   ? 6.0
+                                   : chip.nvme.curve().peak() / kGB) *
+                kGB;
+            const double lat =
+                file.getDouble("nvme_latency_us",
+                               chip.nvme.latency() / kUs) *
+                kUs;
+            chip.nvme =
+                hw::Link("NVMe", hw::BandwidthCurve::flat(bw), lat);
+        }
+    }
     if (str_opt("binding", "colocated") == "remote")
         setup.binding = hw::NumaBinding::Remote;
     setup.capture_trace = args.has("trace");

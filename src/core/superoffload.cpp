@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "hw/constants.h"
 #include "runtime/builder.h"
 
 namespace so::core {
@@ -99,9 +100,10 @@ SuperOffloadSystem::cpuBytes(const TrainSetup &setup,
     const double shard = setup.model.params() / n_ranks;
     // Optimizer states (12 B/param) + fp32 gradient shard (4 B/param);
     // weight-flow additionally keeps the streamed fp16 copy host-side.
-    double bytes = 16.0 * shard;
+    double bytes =
+        (hw::kOptimStateBytesPerParam + hw::kFp32BytesPerParam) * shard;
     if (placementOf(cand) == WeightPlacement::Flow)
-        bytes += 2.0 * shard;
+        bytes += hw::kFp16BytesPerParam * shard;
     return bytes;
 }
 
@@ -123,7 +125,8 @@ SuperOffloadSystem::simulate(const TrainSetup &setup,
     if (opts_.repartition && plan.count > 0) {
         const double base = gpuBaseBytes(setup, cand);
         const double slack = gpuCapacity(setup) - base;
-        const double per_bucket = 16.0 * plan.params_per_bucket;
+        const double per_bucket =
+            hw::kModelStateBytesPerParam * plan.params_per_bucket;
         if (slack > 0.0 && per_bucket > 0.0) {
             n_max = std::min<std::uint32_t>(
                 plan.count,
@@ -273,9 +276,10 @@ SuperOffloadSystem::simulateWithRetained(const TrainSetup &setup,
                     std::vector<sim::TaskId> fetch_deps;
                     if (step == 0 && ready_prev[bidx] != sim::kInvalidTask)
                         fetch_deps.push_back(ready_prev[bidx]);
-                    const sim::TaskId fetch = builder.onH2d(
+                    const sim::TaskId fetch = builder.onTransfer(
+                        hw::kTierDdr, hw::kTierHbm,
                         "h2d w" + std::to_string(bidx), flow_fetch_time,
-                        std::move(fetch_deps));
+                        2.0 * bp, std::move(fetch_deps));
                     deps.push_back(fetch);
                 }
                 if (multi) {
@@ -295,9 +299,10 @@ SuperOffloadSystem::simulateWithRetained(const TrainSetup &setup,
             for (std::uint32_t c = 0; c < nbuckets; ++c) {
                 std::vector<sim::TaskId> deps{prev};
                 if (flow && c < nbuckets - retained) {
-                    const sim::TaskId fetch = builder.onH2d(
+                    const sim::TaskId fetch = builder.onTransfer(
+                        hw::kTierDdr, hw::kTierHbm,
                         "h2d w'" + std::to_string(c), flow_fetch_time,
-                        {});
+                        2.0 * bp, {});
                     deps.push_back(fetch);
                 }
                 if (multi) {
@@ -340,11 +345,15 @@ SuperOffloadSystem::simulateWithRetained(const TrainSetup &setup,
                     const sim::TaskId cast = builder.onGpu(
                         "cast g(gpu)", builder.gpuCastTime(bp), {grads},
                         -1);
-                    arrived = builder.onD2h(
-                        "d2h g" + std::to_string(c), move_time, {cast});
+                    arrived = builder.onTransfer(
+                        hw::kTierHbm, hw::kTierDdr,
+                        "d2h g" + std::to_string(c), move_time,
+                        move_bytes, {cast});
                 } else {
-                    const sim::TaskId moved = builder.onD2h(
-                        "d2h g" + std::to_string(c), move_time, {grads});
+                    const sim::TaskId moved = builder.onTransfer(
+                        hw::kTierHbm, hw::kTierDdr,
+                        "d2h g" + std::to_string(c), move_time,
+                        move_bytes, {grads});
                     arrived = builder.onCpu(
                         "cast g(cpu)", builder.cpuCastTime(bp), {moved});
                 }
@@ -388,15 +397,19 @@ SuperOffloadSystem::simulateWithRetained(const TrainSetup &setup,
                 back = builder.onCpu("cast p(cpu)",
                                      builder.cpuCastTime(bp), {opt});
             } else if (opts_.sac) {
-                const sim::TaskId moved = builder.onH2d(
-                    "h2d p" + std::to_string(c), move_time, {opt});
+                const sim::TaskId moved = builder.onTransfer(
+                    hw::kTierDdr, hw::kTierHbm,
+                    "h2d p" + std::to_string(c), move_time, move_bytes,
+                    {opt});
                 back = builder.onGpu("cast p(gpu)",
                                      builder.gpuCastTime(bp), {moved}, 1);
             } else {
                 const sim::TaskId cast = builder.onCpu(
                     "cast p(cpu)", builder.cpuCastTime(bp), {opt});
-                back = builder.onH2d(
-                    "h2d p" + std::to_string(c), move_time, {cast});
+                back = builder.onTransfer(
+                    hw::kTierDdr, hw::kTierHbm,
+                    "h2d p" + std::to_string(c), move_time, move_bytes,
+                    {cast});
             }
             ready[c] = back;
         }

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/constants.h"
 #include "runtime/builder.h"
 
 namespace so::core {
@@ -34,7 +35,8 @@ SuperOffloadUlyssesSystem::cpuBytes(const TrainSetup &setup, const SearchCandida
 {
     const double n = setup.cluster.totalSuperchips();
     // Full model states + streamed fp16 copy, ZeRO-3 partitioned.
-    return 18.0 * setup.model.params() / n;
+    return (hw::kModelStateBytesPerParam + hw::kFp16BytesPerParam) *
+           setup.model.params() / n;
 }
 
 IterationResult
@@ -102,9 +104,10 @@ SuperOffloadUlyssesSystem::simulate(const TrainSetup &setup,
                 std::vector<sim::TaskId> fetch_deps;
                 if (step == 0 && opt_prev[l] != sim::kInvalidTask)
                     fetch_deps.push_back(opt_prev[l]);
-                sim::TaskId ready = builder.onH2d(
+                sim::TaskId ready = builder.onTransfer(
+                    hw::kTierDdr, hw::kTierHbm,
                     "h2d w L" + std::to_string(l), fetch_time,
-                    std::move(fetch_deps));
+                    2.0 * layer_shard, std::move(fetch_deps));
                 if (n > 1)
                     ready = builder.onNic("ag", gather_time, {ready});
                 std::vector<sim::TaskId> deps{ready};
@@ -119,8 +122,10 @@ SuperOffloadUlyssesSystem::simulate(const TrainSetup &setup,
             }
             const bool last = step + 1 == accum_steps;
             for (std::uint32_t l = cfg.layers; l-- > 0;) {
-                sim::TaskId ready = builder.onH2d(
-                    "h2d w' L" + std::to_string(l), fetch_time, {});
+                sim::TaskId ready = builder.onTransfer(
+                    hw::kTierDdr, hw::kTierHbm,
+                    "h2d w' L" + std::to_string(l), fetch_time,
+                    2.0 * layer_shard, {});
                 if (n > 1)
                     ready = builder.onNic("ag'", gather_time, {ready});
                 prev = builder.onGpu("bwd L" + std::to_string(l),
@@ -141,9 +146,11 @@ SuperOffloadUlyssesSystem::simulate(const TrainSetup &setup,
                 const sim::TaskId cast = builder.onGpu(
                     "cast g(gpu)", builder.gpuCastTime(layer_shard),
                     {grads}, 1);
-                const sim::TaskId out = builder.onD2h(
+                const sim::TaskId out = builder.onTransfer(
+                    hw::kTierHbm, hw::kTierDdr,
                     "d2h g L" + std::to_string(l),
-                    builder.d2hTime(4.0 * layer_shard), {cast});
+                    builder.d2hTime(4.0 * layer_shard),
+                    4.0 * layer_shard, {cast});
                 const sim::TaskId opt = builder.onCpu(
                     "adam L" + std::to_string(l),
                     builder.cpuAdamTime(layer_shard,

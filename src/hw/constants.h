@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared bytes-per-parameter constants of mixed-precision Adam
+ * training (§2.2 of the paper).
+ *
+ * These numbers used to be scattered as magic literals across the
+ * memory accounting (model/memory.cpp), the CPU traffic model
+ * (CpuSpec::kAdamBytesPerParam), and the task builders
+ * (`12.0 * layer_params` in the ZeRO-Infinity NVMe stream). They are
+ * defined once here so accounting and task building cannot drift
+ * apart: a tensor's footprint in a memory tier and the bytes moved
+ * when it streams between tiers come from the same constant.
+ */
+#ifndef SO_HW_CONSTANTS_H
+#define SO_HW_CONSTANTS_H
+
+namespace so::hw {
+
+/** fp16 copy of the parameters (or gradients): 2 bytes/param. */
+inline constexpr double kFp16BytesPerParam = 2.0;
+
+/** fp32 master copy / momentum / variance: 4 bytes/param each. */
+inline constexpr double kFp32BytesPerParam = 4.0;
+
+/**
+ * Optimizer states only — fp32 master params + momentum + variance =
+ * 12 bytes/param. This is what streams to/from a cold tier when the
+ * optimizer shard lives beyond DRAM (ZeRO-Infinity's NVMe stage).
+ */
+inline constexpr double kOptimStateBytesPerParam =
+    3.0 * kFp32BytesPerParam;
+
+/**
+ * Full mixed-precision model states (§2.2): fp16 params + fp16 grads +
+ * the optimizer states = 16 bytes/param.
+ */
+inline constexpr double kModelStateBytesPerParam =
+    2.0 * kFp16BytesPerParam + kOptimStateBytesPerParam;
+
+/**
+ * DRAM traffic of one Adam step per parameter: read the fp32 gradient
+ * (4 B) + read/write fp32 master, momentum, variance (8 B each) +
+ * write the fp16 shadow copy (2 B) = 30 bytes/param.
+ */
+inline constexpr double kAdamTrafficBytesPerParam =
+    kFp32BytesPerParam + 3.0 * 2.0 * kFp32BytesPerParam +
+    kFp16BytesPerParam;
+
+/**
+ * Usable fraction of advertised host DRAM (OS, page tables, runtime
+ * buffers consume the rest). Applied as the DDR tier's usable
+ * fraction in every hierarchy.
+ */
+inline constexpr double kDdrUsableFraction = 0.90;
+
+} // namespace so::hw
+
+#endif // SO_HW_CONSTANTS_H

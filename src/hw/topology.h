@@ -14,6 +14,7 @@
 #include <string>
 
 #include "hw/bandwidth.h"
+#include "hw/constants.h"
 
 namespace so::hw {
 
@@ -87,9 +88,10 @@ struct CpuSpec
     /**
      * Bytes of DRAM traffic per parameter for one Adam step: read grad
      * (4B) + read/write fp32 param, momentum, variance (8B each) + write
-     * the fp16 shadow copy (2B).
+     * the fp16 shadow copy (2B). Alias of the shared constant so the
+     * traffic model and the accounting cannot drift apart.
      */
-    static constexpr double kAdamBytesPerParam = 30.0;
+    static constexpr double kAdamBytesPerParam = kAdamTrafficBytesPerParam;
 
     /**
      * Fraction of DDR bandwidth an Adam implementation sustains.

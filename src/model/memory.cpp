@@ -23,11 +23,11 @@ StateSizes::forParams(double params)
 {
     SO_ASSERT(params >= 0.0, "negative parameter count");
     StateSizes sizes;
-    sizes.fp16_params = 2.0 * params;
-    sizes.fp16_grads = 2.0 * params;
-    sizes.fp32_params = 4.0 * params;
-    sizes.fp32_momentum = 4.0 * params;
-    sizes.fp32_variance = 4.0 * params;
+    sizes.fp16_params = hw::kFp16BytesPerParam * params;
+    sizes.fp16_grads = hw::kFp16BytesPerParam * params;
+    sizes.fp32_params = hw::kFp32BytesPerParam * params;
+    sizes.fp32_momentum = hw::kFp32BytesPerParam * params;
+    sizes.fp32_variance = hw::kFp32BytesPerParam * params;
     return sizes;
 }
 

@@ -12,6 +12,7 @@
 #ifndef SO_MODEL_MEMORY_H
 #define SO_MODEL_MEMORY_H
 
+#include "hw/constants.h"
 #include "model/config.h"
 
 namespace so::model {
@@ -82,9 +83,10 @@ inline constexpr double kFragmentationFactor = 1.05;
 
 /**
  * Usable fraction of advertised CPU DRAM (OS, page tables, runtime
- * buffers consume the rest).
+ * buffers consume the rest). Alias of the DDR tier's usable fraction
+ * in hw::MemoryHierarchy so accounting and fit checks agree.
  */
-inline constexpr double kCpuUsableFraction = 0.90;
+inline constexpr double kCpuUsableFraction = hw::kDdrUsableFraction;
 
 /** Apply fragmentation + fixed overhead to raw resident GPU bytes. */
 double gpuResidentBytes(double raw_bytes);

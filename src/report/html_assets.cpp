@@ -284,6 +284,16 @@ const char kExplorerJs[] = R"SOJS(
     return s.toPrecision(4) + ' s';
   }
   function fmtSigned(s) { return (s > 0 ? '+' : '') + fmtS(s); }
+  function fmtBytes(b) {
+    if (b === undefined || b === null || !isFinite(b)) return '-';
+    if (b === 0) return '0 B';
+    var units = ['B', 'KiB', 'MiB', 'GiB', 'TiB'];
+    var i = 0;
+    while (Math.abs(b) >= 1024 && i < units.length - 1) {
+      b /= 1024; i += 1;
+    }
+    return b.toPrecision(3) + ' ' + units[i];
+  }
   function fmtNum(x) {
     if (x === undefined || x === null || !isFinite(x)) return '-';
     if (x !== 0 && (Math.abs(x) >= 1e6 || Math.abs(x) < 1e-4))
@@ -839,6 +849,74 @@ const char kExplorerJs[] = R"SOJS(
       stackedBar(drill, profile.critical_phases.map(function (p) {
         return [p.phase, p.seconds];
       }), profile.critical_length_s || 0, phaseColor);
+    }
+    renderTiers(drill, res);
+  }
+
+  // Per-tier occupancy strips (demand vs capacity) plus per-path
+  // traffic strips: the memory-hierarchy view of one result.
+  function renderTiers(host, res) {
+    var tiers = (res.memory || {}).tiers || [];
+    if (tiers.length) {
+      host.appendChild(el('p', 'so-note', 'memory-tier occupancy'));
+      tiers.forEach(function (t) {
+        var row = el('div', 'so-striprow');
+        row.appendChild(el('span', 'name', t.tier));
+        var strip = el('div', 'so-strip');
+        var used = el('i');
+        used.style.background = cssVar('--busy');
+        used.style.flexGrow = String(t.bytes || 0);
+        hover(used, function () {
+          return [t.tier + ' · ' + (t.description || ''),
+              [['demand', fmtBytes(t.bytes)],
+               ['capacity', fmtBytes(t.capacity)]]];
+        });
+        strip.appendChild(used);
+        var free = (t.capacity || 0) - (t.bytes || 0);
+        if (free > 0) {
+          var rest = el('i');
+          rest.style.background = cssVar('--surface');
+          rest.style.flexGrow = String(free);
+          strip.appendChild(rest);
+        }
+        row.appendChild(strip);
+        var pct = t.capacity > 0
+            ? (100 * t.bytes / t.capacity).toFixed(1) + '%' : '-';
+        row.appendChild(el('span', 'val',
+            fmtBytes(t.bytes) + ' · ' + pct));
+        host.appendChild(row);
+      });
+    }
+    var traffic = res.tier_traffic || [];
+    var moved = traffic.filter(function (t) { return t.bytes > 0; });
+    if (moved.length) {
+      host.appendChild(el('p', 'so-note', 'inter-tier traffic'));
+      var peak = Math.max.apply(null, moved.map(function (t) {
+        return t.bytes;
+      }));
+      moved.forEach(function (t) {
+        var row = el('div', 'so-striprow');
+        row.appendChild(el('span', 'name',
+            t.from + '→' + t.to));
+        var strip = el('div', 'so-strip');
+        var seg = el('i');
+        seg.style.background = cssVar('--series-1');
+        seg.style.flexGrow = String(t.bytes);
+        hover(seg, function () {
+          return [t.from + '→' + t.to + ' [' + t.channel + ']',
+              [['bytes', fmtBytes(t.bytes)]]];
+        });
+        strip.appendChild(seg);
+        if (peak > t.bytes) {
+          var pad = el('i');
+          pad.style.background = cssVar('--surface');
+          pad.style.flexGrow = String(peak - t.bytes);
+          strip.appendChild(pad);
+        }
+        row.appendChild(strip);
+        row.appendChild(el('span', 'val', fmtBytes(t.bytes)));
+        host.appendChild(row);
+      });
     }
   }
 

@@ -10,12 +10,16 @@
 
 namespace so::runtime {
 
-IterBuilder::IterBuilder(const TrainSetup &setup)
+IterBuilder::IterBuilder(const TrainSetup &setup, hw::HierarchyOptions opts)
     : setup_(setup),
       chip_(setup.cluster.node.superchip),
       host_link_(hw::effectiveHostLink(setup.cluster.node, setup.binding)),
-      coll_(hw::CollectiveCost::fromCluster(setup.cluster))
+      coll_(hw::CollectiveCost::fromCluster(setup.cluster)),
+      hier_(hw::memoryHierarchy(chip_, host_link_, opts))
 {
+    // The standard seven resources, in an order pinned by tests (and by
+    // stored schedules): the hierarchy's canonical channels map onto
+    // them by name, so the default hierarchy adds no resources.
     gpu_ = graph_.addResource("GPU", 1);
     cpu_ = graph_.addResource("CPU", 1);
     cpu_bg_ = graph_.addResource("CPU-bg", 1);
@@ -23,6 +27,28 @@ IterBuilder::IterBuilder(const TrainSetup &setup)
     d2h_ = graph_.addResource("D2H", 1);
     nic_ = graph_.addResource("NIC", 1);
     nvme_ = graph_.addResource("NVMe", 1);
+
+    channels_.emplace_back(std::string(hw::kChannelH2d), h2d_);
+    channels_.emplace_back(std::string(hw::kChannelD2h), d2h_);
+    channels_.emplace_back(std::string(hw::kChannelNvme), nvme_);
+    for (const hw::MemoryPath &path : hier_.paths()) {
+        bool known = false;
+        for (const auto &chan : channels_)
+            known = known || chan.first == path.channel;
+        if (!known)
+            channels_.emplace_back(path.channel,
+                                   graph_.addResource(path.channel, 1));
+    }
+    path_bytes_.assign(hier_.paths().size(), 0.0);
+}
+
+sim::ResourceId
+IterBuilder::channelResource(std::string_view channel) const
+{
+    for (const auto &chan : channels_)
+        if (chan.first == channel)
+            return chan.second;
+    SO_PANIC("unknown hierarchy channel '", std::string(channel), "'");
 }
 
 double
@@ -42,15 +68,28 @@ IterBuilder::attnTime(double flops) const
 double
 IterBuilder::h2dTime(double bytes, bool pinned) const
 {
-    return pinned ? host_link_.transferTime(bytes)
-                  : host_link_.transferTimeUnpinned(bytes);
+    return transferTime(hw::kTierDdr, hw::kTierHbm, bytes, pinned);
 }
 
 double
 IterBuilder::d2hTime(double bytes, bool pinned) const
 {
     // The host link is symmetric per direction in all our presets.
-    return h2dTime(bytes, pinned);
+    return transferTime(hw::kTierHbm, hw::kTierDdr, bytes, pinned);
+}
+
+double
+IterBuilder::transferTime(std::string_view from, std::string_view to,
+                          double bytes, bool pinned) const
+{
+    return pathTime(hier_.primaryPath(from, to), bytes, pinned);
+}
+
+double
+IterBuilder::pathTime(const hw::MemoryPath &path, double bytes,
+                      bool pinned) const
+{
+    return path.transferTime(bytes, pinned);
 }
 
 double
@@ -58,15 +97,26 @@ IterBuilder::chunkedTransferTime(double bytes, double granule,
                                  bool pinned,
                                  double per_chunk_overhead) const
 {
+    return chunkedTransferTime(hw::kTierDdr, hw::kTierHbm, bytes, granule,
+                               pinned, per_chunk_overhead);
+}
+
+double
+IterBuilder::chunkedTransferTime(std::string_view from,
+                                 std::string_view to, double bytes,
+                                 double granule, bool pinned,
+                                 double per_chunk_overhead) const
+{
     SO_ASSERT(granule > 0.0, "granule must be positive");
     if (bytes <= 0.0)
         return 0.0;
+    const hw::MemoryPath &path = hier_.primaryPath(from, to);
     const double full_chunks = std::floor(bytes / granule);
     const double rest = bytes - full_chunks * granule;
-    double time =
-        full_chunks * (h2dTime(granule, pinned) + per_chunk_overhead);
+    double time = full_chunks *
+                  (pathTime(path, granule, pinned) + per_chunk_overhead);
     if (rest > 0.0)
-        time += h2dTime(rest, pinned) + per_chunk_overhead;
+        time += pathTime(path, rest, pinned) + per_chunk_overhead;
     return time;
 }
 
@@ -87,7 +137,7 @@ IterBuilder::nvmeTime(double bytes) const
 {
     SO_ASSERT(chip_.nvme_bytes > 0.0,
               "this Superchip preset has no NVMe tier");
-    return chip_.nvme.transferTime(bytes);
+    return transferTime(hw::kTierDdr, hw::kTierNvme, bytes);
 }
 
 double
@@ -159,6 +209,38 @@ IterBuilder::onNvme(std::string_view label, double seconds,
     return graph_.addTask(nvme_, seconds, label, deps, priority);
 }
 
+sim::TaskId
+IterBuilder::onTransfer(std::string_view from, std::string_view to,
+                        std::string_view label, double seconds,
+                        double bytes, sim::DepView deps,
+                        std::int32_t priority)
+{
+    return onPath(hier_.primaryPath(from, to), label, seconds, bytes,
+                  deps, priority);
+}
+
+sim::TaskId
+IterBuilder::onPath(const hw::MemoryPath &path, std::string_view label,
+                    double seconds, double bytes, sim::DepView deps,
+                    std::int32_t priority)
+{
+    const std::size_t index =
+        static_cast<std::size_t>(&path - hier_.paths().data());
+    SO_ASSERT(index < hier_.paths().size(),
+              "onPath: path does not belong to this hierarchy");
+    SO_ASSERT(bytes >= 0.0, "negative transfer bytes");
+    path_bytes_[index] += bytes;
+    return graph_.addTask(channelResource(path.channel), seconds, label,
+                          deps, priority);
+}
+
+double
+IterBuilder::pathBytes(std::size_t path_index) const
+{
+    SO_ASSERT(path_index < path_bytes_.size(), "path index out of range");
+    return path_bytes_[path_index];
+}
+
 void
 IterBuilder::reserve(std::size_t tasks, std::size_t edges)
 {
@@ -199,6 +281,16 @@ IterBuilder::finishWindow(const model::IterationFlops &flops,
         schedule.timelines[h2d_].busyTime(win_begin, win_end) +
         schedule.timelines[d2h_].busyTime(win_begin, win_end);
     res.link_utilization = link_busy / (2.0 * (win_end - win_begin));
+    res.tier_traffic.reserve(hier_.paths().size());
+    for (std::size_t i = 0; i < hier_.paths().size(); ++i) {
+        const hw::MemoryPath &path = hier_.paths()[i];
+        IterationResult::TierTraffic traffic;
+        traffic.from = hier_.tiers()[path.src].name;
+        traffic.to = hier_.tiers()[path.dst].name;
+        traffic.channel = path.channel;
+        traffic.bytes = path_bytes_[i];
+        res.tier_traffic.push_back(std::move(traffic));
+    }
     res.gantt = sim::toAsciiGantt(graph_, schedule);
     if (setup_.capture_profile) {
         // The profile covers the whole simulated schedule, not just the

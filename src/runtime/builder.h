@@ -12,9 +12,13 @@
 #ifndef SO_RUNTIME_BUILDER_H
 #define SO_RUNTIME_BUILDER_H
 
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "hw/collective.h"
+#include "hw/memory.h"
 #include "runtime/system.h"
 #include "sim/graph.h"
 #include "sim/scheduler.h"
@@ -25,7 +29,14 @@ namespace so::runtime {
 class IterBuilder
 {
   public:
-    explicit IterBuilder(const TrainSetup &setup);
+    /**
+     * @param opts hierarchy construction options; the default is the
+     * canonical staged hierarchy whose channels map exactly onto the
+     * seed resource set. Extra paths (e.g. GDS) allocate their own sim
+     * resources after the standard seven.
+     */
+    explicit IterBuilder(const TrainSetup &setup,
+                         hw::HierarchyOptions opts = {});
 
     /// @name Resources
     /// @{
@@ -39,6 +50,12 @@ class IterBuilder
     sim::ResourceId nic() const { return nic_; }
     /** Node-local NVMe channel (ZeRO-Infinity's third tier). */
     sim::ResourceId nvme() const { return nvme_; }
+
+    /** The memory hierarchy this rank schedules transfers over. */
+    const hw::MemoryHierarchy &hierarchy() const { return hier_; }
+
+    /** Sim resource carrying hierarchy channel @p channel. */
+    sim::ResourceId channelResource(std::string_view channel) const;
     /// @}
 
     /// @name Duration models
@@ -62,6 +79,18 @@ class IterBuilder
     double d2hTime(double bytes, bool pinned = true) const;
 
     /**
+     * One message of @p bytes over the primary @p from -> @p to
+     * hierarchy path. transferTime("DDR", "HBM", b) == h2dTime(b): the
+     * legacy helpers are aliases of the canonical tier pairs.
+     */
+    double transferTime(std::string_view from, std::string_view to,
+                        double bytes, bool pinned = true) const;
+
+    /** One message of @p bytes over a specific hierarchy path. */
+    double pathTime(const hw::MemoryPath &path, double bytes,
+                    bool pinned = true) const;
+
+    /**
      * Time to move @p bytes in granule-sized messages (each paying the
      * granule's achievable bandwidth + latency). Models systems that
      * transfer through small staging buffers (ZeRO-Infinity, §5.2).
@@ -70,6 +99,12 @@ class IterBuilder
      * time.
      */
     double chunkedTransferTime(double bytes, double granule,
+                               bool pinned = true,
+                               double per_chunk_overhead = 0.0) const;
+
+    /** Chunked transfer over the primary @p from -> @p to path. */
+    double chunkedTransferTime(std::string_view from, std::string_view to,
+                               double bytes, double granule,
                                bool pinned = true,
                                double per_chunk_overhead = 0.0) const;
 
@@ -116,6 +151,31 @@ class IterBuilder
                       sim::DepView deps = {}, std::int32_t priority = 0);
     sim::TaskId onNvme(std::string_view label, double seconds,
                        sim::DepView deps = {}, std::int32_t priority = 0);
+
+    /**
+     * Schedule a transfer of @p bytes (taking @p seconds, typically
+     * from transferTime or chunkedTransferTime) on the primary
+     * @p from -> @p to path's channel, and account the bytes to that
+     * path for the per-tier traffic report. This is the canonical way
+     * to emit inter-tier moves; onH2d/onD2h/onNvme are raw channel
+     * access without traffic accounting.
+     */
+    sim::TaskId onTransfer(std::string_view from, std::string_view to,
+                           std::string_view label, double seconds,
+                           double bytes, sim::DepView deps = {},
+                           std::int32_t priority = 0);
+
+    /**
+     * Like onTransfer but over a specific path (for multi-path systems
+     * striping one logical move across concurrent routes). @p path must
+     * belong to hierarchy().paths().
+     */
+    sim::TaskId onPath(const hw::MemoryPath &path, std::string_view label,
+                       double seconds, double bytes,
+                       sim::DepView deps = {}, std::int32_t priority = 0);
+
+    /** Bytes accounted so far to hierarchy path @p path_index. */
+    double pathBytes(std::size_t path_index) const;
     /// @}
 
     /**
@@ -152,6 +212,7 @@ class IterBuilder
     const hw::SuperchipSpec &chip_;
     const hw::Link &host_link_;
     hw::CollectiveCost coll_;
+    hw::MemoryHierarchy hier_;
     sim::TaskGraph graph_;
     sim::ResourceId gpu_;
     sim::ResourceId cpu_;
@@ -160,6 +221,10 @@ class IterBuilder
     sim::ResourceId d2h_;
     sim::ResourceId nic_;
     sim::ResourceId nvme_;
+    /** Channel name -> sim resource, one entry per distinct channel. */
+    std::vector<std::pair<std::string, sim::ResourceId>> channels_;
+    /** Bytes scheduled per hierarchy path (tier-traffic accounting). */
+    std::vector<double> path_bytes_;
 };
 
 /**

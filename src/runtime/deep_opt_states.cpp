@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/constants.h"
 #include "runtime/builder.h"
 
 namespace so::runtime {
@@ -31,7 +32,8 @@ double
 DeepOptStatesSystem::cpuBytes(const TrainSetup &setup, const SearchCandidate &) const
 {
     // Optimizer states only (12 bytes/param), sharded across ranks.
-    return 12.0 * setup.model.params() / setup.cluster.totalSuperchips();
+    return hw::kOptimStateBytesPerParam * setup.model.params() /
+           setup.cluster.totalSuperchips();
 }
 
 IterationResult
@@ -66,8 +68,9 @@ DeepOptStatesSystem::simulate(const TrainSetup &setup,
     // Optimizer-state stream: fetch (12 B/param) before the update,
     // write back (12 B/param) after it; the fetches prefetch against
     // the backward pass.
-    const double fetch_time = builder.h2dTime(12.0 * shard);
-    const double writeback_time = builder.d2hTime(12.0 * shard);
+    const double opt_bytes = hw::kOptimStateBytesPerParam * shard;
+    const double fetch_time = builder.h2dTime(opt_bytes);
+    const double writeback_time = builder.d2hTime(opt_bytes);
 
     // accum_steps fwd+bwd passes per bucket; the last pass adds up to
     // four tasks per bucket (rs, h2d, adam, d2h) plus the optional
@@ -103,13 +106,16 @@ DeepOptStatesSystem::simulate(const TrainSetup &setup,
             // States arrive via prefetch; the GPU applies Adam to this
             // bucket as soon as its gradients are reduced (priority 1:
             // remaining backward chunks run first).
-            const sim::TaskId fetched = builder.onH2d(
-                "h2d opt" + std::to_string(c), fetch_time, {});
+            const sim::TaskId fetched = builder.onTransfer(
+                hw::kTierDdr, hw::kTierHbm,
+                "h2d opt" + std::to_string(c), fetch_time, opt_bytes, {});
             const sim::TaskId opt = builder.onGpu(
                 "adam(gpu) b" + std::to_string(c),
                 builder.gpuAdamTime(shard), {grads, fetched}, 1);
-            updates.push_back(builder.onD2h(
-                "d2h opt" + std::to_string(c), writeback_time, {opt}));
+            updates.push_back(builder.onTransfer(
+                hw::kTierHbm, hw::kTierDdr,
+                "d2h opt" + std::to_string(c), writeback_time, opt_bytes,
+                {opt}));
         }
     }
     if (n > 1) {

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/constants.h"
 #include "runtime/builder.h"
 
 namespace so::runtime {
@@ -27,7 +28,7 @@ FsdpOffloadSystem::cpuBytes(const TrainSetup &setup, const SearchCandidate &) co
 {
     const double n = setup.cluster.totalSuperchips();
     // fp32 params + optimizer + fp32 grads, sharded.
-    return 16.0 * setup.model.params() / n;
+    return hw::kModelStateBytesPerParam * setup.model.params() / n;
 }
 
 IterationResult
@@ -60,8 +61,9 @@ FsdpOffloadSystem::simulate(const TrainSetup &setup,
     // layer runs: the H2D depends on the *previous GPU task*, so it
     // never overlaps compute (no prefetch), and the copies go through
     // pageable host memory (no pinned staging pool).
+    const double shard_bytes = hw::kFp16BytesPerParam * layer_params / n;
     const double fetch_time =
-        builder.h2dTime(2.0 * layer_params / n, /*pinned=*/false);
+        builder.h2dTime(shard_bytes, /*pinned=*/false);
     const double gather_time =
         n > 1 ? builder.coll().allGather(2.0 * layer_params) : 0.0;
 
@@ -82,9 +84,9 @@ FsdpOffloadSystem::simulate(const TrainSetup &setup,
             std::vector<sim::TaskId> fetch_deps;
             if (prev != sim::kInvalidTask)
                 fetch_deps.push_back(prev);
-            sim::TaskId ready = builder.onH2d(
-                "h2d L" + std::to_string(l), fetch_time,
-                std::move(fetch_deps));
+            sim::TaskId ready = builder.onTransfer(
+                hw::kTierDdr, hw::kTierHbm, "h2d L" + std::to_string(l),
+                fetch_time, shard_bytes, std::move(fetch_deps));
             if (n > 1)
                 ready = builder.onNic("ag", gather_time, {ready});
             prev = builder.onGpu("fwd L" + std::to_string(l), fwd_layer,
@@ -92,8 +94,9 @@ FsdpOffloadSystem::simulate(const TrainSetup &setup,
         }
         const bool last = step + 1 == accum_steps;
         for (std::uint32_t l = cfg.layers; l-- > 0;) {
-            sim::TaskId ready = builder.onH2d(
-                "h2d' L" + std::to_string(l), fetch_time, {prev});
+            sim::TaskId ready = builder.onTransfer(
+                hw::kTierDdr, hw::kTierHbm, "h2d' L" + std::to_string(l),
+                fetch_time, shard_bytes, {prev});
             if (n > 1)
                 ready = builder.onNic("ag'", gather_time, {ready});
             prev = builder.onGpu("bwd L" + std::to_string(l), bwd_layer,
@@ -106,10 +109,10 @@ FsdpOffloadSystem::simulate(const TrainSetup &setup,
                     "rs", builder.coll().reduceScatter(2.0 * layer_params),
                     {grads});
             }
-            grad_arrivals[l] = builder.onD2h(
-                "d2h g L" + std::to_string(l),
-                builder.d2hTime(2.0 * layer_params / n, /*pinned=*/false),
-                {grads});
+            grad_arrivals[l] = builder.onTransfer(
+                hw::kTierHbm, hw::kTierDdr, "d2h g L" + std::to_string(l),
+                builder.d2hTime(shard_bytes, /*pinned=*/false),
+                shard_bytes, {grads});
         }
     }
 

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Multi-path SuperOffload variant (MLP-Offload-style).
+ *
+ * MLP-Offload's observation is that a third memory tier is only slow
+ * when all its traffic funnels through one route: a superchip has
+ * several concurrent paths out of NVMe — the classic staged route
+ * through host DRAM, and a direct GDS-style DMA queue into HBM — and
+ * striping the optimizer-state stream across both (while the C2C link
+ * carries the gradient/parameter flow) hides most of the drive time.
+ *
+ * This system splits the optimizer states between DDR and NVMe by a
+ * searched fraction. The NVMe-resident share is striped over the two
+ * drive routes: one stripe stages through DRAM and is updated by the
+ * CPU optimizer, the other DMAs straight to HBM (its own sim channel,
+ * so it genuinely overlaps in the DES) and is updated by the GPU. On
+ * chips without NVMe the search collapses to the DDR-only fraction and
+ * the system degrades to a plain bucketed offload design.
+ */
+#ifndef SO_RUNTIME_MULTIPATH_OFFLOAD_H
+#define SO_RUNTIME_MULTIPATH_OFFLOAD_H
+
+#include "runtime/system.h"
+
+namespace so::runtime {
+
+/** Bucketed CPU offload with multi-path NVMe optimizer streaming. */
+class MultiPathOffloadSystem : public TrainingSystem
+{
+  public:
+    /**
+     * @param enable_gds add the direct NVMe<->HBM path; disabling it
+     * forces all NVMe traffic through the staged route (the single-path
+     * baseline the bench compares against).
+     * @param forced_fraction pin the NVMe fraction instead of searching
+     * the grid (negative = search). Used by benches for a like-for-like
+     * single-path vs multi-path comparison.
+     */
+    explicit MultiPathOffloadSystem(bool enable_gds = true,
+                                    double forced_fraction = -1.0)
+        : enable_gds_(enable_gds), forced_fraction_(forced_fraction)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return enable_gds_ ? "SuperOffload-MultiPath"
+                           : "SuperOffload-MultiPath(staged)";
+    }
+
+    /** Searched shares of optimizer states resident on NVMe. */
+    static constexpr double kNvmeFractions[] = {0.0, 0.25, 0.5, 0.75,
+                                                1.0};
+
+    /** Share of optimizer states placed on NVMe for @p cand. */
+    double nvmeFraction(const SearchCandidate &cand) const;
+
+  protected:
+    double gpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &cand) const override;
+    double cpuBytes(const TrainSetup &setup,
+                    const SearchCandidate &cand) const override;
+    double nvmeBytes(const TrainSetup &setup,
+                     const SearchCandidate &cand) const override;
+    IterationResult simulate(const TrainSetup &setup,
+                             const SearchCandidate &cand) const override;
+    std::vector<std::uint32_t>
+    searchVariants(const TrainSetup &setup) const override;
+    hw::HierarchyOptions hierarchyOptions() const override;
+
+  private:
+    const bool enable_gds_;
+    const double forced_fraction_;
+};
+
+} // namespace so::runtime
+
+#endif // SO_RUNTIME_MULTIPATH_OFFLOAD_H

@@ -4,7 +4,9 @@
 #include "runtime/ddp.h"
 #include "runtime/deep_opt_states.h"
 #include "runtime/fsdp_offload.h"
+#include "runtime/graph_placement.h"
 #include "runtime/megatron.h"
+#include "runtime/multipath_offload.h"
 #include "runtime/pipeline.h"
 #include "runtime/ulysses.h"
 #include "runtime/zero.h"
@@ -40,18 +42,30 @@ makeBaseline(const std::string &name)
         return std::make_unique<PipelineSystem>();
     if (name == "deep-opt-states")
         return std::make_unique<DeepOptStatesSystem>();
+    if (name == "superoffload-multipath")
+        return std::make_unique<MultiPathOffloadSystem>();
+    if (name == "hyperoffload")
+        return std::make_unique<GraphPlacementSystem>();
     SO_FATAL("unknown baseline '", name, "'");
 }
 
 std::vector<std::string>
 baselineNames()
 {
-    return {"ddp",           "megatron",
-            "zero2",         "zero3",
-            "zero-offload",  "zero-infinity",
-            "fsdp-offload",  "ulysses",
-            "ulysses-zero3", "zero-infinity-nvme",
-            "pipeline",      "deep-opt-states"};
+    return {"ddp",
+            "megatron",
+            "zero2",
+            "zero3",
+            "zero-offload",
+            "zero-infinity",
+            "fsdp-offload",
+            "ulysses",
+            "ulysses-zero3",
+            "zero-infinity-nvme",
+            "pipeline",
+            "deep-opt-states",
+            "superoffload-multipath",
+            "hyperoffload"};
 }
 
 } // namespace so::runtime

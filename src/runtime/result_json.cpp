@@ -34,7 +34,32 @@ writeIterationJson(JsonWriter &json, const IterationResult &result)
         json.field("nvme_bytes", result.memory.nvme_bytes);
         json.field("nvme_capacity", result.memory.nvme_capacity);
     }
+    if (!result.memory.tiers.empty()) {
+        json.key("tiers").beginArray();
+        for (const TierUsage &tier : result.memory.tiers) {
+            json.beginObject();
+            json.field("tier", tier.tier);
+            json.field("description", tier.description);
+            json.field("bytes", tier.bytes);
+            json.field("capacity", tier.capacity);
+            json.endObject();
+        }
+        json.endArray();
+    }
     json.endObject();
+    if (!result.tier_traffic.empty()) {
+        json.key("tier_traffic").beginArray();
+        for (const IterationResult::TierTraffic &traffic :
+             result.tier_traffic) {
+            json.beginObject();
+            json.field("from", traffic.from);
+            json.field("to", traffic.to);
+            json.field("channel", traffic.channel);
+            json.field("bytes", traffic.bytes);
+            json.endObject();
+        }
+        json.endArray();
+    }
     json.field("model_flops", result.flops.modelFlops());
     json.field("executed_flops", result.flops.executedFlops());
     if (result.profile.valid) {

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "hw/memory.h"
 #include "runtime/result_json.h"
 
 namespace so::runtime {
@@ -56,6 +57,30 @@ appendLink(std::string &out, const hw::Link &link)
 }
 
 void
+appendHierarchy(std::string &out, const hw::NodeSpec &node)
+{
+    // The derived memory hierarchy is part of the cell identity: a
+    // change to the tier/path model (new tiers, different channels,
+    // usable fractions) must invalidate stored sweep results even when
+    // the raw chip fields happen to agree.
+    const hw::MemoryHierarchy hier =
+        hw::memoryHierarchy(node, hw::NumaBinding::Colocated);
+    for (const hw::MemoryTier &tier : hier.tiers()) {
+        appendStr(out, tier.name);
+        appendNum(out, static_cast<std::uint32_t>(tier.kind));
+        appendNum(out, tier.capacity_bytes);
+        appendNum(out, tier.bandwidth);
+        appendNum(out, tier.latency);
+        appendNum(out, tier.usable_fraction);
+    }
+    for (const hw::MemoryPath &path : hier.paths()) {
+        appendStr(out, path.name);
+        appendStr(out, path.channel);
+        appendLink(out, path.link);
+    }
+}
+
+void
 appendCluster(std::string &out, const hw::ClusterSpec &cluster)
 {
     const hw::NodeSpec &node = cluster.node;
@@ -80,6 +105,7 @@ appendCluster(std::string &out, const hw::ClusterSpec &cluster)
     appendLink(out, node.intra_node);
     appendLink(out, node.inter_node);
     appendNum(out, cluster.node_count);
+    appendHierarchy(out, node);
 }
 
 void

@@ -84,16 +84,78 @@ TrainingSystem::perRankBatch(const TrainSetup &setup) const
     return setup.perGpuBatch();
 }
 
+hw::MemoryHierarchy
+TrainingSystem::hierarchy(const TrainSetup &setup) const
+{
+    return hw::memoryHierarchy(setup.cluster.node, setup.binding,
+                               hierarchyOptions());
+}
+
+double
+TrainingSystem::tierBytes(const TrainSetup &setup,
+                          const SearchCandidate &cand,
+                          const hw::MemoryTier &tier) const
+{
+    switch (tier.kind) {
+      case hw::TierKind::Device: return gpuBytes(setup, cand);
+      case hw::TierKind::Host:   return cpuBytes(setup, cand);
+      case hw::TierKind::Cold:   return nvmeBytes(setup, cand);
+    }
+    SO_PANIC("unknown tier kind");
+}
+
+std::vector<TierUsage>
+TrainingSystem::tierDemands(const TrainSetup &setup,
+                            const SearchCandidate &cand) const
+{
+    std::vector<TierUsage> out;
+    const hw::MemoryHierarchy hier = hierarchy(setup);
+    bool has_cold = false;
+    for (const hw::MemoryTier &tier : hier.tiers()) {
+        TierUsage usage;
+        usage.tier = tier.name;
+        usage.description = tier.description;
+        usage.kind = tier.kind;
+        usage.bytes = tierBytes(setup, cand, tier);
+        usage.capacity = tier.usableBytes();
+        has_cold = has_cold || tier.kind == hw::TierKind::Cold;
+        out.push_back(std::move(usage));
+    }
+    if (!has_cold) {
+        // A system demanding NVMe bytes on a chip without the tier must
+        // still be diagnosable: report the demand against zero capacity.
+        const double need = nvmeBytes(setup, cand);
+        if (need > 0.0) {
+            TierUsage usage;
+            usage.tier = std::string(hw::kTierNvme);
+            usage.description = "NVMe";
+            usage.kind = hw::TierKind::Cold;
+            usage.bytes = need;
+            usage.capacity = 0.0;
+            out.push_back(std::move(usage));
+        }
+    }
+    return out;
+}
+
 void
 TrainingSystem::fillMemory(IterationResult &res, const TrainSetup &setup,
                            const SearchCandidate &cand) const
 {
-    res.memory.gpu_bytes = gpuBytes(setup, cand);
-    res.memory.gpu_capacity = gpuCapacity(setup);
-    res.memory.cpu_bytes = cpuBytes(setup, cand);
-    res.memory.cpu_capacity = cpuCapacity(setup);
-    res.memory.nvme_bytes = nvmeBytes(setup, cand);
-    res.memory.nvme_capacity = setup.cluster.node.superchip.nvme_bytes;
+    res.memory.tiers = tierDemands(setup, cand);
+    // Mirror the canonical tiers into the legacy scalar fields.
+    for (const TierUsage &usage : res.memory.tiers) {
+        if (usage.tier == hw::kTierHbm) {
+            res.memory.gpu_bytes = usage.bytes;
+            res.memory.gpu_capacity = usage.capacity;
+        } else if (usage.tier == hw::kTierDdr) {
+            res.memory.cpu_bytes = usage.bytes;
+            res.memory.cpu_capacity = usage.capacity;
+        } else if (usage.tier == hw::kTierNvme) {
+            res.memory.nvme_bytes = usage.bytes;
+            res.memory.nvme_capacity = usage.capacity;
+        }
+    }
 }
 
 bool
@@ -104,10 +166,12 @@ TrainingSystem::screenVariant(const TrainSetup &setup,
     SearchCandidate probe;
     probe.variant = variant;
 
-    if (nvmeBytes(setup, probe) > setup.cluster.node.superchip.nvme_bytes)
-        return false;
-    if (cpuBytes(setup, probe) > cpuCapacity(setup))
-        return false;
+    // Non-device tiers do not depend on the micro-batch: screen them
+    // once, coldest first so the binding constraint is reported first.
+    const std::vector<TierUsage> demands = tierDemands(setup, probe);
+    for (auto it = demands.rbegin(); it != demands.rend(); ++it)
+        if (it->kind != hw::TierKind::Device && !it->fits())
+            return false;
 
     const double gpu_cap = gpuCapacity(setup);
     const std::uint32_t per_rank = perRankBatch(setup);
@@ -174,33 +238,38 @@ TrainingSystem::infeasibleResult(const TrainSetup &setup,
     probe.checkpointing = true;
 
     IterationResult res;
-    const double nvme_cap = setup.cluster.node.superchip.nvme_bytes;
-    const double nvme_need = nvmeBytes(setup, probe);
-    if (nvme_need > nvme_cap) {
+
+    // Non-device tiers, coldest first: the binding constraint names the
+    // overflowing tier uniformly as "<tier>: needs X, capacity Y".
+    const std::vector<TierUsage> demands = tierDemands(setup, probe);
+    for (auto it = demands.rbegin(); it != demands.rend(); ++it) {
+        if (it->kind == hw::TierKind::Device || it->fits())
+            continue;
         fillMemory(res, setup, probe);
-        res.infeasible_reason =
-            "NVMe: needs " + formatBytes(nvme_need) + ", capacity " +
-            formatBytes(nvme_cap);
+        res.infeasible_reason = it->description + ": needs " +
+                                formatBytes(it->bytes) + ", capacity " +
+                                formatBytes(it->capacity);
         return res;
     }
 
-    const double cpu_need = cpuBytes(setup, probe);
-    const double cpu_cap = cpuCapacity(setup);
-    if (cpu_need > cpu_cap) {
-        fillMemory(res, setup, probe);
-        res.infeasible_reason =
-            "host DRAM: needs " + formatBytes(cpu_need) + ", capacity " +
-            formatBytes(cpu_cap);
-        return res;
-    }
-
+    // Otherwise the device tier is the binding constraint even at
+    // micro-batch 1 (with checkpointing when the system supports it).
     probe.checkpointing = allowCheckpointing();
     fillMemory(res, setup, probe);
+    std::string device_desc = "GPU memory";
+    double device_cap = gpuCapacity(setup);
+    for (const TierUsage &usage : res.memory.tiers) {
+        if (usage.kind == hw::TierKind::Device) {
+            device_desc = usage.description;
+            device_cap = usage.capacity;
+            break;
+        }
+    }
     res.infeasible_reason =
-        "GPU memory: needs " + formatBytes(res.memory.gpu_bytes) +
+        device_desc + ": needs " + formatBytes(res.memory.gpu_bytes) +
         " at micro-batch 1" +
         (allowCheckpointing() ? " with checkpointing" : "") +
-        ", capacity " + formatBytes(gpuCapacity(setup));
+        ", capacity " + formatBytes(device_cap);
     return res;
 }
 

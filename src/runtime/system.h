@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "hw/collective.h"
+#include "hw/memory.h"
 #include "hw/presets.h"
 #include "hw/topology.h"
 #include "model/config.h"
@@ -91,6 +92,20 @@ struct SearchCandidate
     std::uint32_t variant = 0;
 };
 
+/** Demand vs capacity of one memory tier for one rank. */
+struct TierUsage
+{
+    /** Tier lookup key ("HBM", "DDR", "NVMe"). */
+    std::string tier;
+    /** Diagnostic label ("GPU memory", "host DRAM", "NVMe"). */
+    std::string description;
+    hw::TierKind kind = hw::TierKind::Host;
+    double bytes = 0.0;
+    double capacity = 0.0;
+
+    bool fits() const { return bytes <= capacity || bytes == 0.0; }
+};
+
 /** Memory demand vs capacity for one rank. */
 struct MemoryReport
 {
@@ -101,6 +116,13 @@ struct MemoryReport
     /** NVMe tier (ZeRO-Infinity's third tier); both 0 when unused. */
     double nvme_bytes = 0.0;
     double nvme_capacity = 0.0;
+
+    /**
+     * Per-tier breakdown in hierarchy order (hot -> cold). The legacy
+     * scalars above mirror the HBM/DDR/NVMe entries for existing
+     * consumers; the vector is the generic N-tier view.
+     */
+    std::vector<TierUsage> tiers;
 
     bool fitsGpu() const { return gpu_bytes <= gpu_capacity; }
     bool fitsCpu() const { return cpu_bytes <= cpu_capacity; }
@@ -163,6 +185,25 @@ struct IterationResult
     double link_utilization = 0.0;
 
     MemoryReport memory;
+
+    /** Bytes moved over one hierarchy path during the iteration. */
+    struct TierTraffic
+    {
+        /** Source / destination tier names ("DDR" -> "HBM"). */
+        std::string from;
+        std::string to;
+        /** DES channel that carried the traffic ("H2D", "GDS", ...). */
+        std::string channel;
+        double bytes = 0.0;
+    };
+
+    /**
+     * Per-path transfer traffic of the simulated schedule, in hierarchy
+     * path order. Filled by IterBuilder for schedules built through the
+     * tier-pair transfer primitives; paths that moved no bytes are
+     * included with bytes == 0 so consumers see the full topology.
+     */
+    std::vector<TierTraffic> tier_traffic;
 
     /** Per-rank FLOP breakdown of the whole iteration. */
     model::IterationFlops flops;
@@ -328,6 +369,36 @@ class TrainingSystem
 
     /** GPU HBM capacity per rank. */
     static double gpuCapacity(const TrainSetup &setup);
+
+    /**
+     * Hierarchy construction options for this system. The default is
+     * the canonical staged hierarchy; multi-path systems enable the
+     * extra routes here so fit checks, the builder, and the fingerprint
+     * all see the same topology.
+     */
+    virtual hw::HierarchyOptions hierarchyOptions() const { return {}; }
+
+    /** The memory hierarchy of @p setup's Superchip for this system. */
+    hw::MemoryHierarchy hierarchy(const TrainSetup &setup) const;
+
+    /**
+     * Per-rank bytes this system keeps in @p tier. The default
+     * dispatches on the tier kind to the gpuBytes / cpuBytes /
+     * nvmeBytes virtuals; systems with bespoke placement override this
+     * directly.
+     */
+    virtual double tierBytes(const TrainSetup &setup,
+                             const SearchCandidate &cand,
+                             const hw::MemoryTier &tier) const;
+
+    /**
+     * Demand vs capacity of every tier for @p cand, in hierarchy order.
+     * When the system demands NVMe bytes on a chip with no NVMe tier, a
+     * synthetic zero-capacity "NVMe" entry is appended so the overflow
+     * is still diagnosable.
+     */
+    std::vector<TierUsage> tierDemands(const TrainSetup &setup,
+                                       const SearchCandidate &cand) const;
 
   private:
     /**

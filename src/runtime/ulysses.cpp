@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "hw/constants.h"
 #include "runtime/builder.h"
 
 namespace so::runtime {
@@ -28,8 +29,11 @@ UlyssesSystem::gpuBytes(const TrainSetup &setup,
     // and communication buffers.
     const double states =
         zero_stage_ == 3
-            ? 18.0 * params / n + 2.0 * 2.0 * setup.model.paramsPerLayer()
-            : 4.0 * params + 12.0 * params / n;
+            ? (hw::kModelStateBytesPerParam + hw::kFp16BytesPerParam) *
+                      params / n +
+                  2.0 * 2.0 * setup.model.paramsPerLayer()
+            : 2.0 * hw::kFp16BytesPerParam * params +
+                  hw::kOptimStateBytesPerParam * params / n;
     model::ActivationOptions act_opts;
     act_opts.checkpointing = checkpointing;
     act_opts.sequence_parallel = setup.cluster.totalSuperchips();

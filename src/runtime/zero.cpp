@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/constants.h"
 #include "runtime/builder.h"
 
 namespace so::runtime {
@@ -33,8 +34,8 @@ Zero2System::gpuBytes(const TrainSetup &setup,
     const double params = setup.model.params();
     // Full fp16 params + full fp16 grad buffer (reduced in place), plus
     // this rank's 12P/N optimizer shard.
-    const double states = 2.0 * params + 2.0 * params +
-                          12.0 * params / n;
+    const double states = 2.0 * hw::kFp16BytesPerParam * params +
+                          hw::kOptimStateBytesPerParam * params / n;
     return model::gpuResidentBytes(
         states + activations(setup, micro_batch, checkpointing));
 }
@@ -136,8 +137,9 @@ Zero3System::gpuBytes(const TrainSetup &setup,
     const double working =
         2.0 * 2.0 * setup.model.paramsPerLayer();
     return model::gpuResidentBytes(
-        18.0 * params / n + working +
-        activations(setup, micro_batch, checkpointing));
+        (hw::kModelStateBytesPerParam + hw::kFp16BytesPerParam) * params /
+            n +
+        working + activations(setup, micro_batch, checkpointing));
 }
 
 double

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/constants.h"
 #include "runtime/builder.h"
 
 namespace so::runtime {
@@ -30,12 +31,14 @@ ZeroInfinitySystem::cpuBytes(const TrainSetup &setup, const SearchCandidate &) c
     const double n = setup.cluster.totalSuperchips();
     if (use_nvme_) {
         // Optimizer states live on NVMe; DRAM holds the fp16 copy,
-        // the fp32 gradient buffer, and streaming windows.
-        return 7.0 * setup.model.params() / n;
+        // the fp32 gradient buffer, and a streaming window byte/param.
+        return (hw::kFp16BytesPerParam + hw::kFp32BytesPerParam + 1.0) *
+               setup.model.params() / n;
     }
     // Full model states (16P) plus the fp16 parameter copy (2P) the
     // swap machinery maintains, partitioned across ranks.
-    return 18.0 * setup.model.params() / n;
+    return (hw::kModelStateBytesPerParam + hw::kFp16BytesPerParam) *
+           setup.model.params() / n;
 }
 
 double
@@ -44,7 +47,8 @@ ZeroInfinitySystem::nvmeBytes(const TrainSetup &setup, const SearchCandidate &) 
     if (!use_nvme_)
         return 0.0;
     // fp32 master params + momentum + variance.
-    return 12.0 * setup.model.params() / setup.cluster.totalSuperchips();
+    return hw::kOptimStateBytesPerParam * setup.model.params() /
+           setup.cluster.totalSuperchips();
 }
 
 IterationResult
@@ -76,11 +80,13 @@ ZeroInfinitySystem::simulate(const TrainSetup &setup,
     // Each rank fetches its 1/N shard and all-gathers across ranks;
     // the host transfer goes through the small staging granule, which
     // is the bandwidth-killing behaviour §5.2 calls out.
+    const double shard_bytes = hw::kFp16BytesPerParam * layer_params / n;
     const double fetch_time = builder.chunkedTransferTime(
-        2.0 * layer_params / n, kStagingGranule, /*pinned=*/true,
-        kPerChunkOverhead);
+        shard_bytes, kStagingGranule, /*pinned=*/true, kPerChunkOverhead);
     const double gather_time =
-        n > 1 ? builder.coll().allGather(2.0 * layer_params) : 0.0;
+        n > 1 ? builder.coll().allGather(hw::kFp16BytesPerParam *
+                                         layer_params)
+              : 0.0;
 
     // Per layer and pass: fetch (+ all-gather) + compute; the last pass
     // adds up to three offload tasks per layer; the epilogue adds the
@@ -100,8 +106,9 @@ ZeroInfinitySystem::simulate(const TrainSetup &setup,
         for (std::uint32_t l = 0; l < cfg.layers; ++l) {
             // Fetch this layer's params from host (prefetch: depends
             // only on link availability), then all-gather, then compute.
-            const sim::TaskId fetch = builder.onH2d(
-                "h2d L" + std::to_string(l), fetch_time, {});
+            const sim::TaskId fetch = builder.onTransfer(
+                hw::kTierDdr, hw::kTierHbm, "h2d L" + std::to_string(l),
+                fetch_time, shard_bytes, {});
             sim::TaskId ready = fetch;
             if (n > 1)
                 ready = builder.onNic("ag", gather_time, {fetch});
@@ -113,8 +120,9 @@ ZeroInfinitySystem::simulate(const TrainSetup &setup,
         }
         const bool last = step + 1 == accum_steps;
         for (std::uint32_t l = cfg.layers; l-- > 0;) {
-            const sim::TaskId fetch = builder.onH2d(
-                "h2d' L" + std::to_string(l), fetch_time, {});
+            const sim::TaskId fetch = builder.onTransfer(
+                hw::kTierDdr, hw::kTierHbm, "h2d' L" + std::to_string(l),
+                fetch_time, shard_bytes, {});
             sim::TaskId ready = fetch;
             if (n > 1)
                 ready = builder.onNic("ag'", gather_time, {fetch});
@@ -125,16 +133,17 @@ ZeroInfinitySystem::simulate(const TrainSetup &setup,
             sim::TaskId grads = prev;
             if (n > 1) {
                 grads = builder.onNic(
-                    "rs", builder.coll().reduceScatter(2.0 * layer_params),
+                    "rs", builder.coll().reduceScatter(
+                              hw::kFp16BytesPerParam * layer_params),
                     {grads});
             }
-            const sim::TaskId out = builder.onD2h(
+            const sim::TaskId out = builder.onTransfer(
+                hw::kTierHbm, hw::kTierDdr,
                 "d2h g L" + std::to_string(l),
-                builder.chunkedTransferTime(2.0 * layer_params / n,
-                                            kStagingGranule,
+                builder.chunkedTransferTime(shard_bytes, kStagingGranule,
                                             /*pinned=*/true,
                                             kPerChunkOverhead),
-                {grads});
+                shard_bytes, {grads});
             per_layer_cast[l] = builder.onCpu(
                 "cast g", builder.cpuCastTime(layer_params / n), {out});
             grad_casts.push_back(per_layer_cast[l]);
@@ -152,21 +161,25 @@ ZeroInfinitySystem::simulate(const TrainSetup &setup,
     sim::TaskId last_opt = norm;
     for (std::uint32_t l = 0; l < cfg.layers; ++l) {
         std::vector<sim::TaskId> opt_deps{norm, per_layer_cast[l]};
+        const double opt_bytes =
+            hw::kOptimStateBytesPerParam * layer_params / n;
         if (use_nvme_) {
             // Stream this layer's optimizer states in from NVMe
             // (prefetchable) and write them back after the update.
-            opt_deps.push_back(builder.onNvme(
+            opt_deps.push_back(builder.onTransfer(
+                hw::kTierNvme, hw::kTierDdr,
                 "nvme-r L" + std::to_string(l),
-                builder.nvmeTime(12.0 * layer_params / n), {}));
+                builder.nvmeTime(opt_bytes), opt_bytes, {}));
         }
         const sim::TaskId opt = builder.onCpu(
             "adam L" + std::to_string(l),
             builder.cpuAdamTime(layer_params / n, hw::AdamImpl::CpuAdam),
             std::move(opt_deps));
         if (use_nvme_) {
-            builder.onNvme("nvme-w L" + std::to_string(l),
-                           builder.nvmeTime(12.0 * layer_params / n),
-                           {opt});
+            builder.onTransfer(hw::kTierDdr, hw::kTierNvme,
+                               "nvme-w L" + std::to_string(l),
+                               builder.nvmeTime(opt_bytes), opt_bytes,
+                               {opt});
         }
         last_opt = builder.onCpu(
             "cast p", builder.cpuCastTime(layer_params / n), {opt});

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/constants.h"
 #include "runtime/builder.h"
 
 namespace so::runtime {
@@ -34,7 +35,8 @@ ZeroOffloadSystem::cpuBytes(const TrainSetup &setup, const SearchCandidate &) co
     const double n = setup.cluster.totalSuperchips();
     const double params = setup.model.params();
     // 12P/N optimizer shard + 4P/N fp32 gradient copy.
-    return 16.0 * params / n;
+    return (hw::kOptimStateBytesPerParam + hw::kFp32BytesPerParam) *
+           params / n;
 }
 
 IterationResult
@@ -107,9 +109,11 @@ ZeroOffloadSystem::simulate(const TrainSetup &setup,
             // fp16 swap-out lands in unpinned staging (§4.5's
             // transfer-then-cast pattern), then a CPU-side cast plus
             // the framework's per-bucket bookkeeping.
-            const sim::TaskId moved = builder.onD2h(
-                "d2h g" + std::to_string(c),
-                builder.d2hTime(2.0 * shard_params, /*pinned=*/false),
+            const double grad_bytes =
+                hw::kFp16BytesPerParam * shard_params;
+            const sim::TaskId moved = builder.onTransfer(
+                hw::kTierHbm, hw::kTierDdr, "d2h g" + std::to_string(c),
+                builder.d2hTime(grad_bytes, /*pinned=*/false), grad_bytes,
                 {ready});
             cast_done[c] = builder.onCpu(
                 "cast g" + std::to_string(c),
@@ -141,9 +145,10 @@ ZeroOffloadSystem::simulate(const TrainSetup &setup,
         const sim::TaskId cast_back = builder.onCpu(
             "cast p" + std::to_string(c),
             builder.cpuCastTime(shard_params), {opt});
-        returns.push_back(builder.onH2d(
-            "h2d p" + std::to_string(c),
-            builder.h2dTime(2.0 * shard_params, /*pinned=*/false),
+        const double param_bytes = hw::kFp16BytesPerParam * shard_params;
+        returns.push_back(builder.onTransfer(
+            hw::kTierDdr, hw::kTierHbm, "h2d p" + std::to_string(c),
+            builder.h2dTime(param_bytes, /*pinned=*/false), param_bytes,
             {cast_back}));
     }
 

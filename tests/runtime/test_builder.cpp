@@ -153,5 +153,135 @@ TEST(IterBuilder, MicroTokens)
     EXPECT_DOUBLE_EQ(b.microTokens(4), 4.0 * 1024.0);
 }
 
+TEST(IterBuilder, TierPairTimesAliasTheLegacyHelpers)
+{
+    // The refactor contract: the named-tier primitives are the same
+    // arithmetic as the legacy direction helpers, to the last ULP.
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    for (const double bytes : {64.0 * kMiB, kGB, 7.3 * kGB}) {
+        EXPECT_DOUBLE_EQ(b.transferTime(hw::kTierDdr, hw::kTierHbm, bytes),
+                         b.h2dTime(bytes));
+        EXPECT_DOUBLE_EQ(b.transferTime(hw::kTierHbm, hw::kTierDdr, bytes),
+                         b.d2hTime(bytes));
+        EXPECT_DOUBLE_EQ(b.transferTime(hw::kTierDdr, hw::kTierNvme, bytes),
+                         b.nvmeTime(bytes));
+    }
+}
+
+TEST(IterBuilder, TierPairPinnedVsPageable)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    const double pinned =
+        b.transferTime(hw::kTierDdr, hw::kTierHbm, kGB, true);
+    const double pageable =
+        b.transferTime(hw::kTierDdr, hw::kTierHbm, kGB, false);
+    EXPECT_GT(pageable, 2.0 * pinned);
+    EXPECT_DOUBLE_EQ(pageable, b.h2dTime(kGB, false));
+}
+
+TEST(IterBuilder, ChunkedTransferOverlapMath)
+{
+    // N full granules plus a remainder: each chunk pays the granule's
+    // achievable bandwidth and latency, the remainder pays its own.
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    const double granule = 64.0 * kMiB;
+    const double bytes = 2.5 * granule;
+    const double expected = 2.0 * b.h2dTime(granule) +
+                            b.h2dTime(0.5 * granule);
+    EXPECT_DOUBLE_EQ(b.chunkedTransferTime(hw::kTierDdr, hw::kTierHbm,
+                                           bytes, granule),
+                     expected);
+    // Exact multiple: no remainder term.
+    EXPECT_DOUBLE_EQ(b.chunkedTransferTime(hw::kTierDdr, hw::kTierHbm,
+                                           2.0 * granule, granule),
+                     2.0 * b.h2dTime(granule));
+}
+
+TEST(IterBuilder, ChunkedTransferDegenerateCases)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    const double granule = 64.0 * kMiB;
+    // Zero bytes move for free (no latency, no overhead term).
+    EXPECT_DOUBLE_EQ(b.chunkedTransferTime(hw::kTierDdr, hw::kTierHbm,
+                                           0.0, granule, true, 1.0),
+                     0.0);
+    // A transfer smaller than one granule is a single message.
+    EXPECT_DOUBLE_EQ(b.chunkedTransferTime(hw::kTierDdr, hw::kTierHbm,
+                                           kMiB, granule),
+                     b.h2dTime(kMiB));
+    // Degenerate granule (larger than the payload) behaves the same.
+    EXPECT_DOUBLE_EQ(b.chunkedTransferTime(hw::kTierDdr, hw::kTierHbm,
+                                           kMiB, 100.0 * kGB),
+                     b.h2dTime(kMiB));
+}
+
+TEST(IterBuilder, OnTransferAccountsTierTraffic)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    b.onTransfer(hw::kTierDdr, hw::kTierHbm, "up", 1.0, 3.0 * kGB);
+    b.onTransfer(hw::kTierDdr, hw::kTierHbm, "up2", 1.0, 1.0 * kGB);
+    b.onTransfer(hw::kTierHbm, hw::kTierDdr, "down", 1.0, 2.0 * kGB);
+    const IterationResult res = b.finish(model::IterationFlops{});
+    ASSERT_EQ(res.tier_traffic.size(), b.hierarchy().paths().size());
+    double up = 0.0, down = 0.0, nvme = 0.0;
+    for (const auto &t : res.tier_traffic) {
+        if (t.from == "DDR" && t.to == "HBM")
+            up = t.bytes;
+        else if (t.from == "HBM" && t.to == "DDR")
+            down = t.bytes;
+        else
+            nvme += t.bytes;
+    }
+    EXPECT_DOUBLE_EQ(up, 4.0 * kGB);
+    EXPECT_DOUBLE_EQ(down, 2.0 * kGB);
+    // Untouched paths report zero so consumers see the full topology.
+    EXPECT_DOUBLE_EQ(nvme, 0.0);
+}
+
+TEST(IterBuilder, DefaultHierarchyAddsNoExtraResources)
+{
+    const TrainSetup setup = gh200Setup();
+    IterBuilder b(setup);
+    // The canonical channels map onto the standard seven resources.
+    EXPECT_EQ(b.graph().resourceCount(), 7u);
+    EXPECT_EQ(b.channelResource(hw::kChannelH2d), b.h2d());
+    EXPECT_EQ(b.channelResource(hw::kChannelD2h), b.d2h());
+    EXPECT_EQ(b.channelResource(hw::kChannelNvme), b.nvme());
+}
+
+TEST(IterBuilder, GdsPathsAllocateTheirOwnChannelAfterTheSeven)
+{
+    const TrainSetup setup = gh200Setup();
+    hw::HierarchyOptions opts;
+    opts.gds_paths = true;
+    IterBuilder b(setup, opts);
+    EXPECT_EQ(b.graph().resourceCount(), 8u);
+    const sim::ResourceId gds = b.channelResource(hw::kChannelGds);
+    EXPECT_GE(gds, 7u);
+    EXPECT_NE(gds, b.nvme());
+}
+
+TEST(IterBuilder, ConcurrentPathsOverlapInTheSchedule)
+{
+    // One second of staged NVMe traffic plus one second of GDS traffic
+    // finish in one second total: distinct channels, genuine overlap.
+    const TrainSetup setup = gh200Setup();
+    hw::HierarchyOptions opts;
+    opts.gds_paths = true;
+    IterBuilder b(setup, opts);
+    const hw::MemoryHierarchy &hier = b.hierarchy();
+    const auto gds = hier.pathsBetween(hw::kTierNvme, hw::kTierHbm);
+    ASSERT_EQ(gds.size(), 1u);
+    b.onTransfer(hw::kTierNvme, hw::kTierDdr, "staged", 1.0, kGB);
+    b.onPath(*gds[0], "direct", 1.0, kGB);
+    const IterationResult res = b.finish(model::IterationFlops{});
+    EXPECT_DOUBLE_EQ(res.iter_time, 1.0);
+}
+
 } // namespace
 } // namespace so::runtime

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Behavior of the two hierarchy-native systems (multi-path NVMe
+ * striping and graph-driven placement) plus the uniform capacity
+ * diagnostics the tier refactor standardized.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/presets.h"
+#include "model/config.h"
+#include "runtime/graph_placement.h"
+#include "runtime/multipath_offload.h"
+#include "runtime/registry.h"
+
+namespace so::runtime {
+namespace {
+
+TrainSetup
+setupFor(hw::ClusterSpec cluster, const char *model, std::uint32_t batch,
+         std::uint32_t seq = 1024)
+{
+    TrainSetup setup;
+    setup.cluster = std::move(cluster);
+    setup.model = model::modelPreset(model);
+    setup.global_batch = batch;
+    setup.seq = seq;
+    return setup;
+}
+
+double
+trafficOn(const IterationResult &res, const std::string &channel)
+{
+    double bytes = 0.0;
+    for (const auto &t : res.tier_traffic)
+        if (t.channel == channel)
+            bytes += t.bytes;
+    return bytes;
+}
+
+TEST(MultiPathOffload, StripesNvmeTrafficAcrossBothRoutes)
+{
+    const TrainSetup setup = setupFor(hw::gh200Single(), "25B", 8);
+    MultiPathOffloadSystem sys(/*enable_gds=*/true,
+                               /*forced_fraction=*/0.5);
+    const IterationResult res = sys.run(setup);
+    ASSERT_TRUE(res.feasible) << res.infeasible_reason;
+    EXPECT_DOUBLE_EQ(res.extra("nvme_fraction"), 0.5);
+    // Both drive routes carry bytes: the staged stripe on the duplex
+    // NVMe channel and the direct stripe on its own GDS channel.
+    EXPECT_GT(trafficOn(res, "NVMe"), 0.0);
+    EXPECT_GT(trafficOn(res, "GDS"), 0.0);
+    EXPECT_GT(res.extra("staged_bytes"), 0.0);
+    EXPECT_GT(res.extra("gds_bytes"), 0.0);
+}
+
+TEST(MultiPathOffload, MultiPathBeatsSingleStagedRoute)
+{
+    // Same NVMe share, one extra route: the striped variant must be
+    // strictly faster (the MLP-Offload claim, at the model level).
+    const TrainSetup setup = setupFor(hw::gh200Single(), "25B", 8);
+    MultiPathOffloadSystem multi(true, 0.5);
+    MultiPathOffloadSystem staged(false, 0.5);
+    const IterationResult rm = multi.run(setup);
+    const IterationResult rs = staged.run(setup);
+    ASSERT_TRUE(rm.feasible && rs.feasible);
+    EXPECT_LT(rm.iter_time, rs.iter_time);
+    EXPECT_DOUBLE_EQ(trafficOn(rs, "GDS"), 0.0);
+}
+
+TEST(MultiPathOffload, SearchPrefersDdrWhenItFits)
+{
+    // 5B fits host DRAM outright; any NVMe placement only adds drive
+    // time, so the searched fraction must come out 0.
+    const TrainSetup setup = setupFor(hw::gh200Single(), "5B", 8);
+    MultiPathOffloadSystem sys;
+    const IterationResult res = sys.run(setup);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_DOUBLE_EQ(res.extra("nvme_fraction"), 0.0);
+    EXPECT_DOUBLE_EQ(trafficOn(res, "GDS"), 0.0);
+}
+
+TEST(MultiPathOffload, DegradesToDdrOnlyWithoutNvme)
+{
+    const TrainSetup setup = setupFor(hw::dgxA100(), "5B", 8);
+    MultiPathOffloadSystem sys;
+    const IterationResult res = sys.run(setup);
+    ASSERT_TRUE(res.feasible) << res.infeasible_reason;
+    EXPECT_DOUBLE_EQ(res.extra("nvme_fraction"), 0.0);
+    for (const auto &t : res.tier_traffic) {
+        EXPECT_NE(t.channel, "GDS");
+        if (t.channel == "NVMe")
+            EXPECT_DOUBLE_EQ(t.bytes, 0.0);
+    }
+}
+
+TEST(GraphPlacement, SpillsTrailingLayersWhenDdrOverflows)
+{
+    // 80B on one GH200: 18 B/param does not fit 480 GB DDR, so a
+    // suffix of layers must spill to NVMe — and the run stays feasible.
+    const TrainSetup setup = setupFor(hw::gh200Single(), "80B", 4);
+    GraphPlacementSystem sys;
+    const IterationResult res = sys.run(setup);
+    ASSERT_TRUE(res.feasible) << res.infeasible_reason;
+    EXPECT_GT(res.extra("nvme_layers"), 0.0);
+    EXPECT_GT(trafficOn(res, "NVMe"), 0.0);
+    EXPECT_NE(res.notes.find("nvme_layers="), std::string::npos);
+}
+
+TEST(GraphPlacement, KeepsEverythingInDdrWhenItFits)
+{
+    const TrainSetup setup = setupFor(hw::gh200Single(), "5B", 8);
+    GraphPlacementSystem sys;
+    const IterationResult res = sys.run(setup);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_DOUBLE_EQ(res.extra("nvme_layers"), 0.0);
+    EXPECT_DOUBLE_EQ(trafficOn(res, "NVMe"), 0.0);
+    // A 5B model leaves HBM slack: some prefix of layers goes resident.
+    EXPECT_GT(res.extra("hbm_layers"), 0.0);
+}
+
+TEST(GraphPlacement, PlacementConsistentWithTierAccounting)
+{
+    // The placement drives both the schedule and the fit report: the
+    // layer counts must add up and the NVMe demand must be nonzero
+    // exactly when layers spilled.
+    const TrainSetup setup = setupFor(hw::gh200Single(), "80B", 4);
+    GraphPlacementSystem sys;
+    const IterationResult res = sys.run(setup);
+    ASSERT_TRUE(res.feasible);
+    const double layers = setup.model.layers;
+    EXPECT_DOUBLE_EQ(res.extra("hbm_layers") + res.extra("ddr_layers") +
+                         res.extra("nvme_layers"),
+                     layers);
+    bool saw_nvme_tier = false;
+    for (const auto &tier : res.memory.tiers) {
+        if (tier.tier == "NVMe") {
+            saw_nvme_tier = true;
+            EXPECT_GT(tier.bytes, 0.0);
+            EXPECT_LE(tier.bytes, tier.capacity);
+        }
+    }
+    EXPECT_TRUE(saw_nvme_tier);
+}
+
+TEST(GraphPlacement, NoNvmeMeansNoSpill)
+{
+    const TrainSetup setup = setupFor(hw::dgxA100(), "5B", 8);
+    GraphPlacementSystem sys;
+    const IterationResult res = sys.run(setup);
+    ASSERT_TRUE(res.feasible) << res.infeasible_reason;
+    EXPECT_DOUBLE_EQ(res.extra("nvme_layers"), 0.0);
+}
+
+TEST(CapacityDiagnostics, UniformAcrossAllSystems)
+{
+    // Every registered system reports overflow the same way: the
+    // overflowing tier's description, the demand, and the capacity,
+    // both through common::formatBytes. A deliberately oversized
+    // model on an NVMe-less box forces everyone infeasible.
+    const TrainSetup setup = setupFor(hw::dgxA100(), "200B", 8);
+    std::size_t checked = 0;
+    for (const std::string &name : baselineNames()) {
+        const IterationResult res = makeBaseline(name)->run(setup);
+        if (res.feasible)
+            continue;
+        ++checked;
+        EXPECT_NE(res.infeasible_reason.find(": needs "),
+                  std::string::npos)
+            << name << ": " << res.infeasible_reason;
+        EXPECT_NE(res.infeasible_reason.find(", capacity "),
+                  std::string::npos)
+            << name << ": " << res.infeasible_reason;
+    }
+    EXPECT_GT(checked, 8u);
+}
+
+} // namespace
+} // namespace so::runtime

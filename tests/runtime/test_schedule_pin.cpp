@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Bit-identity pin for the seed two-tier configurations.
+ *
+ * The memory-hierarchy refactor routed every transfer primitive through
+ * hw::MemoryHierarchy paths. That is meant to be a pure re-plumbing:
+ * for the configurations that existed before the hierarchy (the staged
+ * HBM/DDR(/NVMe) topology), every simulated schedule must be
+ * *bit-identical* to the seed — same candidate search outcome, same
+ * makespan, same utilizations, down to the last ULP. This test pins
+ * hexfloat fingerprints captured from the pre-refactor build; any
+ * change here means the hierarchy stopped being behavior-preserving
+ * (or a deliberate model change needs these goldens re-captured).
+ */
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "hw/presets.h"
+#include "model/config.h"
+#include "runtime/registry.h"
+
+namespace so::runtime {
+namespace {
+
+std::string
+fingerprint(const IterationResult &res)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "feas=%d|iter=%a|mb=%u|acc=%u|ckpt=%d|gpu=%a|cpu=%a|"
+                  "link=%a",
+                  res.feasible ? 1 : 0, res.iter_time, res.micro_batch,
+                  res.accum_steps, res.activation_checkpointing ? 1 : 0,
+                  res.gpu_utilization, res.cpu_utilization,
+                  res.link_utilization);
+    return buf;
+}
+
+struct Cell
+{
+    const char *tag;
+    hw::ClusterSpec cluster;
+    const char *model;
+    std::uint32_t batch;
+    std::uint32_t seq;
+};
+
+const Cell kCells[] = {
+    {"gh1-5B", hw::gh200Single(), "5B", 8, 1024},
+    {"gh1-25B", hw::gh200Single(), "25B", 8, 1024},
+    {"gh4-25B", hw::gh200ClusterOf(4), "25B", 16, 2048},
+    {"gh1-80B", hw::gh200Single(), "80B", 4, 1024},
+};
+
+// Captured from the pre-hierarchy seed build (hexfloat, exact).
+const std::map<std::string, std::string> kGolden = {
+    {"ddp|gh1-5B",
+     "feas=1|iter=0x1.e3ce51b0c2356p+0|mb=1|acc=8|ckpt=0|gpu=0x1p+0|"
+     "cpu=0x0p+0|link=0x0p+0"},
+    {"megatron|gh1-5B",
+     "feas=1|iter=0x1.70c003dab2c75p+0|mb=8|acc=1|ckpt=1|gpu=0x1p+0|"
+     "cpu=0x0p+0|link=0x0p+0"},
+    {"zero2|gh1-5B",
+     "feas=1|iter=0x1.70c003dab2c75p+0|mb=8|acc=1|ckpt=1|gpu=0x1p+0|"
+     "cpu=0x0p+0|link=0x0p+0"},
+    {"zero3|gh1-5B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero-offload|gh1-5B",
+     "feas=1|iter=0x1.075c375e192fep+1|mb=8|acc=1|ckpt=0|"
+     "gpu=0x1.03d6f77f20c31p-1|cpu=0x1.68d7dc270b5d9p-1|"
+     "link=0x1.0430b652771bep-5"},
+    {"zero-infinity|gh1-5B",
+     "feas=1|iter=0x1.7b37ba16acbbfp+2|mb=8|acc=1|ckpt=0|"
+     "gpu=0x1.68e894012c69p-3|cpu=0x1.cf33e53dc7461p-4|"
+     "link=0x1.5398d02a53c2bp-1"},
+    {"fsdp-offload|gh1-5B",
+     "feas=1|iter=0x1.0a34b1a94a3bdp+4|mb=8|acc=1|ckpt=0|"
+     "gpu=0x1.010fe8fc13e74p-4|cpu=0x1.dbcc83fe964aap-1|"
+     "link=0x1.822c2b7e00d06p-8"},
+    {"ulysses|gh1-5B",
+     "feas=1|iter=0x1.70c003dab2c75p+0|mb=8|acc=1|ckpt=1|gpu=0x1p+0|"
+     "cpu=0x0p+0|link=0x0p+0"},
+    {"ulysses-zero3|gh1-5B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero-infinity-nvme|gh1-5B",
+     "feas=1|iter=0x1.4938ce7a7d7a9p+4|mb=8|acc=1|ckpt=0|"
+     "gpu=0x1.9fb75b0eded48p-5|cpu=0x1.0ac5beca7b0f2p-5|"
+     "link=0x1.872b13695f76cp-3"},
+    {"pipeline|gh1-5B",
+     "feas=1|iter=0x1.70c003dab2c72p+0|mb=8|acc=1|ckpt=1|gpu=0x1p+0|"
+     "cpu=0x0p+0|link=0x0p+0"},
+    {"deep-opt-states|gh1-5B",
+     "feas=1|iter=0x1.2e8fe76bf5ac4p+0|mb=8|acc=1|ckpt=0|"
+     "gpu=0x1.d938d7e588bbp-1|cpu=0x0p+0|link=0x1.dbec8f4f3ad8ep-4"},
+    {"superoffload|gh1-5B",
+     "feas=1|iter=0x1.123600201bc45p+0|mb=8|acc=1|ckpt=0|gpu=0x1p+0|"
+     "cpu=0x1.583c5bf8f3728p-1|link=0x1.524b147485f0fp-6"},
+    {"ddp|gh1-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"megatron|gh1-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero2|gh1-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero3|gh1-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero-offload|gh1-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero-infinity|gh1-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"fsdp-offload|gh1-25B",
+     "feas=1|iter=0x1.3e04881a5d9c2p+6|mb=8|acc=1|ckpt=0|"
+     "gpu=0x1.fcb827eb5838ep-5|cpu=0x1.dc1e0ad2c17d3p-1|"
+     "link=0x1.81fc23002bcd8p-8"},
+    {"ulysses|gh1-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"ulysses-zero3|gh1-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero-infinity-nvme|gh1-25B",
+     "feas=1|iter=0x1.89451afcb0951p+6|mb=8|acc=1|ckpt=0|"
+     "gpu=0x1.9b60386d89174p-5|cpu=0x1.0af8712652ba9p-5|"
+     "link=0x1.873b16014010bp-3"},
+    {"pipeline|gh1-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"deep-opt-states|gh1-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"superoffload|gh1-25B",
+     "feas=1|iter=0x1.8ff70acaed308p+2|mb=4|acc=2|ckpt=0|"
+     "gpu=0x1.c906d3858b1b2p-1|cpu=0x1.a9a9b6a44784ap-2|"
+     "link=0x1.18009494052b4p-5"},
+    {"ddp|gh4-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"megatron|gh4-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero2|gh4-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero3|gh4-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero-offload|gh4-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero-infinity|gh4-25B",
+     "feas=1|iter=0x1.d8fe65f8f48e4p+2|mb=4|acc=1|ckpt=0|"
+     "gpu=0x1.5868c964df801p-1|cpu=0x1.bbf1c4d3efa96p-4|"
+     "link=0x1.457d4542612f6p-1"},
+    {"fsdp-offload|gh4-25B",
+     "feas=1|iter=0x1.7c8d083298007p+4|mb=4|acc=1|ckpt=0|"
+     "gpu=0x1.ac129ca4cbe87p-3|cpu=0x1.8de161cbbca31p-1|"
+     "link=0x1.42bea8dfec095p-8"},
+    {"ulysses|gh4-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"ulysses-zero3|gh4-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero-infinity-nvme|gh4-25B",
+     "feas=1|iter=0x1.89a0d7537e65p+4|mb=4|acc=1|ckpt=0|"
+     "gpu=0x1.9dd9da5cee393p-3|cpu=0x1.0aba395e58261p-5|"
+     "link=0x1.871dc2cfa1e47p-3"},
+    {"pipeline|gh4-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"deep-opt-states|gh4-25B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"superoffload|gh4-25B",
+     "feas=1|iter=0x1.3ef906464c729p+2|mb=4|acc=1|ckpt=0|"
+     "gpu=0x1.fff14c2363718p-1|cpu=0x1.f0e7dd529e56p-3|"
+     "link=0x1.0ce4ff3bfdc9cp-7"},
+    {"ddp|gh1-80B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"megatron|gh1-80B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero2|gh1-80B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero3|gh1-80B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero-offload|gh1-80B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero-infinity|gh1-80B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"fsdp-offload|gh1-80B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"ulysses|gh1-80B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"ulysses-zero3|gh1-80B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"zero-infinity-nvme|gh1-80B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"pipeline|gh1-80B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"deep-opt-states|gh1-80B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+    {"superoffload|gh1-80B",
+     "feas=0|iter=0x0p+0|mb=0|acc=1|ckpt=0|gpu=0x0p+0|cpu=0x0p+0|"
+     "link=0x0p+0"},
+};
+
+TEST(SchedulePin, SeedConfigsBitIdentical)
+{
+    for (const Cell &cell : kCells) {
+        TrainSetup setup;
+        setup.cluster = cell.cluster;
+        setup.model = model::modelPreset(cell.model);
+        setup.global_batch = cell.batch;
+        setup.seq = cell.seq;
+        for (const auto &[key, want] : kGolden) {
+            const std::string tag = "|" + std::string(cell.tag);
+            if (key.size() < tag.size() ||
+                key.compare(key.size() - tag.size(), tag.size(), tag) !=
+                    0)
+                continue;
+            const std::string name = key.substr(0, key.size() - tag.size());
+            IterationResult res;
+            if (name == "superoffload") {
+                core::SuperOffloadSystem sys{core::SuperOffloadOptions{}};
+                res = sys.run(setup);
+            } else {
+                res = makeBaseline(name)->run(setup);
+            }
+            EXPECT_EQ(fingerprint(res), want) << key;
+        }
+    }
+}
+
+} // namespace
+} // namespace so::runtime

@@ -112,7 +112,7 @@ TEST(System, MicroBatchTimesAccumEqualsPerGpuBatch)
 TEST(System, RegistryExposesAllBaselines)
 {
     const auto names = baselineNames();
-    EXPECT_EQ(names.size(), 12u);
+    EXPECT_EQ(names.size(), 14u);
     for (const auto &name : names) {
         auto sys = makeBaseline(name);
         ASSERT_NE(sys, nullptr) << name;
