@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Energy bench: what each offload system pays in joules (docs/ENERGY.md).
+ *
+ * Two model scales, four systems, one record: joules per iteration and
+ * joules per token next to the usual time/TFLOPS columns. The point the
+ * table makes is the paper's energy-to-solution argument — a faster
+ * schedule can draw MORE average watts yet spend FEWER joules per
+ * token, which is why the regression guard gates `_j` leaves and
+ * leaves `_w` leaves alone. The per-cell `energy` subtrees land in
+ * BENCH_energy.json and `so-report check` guards them against the
+ * committed baseline in CI.
+ */
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/superoffload.h"
+#include "runtime/graph_placement.h"
+#include "runtime/multipath_offload.h"
+#include "runtime/registry.h"
+
+namespace {
+
+/** One table row for one evaluated cell. */
+void
+addEnergyRow(so::Table &table, const std::string &tag,
+             const so::runtime::IterationResult &res)
+{
+    using so::Table;
+    if (!res.feasible || !res.energy.valid) {
+        table.addRow({tag, "OOM", "-", "-", "-", "-"});
+        return;
+    }
+    table.addRow({tag, Table::num(res.iter_time, 2),
+                  Table::num(res.tflopsPerGpu(), 1),
+                  Table::num(res.energy.iter_j / 1000.0, 2),
+                  Table::num(res.energy.token_j, 2),
+                  Table::num(res.energy.avg_w, 0)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace so;
+    bench::Harness harness(
+        argc, argv, "energy",
+        "energy to solution: J/iter and J/token per offload system",
+        "shorter iterations spend fewer joules per token than the "
+        "streaming baselines even when the average draw is higher");
+
+    runtime::TrainSetup mid;
+    mid.cluster = hw::gh200Single();
+    mid.model = model::modelPreset("25B");
+    mid.global_batch = 8;
+    mid.seq = 1024;
+
+    runtime::TrainSetup big = mid;
+    big.model = model::modelPreset("30B");
+    big.global_batch = 4;
+
+    const core::SuperOffloadSystem super;
+    runtime::MultiPathOffloadSystem multi(/*enable_gds=*/true, 0.5);
+    runtime::GraphPlacementSystem placed;
+    const auto infinity = runtime::makeBaseline("zero-infinity-nvme");
+
+    struct Entry
+    {
+        const char *tag;
+        const runtime::TrainingSystem *system;
+    };
+    const std::vector<Entry> systems = {
+        {"superoffload", &super},
+        {"superoffload-multipath", &multi},
+        {"hyperoffload", &placed},
+        {"zero-infinity-nvme", infinity.get()},
+    };
+
+    std::vector<std::size_t> mid_cells, big_cells;
+    for (const Entry &e : systems)
+        mid_cells.push_back(
+            harness.add(*e.system, mid, std::string(e.tag) + " 25B"));
+    for (const Entry &e : systems)
+        big_cells.push_back(
+            harness.add(*e.system, big, std::string(e.tag) + " 50B"));
+    harness.run();
+
+    const char *header[] = {"system",  "iter s",  "TFLOPS",
+                            "kJ/iter", "J/token", "avg W"};
+    Table &t_mid = harness.table(
+        "energy per iteration (25B, single GH200, batch 8, seq 1024)");
+    t_mid.setHeader({header[0], header[1], header[2], header[3],
+                     header[4], header[5]});
+    for (std::size_t i = 0; i < systems.size(); ++i)
+        addEnergyRow(t_mid, systems[i].tag,
+                     harness.result(mid_cells[i]));
+    t_mid.print();
+
+    Table &t_big = harness.table(
+        "energy per iteration (30B, single GH200, batch 4, seq 1024)");
+    t_big.setHeader({header[0], header[1], header[2], header[3],
+                     header[4], header[5]});
+    for (std::size_t i = 0; i < systems.size(); ++i)
+        addEnergyRow(t_big, systems[i].tag,
+                     harness.result(big_cells[i]));
+    t_big.print();
+
+    // The energy-to-solution punchline: the fastest feasible system's
+    // joule ratio vs the streaming baseline at both scales. (30B on a
+    // single chip is past plain superoffload's memory ceiling — the
+    // offload-heavier systems carry the comparison there.)
+    for (const auto &[cells, scale] :
+         {std::pair<const std::vector<std::size_t> &, const char *>{
+              mid_cells, "25B"},
+          {big_cells, "30B"}}) {
+        const auto &base_res = harness.result(cells.back());
+        if (!base_res.feasible || !base_res.energy.valid)
+            continue;
+        for (std::size_t i = 0; i + 1 < cells.size(); ++i) {
+            const auto &res = harness.result(cells[i]);
+            if (!res.feasible || !res.energy.valid)
+                continue;
+            std::printf("%s: %s spends %.2fx the baseline's J/token "
+                        "at %.2fx its average draw\n",
+                        scale, systems[i].tag,
+                        res.energy.token_j / base_res.energy.token_j,
+                        res.energy.avg_w / base_res.energy.avg_w);
+            break;
+        }
+    }
+
+    return harness.finish();
+}

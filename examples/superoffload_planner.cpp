@@ -88,7 +88,17 @@ main(int argc, char **argv)
             "  config-only hierarchy keys (docs/HW.md): nvme_gb, "
             "nvme_bw_gbs,\n"
             "                        nvme_latency_us override the "
-            "chips' NVMe tier\n");
+            "chips' NVMe tier\n"
+            "  config-only power keys (docs/ENERGY.md): gpu_busy_w, "
+            "gpu_idle_w,\n"
+            "                        cpu_busy_w, cpu_idle_w, "
+            "link_busy_w, link_idle_w,\n"
+            "                        nic_busy_w, nic_idle_w, "
+            "nvme_busy_w, nvme_idle_w,\n"
+            "                        c2c_pj_per_byte, nvme_pj_per_byte, "
+            "ddr_w_per_gib\n"
+            "                        re-anchor the derived power "
+            "model\n");
         return 0;
     }
     if (args.has("list-models"))
@@ -154,6 +164,29 @@ main(int argc, char **argv)
             chip.nvme =
                 hw::Link("NVMe", hw::BandwidthCurve::flat(bw), lat);
         }
+    }
+    // Power-model overrides (docs/ENERGY.md): config-only keys mapped
+    // one-to-one onto hw::PowerOverrides. Energy metering is always on;
+    // these only re-anchor the derived watts / per-byte tolls.
+    {
+        const std::pair<const char *, std::optional<double> *> keys[] = {
+            {"gpu_busy_w", &setup.power.gpu_busy_w},
+            {"gpu_idle_w", &setup.power.gpu_idle_w},
+            {"cpu_busy_w", &setup.power.cpu_busy_w},
+            {"cpu_idle_w", &setup.power.cpu_idle_w},
+            {"link_busy_w", &setup.power.link_busy_w},
+            {"link_idle_w", &setup.power.link_idle_w},
+            {"nic_busy_w", &setup.power.nic_busy_w},
+            {"nic_idle_w", &setup.power.nic_idle_w},
+            {"nvme_busy_w", &setup.power.nvme_busy_w},
+            {"nvme_idle_w", &setup.power.nvme_idle_w},
+            {"c2c_pj_per_byte", &setup.power.c2c_pj_per_byte},
+            {"nvme_pj_per_byte", &setup.power.nvme_pj_per_byte},
+            {"ddr_w_per_gib", &setup.power.ddr_w_per_gib},
+        };
+        for (const auto &[key, field] : keys)
+            if (file.has(key))
+                *field = file.getDouble(key, 0.0);
     }
     if (str_opt("binding", "colocated") == "remote")
         setup.binding = hw::NumaBinding::Remote;
@@ -262,11 +295,11 @@ main(int argc, char **argv)
             } else {
                 const so::report::ProfileDiff diff =
                     so::report::diffProfiles(
-                        so::report::viewFromSummary(
-                            base_res.profile,
+                        so::report::viewFromIteration(
+                            base_res,
                             baselines[base_index]->name()),
-                        so::report::viewFromSummary(
-                            report.iteration.profile, "SuperOffload"));
+                        so::report::viewFromIteration(
+                            report.iteration, "SuperOffload"));
                 std::printf("\n%s",
                             so::report::diffToText(diff).c_str());
                 if (args.has("explain-html")) {

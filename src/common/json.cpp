@@ -355,6 +355,12 @@ class JsonParser
         const double value = std::strtod(token.c_str(), &end);
         if (end != token.c_str() + token.size())
             return fail("malformed number \"" + token + "\"");
+        // strtod happily overflows "1e999" to +/-Inf; JSON has no
+        // non-finite numbers (the writer emits null for them), so
+        // reject instead of smuggling an Inf into callers.
+        if (!std::isfinite(value))
+            return fail("number \"" + token +
+                        "\" overflows a finite double");
         out.kind_ = JsonValue::Kind::Number;
         out.number_ = value;
         return true;

@@ -20,8 +20,13 @@ namespace so {
  * Current version of the JSON export schema. Bump when an emitted
  * document changes shape in a way readers must know about (a renamed
  * or re-typed field); adding fields does not require a bump.
+ *
+ * Version history:
+ *  1  initial tagged schema (PR 5)
+ *  2  energy subtrees in profile/result/bundle documents; bundles
+ *     carry per-resource watts and per-span draw (docs/ENERGY.md)
  */
-inline constexpr std::int64_t kSchemaVersion = 1;
+inline constexpr std::int64_t kSchemaVersion = 2;
 
 } // namespace so
 

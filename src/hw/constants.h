@@ -53,6 +53,77 @@ inline constexpr double kAdamTrafficBytesPerParam =
  */
 inline constexpr double kDdrUsableFraction = 0.90;
 
+/**
+ * @name GH200 power anchors (docs/ENERGY.md)
+ *
+ * The per-resource power model (hw/power.h) is anchored on the GH200
+ * numbers below and scaled to other Superchips by capability ratio:
+ * GPU watts scale with peak FLOPS, CPU watts with core count. All are
+ * board-level electrical estimates of the Grace-Hopper cross-layer
+ * energy literature, not marketing TDPs, and every one can be
+ * overridden per job through PowerOverrides / planner config keys.
+ * @{
+ */
+
+/** Peak FLOPS the GPU watt anchors refer to (H100 SXM, Table 1). */
+inline constexpr double kGpuPowerAnchorFlops = 990.0e12;
+
+/** H100 module draw under sustained GEMM load. */
+inline constexpr double kGpuBusyWatts = 700.0;
+
+/** H100 module floor: clocks parked, HBM refreshing. */
+inline constexpr double kGpuIdleWatts = 75.0;
+
+/** Core count the CPU watt anchors refer to (Grace, Table 1). */
+inline constexpr double kCpuPowerAnchorCores = 72.0;
+
+/** Grace socket draw with all cores streaming (GraceAdam-style). */
+inline constexpr double kCpuBusyWatts = 250.0;
+
+/** Grace socket floor (fabric + caches, cores clock-gated). */
+inline constexpr double kCpuIdleWatts = 60.0;
+
+/**
+ * Incremental draw of the background validation process (§4.4): extra
+ * cores waking on an already-powered socket. No idle floor — the
+ * socket floor is carried once, by the main CPU resource.
+ */
+inline constexpr double kCpuBgBusyWatts = 50.0;
+
+/** C2C / PCIe PHY + copy-engine draw while a transfer is in flight. */
+inline constexpr double kLinkBusyWatts = 15.0;
+
+/** Link PHY floor (lanes trained but quiet). */
+inline constexpr double kLinkIdleWatts = 5.0;
+
+/** NIC draw while a collective is on the wire. */
+inline constexpr double kNicBusyWatts = 25.0;
+
+/** NIC floor. */
+inline constexpr double kNicIdleWatts = 5.0;
+
+/** NVMe drive draw while a queue is busy. */
+inline constexpr double kNvmeBusyWatts = 8.0;
+
+/** NVMe drive floor (applied once even with a second GDS queue). */
+inline constexpr double kNvmeIdleWatts = 2.0;
+
+/** Switching energy of one byte crossing the C2C link (picojoules). */
+inline constexpr double kC2cPicojoulesPerByte = 10.0;
+
+/** Read/write energy of one byte moved to or from NVMe (picojoules). */
+inline constexpr double kNvmePicojoulesPerByte = 1000.0;
+
+/**
+ * Static refresh/standby draw of host DRAM per GiB of advertised
+ * capacity. HBM standby is folded into the GPU idle watts (it sits
+ * inside the module power envelope), so only Host-kind tiers carry a
+ * background term.
+ */
+inline constexpr double kDdrWattsPerGib = 0.125;
+
+/** @} */
+
 } // namespace so::hw
 
 #endif // SO_HW_CONSTANTS_H

@@ -44,6 +44,32 @@ readPhases(const JsonValue &arr, std::vector<PhaseSlice> &out)
 }
 
 /**
+ * Read an "energy" subtree (profile or result document shape, see
+ * docs/ENERGY.md) into the view's joule fields.
+ */
+void
+readEnergy(const JsonValue &doc, ProfileView &out)
+{
+    const JsonValue *energy = doc.find("energy");
+    if (!energy || !energy->isObject())
+        return;
+    out.has_energy = true;
+    out.energy_j = numberOr(*energy, "total_j", 0.0);
+    if (const JsonValue *phases = energy->find("phases")) {
+        if (phases->isArray()) {
+            for (const JsonValue &item : phases->items()) {
+                if (!item.isObject())
+                    continue;
+                PhaseSlice slice;
+                slice.phase = textOr(item, "phase", "");
+                slice.seconds = numberOr(item, "joules", 0.0);
+                out.energy_phases.push_back(std::move(slice));
+            }
+        }
+    }
+}
+
+/**
  * View of a result document (runtime::toJson shape). Older records
  * lack the profile's own makespan_s; the critical-path length equals
  * it by the profiler invariant, so it is the fallback.
@@ -87,6 +113,7 @@ viewFromResultDoc(const JsonValue &doc, ProfileView &out,
             }
         }
     }
+    readEnergy(doc, out);
     return true;
 }
 
@@ -117,6 +144,7 @@ viewFromProfileDoc(const JsonValue &doc, ProfileView &out,
             }
         }
     }
+    readEnergy(doc, out);
     (void)error;
     return true;
 }
@@ -204,7 +232,7 @@ viewFromProfile(const sim::ScheduleProfile &profile, std::string label)
 
 ProfileView
 viewFromSummary(const runtime::ProfileSummary &summary,
-                std::string label)
+                std::string label, const runtime::EnergySummary *energy)
 {
     ProfileView view;
     view.label = std::move(label);
@@ -223,7 +251,22 @@ viewFromSummary(const runtime::ProfileSummary &summary,
         slice.tail = idle.tail;
         view.resources.push_back(std::move(slice));
     }
+    if (energy != nullptr && energy->valid) {
+        view.has_energy = true;
+        view.energy_j = energy->total_j;
+        view.energy_phases.reserve(energy->phases.size());
+        for (const auto &[phase, joules] : energy->phases)
+            view.energy_phases.push_back(PhaseSlice{phase, joules});
+    }
     return view;
+}
+
+ProfileView
+viewFromIteration(const runtime::IterationResult &result,
+                  std::string label)
+{
+    return viewFromSummary(result.profile, std::move(label),
+                           &result.energy);
 }
 
 bool
@@ -346,6 +389,49 @@ diffProfiles(const ProfileView &before, const ProfileView &after)
     for (const ResourceSlice &slice : after.resources)
         if (!before_res.count(slice.resource))
             push_delta(slice.resource);
+
+    // Energy attribution mirrors the makespan attribution: phase deltas
+    // over the union of names, residual exact by construction. Energy
+    // phases hold the *active* joules, so the residual is exactly the
+    // idle + background joule change.
+    if (before.has_energy && after.has_energy) {
+        diff.has_energy = true;
+        diff.energy_before_j = before.energy_j;
+        diff.energy_after_j = after.energy_j;
+        diff.energy_delta_j = after.energy_j - before.energy_j;
+        std::map<std::string, std::pair<double, double>> joules;
+        std::map<std::string, bool> e_before, e_after;
+        for (const PhaseSlice &slice : before.energy_phases) {
+            joules[slice.phase].first += slice.seconds;
+            e_before[slice.phase] = true;
+        }
+        for (const PhaseSlice &slice : after.energy_phases) {
+            joules[slice.phase].second += slice.seconds;
+            e_after[slice.phase] = true;
+        }
+        double energy_attributed = 0.0;
+        for (const auto &[phase, j] : joules) {
+            PhaseDelta delta;
+            delta.phase = phase;
+            delta.before = j.first;
+            delta.after = j.second;
+            delta.delta = j.second - j.first;
+            delta.appeared = !e_before.count(phase);
+            delta.vanished = !e_after.count(phase);
+            energy_attributed += delta.delta;
+            diff.energy_phases.push_back(std::move(delta));
+        }
+        std::sort(diff.energy_phases.begin(), diff.energy_phases.end(),
+                  [](const PhaseDelta &a, const PhaseDelta &b) {
+                      const double ma = std::abs(a.delta);
+                      const double mb = std::abs(b.delta);
+                      if (ma != mb)
+                          return ma > mb;
+                      return a.phase < b.phase;
+                  });
+        diff.energy_unattributed_j =
+            diff.energy_delta_j - energy_attributed;
+    }
     return diff;
 }
 
@@ -386,7 +472,8 @@ diffSweepCells(const runtime::SweepEngine &engine, std::size_t before,
                 ? (cell.system ? cell.system->name()
                                : "cell " + std::to_string(index))
                 : cell.tag;
-        view = viewFromSummary(cell.result.profile, std::move(label));
+        view = viewFromSummary(cell.result.profile, std::move(label),
+                               &cell.result.energy);
         return true;
     };
     ProfileView view_before, view_after;
@@ -458,6 +545,39 @@ diffToText(const ProfileDiff &diff)
             out += line;
         }
     }
+    if (diff.has_energy) {
+        const double epct =
+            diff.energy_before_j > 0.0
+                ? 100.0 * diff.energy_delta_j / diff.energy_before_j
+                : 0.0;
+        std::snprintf(line, sizeof(line),
+                      "  energy %.3f J -> %.3f J  (delta %+.3f J, "
+                      "%+.2f%%)\n",
+                      diff.energy_before_j, diff.energy_after_j,
+                      diff.energy_delta_j, epct);
+        out += line;
+        out += "  phase contributions to the energy delta (active "
+               "joules; residual = idle + background change):\n";
+        std::snprintf(line, sizeof(line),
+                      "    %-20s %12s %12s %12s  %s\n", "phase",
+                      "before_j", "after_j", "delta_j", "note");
+        out += line;
+        for (const PhaseDelta &phase : diff.energy_phases) {
+            const char *note = phase.appeared   ? "appeared"
+                               : phase.vanished ? "vanished"
+                                                : "";
+            std::snprintf(line, sizeof(line),
+                          "    %-20s %12.3f %12.3f %+12.3f  %s\n",
+                          phase.phase.c_str(), phase.before,
+                          phase.after, phase.delta, note);
+            out += line;
+        }
+        std::snprintf(line, sizeof(line),
+                      "    %-20s %12s %12s %+12.3f  %s\n",
+                      "(idle+background)", "", "",
+                      diff.energy_unattributed_j, "");
+        out += line;
+    }
     return out;
 }
 
@@ -505,6 +625,32 @@ diffToJson(const ProfileDiff &diff)
         json.endObject();
     }
     json.endArray();
+    if (diff.has_energy) {
+        json.key("energy").beginObject();
+        json.field("before_j", diff.energy_before_j);
+        json.field("after_j", diff.energy_after_j);
+        json.field("delta_j", diff.energy_delta_j);
+        json.key("phases").beginArray();
+        for (const PhaseDelta &phase : diff.energy_phases) {
+            json.beginObject();
+            json.field("phase", phase.phase);
+            json.field("before_j", phase.before);
+            json.field("after_j", phase.after);
+            json.field("delta_j", phase.delta);
+            json.field("share",
+                       diff.energy_delta_j != 0.0
+                           ? phase.delta / diff.energy_delta_j
+                           : 0.0);
+            if (phase.appeared)
+                json.field("appeared", true);
+            if (phase.vanished)
+                json.field("vanished", true);
+            json.endObject();
+        }
+        json.endArray();
+        json.field("unattributed_j", diff.energy_unattributed_j);
+        json.endObject();
+    }
     json.endObject();
     return json.str();
 }

@@ -70,6 +70,17 @@ struct ProfileView
     double makespan = 0.0;
     std::vector<PhaseSlice> phases;
     std::vector<ResourceSlice> resources;
+
+    /** Whether the input carried joule attribution (docs/ENERGY.md). */
+    bool has_energy = false;
+    /** Total joules over the schedule. */
+    double energy_j = 0.0;
+    /**
+     * Task joules per phase (PhaseSlice::seconds holds joules here).
+     * Sums to the *active* joules; the idle + background remainder of
+     * energy_j lands in the diff's energy residual.
+     */
+    std::vector<PhaseSlice> energy_phases;
 };
 
 /** View of an in-memory profile; @p label is carried into the diff. */
@@ -78,10 +89,19 @@ ProfileView viewFromProfile(const sim::ScheduleProfile &profile,
 
 /**
  * View of a result's compact profile summary. The summary must be
- * valid (IterationResult::profile.valid).
+ * valid (IterationResult::profile.valid). When @p energy is given and
+ * valid, the view carries joule attribution into the diff.
  */
 ProfileView viewFromSummary(const runtime::ProfileSummary &summary,
-                            std::string label);
+                            std::string label,
+                            const runtime::EnergySummary *energy = nullptr);
+
+/**
+ * View of an in-memory iteration result: the profile summary plus its
+ * energy attribution in one call (the planner's --explain input).
+ */
+ProfileView viewFromIteration(const runtime::IterationResult &result,
+                              std::string label);
 
 /**
  * Normalize one parsed JSON document into a view. Recognizes, in this
@@ -141,6 +161,21 @@ struct ProfileDiff
 
     /** Union of both resource sets, in before-then-after order. */
     std::vector<ResourceDelta> resources;
+
+    /** Set when both sides carried joule attribution. */
+    bool has_energy = false;
+    double energy_before_j = 0.0;
+    double energy_after_j = 0.0;
+    /** energy_after_j - energy_before_j (negative = after is cheaper). */
+    double energy_delta_j = 0.0;
+    /** Union of both energy phase sets, largest |delta| first (J). */
+    std::vector<PhaseDelta> energy_phases;
+    /**
+     * energy_delta_j - sum of energy phase deltas, exact by
+     * construction. Energy phases attribute the *active* joules, so
+     * this residual is precisely the idle + background joule change.
+     */
+    double energy_unattributed_j = 0.0;
 };
 
 /** Diff two views: attribution of `after.makespan - before.makespan`. */

@@ -61,6 +61,15 @@ metricDirection(const std::string &path)
 {
     if (endsWith(path, "_per_s"))
         return 1;
+    // Joules are a cost: less energy per run/iteration/token is
+    // better. Watts are a *rate*, not a cost — a faster schedule may
+    // legitimately draw more average power while spending fewer
+    // joules — so `_w` leaves stay ungated (docs/ENERGY.md).
+    if (endsWith(path, "_j") || endsWith(path, "_j_per_iter") ||
+        endsWith(path, "_j_per_token"))
+        return -1;
+    if (endsWith(path, "_w"))
+        return 0;
     if (endsWith(path, "_s") || endsWith(path, "_s_mean") ||
         endsWith(path, "_ms"))
         return -1;

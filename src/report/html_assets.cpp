@@ -154,6 +154,10 @@ section.so-section > h2 {
 .so-gap.resource-contention { background: var(--cause-contention); }
 .so-gap.tail { background: var(--cause-tail); }
 .so-overlay { position: absolute; inset: 0; pointer-events: none; }
+.so-power { margin-top: 12px; border: 1px solid var(--grid);
+  border-radius: 8px; padding: 10px 12px 12px; }
+.so-power canvas { display: block; width: 100%; }
+.so-power .so-note { margin: 0 0 8px; }
 .so-zoom { display: flex; align-items: center; gap: 8px; margin: 0 0 8px;
   color: var(--muted); font-size: 12px; }
 .so-zoom input { width: 160px; accent-color: var(--series-1); }
@@ -284,6 +288,22 @@ const char kExplorerJs[] = R"SOJS(
     return s.toPrecision(4) + ' s';
   }
   function fmtSigned(s) { return (s > 0 ? '+' : '') + fmtS(s); }
+  function fmtW(w) {
+    if (w === undefined || w === null || !isFinite(w)) return '-';
+    if (Math.abs(w) >= 1000) return (w / 1000).toPrecision(3) + ' kW';
+    return w.toPrecision(3) + ' W';
+  }
+  function fmtJ(j) {
+    if (j === undefined || j === null || !isFinite(j)) return '-';
+    var a = Math.abs(j);
+    if (a === 0) return '0 J';
+    if (a >= 1e6) return (j / 1e6).toPrecision(3) + ' MJ';
+    if (a >= 1e3) return (j / 1e3).toPrecision(3) + ' kJ';
+    if (a < 1e-3) return (j * 1e6).toPrecision(3) + ' µJ';
+    if (a < 1) return (j * 1e3).toPrecision(3) + ' mJ';
+    return j.toPrecision(4) + ' J';
+  }
+  function fmtJSigned(j) { return (j > 0 ? '+' : '') + fmtJ(j); }
   function fmtBytes(b) {
     if (b === undefined || b === null || !isFinite(b)) return '-';
     if (b === 0) return '0 B';
@@ -326,6 +346,14 @@ const char kExplorerJs[] = R"SOJS(
     ['resource-contention', '--cause-contention', 'dependency queued elsewhere'],
     ['tail', '--cause-tail', 'no work left']
   ];
+  // Idle causes are the only strings from the data island ever used as
+  // CSS classes or variable names; anything unrecognized folds into the
+  // neutral tail styling instead of being interpolated verbatim.
+  var CAUSE_VAR = {};
+  CAUSES.forEach(function (c) { CAUSE_VAR[c[0]] = c[1]; });
+  function causeClass(cause) {
+    return CAUSE_VAR[cause] ? cause : 'tail';
+  }
 
   // One tooltip for the whole page; marks are their own hit targets.
   var tip = el('div', 'so-tip');
@@ -484,7 +512,7 @@ const char kExplorerJs[] = R"SOJS(
 
       var strip = el('div', 'so-idle-strip');
       (meta.gaps || []).forEach(function (gap) {
-        var g = el('i', 'so-gap ' + gap.cause);
+        var g = el('i', 'so-gap ' + causeClass(gap.cause));
         g.style.left = (100 * gap.begin_s / makespan) + '%';
         g.style.width =
             (100 * (gap.end_s - gap.begin_s) / makespan) + '%';
@@ -576,6 +604,122 @@ const char kExplorerJs[] = R"SOJS(
     addEventListener('resize', drawOverlay);
     requestAnimationFrame(drawOverlay);
 
+    // Power-over-time: stacked per-resource draw sampled across the
+    // makespan. A busy sample wears the resource's series color at the
+    // running task's average draw (per-byte toll amortized in); an
+    // idle sample wears the idle-cause color at the resource's idle
+    // floor. Only rendered for energy-enabled bundles (schema v2+).
+    var metered = resources.some(function (m) {
+      return m && m.busy_w !== undefined;
+    });
+    if (metered) {
+      var pwr = el('div', 'so-power');
+      pwr.appendChild(el('p', 'so-note',
+          'power draw over time · busy colored per resource, idle ' +
+          'colored by cause'));
+      var pcv = document.createElement('canvas');
+      pwr.appendChild(pcv);
+      sec.appendChild(pwr);
+      var tasksOf = {};
+      tasks.forEach(function (t) {
+        (tasksOf[t.resource] = tasksOf[t.resource] || []).push(t);
+      });
+      function seriesOf(r2) {
+        return cssVar('--series-' + ((r2 % 8) + 1));
+      }
+      function causeAt(meta2, tm) {
+        var gaps = meta2.gaps || [];
+        for (var gi = 0; gi < gaps.length; ++gi)
+          if (gaps[gi].begin_s <= tm && tm < gaps[gi].end_s)
+            return causeClass(gaps[gi].cause);
+        return 'tail';
+      }
+      var powerCols = [], powerPeak = 0, powerN = 0;
+      function samplePower(N) {
+        powerCols = []; powerPeak = 0; powerN = N;
+        for (var ci = 0; ci < N; ++ci) {
+          var tm = makespan * (ci + 0.5) / N;
+          var stack = [], totW = 0;
+          for (var ri = 0; ri < count; ++ri) {
+            var m2 = resources[ri] || {};
+            var running = null;
+            var list = tasksOf[ri] || [];
+            for (var ti = 0; ti < list.length; ++ti)
+              if (list[ti].start_s <= tm && tm < list[ti].end_s) {
+                running = list[ti];
+                break;
+              }
+            var wv, colr;
+            if (running) {
+              wv = running.power_w !== undefined
+                  ? running.power_w : (m2.busy_w || 0);
+              colr = seriesOf(ri);
+            } else {
+              wv = m2.idle_w || 0;
+              colr = cssVar(CAUSE_VAR[causeAt(m2, tm)]);
+            }
+            if (wv > 0) stack.push([wv, colr]);
+            totW += wv;
+          }
+          powerCols.push([totW, stack]);
+          powerPeak = Math.max(powerPeak, totW);
+        }
+      }
+      function drawPower() {
+        var W = pwr.clientWidth || 600, H = 120;
+        var dpr = devicePixelRatio || 1;
+        pcv.width = Math.round(W * dpr);
+        pcv.height = Math.round(H * dpr);
+        pcv.style.height = H + 'px';
+        var ctx = pcv.getContext('2d');
+        ctx.scale(dpr, dpr);
+        var N = Math.max(64, Math.min(512, Math.floor(W / 2)));
+        samplePower(N);
+        if (powerPeak <= 0) return;
+        var cw = W / N;
+        for (var ci = 0; ci < N; ++ci) {
+          var y = H;
+          powerCols[ci][1].forEach(function (segm) {
+            var hgt = H * segm[0] / powerPeak;
+            ctx.fillStyle = segm[1];
+            ctx.fillRect(ci * cw, y - hgt, cw + 0.5, hgt);
+            y -= hgt;
+          });
+        }
+        ctx.strokeStyle = cssVar('--axis');
+        ctx.strokeRect(0.5, 0.5, W - 1, H - 1);
+      }
+      pcv.addEventListener('pointermove', function (evt) {
+        if (!powerN || !powerCols.length) return;
+        var rect = pcv.getBoundingClientRect();
+        var ci = Math.min(powerN - 1, Math.max(0, Math.floor(
+            powerN * (evt.clientX - rect.left) / rect.width)));
+        var rows = [
+          ['time', fmtS(makespan * (ci + 0.5) / powerN)],
+          ['total draw', fmtW(powerCols[ci][0])],
+          ['peak', fmtW(powerPeak)]
+        ];
+        tipShow(evt, 'power', rows);
+      });
+      pcv.addEventListener('pointerleave', tipHide);
+      addEventListener('resize', drawPower);
+      requestAnimationFrame(drawPower);
+      var pchips = el('div', 'so-chips');
+      for (var pr = 0; pr < count; ++pr) {
+        var m3 = resources[pr] || {};
+        var chip = el('span', 'so-chip');
+        var sw2 = el('i');
+        sw2.style.background = seriesOf(pr);
+        chip.appendChild(sw2);
+        chip.appendChild(document.createTextNode(
+            (m3.resource || ('resource ' + pr)) +
+            (m3.busy_w !== undefined
+                 ? ' · ' + fmtW(m3.busy_w) + ' busy' : '')));
+        pchips.appendChild(chip);
+      }
+      pwr.appendChild(pchips);
+    }
+
     var phases = Object.keys(phaseSeconds).map(function (p) {
       return [p, phaseSeconds[p]];
     }).sort(function (a, b) { return b[1] - a[1]; });
@@ -585,7 +729,11 @@ const char kExplorerJs[] = R"SOJS(
         'makespan ' + fmtS(makespan) + ' · ' + tasks.length +
         ' tasks · ' + (bundle.edges || []).length + ' edges · ' +
         (bundle.critical_path || []).length +
-        ' tasks on the critical path'));
+        ' tasks on the critical path' +
+        (bundle.total_j
+             ? ' · ' + fmtJ(bundle.total_j) + ' (' +
+                   fmtW(bundle.avg_w) + ' avg)'
+             : '')));
     dataTable(sec, 'task table', ['task', 'phase', 'resource', 'slot',
         'start', 'end', 'duration', 'slack', 'critical'],
         tasks.map(function (t) {
@@ -598,8 +746,11 @@ const char kExplorerJs[] = R"SOJS(
   }
 
   // --------------------------------------------------- profile section
-  function stackedBar(host, parts, total, colorOf) {
+  function stackedBar(host, parts, total, colorOf, fmt) {
     // parts: [name, seconds]; 2px surface gaps between segments.
+    // fmt switches the tooltip unit (default seconds; fmtJ = joules).
+    var f = fmt || fmtS;
+    var unit = fmt === fmtJ ? 'joules' : 'seconds';
     var bar = el('div', 'so-bar');
     parts.forEach(function (p) {
       if (p[1] <= 0) return;
@@ -607,7 +758,7 @@ const char kExplorerJs[] = R"SOJS(
       seg.style.background = colorOf(p[0]);
       seg.style.flexGrow = String(p[1]);
       hover(seg, function () {
-        return [p[0], [['seconds', fmtS(p[1])],
+        return [p[0], [[unit, f(p[1])],
             ['share', total > 0
                  ? (100 * p[1] / total).toFixed(1) + '%' : '-']]];
       });
@@ -674,6 +825,16 @@ const char kExplorerJs[] = R"SOJS(
       chips.appendChild(busyChip);
       sec.appendChild(chips);
       causeLegend(sec);
+    }
+    var energy = doc.energy || null;
+    if (energy && energy.phases && energy.phases.length) {
+      sec.appendChild(el('p', 'so-note',
+          'task joules per phase · total ' + fmtJ(energy.total_j) +
+          ' · avg ' + fmtW(energy.avg_w) + ' · idle ' +
+          fmtJ(energy.idle_j)));
+      stackedBar(sec, energy.phases.map(function (p) {
+        return [p.phase, p.joules];
+      }), energy.active_j || 0, phaseColor, fmtJ);
     }
     if (doc.zero_slack_tasks && doc.zero_slack_tasks.length)
       dataTable(sec, 'longest zero-slack tasks',
@@ -785,12 +946,17 @@ const char kExplorerJs[] = R"SOJS(
           // always clears contrast inside the cell.
           td.style.color = luminance(bg) > 0.45 ? '#0b0b0b' : '#ffffff';
           hover(td, function () {
-            return [sys + ' · ' + col, [
+            var rows = [
               ['TFLOPS/GPU', v.toFixed(2)],
               ['iter time', fmtS(cell.result.iter_time_s)],
               ['GPU util', (100 * (cell.result.gpu_utilization || 0))
                    .toFixed(1) + '%']
-            ]];
+            ];
+            var energy = cell.result.energy;
+            if (energy && energy.iter_j !== undefined)
+              rows.push(['energy', fmtJ(energy.iter_j) + '/iter · ' +
+                  fmtW(energy.avg_w) + ' avg']);
+            return [sys + ' · ' + col, rows];
           });
           td.addEventListener('click', function () {
             renderDrill(drill, sys + ' · ' + col, cell);
@@ -812,7 +978,8 @@ const char kExplorerJs[] = R"SOJS(
     }
     sec.appendChild(drill);
     dataTable(sec, 'cell table',
-        ['system', 'setup', 'TFLOPS/GPU', 'iter time', 'GPU util'],
+        ['system', 'setup', 'TFLOPS/GPU', 'iter time', 'GPU util',
+         'J/iter'],
         cells.map(function (cell) {
           var res = cell.result || {};
           return [cell.system || '?', cellColumnKey(cell),
@@ -820,7 +987,9 @@ const char kExplorerJs[] = R"SOJS(
               res.feasible ? fmtS(res.iter_time_s) : '-',
               res.feasible
                   ? (100 * (res.gpu_utilization || 0)).toFixed(1) + '%'
-                  : '-'];
+                  : '-',
+              res.feasible && res.energy
+                  ? fmtJ(res.energy.iter_j) : '-'];
         }));
   }
 
@@ -849,6 +1018,15 @@ const char kExplorerJs[] = R"SOJS(
       stackedBar(drill, profile.critical_phases.map(function (p) {
         return [p.phase, p.seconds];
       }), profile.critical_length_s || 0, phaseColor);
+    }
+    var energy = res.energy || {};
+    if (energy.phases && energy.phases.length) {
+      drill.appendChild(el('p', 'so-note', 'task joules per phase · ' +
+          fmtJ(energy.iter_j) + '/iter · ' + fmtW(energy.avg_w) +
+          ' avg'));
+      stackedBar(drill, energy.phases.map(function (p) {
+        return [p.phase, p.joules];
+      }), energy.active_j || 0, phaseColor, fmtJ);
     }
     renderTiers(drill, res);
   }
@@ -993,7 +1171,11 @@ const char kExplorerJs[] = R"SOJS(
   }
 
   function gatedDirection(path) {
+    // Mirror of report::metricDirection (history.cpp): joules are a
+    // cost, watts are a rate and stay ungated (docs/ENERGY.md).
     if (/_per_s$/.test(path)) return 1;
+    if (/(_j|_j_per_iter|_j_per_token)$/.test(path)) return -1;
+    if (/_w$/.test(path)) return 0;
     if (/(_s|_s_mean|_ms)$/.test(path)) return -1;
     return 0;
   }
@@ -1122,22 +1304,24 @@ const char kExplorerJs[] = R"SOJS(
     });
     if (doc.unattributed_s)
       max = Math.max(max, Math.abs(doc.unattributed_s));
-    function row(name, value, tag) {
+    function row(name, value, tag, maxv, fmtfn) {
+      maxv = maxv === undefined ? max : maxv;
+      fmtfn = fmtfn || fmtSigned;
       var r = el('div', 'so-diffrow');
       var n = el('span', 'name', name);
       if (tag) n.appendChild(el('span', 'so-tag', tag));
       r.appendChild(n);
       var bar = el('div', 'so-diffbar');
       bar.appendChild(el('i', 'mid'));
-      if (max > 0 && value !== 0) {
+      if (maxv > 0 && value !== 0) {
         var seg = el('i', value < 0 ? 'neg' : 'pos');
-        seg.style.width = (50 * Math.abs(value) / max) + '%';
+        seg.style.width = (50 * Math.abs(value) / maxv) + '%';
         bar.appendChild(seg);
       }
       r.appendChild(bar);
-      r.appendChild(el('span', 'val', fmtSigned(value)));
+      r.appendChild(el('span', 'val', fmtfn(value)));
       hover(r, function () {
-        return [name, [['delta', fmtSigned(value)]]];
+        return [name, [['delta', fmtfn(value)]]];
       });
       sec.appendChild(r);
       return r;
@@ -1158,6 +1342,34 @@ const char kExplorerJs[] = R"SOJS(
     if (phases.length > 14)
       sec.appendChild(el('p', 'so-note',
           (phases.length - 14) + ' smaller phases omitted'));
+    var e = doc.energy || null;
+    if (e) {
+      sec.appendChild(el('p', 'so-sub',
+          'energy: ' + fmtJ(e.before_j) + ' → ' + fmtJ(e.after_j) +
+          ' (' + fmtJSigned(e.delta_j) + ') — active joules ' +
+          'attributed per phase, residual = idle + background change'));
+      var emax = 0;
+      (e.phases || []).forEach(function (p) {
+        emax = Math.max(emax, Math.abs(p.delta_j));
+      });
+      if (e.unattributed_j)
+        emax = Math.max(emax, Math.abs(e.unattributed_j));
+      (e.phases || []).slice(0, 14).forEach(function (p) {
+        var r = row(p.phase, p.delta_j,
+            p.appeared ? 'appeared' : p.vanished ? 'vanished' : null,
+            emax, fmtJSigned);
+        hover(r, function () {
+          return [p.phase, [
+            ['before', fmtJ(p.before_j)],
+            ['after', fmtJ(p.after_j)],
+            ['delta', fmtJSigned(p.delta_j)]
+          ]];
+        });
+      });
+      if (e.unattributed_j)
+        row('(idle+background)', e.unattributed_j, null, emax,
+            fmtJSigned);
+    }
     var resources = doc.resources || [];
     if (resources.length)
       dataTable(sec, 'per-resource deltas',

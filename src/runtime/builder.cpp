@@ -15,7 +15,8 @@ IterBuilder::IterBuilder(const TrainSetup &setup, hw::HierarchyOptions opts)
       chip_(setup.cluster.node.superchip),
       host_link_(hw::effectiveHostLink(setup.cluster.node, setup.binding)),
       coll_(hw::CollectiveCost::fromCluster(setup.cluster)),
-      hier_(hw::memoryHierarchy(chip_, host_link_, opts))
+      hier_(hw::memoryHierarchy(chip_, host_link_, opts)),
+      power_(hw::powerModel(chip_, hier_, setup.power))
 {
     // The standard seven resources, in an order pinned by tests (and by
     // stored schedules): the hierarchy's canonical channels map onto
@@ -230,8 +231,11 @@ IterBuilder::onPath(const hw::MemoryPath &path, std::string_view label,
               "onPath: path does not belong to this hierarchy");
     SO_ASSERT(bytes >= 0.0, "negative transfer bytes");
     path_bytes_[index] += bytes;
-    return graph_.addTask(channelResource(path.channel), seconds, label,
-                          deps, priority);
+    const sim::TaskId id = graph_.addTask(channelResource(path.channel),
+                                          seconds, label, deps, priority);
+    if (bytes > 0.0)
+        task_bytes_.emplace_back(id, bytes);
+    return id;
 }
 
 double
@@ -262,6 +266,98 @@ IterBuilder::finish(const model::IterationFlops &flops) const
 {
     const sim::Schedule sched = schedule();
     return finishWindow(flops, 0.0, sched.makespan, sched);
+}
+
+sim::EnergyProfile
+IterBuilder::fillEnergy(IterationResult &res, const sim::Schedule &schedule,
+                        const sim::ScheduleProfile *profile) const
+{
+    // Re-key the name-keyed electrical model by sim ResourceId.
+    sim::EnergyInputs inputs;
+    inputs.resources.resize(graph_.resourceCount());
+    for (sim::ResourceId r = 0; r < graph_.resourceCount(); ++r) {
+        if (const hw::PowerProfile *p =
+                power_.find(graph_.resource(r).name)) {
+            inputs.resources[r] = {p->busy_w, p->idle_w,
+                                   p->joules_per_byte};
+        }
+    }
+    inputs.task_bytes.assign(graph_.taskCount(), 0.0);
+    for (const auto &[task, bytes] : task_bytes_)
+        inputs.task_bytes[task] += bytes;
+    inputs.background.reserve(power_.background().size());
+    for (const hw::BackgroundPower &bg : power_.background())
+        inputs.background.emplace_back(bg.name, bg.watts);
+
+    EnergySummary &e = res.energy;
+    e.valid = true;
+    const double makespan = schedule.makespan;
+    sim::EnergyProfile ep;
+    if (profile != nullptr) {
+        // Ride the profiler's attribution: same busy/idle partition,
+        // same phaseKey grouping, idle joules split by cause.
+        ep = sim::attributeEnergy(graph_, schedule, *profile, inputs);
+        e.active_j = ep.active_j;
+        e.idle_j = ep.idle_j;
+        e.background_j = ep.background_j;
+        e.total_j = ep.total_j;
+        e.phases = ep.phases;
+        e.background = ep.background;
+        e.resources.reserve(graph_.resourceCount());
+        for (sim::ResourceId r = 0; r < graph_.resourceCount(); ++r) {
+            const sim::ResourceEnergy &re = ep.resources[r];
+            EnergySummary::ResourceEnergy out;
+            out.resource = graph_.resource(r).name;
+            out.busy_w = re.busy_w;
+            out.idle_w = re.idle_w;
+            out.busy_j = re.busy_j;
+            out.transfer_j = re.transfer_j;
+            out.idle_j = re.idle_j;
+            out.idle_dependency_j = re.idle_dependency_j;
+            out.idle_contention_j = re.idle_contention_j;
+            out.idle_tail_j = re.idle_tail_j;
+            e.resources.push_back(std::move(out));
+        }
+    } else {
+        // Cheap pass: union busy time straight off the timelines, no
+        // cause split, no per-phase roll-up. Totals match the profiled
+        // attribution (same busy/idle partition of the makespan).
+        std::vector<double> res_bytes(graph_.resourceCount(), 0.0);
+        for (const auto &[task, bytes] : task_bytes_)
+            res_bytes[graph_.taskResource(task)] += bytes;
+        for (sim::ResourceId r = 0; r < graph_.resourceCount(); ++r) {
+            const sim::ResourcePower &rp = inputs.resources[r];
+            const double busy =
+                schedule.timelines[r].busyTime(0.0, makespan);
+            EnergySummary::ResourceEnergy out;
+            out.resource = graph_.resource(r).name;
+            out.busy_w = rp.busy_w;
+            out.idle_w = rp.idle_w;
+            out.busy_j = rp.busy_w * busy;
+            out.transfer_j = rp.joules_per_byte * res_bytes[r];
+            out.idle_j = rp.idle_w * (makespan - busy);
+            e.active_j += out.busy_j + out.transfer_j;
+            e.idle_j += out.idle_j;
+            e.resources.push_back(std::move(out));
+        }
+        for (const auto &[name, watts] : inputs.background) {
+            const double joules = watts * makespan;
+            e.background.emplace_back(name, joules);
+            e.background_j += joules;
+        }
+        e.total_j = e.active_j + e.idle_j + e.background_j;
+    }
+    e.avg_w = makespan > 0.0 ? e.total_j / makespan : 0.0;
+    // Energy-to-solution: the measurement window's share of the
+    // schedule at the schedule's average draw (steady-state systems
+    // measure one iteration out of a longer simulated schedule).
+    e.iter_j = e.avg_w * res.iter_time;
+    const double tokens = static_cast<double>(setup_.global_batch) *
+                          static_cast<double>(setup_.seq);
+    e.token_j = tokens > 0.0
+                    ? e.iter_j * setup_.cluster.totalSuperchips() / tokens
+                    : 0.0;
+    return ep;
 }
 
 IterationResult
@@ -313,13 +409,19 @@ IterBuilder::finishWindow(const model::IterationFlops &flops,
             idle.tail = prof.resources[r].idle_tail;
             res.profile.idle.push_back(std::move(idle));
         }
-        res.profile_json = sim::profileToJson(prof, graph_, schedule);
+        const sim::EnergyProfile energy =
+            fillEnergy(res, schedule, &prof);
+        res.profile_json =
+            sim::profileToJson(prof, graph_, schedule, 8, &energy);
         res.bundle_json = sim::bundleToJson(
-            sim::makeInspectionBundle(graph_, schedule, prof));
+            sim::makeInspectionBundle(graph_, schedule, prof, "",
+                                      &energy));
         if (setup_.capture_trace)
             res.trace_json = sim::toChromeTrace(graph_, schedule, prof);
-    } else if (setup_.capture_trace) {
-        res.trace_json = sim::toChromeTrace(graph_, schedule);
+    } else {
+        fillEnergy(res, schedule, nullptr);
+        if (setup_.capture_trace)
+            res.trace_json = sim::toChromeTrace(graph_, schedule);
     }
     return res;
 }

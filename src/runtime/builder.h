@@ -19,8 +19,10 @@
 
 #include "hw/collective.h"
 #include "hw/memory.h"
+#include "hw/power.h"
 #include "runtime/system.h"
 #include "sim/graph.h"
+#include "sim/profiler.h"
 #include "sim/scheduler.h"
 
 namespace so::runtime {
@@ -53,6 +55,9 @@ class IterBuilder
 
     /** The memory hierarchy this rank schedules transfers over. */
     const hw::MemoryHierarchy &hierarchy() const { return hier_; }
+
+    /** The electrical model metering this rank (hw/power.h). */
+    const hw::PowerModel &powerModel() const { return power_; }
 
     /** Sim resource carrying hierarchy channel @p channel. */
     sim::ResourceId channelResource(std::string_view channel) const;
@@ -213,6 +218,7 @@ class IterBuilder
     const hw::Link &host_link_;
     hw::CollectiveCost coll_;
     hw::MemoryHierarchy hier_;
+    hw::PowerModel power_;
     sim::TaskGraph graph_;
     sim::ResourceId gpu_;
     sim::ResourceId cpu_;
@@ -225,6 +231,18 @@ class IterBuilder
     std::vector<std::pair<std::string, sim::ResourceId>> channels_;
     /** Bytes scheduled per hierarchy path (tier-traffic accounting). */
     std::vector<double> path_bytes_;
+    /** (task, bytes) pairs from onPath, for per-task transfer energy. */
+    std::vector<std::pair<sim::TaskId, double>> task_bytes_;
+
+    /**
+     * Fill @p res.energy from the finished @p schedule: full
+     * phase/idle-cause attribution when @p profile is given (the
+     * returned EnergyProfile is then valid, for the profile/bundle JSON
+     * documents), a cheap timeline-only pass otherwise.
+     */
+    sim::EnergyProfile fillEnergy(IterationResult &res,
+                                  const sim::Schedule &schedule,
+                                  const sim::ScheduleProfile *profile) const;
 };
 
 /**

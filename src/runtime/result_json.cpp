@@ -95,6 +95,57 @@ writeIterationJson(JsonWriter &json, const IterationResult &result)
         json.endArray();
         json.endObject();
     }
+    if (result.energy.valid) {
+        // Joule accounting (docs/ENERGY.md). Key suffixes matter to the
+        // bench guard: *_j gates lower-is-better, *_w stays exempt.
+        const EnergySummary &e = result.energy;
+        json.key("energy").beginObject();
+        json.field("total_j", e.total_j);
+        json.field("active_j", e.active_j);
+        json.field("idle_j", e.idle_j);
+        json.field("background_j", e.background_j);
+        json.field("avg_w", e.avg_w);
+        json.field("iter_j", e.iter_j);
+        json.field("token_j", e.token_j);
+        if (!e.phases.empty()) {
+            json.key("phases").beginArray();
+            for (const auto &[phase, joules] : e.phases) {
+                json.beginObject();
+                json.field("phase", phase);
+                json.field("joules", joules);
+                json.field("share",
+                           e.active_j > 0.0 ? joules / e.active_j : 0.0);
+                json.endObject();
+            }
+            json.endArray();
+        }
+        json.key("resources").beginArray();
+        for (const EnergySummary::ResourceEnergy &re : e.resources) {
+            json.beginObject();
+            json.field("resource", re.resource);
+            json.field("busy_w", re.busy_w);
+            json.field("idle_w", re.idle_w);
+            json.field("busy_j", re.busy_j);
+            json.field("transfer_j", re.transfer_j);
+            json.field("idle_j", re.idle_j);
+            json.field("idle_dependency_j", re.idle_dependency_j);
+            json.field("idle_contention_j", re.idle_contention_j);
+            json.field("idle_tail_j", re.idle_tail_j);
+            json.endObject();
+        }
+        json.endArray();
+        if (!e.background.empty()) {
+            json.key("background").beginArray();
+            for (const auto &[name, joules] : e.background) {
+                json.beginObject();
+                json.field("name", name);
+                json.field("joules", joules);
+                json.endObject();
+            }
+            json.endArray();
+        }
+        json.endObject();
+    }
     if (!result.extras.empty()) {
         json.key("extras").beginObject();
         for (const auto &[key, value] : result.extras)

@@ -160,6 +160,22 @@ SweepEngine::fingerprint(const TrainingSystem &system,
     appendNum(key, static_cast<std::uint32_t>(setup.binding));
     appendNum(key, static_cast<std::uint32_t>(setup.capture_trace));
     appendNum(key, static_cast<std::uint32_t>(setup.capture_profile));
+    // Power overrides change the energy numbers cached inside the
+    // result, so they are part of the cell's identity (a presence bit
+    // per field keeps an explicit override distinct from the preset
+    // value it happens to equal).
+    const hw::PowerOverrides &pw = setup.power;
+    const std::optional<double> *fields[] = {
+        &pw.gpu_busy_w,  &pw.gpu_idle_w,      &pw.cpu_busy_w,
+        &pw.cpu_idle_w,  &pw.link_busy_w,     &pw.link_idle_w,
+        &pw.nic_busy_w,  &pw.nic_idle_w,      &pw.nvme_busy_w,
+        &pw.nvme_idle_w, &pw.c2c_pj_per_byte, &pw.nvme_pj_per_byte,
+        &pw.ddr_w_per_gib};
+    for (const std::optional<double> *field : fields) {
+        appendNum(key, static_cast<std::uint32_t>(field->has_value()));
+        if (field->has_value())
+            appendNum(key, field->value());
+    }
     return key;
 }
 
@@ -301,6 +317,26 @@ SweepEngine::run()
         cell.evaluated = true;
     }
     next_unrun_ = cells_.size();
+
+    // Energy gauges (docs/ENERGY.md): engine-lifetime aggregates over
+    // every evaluated feasible cell, recomputed serially in cell order
+    // so the snapshot is independent of worker scheduling.
+    double sweep_iter_j = 0.0;
+    double watt_sum = 0.0;
+    std::int64_t metered = 0;
+    for (const SweepCell &cell : cells_) {
+        if (!cell.evaluated || !cell.result.feasible ||
+            !cell.result.energy.valid)
+            continue;
+        sweep_iter_j += cell.result.energy.iter_j;
+        watt_sum += cell.result.energy.avg_w;
+        ++metered;
+    }
+    if (metered > 0) {
+        metrics.set("sweep.energy_iter_j", sweep_iter_j);
+        metrics.set("sweep.energy_avg_w",
+                    watt_sum / static_cast<double>(metered));
+    }
 
     if (options_.progress) {
         const auto elapsed =

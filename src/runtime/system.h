@@ -33,6 +33,7 @@
 
 #include "hw/collective.h"
 #include "hw/memory.h"
+#include "hw/power.h"
 #include "hw/presets.h"
 #include "hw/topology.h"
 #include "model/config.h"
@@ -70,6 +71,13 @@ struct TrainSetup
      * same reason as capture_trace.
      */
     bool capture_profile = false;
+
+    /**
+     * Per-job overrides of the derived electrical model (hw/power.h,
+     * docs/ENERGY.md). Energy metering itself is always on — it is a
+     * cheap post-pass over the finished schedule and never changes it.
+     */
+    hw::PowerOverrides power;
 
     /** Sequences per GPU per iteration (>= 1). */
     std::uint32_t perGpuBatch() const;
@@ -167,6 +175,61 @@ struct ProfileSummary
     std::vector<ResourceIdle> idle;
 };
 
+/**
+ * Joule accounting of one simulated iteration (docs/ENERGY.md). Always
+ * filled for feasible results: the totals come from a cheap pass over
+ * the timelines; the per-phase and idle-cause splits additionally
+ * require TrainSetup::capture_profile (they ride the schedule
+ * profiler's attribution).
+ */
+struct EnergySummary
+{
+    /** Per-resource joule split over the schedule. */
+    struct ResourceEnergy
+    {
+        std::string resource;
+        /** The watts the resource was metered at (hw/power.h). */
+        double busy_w = 0.0;
+        double idle_w = 0.0;
+        /** busy_w × busy time. */
+        double busy_j = 0.0;
+        /** Per-byte switching energy of the bytes the resource moved. */
+        double transfer_j = 0.0;
+        /** idle_w × idle time. */
+        double idle_j = 0.0;
+        /** Idle-cause split of idle_j; zero without capture_profile. */
+        double idle_dependency_j = 0.0;
+        double idle_contention_j = 0.0;
+        double idle_tail_j = 0.0;
+    };
+
+    bool valid = false;
+
+    /** Busy joules + per-byte transfer tolls across all resources. */
+    double active_j = 0.0;
+    /** Idle-floor joules across all resources. */
+    double idle_j = 0.0;
+    /** Static draws (DRAM refresh) over the schedule. */
+    double background_j = 0.0;
+    /** active_j + idle_j + background_j, per schedule window. */
+    double total_j = 0.0;
+    /** Average electrical draw over the schedule, in watts. */
+    double avg_w = 0.0;
+    /** Energy-to-solution of one full iteration (all accum steps). */
+    double iter_j = 0.0;
+    /** Cluster joules per trained token (iter_j × chips / tokens). */
+    double token_j = 0.0;
+
+    /** One entry per simulated resource, in resource order. */
+    std::vector<ResourceEnergy> resources;
+
+    /** Task joules per label phase; filled with capture_profile. */
+    std::vector<std::pair<std::string, double>> phases;
+
+    /** Static draws as (name, joules) over the schedule. */
+    std::vector<std::pair<std::string, double>> background;
+};
+
 /** Outcome of evaluating one setup under one system. */
 struct IterationResult
 {
@@ -232,6 +295,12 @@ struct IterationResult
      * only when the setup's capture_profile flag was set.
      */
     ProfileSummary profile;
+
+    /**
+     * Joule accounting of the simulated schedule; always valid for
+     * feasible results (phase/idle-cause splits need capture_profile).
+     */
+    EnergySummary energy;
 
     /** Full schedule-profile JSON document (sim::profileToJson). */
     std::string profile_json;

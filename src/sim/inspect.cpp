@@ -59,7 +59,8 @@ fail(std::string *error, const std::string &message)
 
 InspectionBundle
 makeInspectionBundle(const TaskGraph &graph, const Schedule &schedule,
-                     const ScheduleProfile &profile, std::string label)
+                     const ScheduleProfile &profile, std::string label,
+                     const EnergyProfile *energy)
 {
     const std::size_t n = graph.taskCount();
     SO_ASSERT(schedule.start.size() == n && profile.slack.size() == n,
@@ -78,6 +79,10 @@ makeInspectionBundle(const TaskGraph &graph, const Schedule &schedule,
         summary.idle_dependency = profile.resources[r].idle_dependency;
         summary.idle_contention = profile.resources[r].idle_contention;
         summary.idle_tail = profile.resources[r].idle_tail;
+        if (energy != nullptr && energy->valid) {
+            summary.busy_w = energy->resources[r].busy_w;
+            summary.idle_w = energy->resources[r].idle_w;
+        }
         summary.gaps = profile.resources[r].gaps;
         bundle.resources.push_back(std::move(summary));
     }
@@ -92,6 +97,14 @@ makeInspectionBundle(const TaskGraph &graph, const Schedule &schedule,
         span.start = schedule.start[id];
         span.end = schedule.finish[id];
         span.slack = profile.slack[id];
+        if (energy != nullptr && energy->valid) {
+            // Per-byte tolls amortize over the span so the timeline
+            // integrates back to the task's joules.
+            const double dur = span.duration();
+            span.power_w =
+                dur > 0.0 ? energy->task_j[id] / dur
+                          : energy->resources[span.resource].busy_w;
+        }
     }
     // Slot lanes live in the timelines, not the per-task arrays.
     for (ResourceId r = 0; r < graph.resourceCount(); ++r)
@@ -108,6 +121,10 @@ makeInspectionBundle(const TaskGraph &graph, const Schedule &schedule,
         for (TaskId dep : graph.deps(id))
             bundle.edges.emplace_back(dep, id);
 
+    if (energy != nullptr && energy->valid) {
+        bundle.total_j = energy->total_j;
+        bundle.avg_w = energy->avg_w;
+    }
     return bundle;
 }
 
@@ -120,6 +137,8 @@ bundleToJson(const InspectionBundle &bundle)
     json.field("kind", "inspection_bundle");
     json.field("label", bundle.label);
     json.field("makespan_s", bundle.makespan);
+    json.field("total_j", bundle.total_j);
+    json.field("avg_w", bundle.avg_w);
 
     json.key("resources").beginArray();
     for (const ResourceSummary &res : bundle.resources) {
@@ -130,6 +149,8 @@ bundleToJson(const InspectionBundle &bundle)
         json.field("idle_dependency_s", res.idle_dependency);
         json.field("idle_contention_s", res.idle_contention);
         json.field("idle_tail_s", res.idle_tail);
+        json.field("busy_w", res.busy_w);
+        json.field("idle_w", res.idle_w);
         json.key("gaps").beginArray();
         for (const IdleGap &gap : res.gaps) {
             json.beginObject();
@@ -157,6 +178,7 @@ bundleToJson(const InspectionBundle &bundle)
         json.field("end_s", span.end);
         json.field("slack_s", span.slack);
         json.field("critical", span.critical);
+        json.field("power_w", span.power_w);
         json.endObject();
     }
     json.endArray();
@@ -193,6 +215,8 @@ bundleFromJson(const JsonValue &doc, InspectionBundle &out,
     InspectionBundle bundle;
     bundle.label = textOr(doc, "label", "");
     bundle.makespan = numberOr(doc, "makespan_s", 0.0);
+    bundle.total_j = numberOr(doc, "total_j", 0.0);
+    bundle.avg_w = numberOr(doc, "avg_w", 0.0);
 
     const JsonValue *tasks = doc.find("tasks");
     if (!tasks || !tasks->isArray())
@@ -214,6 +238,7 @@ bundleFromJson(const JsonValue &doc, InspectionBundle &out,
         span.end = numberOr(item, "end_s", 0.0);
         span.slack = numberOr(item, "slack_s", 0.0);
         span.critical = boolOr(item, "critical", false);
+        span.power_w = numberOr(item, "power_w", 0.0);
         bundle.tasks.push_back(std::move(span));
     }
     const std::size_t n = bundle.tasks.size();
@@ -234,6 +259,8 @@ bundleFromJson(const JsonValue &doc, InspectionBundle &out,
             summary.idle_contention =
                 numberOr(item, "idle_contention_s", 0.0);
             summary.idle_tail = numberOr(item, "idle_tail_s", 0.0);
+            summary.busy_w = numberOr(item, "busy_w", 0.0);
+            summary.idle_w = numberOr(item, "idle_w", 0.0);
             if (const JsonValue *gaps = item.find("gaps")) {
                 if (!gaps->isArray())
                     return fail(error, "bundle gaps is not an array");

@@ -51,6 +51,13 @@ struct TaskSpan
     double slack = 0.0;
     /** Whether the task sits on the critical path. */
     bool critical = false;
+    /**
+     * Average electrical draw while the task runs (busy watts plus the
+     * per-byte toll amortized over the span); 0 when the bundle was
+     * built without an energy profile. Drives the Explorer's
+     * power-over-time timeline.
+     */
+    double power_w = 0.0;
 
     double duration() const { return end - start; }
 };
@@ -64,6 +71,9 @@ struct ResourceSummary
     double idle_dependency = 0.0;
     double idle_contention = 0.0;
     double idle_tail = 0.0;
+    /** Electrical profile (0 when unmetered, see hw/power.h). */
+    double busy_w = 0.0;
+    double idle_w = 0.0;
     /** Attributed idle gaps, in time order (see profiler.h). */
     std::vector<IdleGap> gaps;
 };
@@ -86,17 +96,25 @@ struct InspectionBundle
     std::vector<std::pair<TaskId, TaskId>> edges;
     /** Critical-path task ids, first task first. */
     std::vector<TaskId> critical_path;
+    /** Total joules over the makespan (0 when unmetered). */
+    double total_j = 0.0;
+    /** Average draw over the makespan, in watts (0 when unmetered). */
+    double avg_w = 0.0;
 };
 
 /**
  * Flatten @p schedule of @p graph into a bundle. @p profile must come
  * from profileSchedule() over the same pair (it supplies slack,
- * critical-path membership, and the idle-gap attribution).
+ * critical-path membership, and the idle-gap attribution). When
+ * @p energy (from attributeEnergy over the same pair) is given, the
+ * bundle carries per-resource watts, per-span draw, and the energy
+ * totals the Explorer's power timeline renders.
  */
 InspectionBundle makeInspectionBundle(const TaskGraph &graph,
                                       const Schedule &schedule,
                                       const ScheduleProfile &profile,
-                                      std::string label = "");
+                                      std::string label = "",
+                                      const EnergyProfile *energy = nullptr);
 
 /**
  * The bundle as one standalone JSON document, tagged

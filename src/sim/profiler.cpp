@@ -256,6 +256,86 @@ profileSchedule(const TaskGraph &graph, const Schedule &schedule)
     return prof;
 }
 
+EnergyProfile
+attributeEnergy(const TaskGraph &graph, const Schedule &schedule,
+                const ScheduleProfile &profile, const EnergyInputs &inputs)
+{
+    const std::size_t n = graph.taskCount();
+    SO_ASSERT(profile.resources.size() == graph.resourceCount(),
+              "profile does not match graph");
+
+    EnergyProfile energy;
+    energy.valid = true;
+    energy.makespan = profile.makespan;
+    energy.resources.resize(graph.resourceCount());
+    energy.task_j.assign(n, 0.0);
+
+    auto power = [&](ResourceId r) {
+        return r < inputs.resources.size() ? inputs.resources[r]
+                                           : ResourcePower{};
+    };
+    auto bytes = [&](TaskId id) {
+        return id < inputs.task_bytes.size() ? inputs.task_bytes[id] : 0.0;
+    };
+
+    // Per-task joules: time-proportional busy draw plus the per-byte
+    // switching toll. Phase roll-up uses the same phaseKey grouping as
+    // the critical-path breakdown so the joule bars and the Fig.4 time
+    // bars line up phase-for-phase.
+    std::map<std::string, double> phases;
+    for (TaskId id = 0; id < n; ++id) {
+        const ResourcePower rp = power(graph.taskResource(id));
+        energy.task_j[id] = rp.busy_w * graph.duration(id) +
+                            rp.joules_per_byte * bytes(id);
+        phases[phaseKey(graph.label(id))] += energy.task_j[id];
+    }
+    energy.phases.assign(phases.begin(), phases.end());
+    std::sort(energy.phases.begin(), energy.phases.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+
+    // Per-resource view: busy joules on the union busy time (equal to
+    // the per-task sum on the capacity-1 resources every builder
+    // creates), idle joules partitioned by the profiler's own
+    // idle-cause attribution, transfer joules on the bytes the
+    // resource's tasks moved.
+    std::vector<double> res_bytes(graph.resourceCount(), 0.0);
+    for (TaskId id = 0; id < n; ++id)
+        res_bytes[graph.taskResource(id)] += bytes(id);
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+        const ResourcePower rp = power(r);
+        const ResourceProfile &prof_r = profile.resources[r];
+        ResourceEnergy &re = energy.resources[r];
+        re.busy_w = rp.busy_w;
+        re.idle_w = rp.idle_w;
+        re.joules_per_byte = rp.joules_per_byte;
+        re.busy_j = rp.busy_w * prof_r.busy;
+        re.transfer_j = rp.joules_per_byte * res_bytes[r];
+        re.idle_dependency_j = rp.idle_w * prof_r.idle_dependency;
+        re.idle_contention_j = rp.idle_w * prof_r.idle_contention;
+        re.idle_tail_j = rp.idle_w * prof_r.idle_tail;
+        re.idle_j = rp.idle_w * prof_r.idle;
+        energy.active_j += re.busy_j + re.transfer_j;
+        energy.idle_j += re.idle_j;
+    }
+
+    for (const auto &[name, watts] : inputs.background) {
+        const double joules = watts * profile.makespan;
+        energy.background.emplace_back(name, joules);
+        energy.background_j += joules;
+    }
+
+    energy.total_j =
+        energy.active_j + energy.idle_j + energy.background_j;
+    energy.avg_w = profile.makespan > 0.0
+                       ? energy.total_j / profile.makespan
+                       : 0.0;
+    return energy;
+}
+
 std::vector<TaskId>
 topZeroSlackTasks(const ScheduleProfile &profile, const TaskGraph &graph,
                   std::size_t top_k)
@@ -277,7 +357,8 @@ topZeroSlackTasks(const ScheduleProfile &profile, const TaskGraph &graph,
 
 std::string
 profileToJson(const ScheduleProfile &profile, const TaskGraph &graph,
-              const Schedule &schedule, std::size_t top_slack)
+              const Schedule &schedule, std::size_t top_slack,
+              const EnergyProfile *energy)
 {
     JsonWriter json;
     json.beginObject();
@@ -353,6 +434,53 @@ profileToJson(const ScheduleProfile &profile, const TaskGraph &graph,
         json.endObject();
     }
     json.endArray();
+
+    // Joule attribution (docs/ENERGY.md). Key suffixes are load-bearing
+    // for the bench guard: *_j gates lower-is-better, *_w is exempt.
+    if (energy != nullptr && energy->valid) {
+        json.key("energy").beginObject();
+        json.field("total_j", energy->total_j);
+        json.field("active_j", energy->active_j);
+        json.field("idle_j", energy->idle_j);
+        json.field("background_j", energy->background_j);
+        json.field("avg_w", energy->avg_w);
+        json.key("phases").beginArray();
+        for (const auto &[phase, joules] : energy->phases) {
+            json.beginObject();
+            json.field("phase", phase);
+            json.field("joules", joules);
+            json.field("share", energy->active_j > 0.0
+                                    ? joules / energy->active_j
+                                    : 0.0);
+            json.endObject();
+        }
+        json.endArray();
+        json.key("resources").beginArray();
+        for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+            const ResourceEnergy &re = energy->resources[r];
+            json.beginObject();
+            json.field("resource", graph.resource(r).name);
+            json.field("busy_w", re.busy_w);
+            json.field("idle_w", re.idle_w);
+            json.field("busy_j", re.busy_j);
+            json.field("transfer_j", re.transfer_j);
+            json.field("idle_j", re.idle_j);
+            json.field("idle_dependency_j", re.idle_dependency_j);
+            json.field("idle_contention_j", re.idle_contention_j);
+            json.field("idle_tail_j", re.idle_tail_j);
+            json.endObject();
+        }
+        json.endArray();
+        json.key("background").beginArray();
+        for (const auto &[name, joules] : energy->background) {
+            json.beginObject();
+            json.field("name", name);
+            json.field("joules", joules);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
 
     json.endObject();
     return json.str();

@@ -134,6 +134,108 @@ ScheduleProfile profileSchedule(const TaskGraph &graph,
                                 const Schedule &schedule);
 
 /**
+ * Electrical inputs of one resource. Plain numbers so the sim layer
+ * stays hardware-agnostic; hw::PowerModel (hw/power.h) is the usual
+ * producer, keyed by resource name in the runtime builder.
+ */
+struct ResourcePower
+{
+    /** Draw while a task runs on the resource, in watts. */
+    double busy_w = 0.0;
+    /** Floor draw while the resource idles, in watts. */
+    double idle_w = 0.0;
+    /** Switching energy per byte a task moves, in joules/byte. */
+    double joules_per_byte = 0.0;
+};
+
+/** Everything attributeEnergy needs beyond the schedule itself. */
+struct EnergyInputs
+{
+    /** Indexed by ResourceId; missing entries meter as zero watts. */
+    std::vector<ResourcePower> resources;
+    /**
+     * Bytes moved by each task (indexed by TaskId; may be shorter than
+     * the graph — missing entries move zero bytes). Only meaningful on
+     * resources with a nonzero joules_per_byte.
+     */
+    std::vector<double> task_bytes;
+    /** Static draws accruing for the whole makespan (name, watts). */
+    std::vector<std::pair<std::string, double>> background;
+};
+
+/** Joule accounting of one resource over [0, makespan). */
+struct ResourceEnergy
+{
+    /** The watts this resource was metered at (copied from inputs). */
+    double busy_w = 0.0;
+    double idle_w = 0.0;
+    double joules_per_byte = 0.0;
+
+    /** busy_w × union busy time. */
+    double busy_j = 0.0;
+    /** joules_per_byte × bytes moved by the resource's tasks. */
+    double transfer_j = 0.0;
+    /** idle_w × idle time; the cause terms partition it exactly. */
+    double idle_j = 0.0;
+    double idle_dependency_j = 0.0;
+    double idle_contention_j = 0.0;
+    double idle_tail_j = 0.0;
+};
+
+/**
+ * Joule attribution of one profiled schedule.
+ *
+ * Invariants (tested to 1e-9 relative, see tests/sim/test_energy.cpp):
+ * the per-phase energies sum to active_j (on the capacity-1 resources
+ * every builder creates, per-task busy seconds sum to union busy
+ * time); per resource the idle-cause joules partition idle_j and
+ * busy_j / idle_j reproduce busy_w × busy and idle_w × idle; and
+ * total_j == active_j + idle_j + background_j.
+ */
+struct EnergyProfile
+{
+    bool valid = false;
+    double makespan = 0.0;
+
+    /** Task-attributed energy: busy watts × spans + per-byte tolls. */
+    double active_j = 0.0;
+    /** Idle-floor energy across all resources. */
+    double idle_j = 0.0;
+    /** Static draws (DRAM refresh) × makespan. */
+    double background_j = 0.0;
+    /** active_j + idle_j + background_j. */
+    double total_j = 0.0;
+    /** total_j / makespan (0 when the makespan is 0). */
+    double avg_w = 0.0;
+
+    /** Indexed by ResourceId (parallel to ScheduleProfile). */
+    std::vector<ResourceEnergy> resources;
+
+    /** Per-task joules: busy_w × duration + joules_per_byte × bytes. */
+    std::vector<double> task_j;
+
+    /**
+     * Task joules grouped by label phase (same phaseKey grouping as
+     * the critical-path breakdown), largest first — the "which phase
+     * burns the joules" answer next to "which phase bounds the time".
+     */
+    std::vector<std::pair<std::string, double>> phases;
+
+    /** Background draws as (name, joules) over the makespan. */
+    std::vector<std::pair<std::string, double>> background;
+};
+
+/**
+ * Meter @p profile's schedule with @p inputs. Purely observational:
+ * reads the same spans and idle gaps the profiler attributed, never
+ * changes them.
+ */
+EnergyProfile attributeEnergy(const TaskGraph &graph,
+                              const Schedule &schedule,
+                              const ScheduleProfile &profile,
+                              const EnergyInputs &inputs);
+
+/**
  * The (at most @p top_k) longest nonzero-duration tasks with zero
  * slack, longest first — the tasks where a speedup would immediately
  * shorten the iteration.
@@ -145,12 +247,16 @@ std::vector<TaskId> topZeroSlackTasks(const ScheduleProfile &profile,
 /**
  * The profile as one standalone JSON document: critical path (tasks,
  * length, phase shares), per-resource busy/idle splits with per-gap
- * causes, and the top-@p top_slack zero-slack tasks by duration.
+ * causes, and the top-@p top_slack zero-slack tasks by duration. When
+ * @p energy is given (and valid) the document gains an "energy"
+ * subtree: totals, per-phase joules, and per-resource joule splits
+ * (docs/ENERGY.md).
  */
 std::string profileToJson(const ScheduleProfile &profile,
                           const TaskGraph &graph,
                           const Schedule &schedule,
-                          std::size_t top_slack = 8);
+                          std::size_t top_slack = 8,
+                          const EnergyProfile *energy = nullptr);
 
 } // namespace so::sim
 

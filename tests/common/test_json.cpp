@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace so {
 namespace {
@@ -137,6 +138,30 @@ TEST(JsonValue, UnescapesStrings)
     ASSERT_TRUE(JsonValue::parse(
         "\"tab\\tquote\\\"back\\\\slash\\/nl\\nu\\u0041\"", v));
     EXPECT_EQ(v.text(), "tab\tquote\"back\\slash/nl\nuA");
+}
+
+TEST(JsonValue, RejectsNonFiniteNumbers)
+{
+    // strtod turns "1e999" into Inf; JSON has no non-finite numbers
+    // (the writer emits null for them), so the parser must refuse
+    // rather than smuggle an Inf into numeric consumers.
+    JsonValue doc;
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse("1e999", doc, &error));
+    EXPECT_NE(error.find("overflows"), std::string::npos);
+    EXPECT_FALSE(JsonValue::parse("-1e999", doc, &error));
+    EXPECT_FALSE(JsonValue::parse(R"({"watts": 1e400})", doc, &error));
+    // The writer's null for a non-finite value parses back as null:
+    // the round trip degrades gracefully instead of erroring.
+    JsonWriter json;
+    json.beginObject();
+    json.field("watts", std::numeric_limits<double>::infinity());
+    json.endObject();
+    ASSERT_TRUE(JsonValue::parse(json.str(), doc, &error)) << error;
+    EXPECT_TRUE(doc.find("watts")->isNull());
+    // Large-but-finite values still parse.
+    ASSERT_TRUE(JsonValue::parse("1e308", doc, &error)) << error;
+    EXPECT_DOUBLE_EQ(doc.number(), 1e308);
 }
 
 TEST(JsonValue, RejectsMalformedInput)

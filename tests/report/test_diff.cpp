@@ -263,6 +263,111 @@ TEST(ProfileDiff, ResultJsonOfTwoSystemsDiffsWithinTolerance)
                 1e-9);
 }
 
+TEST(ProfileDiff, EnergyDeltasAttributePhaseByPhase)
+{
+    // The energy acceptance path: two real systems on one cell with
+    // profiling on, diffed through viewFromIteration. Phase joule
+    // deltas plus the explicit residual must rebuild the total joule
+    // delta exactly, and the residual must be precisely the idle +
+    // background joule change (phases attribute only active joules).
+    runtime::TrainSetup setup;
+    setup.cluster = hw::gh200ClusterOf(1);
+    setup.model = model::modelPreset("5B");
+    setup.global_batch = 8;
+    setup.seq = 1024;
+    setup.capture_profile = true;
+
+    const runtime::SystemPtr before_sys =
+        runtime::makeBaseline("zero-offload");
+    const runtime::SystemPtr after_sys =
+        runtime::makeBaseline("zero-infinity");
+    const runtime::IterationResult before_res = before_sys->run(setup);
+    const runtime::IterationResult after_res = after_sys->run(setup);
+    ASSERT_TRUE(before_res.feasible && before_res.energy.valid);
+    ASSERT_TRUE(after_res.feasible && after_res.energy.valid);
+
+    const ProfileView before =
+        viewFromIteration(before_res, before_sys->name());
+    const ProfileView after =
+        viewFromIteration(after_res, after_sys->name());
+    ASSERT_TRUE(before.has_energy);
+    ASSERT_TRUE(after.has_energy);
+    EXPECT_FALSE(before.energy_phases.empty());
+
+    const ProfileDiff diff = diffProfiles(before, after);
+    expectDiffInvariants(diff);
+    ASSERT_TRUE(diff.has_energy);
+    const double scale = std::max(
+        {std::abs(diff.energy_before_j), std::abs(diff.energy_after_j),
+         1.0});
+    EXPECT_NEAR(diff.energy_delta_j,
+                after_res.energy.total_j - before_res.energy.total_j,
+                1e-12 * scale);
+    double attributed = 0.0;
+    for (const PhaseDelta &phase : diff.energy_phases)
+        attributed += phase.delta;
+    EXPECT_NEAR(attributed + diff.energy_unattributed_j,
+                diff.energy_delta_j, 1e-12 * scale);
+    // Residual == idle + background joule change, pinned at 1e-9.
+    const double idle_bg_before =
+        before_res.energy.idle_j + before_res.energy.background_j;
+    const double idle_bg_after =
+        after_res.energy.idle_j + after_res.energy.background_j;
+    EXPECT_NEAR(diff.energy_unattributed_j,
+                idle_bg_after - idle_bg_before, 1e-9 * scale);
+    // Ranked largest |joule delta| first.
+    for (std::size_t i = 1; i < diff.energy_phases.size(); ++i)
+        EXPECT_GE(std::abs(diff.energy_phases[i - 1].delta),
+                  std::abs(diff.energy_phases[i].delta) - 1e-15);
+
+    // Both renderers surface the attribution.
+    const std::string text = diffToText(diff);
+    EXPECT_NE(text.find("energy"), std::string::npos);
+    EXPECT_NE(text.find("(idle+background)"), std::string::npos);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(diffToJson(diff), doc, &error))
+        << error;
+    const JsonValue *energy = doc.find("energy");
+    ASSERT_NE(energy, nullptr);
+    EXPECT_NEAR(energy->find("delta_j")->number(), diff.energy_delta_j,
+                1e-9 * scale);
+    EXPECT_NE(energy->find("phases"), nullptr);
+    EXPECT_NE(energy->find("unattributed_j"), nullptr);
+
+    // The same energy attribution survives the JSON round trip.
+    JsonValue before_doc, after_doc;
+    ASSERT_TRUE(
+        JsonValue::parse(runtime::toJson(before_res), before_doc));
+    ASSERT_TRUE(
+        JsonValue::parse(runtime::toJson(after_res), after_doc));
+    ProfileView before_rt, after_rt;
+    ASSERT_TRUE(viewFromJson(before_doc, before_rt, &error)) << error;
+    ASSERT_TRUE(viewFromJson(after_doc, after_rt, &error)) << error;
+    ASSERT_TRUE(before_rt.has_energy);
+    EXPECT_NEAR(before_rt.energy_j, before_res.energy.total_j,
+                1e-9 * scale);
+    EXPECT_EQ(before_rt.energy_phases.size(),
+              before.energy_phases.size());
+}
+
+TEST(ProfileDiff, EnergyFreeViewsDiffWithoutEnergy)
+{
+    // viewFromProfile carries no metering: the diff must stay usable
+    // and simply omit the energy block (old documents behave the same).
+    const sim::TaskGraph g = pipelineGraph(0.01, 0.02, 0.015, 4);
+    const ProfileView a = viewOf(g, "a");
+    const ProfileView b = viewOf(g, "b");
+    EXPECT_FALSE(a.has_energy);
+    const ProfileDiff diff = diffProfiles(a, b);
+    EXPECT_FALSE(diff.has_energy);
+    EXPECT_EQ(diffToText(diff).find("(idle+background)"),
+              std::string::npos);
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::parse(diffToJson(diff), doc));
+    EXPECT_EQ(doc.find("energy"), nullptr);
+}
+
 TEST(ProfileDiff, DiffSweepCellsMatchesDirectDiff)
 {
     runtime::TrainSetup setup;

@@ -98,6 +98,46 @@ TEST(BenchGuard, DirectionFollowsSuffixConvention)
     EXPECT_EQ(metricDirection("share"), 0);
 }
 
+TEST(BenchGuard, EnergySuffixesGateLowerIsBetter)
+{
+    // Joules are a cost (docs/ENERGY.md): burning more regresses.
+    EXPECT_EQ(metricDirection("cells[0].result.energy.total_j"), -1);
+    EXPECT_EQ(metricDirection("systems[1].energy_j_per_iter"), -1);
+    EXPECT_EQ(metricDirection("systems[1].energy_j_per_token"), -1);
+    // Watts are a rate, not a cost: a faster schedule may draw more
+    // average power while spending fewer joules, so `_w` never gates.
+    EXPECT_EQ(metricDirection("cells[0].result.energy.avg_w"), 0);
+    EXPECT_EQ(metricDirection("gpu_busy_w"), 0);
+}
+
+TEST(BenchGuard, EnergyGrowthRegressesAndWattsNeverGate)
+{
+    const JsonValue baseline =
+        parsed(R"({"energy_j_per_iter": 100.0, "avg_w": 500.0})");
+    // +100% joules: regresses; watts doubling alone never does.
+    const CheckVerdict hot = checkAgainstBaseline(
+        baseline,
+        parsed(R"({"energy_j_per_iter": 200.0, "avg_w": 500.0})"));
+    EXPECT_FALSE(hot.pass);
+    ASSERT_EQ(hot.regressions().size(), 1u);
+    EXPECT_EQ(hot.regressions()[0], "energy_j_per_iter");
+    EXPECT_TRUE(checkAgainstBaseline(
+                    baseline,
+                    parsed(R"({"energy_j_per_iter": 100.0,
+                               "avg_w": 1000.0})"))
+                    .pass);
+    // Spending fewer joules is never a regression.
+    EXPECT_TRUE(checkAgainstBaseline(
+                    baseline,
+                    parsed(R"({"energy_j_per_iter": 10.0,
+                               "avg_w": 500.0})"))
+                    .pass);
+    // A vanished energy metric regresses like any gated leaf.
+    EXPECT_FALSE(
+        checkAgainstBaseline(baseline, parsed(R"({"avg_w": 500.0})"))
+            .pass);
+}
+
 TEST(BenchGuard, IdenticalRecordsPass)
 {
     const JsonValue doc = parsed(kRecord);

@@ -196,6 +196,100 @@ TEST(HtmlReportRender, MalformedSectionDegradesToNull)
     EXPECT_EQ(island.at("records").items().size(), 1u);
 }
 
+TEST(HtmlReportRender, HostileTierNamesCannotEscapeTheRecordView)
+{
+    // Tier and channel names flow from result JSON into the drill
+    // view's occupancy/traffic strips. A <script>-named tier must not
+    // survive un-escaped anywhere in the rendered document.
+    HtmlReport report;
+    report.records.emplace_back(
+        "hostile tiers",
+        R"({"bench":"x","cells":[{"system":"s","result":{)"
+        R"("feasible":true,)"
+        R"("memory":{"tiers":[{)"
+        R"("tier":"</script><script>alert(7)</script>",)"
+        R"("bytes":1e9,"capacity":2e9,)"
+        R"("description":"<b onmouseover=alert(8)>hot</b>"}]},)"
+        R"("tier_traffic":[{"from":"<svg onload=alert(9)>",)"
+        R"("to":"DDR","channel":"<img src=x onerror=alert(10)>",)"
+        R"("bytes":5e8}]}}]})");
+    const std::string html = renderHtmlReport(report);
+
+    EXPECT_EQ(html.find("<script>alert(7)"), std::string::npos);
+    EXPECT_EQ(html.find("<b onmouseover"), std::string::npos);
+    EXPECT_EQ(html.find("<svg onload"), std::string::npos);
+    EXPECT_EQ(html.find("<img src=x"), std::string::npos);
+
+    // The island stays `<`-free yet round-trips the names intact.
+    const std::string island = extractDataIsland(html);
+    ASSERT_FALSE(island.empty());
+    EXPECT_EQ(island.find('<'), std::string::npos);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(island, doc, &error)) << error;
+    const JsonValue &tier = doc.at("records")
+                                .items()[0]
+                                .at("doc")
+                                .at("cells")
+                                .items()[0]
+                                .at("result")
+                                .at("memory")
+                                .at("tiers")
+                                .items()[0];
+    EXPECT_EQ(tier.at("tier").text(),
+              "</script><script>alert(7)</script>");
+}
+
+TEST(HtmlReportRender, MeteredBundleShipsThePowerTimelineOffline)
+{
+    // An energy-attributed bundle carries the watt fields the power
+    // timeline samples, and the renderer for it ships in the page —
+    // with zero external references, like every other section.
+    sim::TaskGraph g;
+    const sim::ResourceId gpu = g.addResource("GPU");
+    const sim::ResourceId d2h = g.addResource("D2H");
+    const sim::TaskId a = g.addTask(gpu, 0.010, "fwd", {});
+    const sim::TaskId b = g.addTask(d2h, 0.005, "d2h grads", {a});
+    g.addTask(gpu, 0.020, "bwd", {b});
+    const sim::Schedule s = sim::Scheduler().run(g);
+    const sim::ScheduleProfile prof = sim::profileSchedule(g, s);
+    sim::EnergyInputs inputs;
+    inputs.resources = {{700.0, 75.0, 0.0}, {15.0, 5.0, 1e-11}};
+    inputs.task_bytes = {0.0, 1e9, 0.0};
+    inputs.background.emplace_back("DDR refresh", 20.0);
+    const sim::EnergyProfile energy =
+        sim::attributeEnergy(g, s, prof, inputs);
+    ASSERT_TRUE(energy.valid);
+
+    HtmlReport report;
+    report.title = "power";
+    report.schedules.push_back(sim::bundleToJson(
+        sim::makeInspectionBundle(g, s, prof, "metered", &energy)));
+    const std::string html = renderHtmlReport(report);
+
+    // The renderer, its styling, and its caption are all inline.
+    EXPECT_NE(html.find("so-power"), std::string::npos);
+    EXPECT_NE(html.find("power draw over time"), std::string::npos);
+    EXPECT_EQ(html.find("http://"), std::string::npos);
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+    EXPECT_EQ(html.find("//cdn"), std::string::npos);
+
+    // The island's bundle carries the fields the timeline reads.
+    JsonValue island;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(extractDataIsland(html), island,
+                                 &error))
+        << error;
+    const JsonValue &bundle = island.at("schedules").items()[0];
+    EXPECT_GT(bundle.at("total_j").number(), 0.0);
+    EXPECT_GT(bundle.at("avg_w").number(), 0.0);
+    const JsonValue &res0 = bundle.at("resources").items()[0];
+    EXPECT_DOUBLE_EQ(res0.at("busy_w").number(), 700.0);
+    EXPECT_DOUBLE_EQ(res0.at("idle_w").number(), 75.0);
+    EXPECT_DOUBLE_EQ(
+        bundle.at("tasks").items()[0].at("power_w").number(), 700.0);
+}
+
 TEST(HtmlReportRender, EmptyReportStillRenders)
 {
     const std::string html = renderHtmlReport(HtmlReport{});

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 
@@ -169,6 +170,58 @@ TEST(InspectionBundle, JsonRoundTripPreservesEveryField)
             EXPECT_EQ(c.gaps[i].cause, a.gaps[i].cause);
         }
     }
+}
+
+TEST(InspectionBundle, MeteredBundleRoundTripsWattFields)
+{
+    // With an EnergyProfile attached, the bundle carries per-resource
+    // watts, per-span draw, and the energy totals — and every one of
+    // them survives the JSON round trip.
+    Built b = buildBundle("metered");
+    EnergyInputs inputs;
+    inputs.resources = {{700.0, 75.0, 0.0}, {15.0, 5.0, 1e-11}};
+    inputs.task_bytes.assign(b.graph.taskCount(), 0.0);
+    inputs.task_bytes[4] = 1e9; // "d2h bucket 1" moves a gigabyte.
+    inputs.background.emplace_back("DDR refresh", 20.0);
+    const EnergyProfile energy =
+        attributeEnergy(b.graph, b.schedule, b.profile, inputs);
+    ASSERT_TRUE(energy.valid);
+    b.bundle = makeInspectionBundle(b.graph, b.schedule, b.profile,
+                                    "metered", &energy);
+    EXPECT_GT(b.bundle.total_j, 0.0);
+    EXPECT_GT(b.bundle.avg_w, 0.0);
+
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(
+        JsonValue::parse(bundleToJson(b.bundle), parsed, &error))
+        << error;
+    InspectionBundle back;
+    ASSERT_TRUE(bundleFromJson(parsed, back, &error)) << error;
+
+    constexpr double kUlp = 1e-12;
+    EXPECT_NEAR(back.total_j, b.bundle.total_j,
+                kUlp * b.bundle.total_j);
+    EXPECT_NEAR(back.avg_w, b.bundle.avg_w, kUlp * b.bundle.avg_w);
+    ASSERT_EQ(back.resources.size(), b.bundle.resources.size());
+    for (std::size_t r = 0; r < back.resources.size(); ++r) {
+        EXPECT_NEAR(back.resources[r].busy_w,
+                    b.bundle.resources[r].busy_w, kUlp);
+        EXPECT_NEAR(back.resources[r].idle_w,
+                    b.bundle.resources[r].idle_w, kUlp);
+    }
+    // Draws mix busy watts with a per-byte toll (700 + bytes/s × jpb),
+    // so compare relative to the value, not to one second.
+    ASSERT_EQ(back.tasks.size(), b.bundle.tasks.size());
+    for (std::size_t i = 0; i < back.tasks.size(); ++i)
+        EXPECT_NEAR(back.tasks[i].power_w, b.bundle.tasks[i].power_w,
+                    1e-11 * std::max(b.bundle.tasks[i].power_w, 1.0));
+    // GPU spans draw GPU busy watts; the unmetered-bundle path keeps
+    // every watt field at zero.
+    EXPECT_DOUBLE_EQ(b.bundle.tasks[0].power_w, 700.0);
+    const Built plain = buildBundle("plain");
+    EXPECT_DOUBLE_EQ(plain.bundle.total_j, 0.0);
+    EXPECT_DOUBLE_EQ(plain.bundle.resources[0].busy_w, 0.0);
 }
 
 TEST(InspectionBundle, RejectsForeignAndBrokenDocuments)

@@ -64,7 +64,8 @@ usage(std::FILE *out)
         "[--tolerance T] [--tol PATH=T]\n"
         "            [--out VERDICT.json] [--history FILE] "
         "[--warn-only]\n"
-        "  so-report top FILE.json [--cell SEL] [--top K]\n"
+        "  so-report top FILE.json [--cell SEL] [--top K] "
+        "[--metric time|energy]\n"
         "  so-report html INPUT.json ... [--trace-dir DIR] "
         "[--history FILE]\n"
         "            [--verdict FILE] [--title T] "
@@ -250,6 +251,47 @@ cmdTop(const ArgParser &args)
         return 1;
     const std::size_t top_k = static_cast<std::size_t>(
         std::max(1LL, args.getInt("top", 8)));
+    const std::string metric = args.get("metric");
+    if (!metric.empty() && metric != "time" && metric != "energy") {
+        std::fprintf(stderr,
+                     "so-report: unknown --metric %s (expected "
+                     "time or energy)\n",
+                     metric.c_str());
+        return 1;
+    }
+
+    if (metric == "energy") {
+        if (!view.has_energy) {
+            std::fprintf(stderr,
+                         "so-report: %s carries no energy "
+                         "attribution (schema_version < 2 or "
+                         "profile-free input)\n",
+                         view.label.c_str());
+            return 1;
+        }
+        std::printf("%s: total %.3f J over %.6f s (avg %.1f W)\n",
+                    view.label.c_str(), view.energy_j, view.makespan,
+                    view.makespan > 0.0
+                        ? view.energy_j / view.makespan
+                        : 0.0);
+        std::printf("task joules per phase (largest first; active "
+                    "joules, %% of total):\n");
+        std::vector<report::PhaseSlice> phases = view.energy_phases;
+        std::sort(phases.begin(), phases.end(),
+                  [](const report::PhaseSlice &a,
+                     const report::PhaseSlice &b) {
+                      if (a.seconds != b.seconds)
+                          return a.seconds > b.seconds;
+                      return a.phase < b.phase;
+                  });
+        for (std::size_t i = 0; i < phases.size() && i < top_k; ++i)
+            std::printf("  %-20s %10.3f J  %5.1f%%\n",
+                        phases[i].phase.c_str(), phases[i].seconds,
+                        view.energy_j > 0.0
+                            ? 100.0 * phases[i].seconds / view.energy_j
+                            : 0.0);
+        return 0;
+    }
 
     std::printf("%s: makespan %.6f s\n", view.label.c_str(),
                 view.makespan);
