@@ -5,14 +5,20 @@
  *
  * This is the inner loop every sweep cell pays, isolated from the
  * hardware model: an offload-shaped graph (GPU chain + D2H swap-outs +
- * CPU optimizer tail) at 1k / 10k / 100k tasks, timed separately for
- * the build phase (addTask/addDep into the SoA pools) and the schedule
- * phase (discrete-event run over a reused workspace). Both phases also
+ * CPU optimizer tail) at 1k .. 10M tasks, timed separately for the
+ * build phase (addTask/addDep into the SoA pools) and the schedule
+ * phase (discrete-event run over a reused workspace). The 1M/10M sizes
+ * exist to hold the schedule phase flat at scale (docs/PERF.md, "Event
+ * queue at scale"): calendar-queue events, bucketed ready sets, and the
+ * graph-cached dependents CSR are all sized for them. Both phases also
  * publish into a private MetricsRegistry so the JSON record carries the
  * full histograms alongside the derived tasks/sec numbers.
  *
  * Run with --json [path] to write BENCH_sim_kernel.json (default path);
- * CI's perf-smoke step records the numbers without gating on them.
+ * CI's perf-smoke step records the numbers without gating on them,
+ * using --max-tasks to keep the wall-time budget (the committed
+ * baseline still carries every size; missing sizes are reported as
+ * missing metrics, not failures).
  */
 #include <chrono>
 #include <cstdio>
@@ -98,14 +104,20 @@ measure(std::size_t target_tasks, so::MetricsRegistry &metrics)
 {
     using clock = std::chrono::steady_clock;
     // Repeat until the measurement is comfortably above timer noise.
+    // The million-task sizes are seconds per rep all by themselves, so
+    // they get a smaller floor — one rep is already ~10^7 timer ticks.
     constexpr double kMinSeconds = 0.2;
-    constexpr std::size_t kMinReps = 3;
+    const std::size_t kMinReps = target_tasks >= 1'000'000 ? 2 : 3;
 
     Scheduler::Workspace ws;
+    // The schedule is recycled across reps like the workspace: the
+    // steady-state cost of the kernel is the event loop, not the OS
+    // re-faulting tens of MB of discarded result pages per run.
+    so::sim::Schedule sched;
     // Warm up: grow the workspace heaps and fault in the code paths.
     {
         const TaskGraph g = buildGraph(target_tasks);
-        (void)Scheduler().run(g, ws);
+        Scheduler().run(g, ws, sched);
     }
 
     SizeResult out;
@@ -122,11 +134,10 @@ measure(std::size_t target_tasks, so::MetricsRegistry &metrics)
             g = buildGraph(target_tasks);
         }
         const auto t1 = clock::now();
-        so::sim::Schedule sched;
         {
             so::ScopedTimer timer(metrics,
                                   "sim_kernel.schedule_s." + suffix);
-            sched = Scheduler().run(g, ws);
+            Scheduler().run(g, ws, sched);
         }
         const auto t2 = clock::now();
         if (sched.makespan <= 0.0) {
@@ -151,6 +162,7 @@ main(int argc, char **argv)
     std::string json_path;
     std::string baseline_path;
     double tolerance = 0.25;
+    std::size_t max_tasks = 0; // 0 = no cap.
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             json_path = (i + 1 < argc && argv[i + 1][0] != '-')
@@ -162,10 +174,14 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--tolerance") == 0 &&
                    i + 1 < argc) {
             tolerance = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--max-tasks") == 0 &&
+                   i + 1 < argc) {
+            max_tasks = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
         } else {
             std::fprintf(stderr,
                          "usage: %s [--json [path]] [--baseline FILE]"
-                         " [--tolerance T]\n",
+                         " [--tolerance T] [--max-tasks N]\n",
                          argv[0]);
             return 2;
         }
@@ -177,9 +193,15 @@ main(int argc, char **argv)
                 "sched tasks/s");
 
     so::MetricsRegistry metrics; // Private: only this bench's timers.
-    const std::size_t sizes[] = {1000, 10000, 100000};
+    const std::size_t sizes[] = {1000, 10000, 100000, 1'000'000,
+                                 10'000'000};
     std::vector<SizeResult> results;
     for (std::size_t size : sizes) {
+        if (max_tasks != 0 && size > max_tasks) {
+            std::printf("%10zu   (skipped: --max-tasks %zu)\n", size,
+                        max_tasks);
+            continue;
+        }
         const SizeResult r = measure(size, metrics);
         const double n = static_cast<double>(r.tasks);
         std::printf("%10zu %6zu %14.3f %14.3f %16.0f %16.0f\n", r.tasks,

@@ -248,6 +248,9 @@ IterBuilder::pathBytes(std::size_t path_index) const
 void
 IterBuilder::reserve(std::size_t tasks, std::size_t edges)
 {
+    // Also pre-sizes the graph's dependents-CSR arrays (same counts:
+    // one offset per task, one slot per edge), so the first schedule()
+    // builds the reverse index without reallocating.
     graph_.reserveTasks(tasks);
     graph_.reserveEdges(edges);
 }
@@ -257,7 +260,10 @@ IterBuilder::schedule() const
 {
     // Reuse this worker thread's scratch arena: sweeps simulate
     // thousands of graphs per thread, and the workspace makes that O(1)
-    // scheduler allocations per thread instead of O(graphs).
+    // scheduler allocations per thread instead of O(graphs). The
+    // dependents CSR is cached on the graph itself, so systems that
+    // schedule the same builder more than once (probe + final windows)
+    // pay its O(V + E) build a single time.
     return sim::Scheduler().run(graph_, sim::Scheduler::threadWorkspace());
 }
 

@@ -1,0 +1,246 @@
+#include "sim/calendar_queue.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace so::sim {
+
+namespace {
+
+/**
+ * Descending (time, id): sorting with this leaves the *earliest* event
+ * at the back, where pop_back removes it in O(1). The id tie-break
+ * makes the order total, so the drain sequence is independent of
+ * insertion order and of any internal re-bucketing.
+ */
+bool
+later(const SimEvent &a, const SimEvent &b)
+{
+    if (a.time != b.time)
+        return a.time > b.time;
+    return a.id > b.id;
+}
+
+/** Calendar never shrinks below this; keeps tiny queues allocation-lean. */
+constexpr std::size_t kMinBuckets = 8;
+/** Upper bound on the bucket array (events beyond it ladder into overflow). */
+constexpr std::size_t kMaxBuckets = std::size_t(1) << 20;
+/** Year length target as a multiple of the observed event-time span. */
+constexpr double kSpread = 2.0;
+
+} // namespace
+
+void
+CalendarQueue::reset()
+{
+    built_ = false;
+    cursor_ = 0;
+    count_ = 0;
+    cursor_sorted_ = false;
+    overflow_sorted_ = false;
+    staged_.clear();
+    overflow_.clear();
+#ifndef NDEBUG
+    drain_floor_ = 0.0;
+    draining_ = false;
+#endif
+}
+
+void
+CalendarQueue::clear()
+{
+    for (std::vector<SimEvent> &bucket : buckets_)
+        bucket.clear();
+    reset();
+}
+
+void
+CalendarQueue::layout(double lo, double hi, std::size_t n)
+{
+    n_buckets_ = std::clamp(std::bit_ceil(n | 1), kMinBuckets, kMaxBuckets);
+    const double span = hi - lo;
+    double w = span > 0.0 ? span * kSpread / static_cast<double>(n) : 1.0;
+    // A degenerate width (zero, subnormal, or non-finite from extreme
+    // spans) would stall bucket hashing; any positive fallback is
+    // correct — ordering comes from the per-bucket sort, width only
+    // spreads occupancy.
+    if (!(w > 0.0) || !std::isfinite(w))
+        w = 1.0;
+    width_ = w;
+    year_start_ = lo;
+    cursor_ = 0;
+    cursor_sorted_ = false;
+    if (buckets_.size() < n_buckets_)
+        buckets_.resize(n_buckets_);
+}
+
+void
+CalendarQueue::place(const SimEvent &ev)
+{
+    const double rel = (ev.time - year_start_) / width_;
+    if (!(rel < static_cast<double>(n_buckets_))) {
+        overflow_.push_back(ev);
+        overflow_sorted_ = false;
+        return;
+    }
+    std::size_t idx = rel > 0.0 ? static_cast<std::size_t>(rel) : 0;
+    if (idx >= n_buckets_)
+        idx = n_buckets_ - 1;
+    // Rounding at a bucket boundary must never land an event behind the
+    // drain cursor (it would be skipped); its time is >= the last pop,
+    // so the cursor bucket is always a correct home.
+    if (idx < cursor_)
+        idx = cursor_;
+    buckets_[idx].push_back(ev);
+    if (idx == cursor_)
+        cursor_sorted_ = false;
+}
+
+void
+CalendarQueue::push(double time, TaskId id)
+{
+    const SimEvent ev{time, id};
+    if (!built_) {
+        // Seed phase: order-free staging; the calendar is laid out at
+        // the first pop, when the population's span and count are known.
+        staged_.push_back(ev);
+        ++count_;
+        return;
+    }
+#ifndef NDEBUG
+    SO_ASSERT(!draining_ || time >= drain_floor_,
+              "calendar queue pushed into the past: ", time, " < ",
+              drain_floor_);
+#endif
+    place(ev);
+    ++count_;
+    if (count_ > 2 * n_buckets_ && n_buckets_ < kMaxBuckets)
+        rebuild();
+}
+
+void
+CalendarQueue::build()
+{
+    double lo = staged_.front().time;
+    double hi = lo;
+    for (const SimEvent &ev : staged_) {
+        lo = std::min(lo, ev.time);
+        hi = std::max(hi, ev.time);
+    }
+    layout(lo, hi, staged_.size());
+    for (const SimEvent &ev : staged_)
+        place(ev);
+    staged_.clear();
+    built_ = true;
+}
+
+void
+CalendarQueue::rebuild()
+{
+    staged_.clear();
+    for (std::size_t b = cursor_; b < n_buckets_; ++b) {
+        staged_.insert(staged_.end(), buckets_[b].begin(),
+                       buckets_[b].end());
+        buckets_[b].clear();
+    }
+    staged_.insert(staged_.end(), overflow_.begin(), overflow_.end());
+    overflow_.clear();
+    overflow_sorted_ = false;
+    double lo = staged_.front().time;
+    double hi = lo;
+    for (const SimEvent &ev : staged_) {
+        lo = std::min(lo, ev.time);
+        hi = std::max(hi, ev.time);
+    }
+    layout(lo, hi, staged_.size());
+    for (const SimEvent &ev : staged_)
+        place(ev);
+    staged_.clear();
+}
+
+void
+CalendarQueue::advanceYear()
+{
+    SO_ASSERT(!overflow_.empty(),
+              "calendar year exhausted with events unaccounted for");
+    if (!overflow_sorted_) {
+        std::sort(overflow_.begin(), overflow_.end(), later);
+        overflow_sorted_ = true;
+    }
+    // Sparse tail: re-size the whole calendar down instead of sweeping
+    // a bucket array far larger than the remaining population.
+    if (count_ < n_buckets_ / 4 && n_buckets_ > kMinBuckets) {
+        rebuild();
+        return;
+    }
+    year_start_ = overflow_.back().time;
+    cursor_ = 0;
+    cursor_sorted_ = false;
+    // The anchor event hashes to bucket 0 by construction, so even a
+    // degenerate width makes progress (the ladder then drains one event
+    // per year — slow, never wrong).
+    const double year_end = yearEnd();
+    while (!overflow_.empty() && (overflow_.back().time < year_end ||
+                                  overflow_.back().time == year_start_)) {
+        const SimEvent ev = overflow_.back();
+        overflow_.pop_back();
+        const double rel = (ev.time - year_start_) / width_;
+        std::size_t idx = rel > 0.0 ? static_cast<std::size_t>(rel) : 0;
+        if (idx >= n_buckets_)
+            idx = n_buckets_ - 1;
+        buckets_[idx].push_back(ev);
+    }
+}
+
+void
+CalendarQueue::position()
+{
+    SO_ASSERT(count_ > 0, "peek/pop on an empty calendar queue");
+    if (!built_)
+        build();
+    for (;;) {
+        if (cursor_ < n_buckets_) {
+            std::vector<SimEvent> &bucket = buckets_[cursor_];
+            if (!bucket.empty()) {
+                if (!cursor_sorted_) {
+                    std::sort(bucket.begin(), bucket.end(), later);
+                    cursor_sorted_ = true;
+                }
+                return;
+            }
+            ++cursor_;
+            cursor_sorted_ = false;
+            continue;
+        }
+        advanceYear();
+    }
+}
+
+const SimEvent &
+CalendarQueue::peek()
+{
+    position();
+    return buckets_[cursor_].back();
+}
+
+SimEvent
+CalendarQueue::pop()
+{
+    position();
+    std::vector<SimEvent> &bucket = buckets_[cursor_];
+    const SimEvent ev = bucket.back();
+    bucket.pop_back();
+    --count_;
+#ifndef NDEBUG
+    drain_floor_ = ev.time;
+    draining_ = true;
+#endif
+    if (count_ == 0)
+        reset();
+    return ev;
+}
+
+} // namespace so::sim

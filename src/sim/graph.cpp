@@ -1,5 +1,6 @@
 #include "sim/graph.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -71,10 +72,18 @@ TaskGraph::addTask(ResourceId resource, double duration,
                   "dependency must be an already-added task (got ", dep,
                   " for task ", id, ")");
     }
+    if (durations_.empty()) {
+        min_priority_ = priority;
+        max_priority_ = priority;
+    } else {
+        min_priority_ = std::min(min_priority_, priority);
+        max_priority_ = std::max(max_priority_, priority);
+    }
     durations_.push_back(duration);
     task_resource_.push_back(resource);
     priorities_.push_back(priority);
     labels_.push_back(internLabel(label));
+    dependents_valid_ = false;
     DepRef ref;
     ref.begin = static_cast<std::uint32_t>(edges_.size());
     ref.count = static_cast<std::uint32_t>(deps.size());
@@ -109,6 +118,44 @@ TaskGraph::addDep(TaskId before, TaskId after)
     edges_.push_back(before);
     ++ref.count;
     ++live_edges_;
+    dependents_valid_ = false;
+}
+
+void
+TaskGraph::finalizeDependents() const
+{
+    if (dependents_valid_)
+        return;
+    const std::size_t n = taskCount();
+    dependent_offsets_.assign(n + 1, 0);
+    for (TaskId id = 0; id < n; ++id)
+        for (TaskId dep : deps(id))
+            ++dependent_offsets_[dep + 1];
+    for (std::size_t i = 1; i <= n; ++i)
+        dependent_offsets_[i] += dependent_offsets_[i - 1];
+    dependents_.resize(live_edges_);
+    // Fill using offsets[dep] as the write cursor: each task id lands
+    // in ascending order within its dependency's run. Afterwards
+    // offsets[d] has advanced to the start of d+1, so one backward
+    // shift restores the offset array.
+    for (TaskId id = 0; id < n; ++id)
+        for (TaskId dep : deps(id))
+            dependents_[dependent_offsets_[dep]++] = id;
+    for (std::size_t i = n; i > 0; --i)
+        dependent_offsets_[i] = dependent_offsets_[i - 1];
+    dependent_offsets_[0] = 0;
+    dependents_valid_ = true;
+}
+
+std::span<const TaskId>
+TaskGraph::dependents(TaskId id) const
+{
+    SO_ASSERT(id < taskCount(), "unknown task ", id);
+    if (!dependents_valid_)
+        finalizeDependents();
+    return std::span<const TaskId>(
+        dependents_.data() + dependent_offsets_[id],
+        dependent_offsets_[id + 1] - dependent_offsets_[id]);
 }
 
 void
@@ -119,6 +166,7 @@ TaskGraph::reserveTasks(std::size_t count, std::size_t label_bytes)
     priorities_.reserve(count);
     labels_.reserve(count);
     dep_refs_.reserve(count);
+    dependent_offsets_.reserve(count + 1);
     if (label_bytes > 0)
         label_arena_.reserve(label_bytes);
 }
@@ -127,6 +175,7 @@ void
 TaskGraph::reserveEdges(std::size_t count)
 {
     edges_.reserve(count);
+    dependents_.reserve(count);
 }
 
 const Resource &

@@ -157,6 +157,24 @@ class TaskGraph
     std::span<const TaskId> deps(TaskId id) const;
 
     std::size_t depCount(TaskId id) const;
+
+    /**
+     * IDs of tasks that depend on this one (the reverse edges), in
+     * ascending id order. Backed by a CSR index built lazily after the
+     * last mutation and cached with the graph, so every scheduler run
+     * over the same graph reuses one build — sweeps used to pay this
+     * rebuild per run (docs/PERF.md). The span aliases the cache: it is
+     * invalidated by the next addTask()/addDep() call.
+     */
+    std::span<const TaskId> dependents(TaskId id) const;
+
+    /**
+     * Build the dependents CSR now if the graph changed since the last
+     * build. Implicit in dependents() and Scheduler::run; call it
+     * explicitly before sharing one graph across threads (the lazy
+     * build mutates the cache and is not synchronized).
+     */
+    void finalizeDependents() const;
     /// @}
 
     std::size_t taskCount() const { return durations_.size(); }
@@ -164,6 +182,26 @@ class TaskGraph
 
     /** Number of live dependency edges across all tasks. */
     std::size_t edgeCount() const { return live_edges_; }
+
+    /**
+     * Smallest/largest task priority in the graph (0/0 when empty).
+     * Builders use small dense priority ranges, which is what lets the
+     * scheduler keep O(1) priority-bucketed ready sets.
+     */
+    std::int32_t minPriority() const
+    {
+        return durations_.empty() ? 0 : min_priority_;
+    }
+    std::int32_t maxPriority() const
+    {
+        return durations_.empty() ? 0 : max_priority_;
+    }
+
+    /** All task priorities, indexed by TaskId (SoA column). */
+    std::span<const std::int32_t> priorities() const
+    {
+        return priorities_;
+    }
 
     /** Bytes currently held by the label arena (diagnostics). */
     std::size_t labelArenaBytes() const { return label_arena_.size(); }
@@ -210,6 +248,17 @@ class TaskGraph
     // leaving a small dead gap behind.
     std::vector<TaskId> edges_;
     std::size_t live_edges_ = 0;
+
+    // Reverse-edge CSR cache: offsets (n+1) into one dependents array,
+    // built on first use after a mutation and reused across scheduler
+    // runs. Mutable because building it is a logically-const operation
+    // (see finalizeDependents() for the threading caveat).
+    mutable std::vector<std::uint32_t> dependent_offsets_;
+    mutable std::vector<TaskId> dependents_;
+    mutable bool dependents_valid_ = false;
+
+    std::int32_t min_priority_ = 0;
+    std::int32_t max_priority_ = 0;
 };
 
 } // namespace so::sim

@@ -1,6 +1,7 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
+#include <bit>
 #include <string>
 
 #include "common/logging.h"
@@ -27,21 +28,7 @@ Schedule::utilization(ResourceId resource) const
 
 namespace {
 
-using Ready = Scheduler::Workspace::Ready;
 using Slot = Scheduler::Workspace::Slot;
-using Event = Scheduler::Workspace::Event;
-
-/** Min-heap comparator: the lowest (priority, id) pops first. */
-struct ReadyAfter
-{
-    bool
-    operator()(const Ready &a, const Ready &b) const
-    {
-        if (a.priority != b.priority)
-            return a.priority > b.priority;
-        return a.id > b.id;
-    }
-};
 
 /**
  * Min-heap comparator over (free time, slot index): the slot that freed
@@ -62,7 +49,69 @@ struct SlotAfter
 /** How many unreachable-task labels a cycle diagnosis lists. */
 constexpr std::size_t kMaxCycleLabels = 8;
 
+/**
+ * Priority spans up to this wide index ready buckets directly by
+ * (priority - min); wider (degenerate) spans are first compressed to
+ * dense ranks through a sorted-unique table. Builders use a handful of
+ * adjacent priorities, so the dense path is the one that matters.
+ */
+constexpr std::int64_t kDensePrioritySpan = 4096;
+
 } // namespace
+
+void
+Scheduler::Workspace::ReadySet::reset(std::size_t ranks)
+{
+    if (buckets.size() < ranks)
+        buckets.resize(ranks);
+    for (Bucket &bucket : buckets) {
+        bucket.ids.clear();
+        bucket.cursor = 0;
+    }
+    live.assign((ranks + 63) / 64, 0);
+    count = 0;
+}
+
+void
+Scheduler::Workspace::ReadySet::push(std::size_t rank, TaskId id)
+{
+    Bucket &bucket = buckets[rank];
+    if (bucket.cursor != 0 && bucket.cursor == bucket.ids.size()) {
+        bucket.ids.clear();
+        bucket.cursor = 0;
+    }
+    if (bucket.cursor == bucket.ids.size())
+        live[rank >> 6] |= std::uint64_t(1) << (rank & 63);
+    if (bucket.ids.empty() || id > bucket.ids.back())
+        bucket.ids.push_back(id);
+    else
+        bucket.ids.insert(
+            std::lower_bound(bucket.ids.begin() +
+                                 static_cast<std::ptrdiff_t>(bucket.cursor),
+                             bucket.ids.end(), id),
+            id);
+    ++count;
+}
+
+TaskId
+Scheduler::Workspace::ReadySet::popMin()
+{
+    SO_ASSERT(count > 0, "popMin on an empty ready set");
+    std::size_t word = 0;
+    while (live[word] == 0)
+        ++word;
+    const std::size_t rank =
+        (word << 6) + static_cast<std::size_t>(std::countr_zero(live[word]));
+    Bucket &bucket = buckets[rank];
+    const TaskId id = bucket.ids[bucket.cursor++];
+    if (bucket.cursor == bucket.ids.size()) {
+        bucket.ids.clear();
+        bucket.cursor = 0;
+        live[word] &= ~(std::uint64_t(1) << (rank & 63));
+    }
+    --count;
+    return id;
+}
 
 Schedule
 Scheduler::run(const TaskGraph &graph) const
@@ -81,44 +130,76 @@ Scheduler::threadWorkspace()
 Schedule
 Scheduler::run(const TaskGraph &graph, Workspace &ws) const
 {
+    Schedule schedule;
+    run(graph, ws, schedule);
+    return schedule;
+}
+
+void
+Scheduler::run(const TaskGraph &graph, Workspace &ws,
+               Schedule &out) const
+{
     const std::size_t n = graph.taskCount();
     const std::size_t nres = graph.resourceCount();
 
-    Schedule schedule;
-    schedule.start.assign(n, 0.0);
-    schedule.finish.assign(n, 0.0);
+    Schedule &schedule = out;
+    // Sizing only, no value-init: every task's start/finish is stored
+    // exactly once below (a graph whose tasks can't all run is fatal),
+    // and recycled capacity must not be re-touched twice per run.
+    schedule.start.resize(n);
+    schedule.finish.resize(n);
     schedule.timelines.resize(nres);
+    for (Timeline &timeline : schedule.timelines)
+        timeline.clear();
+    schedule.makespan = 0.0;
 
-    // Dependency bookkeeping. The reverse edges (task -> dependents) are
-    // flattened CSR-style into one offsets array plus one edge array;
-    // all scratch lives in the workspace, so repeated runs on the same
-    // thread reuse the previous run's capacity.
-    ws.pending_deps.assign(n, 0);
-    ws.dependent_offsets.assign(n + 1, 0);
-    std::size_t edge_count = 0;
-    for (TaskId id = 0; id < n; ++id) {
-        const std::size_t count = graph.depCount(id);
-        ws.pending_deps[id] = static_cast<std::uint32_t>(count);
-        edge_count += count;
-        for (TaskId dep : graph.deps(id))
-            ++ws.dependent_offsets[dep + 1];
-    }
-    for (std::size_t i = 1; i <= n; ++i)
-        ws.dependent_offsets[i] += ws.dependent_offsets[i - 1];
-    ws.dependents.resize(edge_count);
-    ws.dependent_cursor.assign(ws.dependent_offsets.begin(),
-                               ws.dependent_offsets.begin() +
-                                   static_cast<std::ptrdiff_t>(n));
+    // Reverse edges come from the graph's cached CSR — built once per
+    // graph (usually already during graph construction by the first
+    // consumer) and shared by every run over it.
+    graph.finalizeDependents();
+
+    ws.pending_deps.resize(n);
     for (TaskId id = 0; id < n; ++id)
-        for (TaskId dep : graph.deps(id))
-            ws.dependents[ws.dependent_cursor[dep]++] = id;
+        ws.pending_deps[id] =
+            static_cast<std::uint32_t>(graph.depCount(id));
+
+    // Priority ranks for the bucketed ready sets: a direct offset when
+    // the graph's priority range is dense (every builder), a
+    // sorted-unique compression for degenerate ranges. Rank order ==
+    // priority order either way, so tie-breaks are unchanged.
+    const std::int64_t min_priority = graph.minPriority();
+    const std::int64_t priority_span =
+        static_cast<std::int64_t>(graph.maxPriority()) - min_priority + 1;
+    const bool dense = priority_span <= kDensePrioritySpan;
+    std::size_t ranks;
+    if (dense) {
+        ranks = static_cast<std::size_t>(priority_span);
+    } else {
+        const std::span<const std::int32_t> priorities =
+            graph.priorities();
+        ws.rank_values.assign(priorities.begin(), priorities.end());
+        std::sort(ws.rank_values.begin(), ws.rank_values.end());
+        ws.rank_values.erase(std::unique(ws.rank_values.begin(),
+                                         ws.rank_values.end()),
+                             ws.rank_values.end());
+        ranks = ws.rank_values.size();
+    }
+    const auto rank_of = [&](TaskId id) {
+        const std::int32_t priority = graph.priority(id);
+        if (dense)
+            return static_cast<std::size_t>(priority - min_priority);
+        return static_cast<std::size_t>(
+            std::lower_bound(ws.rank_values.begin(), ws.rank_values.end(),
+                             priority) -
+            ws.rank_values.begin());
+    };
 
     if (ws.ready.size() < nres)
         ws.ready.resize(nres);
     if (ws.slot_free.size() < nres)
         ws.slot_free.resize(nres);
     for (ResourceId r = 0; r < nres; ++r) {
-        ws.ready[r].clear();
+        ws.ready[r].reset(ranks);
         ws.slot_free[r].clear();
         // All slots free at t=0, in ascending index order — already a
         // valid (free_time, slot) min-heap.
@@ -137,31 +218,26 @@ Scheduler::run(const TaskGraph &graph, Workspace &ws) const
     ws.done.assign(n, 0);
 
     auto start_ready = [&](ResourceId r) {
-        std::vector<Ready> &ready = ws.ready[r];
+        Workspace::ReadySet &ready = ws.ready[r];
         std::vector<Slot> &slots = ws.slot_free[r];
         while (!ready.empty() && !slots.empty() &&
                slots.front().free_time <= now) {
             std::pop_heap(slots.begin(), slots.end(), SlotAfter{});
             const std::uint32_t slot = slots.back().slot;
             slots.pop_back();
-            std::pop_heap(ready.begin(), ready.end(), ReadyAfter{});
-            const TaskId id = ready.back().id;
-            ready.pop_back();
+            const TaskId id = ready.popMin();
             const double begin = now;
             const double end = begin + graph.duration(id);
             schedule.start[id] = begin;
             schedule.finish[id] = end;
             ws.task_slot[id] = slot;
             schedule.timelines[r].add(begin, end, id, slot);
-            ws.events.push_back(Event{end, id});
-            std::push_heap(ws.events.begin(), ws.events.end());
+            ws.events.push(end, id);
         }
     };
 
     auto mark_ready = [&](TaskId id) {
-        std::vector<Ready> &ready = ws.ready[graph.taskResource(id)];
-        ready.push_back(Ready{graph.priority(id), id});
-        std::push_heap(ready.begin(), ready.end(), ReadyAfter{});
+        ws.ready[graph.taskResource(id)].push(rank_of(id), id);
     };
 
     // Seed with tasks that have no dependencies.
@@ -180,15 +256,12 @@ Scheduler::run(const TaskGraph &graph, Workspace &ws) const
         ws.touched.resize(nres, 0);
 
     while (!ws.events.empty()) {
-        now = ws.events.front().time;
+        now = ws.events.peek().time;
         // Process every completion at this timestamp before starting new
         // work, so freed slots and satisfied deps are all visible.
         ws.finished.clear();
-        while (!ws.events.empty() && ws.events.front().time == now) {
-            ws.finished.push_back(ws.events.front().id);
-            std::pop_heap(ws.events.begin(), ws.events.end());
-            ws.events.pop_back();
-        }
+        while (!ws.events.empty() && ws.events.peek().time == now)
+            ws.finished.push_back(ws.events.pop().id);
         std::fill(ws.touched.begin(), ws.touched.begin() +
                                           static_cast<std::ptrdiff_t>(nres),
                   0);
@@ -200,10 +273,7 @@ Scheduler::run(const TaskGraph &graph, Workspace &ws) const
             slots.push_back(Slot{now, ws.task_slot[id]});
             std::push_heap(slots.begin(), slots.end(), SlotAfter{});
             ws.touched[r] = 1;
-            const std::uint32_t dep_begin = ws.dependent_offsets[id];
-            const std::uint32_t dep_end = ws.dependent_offsets[id + 1];
-            for (std::uint32_t e = dep_begin; e < dep_end; ++e) {
-                const TaskId next = ws.dependents[e];
+            for (TaskId next : graph.dependents(id)) {
                 SO_ASSERT(ws.pending_deps[next] > 0,
                           "dependency underflow");
                 if (--ws.pending_deps[next] == 0) {
@@ -215,8 +285,11 @@ Scheduler::run(const TaskGraph &graph, Workspace &ws) const
         for (ResourceId r = 0; r < nres; ++r)
             if (ws.touched[r])
                 start_ready(r);
-        schedule.makespan = std::max(schedule.makespan, now);
     }
+    // Events drain in ascending time, so the last batch's timestamp is
+    // the completion time of the whole graph — one store instead of a
+    // max-fold every event-loop iteration.
+    schedule.makespan = now;
 
     if (completed != n) {
         // Unreachable tasks: the graph has a dependency cycle. Name the
@@ -241,7 +314,6 @@ Scheduler::run(const TaskGraph &graph, Workspace &ws) const
                  "cycle involving: ",
                  labels);
     }
-    return schedule;
 }
 
 } // namespace so::sim

@@ -7,6 +7,14 @@
  * its dependencies finish, and (b) a resource runs at most `slots` tasks
  * concurrently. Ties are broken by task priority, then insertion order,
  * so results are bit-for-bit reproducible.
+ *
+ * The hot machinery is sized for 10M-task graphs (docs/PERF.md, "Event
+ * queue at scale"): completion events live in a calendar queue with a
+ * sorted-overflow ladder (amortized O(1) per event), ready tasks live
+ * in per-resource priority buckets (priorities are small dense ints in
+ * every builder, so mark-ready and pop are O(1)), and the reverse-edge
+ * CSR is cached on the TaskGraph — built once per graph, not once per
+ * run.
  */
 #ifndef SO_SIM_SCHEDULER_H
 #define SO_SIM_SCHEDULER_H
@@ -14,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/calendar_queue.h"
 #include "sim/graph.h"
 #include "sim/timeline.h"
 
@@ -57,44 +66,51 @@ class Scheduler
      */
     struct Workspace
     {
-        /** A task waiting to run; min-heap by (priority, id). */
-        struct Ready
-        {
-            std::int32_t priority;
-            TaskId id;
-        };
         /** A resource slot; min-heap by (free time, slot index). */
         struct Slot
         {
             double free_time;
             std::uint32_t slot;
         };
-        /** Completion event in the global event queue. */
-        struct Event
-        {
-            double time;
-            TaskId id;
 
-            // std::push_heap builds a max-heap: invert so the earliest
-            // time (then the lowest id, for determinism) pops first.
-            bool
-            operator<(const Event &other) const
+        /**
+         * Ready tasks of one resource, bucketed by priority rank. Each
+         * bucket keeps its pending ids ascending in [cursor, end), so
+         * pop-min is "advance the cursor of the lowest live bucket" —
+         * O(1) — and mark-ready is an append whenever ids arrive in
+         * ascending order (the overwhelmingly common case; out-of-order
+         * arrivals pay one ordered insert). A bitmask over buckets
+         * finds the lowest live priority with a count-trailing-zeros.
+         */
+        struct ReadySet
+        {
+            struct Bucket
             {
-                if (time != other.time)
-                    return time > other.time;
-                return id > other.id;
-            }
+                std::vector<TaskId> ids;
+                std::size_t cursor = 0;
+            };
+            std::vector<Bucket> buckets;
+            /** Bit b set iff buckets[b] has pending ids. */
+            std::vector<std::uint64_t> live;
+            std::size_t count = 0;
+
+            /** Clear for @p ranks priority ranks, keeping capacity. */
+            void reset(std::size_t ranks);
+            /** Add @p id at priority rank @p rank. */
+            void push(std::size_t rank, TaskId id);
+            /** Remove and return the lowest (rank, id). */
+            TaskId popMin();
+            bool empty() const { return count == 0; }
         };
 
         std::vector<std::uint32_t> pending_deps;
-        /** CSR offsets (n+1) and edge array of task -> dependents. */
-        std::vector<std::uint32_t> dependent_offsets;
-        std::vector<std::uint32_t> dependent_cursor;
-        std::vector<TaskId> dependents;
-        /** Per-resource ready heaps and slot-free heaps. */
-        std::vector<std::vector<Ready>> ready;
+        /** Per-resource ready sets and slot-free heaps. */
+        std::vector<ReadySet> ready;
         std::vector<std::vector<Slot>> slot_free;
-        std::vector<Event> events;
+        /** Pending completion events (calendar_queue.h). */
+        CalendarQueue events;
+        /** Sorted unique priorities, for graphs with sparse ranges. */
+        std::vector<std::int32_t> rank_values;
         /** Slot index each running/finished task occupies. */
         std::vector<std::uint32_t> task_slot;
         std::vector<char> done;
@@ -111,6 +127,16 @@ class Scheduler
 
     /** Like run(graph), reusing @p ws for all scratch storage. */
     Schedule run(const TaskGraph &graph, Workspace &ws) const;
+
+    /**
+     * Like run(graph, ws), but writes the result into @p out, reusing
+     * its vectors' and timelines' capacity. At million-task sizes a
+     * Schedule is tens of MB; callers that keep one alive across runs
+     * (the bench harness, steady-state sweep loops) avoid re-faulting
+     * those pages every run. The stored values are bit-identical to the
+     * returning overloads'.
+     */
+    void run(const TaskGraph &graph, Workspace &ws, Schedule &out) const;
 
     /**
      * This thread's lazily created Workspace. The per-worker reuse

@@ -33,6 +33,9 @@ class Timeline
     /** Record a busy interval; intervals may overlap across slots. */
     void add(double start, double end, TaskId task, std::uint32_t slot = 0);
 
+    /** Drop all intervals but keep the capacity (recycling support). */
+    void clear() { intervals_.clear(); }
+
     const std::vector<Interval> &intervals() const { return intervals_; }
 
     /**

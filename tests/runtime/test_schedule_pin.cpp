@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -22,6 +23,7 @@
 #include "hw/presets.h"
 #include "model/config.h"
 #include "runtime/registry.h"
+#include "runtime/sweep.h"
 
 namespace so::runtime {
 namespace {
@@ -251,6 +253,54 @@ TEST(SchedulePin, SeedConfigsBitIdentical)
             }
             EXPECT_EQ(fingerprint(res), want) << key;
         }
+    }
+}
+
+TEST(SchedulePin, GoldenFingerprintsHoldAcrossJobs)
+{
+    // The same pinned cells, evaluated through SweepEngine at several
+    // --jobs settings: the worker count must never perturb a
+    // fingerprint. This is what keeps the scheduler's per-thread
+    // Workspaces (calendar queue, ready buckets) and the graph-cached
+    // dependents CSR honest under parallel sweeps — any cross-thread
+    // state leak shows up here as a golden mismatch.
+    core::SuperOffloadSystem so_sys{core::SuperOffloadOptions{}};
+    std::vector<SystemPtr> systems; // Referenced by the engine: keep alive.
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+        SweepOptions opts;
+        opts.jobs = jobs;
+        SweepEngine engine(opts);
+        std::vector<std::string> keys;
+        for (const Cell &cell : kCells) {
+            TrainSetup setup;
+            setup.cluster = cell.cluster;
+            setup.model = model::modelPreset(cell.model);
+            setup.global_batch = cell.batch;
+            setup.seq = cell.seq;
+            for (const auto &[key, want] : kGolden) {
+                (void)want;
+                const std::string tag = "|" + std::string(cell.tag);
+                if (key.size() < tag.size() ||
+                    key.compare(key.size() - tag.size(), tag.size(),
+                                tag) != 0)
+                    continue;
+                const std::string name =
+                    key.substr(0, key.size() - tag.size());
+                if (name == "superoffload") {
+                    engine.add(so_sys, setup, key);
+                } else {
+                    systems.push_back(makeBaseline(name));
+                    engine.add(*systems.back(), setup, key);
+                }
+                keys.push_back(key);
+            }
+        }
+        engine.run();
+        ASSERT_EQ(keys.size(), kGolden.size());
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            EXPECT_EQ(fingerprint(engine.result(i)),
+                      kGolden.at(keys[i]))
+                << keys[i] << " jobs=" << jobs;
     }
 }
 

@@ -228,6 +228,103 @@ TEST(TaskGraphIntern, QuotesAndUtf8SurviveChromeTrace)
 }
 
 // ---------------------------------------------------------------------
+// Dependents CSR cache and priority range.
+
+TEST(TaskGraphDependents, MirrorsForwardEdges)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId a = g.addTask(r, 1.0, "a");
+    const TaskId b = g.addTask(r, 1.0, "b", {a});
+    const TaskId c = g.addTask(r, 1.0, "c", {a, b});
+    const TaskId d = g.addTask(r, 1.0, "d", {a});
+    ASSERT_EQ(g.dependents(a).size(), 3u);
+    EXPECT_EQ(g.dependents(a)[0], b);
+    EXPECT_EQ(g.dependents(a)[1], c);
+    EXPECT_EQ(g.dependents(a)[2], d);
+    ASSERT_EQ(g.dependents(b).size(), 1u);
+    EXPECT_EQ(g.dependents(b)[0], c);
+    EXPECT_TRUE(g.dependents(c).empty());
+    EXPECT_TRUE(g.dependents(d).empty());
+}
+
+TEST(TaskGraphDependents, InvalidatedByAddTaskAndAddDep)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId a = g.addTask(r, 1.0, "a");
+    const TaskId b = g.addTask(r, 1.0, "b", {a});
+    EXPECT_EQ(g.dependents(a).size(), 1u); // Builds the cache.
+
+    const TaskId c = g.addTask(r, 1.0, "c", {a});
+    ASSERT_EQ(g.dependents(a).size(), 2u); // Rebuilt after addTask.
+    EXPECT_EQ(g.dependents(a)[1], c);
+
+    g.addDep(b, c);
+    ASSERT_EQ(g.dependents(b).size(), 1u); // Rebuilt after addDep.
+    EXPECT_EQ(g.dependents(b)[0], c);
+}
+
+TEST(TaskGraphDependents, RelocatedDepRunsStayConsistent)
+{
+    // The edge pool leaves dead gaps behind when addDep relocates an
+    // interior run; the CSR must index live edges only.
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId a = g.addTask(r, 1.0, "a");
+    const TaskId b = g.addTask(r, 1.0, "b", {a});
+    const TaskId c = g.addTask(r, 1.0, "c", {a, b});
+    g.addDep(a, b); // Duplicate edge, relocates b's interior run.
+    ASSERT_EQ(g.dependents(a).size(), 3u);
+    EXPECT_EQ(g.dependents(a)[0], b);
+    EXPECT_EQ(g.dependents(a)[1], b); // Duplicate preserved.
+    EXPECT_EQ(g.dependents(a)[2], c);
+    std::size_t total = 0;
+    for (TaskId id = 0; id < g.taskCount(); ++id)
+        total += g.dependents(id).size();
+    EXPECT_EQ(total, g.edgeCount());
+}
+
+TEST(TaskGraphDependents, FinalizeIsIdempotent)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    const TaskId a = g.addTask(r, 1.0, "a");
+    g.addTask(r, 1.0, "b", {a});
+    g.finalizeDependents();
+    const TaskId *data = g.dependents(a).data();
+    g.finalizeDependents(); // No mutation since: must not rebuild.
+    EXPECT_EQ(g.dependents(a).data(), data);
+}
+
+TEST(TaskGraphDependents, EmptyGraph)
+{
+    TaskGraph g;
+    g.addResource("GPU");
+    g.finalizeDependents();
+    EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+TEST(TaskGraphPriorities, RangeTracksMinAndMax)
+{
+    TaskGraph g;
+    const ResourceId r = g.addResource("GPU");
+    EXPECT_EQ(g.minPriority(), 0);
+    EXPECT_EQ(g.maxPriority(), 0);
+    g.addTask(r, 1.0, "a", {}, 5);
+    EXPECT_EQ(g.minPriority(), 5);
+    EXPECT_EQ(g.maxPriority(), 5);
+    g.addTask(r, 1.0, "b", {}, -3);
+    g.addTask(r, 1.0, "c", {}, 2);
+    EXPECT_EQ(g.minPriority(), -3);
+    EXPECT_EQ(g.maxPriority(), 5);
+    ASSERT_EQ(g.priorities().size(), 3u);
+    EXPECT_EQ(g.priorities()[0], 5);
+    EXPECT_EQ(g.priorities()[1], -3);
+    EXPECT_EQ(g.priorities()[2], 2);
+}
+
+// ---------------------------------------------------------------------
 // Death tests.
 
 TEST(TaskGraphDeath, RejectsUnknownResource)

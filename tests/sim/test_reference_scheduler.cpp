@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Differential tests: the optimized discrete-event scheduler against
+ * the naive O(V·E) reference implementation. Both claim the same
+ * deterministic list-scheduling semantics, so on any DAG the schedules
+ * must agree bit for bit — start/finish times, makespan, and every
+ * timeline interval including slot assignment.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "reference_scheduler.h"
+#include "sim/graph.h"
+#include "sim/scheduler.h"
+
+namespace so::sim {
+namespace {
+
+void
+expectBitIdentical(const TaskGraph &graph, const Schedule &got,
+                   const Schedule &want)
+{
+    ASSERT_EQ(got.start.size(), want.start.size());
+    for (TaskId id = 0; id < graph.taskCount(); ++id) {
+        ASSERT_EQ(got.start[id], want.start[id]) << "task " << id;
+        ASSERT_EQ(got.finish[id], want.finish[id]) << "task " << id;
+    }
+    ASSERT_EQ(got.makespan, want.makespan);
+    ASSERT_EQ(got.timelines.size(), want.timelines.size());
+    for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+        // Timelines append in start order; within one instant the two
+        // implementations may enumerate resources differently, so
+        // compare as (start, slot)-sorted sets of intervals.
+        auto fetch = [](const Timeline &t) {
+            std::vector<Interval> ivs(t.intervals().begin(),
+                                      t.intervals().end());
+            std::sort(ivs.begin(), ivs.end(),
+                      [](const Interval &a, const Interval &b) {
+                          if (a.start != b.start)
+                              return a.start < b.start;
+                          return a.slot < b.slot;
+                      });
+            return ivs;
+        };
+        const std::vector<Interval> gi = fetch(got.timelines[r]);
+        const std::vector<Interval> wi = fetch(want.timelines[r]);
+        ASSERT_EQ(gi.size(), wi.size()) << "resource " << r;
+        for (std::size_t i = 0; i < gi.size(); ++i) {
+            ASSERT_EQ(gi[i].task, wi[i].task) << "resource " << r;
+            ASSERT_EQ(gi[i].slot, wi[i].slot) << "resource " << r;
+            ASSERT_EQ(gi[i].start, wi[i].start) << "resource " << r;
+            ASSERT_EQ(gi[i].end, wi[i].end) << "resource " << r;
+        }
+    }
+}
+
+/**
+ * Random DAG tuned to stress tie-breaking: durations come from a small
+ * discrete set so many tasks finish at exactly the same instant, and
+ * priorities collide constantly.
+ */
+TaskGraph
+makeAdversarialGraph(std::uint64_t seed, std::size_t n_resources,
+                     std::size_t n_tasks)
+{
+    Rng rng(seed);
+    TaskGraph graph;
+    for (std::size_t r = 0; r < n_resources; ++r)
+        graph.addResource("R" + std::to_string(r),
+                          static_cast<std::uint32_t>(1 + rng.below(3)));
+    // Discrete durations force mass-equal completion timestamps.
+    const double durations[] = {0.0, 0.25, 0.25, 0.5, 1.0};
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+        std::vector<TaskId> deps;
+        const std::size_t n_deps = t == 0 ? 0 : rng.below(4);
+        for (std::size_t d = 0; d < n_deps; ++d)
+            deps.push_back(static_cast<TaskId>(rng.below(t)));
+        std::sort(deps.begin(), deps.end());
+        deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+        graph.addTask(static_cast<ResourceId>(rng.below(n_resources)),
+                      durations[rng.below(5)], "t" + std::to_string(t),
+                      std::move(deps),
+                      static_cast<std::int32_t>(rng.below(3)) - 1);
+    }
+    return graph;
+}
+
+class DifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> // seed
+{
+};
+
+TEST_P(DifferentialTest, RandomDagsMatchReference)
+{
+    const TaskGraph graph = makeAdversarialGraph(GetParam(), 4, 250);
+    expectBitIdentical(graph, Scheduler().run(graph),
+                       testing::referenceSchedule(graph));
+}
+
+TEST_P(DifferentialTest, ContinuousDurationsMatchReference)
+{
+    // Same generator family as the property tests: continuous durations
+    // plus zero-duration barriers.
+    Rng rng(GetParam() * 0x9e3779b97f4a7c15ull + 1);
+    TaskGraph graph;
+    const std::size_t n_resources = 1 + rng.below(5);
+    for (std::size_t r = 0; r < n_resources; ++r)
+        graph.addResource("R" + std::to_string(r),
+                          static_cast<std::uint32_t>(1 + rng.below(4)));
+    const std::size_t n_tasks = 50 + rng.below(250);
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+        std::vector<TaskId> deps;
+        const std::size_t n_deps = t == 0 ? 0 : rng.below(5);
+        for (std::size_t d = 0; d < n_deps; ++d)
+            deps.push_back(static_cast<TaskId>(rng.below(t)));
+        std::sort(deps.begin(), deps.end());
+        deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+        graph.addTask(static_cast<ResourceId>(rng.below(n_resources)),
+                      rng.bernoulli(0.15) ? 0.0 : rng.uniform(0.001, 2.0),
+                      "t" + std::to_string(t), std::move(deps),
+                      static_cast<std::int32_t>(rng.below(7)) - 3);
+    }
+    expectBitIdentical(graph, Scheduler().run(graph),
+                       testing::referenceSchedule(graph));
+}
+
+TEST_P(DifferentialTest, WorkspaceReuseMatchesReference)
+{
+    // The sweep hot path (one Workspace across many graphs) must agree
+    // with the oracle too, not just with a fresh-workspace run.
+    Scheduler::Workspace ws;
+    for (std::uint64_t salt = 0; salt < 3; ++salt) {
+        const TaskGraph graph = makeAdversarialGraph(
+            GetParam() ^ (salt * 0x517cc1b727220a95ull), 3, 150);
+        expectBitIdentical(graph, Scheduler().run(graph, ws),
+                           testing::referenceSchedule(graph));
+    }
+}
+
+TEST_P(DifferentialTest, RecycledScheduleMatchesReference)
+{
+    // The output-recycling overload writes into a Schedule that still
+    // holds a previous (differently sized) graph's results; no stale
+    // interval, time, or makespan may leak through.
+    Scheduler::Workspace ws;
+    Schedule recycled;
+    const std::size_t sizes[] = {180, 40, 220};
+    for (std::uint64_t salt = 0; salt < 3; ++salt) {
+        const TaskGraph graph = makeAdversarialGraph(
+            GetParam() ^ (salt * 0x2545f4914f6cdd1dull), 3,
+            sizes[salt]);
+        Scheduler().run(graph, ws, recycled);
+        expectBitIdentical(graph, recycled,
+                           testing::referenceSchedule(graph));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u, 144u, 233u));
+
+TEST(DifferentialEdgeCases, EmptyGraph)
+{
+    TaskGraph graph;
+    graph.addResource("gpu", 2);
+    expectBitIdentical(graph, Scheduler().run(graph),
+                       testing::referenceSchedule(graph));
+    EXPECT_EQ(Scheduler().run(graph).makespan, 0.0);
+}
+
+TEST(DifferentialEdgeCases, AllZeroDurations)
+{
+    // Pure barrier cascade: everything starts and finishes at t=0.
+    TaskGraph graph;
+    graph.addResource("gpu", 1);
+    TaskId prev = kInvalidTask;
+    for (int i = 0; i < 40; ++i) {
+        std::vector<TaskId> deps;
+        if (prev != kInvalidTask)
+            deps.push_back(prev);
+        prev = graph.addTask(0, 0.0, "z" + std::to_string(i),
+                             std::move(deps));
+    }
+    expectBitIdentical(graph, Scheduler().run(graph),
+                       testing::referenceSchedule(graph));
+    EXPECT_EQ(Scheduler().run(graph).makespan, 0.0);
+}
+
+TEST(DifferentialEdgeCases, SingleChainMakespanIsSum)
+{
+    TaskGraph graph;
+    graph.addResource("gpu", 3);
+    TaskId prev = kInvalidTask;
+    double total = 0.0;
+    for (int i = 0; i < 64; ++i) {
+        std::vector<TaskId> deps;
+        if (prev != kInvalidTask)
+            deps.push_back(prev);
+        const double d = 0.125 * (1 + i % 4);
+        total += d;
+        prev = graph.addTask(0, d, "c" + std::to_string(i),
+                             std::move(deps));
+    }
+    const Schedule sched = Scheduler().run(graph);
+    expectBitIdentical(graph, sched, testing::referenceSchedule(graph));
+    EXPECT_DOUBLE_EQ(sched.makespan, total);
+}
+
+TEST(DifferentialEdgeCases, WideFanOutManyPriorityTies)
+{
+    // One root, 300 children all ready at once on a 2-slot resource,
+    // only two distinct priorities: the (priority, id) tie-break does
+    // all the work.
+    TaskGraph graph;
+    graph.addResource("gpu", 2);
+    const TaskId root = graph.addTask(0, 0.5, "root");
+    for (int i = 0; i < 300; ++i)
+        graph.addTask(0, 0.25, "f" + std::to_string(i), {root},
+                      i % 2 == 0 ? 1 : -1);
+    expectBitIdentical(graph, Scheduler().run(graph),
+                       testing::referenceSchedule(graph));
+}
+
+TEST(DifferentialEdgeCases, SparsePriorityRangeUsesCompressedRanks)
+{
+    // Priorities far apart (beyond the dense-span threshold) push the
+    // scheduler through its rank-compression path; the oracle doesn't
+    // care and the results must still match exactly.
+    Rng rng(7);
+    TaskGraph graph;
+    graph.addResource("gpu", 2);
+    graph.addResource("cpu", 1);
+    const std::int32_t levels[] = {-2'000'000'000, -65536, 0, 65536,
+                                   2'000'000'000};
+    for (int i = 0; i < 200; ++i) {
+        std::vector<TaskId> deps;
+        if (i > 0 && rng.bernoulli(0.5))
+            deps.push_back(static_cast<TaskId>(
+                rng.below(static_cast<std::size_t>(i))));
+        graph.addTask(static_cast<ResourceId>(rng.below(2)),
+                      0.125 * (1 + rng.below(3)),
+                      "s" + std::to_string(i), std::move(deps),
+                      levels[rng.below(5)]);
+    }
+    expectBitIdentical(graph, Scheduler().run(graph),
+                       testing::referenceSchedule(graph));
+}
+
+} // namespace
+} // namespace so::sim
