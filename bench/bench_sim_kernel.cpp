@@ -29,6 +29,7 @@
 
 #include "common/json.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "report/history.h"
 #include "sim/graph.h"
 #include "sim/scheduler.h"
@@ -159,6 +160,9 @@ measure(std::size_t target_tasks, so::MetricsRegistry &metrics)
 int
 main(int argc, char **argv)
 {
+    // Hand-rolled args (no Harness), so apply SO_TRACE/SO_HEARTBEAT
+    // here: the perf guard's own runs stay observable too.
+    so::trace::initFromEnv();
     std::string json_path;
     std::string baseline_path;
     double tolerance = 0.25;

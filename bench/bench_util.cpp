@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/schema.h"
+#include "common/trace.h"
 #include "report/history.h"
 #include "report/html.h"
 
@@ -44,6 +45,9 @@ Harness::Harness(int argc, const char *const *argv, std::string id,
                  std::size_t default_jobs)
     : id_(std::move(id))
 {
+    // SO_TRACE / SO_HEARTBEAT work for every bench, not just the ones
+    // passing --self-trace (docs/SELFTRACE.md).
+    trace::initFromEnv();
     banner(id_, description, paper_expectation);
 
     for (int i = 0; i < argc; ++i)
@@ -94,6 +98,13 @@ Harness::Harness(int argc, const char *const *argv, std::string id,
     }
     if (args.has("baseline"))
         baseline_path_ = args.get("baseline");
+    if (args.has("self-trace")) {
+        selftrace_path_ = args.get("self-trace");
+        if (selftrace_path_.empty())
+            selftrace_path_ =
+                "BENCH_" + sanitizeId(id_) + ".selftrace.json";
+        trace::setEnabled(true);
+    }
     tolerance_ = args.getDouble("tolerance", tolerance_);
     // --trace-dir and --html imply profiling so the traces carry
     // critical-path flow arrows and each cell gets its profile and
@@ -223,7 +234,8 @@ Harness::checkBaseline(const std::string &doc) const
 
 void
 Harness::writeHtmlPages(const std::string &doc,
-                        const std::string &verdict_json) const
+                        const std::string &verdict_json,
+                        const std::string &self_profile_json) const
 {
     auto write_page = [&](const std::string &path,
                           const report::HtmlReport &page) {
@@ -258,6 +270,7 @@ Harness::writeHtmlPages(const std::string &doc,
     index.title = id_;
     index.records.emplace_back(id_, doc);
     index.verdict_json = verdict_json;
+    index.self_profile_json = self_profile_json;
     index.links = std::move(cell_links);
     write_page(html_dir_ + "/index.html", index);
     std::printf("wrote %zu explorer page(s) to %s\n",
@@ -267,7 +280,22 @@ Harness::writeHtmlPages(const std::string &doc,
 int
 Harness::finish()
 {
+    trace::Span finish_span(trace::Category::Bench, "finish");
     writeTraceFiles();
+
+    // Host self-trace first, so the export reflects the sweep and the
+    // per-cell serialization — not the report rendering below it. The
+    // summary feeds the Explorer "Engine" tab.
+    std::string self_profile_json;
+    if (!selftrace_path_.empty()) {
+        const trace::CollectedTrace collected = trace::collect();
+        self_profile_json = trace::selfProfileJson(collected);
+        trace::writeExport(selftrace_path_);
+        std::printf("wrote %s (%zu span(s), %llu dropped)\n",
+                    selftrace_path_.c_str(), collected.spans.size(),
+                    static_cast<unsigned long long>(collected.dropped));
+    }
+
     if (json_path_.empty() && baseline_path_.empty() &&
         html_dir_.empty())
         return 0;
@@ -321,7 +349,7 @@ Harness::finish()
     if (!baseline_path_.empty())
         verdict_json = checkBaseline(doc);
     if (!html_dir_.empty())
-        writeHtmlPages(doc, verdict_json);
+        writeHtmlPages(doc, verdict_json, self_profile_json);
     return 0;
 }
 

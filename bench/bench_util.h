@@ -9,7 +9,8 @@
  * per-cell chrome-trace/profile/bundle files, --html DIR for a browsable
  * HTML Schedule Explorer (per-cell pages + an index), --baseline FILE +
  * --tolerance T for an in-process regression check of the fresh
- * record against a committed BENCH_*.json), owns the SweepEngine the bench
+ * record against a committed BENCH_*.json, --self-trace [PATH] for a
+ * host-side engine trace — see docs/SELFTRACE.md), owns the SweepEngine the bench
  * declares its grid into, and collects the rendered tables so the JSON
  * document carries both the formatted tables and the raw per-cell
  * records. Benches keep working with no arguments at all — that is how
@@ -142,16 +143,20 @@ class Harness
 
     /**
      * Render the --html explorer pages: per-cell pages plus an
-     * index.html embedding @p doc and @p verdict_json.
+     * index.html embedding @p doc, @p verdict_json, and (when
+     * --self-trace was given) the engine self-profile for the
+     * "Engine" tab.
      */
     void writeHtmlPages(const std::string &doc,
-                        const std::string &verdict_json) const;
+                        const std::string &verdict_json,
+                        const std::string &self_profile_json) const;
 
     std::string id_;
     std::string json_path_;     // Empty: no JSON requested.
     std::string trace_dir_;     // Empty: no trace files requested.
     std::string html_dir_;      // Empty: no HTML explorer requested.
     std::string baseline_path_; // Empty: no regression check.
+    std::string selftrace_path_; // Empty: no host self-trace export.
     double tolerance_ = 0.25;
     bool profile_ = false;
     std::vector<std::string> argv_; // For the record's meta subtree.

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "common/json.h"
+#include "common/trace.h"
 
 namespace so {
 
@@ -126,13 +127,16 @@ logFormat()
 
 std::string
 formatLogLine(LogLevel level, const std::string &component,
-              const std::string &message, double ts_s, LogFormat format)
+              const std::string &message, double ts_s,
+              std::uint32_t tid, LogFormat format)
 {
     if (format == LogFormat::Human) {
         std::string out;
-        out.reserve(message.size() + 16);
+        out.reserve(message.size() + 20);
         out += '[';
         out += prefix(level);
+        out += " t";
+        out += std::to_string(tid);
         out += "] ";
         out += message;
         return out;
@@ -140,12 +144,14 @@ formatLogLine(LogLevel level, const std::string &component,
     char ts[32];
     std::snprintf(ts, sizeof(ts), "%.6f", ts_s);
     std::string out;
-    out.reserve(message.size() + component.size() + 64);
+    out.reserve(message.size() + component.size() + 72);
     out += "{\"ts_s\":";
     out += ts;
     out += ",\"level\":\"";
     out += prefix(level);
-    out += "\",\"component\":\"";
+    out += "\",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"component\":\"";
     out += JsonWriter::escape(component);
     out += "\",\"message\":\"";
     out += JsonWriter::escape(message);
@@ -192,7 +198,8 @@ emit(LogLevel level, const std::string &msg)
     if (static_cast<int>(level) < static_cast<int>(logLevel()))
         return;
     const std::string line =
-        formatLogLine(level, "so", msg, monotonicSeconds(), logFormat());
+        formatLogLine(level, "so", msg, monotonicSeconds(),
+                      trace::currentTid(), logFormat());
     std::lock_guard<std::mutex> lock(g_mutex);
     std::fprintf(stderr, "%s\n", line.c_str());
 }

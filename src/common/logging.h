@@ -9,6 +9,7 @@
 #ifndef SO_COMMON_LOGGING_H
 #define SO_COMMON_LOGGING_H
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -92,15 +93,17 @@ LogFormat logFormat();
 
 /**
  * Format one log line (without trailing newline) exactly as the sink
- * would emit it: `[level] message` for Human,
- * `{"ts_s":…,"level":"…","component":"…","message":"…"}` for Json
- * (message JSON-escaped, @p ts_s the monotonic seconds since logging
- * started). Pure — exposed so tests pin both formats without
- * capturing stderr.
+ * would emit it: `[level t<tid>] message` for Human,
+ * `{"ts_s":…,"level":"…","tid":…,"component":"…","message":"…"}` for
+ * Json (message JSON-escaped, @p ts_s the monotonic seconds since
+ * logging started). @p tid is the emitting thread's stable small id —
+ * the same numbering so::trace uses in the host Chrome trace and the
+ * heartbeat, so log lines correlate with spans. Pure — exposed so
+ * tests pin both formats without capturing stderr.
  */
 std::string formatLogLine(LogLevel level, const std::string &component,
                           const std::string &message, double ts_s,
-                          LogFormat format);
+                          std::uint32_t tid, LogFormat format);
 
 /** Informative message a user should see but not worry about. */
 template <typename... Args>

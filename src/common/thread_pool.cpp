@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace so {
 
@@ -148,12 +149,14 @@ ThreadPool::workerLoop()
         }
         MetricsRegistry &metrics = MetricsRegistry::global();
         const auto dequeued = std::chrono::steady_clock::now();
-        metrics.observe(
-            "pool.queue_wait_s",
-            std::chrono::duration<double>(dequeued - job.enqueued).count());
+        const double queue_wait =
+            std::chrono::duration<double>(dequeued - job.enqueued).count();
+        metrics.observe("pool.queue_wait_s", queue_wait);
         std::exception_ptr err;
         try {
             ScopedTimer run_timer(metrics, "pool.task_run_s");
+            trace::Span span(trace::Category::Pool, "job");
+            span.arg("queue_wait_s", queue_wait);
             job.fn();
         } catch (...) {
             err = std::current_exception();

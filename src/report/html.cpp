@@ -1,6 +1,7 @@
 #include "report/html.h"
 
 #include "common/json.h"
+#include "common/trace.h"
 #include "report/html_assets.h"
 
 #include <sstream>
@@ -110,6 +111,8 @@ buildDataIsland(const HtmlReport &report)
     appendDocOrNull(out, report.verdict_json);
     out += ",\"diff\":";
     appendDocOrNull(out, report.diff_json);
+    out += ",\"self_profile\":";
+    appendDocOrNull(out, report.self_profile_json);
     out += '}';
     return out;
 }
@@ -154,6 +157,7 @@ escapeJsonForScript(std::string_view json)
 std::string
 renderHtmlReport(const HtmlReport &report)
 {
+    trace::Span span(trace::Category::Render, "explorer-html");
     const std::string title =
         report.title.empty() ? "Schedule Explorer" : report.title;
 

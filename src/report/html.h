@@ -78,6 +78,15 @@ struct HtmlReport
     std::string diff_json;
 
     /**
+     * Engine self-profile JSON (trace::selfProfileJson): renders as an
+     * "Engine" tab — host wall time by category, per-worker busy
+     * fractions, queue-wait percentiles, cache latency split. This is
+     * the *host* engine view (docs/SELFTRACE.md), distinct from the
+     * simulated-schedule views above.
+     */
+    std::string self_profile_json;
+
+    /**
      * (label, href) pairs rendered as a navigation list — how a bench
      * index page links its per-cell pages. Hrefs are expected to be
      * relative; they are escaped but not validated.

@@ -1382,6 +1382,76 @@ const char kExplorerJs[] = R"SOJS(
           }));
   }
 
+  // ------------------------------------------------------ engine tab
+  function renderEngine(doc) {
+    var sec = section('Engine',
+        'Host-side self-profile (docs/SELFTRACE.md): where the ' +
+        'engine’s own wall-clock went, not the simulated ' +
+        'schedule’s. Categories are so::trace spans; workers ' +
+        'are ThreadPool threads.');
+    var wall = doc.wall_s || 0;
+    var cats = doc.categories || {};
+    var parts = Object.keys(cats).map(function (name) {
+      return [name, cats[name].total_s || 0];
+    }).sort(function (a, b) { return b[1] - a[1]; });
+    if (parts.length) {
+      sec.appendChild(el('p', 'so-note',
+          'wall ' + fmtS(wall) + ' · ' +
+          fmtNum(doc.spans || 0) + ' span(s)' +
+          (doc.dropped ? ' · ' + fmtNum(doc.dropped) +
+              ' dropped (ring overflow)' : '')));
+      stackedBar(sec, parts, wall, phaseColor);
+      phaseLegend(sec, parts);
+      dataTable(sec, 'wall time by category',
+          ['category', 'spans', 'total', 'share of wall'],
+          parts.map(function (p) {
+            return [p[0], fmtNum(cats[p[0]].count || 0), fmtS(p[1]),
+                wall > 0 ? (100 * p[1] / wall).toFixed(1) + '%' : '-'];
+          }));
+    }
+    var workers = doc.workers || [];
+    if (workers.length) {
+      var strips = el('div');
+      workers.forEach(function (w) {
+        var row = el('div', 'so-striprow');
+        row.appendChild(el('span', 'name', 't' + w.tid));
+        var strip = el('div', 'so-strip');
+        var busy = w.busy_s || 0;
+        var idle = Math.max(0, wall - busy);
+        [['busy', busy, '--busy'],
+         ['idle', idle, '--cause-tail']].forEach(function (part) {
+          if (!(part[1] > 0)) return;
+          var seg = el('i');
+          seg.style.background = cssVar(part[2]);
+          seg.style.flexGrow = String(part[1]);
+          hover(seg, function () {
+            return ['t' + w.tid + ' · ' + part[0],
+                [['seconds', fmtS(part[1])],
+                 ['jobs', fmtNum(w.jobs || 0)]]];
+          });
+          strip.appendChild(seg);
+        });
+        row.appendChild(strip);
+        row.appendChild(el('span', 'val',
+            (100 * (w.busy_frac || 0)).toFixed(1) + '% busy'));
+        strips.appendChild(row);
+      });
+      sec.appendChild(strips);
+    }
+    var qw = doc.queue_wait || null;
+    var cache = doc.cache || null;
+    var notes = [];
+    if (qw && qw.count)
+      notes.push('queue wait: p50 ' + fmtS(qw.p50_s) + ', p95 ' +
+          fmtS(qw.p95_s) + ' over ' + fmtNum(qw.count) + ' job(s)');
+    if (cache && (cache.hits || cache.misses))
+      notes.push('cache probes: ' + fmtNum(cache.hits) + ' hit(s) @ ' +
+          fmtS(cache.hit_mean_s) + ' · ' + fmtNum(cache.misses) +
+          ' miss(es) @ ' + fmtS(cache.miss_mean_s));
+    if (notes.length)
+      sec.appendChild(el('p', 'so-note', notes.join(' · ')));
+  }
+
   // ------------------------------------------------------------ main
   try {
     (DATA.schedules || []).forEach(renderGantt);
@@ -1389,6 +1459,7 @@ const char kExplorerJs[] = R"SOJS(
       renderProfile(p.label, p.doc);
     });
     if (DATA.diff) renderDiff(DATA.diff);
+    if (DATA.self_profile) renderEngine(DATA.self_profile);
     (DATA.records || []).forEach(function (r) {
       if (r.doc && Array.isArray(r.doc.cells))
         renderCellsRecord(r.label, r.doc);

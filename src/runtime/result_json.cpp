@@ -2,12 +2,14 @@
 
 #include "common/json.h"
 #include "common/schema.h"
+#include "common/trace.h"
 
 namespace so::runtime {
 
 void
 writeIterationJson(JsonWriter &json, const IterationResult &result)
 {
+    trace::Span span(trace::Category::Serialize, "iteration-json");
     json.beginObject();
     json.field("schema_version", kSchemaVersion);
     json.field("feasible", result.feasible);

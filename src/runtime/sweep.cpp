@@ -1,6 +1,7 @@
 #include "runtime/sweep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -11,6 +12,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "hw/memory.h"
 #include "runtime/result_json.h"
 
@@ -225,9 +227,15 @@ SweepEngine::run()
         SweepCell &cell = cells_[i];
         if (cell.evaluated)
             continue; // Cache hit from an earlier, aborted run().
-        std::string key = fingerprint(*cell.system, cell.setup);
+        std::string key;
+        {
+            trace::Span span(trace::Category::Sweep, "fingerprint");
+            key = fingerprint(*cell.system, cell.setup);
+        }
         if (options_.cache) {
+            trace::Span probe(trace::Category::Sweep, "cache-probe");
             const auto hit = cache_.find(key);
+            probe.arg("hit", hit != cache_.end() ? 1.0 : 0.0);
             if (hit != cache_.end()) {
                 cell.result = hit->second;
                 cell.evaluated = true;
@@ -259,12 +267,17 @@ SweepEngine::run()
         std::size_t cand;
     };
     std::vector<Unit> units;
-    for (std::size_t p = 0; p < pending.size(); ++p) {
-        const SweepCell &cell = cells_[pending[p].first_cell];
-        pending[p].cands = cell.system->enumerateCandidates(cell.setup);
-        pending[p].results.resize(pending[p].cands.size());
-        for (std::size_t c = 0; c < pending[p].cands.size(); ++c)
-            units.push_back(Unit{p, c});
+    {
+        trace::Span span(trace::Category::Sweep, "enumerate");
+        for (std::size_t p = 0; p < pending.size(); ++p) {
+            const SweepCell &cell = cells_[pending[p].first_cell];
+            pending[p].cands =
+                cell.system->enumerateCandidates(cell.setup);
+            pending[p].results.resize(pending[p].cands.size());
+            for (std::size_t c = 0; c < pending[p].cands.size(); ++c)
+                units.push_back(Unit{p, c});
+        }
+        span.arg("units", static_cast<double>(units.size()));
     }
     metrics.add("sweep.candidates",
                 static_cast<std::int64_t>(units.size()));
@@ -278,13 +291,43 @@ SweepEngine::run()
 
     // Simulate. Every unit writes its own preallocated slot, so the
     // stored results are independent of thread scheduling.
+    trace::progressBegin(units.size(), hits_ - batch_hits_before);
+    // Progress lines are throttled through one atomic deadline; any
+    // worker past it prints (output order is cosmetic, results are not).
+    std::atomic<std::int64_t> next_progress_ms{2000};
     auto simulate_unit = [&](const Unit &unit) {
         ScopedTimer timer(MetricsRegistry::global(), "sweep.sim_s");
+        trace::Span span(trace::Category::Sweep, "evaluate");
         Pending &p = pending[unit.pending];
         const SweepCell &cell = cells_[p.first_cell];
         p.results[unit.cand] =
             cell.system->evaluateCandidate(cell.setup,
                                            p.cands[unit.cand]);
+        span.end();
+        trace::progressTick();
+        if (!options_.progress)
+            return;
+        const trace::ProgressSnapshot prog = trace::progressSnapshot();
+        const auto elapsed_ms =
+            static_cast<std::int64_t>(prog.elapsed_s * 1e3);
+        std::int64_t deadline =
+            next_progress_ms.load(std::memory_order_relaxed);
+        if (elapsed_ms < deadline ||
+            prog.done_units >= prog.total_units ||
+            !next_progress_ms.compare_exchange_strong(
+                deadline, elapsed_ms + 2000, std::memory_order_relaxed))
+            return;
+        // ETA from the completed-unit rate; omitted until estimable
+        // (too few completions extrapolate garbage).
+        char eta[48];
+        if (prog.eta_s >= 0.0)
+            std::snprintf(eta, sizeof(eta), ", eta %.1f s", prog.eta_s);
+        else
+            eta[0] = '\0';
+        inform("sweep", options_.name.empty() ? "" : " ",
+               options_.name, ": ", prog.done_units, "/",
+               prog.total_units, " simulation(s) (",
+               prog.cached_cells, " cached)", eta);
     };
     if (jobs_ <= 1 || units.size() <= 1) {
         for (const Unit &unit : units)
@@ -297,16 +340,20 @@ SweepEngine::run()
             });
         workers.wait(); // Rethrows the first worker exception.
     }
+    trace::progressEnd();
 
     // Reduce per cell in enumeration order (deterministic argmax).
-    for (Pending &p : pending) {
-        const SweepCell &cell = cells_[p.first_cell];
-        p.best = cell.system->selectBest(cell.setup, p.cands,
-                                         std::move(p.results));
-        if (options_.cache)
-            cache_.emplace(p.key, p.best);
-        ++misses_;
-        metrics.add("sweep.cache_misses");
+    {
+        trace::Span span(trace::Category::Sweep, "select");
+        for (Pending &p : pending) {
+            const SweepCell &cell = cells_[p.first_cell];
+            p.best = cell.system->selectBest(cell.setup, p.cands,
+                                             std::move(p.results));
+            if (options_.cache)
+                cache_.emplace(p.key, p.best);
+            ++misses_;
+            metrics.add("sweep.cache_misses");
+        }
     }
 
     for (std::size_t i = next_unrun_; i < cells_.size(); ++i) {
@@ -455,6 +502,7 @@ SweepEngine::writeCells(JsonWriter &json) const
 std::string
 SweepEngine::json() const
 {
+    trace::Span span(trace::Category::Serialize, "sweep-json");
     JsonWriter json;
     json.beginObject();
     json.field("schema_version", kSchemaVersion);

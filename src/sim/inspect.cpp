@@ -5,6 +5,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/schema.h"
+#include "common/trace.h"
 #include "sim/trace.h"
 
 namespace so::sim {
@@ -131,6 +132,8 @@ makeInspectionBundle(const TaskGraph &graph, const Schedule &schedule,
 std::string
 bundleToJson(const InspectionBundle &bundle)
 {
+    so::trace::Span span(so::trace::Category::Serialize,
+                         "bundle-json");
     JsonWriter json;
     json.beginObject();
     json.field("schema_version", kSchemaVersion);

@@ -7,6 +7,7 @@
 #include "common/json.h"
 #include "common/schema.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "sim/trace.h"
 
 namespace so::sim {
@@ -54,6 +55,7 @@ blockingDep(const TaskGraph &graph, const Schedule &schedule, TaskId task)
 ScheduleProfile
 profileSchedule(const TaskGraph &graph, const Schedule &schedule)
 {
+    trace::Span span(trace::Category::Profile, "profile");
     const std::size_t n = graph.taskCount();
     SO_ASSERT(schedule.start.size() == n && schedule.finish.size() == n,
               "schedule does not match graph");
@@ -260,6 +262,7 @@ EnergyProfile
 attributeEnergy(const TaskGraph &graph, const Schedule &schedule,
                 const ScheduleProfile &profile, const EnergyInputs &inputs)
 {
+    trace::Span span(trace::Category::Profile, "energy");
     const std::size_t n = graph.taskCount();
     SO_ASSERT(profile.resources.size() == graph.resourceCount(),
               "profile does not match graph");
@@ -360,6 +363,7 @@ profileToJson(const ScheduleProfile &profile, const TaskGraph &graph,
               const Schedule &schedule, std::size_t top_slack,
               const EnergyProfile *energy)
 {
+    trace::Span span(trace::Category::Serialize, "profile-json");
     JsonWriter json;
     json.beginObject();
     json.field("schema_version", kSchemaVersion);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace so::sim {
 
@@ -141,6 +142,8 @@ Scheduler::run(const TaskGraph &graph, Workspace &ws,
 {
     const std::size_t n = graph.taskCount();
     const std::size_t nres = graph.resourceCount();
+    trace::Span span(trace::Category::Sim, "schedule");
+    span.arg("tasks", static_cast<double>(n));
 
     Schedule &schedule = out;
     // Sizing only, no value-init: every task's start/finish is stored

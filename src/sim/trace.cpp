@@ -7,6 +7,7 @@
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "sim/profiler.h"
 
 namespace so::sim {
@@ -46,6 +47,8 @@ writeBaseEvents(std::ostringstream &os, const TaskGraph &graph,
 std::string
 toChromeTrace(const TaskGraph &graph, const Schedule &schedule)
 {
+    so::trace::Span span(so::trace::Category::Serialize,
+                         "chrome-trace");
     std::ostringstream os;
     os << "{\"traceEvents\":[";
     writeBaseEvents(os, graph, schedule);
@@ -57,6 +60,8 @@ std::string
 toChromeTrace(const TaskGraph &graph, const Schedule &schedule,
               const ScheduleProfile &profile)
 {
+    so::trace::Span span(so::trace::Category::Serialize,
+                         "chrome-trace");
     std::ostringstream os;
     os << "{\"traceEvents\":[";
     writeBaseEvents(os, graph, schedule);

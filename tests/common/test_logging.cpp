@@ -4,6 +4,8 @@
 
 #include <cstdlib>
 
+#include "common/json.h"
+
 namespace so {
 namespace {
 
@@ -74,26 +76,41 @@ TEST(Logging, FormatRoundTrip)
 
 TEST(Logging, HumanLineShapeIsPinned)
 {
-    EXPECT_EQ(formatLogLine(LogLevel::Info, "so", "ready", 1.5,
+    // The tN token is the emitting thread's stable trace tid, shared
+    // with the host Chrome trace and heartbeat (docs/SELFTRACE.md).
+    EXPECT_EQ(formatLogLine(LogLevel::Info, "so", "ready", 1.5, 0,
                             LogFormat::Human),
-              "[info] ready");
-    EXPECT_EQ(formatLogLine(LogLevel::Warn, "so", "careful", 0.0,
+              "[info t0] ready");
+    EXPECT_EQ(formatLogLine(LogLevel::Warn, "so", "careful", 0.0, 3,
                             LogFormat::Human),
-              "[warn] careful");
+              "[warn t3] careful");
 }
 
 TEST(Logging, JsonLineShapeIsPinned)
 {
-    EXPECT_EQ(formatLogLine(LogLevel::Error, "so", "boom", 1.25,
+    EXPECT_EQ(formatLogLine(LogLevel::Error, "so", "boom", 1.25, 0,
                             LogFormat::Json),
-              "{\"ts_s\":1.250000,\"level\":\"error\","
+              "{\"ts_s\":1.250000,\"level\":\"error\",\"tid\":0,"
               "\"component\":\"so\",\"message\":\"boom\"}");
     // Quotes and backslashes in the message stay valid JSON.
     EXPECT_EQ(formatLogLine(LogLevel::Debug, "so", "path \"a\\b\"", 0.0,
-                            LogFormat::Json),
-              "{\"ts_s\":0.000000,\"level\":\"debug\","
+                            7, LogFormat::Json),
+              "{\"ts_s\":0.000000,\"level\":\"debug\",\"tid\":7,"
               "\"component\":\"so\","
               "\"message\":\"path \\\"a\\\\b\\\"\"}");
+}
+
+TEST(Logging, JsonLineParsesAndCarriesTid)
+{
+    // Beyond the byte-for-byte pin above: every JSONL line is valid
+    // JSON whose tid round-trips as a number.
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::parse(
+        formatLogLine(LogLevel::Info, "so", "x", 2.0, 5,
+                      LogFormat::Json),
+        doc));
+    EXPECT_EQ(doc.at("tid").number(), 5.0);
+    EXPECT_EQ(doc.at("level").text(), "info");
 }
 
 TEST(Logging, EnvironmentVariableSetsFormat)

@@ -290,6 +290,76 @@ TEST(HtmlReportRender, MeteredBundleShipsThePowerTimelineOffline)
         bundle.at("tasks").items()[0].at("power_w").number(), 700.0);
 }
 
+TEST(HtmlReportRender, EngineTabRendersOfflineAndXssPinned)
+{
+    // The Engine tab embeds the host self-profile (so::trace
+    // selfProfileJson) like every other section: validated into the
+    // island, rendered by inline JS, no external references — and a
+    // hostile document cannot escape.
+    HtmlReport report;
+    report.title = "engine";
+    report.self_profile_json =
+        R"({"schema_version":2,"kind":"self_profile","pid":1,)"
+        R"("wall_s":2.0,"spans":10,"dropped":0,)"
+        R"("categories":{"pool":{"count":8,"total_s":1.5},)"
+        R"("sweep":{"count":2,"total_s":0.4}},)"
+        R"("workers":[{"tid":1,"jobs":4,"busy_s":0.8,"busy_frac":0.4},)"
+        R"({"tid":2,"jobs":4,"busy_s":0.7,"busy_frac":0.35}],)"
+        R"("queue_wait":{"count":8,"mean_s":0.001,)"
+        R"("p50_s":0.001,"p95_s":0.002},)"
+        R"("cache":{"hits":3,"misses":7,)"
+        R"("hit_mean_s":1e-6,"miss_mean_s":0.05}})";
+    const std::string html = renderHtmlReport(report);
+
+    // The renderer ships in the page and stays self-contained.
+    EXPECT_NE(html.find("renderEngine"), std::string::npos);
+    EXPECT_NE(html.find("'Engine'"), std::string::npos);
+    EXPECT_EQ(html.find("http://"), std::string::npos);
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+
+    // The island carries the document under the self_profile key.
+    JsonValue island;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(extractDataIsland(html), island,
+                                 &error))
+        << error;
+    const JsonValue &profile = island.at("self_profile");
+    EXPECT_EQ(profile.at("kind").text(), "self_profile");
+    EXPECT_DOUBLE_EQ(
+        profile.at("categories").at("pool").at("total_s").number(),
+        1.5);
+    EXPECT_EQ(profile.at("workers").items().size(), 2u);
+}
+
+TEST(HtmlReportRender, HostileSelfProfileCannotEscapeTheIsland)
+{
+    // A category key carrying a script-closing tag must be <-
+    // escaped inside the island, and a malformed document degrades to
+    // null instead of breaking the page.
+    HtmlReport hostile;
+    hostile.self_profile_json =
+        R"({"kind":"self_profile","wall_s":1.0,"spans":1,"dropped":0,)"
+        R"("categories":{"</script><script>alert(11)</script>":)"
+        R"({"count":1,"total_s":1.0}},"workers":[],)"
+        R"("queue_wait":{"count":0,"mean_s":0,"p50_s":0,"p95_s":0},)"
+        R"("cache":{"hits":0,"misses":0,"hit_mean_s":0,)"
+        R"("miss_mean_s":0}})";
+    const std::string html = renderHtmlReport(hostile);
+    EXPECT_EQ(html.find("<script>alert(11)"), std::string::npos);
+    const std::string island = extractDataIsland(html);
+    ASSERT_FALSE(island.empty());
+    EXPECT_EQ(island.find('<'), std::string::npos);
+
+    HtmlReport broken;
+    broken.self_profile_json = "{not json";
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(
+        extractDataIsland(renderHtmlReport(broken)), parsed, &error))
+        << error;
+    EXPECT_TRUE(parsed.at("self_profile").isNull());
+}
+
 TEST(HtmlReportRender, EmptyReportStillRenders)
 {
     const std::string html = renderHtmlReport(HtmlReport{});

@@ -33,16 +33,21 @@
  * only add fields.
  */
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/argparse.h"
 #include "common/json.h"
+#include "common/metrics.h"
 #include "common/schema.h"
+#include "common/trace.h"
 #include "report/diff.h"
 #include "report/history.h"
 #include "report/html.h"
@@ -70,9 +75,12 @@ usage(std::FILE *out)
         "[--history FILE]\n"
         "            [--verdict FILE] [--title T] "
         "[--out report.html]\n"
+        "  so-report selftrace TRACE.json [--top K]\n"
         "Inputs: profile documents, planner reports, result JSON, or\n"
         "sweep/bench records (--cell selects by index, system, or "
-        "tag).\n");
+        "tag).\n"
+        "selftrace reads a host self-trace (--self-trace / SO_TRACE,\n"
+        "see docs/SELFTRACE.md) or its .selfprofile.json summary.\n");
     return out == stdout ? 0 : 1;
 }
 
@@ -323,9 +331,251 @@ cmdTop(const ArgParser &args)
 }
 
 /**
+ * One summarized category/worker row of a host self-trace, accumulated
+ * from either a Chrome trace's events or a self-profile document.
+ */
+struct SelftraceSummary
+{
+    double wall_s = 0.0;
+    std::uint64_t spans = 0;
+    std::uint64_t dropped = 0;
+    /** name -> (count, seconds), printed largest-seconds first. */
+    std::vector<std::pair<std::string, std::pair<std::uint64_t, double>>>
+        categories;
+    struct Worker
+    {
+        std::int64_t tid = 0;
+        std::uint64_t jobs = 0;
+        double busy_s = 0.0;
+    };
+    std::vector<Worker> workers;
+    std::uint64_t wait_count = 0;
+    double wait_mean = 0.0, wait_p50 = 0.0, wait_p95 = 0.0;
+};
+
+void
+bumpCategory(SelftraceSummary &sum, const std::string &name,
+             std::uint64_t count, double seconds)
+{
+    for (auto &cat : sum.categories) {
+        if (cat.first == name) {
+            cat.second.first += count;
+            cat.second.second += seconds;
+            return;
+        }
+    }
+    sum.categories.emplace_back(name, std::make_pair(count, seconds));
+}
+
+/**
+ * Summarize a host Chrome trace (trace::toChromeTrace output): walk the
+ * complete events, fold durations per category and per worker, and
+ * feed queue-wait args through a MetricsRegistry histogram so the
+ * percentiles reuse the same reservoir machinery as every other p50/p95
+ * in the stack.
+ */
+bool
+summarizeChromeTrace(const JsonValue &doc, SelftraceSummary &sum)
+{
+    const JsonValue *events = doc.find("traceEvents");
+    if (!events || !events->isArray())
+        return false;
+    MetricsRegistry local;
+    double t_min = 0.0, t_max = 0.0;
+    bool seen = false;
+    std::map<std::int64_t, SelftraceSummary::Worker> workers;
+    for (const JsonValue &ev : events->items()) {
+        if (!ev.isObject())
+            continue;
+        const JsonValue *ph = ev.find("ph");
+        if (!ph || !ph->isString())
+            continue;
+        const JsonValue *args = ev.find("args");
+        if (ph->text() == "C") {
+            // dropped_spans counters (ring overflow).
+            if (args && args->isObject()) {
+                const JsonValue *d = args->find("dropped");
+                if (d && d->isNumber())
+                    sum.dropped +=
+                        static_cast<std::uint64_t>(d->number());
+            }
+            continue;
+        }
+        if (ph->text() != "X")
+            continue;
+        const JsonValue *ts = ev.find("ts");
+        const JsonValue *dur = ev.find("dur");
+        const JsonValue *cat = ev.find("cat");
+        const JsonValue *name = ev.find("name");
+        const JsonValue *tid = ev.find("tid");
+        if (!ts || !ts->isNumber() || !dur || !dur->isNumber())
+            continue;
+        const double t0 = ts->number() / 1e6;
+        const double len = dur->number() / 1e6;
+        t_min = seen ? std::min(t_min, t0) : t0;
+        t_max = seen ? std::max(t_max, t0 + len) : t0 + len;
+        seen = true;
+        ++sum.spans;
+        bumpCategory(sum,
+                     cat && cat->isString() ? cat->text() : "other", 1,
+                     len);
+        if (name && name->isString() && name->text() == "job" && tid &&
+            tid->isNumber()) {
+            SelftraceSummary::Worker &w =
+                workers[static_cast<std::int64_t>(tid->number())];
+            w.tid = static_cast<std::int64_t>(tid->number());
+            ++w.jobs;
+            w.busy_s += len;
+            if (args && args->isObject()) {
+                const JsonValue *wait = args->find("queue_wait_s");
+                if (wait && wait->isNumber())
+                    local.observe("queue_wait_s", wait->number());
+            }
+        }
+    }
+    sum.wall_s = seen ? t_max - t_min : 0.0;
+    for (const auto &[tid, worker] : workers)
+        sum.workers.push_back(worker);
+    const MetricsSnapshot snap = local.snapshot();
+    if (const HistogramValue *wait = snap.histogram("queue_wait_s")) {
+        sum.wait_count = wait->count;
+        sum.wait_mean = wait->mean();
+        sum.wait_p50 = wait->quantile(0.50);
+        sum.wait_p95 = wait->quantile(0.95);
+    }
+    return true;
+}
+
+/** Summarize a self-profile document (trace::selfProfileJson). */
+bool
+summarizeSelfProfile(const JsonValue &doc, SelftraceSummary &sum)
+{
+    const JsonValue *kind = doc.find("kind");
+    if (!kind || !kind->isString() || kind->text() != "self_profile")
+        return false;
+    if (const JsonValue *v = doc.find("wall_s"); v && v->isNumber())
+        sum.wall_s = v->number();
+    if (const JsonValue *v = doc.find("spans"); v && v->isNumber())
+        sum.spans = static_cast<std::uint64_t>(v->number());
+    if (const JsonValue *v = doc.find("dropped"); v && v->isNumber())
+        sum.dropped = static_cast<std::uint64_t>(v->number());
+    if (const JsonValue *cats = doc.find("categories");
+        cats && cats->isObject()) {
+        for (const auto &[name, cat] : cats->members()) {
+            if (!cat.isObject())
+                continue;
+            const JsonValue *count = cat.find("count");
+            const JsonValue *total = cat.find("total_s");
+            bumpCategory(sum, name,
+                         count && count->isNumber()
+                             ? static_cast<std::uint64_t>(count->number())
+                             : 0,
+                         total && total->isNumber() ? total->number()
+                                                    : 0.0);
+        }
+    }
+    if (const JsonValue *workers = doc.find("workers");
+        workers && workers->isArray()) {
+        for (const JsonValue &w : workers->items()) {
+            if (!w.isObject())
+                continue;
+            SelftraceSummary::Worker worker;
+            if (const JsonValue *v = w.find("tid"); v && v->isNumber())
+                worker.tid = static_cast<std::int64_t>(v->number());
+            if (const JsonValue *v = w.find("jobs"); v && v->isNumber())
+                worker.jobs = static_cast<std::uint64_t>(v->number());
+            if (const JsonValue *v = w.find("busy_s");
+                v && v->isNumber())
+                worker.busy_s = v->number();
+            sum.workers.push_back(worker);
+        }
+    }
+    if (const JsonValue *wait = doc.find("queue_wait");
+        wait && wait->isObject()) {
+        if (const JsonValue *v = wait->find("count"); v && v->isNumber())
+            sum.wait_count = static_cast<std::uint64_t>(v->number());
+        if (const JsonValue *v = wait->find("mean_s"); v && v->isNumber())
+            sum.wait_mean = v->number();
+        if (const JsonValue *v = wait->find("p50_s"); v && v->isNumber())
+            sum.wait_p50 = v->number();
+        if (const JsonValue *v = wait->find("p95_s"); v && v->isNumber())
+            sum.wait_p95 = v->number();
+    }
+    return true;
+}
+
+int
+cmdSelftrace(const ArgParser &args)
+{
+    const std::vector<std::string> &files = args.positional();
+    if (files.size() != 2)
+        return usage(stderr);
+    JsonValue doc;
+    if (!parseFile(files[1], doc))
+        return 1;
+    SelftraceSummary sum;
+    if (!doc.isObject() || (!summarizeChromeTrace(doc, sum) &&
+                            !summarizeSelfProfile(doc, sum))) {
+        std::fprintf(stderr,
+                     "so-report: %s is neither a host Chrome trace "
+                     "(traceEvents) nor a self_profile document\n",
+                     files[1].c_str());
+        return 1;
+    }
+
+    std::printf("%s: wall %.6f s, %llu span(s)", files[1].c_str(),
+                sum.wall_s,
+                static_cast<unsigned long long>(sum.spans));
+    if (sum.dropped > 0)
+        std::printf(", %llu dropped (ring overflow)",
+                    static_cast<unsigned long long>(sum.dropped));
+    std::printf("\n");
+
+    const std::size_t top_k = static_cast<std::size_t>(
+        std::max(1LL, args.getInt("top", 10)));
+    std::sort(sum.categories.begin(), sum.categories.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.second != b.second.second)
+                      return a.second.second > b.second.second;
+                  return a.first < b.first;
+              });
+    std::printf("wall time by category (largest first):\n");
+    for (std::size_t i = 0;
+         i < sum.categories.size() && i < top_k; ++i) {
+        const auto &cat = sum.categories[i];
+        std::printf("  %-12s %10.6f s  %8llu span(s)  %5.1f%%\n",
+                    cat.first.c_str(), cat.second.second,
+                    static_cast<unsigned long long>(cat.second.first),
+                    sum.wall_s > 0.0
+                        ? 100.0 * cat.second.second / sum.wall_s
+                        : 0.0);
+    }
+    if (!sum.workers.empty()) {
+        std::printf("worker utilization (ThreadPool jobs):\n");
+        std::printf("  %-8s %10s %12s %8s\n", "worker", "jobs",
+                    "busy", "busy%");
+        for (const SelftraceSummary::Worker &w : sum.workers)
+            std::printf("  t%-7lld %10llu %10.6f s %7.1f%%\n",
+                        static_cast<long long>(w.tid),
+                        static_cast<unsigned long long>(w.jobs),
+                        w.busy_s,
+                        sum.wall_s > 0.0
+                            ? 100.0 * w.busy_s / sum.wall_s
+                            : 0.0);
+    }
+    if (sum.wait_count > 0)
+        std::printf("queue wait over %llu job(s): mean %.6f s, "
+                    "p50 %.6f s, p95 %.6f s\n",
+                    static_cast<unsigned long long>(sum.wait_count),
+                    sum.wait_mean, sum.wait_p50, sum.wait_p95);
+    return 0;
+}
+
+/**
  * Drop @p path's document into the section of @p page its shape
- * matches: inspection bundle, profile, diff, verdict, or (the default)
- * a record. Returns false only when the file cannot be read/parsed.
+ * matches: inspection bundle, profile, self-profile, diff, verdict, or
+ * (the default) a record. Returns false only when the file cannot be
+ * read/parsed.
  */
 bool
 classifyInput(const std::string &path, report::HtmlReport &page)
@@ -358,6 +608,10 @@ classifyInput(const std::string &path, report::HtmlReport &page)
     if (kind && kind->isString() &&
         kind->text() == "inspection_bundle") {
         page.schedules.push_back(std::move(text));
+        return true;
+    }
+    if (kind && kind->isString() && kind->text() == "self_profile") {
+        page.self_profile_json = std::move(text);
         return true;
     }
     if (doc.find("makespan_s") && doc.find("critical_path")) {
@@ -441,6 +695,7 @@ cmdHtml(const ArgParser &args)
 int
 main(int argc, char **argv)
 {
+    so::trace::initFromEnv();
     const ArgParser args(argc, argv);
     if (args.has("help"))
         return usage(stdout);
@@ -448,14 +703,26 @@ main(int argc, char **argv)
     if (positional.empty())
         return usage(stderr);
     const std::string &command = positional[0];
-    if (command == "diff")
+    if (command == "diff") {
+        so::trace::Span span(so::trace::Category::Report, "diff");
         return cmdDiff(args);
-    if (command == "check")
+    }
+    if (command == "check") {
+        so::trace::Span span(so::trace::Category::Report, "check");
         return cmdCheck(args);
-    if (command == "top")
+    }
+    if (command == "top") {
+        so::trace::Span span(so::trace::Category::Report, "top");
         return cmdTop(args);
-    if (command == "html")
+    }
+    if (command == "html") {
+        so::trace::Span span(so::trace::Category::Report, "html");
         return cmdHtml(args);
+    }
+    if (command == "selftrace") {
+        so::trace::Span span(so::trace::Category::Report, "selftrace");
+        return cmdSelftrace(args);
+    }
     std::fprintf(stderr, "so-report: unknown subcommand '%s'\n",
                  command.c_str());
     return usage(stderr);
