@@ -18,12 +18,18 @@
  * CI's perf-smoke step records the numbers without gating on them,
  * using --max-tasks to keep the wall-time budget (the committed
  * baseline still carries every size; missing sizes are reported as
- * missing metrics, not failures).
+ * missing metrics, not failures). --trace-dir DIR additionally
+ * profiles each measured size and streams the Chrome trace, profile
+ * document, and chunked bundle shards there; --detail picks the
+ * profiling level of detail (default auto: Summary at >= 200k tasks),
+ * so even the 1M/10M sizes export under a bounded memory footprint.
  */
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -32,7 +38,10 @@
 #include "common/trace.h"
 #include "report/history.h"
 #include "sim/graph.h"
+#include "sim/inspect.h"
+#include "sim/profiler.h"
 #include "sim/scheduler.h"
+#include "sim/trace.h"
 
 namespace {
 
@@ -155,6 +164,65 @@ measure(std::size_t target_tasks, so::MetricsRegistry &metrics)
     return out;
 }
 
+/**
+ * Profile one size and stream the full artifact set to @p dir:
+ * `sim_kernel_<N>.trace.json` (Chrome trace), `.profile.json`, and
+ * `.bundle.jsonl` (chunked shards). Everything is streamed, and at
+ * Auto detail the big sizes profile in Summary mode, so peak memory
+ * stays bounded even at 10M tasks (docs/OBSERVABILITY.md).
+ */
+bool
+exportArtifacts(std::size_t target_tasks,
+                const so::sim::ProfileOptions &options,
+                const std::string &dir)
+{
+    const TaskGraph g = buildGraph(target_tasks);
+    Scheduler::Workspace ws;
+    so::sim::Schedule sched;
+    Scheduler().run(g, ws, sched);
+    const so::sim::ScheduleProfile prof =
+        so::sim::profileSchedule(g, sched, options);
+
+    const std::string stem =
+        dir + "/sim_kernel_" + std::to_string(target_tasks);
+    {
+        std::ofstream out(stem + ".trace.json", std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s.trace.json\n",
+                         stem.c_str());
+            return false;
+        }
+        so::sim::streamChromeTrace(out, g, sched, prof);
+        if (!out.flush()) {
+            std::fprintf(stderr, "short write on %s.trace.json\n",
+                         stem.c_str());
+            return false;
+        }
+    }
+    {
+        std::ofstream out(stem + ".profile.json", std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s.profile.json\n",
+                         stem.c_str());
+            return false;
+        }
+        so::sim::streamProfileJson(out, prof, g, sched);
+        if (!out.flush()) {
+            std::fprintf(stderr, "short write on %s.profile.json\n",
+                         stem.c_str());
+            return false;
+        }
+    }
+    if (!so::sim::writeBundleShards(stem + ".bundle.jsonl", g, sched,
+                                    prof, "sim_kernel"))
+        return false;
+    std::printf("%10zu   wrote %s.{trace.json,profile.json,"
+                "bundle.jsonl}%s\n",
+                target_tasks, stem.c_str(),
+                prof.summarized ? " (summary detail)" : "");
+    return true;
+}
+
 } // namespace
 
 int
@@ -165,6 +233,8 @@ main(int argc, char **argv)
     so::trace::initFromEnv();
     std::string json_path;
     std::string baseline_path;
+    std::string trace_dir;
+    std::string detail = "auto";
     double tolerance = 0.25;
     std::size_t max_tasks = 0; // 0 = no cap.
     for (int i = 1; i < argc; ++i) {
@@ -182,12 +252,43 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             max_tasks = static_cast<std::size_t>(
                 std::strtoull(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--trace-dir") == 0 &&
+                   i + 1 < argc) {
+            trace_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--detail") == 0 &&
+                   i + 1 < argc) {
+            detail = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--json [path]] [--baseline FILE]"
-                         " [--tolerance T] [--max-tasks N]\n",
+                         " [--tolerance T] [--max-tasks N]"
+                         " [--trace-dir DIR]"
+                         " [--detail auto|full|summary]\n",
                          argv[0]);
             return 2;
+        }
+    }
+
+    so::sim::ProfileOptions profile_options;
+    if (detail == "full")
+        profile_options.detail = so::sim::ProfileOptions::Detail::Full;
+    else if (detail == "summary")
+        profile_options.detail =
+            so::sim::ProfileOptions::Detail::Summary;
+    else if (detail != "auto") {
+        std::fprintf(stderr,
+                     "unknown --detail %s (expected auto, full, or "
+                     "summary)\n",
+                     detail.c_str());
+        return 2;
+    }
+    if (!trace_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(trace_dir, ec);
+        if (ec) {
+            std::fprintf(stderr, "cannot create %s: %s\n",
+                         trace_dir.c_str(), ec.message().c_str());
+            return 1;
         }
     }
 
@@ -202,8 +303,10 @@ main(int argc, char **argv)
     std::vector<SizeResult> results;
     for (std::size_t size : sizes) {
         if (max_tasks != 0 && size > max_tasks) {
-            std::printf("%10zu   (skipped: --max-tasks %zu)\n", size,
-                        max_tasks);
+            // Notice goes to stderr: stdout stays a clean table for
+            // anything scraping the bench output.
+            std::fprintf(stderr, "%10zu   (skipped: --max-tasks %zu)\n",
+                         size, max_tasks);
             continue;
         }
         const SizeResult r = measure(size, metrics);
@@ -216,6 +319,9 @@ main(int argc, char **argv)
             return 1;
         }
         results.push_back(r);
+        if (!trace_dir.empty() &&
+            !exportArtifacts(size, profile_options, trace_dir))
+            return 1;
     }
 
     if (!json_path.empty() || !baseline_path.empty()) {

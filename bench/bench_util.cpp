@@ -106,6 +106,19 @@ Harness::Harness(int argc, const char *const *argv, std::string id,
         trace::setEnabled(true);
     }
     tolerance_ = args.getDouble("tolerance", tolerance_);
+    if (args.has("profile-detail")) {
+        const std::string detail = args.get("profile-detail");
+        has_profile_detail_ = true;
+        if (detail == "auto")
+            profile_detail_ = sim::ProfileOptions::Detail::Auto;
+        else if (detail == "full")
+            profile_detail_ = sim::ProfileOptions::Detail::Full;
+        else if (detail == "summary")
+            profile_detail_ = sim::ProfileOptions::Detail::Summary;
+        else
+            SO_FATAL("--profile-detail ", detail,
+                     " (expected auto, full, or summary)");
+    }
     // --trace-dir and --html imply profiling so the traces carry
     // critical-path flow arrows and each cell gets its profile and
     // inspection-bundle documents.
@@ -121,6 +134,8 @@ Harness::add(const runtime::TrainingSystem &system,
         setup.capture_profile = true;
     if (!trace_dir_.empty())
         setup.capture_trace = true;
+    if (has_profile_detail_)
+        setup.profile_options.detail = profile_detail_;
     return engine_->add(system, std::move(setup), std::move(tag));
 }
 

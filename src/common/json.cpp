@@ -3,10 +3,30 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <ostream>
 
 #include "common/logging.h"
 
 namespace so {
+
+void
+JsonWriter::raw(char c)
+{
+    if (sink_)
+        sink_->put(c);
+    else
+        out_ += c;
+}
+
+void
+JsonWriter::raw(std::string_view text)
+{
+    if (sink_)
+        sink_->write(text.data(),
+                     static_cast<std::streamsize>(text.size()));
+    else
+        out_ += text;
+}
 
 void
 JsonWriter::comma()
@@ -17,7 +37,7 @@ JsonWriter::comma()
     }
     if (!has_elem_.empty()) {
         if (has_elem_.back())
-            out_ += ',';
+            raw(',');
         has_elem_.back() = true;
     }
 }
@@ -26,7 +46,7 @@ JsonWriter &
 JsonWriter::beginObject()
 {
     comma();
-    out_ += '{';
+    raw('{');
     stack_.push_back(true);
     has_elem_.push_back(false);
     return *this;
@@ -37,7 +57,7 @@ JsonWriter::endObject()
 {
     SO_ASSERT(!stack_.empty() && stack_.back(), "endObject mismatch");
     SO_ASSERT(!pending_key_, "dangling key before endObject");
-    out_ += '}';
+    raw('}');
     stack_.pop_back();
     has_elem_.pop_back();
     return *this;
@@ -47,7 +67,7 @@ JsonWriter &
 JsonWriter::beginArray()
 {
     comma();
-    out_ += '[';
+    raw('[');
     stack_.push_back(false);
     has_elem_.push_back(false);
     return *this;
@@ -57,7 +77,7 @@ JsonWriter &
 JsonWriter::endArray()
 {
     SO_ASSERT(!stack_.empty() && !stack_.back(), "endArray mismatch");
-    out_ += ']';
+    raw(']');
     stack_.pop_back();
     has_elem_.pop_back();
     return *this;
@@ -70,11 +90,11 @@ JsonWriter::key(const std::string &name)
               "key() outside an object");
     SO_ASSERT(!pending_key_, "two keys in a row");
     if (has_elem_.back())
-        out_ += ',';
+        raw(',');
     has_elem_.back() = true;
-    out_ += '"';
-    out_ += escape(name);
-    out_ += "\":";
+    raw('"');
+    raw(escape(name));
+    raw("\":");
     pending_key_ = true;
     return *this;
 }
@@ -83,9 +103,9 @@ JsonWriter &
 JsonWriter::value(std::string_view text)
 {
     comma();
-    out_ += '"';
-    out_ += escape(text);
-    out_ += '"';
+    raw('"');
+    raw(escape(text));
+    raw('"');
     return *this;
 }
 
@@ -100,12 +120,12 @@ JsonWriter::value(double number)
 {
     comma();
     if (!std::isfinite(number)) {
-        out_ += "null";
+        raw("null");
         return *this;
     }
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.12g", number);
-    out_ += buf;
+    raw(buf);
     return *this;
 }
 
@@ -113,7 +133,7 @@ JsonWriter &
 JsonWriter::value(std::int64_t number)
 {
     comma();
-    out_ += std::to_string(number);
+    raw(std::to_string(number));
     return *this;
 }
 
@@ -121,7 +141,7 @@ JsonWriter &
 JsonWriter::value(std::uint64_t number)
 {
     comma();
-    out_ += std::to_string(number);
+    raw(std::to_string(number));
     return *this;
 }
 
@@ -135,7 +155,7 @@ JsonWriter &
 JsonWriter::value(bool flag)
 {
     comma();
-    out_ += flag ? "true" : "false";
+    raw(flag ? "true" : "false");
     return *this;
 }
 
@@ -143,7 +163,7 @@ JsonWriter &
 JsonWriter::null()
 {
     comma();
-    out_ += "null";
+    raw("null");
     return *this;
 }
 
@@ -151,6 +171,7 @@ std::string
 JsonWriter::str() const
 {
     SO_ASSERT(stack_.empty(), "unterminated JSON structure");
+    SO_ASSERT(!sink_, "str() on a streaming JsonWriter");
     return out_;
 }
 

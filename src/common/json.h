@@ -12,6 +12,7 @@
 #define SO_COMMON_JSON_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -19,10 +20,27 @@
 
 namespace so {
 
-/** Builds one JSON document via push/pop calls; returns it as text. */
+/**
+ * Builds one JSON document via push/pop calls.
+ *
+ * Two sinks: the default constructor buffers the document in memory
+ * (retrieve it with str()), while the std::ostream constructor streams
+ * every byte straight to the stream — peak memory stays O(nesting
+ * depth) no matter how large the document grows, which is what the
+ * at-scale trace/profile exporters rely on (docs/OBSERVABILITY.md).
+ */
 class JsonWriter
 {
   public:
+    /** Buffering writer: the document accumulates for str(). */
+    JsonWriter() = default;
+
+    /**
+     * Streaming writer: bytes go to @p sink as they are produced and
+     * str() must not be called. @p sink must outlive the writer.
+     */
+    explicit JsonWriter(std::ostream &sink) : sink_(&sink) {}
+
     /// @name Structure
     /// @{
     JsonWriter &beginObject();
@@ -54,7 +72,10 @@ class JsonWriter
         return value(std::forward<T>(v));
     }
 
-    /** The finished document. @panics if structures remain open. */
+    /**
+     * The finished document. @panics if structures remain open or the
+     * writer streams to an ostream (the document already left).
+     */
     std::string str() const;
 
     /** Escape @p text for embedding in a JSON string literal. */
@@ -62,7 +83,11 @@ class JsonWriter
 
   private:
     void comma();
+    /** Append raw bytes to the active sink (buffer or stream). */
+    void raw(char c);
+    void raw(std::string_view text);
 
+    std::ostream *sink_ = nullptr; // Null: buffer into out_.
     std::string out_;
     /** Stack: true = in object (expects keys), false = in array. */
     std::vector<bool> stack_;

@@ -454,10 +454,12 @@ clearAll()
     }
 }
 
-std::string
-toChromeTrace(const CollectedTrace &trace)
+namespace {
+
+/** Shared body of the buffering and streaming host-trace exports. */
+void
+writeChromeTraceDoc(JsonWriter &json, const CollectedTrace &trace)
 {
-    JsonWriter json;
     json.beginObject();
     json.key("traceEvents").beginArray();
     // Process metadata: one host pid, distinct from the simulated
@@ -528,7 +530,24 @@ toChromeTrace(const CollectedTrace &trace)
     }
     json.endArray();
     json.endObject();
+}
+
+} // namespace
+
+
+std::string
+toChromeTrace(const CollectedTrace &trace)
+{
+    JsonWriter json;
+    writeChromeTraceDoc(json, trace);
     return json.str();
+}
+
+void
+streamChromeTrace(std::ostream &os, const CollectedTrace &trace)
+{
+    JsonWriter json(os);
+    writeChromeTraceDoc(json, trace);
 }
 
 std::string

@@ -49,6 +49,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -200,6 +201,10 @@ inline constexpr int kHostTracePid = 9999;
  * that overflowed.
  */
 std::string toChromeTrace(const CollectedTrace &trace);
+
+/** toChromeTrace streamed to @p os: events go out as produced, so the
+ *  document never materializes in memory. */
+void streamChromeTrace(std::ostream &os, const CollectedTrace &trace);
 
 /**
  * Self-profile summary JSON (schema-stamped): wall seconds by

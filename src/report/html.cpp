@@ -58,6 +58,19 @@ buildDataIsland(const HtmlReport &report)
     {
         if (!first) out += ',';
         first = false;
+        // Oversize bundles become a bounded stub, deliberately without
+        // parsing the document first: the whole point of the cap is to
+        // never pay O(bundle) work or memory on the page build.
+        if (report.max_inline_bundle_bytes != 0 &&
+            doc.size() > report.max_inline_bundle_bytes)
+        {
+            out += "{\"kind\":\"bundle_truncated\",\"bytes\":";
+            out += std::to_string(doc.size());
+            out += ",\"limit\":";
+            out += std::to_string(report.max_inline_bundle_bytes);
+            out += '}';
+            continue;
+        }
         appendDocOrNull(out, doc);
     }
     out += ']';

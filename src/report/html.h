@@ -26,12 +26,23 @@
 #ifndef SO_REPORT_HTML_H
 #define SO_REPORT_HTML_H
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 namespace so::report {
+
+/**
+ * Default byte ceiling on one inlined schedule bundle. A 10M-task
+ * bundle is gigabytes of JSON — inlining it would make the page
+ * unopenable, so oversize bundles embed a small truncation stub
+ * instead and the page points at the bundle-shard drill-down
+ * (docs/OBSERVABILITY.md).
+ */
+inline constexpr std::size_t kDefaultMaxInlineBundleBytes =
+    8 * 1024 * 1024;
 
 /**
  * Everything one explorer page can embed. All sections are optional:
@@ -92,6 +103,15 @@ struct HtmlReport
      * relative; they are escaped but not validated.
      */
     std::vector<std::pair<std::string, std::string>> links;
+
+    /**
+     * Cap on any single inlined schedule bundle, in bytes (0 =
+     * unlimited). A bundle over the cap is replaced by a
+     * `{"kind":"bundle_truncated",...}` stub that renders as a visible
+     * truncation banner with the offline shard drill-down instead of
+     * the full Gantt.
+     */
+    std::size_t max_inline_bundle_bytes = kDefaultMaxInlineBundleBytes;
 };
 
 /** Render @p report as one self-contained HTML document. */

@@ -114,6 +114,17 @@ section.so-section > h2 {
 .so-sub { color: var(--ink-2); font-size: 12.5px; margin: 0 0 12px; }
 .so-note { color: var(--muted); font-size: 12px; margin: 8px 0 0; }
 .so-error { color: var(--bad-text); font-size: 13px; }
+.so-banner { border: 1px solid var(--grid);
+  border-left: 4px solid var(--cause-contention);
+  padding: 8px 12px; border-radius: 6px; font-size: 13px;
+  margin: 8px 0; }
+.so-binstrip { display: flex; height: 16px; border-radius: 4px;
+  overflow: hidden; border: 1px solid var(--grid); flex: 1;
+  background: var(--paper-2, transparent); }
+.so-binstrip i { flex: 1 0 0; }
+.so-shardload { display: flex; flex-wrap: wrap; gap: 8px;
+  align-items: center; margin-top: 10px; font-size: 12.5px; }
+.so-shardload input[type=number] { width: 90px; }
 
 /* chips & legends */
 .so-chips { display: flex; flex-wrap: wrap; gap: 6px 12px; margin-top: 10px; }
@@ -437,13 +448,155 @@ const char kExplorerJs[] = R"SOJS(
     host.appendChild(details);
   }
 
+  // --------------------------------------------- LOD + shard drill-down
+  // Binned occupancy/energy strips: the aggregate Gantt used when the
+  // per-task arrays were elided (summary detail). One cell per bin,
+  // intensity = the bin's busy (or energy) fraction.
+  function binStrips(host, bins, unit, valueKey, fmtfn) {
+    var resources = bins.resources || [];
+    if (!resources.length || !(bins.bin_s > 0)) return;
+    var strips = el('div');
+    resources.forEach(function (r) {
+      var row = el('div', 'so-striprow');
+      row.appendChild(el('span', 'name', r.resource));
+      var strip = el('div', 'so-binstrip');
+      var values = r[valueKey] || [];
+      var peak = 0;
+      values.forEach(function (v) { peak = Math.max(peak, v); });
+      var norm = unit === 'busy' ? bins.bin_s : peak;
+      var total = 0;
+      values.forEach(function (v, k) {
+        total += v;
+        var cell = el('i');
+        cell.style.background = cssVar('--busy');
+        cell.style.opacity =
+            norm > 0 ? String(Math.min(1, v / norm)) : '0';
+        hover(cell, function () {
+          return [r.resource + ' · bin ' + k,
+              [['window', fmtS(k * bins.bin_s) + ' – ' +
+                    fmtS((k + 1) * bins.bin_s)],
+               [unit, fmtfn(v)]]];
+        });
+        strip.appendChild(cell);
+      });
+      row.appendChild(strip);
+      row.appendChild(el('span', 'val', fmtfn(total)));
+      strips.appendChild(row);
+    });
+    host.appendChild(strips);
+  }
+
+  // Offline drill-down into a *.bundle.jsonl shard file: FileReader
+  // only (nothing is fetched), bounded to SLICE_CAP spans of the
+  // selected time window. Shard task lines are in per-resource
+  // timeline order, so windowed slices stay cheap.
+  var SLICE_CAP = 20000;
+  var shardLoaderShown = false;
+  function shardLoader(host) {
+    if (shardLoaderShown) return;
+    shardLoaderShown = true;
+    var bar = el('div', 'so-shardload');
+    bar.appendChild(el('span', null,
+        'drill down: pick a local *.bundle.jsonl shard file and a ' +
+        'time window'));
+    var file = document.createElement('input');
+    file.type = 'file';
+    bar.appendChild(file);
+    var b0 = document.createElement('input');
+    b0.type = 'number'; b0.placeholder = 'begin s'; b0.step = 'any';
+    bar.appendChild(b0);
+    var b1 = document.createElement('input');
+    b1.type = 'number'; b1.placeholder = 'end s'; b1.step = 'any';
+    bar.appendChild(b1);
+    var btn = document.createElement('button');
+    btn.type = 'button';
+    btn.textContent = 'load slice';
+    bar.appendChild(btn);
+    var status = el('span', 'so-note');
+    bar.appendChild(status);
+    host.appendChild(bar);
+    var out = el('div');
+    host.appendChild(out);
+
+    btn.addEventListener('click', function () {
+      if (!file.files || !file.files.length) {
+        status.textContent = 'pick a *.bundle.jsonl file first';
+        return;
+      }
+      var begin = parseFloat(b0.value);
+      if (!isFinite(begin)) begin = 0;
+      var end = parseFloat(b1.value);
+      if (!isFinite(end)) end = Infinity;
+      var reader = new FileReader();
+      reader.onload = function () {
+        out.textContent = '';
+        var names = [];
+        var tasks = [];
+        var dropped = 0;
+        String(reader.result).split('\n').forEach(function (line) {
+          if (!line) return;
+          var doc;
+          try { doc = JSON.parse(line); } catch (err) { return; }
+          if (doc.kind === 'bundle_shard_header') {
+            (doc.resources || []).forEach(function (r, i) {
+              names[i] = r.resource;
+            });
+          } else if (doc.kind === 'bundle_tasks') {
+            (doc.tasks || []).forEach(function (t) {
+              if (t.end_s <= begin || t.start_s >= end) return;
+              if (tasks.length >= SLICE_CAP) { dropped += 1; return; }
+              tasks.push(t);
+            });
+          }
+        });
+        if (!tasks.length) {
+          status.textContent = 'no spans in the selected window';
+          return;
+        }
+        status.textContent = tasks.length + ' span(s) loaded' +
+            (dropped ? ' (' + dropped + ' beyond the ' + SLICE_CAP +
+                       '-span slice cap dropped)'
+                     : '');
+        renderGantt({
+          label: 'shard slice [' + fmtS(begin) + ', ' +
+              (isFinite(end) ? fmtS(end) : 'end') + ')',
+          tasks: tasks,
+          edges: [],
+          resources: names.map(function (n) {
+            return { resource: n };
+          })
+        }, out);
+      };
+      reader.readAsText(file.files[0]);
+    });
+  }
+
   // ------------------------------------------------------------- Gantt
-  function renderGantt(bundle) {
+  function renderGantt(bundle, host) {
+    if (bundle && bundle.kind === 'bundle_truncated') {
+      var tsec = section('Schedule · (inline bundle elided)',
+          'The per-task bundle outgrew the inline cap; aggregate ' +
+          'views on this page stay exact.');
+      var banner = el('div', 'so-banner');
+      banner.appendChild(el('strong', null, 'truncated: '));
+      banner.appendChild(document.createTextNode(
+          fmtBytes(bundle.bytes) + ' of bundle JSON exceeds the ' +
+          fmtBytes(bundle.limit) + ' inline cap. Per-task detail ' +
+          'lives in the *.bundle.jsonl shards next to this report — ' +
+          'aggregate them with `so-report query`, or load a bounded ' +
+          'time-window slice below.'));
+      tsec.appendChild(banner);
+      shardLoader(tsec);
+      return;
+    }
     var label = bundle.label || 'schedule';
     var sec = section('Schedule · ' + label,
         'Interactive Gantt: one lane per resource slot, tasks colored ' +
         'by phase, critical path outlined in ink, idle strip colored ' +
         'by cause. Hover any task for its card.');
+    // Drill-down slices render inside their loader, not appended to
+    // the page end.
+    if (host) host.appendChild(sec);
     var tasks = bundle.tasks || [];
     var makespan = bundle.makespan_s || 0;
     tasks.forEach(function (t) { makespan = Math.max(makespan, t.end_s); });
@@ -772,6 +925,18 @@ const char kExplorerJs[] = R"SOJS(
         'Critical-path seconds per phase (the chain that determines ' +
         'the makespan) and each resource’s busy/idle split by ' +
         'cause — the Fig. 4 analogue.');
+    if (doc.detail === 'summary') {
+      var sb = el('div', 'so-banner');
+      sb.appendChild(el('strong', null, 'summary detail: '));
+      sb.appendChild(document.createTextNode(
+          'per-task arrays were elided for this ' +
+          fmtNum(doc.task_count) + '-task profile. Phase rollups, ' +
+          'binned histograms, and top-K lists below are exact; ' +
+          'per-task drill-down goes through the *.bundle.jsonl ' +
+          'shards (so-report query, or the slice loader).'));
+      sec.appendChild(sb);
+      shardLoader(sec);
+    }
     var cp = doc.critical_path || {};
     var phases = (cp.phases || []).map(function (p) {
       return [p.phase, p.seconds];
@@ -780,6 +945,24 @@ const char kExplorerJs[] = R"SOJS(
     if (phases.length) {
       stackedBar(sec, phases, total, phaseColor);
       phaseLegend(sec, phases);
+    }
+    if (doc.phase_busy && doc.phase_busy.length) {
+      sec.appendChild(el('p', 'so-note',
+          'busy seconds per phase across every resource (exact at ' +
+          'any detail level):'));
+      stackedBar(sec, doc.phase_busy.map(function (p) {
+        return [p.phase, p.seconds];
+      }), doc.phase_busy.reduce(function (a, p) {
+        return a + p.seconds;
+      }, 0), phaseColor);
+    }
+    if (doc.bins && doc.bins.resources) {
+      sec.appendChild(el('p', 'so-note',
+          'occupancy histogram: ' + doc.bins.count +
+          ' bins of ' + fmtS(doc.bins.bin_s) +
+          ' — busy seconds per bin (the aggregate Gantt; bin sums ' +
+          'equal the exact per-resource busy totals).'));
+      binStrips(sec, doc.bins, 'busy', 'busy_s', fmtS);
     }
     var resources = doc.resources || [];
     if (resources.length) {
@@ -836,11 +1019,35 @@ const char kExplorerJs[] = R"SOJS(
         return [p.phase, p.joules];
       }), energy.active_j || 0, phaseColor, fmtJ);
     }
+    if (energy && energy.bins && energy.bins.resources) {
+      sec.appendChild(el('p', 'so-note',
+          'energy histogram: task joules per ' +
+          fmtS(energy.bins.bin_s) + ' bin.'));
+      binStrips(sec, energy.bins, 'joules', 'joules', fmtJ);
+    }
     if (doc.zero_slack_tasks && doc.zero_slack_tasks.length)
       dataTable(sec, 'longest zero-slack tasks',
           ['task', 'resource', 'duration'],
           doc.zero_slack_tasks.map(function (t) {
             return [t.label, t.resource, fmtS(t.duration_s)];
+          }));
+    if (doc.top_slack_tasks && doc.top_slack_tasks.length)
+      dataTable(sec, 'top slack tasks',
+          ['task', 'resource', 'slack'],
+          doc.top_slack_tasks.map(function (t) {
+            return [t.label, t.resource, fmtS(t.slack_s)];
+          }));
+    if (energy && energy.top_tasks && energy.top_tasks.length)
+      dataTable(sec, 'top energy tasks',
+          ['task', 'resource', 'joules'],
+          energy.top_tasks.map(function (t) {
+            return [t.label, t.resource, fmtJ(t.joules)];
+          }));
+    if (energy && energy.top_bytes && energy.top_bytes.length)
+      dataTable(sec, 'top transfer tasks',
+          ['task', 'resource', 'bytes'],
+          energy.top_bytes.map(function (t) {
+            return [t.label, t.resource, fmtBytes(t.bytes)];
           }));
   }
 

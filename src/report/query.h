@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Streaming trace/bundle query engine behind `so-report query`.
+ *
+ * At 10M tasks the per-task artifacts only exist as chunked bundle
+ * shards (`*.bundle.jsonl`, sim/inspect.h) or Chrome traces — multi-GB
+ * documents nobody can load whole. This module answers the questions
+ * the Explorer would (which phase dominates a window, which resource
+ * is busiest, which spans are longest) in one pass over those files
+ * with O(aggregates + top-N) memory: shard files are consumed line by
+ * line, Chrome traces and inline bundles through an incremental
+ * brace-matching scanner that parses one event object at a time
+ * (docs/OBSERVABILITY.md).
+ */
+#ifndef SO_REPORT_QUERY_H
+#define SO_REPORT_QUERY_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace so::report {
+
+/** Filters and ranking of one query run. */
+struct QueryOptions
+{
+    /** Keep only spans whose phase equals this (empty: all). */
+    std::string phase;
+    /** Keep only spans on this resource name (empty: all). */
+    std::string resource;
+    /** Keep only spans overlapping [begin_s, end_s). */
+    double begin_s = 0.0;
+    double end_s = std::numeric_limits<double>::infinity();
+    /** Entries in the top list. */
+    std::size_t top_n = 10;
+
+    enum class Rank
+    {
+        /** Span seconds (always available). */
+        Duration,
+        /** Recorded slack seconds (0 when the source has none). */
+        Slack,
+        /** power_w × span seconds (0 when unmetered). */
+        Joules,
+    };
+    Rank rank = Rank::Duration;
+};
+
+/** One retained span in the top-N list. */
+struct QuerySpan
+{
+    std::string label;
+    std::string phase;
+    std::string resource;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    /** The ranking value (seconds, slack seconds, or joules). */
+    double value = 0.0;
+};
+
+/** Per-group rollup of the matched spans. */
+struct QueryAgg
+{
+    /** Busy seconds, clipped to the query window. */
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+};
+
+/** Everything one query pass produces. */
+struct QueryResult
+{
+    std::size_t files = 0;
+    /** Spans seen across all inputs (before filtering). */
+    std::uint64_t scanned = 0;
+    /** Spans passing every filter. */
+    std::uint64_t matched = 0;
+    /** Window-clipped busy seconds of the matches. */
+    double busy_s = 0.0;
+    /** Window-clipped joules of the matches (0 when unmetered). */
+    double joules = 0.0;
+    /** Rollups, largest seconds first. */
+    std::vector<std::pair<std::string, QueryAgg>> by_phase;
+    std::vector<std::pair<std::string, QueryAgg>> by_resource;
+    /** Top spans by QueryOptions::rank, best first. */
+    std::vector<QuerySpan> top;
+};
+
+/**
+ * Run one streaming pass over @p paths (bundle shards `*.jsonl`,
+ * Chrome traces, or inline bundle documents — mixed freely) and
+ * aggregate into @p out. Returns false and fills *@p error when an
+ * input cannot be read or contains no parseable spans at all;
+ * individual malformed lines/events are skipped.
+ */
+bool queryFiles(const std::vector<std::string> &paths,
+                const QueryOptions &options, QueryResult &out,
+                std::string *error);
+
+/** Human-readable report of one query run. */
+std::string queryToText(const QueryResult &result,
+                        const QueryOptions &options);
+
+/** Machine-readable report (`"kind":"query_result"`, schema-stamped). */
+std::string queryToJson(const QueryResult &result,
+                        const QueryOptions &options);
+
+} // namespace so::report
+
+#endif // SO_REPORT_QUERY_H

@@ -302,7 +302,8 @@ IterBuilder::fillEnergy(IterationResult &res, const sim::Schedule &schedule,
     if (profile != nullptr) {
         // Ride the profiler's attribution: same busy/idle partition,
         // same phaseKey grouping, idle joules split by cause.
-        ep = sim::attributeEnergy(graph_, schedule, *profile, inputs);
+        ep = sim::attributeEnergy(graph_, schedule, *profile, inputs,
+                                  setup_.profile_options);
         e.active_j = ep.active_j;
         e.idle_j = ep.idle_j;
         e.background_j = ep.background_j;
@@ -399,7 +400,8 @@ IterBuilder::finishWindow(const model::IterationFlops &flops,
         // [win_begin, win_end) measurement window: idle attribution is
         // only meaningful against the full iteration.
         const sim::ScheduleProfile prof =
-            sim::profileSchedule(graph_, schedule);
+            sim::profileSchedule(graph_, schedule,
+                                 setup_.profile_options);
         res.profile.valid = true;
         res.profile.makespan = prof.makespan;
         res.profile.critical_length = prof.critical_length;
@@ -419,9 +421,15 @@ IterBuilder::finishWindow(const model::IterationFlops &flops,
             fillEnergy(res, schedule, &prof);
         res.profile_json =
             sim::profileToJson(prof, graph_, schedule, 8, &energy);
-        res.bundle_json = sim::bundleToJson(
-            sim::makeInspectionBundle(graph_, schedule, prof, "",
-                                      &energy));
+        // A Summary profile has no per-task arrays, so the O(V) inline
+        // bundle document is skipped — the bounded profile document
+        // (binned histograms, top-K lists) is the at-scale artifact;
+        // per-task data streams out as shards via writeBundleShards
+        // when a caller asks for files (docs/OBSERVABILITY.md).
+        if (!prof.summarized)
+            res.bundle_json = sim::bundleToJson(
+                sim::makeInspectionBundle(graph_, schedule, prof, "",
+                                          &energy));
         if (setup_.capture_trace)
             res.trace_json = sim::toChromeTrace(graph_, schedule, prof);
     } else {

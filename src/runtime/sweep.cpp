@@ -162,6 +162,14 @@ SweepEngine::fingerprint(const TrainingSystem &system,
     appendNum(key, static_cast<std::uint32_t>(setup.binding));
     appendNum(key, static_cast<std::uint32_t>(setup.capture_trace));
     appendNum(key, static_cast<std::uint32_t>(setup.capture_profile));
+    // Level-of-detail shapes the captured artifacts (which arrays a
+    // cached profile retains), so it is part of the cell's identity.
+    appendNum(key,
+              static_cast<std::uint32_t>(setup.profile_options.detail));
+    appendNum(key, static_cast<std::uint32_t>(
+                       setup.profile_options.bins));
+    appendNum(key, static_cast<std::uint32_t>(
+                       setup.profile_options.top_k));
     // Power overrides change the energy numbers cached inside the
     // result, so they are part of the cell's identity (a presence bit
     // per field keeps an explicit override distinct from the preset

@@ -39,6 +39,7 @@
 #include "model/config.h"
 #include "model/flops.h"
 #include "model/memory.h"
+#include "sim/profiler.h"
 
 namespace so::runtime {
 
@@ -71,6 +72,16 @@ struct TrainSetup
      * same reason as capture_trace.
      */
     bool capture_profile = false;
+
+    /**
+     * Level-of-detail for the captured profile (docs/OBSERVABILITY.md):
+     * Full keeps the O(V) per-task arrays and produces the inline
+     * bundle document; Summary (or Auto past the threshold) keeps only
+     * bounded histograms / top-K lists and skips the bundle so a
+     * multi-million-task window stays profileable. Part of the sweep
+     * fingerprint — changing it invalidates cached cells.
+     */
+    sim::ProfileOptions profile_options;
 
     /**
      * Per-job overrides of the derived electrical model (hw/power.h,

@@ -21,6 +21,7 @@
 #define SO_SIM_INSPECT_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -131,6 +132,39 @@ std::string bundleToJson(const InspectionBundle &bundle);
  */
 bool bundleFromJson(const JsonValue &doc, InspectionBundle &out,
                     std::string *error);
+
+/**
+ * Stream the bundle document for (@p graph, @p schedule, @p profile)
+ * straight to @p os without materializing an InspectionBundle or its
+ * JSON string — peak memory stays bounded regardless of schedule size.
+ * The output parses back with bundleFromJson. A Summary profile has no
+ * per-task slack or critical-path membership, so those fields stream
+ * as 0/false and the critical_path array is empty.
+ */
+void streamBundleJson(std::ostream &os, const TaskGraph &graph,
+                      const Schedule &schedule,
+                      const ScheduleProfile &profile,
+                      const std::string &label = "",
+                      const EnergyProfile *energy = nullptr);
+
+/**
+ * Write the bundle as chunked JSON-lines shards to @p path
+ * (conventionally `*.bundle.jsonl`): one `bundle_shard_header` line
+ * (label, totals, per-resource summaries, counts), then
+ * `bundle_tasks` lines of at most @p chunk spans each — emitted in
+ * per-resource timeline order, so a time-window reader can stop
+ * early — then `bundle_edges` lines and, when the profile retained
+ * one, `bundle_critical` lines. Every line is a complete JSON object;
+ * peak RSS is O(chunk), never O(tasks). `so-report query` and the
+ * Explorer drill-down consume this format (docs/OBSERVABILITY.md).
+ * Returns false on I/O failure.
+ */
+bool writeBundleShards(const std::string &path, const TaskGraph &graph,
+                       const Schedule &schedule,
+                       const ScheduleProfile &profile,
+                       const std::string &label = "",
+                       const EnergyProfile *energy = nullptr,
+                       std::size_t chunk = 4096);
 
 } // namespace so::sim
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <ostream>
 
 #include "common/json.h"
 #include "common/schema.h"
@@ -50,10 +51,101 @@ blockingDep(const TaskGraph &graph, const Schedule &schedule, TaskId task)
     return blocker;
 }
 
+/**
+ * Spread @p rate × seconds of [begin, end) across the fixed-width
+ * @p bins (each bin_s wide, tiling [0, bins.size() * bin_s]); the last
+ * bin absorbs the boundary. The pieces telescope, so the row gains
+ * (end - begin) × rate up to fp rounding — the conservation the LOD
+ * tests pin to 1e-9.
+ */
+void
+addSpanToBins(std::vector<double> &bins, double bin_s, double begin,
+              double end, double rate = 1.0)
+{
+    if (bins.empty() || bin_s <= 0.0 || end <= begin)
+        return;
+    std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(begin / bin_s), bins.size() - 1);
+    double lo = begin;
+    while (lo < end) {
+        const double edge = static_cast<double>(k + 1) * bin_s;
+        const double hi =
+            (k + 1 >= bins.size()) ? end : std::min(end, edge);
+        if (hi > lo)
+            bins[k] += (hi - lo) * rate;
+        lo = hi;
+        if (++k >= bins.size())
+            break;
+    }
+}
+
+/** Bin index of instant @p t (clamped into range). */
+std::size_t
+binIndex(const std::vector<double> &bins, double bin_s, double t)
+{
+    if (bin_s <= 0.0)
+        return 0;
+    return std::min<std::size_t>(static_cast<std::size_t>(t / bin_s),
+                                 bins.size() - 1);
+}
+
+/**
+ * Streaming top-K selector: value-descending, task-id-ascending — the
+ * same total order topZeroSlackTasks() sorts by, so the retained list
+ * is exactly the first K entries of the full sorted array. O(K)
+ * memory, O(log K) per push.
+ */
+class TopK
+{
+  public:
+    explicit TopK(std::size_t k) : k_(k) {}
+
+    void
+    push(TaskId task, double value)
+    {
+        if (k_ == 0)
+            return;
+        const TopTask entry{task, value};
+        if (heap_.size() < k_) {
+            heap_.push_back(entry);
+            std::push_heap(heap_.begin(), heap_.end(), outranks);
+            return;
+        }
+        // Front is the lowest-ranked retained entry; evict it when the
+        // newcomer outranks it.
+        if (outranks(entry, heap_.front())) {
+            std::pop_heap(heap_.begin(), heap_.end(), outranks);
+            heap_.back() = entry;
+            std::push_heap(heap_.begin(), heap_.end(), outranks);
+        }
+    }
+
+    /** The retained entries, best first. */
+    std::vector<TopTask>
+    take()
+    {
+        std::sort(heap_.begin(), heap_.end(), outranks);
+        return std::move(heap_);
+    }
+
+  private:
+    static bool
+    outranks(const TopTask &a, const TopTask &b)
+    {
+        if (a.value != b.value)
+            return a.value > b.value;
+        return a.task < b.task;
+    }
+
+    std::size_t k_;
+    std::vector<TopTask> heap_;
+};
+
 } // namespace
 
 ScheduleProfile
-profileSchedule(const TaskGraph &graph, const Schedule &schedule)
+profileSchedule(const TaskGraph &graph, const Schedule &schedule,
+                const ProfileOptions &options)
 {
     trace::Span span(trace::Category::Profile, "profile");
     const std::size_t n = graph.taskCount();
@@ -64,11 +156,21 @@ profileSchedule(const TaskGraph &graph, const Schedule &schedule)
 
     ScheduleProfile prof;
     prof.makespan = schedule.makespan;
-    prof.slack.assign(n, 0.0);
+    prof.task_count = n;
+    prof.summarized = options.summarized(n);
+    if (!prof.summarized)
+        prof.slack.assign(n, 0.0);
     prof.resources.resize(graph.resourceCount());
     prof.resource_names.reserve(graph.resourceCount());
     for (ResourceId r = 0; r < graph.resourceCount(); ++r)
         prof.resource_names.push_back(graph.resource(r).name);
+    const std::size_t nbins =
+        (options.bins > 0 && prof.makespan > 0.0) ? options.bins : 0;
+    if (nbins > 0) {
+        prof.bin_s = prof.makespan / static_cast<double>(nbins);
+        prof.busy_bins.assign(graph.resourceCount(),
+                              std::vector<double>(nbins, 0.0));
+    }
     if (n == 0)
         return prof;
 
@@ -141,17 +243,19 @@ profileSchedule(const TaskGraph &graph, const Schedule &schedule)
         rpath.push_back(CriticalStep{cur, CriticalLink::Start});
         break;
     }
-    prof.critical_path.assign(rpath.rbegin(), rpath.rend());
+    prof.critical_steps = rpath.size();
+    if (!prof.summarized)
+        prof.critical_path.assign(rpath.rbegin(), rpath.rend());
     // Accumulate front-to-back: mirrors the scheduler's own finish-time
     // additions, so a contiguous chain sums to the makespan exactly.
     prof.critical_length = 0.0;
-    for (const CriticalStep &step : prof.critical_path)
-        prof.critical_length += graph.duration(step.task);
+    for (auto it = rpath.rbegin(); it != rpath.rend(); ++it)
+        prof.critical_length += graph.duration(it->task);
 
     std::map<std::string, double> phases;
-    for (const CriticalStep &step : prof.critical_path)
-        phases[phaseKey(graph.label(step.task))] +=
-            graph.duration(step.task);
+    for (auto it = rpath.rbegin(); it != rpath.rend(); ++it)
+        phases[phaseKey(graph.label(it->task))] +=
+            graph.duration(it->task);
     prof.critical_phases.assign(phases.begin(), phases.end());
     std::sort(prof.critical_phases.begin(), prof.critical_phases.end(),
               [](const auto &a, const auto &b) {
@@ -180,9 +284,39 @@ profileSchedule(const TaskGraph &graph, const Schedule &schedule)
             prev_on_slot[iv.slot] = iv.task;
         }
     }
-    for (TaskId id = 0; id < n; ++id)
-        prof.slack[id] =
+    // The slack array is transient in Summary mode: the top-K lists
+    // below retain everything a bounded profile answers with, in the
+    // exact order topZeroSlackTasks() would sort the full array.
+    TopK top_slack(options.top_k);
+    TopK top_zero(options.top_k);
+    for (TaskId id = 0; id < n; ++id) {
+        const double s =
             std::max(0.0, limit[id] - schedule.finish[id]);
+        if (!prof.summarized)
+            prof.slack[id] = s;
+        if (s > eps)
+            top_slack.push(id, s);
+        else if (graph.duration(id) > 0.0)
+            top_zero.push(id, graph.duration(id));
+    }
+    prof.top_slack = top_slack.take();
+    prof.top_zero_slack = top_zero.take();
+
+    // All-tasks phase rollup: bounded by the phase vocabulary, not V.
+    {
+        std::map<std::string, double> busy_by_phase;
+        for (TaskId id = 0; id < n; ++id)
+            busy_by_phase[phaseKey(graph.label(id))] +=
+                graph.duration(id);
+        prof.phase_busy.assign(busy_by_phase.begin(),
+                               busy_by_phase.end());
+        std::sort(prof.phase_busy.begin(), prof.phase_busy.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.second != b.second)
+                          return a.second > b.second;
+                      return a.first < b.first;
+                  });
+    }
 
     // ------------------------------------------------- idle attribution
     for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
@@ -215,30 +349,9 @@ profileSchedule(const TaskGraph &graph, const Schedule &schedule)
             return IdleCause::DependencyWait;
         };
 
-        // Sweep the union of busy intervals, attributing each hole.
-        double cursor = 0.0;
-        for (std::size_t i = 0; i < ivs.size(); ++i) {
-            const double b = std::min(ivs[i].start, prof.makespan);
-            const double e = std::min(ivs[i].end, prof.makespan);
-            if (b > cursor) {
-                IdleGap gap;
-                gap.begin = cursor;
-                gap.end = b;
-                gap.next_task = ivs[i].task;
-                gap.cause = classify(ivs[i].task);
-                rp.gaps.push_back(gap);
-            }
-            cursor = std::max(cursor, e);
-        }
-        if (prof.makespan > cursor) {
-            IdleGap gap;
-            gap.begin = cursor;
-            gap.end = prof.makespan;
-            gap.cause = IdleCause::Tail;
-            rp.gaps.push_back(gap);
-        }
-
-        for (const IdleGap &gap : rp.gaps) {
+        // Totals accrue per gap either way; the per-gap list itself is
+        // only kept in Full detail.
+        auto account = [&](const IdleGap &gap) {
             rp.idle += gap.length();
             switch (gap.cause) {
               case IdleCause::DependencyWait:
@@ -251,6 +364,40 @@ profileSchedule(const TaskGraph &graph, const Schedule &schedule)
                 rp.idle_tail += gap.length();
                 break;
             }
+            if (!prof.summarized)
+                rp.gaps.push_back(gap);
+        };
+
+        // Sweep the union of busy intervals, attributing each hole and
+        // binning each union-busy increment (the increments partition
+        // the union, so the bins sum to rp.busy).
+        std::vector<double> *bins_r =
+            nbins > 0 ? &prof.busy_bins[r] : nullptr;
+        double cursor = 0.0;
+        for (std::size_t i = 0; i < ivs.size(); ++i) {
+            const double b = std::min(ivs[i].start, prof.makespan);
+            const double e = std::min(ivs[i].end, prof.makespan);
+            if (b > cursor) {
+                IdleGap gap;
+                gap.begin = cursor;
+                gap.end = b;
+                gap.next_task = ivs[i].task;
+                gap.cause = classify(ivs[i].task);
+                account(gap);
+            }
+            if (bins_r != nullptr) {
+                const double nb = std::max(cursor, b);
+                if (e > nb)
+                    addSpanToBins(*bins_r, prof.bin_s, nb, e);
+            }
+            cursor = std::max(cursor, e);
+        }
+        if (prof.makespan > cursor) {
+            IdleGap gap;
+            gap.begin = cursor;
+            gap.end = prof.makespan;
+            gap.cause = IdleCause::Tail;
+            account(gap);
         }
         rp.busy = prof.makespan - rp.idle;
     }
@@ -260,7 +407,8 @@ profileSchedule(const TaskGraph &graph, const Schedule &schedule)
 
 EnergyProfile
 attributeEnergy(const TaskGraph &graph, const Schedule &schedule,
-                const ScheduleProfile &profile, const EnergyInputs &inputs)
+                const ScheduleProfile &profile, const EnergyInputs &inputs,
+                const ProfileOptions &options)
 {
     trace::Span span(trace::Category::Profile, "energy");
     const std::size_t n = graph.taskCount();
@@ -270,8 +418,17 @@ attributeEnergy(const TaskGraph &graph, const Schedule &schedule,
     EnergyProfile energy;
     energy.valid = true;
     energy.makespan = profile.makespan;
+    energy.summarized = options.summarized(n);
     energy.resources.resize(graph.resourceCount());
-    energy.task_j.assign(n, 0.0);
+    if (!energy.summarized)
+        energy.task_j.assign(n, 0.0);
+    const std::size_t nbins =
+        (options.bins > 0 && profile.makespan > 0.0) ? options.bins : 0;
+    if (nbins > 0) {
+        energy.bin_s = profile.makespan / static_cast<double>(nbins);
+        energy.energy_bins.assign(graph.resourceCount(),
+                                  std::vector<double>(nbins, 0.0));
+    }
 
     auto power = [&](ResourceId r) {
         return r < inputs.resources.size() ? inputs.resources[r]
@@ -284,14 +441,38 @@ attributeEnergy(const TaskGraph &graph, const Schedule &schedule,
     // Per-task joules: time-proportional busy draw plus the per-byte
     // switching toll. Phase roll-up uses the same phaseKey grouping as
     // the critical-path breakdown so the joule bars and the Fig.4 time
-    // bars line up phase-for-phase.
+    // bars line up phase-for-phase. Each task's joules also spread
+    // uniformly over its scheduled span into the per-resource bins, so
+    // a bin row sums to the per-task joules of that resource's tasks.
     std::map<std::string, double> phases;
+    TopK top_tasks(options.top_k);
+    TopK top_bytes(options.top_k);
     for (TaskId id = 0; id < n; ++id) {
-        const ResourcePower rp = power(graph.taskResource(id));
-        energy.task_j[id] = rp.busy_w * graph.duration(id) +
-                            rp.joules_per_byte * bytes(id);
-        phases[phaseKey(graph.label(id))] += energy.task_j[id];
+        const ResourceId res = graph.taskResource(id);
+        const ResourcePower rp = power(res);
+        const double task_bytes = bytes(id);
+        const double task_j = rp.busy_w * graph.duration(id) +
+                              rp.joules_per_byte * task_bytes;
+        if (!energy.summarized)
+            energy.task_j[id] = task_j;
+        phases[phaseKey(graph.label(id))] += task_j;
+        if (task_j > 0.0)
+            top_tasks.push(id, task_j);
+        if (task_bytes > 0.0)
+            top_bytes.push(id, task_bytes);
+        if (nbins > 0 && task_j > 0.0) {
+            std::vector<double> &bins_r = energy.energy_bins[res];
+            const double s = schedule.start[id];
+            const double f = schedule.finish[id];
+            if (f > s)
+                addSpanToBins(bins_r, energy.bin_s, s, f,
+                              task_j / (f - s));
+            else
+                bins_r[binIndex(bins_r, energy.bin_s, s)] += task_j;
+        }
     }
+    energy.top_tasks = top_tasks.take();
+    energy.top_bytes = top_bytes.take();
     energy.phases.assign(phases.begin(), phases.end());
     std::sort(energy.phases.begin(), energy.phases.end(),
               [](const auto &a, const auto &b) {
@@ -343,6 +524,18 @@ std::vector<TaskId>
 topZeroSlackTasks(const ScheduleProfile &profile, const TaskGraph &graph,
                   std::size_t top_k)
 {
+    if (profile.slack.empty()) {
+        // Summary profile: the full array is gone, but the retained
+        // top-K list ranks by the identical (duration desc, id asc)
+        // order, so it is a prefix of what the full sort would give.
+        std::vector<TaskId> hot;
+        for (const TopTask &t : profile.top_zero_slack) {
+            if (hot.size() >= top_k)
+                break;
+            hot.push_back(t.task);
+        }
+        return hot;
+    }
     const double eps = std::max(profile.makespan, 1.0) * 1e-12;
     std::vector<TaskId> hot;
     for (TaskId id = 0; id < graph.taskCount(); ++id)
@@ -358,19 +551,25 @@ topZeroSlackTasks(const ScheduleProfile &profile, const TaskGraph &graph,
     return hot;
 }
 
-std::string
-profileToJson(const ScheduleProfile &profile, const TaskGraph &graph,
-              const Schedule &schedule, std::size_t top_slack,
-              const EnergyProfile *energy)
+namespace {
+
+/** Shared body of profileToJson / streamProfileJson. */
+void
+writeProfileDoc(JsonWriter &json, const ScheduleProfile &profile,
+                const TaskGraph &graph, const Schedule &schedule,
+                std::size_t top_slack, const EnergyProfile *energy)
 {
-    trace::Span span(trace::Category::Serialize, "profile-json");
-    JsonWriter json;
     json.beginObject();
     json.field("schema_version", kSchemaVersion);
     json.field("makespan_s", profile.makespan);
+    json.field("detail", profile.summarized ? "summary" : "full");
+    json.field("task_count",
+               static_cast<std::uint64_t>(profile.task_count));
 
     json.key("critical_path").beginObject();
     json.field("length_s", profile.critical_length);
+    json.field("steps",
+               static_cast<std::uint64_t>(profile.critical_steps));
     json.key("tasks").beginArray();
     for (const CriticalStep &step : profile.critical_path) {
         json.beginObject();
@@ -411,6 +610,34 @@ profileToJson(const ScheduleProfile &profile, const TaskGraph &graph,
     }
     json.endArray();
 
+    // Largest-slack tasks: where an off-path stall has the most room.
+    json.key("top_slack_tasks").beginArray();
+    for (const TopTask &t : profile.top_slack) {
+        json.beginObject();
+        json.field("label", graph.label(t.task));
+        json.field("resource",
+                   graph.resource(graph.taskResource(t.task)).name);
+        json.field("slack_s", t.value);
+        json.endObject();
+    }
+    json.endArray();
+
+    // All-tasks phase rollup (bounded by the phase vocabulary).
+    double phase_busy_total = 0.0;
+    for (const auto &[phase, seconds] : profile.phase_busy)
+        phase_busy_total += seconds;
+    json.key("phase_busy").beginArray();
+    for (const auto &[phase, seconds] : profile.phase_busy) {
+        json.beginObject();
+        json.field("phase", phase);
+        json.field("seconds", seconds);
+        json.field("share", phase_busy_total > 0.0
+                                ? seconds / phase_busy_total
+                                : 0.0);
+        json.endObject();
+    }
+    json.endArray();
+
     json.key("resources").beginArray();
     for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
         const ResourceProfile &rp = profile.resources[r];
@@ -438,6 +665,27 @@ profileToJson(const ScheduleProfile &profile, const TaskGraph &graph,
         json.endObject();
     }
     json.endArray();
+
+    // Binned occupancy histograms: the bounded stand-in for per-task
+    // data — each row sums to the resource's union busy seconds.
+    if (!profile.busy_bins.empty()) {
+        json.key("bins").beginObject();
+        json.field("bin_s", profile.bin_s);
+        json.field("count", static_cast<std::uint64_t>(
+                                profile.busy_bins[0].size()));
+        json.key("resources").beginArray();
+        for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+            json.beginObject();
+            json.field("resource", graph.resource(r).name);
+            json.key("busy_s").beginArray();
+            for (double v : profile.busy_bins[r])
+                json.value(v);
+            json.endArray();
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
 
     // Joule attribution (docs/ENERGY.md). Key suffixes are load-bearing
     // for the bench guard: *_j gates lower-is-better, *_w is exempt.
@@ -483,11 +731,73 @@ profileToJson(const ScheduleProfile &profile, const TaskGraph &graph,
             json.endObject();
         }
         json.endArray();
+        // Binned joules and top-K tasks: the bounded stand-in for the
+        // per-task task_j array.
+        if (!energy->energy_bins.empty()) {
+            json.key("bins").beginObject();
+            json.field("bin_s", energy->bin_s);
+            json.field("count", static_cast<std::uint64_t>(
+                                    energy->energy_bins[0].size()));
+            json.key("resources").beginArray();
+            for (ResourceId r = 0; r < graph.resourceCount(); ++r) {
+                json.beginObject();
+                json.field("resource", graph.resource(r).name);
+                json.key("joules").beginArray();
+                for (double v : energy->energy_bins[r])
+                    json.value(v);
+                json.endArray();
+                json.endObject();
+            }
+            json.endArray();
+            json.endObject();
+        }
+        json.key("top_tasks").beginArray();
+        for (const TopTask &t : energy->top_tasks) {
+            json.beginObject();
+            json.field("label", graph.label(t.task));
+            json.field("resource",
+                       graph.resource(graph.taskResource(t.task)).name);
+            json.field("joules", t.value);
+            json.endObject();
+        }
+        json.endArray();
+        json.key("top_bytes").beginArray();
+        for (const TopTask &t : energy->top_bytes) {
+            json.beginObject();
+            json.field("label", graph.label(t.task));
+            json.field("resource",
+                       graph.resource(graph.taskResource(t.task)).name);
+            json.field("bytes", t.value);
+            json.endObject();
+        }
+        json.endArray();
         json.endObject();
     }
 
     json.endObject();
+}
+
+} // namespace
+
+std::string
+profileToJson(const ScheduleProfile &profile, const TaskGraph &graph,
+              const Schedule &schedule, std::size_t top_slack,
+              const EnergyProfile *energy)
+{
+    trace::Span span(trace::Category::Serialize, "profile-json");
+    JsonWriter json;
+    writeProfileDoc(json, profile, graph, schedule, top_slack, energy);
     return json.str();
+}
+
+void
+streamProfileJson(std::ostream &out, const ScheduleProfile &profile,
+                  const TaskGraph &graph, const Schedule &schedule,
+                  std::size_t top_slack, const EnergyProfile *energy)
+{
+    trace::Span span(trace::Category::Serialize, "profile-json");
+    JsonWriter json(out);
+    writeProfileDoc(json, profile, graph, schedule, top_slack, energy);
 }
 
 } // namespace so::sim

@@ -24,6 +24,8 @@
 #ifndef SO_SIM_PROFILER_H
 #define SO_SIM_PROFILER_H
 
+#include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +34,63 @@
 #include "sim/scheduler.h"
 
 namespace so::sim {
+
+/**
+ * Level-of-detail control for profileSchedule / attributeEnergy.
+ *
+ * Full detail keeps the O(V) per-task arrays (slack, task_j, per-gap
+ * lists) exactly as before. Summary detail drops them and keeps only
+ * bounded aggregates — per-resource time-binned histograms, phase
+ * rollups, and top-K task lists — so a profile of a 10M-task schedule
+ * costs O(R·bins + K + phases) memory instead of hundreds of MB
+ * (docs/OBSERVABILITY.md has the scaling matrix). Auto picks Summary
+ * once the graph crosses kAutoSummaryTasks.
+ *
+ * Conservation holds in both modes and is pinned by tests: per
+ * resource, the binned busy seconds sum to the union busy time and the
+ * binned joules sum to the per-task joules on that resource, both to
+ * 1e-9 relative.
+ */
+struct ProfileOptions
+{
+    enum class Detail
+    {
+        /** Summary at/above kAutoSummaryTasks tasks, Full below. */
+        Auto,
+        /** Keep every per-task array (the pre-LOD behaviour). */
+        Full,
+        /** Bounded aggregates only; per-task arrays stay empty. */
+        Summary,
+    };
+
+    Detail detail = Detail::Auto;
+    /** Histogram bins over [0, makespan] (0 disables binning). */
+    std::size_t bins = 256;
+    /** Entries retained in each top-K task list. */
+    std::size_t top_k = 32;
+
+    /** Task count at which Auto switches to Summary. */
+    static constexpr std::size_t kAutoSummaryTasks = 200'000;
+
+    /** Whether a graph of @p tasks tasks profiles in Summary mode. */
+    bool
+    summarized(std::size_t tasks) const
+    {
+        if (detail == Detail::Full)
+            return false;
+        if (detail == Detail::Summary)
+            return true;
+        return tasks >= kAutoSummaryTasks;
+    }
+};
+
+/** One entry of a top-K task list: the task plus its ranking value
+ *  (seconds of slack, joules, bytes — whatever the list ranks by). */
+struct TopTask
+{
+    TaskId task = kInvalidTask;
+    double value = 0.0;
+};
 
 /** What an idle gap on a resource was waiting on. */
 enum class IdleCause
@@ -69,6 +128,7 @@ struct ResourceProfile
     double idle_dependency = 0.0;
     double idle_contention = 0.0;
     double idle_tail = 0.0;
+    /** Per-gap list; empty in Summary mode (totals above are kept). */
     std::vector<IdleGap> gaps;
 };
 
@@ -95,8 +155,21 @@ struct ScheduleProfile
 {
     double makespan = 0.0;
 
-    /** The makespan-determining chain, first task first. */
+    /** Whether the per-task arrays were elided (Summary detail). */
+    bool summarized = false;
+
+    /** Tasks in the profiled graph (kept even when arrays are not). */
+    std::size_t task_count = 0;
+
+    /**
+     * The makespan-determining chain, first task first. Empty in
+     * Summary mode — critical_steps, critical_length and
+     * critical_phases still describe the walked chain.
+     */
     std::vector<CriticalStep> critical_path;
+
+    /** Steps in the walked chain (== critical_path.size() in Full). */
+    std::size_t critical_steps = 0;
 
     /** Sum of critical-path task durations (== makespan when the chain
      * is contiguous, which the deterministic greedy scheduler
@@ -107,9 +180,37 @@ struct ScheduleProfile
      * Per-task local slack: how far the task's finish could slip —
      * holding everything else fixed — before it would delay a
      * dependent, the next task sharing its resource slot, or the
-     * makespan. Critical-path tasks have zero slack.
+     * makespan. Critical-path tasks have zero slack. Empty in Summary
+     * mode — use top_slack / top_zero_slack instead.
      */
     std::vector<double> slack;
+
+    /** Histogram bin width in seconds (0 when binning is off). The
+     *  bins tile [0, makespan]; the last bin absorbs the boundary. */
+    double bin_s = 0.0;
+
+    /**
+     * Per-resource union-busy seconds per time bin, indexed
+     * [ResourceId][bin]. Conservation: each row sums to the matching
+     * ResourceProfile::busy (1e-9 relative, pinned in tests).
+     */
+    std::vector<std::vector<double>> busy_bins;
+
+    /** Total task-seconds per label phase, largest first — the
+     *  all-tasks counterpart of critical_phases. */
+    std::vector<std::pair<std::string, double>> phase_busy;
+
+    /** Largest-slack tasks (value = slack seconds), capped at
+     *  ProfileOptions::top_k, largest first. */
+    std::vector<TopTask> top_slack;
+
+    /**
+     * Longest zero-slack tasks (value = duration seconds), capped at
+     * ProfileOptions::top_k — the same ranking topZeroSlackTasks()
+     * computes from the full slack array, retained so Summary profiles
+     * can still answer it.
+     */
+    std::vector<TopTask> top_zero_slack;
 
     /** Indexed by ResourceId. */
     std::vector<ResourceProfile> resources;
@@ -131,7 +232,8 @@ struct ScheduleProfile
 
 /** Analyze @p schedule of @p graph (schedule must come from it). */
 ScheduleProfile profileSchedule(const TaskGraph &graph,
-                                const Schedule &schedule);
+                                const Schedule &schedule,
+                                const ProfileOptions &options = {});
 
 /**
  * Electrical inputs of one resource. Plain numbers so the sim layer
@@ -208,11 +310,36 @@ struct EnergyProfile
     /** total_j / makespan (0 when the makespan is 0). */
     double avg_w = 0.0;
 
+    /** Whether the per-task array was elided (Summary detail). */
+    bool summarized = false;
+
     /** Indexed by ResourceId (parallel to ScheduleProfile). */
     std::vector<ResourceEnergy> resources;
 
-    /** Per-task joules: busy_w × duration + joules_per_byte × bytes. */
+    /** Per-task joules: busy_w × duration + joules_per_byte × bytes.
+     *  Empty in Summary mode — use energy_bins / top_tasks instead. */
     std::vector<double> task_j;
+
+    /** Histogram bin width in seconds (0 when binning is off). */
+    double bin_s = 0.0;
+
+    /**
+     * Per-resource task joules per time bin, indexed
+     * [ResourceId][bin]: each task's joules spread uniformly over its
+     * span (zero-duration tasks land in their start bin).
+     * Conservation: each row sums to the per-task joules of that
+     * resource's tasks (1e-9 relative, pinned in tests).
+     */
+    std::vector<std::vector<double>> energy_bins;
+
+    /** Highest-joule tasks (value = joules), capped at
+     *  ProfileOptions::top_k, largest first. */
+    std::vector<TopTask> top_tasks;
+
+    /** Highest-byte tasks (value = bytes moved), capped at
+     *  ProfileOptions::top_k, largest first; empty when no task moves
+     *  bytes. */
+    std::vector<TopTask> top_bytes;
 
     /**
      * Task joules grouped by label phase (same phaseKey grouping as
@@ -233,12 +360,15 @@ struct EnergyProfile
 EnergyProfile attributeEnergy(const TaskGraph &graph,
                               const Schedule &schedule,
                               const ScheduleProfile &profile,
-                              const EnergyInputs &inputs);
+                              const EnergyInputs &inputs,
+                              const ProfileOptions &options = {});
 
 /**
  * The (at most @p top_k) longest nonzero-duration tasks with zero
  * slack, longest first — the tasks where a speedup would immediately
- * shorten the iteration.
+ * shorten the iteration. On a Summary profile the answer comes from
+ * the retained top_zero_slack list, so at most
+ * ProfileOptions::top_k entries exist regardless of @p top_k.
  */
 std::vector<TaskId> topZeroSlackTasks(const ScheduleProfile &profile,
                                       const TaskGraph &graph,
@@ -247,16 +377,26 @@ std::vector<TaskId> topZeroSlackTasks(const ScheduleProfile &profile,
 /**
  * The profile as one standalone JSON document: critical path (tasks,
  * length, phase shares), per-resource busy/idle splits with per-gap
- * causes, and the top-@p top_slack zero-slack tasks by duration. When
- * @p energy is given (and valid) the document gains an "energy"
- * subtree: totals, per-phase joules, and per-resource joule splits
- * (docs/ENERGY.md).
+ * causes, the top-@p top_slack zero-slack tasks by duration, and —
+ * when binning was on — a "bins" subtree with the per-resource
+ * occupancy histograms. When @p energy is given (and valid) the
+ * document gains an "energy" subtree: totals, per-phase joules,
+ * per-resource joule splits, and binned joules (docs/ENERGY.md).
+ * Summary profiles carry `"detail":"summary"` and elide the per-task
+ * arrays (empty critical_path tasks, no per-gap lists).
  */
 std::string profileToJson(const ScheduleProfile &profile,
                           const TaskGraph &graph,
                           const Schedule &schedule,
                           std::size_t top_slack = 8,
                           const EnergyProfile *energy = nullptr);
+
+/** profileToJson streamed to @p out: peak memory stays bounded no
+ *  matter how large the profile document grows. */
+void streamProfileJson(std::ostream &out, const ScheduleProfile &profile,
+                       const TaskGraph &graph, const Schedule &schedule,
+                       std::size_t top_slack = 8,
+                       const EnergyProfile *energy = nullptr);
 
 } // namespace so::sim
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <sstream>
 
@@ -16,7 +17,7 @@ namespace {
 
 /** Process-name metadata plus one complete event per interval. */
 void
-writeBaseEvents(std::ostringstream &os, const TaskGraph &graph,
+writeBaseEvents(std::ostream &os, const TaskGraph &graph,
                 const Schedule &schedule)
 {
     bool first = true;
@@ -47,12 +48,8 @@ writeBaseEvents(std::ostringstream &os, const TaskGraph &graph,
 std::string
 toChromeTrace(const TaskGraph &graph, const Schedule &schedule)
 {
-    so::trace::Span span(so::trace::Category::Serialize,
-                         "chrome-trace");
     std::ostringstream os;
-    os << "{\"traceEvents\":[";
-    writeBaseEvents(os, graph, schedule);
-    os << "]}";
+    streamChromeTrace(os, graph, schedule);
     return os.str();
 }
 
@@ -60,9 +57,29 @@ std::string
 toChromeTrace(const TaskGraph &graph, const Schedule &schedule,
               const ScheduleProfile &profile)
 {
+    std::ostringstream os;
+    streamChromeTrace(os, graph, schedule, profile);
+    return os.str();
+}
+
+void
+streamChromeTrace(std::ostream &os, const TaskGraph &graph,
+                  const Schedule &schedule)
+{
     so::trace::Span span(so::trace::Category::Serialize,
                          "chrome-trace");
-    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    writeBaseEvents(os, graph, schedule);
+    os << "]}";
+}
+
+void
+streamChromeTrace(std::ostream &os, const TaskGraph &graph,
+                  const Schedule &schedule,
+                  const ScheduleProfile &profile)
+{
+    so::trace::Span span(so::trace::Category::Serialize,
+                         "chrome-trace");
     os << "{\"traceEvents\":[";
     writeBaseEvents(os, graph, schedule);
 
@@ -111,23 +128,22 @@ toChromeTrace(const TaskGraph &graph, const Schedule &schedule,
     }
 
     os << "]}";
-    return os.str();
 }
 
 bool
 writeChromeTrace(const TaskGraph &graph, const Schedule &schedule,
                  const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
+    // Streamed straight to the file: peak memory stays bounded no
+    // matter how many events the schedule produces.
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
         warn("cannot open trace file ", path);
         return false;
     }
-    const std::string json = toChromeTrace(graph, schedule);
-    const bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
-                    json.size();
-    std::fclose(f);
-    return ok;
+    streamChromeTrace(out, graph, schedule);
+    out.flush();
+    return static_cast<bool>(out);
 }
 
 std::string

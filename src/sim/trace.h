@@ -11,6 +11,7 @@
 #ifndef SO_SIM_TRACE_H
 #define SO_SIM_TRACE_H
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -35,7 +36,22 @@ std::string toChromeTrace(const TaskGraph &graph, const Schedule &schedule);
 std::string toChromeTrace(const TaskGraph &graph, const Schedule &schedule,
                           const ScheduleProfile &profile);
 
-/** Write the trace JSON to @p path; returns false on I/O failure. */
+/**
+ * toChromeTrace streamed to @p os: the document goes out event by
+ * event, so peak memory stays bounded regardless of schedule size
+ * (docs/OBSERVABILITY.md). The profile overload adds the same flow
+ * arrows and occupancy counters as its string counterpart; a Summary
+ * profile has no retained critical path, so its flow arrows are
+ * simply absent.
+ */
+void streamChromeTrace(std::ostream &os, const TaskGraph &graph,
+                       const Schedule &schedule);
+void streamChromeTrace(std::ostream &os, const TaskGraph &graph,
+                       const Schedule &schedule,
+                       const ScheduleProfile &profile);
+
+/** Write the trace JSON to @p path (streamed); returns false on I/O
+ *  failure. */
 bool writeChromeTrace(const TaskGraph &graph, const Schedule &schedule,
                       const std::string &path);
 

@@ -360,6 +360,89 @@ TEST(HtmlReportRender, HostileSelfProfileCannotEscapeTheIsland)
     EXPECT_TRUE(parsed.at("self_profile").isNull());
 }
 
+TEST(HtmlReportRender, OversizeBundleBecomesTruncationStub)
+{
+    // A bundle over the inline cap must not reach the island at all —
+    // not even parsed — so a hostile label inside it cannot appear
+    // anywhere in the page. The stub it becomes drives the visible
+    // truncation banner and the shard drill-down loader.
+    const std::string bundle_text = hostileBundleJson();
+    HtmlReport report;
+    report.title = "capped";
+    report.schedules.push_back(bundle_text);
+    report.max_inline_bundle_bytes = 64; // far below the bundle size
+
+    const std::string html = renderHtmlReport(report);
+    EXPECT_EQ(html.find("hostile"), std::string::npos);
+    EXPECT_EQ(html.find("alert(1)"), std::string::npos);
+
+    JsonValue island;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(extractDataIsland(html), island,
+                                 &error))
+        << error;
+    ASSERT_EQ(island.at("schedules").items().size(), 1u);
+    const JsonValue &stub = island.at("schedules").items()[0];
+    EXPECT_EQ(stub.at("kind").text(), "bundle_truncated");
+    EXPECT_DOUBLE_EQ(stub.at("bytes").number(),
+                     static_cast<double>(bundle_text.size()));
+    EXPECT_DOUBLE_EQ(stub.at("limit").number(), 64.0);
+
+    // The banner renderer and shard loader ship in the page, which
+    // stays fully offline.
+    EXPECT_NE(html.find("bundle_truncated"), std::string::npos);
+    EXPECT_NE(html.find("shardLoader"), std::string::npos);
+    EXPECT_EQ(html.find("http://"), std::string::npos);
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+
+    // Cap 0 disables the ceiling: the same bundle embeds whole.
+    report.max_inline_bundle_bytes = 0;
+    const std::string uncapped = renderHtmlReport(report);
+    JsonValue full_island;
+    ASSERT_TRUE(JsonValue::parse(extractDataIsland(uncapped),
+                                 full_island, &error))
+        << error;
+    EXPECT_EQ(full_island.at("schedules")
+                  .items()[0]
+                  .at("kind")
+                  .text(),
+              "inspection_bundle");
+}
+
+TEST(HtmlReportRender, SummaryProfileShipsLodRenderers)
+{
+    // A Summary-detail profile document renders through the banner +
+    // histogram-strip path; those renderers must ship inline.
+    sim::ProfileOptions options;
+    options.detail = sim::ProfileOptions::Detail::Summary;
+    sim::TaskGraph g;
+    const sim::ResourceId gpu = g.addResource("GPU");
+    const sim::TaskId a = g.addTask(gpu, 0.010, "fwd", {});
+    g.addTask(gpu, 0.020, "bwd", {a});
+    const sim::Schedule s = sim::Scheduler().run(g);
+    const sim::ScheduleProfile prof = sim::profileSchedule(g, s, options);
+
+    HtmlReport report;
+    report.profiles.emplace_back("summary cell",
+                                 sim::profileToJson(prof, g, s));
+    const std::string html = renderHtmlReport(report);
+
+    EXPECT_NE(html.find("binStrips"), std::string::npos);
+    EXPECT_NE(html.find("so-banner"), std::string::npos);
+    EXPECT_EQ(html.find("http://"), std::string::npos);
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+
+    JsonValue island;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(extractDataIsland(html), island,
+                                 &error))
+        << error;
+    const JsonValue &doc =
+        island.at("profiles").items()[0].at("doc");
+    EXPECT_EQ(doc.at("detail").text(), "summary");
+    EXPECT_FALSE(doc.at("bins").at("resources").items().empty());
+}
+
 TEST(HtmlReportRender, EmptyReportStillRenders)
 {
     const std::string html = renderHtmlReport(HtmlReport{});

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Trace query engine tests (report/query.h): streaming aggregation
+ * over bundle shards and Chrome traces with phase/resource/window
+ * filters and top-N ranking, plus the `so-report` CLI contract — the
+ * query subcommand answers over real artifacts and an unknown
+ * subcommand exits with the distinct usage status listing the valid
+ * ones.
+ */
+#include "report/query.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include "common/json.h"
+
+namespace so::report {
+namespace {
+
+/** Write @p text to a fresh file under the test temp dir. */
+std::string
+writeFile(const std::string &name, const std::string &text)
+{
+    const std::string path = testing::TempDir() + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+    return path;
+}
+
+/**
+ * A hand-authored two-resource shard file with four spans chosen so
+ * every aggregate below is exact in binary floating point:
+ *
+ *   id  phase  resource  span      slack  power_w
+ *   0   fwd    GPU       [0, 2)    0      100
+ *   1   bwd    GPU       [2, 6)    1.5    100
+ *   2   adam   CPU       [1, 4)    0      0
+ *   3   d2h    CPU       [4, 9)    3      0
+ */
+std::string
+shardFixture()
+{
+    return writeFile(
+        "query_fixture.bundle.jsonl",
+        R"({"schema_version":2,"kind":"bundle_shard_header","label":"fix","makespan_s":10,"total_j":600,"avg_w":60,"task_count":4,"edge_count":1,"chunk":2,"resources":[{"resource":"GPU","slots":1,"busy_s":6,"idle_dependency_s":0,"idle_contention_s":0,"idle_tail_s":4,"busy_w":100,"idle_w":10},{"resource":"CPU","slots":1,"busy_s":8,"idle_dependency_s":0,"idle_contention_s":0,"idle_tail_s":2,"busy_w":0,"idle_w":0}]}
+{"kind":"bundle_tasks","tasks":[{"id":0,"label":"fwd a","phase":"fwd","resource":0,"slot":0,"start_s":0,"end_s":2,"slack_s":0,"power_w":100},{"id":1,"label":"bwd a","phase":"bwd","resource":0,"slot":0,"start_s":2,"end_s":6,"slack_s":1.5,"power_w":100}]}
+{"kind":"bundle_tasks","tasks":[{"id":2,"label":"adam shard","phase":"adam","resource":1,"slot":0,"start_s":1,"end_s":4,"slack_s":0,"power_w":0},{"id":3,"label":"d2h bucket","phase":"d2h","resource":1,"slot":0,"start_s":4,"end_s":9,"slack_s":3,"power_w":0}]}
+{"kind":"bundle_edges","edges":[[0,1]]}
+{"kind":"bundle_critical","tasks":[0,1]}
+)");
+}
+
+/** A minimal Chrome trace over the same GPU spans, ts/dur in µs. */
+std::string
+traceFixture()
+{
+    return writeFile(
+        "query_fixture.trace.json",
+        R"({"traceEvents":[
+{"ph":"M","pid":0,"name":"process_name","args":{"name":"GPU"}},
+{"ph":"X","pid":0,"tid":0,"ts":0,"dur":2000000,"name":"fwd a"},
+{"ph":"X","pid":0,"tid":0,"ts":2000000,"dur":4000000,"name":"bwd a"}
+],"displayTimeUnit":"ms"})");
+}
+
+double
+aggSeconds(const std::vector<std::pair<std::string, QueryAgg>> &rows,
+           const std::string &name)
+{
+    for (const auto &[key, agg] : rows)
+        if (key == name)
+            return agg.seconds;
+    return -1.0;
+}
+
+TEST(Query, UnfilteredAggregatesOverShards)
+{
+    QueryResult result;
+    std::string error;
+    ASSERT_TRUE(
+        queryFiles({shardFixture()}, QueryOptions{}, result, &error))
+        << error;
+    EXPECT_EQ(result.files, 1u);
+    EXPECT_EQ(result.scanned, 4u);
+    EXPECT_EQ(result.matched, 4u);
+    EXPECT_DOUBLE_EQ(result.busy_s, 14.0);
+    EXPECT_DOUBLE_EQ(result.joules, 600.0);
+    EXPECT_DOUBLE_EQ(aggSeconds(result.by_resource, "GPU"), 6.0);
+    EXPECT_DOUBLE_EQ(aggSeconds(result.by_resource, "CPU"), 8.0);
+    // Largest seconds first.
+    EXPECT_EQ(result.by_resource.front().first, "CPU");
+    EXPECT_DOUBLE_EQ(aggSeconds(result.by_phase, "adam"), 3.0);
+
+    // Default rank: span duration, best first.
+    ASSERT_EQ(result.top.size(), 4u);
+    EXPECT_EQ(result.top[0].label, "d2h bucket");
+    EXPECT_DOUBLE_EQ(result.top[0].value, 5.0);
+    EXPECT_EQ(result.top[1].label, "bwd a");
+    EXPECT_EQ(result.top[3].label, "fwd a");
+}
+
+TEST(Query, PhaseAndResourceFilters)
+{
+    QueryOptions by_phase;
+    by_phase.phase = "adam";
+    QueryResult result;
+    ASSERT_TRUE(
+        queryFiles({shardFixture()}, by_phase, result, nullptr));
+    EXPECT_EQ(result.scanned, 4u);
+    EXPECT_EQ(result.matched, 1u);
+    EXPECT_DOUBLE_EQ(result.busy_s, 3.0);
+    ASSERT_EQ(result.top.size(), 1u);
+    EXPECT_EQ(result.top[0].resource, "CPU");
+
+    QueryOptions by_resource;
+    by_resource.resource = "GPU";
+    result = QueryResult{};
+    ASSERT_TRUE(
+        queryFiles({shardFixture()}, by_resource, result, nullptr));
+    EXPECT_EQ(result.matched, 2u);
+    EXPECT_DOUBLE_EQ(result.busy_s, 6.0);
+    EXPECT_DOUBLE_EQ(result.joules, 600.0);
+}
+
+TEST(Query, WindowClipsAggregatesButRanksFullSpans)
+{
+    QueryOptions options;
+    options.begin_s = 2.0;
+    options.end_s = 5.0;
+    QueryResult result;
+    ASSERT_TRUE(
+        queryFiles({shardFixture()}, options, result, nullptr));
+    // fwd [0,2) ends exactly at the window start: excluded.
+    EXPECT_EQ(result.matched, 3u);
+    // bwd clips to [2,5)=3, adam to [2,4)=2, d2h to [4,5)=1.
+    EXPECT_DOUBLE_EQ(result.busy_s, 6.0);
+    // Joules clip with the span: 100 W x 3 s of bwd.
+    EXPECT_DOUBLE_EQ(result.joules, 300.0);
+    // Ranking still uses the full span, not the clipped slice.
+    ASSERT_FALSE(result.top.empty());
+    EXPECT_EQ(result.top[0].label, "d2h bucket");
+    EXPECT_DOUBLE_EQ(result.top[0].value, 5.0);
+}
+
+TEST(Query, RankBySlackAndJoules)
+{
+    QueryOptions options;
+    options.rank = QueryOptions::Rank::Slack;
+    QueryResult result;
+    ASSERT_TRUE(
+        queryFiles({shardFixture()}, options, result, nullptr));
+    ASSERT_GE(result.top.size(), 2u);
+    EXPECT_EQ(result.top[0].label, "d2h bucket");
+    EXPECT_DOUBLE_EQ(result.top[0].value, 3.0);
+    EXPECT_EQ(result.top[1].label, "bwd a");
+    EXPECT_DOUBLE_EQ(result.top[1].value, 1.5);
+
+    options.rank = QueryOptions::Rank::Joules;
+    result = QueryResult{};
+    ASSERT_TRUE(
+        queryFiles({shardFixture()}, options, result, nullptr));
+    EXPECT_EQ(result.top[0].label, "bwd a");
+    EXPECT_DOUBLE_EQ(result.top[0].value, 400.0);
+}
+
+TEST(Query, TopNCapsRetainedSpans)
+{
+    QueryOptions options;
+    options.top_n = 2;
+    QueryResult result;
+    ASSERT_TRUE(
+        queryFiles({shardFixture()}, options, result, nullptr));
+    EXPECT_EQ(result.matched, 4u);
+    ASSERT_EQ(result.top.size(), 2u);
+    EXPECT_EQ(result.top[0].label, "d2h bucket");
+    EXPECT_EQ(result.top[1].label, "bwd a");
+}
+
+TEST(Query, ChromeTraceEventsResolveResourceNames)
+{
+    QueryResult result;
+    std::string error;
+    ASSERT_TRUE(
+        queryFiles({traceFixture()}, QueryOptions{}, result, &error))
+        << error;
+    EXPECT_EQ(result.scanned, 2u);
+    EXPECT_DOUBLE_EQ(result.busy_s, 6.0);
+    EXPECT_DOUBLE_EQ(aggSeconds(result.by_resource, "GPU"), 6.0);
+    EXPECT_DOUBLE_EQ(aggSeconds(result.by_phase, "bwd"), 4.0);
+}
+
+TEST(Query, MixedInputsAccumulateIntoOneResult)
+{
+    QueryResult result;
+    ASSERT_TRUE(queryFiles({shardFixture(), traceFixture()},
+                           QueryOptions{}, result, nullptr));
+    EXPECT_EQ(result.files, 2u);
+    EXPECT_EQ(result.scanned, 6u);
+    // Shard GPU 6 s + trace GPU 6 s + shard CPU 8 s.
+    EXPECT_DOUBLE_EQ(result.busy_s, 20.0);
+    EXPECT_DOUBLE_EQ(aggSeconds(result.by_resource, "GPU"), 12.0);
+}
+
+TEST(Query, MissingFileAndSpanlessInputFail)
+{
+    QueryResult result;
+    std::string error;
+    EXPECT_FALSE(queryFiles({testing::TempDir() + "query_absent.jsonl"},
+                            QueryOptions{}, result, &error));
+    EXPECT_FALSE(error.empty());
+
+    const std::string spanless =
+        writeFile("query_spanless.json", R"({"hello":"world"})");
+    error.clear();
+    result = QueryResult{};
+    EXPECT_FALSE(
+        queryFiles({spanless}, QueryOptions{}, result, &error));
+    EXPECT_NE(error.find("no spans"), std::string::npos) << error;
+}
+
+TEST(Query, TextAndJsonRenderings)
+{
+    QueryOptions options;
+    options.phase = "bwd";
+    QueryResult result;
+    ASSERT_TRUE(
+        queryFiles({shardFixture()}, options, result, nullptr));
+
+    const std::string text = queryToText(result, options);
+    EXPECT_NE(text.find("bwd"), std::string::npos);
+    EXPECT_NE(text.find("GPU"), std::string::npos);
+
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::parse(queryToJson(result, options), doc));
+    EXPECT_EQ(doc.at("kind").text(), "query_result");
+    EXPECT_EQ(doc.at("filters").at("phase").text(), "bwd");
+    EXPECT_TRUE(doc.at("filters").at("end_s").isNull());
+    EXPECT_EQ(static_cast<std::uint64_t>(doc.at("matched").number()),
+              result.matched);
+    EXPECT_DOUBLE_EQ(doc.at("busy_s").number(), 4.0);
+    ASSERT_FALSE(doc.at("top").items().empty());
+    EXPECT_EQ(doc.at("top").items()[0].at("label").text(), "bwd a");
+}
+
+#ifdef SO_REPORT_BIN
+
+/** Run the so-report binary, capturing stdout+stderr and exit code. */
+int
+runReport(const std::string &arguments, std::string &output)
+{
+    const std::string command =
+        std::string(SO_REPORT_BIN) + " " + arguments + " 2>&1";
+    FILE *pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr)
+        return -1;
+    char buffer[512];
+    output.clear();
+    while (std::fgets(buffer, sizeof buffer, pipe) != nullptr)
+        output += buffer;
+    const int status = pclose(pipe);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(Query, CliUnknownSubcommandExitsWithUsageStatus)
+{
+    std::string output;
+    // 64 is EX_USAGE: distinct from the generic failure exit so CI
+    // wrappers can tell a typo from a real report failure.
+    EXPECT_EQ(runReport("frobnicate", output), 64);
+    EXPECT_NE(output.find("unknown subcommand 'frobnicate'"),
+              std::string::npos)
+        << output;
+    // The error names every valid subcommand.
+    for (const char *name :
+         {"diff", "check", "top", "html", "selftrace", "query"})
+        EXPECT_NE(output.find(name), std::string::npos) << name;
+}
+
+TEST(Query, CliQueryAnswersOverShards)
+{
+    std::string output;
+    ASSERT_EQ(runReport("query " + shardFixture() +
+                            " --phase adam --json",
+                        output), 0)
+        << output;
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::parse(output, doc)) << output;
+    EXPECT_EQ(doc.at("kind").text(), "query_result");
+    EXPECT_EQ(static_cast<int>(doc.at("matched").number()), 1);
+
+    // Bad rank key: usage failure, not a crash.
+    EXPECT_NE(runReport("query " + shardFixture() + " --rank sideways",
+                        output), 0);
+}
+
+#endif // SO_REPORT_BIN
+
+} // namespace
+} // namespace so::report

@@ -27,6 +27,15 @@
  *       files — as one self-contained HTML Schedule Explorer page.
  *       Inputs are classified by shape; --trace-dir scans a harness
  *       trace directory for *.bundle.json and *.profile.json.
+ *   so-report query FILE ... [--phase P] [--resource R] [--begin S]
+ *             [--end S] [--top N] [--rank duration|slack|joules]
+ *             [--json]
+ *       Single-pass streaming aggregation over bundle shards
+ *       (*.bundle.jsonl), Chrome traces, and inline inspection
+ *       bundles: filter spans by phase / resource / time window, roll
+ *       up busy seconds per phase and resource, and list the top-N
+ *       spans. Memory stays O(groups + N) no matter how many million
+ *       spans the inputs hold (docs/OBSERVABILITY.md).
  *
  * Documents carrying a `schema_version` newer than this build's
  * so::kSchemaVersion draw a warning but are still read: newer writers
@@ -51,10 +60,22 @@
 #include "report/diff.h"
 #include "report/history.h"
 #include "report/html.h"
+#include "report/query.h"
 
 namespace {
 
 using namespace so;
+
+/**
+ * Exit status for an unrecognized subcommand — EX_USAGE from
+ * sysexits.h, distinct from the generic failure 1 so scripts can tell
+ * "typo in the subcommand" apart from "command ran and failed".
+ */
+constexpr int kUsageError = 64;
+
+/** Every subcommand main() dispatches on, for error messages. */
+constexpr const char *kSubcommands =
+    "diff, check, top, html, selftrace, query";
 
 int
 usage(std::FILE *out)
@@ -76,11 +97,17 @@ usage(std::FILE *out)
         "            [--verdict FILE] [--title T] "
         "[--out report.html]\n"
         "  so-report selftrace TRACE.json [--top K]\n"
+        "  so-report query FILE ... [--phase P] [--resource R] "
+        "[--begin S] [--end S]\n"
+        "            [--top N] [--rank duration|slack|joules] "
+        "[--json]\n"
         "Inputs: profile documents, planner reports, result JSON, or\n"
         "sweep/bench records (--cell selects by index, system, or "
         "tag).\n"
         "selftrace reads a host self-trace (--self-trace / SO_TRACE,\n"
-        "see docs/SELFTRACE.md) or its .selfprofile.json summary.\n");
+        "see docs/SELFTRACE.md) or its .selfprofile.json summary.\n"
+        "query streams *.bundle.jsonl shards, Chrome traces, and\n"
+        "inspection bundles in one bounded-memory pass.\n");
     return out == stdout ? 0 : 1;
 }
 
@@ -571,6 +598,51 @@ cmdSelftrace(const ArgParser &args)
     return 0;
 }
 
+int
+cmdQuery(const ArgParser &args)
+{
+    const std::vector<std::string> &files = args.positional();
+    if (files.size() < 2)
+        return usage(stderr);
+
+    report::QueryOptions options;
+    options.phase = args.get("phase");
+    options.resource = args.get("resource");
+    options.begin_s = args.getDouble("begin", options.begin_s);
+    if (args.has("end"))
+        options.end_s = args.getDouble("end", options.end_s);
+    options.top_n = static_cast<std::size_t>(
+        std::max(0LL, args.getInt("top", 10)));
+    const std::string rank = args.get("rank");
+    if (rank == "slack")
+        options.rank = report::QueryOptions::Rank::Slack;
+    else if (rank == "joules")
+        options.rank = report::QueryOptions::Rank::Joules;
+    else if (!rank.empty() && rank != "duration") {
+        std::fprintf(stderr,
+                     "so-report: unknown --rank %s (expected duration, "
+                     "slack, or joules)\n",
+                     rank.c_str());
+        return 1;
+    }
+
+    const std::vector<std::string> inputs(files.begin() + 1,
+                                          files.end());
+    report::QueryResult result;
+    std::string error;
+    if (!report::queryFiles(inputs, options, result, &error)) {
+        std::fprintf(stderr, "so-report: query: %s\n", error.c_str());
+        return 1;
+    }
+    if (args.has("json"))
+        std::printf("%s\n",
+                    report::queryToJson(result, options).c_str());
+    else
+        std::printf("%s",
+                    report::queryToText(result, options).c_str());
+    return 0;
+}
+
 /**
  * Drop @p path's document into the section of @p page its shape
  * matches: inspection bundle, profile, self-profile, diff, verdict, or
@@ -723,7 +795,14 @@ main(int argc, char **argv)
         so::trace::Span span(so::trace::Category::Report, "selftrace");
         return cmdSelftrace(args);
     }
-    std::fprintf(stderr, "so-report: unknown subcommand '%s'\n",
-                 command.c_str());
-    return usage(stderr);
+    if (command == "query") {
+        so::trace::Span span(so::trace::Category::Report, "query");
+        return cmdQuery(args);
+    }
+    std::fprintf(stderr,
+                 "so-report: unknown subcommand '%s' (expected one of: "
+                 "%s)\n",
+                 command.c_str(), kSubcommands);
+    usage(stderr);
+    return kUsageError;
 }
